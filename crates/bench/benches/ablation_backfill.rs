@@ -1,0 +1,29 @@
+//! Ablation bench: EASY lookahead window size (the paper fixes 50,
+//! §5.4.3). Measures full-simulation cost as the window widens — the
+//! reservation/backfill machinery dominates scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_core::SchedulerKind;
+use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_topology::FatTree;
+use jigsaw_traces::synth::synth;
+use std::hint::black_box;
+
+fn bench_backfill(c: &mut Criterion) {
+    let tree = FatTree::maximal(16).unwrap();
+    let trace = synth(16, 300, 42);
+    let mut group = c.benchmark_group("ablation_backfill/jigsaw_synth16_300jobs");
+    group.sample_size(10);
+    for window in [0usize, 10, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
+            let config = SimConfig { backfill_window: w, ..SimConfig::default() };
+            b.iter(|| {
+                black_box(simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backfill);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation bench (§4 of the paper): the cost of *not* restricting the
+//! three-level search to full leaves. Compares the search effort of
+//! Jigsaw's restricted placement search against the least-constrained
+//! (LC+S) general search for the same job on the same fragmented machine —
+//! the paper's reason why "being maximally permissive" is not just lower
+//! utilization but also slower scheduling (Table 3: LC+S is 25–90×
+//! slower).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_core::{Allocator, JigsawAllocator, JobRequest, LcsAllocator};
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+use std::hint::black_box;
+
+/// Fragment the machine: a spread of small jobs so no pod is clean.
+fn fragmented(tree: &FatTree) -> SystemState {
+    let mut state = SystemState::new(*tree);
+    let mut jig = JigsawAllocator::new(tree);
+    for i in 0..tree.num_leaves() {
+        let size = 1 + i % (tree.nodes_per_leaf() - 1);
+        let _ = jig.allocate(&mut state, &JobRequest::new(JobId(i), size));
+    }
+    state
+}
+
+fn bench_restriction(c: &mut Criterion) {
+    for radix in [16u32, 18] {
+        let tree = FatTree::maximal(radix).unwrap();
+        let state = fragmented(&tree);
+        let size = tree.nodes_per_pod() + tree.nodes_per_leaf() + 1; // forces three-level
+        let mut group = c.benchmark_group(format!("ablation_restriction/radix{radix}"));
+
+        group.bench_function(BenchmarkId::new("jigsaw_restricted", size), |b| {
+            let mut jig = JigsawAllocator::new(&tree);
+            b.iter(|| black_box(jig.find_shape(&state, size)));
+        });
+
+        group.bench_function(BenchmarkId::new("least_constrained", size), |b| {
+            let mut lcs = LcsAllocator::new(&tree);
+            b.iter(|| black_box(lcs.find_shape(&state, size, 40)));
+        });
+
+        group.bench_function(BenchmarkId::new("lcs_with_sharing", size), |b| {
+            let mut lcs = LcsAllocator::new(&tree);
+            b.iter(|| black_box(lcs.find_shape(&state, size, 10)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_restriction);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Allocation latency per scheme — the micro-benchmark behind Table 3.
+//!
+//! Measures one allocate+release cycle on (a) an empty machine and (b) a
+//! machine churned to ~70% occupancy, on the paper's smallest and largest
+//! clusters (radix 16 → 1024 nodes, radix 28 → 5488 nodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_core::{Allocator, JobRequest, SchedulerKind};
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+use std::hint::black_box;
+
+/// Churn the machine to roughly `target` occupancy with a deterministic
+/// mixed job stream.
+fn churned(tree: &FatTree, scheme: SchedulerKind, target: f64) -> (SystemState, Box<dyn Allocator>) {
+    let mut state = SystemState::new(*tree);
+    let mut alloc = scheme.make(tree);
+    let mut i = 0u32;
+    while (state.allocated_node_count() as f64) < target * tree.num_nodes() as f64 {
+        let size = 1 + (i * 13 + 7) % (tree.nodes_per_pod() / 2);
+        let _ = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size));
+        i += 1;
+        if i > 4 * tree.num_nodes() {
+            break; // scheme cannot reach the target; bench what we have
+        }
+    }
+    (state, alloc)
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    for radix in [16u32, 28] {
+        let tree = FatTree::maximal(radix).unwrap();
+        let mut group = c.benchmark_group(format!("alloc_latency/radix{radix}"));
+        for scheme in SchedulerKind::ALL {
+            // Empty machine, medium job (half a pod).
+            let size = tree.nodes_per_pod() / 2;
+            group.bench_with_input(
+                BenchmarkId::new("empty", scheme.name()),
+                &scheme,
+                |b, &scheme| {
+                    let mut state = SystemState::new(tree);
+                    let mut alloc = scheme.make(&tree);
+                    b.iter(|| {
+                        let a = alloc
+                            .allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
+                            .expect("fits empty machine");
+                        alloc.release(&mut state, &a);
+                    });
+                },
+            );
+            // Busy machine.
+            group.bench_with_input(
+                BenchmarkId::new("busy70", scheme.name()),
+                &scheme,
+                |b, &scheme| {
+                    let (mut state, mut alloc) = churned(&tree, scheme, 0.7);
+                    let size = tree.nodes_per_leaf() + 1;
+                    b.iter(|| {
+                        if let Some(a) = alloc
+                            .allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
+                        {
+                            alloc.release(&mut state, &a);
+                        }
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_alloc);
+criterion_main!(benches);

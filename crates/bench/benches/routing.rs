@@ -1,0 +1,63 @@
+//! Routing-substrate micro-benchmarks: D-mod-k lookup, wraparound
+//! partition routing, the constructive rearrangeable routing of Theorem 6,
+//! and the max-flow bandwidth probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jigsaw_core::{Allocator, JigsawAllocator, JobRequest};
+use jigsaw_routing::dmodk::dmodk_route;
+use jigsaw_routing::permutation::random_permutation;
+use jigsaw_routing::verify::check_full_bandwidth;
+use jigsaw_routing::{route_permutation, PartitionRouter};
+use jigsaw_topology::ids::{JobId, NodeId};
+use jigsaw_topology::{FatTree, SystemState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let tree = FatTree::maximal(16).unwrap();
+
+    c.bench_function("routing/dmodk_route", |b| {
+        let n = tree.num_nodes();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % n;
+            black_box(dmodk_route(&tree, NodeId(i), NodeId((i * 31 + 5) % n)))
+        });
+    });
+
+    // A mid-size three-level Jigsaw allocation.
+    let mut state = SystemState::new(tree);
+    let mut jig = JigsawAllocator::new(&tree);
+    let alloc = jig
+        .allocate(&mut state, &JobRequest::new(JobId(1), 200))
+        .expect("200 nodes fit 1024");
+
+    c.bench_function("routing/partition_router_build", |b| {
+        b.iter(|| black_box(PartitionRouter::new(&tree, &alloc).unwrap()));
+    });
+
+    c.bench_function("routing/partition_route", |b| {
+        let router = PartitionRouter::new(&tree, &alloc).unwrap();
+        let nodes = &alloc.nodes;
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % nodes.len();
+            let j = (i * 13 + 1) % nodes.len();
+            black_box(router.route(&tree, nodes[i], nodes[j]))
+        });
+    });
+
+    c.bench_function("routing/rearrange_200_nodes", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let perm = random_permutation(&alloc.nodes, &mut rng);
+        b.iter(|| black_box(route_permutation(&tree, &alloc, &perm).unwrap()));
+    });
+
+    c.bench_function("routing/maxflow_probe_200_nodes", |b| {
+        b.iter(|| check_full_bandwidth(&tree, &alloc).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! End-to-end simulator throughput per scheme: one full EASY-backfilled
+//! simulation of a 400-job synthetic trace on the 1024-node cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_core::SchedulerKind;
+use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_topology::FatTree;
+use jigsaw_traces::synth::synth;
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let tree = FatTree::maximal(16).unwrap();
+    let trace = synth(16, 400, 42);
+    let mut group = c.benchmark_group("sim_throughput/synth16_400jobs");
+    group.sample_size(10);
+    for scheme in SchedulerKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &s| {
+            let config = SimConfig {
+                scheme_benefits: s != SchedulerKind::Baseline,
+                ..SimConfig::default()
+            };
+            b.iter(|| black_box(simulate(&tree, s.make(&tree), &trace, &config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

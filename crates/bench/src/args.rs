@@ -1,0 +1,71 @@
+//! Minimal command-line handling shared by the experiment binaries (no
+//! external CLI dependency needed for three flags).
+
+/// Common harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Trace scale factor (fraction of the paper's job counts).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Where to write JSON results (`results/` by default).
+    pub out_dir: String,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs { scale: 0.02, seed: 2021, out_dir: "results".into() }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `--scale <f> | --full | --seed <n> | --out <dir>` from
+    /// `std::env::args`. Unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--scale" => {
+                    args.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a number"));
+                }
+                "--full" => args.scale = 1.0,
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--out" => {
+                    args.out_dir = it.next().unwrap_or_else(|| usage("--out needs a directory"));
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        if args.scale <= 0.0 || args.scale > 1.0 {
+            usage("--scale must be in (0, 1]");
+        }
+        args
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <experiment> [--scale <0..1>] [--full] [--seed <n>] [--out <dir>]");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = HarnessArgs::default();
+        assert!(a.scale > 0.0 && a.scale <= 1.0);
+        assert_eq!(a.out_dir, "results");
+    }
+}

@@ -1,0 +1,61 @@
+//! Ablation (§4 of the paper / DESIGN.md §6): why Jigsaw restricts
+//! three-level allocations to full leaves.
+//!
+//! The paper argues being maximally permissive (LC: every legal placement,
+//! exclusive links) *lowers* utilization through external fragmentation of
+//! scattered free nodes — only adding link *sharing* (LC+S) recovers it.
+//! We run Jigsaw vs. LC vs. LC+S on one heavy trace:
+//!
+//! * **LC** is LC+S with every job's bandwidth class set to the full 80%
+//!   cap — a link then fits exactly one job, i.e. exclusive links over the
+//!   least-constrained placement space.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin ablation_lc [--scale f]
+//! ```
+
+use jigsaw_bench::{trace_by_name, HarnessArgs};
+use jigsaw_core::SchedulerKind;
+use jigsaw_sim::{simulate, SimConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (trace, tree) = trace_by_name("Synth-16", args.scale, args.seed);
+    eprintln!("trace: {} jobs on {} nodes", trace.len(), tree.num_nodes());
+
+    let config = SimConfig::default();
+
+    let jig = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config);
+
+    // LC: least-constrained placements, exclusive links (bw = the cap).
+    let mut lc_trace = trace.clone();
+    for j in &mut lc_trace.jobs {
+        j.bw_tenths = 40;
+    }
+    let lc = simulate(&tree, SchedulerKind::LcS.make(&tree), &lc_trace, &config);
+
+    // LC+S: the real bandwidth classes.
+    let lcs = simulate(&tree, SchedulerKind::LcS.make(&tree), &trace, &config);
+
+    println!("## Ablation — the full-leaf restriction (§4)\n");
+    println!("{:<28} {:>12} {:>16} {:>14}", "variant", "utilization", "sched time/job", "makespan");
+    for (name, r) in [
+        ("Jigsaw (restricted)", &jig),
+        ("LC (least constrained)", &lc),
+        ("LC+S (LC + link sharing)", &lcs),
+    ] {
+        println!(
+            "{:<28} {:>11.1}% {:>14.1}µs {:>14.0}",
+            name,
+            100.0 * r.utilization,
+            1e6 * r.avg_sched_time_per_job(),
+            r.makespan,
+        );
+    }
+    println!(
+        "\nExpected shape (paper §4/§5.2.3): LC underperforms Jigsaw — permitting\n\
+         every legal placement scatters free nodes and fragments links — while\n\
+         LC+S recovers utilization only via (unrealistic) link sharing, at a\n\
+         much higher scheduling cost."
+    );
+}

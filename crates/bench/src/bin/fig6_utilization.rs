@@ -1,0 +1,46 @@
+//! Regenerate **Figure 6**: average steady-state system utilization for
+//! all five scheduling approaches on all nine traces.
+//!
+//! Paper shape to reproduce: Baseline 97–100%, LC+S ≈ Jigsaw 93–96%,
+//! LaaS below both (internal fragmentation), TA lowest (external
+//! fragmentation); worst case for everyone on Atlas (whole-machine jobs).
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin fig6_utilization [--scale f]
+//! ```
+
+use jigsaw_bench::registry::SPECS;
+use jigsaw_bench::report::{pct, table, write_json};
+use jigsaw_bench::runner::{product, run_grid};
+use jigsaw_bench::{paper_traces, HarnessArgs};
+use jigsaw_core::SchedulerKind;
+use jigsaw_sim::Scenario;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!("generating traces at scale {} ...", args.scale);
+    let traces = paper_traces(args.scale, args.seed);
+    let names: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
+    let cells = product(&names, &SchedulerKind::ALL, &[Scenario::None]);
+    eprintln!("running {} simulations ...", cells.len());
+    let results = run_grid(&cells, &traces, args.seed, false);
+
+    let columns: Vec<&str> = SchedulerKind::ALL.iter().map(|k| k.name()).collect();
+    let rows: Vec<(String, Vec<String>)> = names
+        .iter()
+        .map(|&trace| {
+            let values = SchedulerKind::ALL
+                .iter()
+                .map(|k| {
+                    pct(jigsaw_bench::report::cell(&results, trace, k.name(), "None").utilization)
+                })
+                .collect();
+            (trace.to_string(), values)
+        })
+        .collect();
+    println!(
+        "{}",
+        table("Figure 6 — average system utilization", &columns, &rows)
+    );
+    write_json(&args.out_dir, "fig6_utilization", &results).expect("write results");
+}

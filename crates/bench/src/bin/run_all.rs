@@ -1,0 +1,43 @@
+//! Run the complete evaluation — every table and figure — and leave the
+//! raw results under `results/*.json`. Equivalent to running each
+//! experiment binary in sequence with shared traces.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin run_all [--scale f | --full]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "table1_traces",
+        "motivation_interference",
+        "fig6_utilization",
+        "table2_inst_util",
+        "fig7_turnaround",
+        "fig8_makespan",
+        "table3_schedtime",
+        "ablation_lc",
+        "ablation_shape_order",
+        "backfill_policies",
+        "estimate_error",
+        "failure_resilience",
+        "variance_check",
+        "scale_sweep",
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for bin in bins {
+        println!("\n================= {bin} =================\n");
+        let status = Command::new(exe_dir.join(bin))
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments complete; JSON results in ./results/");
+}

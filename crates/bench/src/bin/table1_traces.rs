@@ -1,0 +1,25 @@
+//! Regenerate **Table 1**: characteristics of the job-queue traces.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin table1_traces [--scale f | --full]
+//! ```
+
+use jigsaw_bench::{paper_traces, HarnessArgs};
+use jigsaw_traces::stats::{format_table1, TraceSummary};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!(
+        "Table 1 — trace characteristics (scale {}; paper job counts at --full)\n",
+        args.scale
+    );
+    let summaries: Vec<TraceSummary> = paper_traces(args.scale, args.seed)
+        .iter()
+        .map(|(trace, _)| TraceSummary::of(trace))
+        .collect();
+    println!("{}", format_table1(&summaries));
+    println!(
+        "(System nodes for synthetic traces is '–' as in the paper; they are\n\
+         simulated on the 1024/2662/5488-node clusters per §5.4.3.)"
+    );
+}

@@ -1,0 +1,62 @@
+//! Statistical stability of the headline result: Figure 6's utilization
+//! values across independent trace seeds.
+//!
+//! The paper reports single runs per trace; this sweep regenerates
+//! Synth-16 and Oct-Cab with several seeds and reports mean ± sample
+//! standard deviation per scheme. The scheme ordering must hold for every
+//! seed, and the spread should be well under the between-scheme gaps —
+//! otherwise Figure 6 would be noise.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin variance_check [--scale f] [--seed n]
+//! ```
+
+use jigsaw_bench::{trace_by_name, HarnessArgs};
+use jigsaw_core::SchedulerKind;
+use jigsaw_sim::{simulate, SimConfig};
+
+const SEEDS: u64 = 5;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let schemes = SchedulerKind::ALL;
+    println!("## Utilization stability over {SEEDS} trace seeds (mean ± stddev)\n");
+    println!(
+        "{:<10} {}",
+        "trace",
+        schemes.iter().map(|k| format!("{:>16}", k.name())).collect::<String>()
+    );
+    for name in ["Synth-16", "Oct-Cab"] {
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+        for s in 0..SEEDS {
+            let (trace, tree) = trace_by_name(name, args.scale, args.seed + 1000 * s);
+            for (k, &kind) in schemes.iter().enumerate() {
+                let config = SimConfig {
+                    scheme_benefits: kind != SchedulerKind::Baseline,
+                    ..SimConfig::default()
+                };
+                let r = simulate(&tree, kind.make(&tree), &trace, &config);
+                samples[k].push(r.utilization);
+            }
+        }
+        let cells: String = samples
+            .iter()
+            .map(|v| {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                    / (v.len() - 1).max(1) as f64;
+                format!("{:>9.1}%±{:>4.1}", 100.0 * mean, 100.0 * var.sqrt())
+            })
+            .collect();
+        println!("{name:<10} {cells}");
+        // Ordering check: Jigsaw > LaaS and Jigsaw > TA on every seed.
+        let idx = |k: SchedulerKind| schemes.iter().position(|&x| x == k).unwrap();
+        let jig_row = &samples[idx(SchedulerKind::Jigsaw)];
+        let laas_row = &samples[idx(SchedulerKind::Laas)];
+        let ta_row = &samples[idx(SchedulerKind::Ta)];
+        for ((&jig, &laas), &ta) in jig_row.iter().zip(laas_row).zip(ta_row) {
+            assert!(jig > laas && jig > ta, "{name}: ordering must hold for every seed");
+        }
+    }
+    println!("\nordering Jigsaw > LaaS and Jigsaw > TA held on every seed.");
+}

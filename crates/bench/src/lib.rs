@@ -1,0 +1,36 @@
+//! # jigsaw-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! Jigsaw paper's evaluation (Smith & Lowenthal, HPDC 2021, §5–6). One
+//! binary per artifact:
+//!
+//! | binary | artifact |
+//! |--------|----------|
+//! | `table1_traces`     | Table 1 — trace characteristics |
+//! | `fig6_utilization`  | Fig. 6 — average system utilization, 5 schemes × 9 traces |
+//! | `table2_inst_util`  | Table 2 — instantaneous-utilization buckets on Thunder |
+//! | `fig7_turnaround`   | Fig. 7 — normalized turnaround, Aug-Cab & Oct-Cab × 6 scenarios |
+//! | `fig8_makespan`     | Fig. 8 — normalized makespan, Thunder & Atlas × 6 scenarios |
+//! | `table3_schedtime`  | Table 3 — average scheduling time per job |
+//! | `ablation_lc`       | DESIGN.md §6 — the full-leaf restriction vs. least-constrained |
+//! | `ablation_shape_order` | DESIGN.md §6 — densest-first vs. widest-first shape order |
+//! | `motivation_interference` | §1–2.2 measured: interference under Baseline/SAR/Jigsaw |
+//! | `backfill_policies` | extension — FIFO vs. EASY vs. conservative backfilling |
+//! | `estimate_error`    | extension — runtime-estimate sensitivity |
+//! | `failure_resilience`| extension — node-failure injection sweep |
+//! | `run_all`           | everything above, results to `results/*.json` |
+//!
+//! Every binary accepts `--scale <f>` (default 0.02) for the trace job
+//! counts and `--full` for paper scale, plus `--seed <n>`. Experiments fan
+//! out over (trace × scheme × scenario) with rayon.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod registry;
+pub mod report;
+pub mod runner;
+
+pub use args::HarnessArgs;
+pub use registry::{paper_traces, trace_by_name, TraceSpec};
+pub use runner::{run_grid, GridCell, GridResult};

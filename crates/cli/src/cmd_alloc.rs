@@ -1,0 +1,117 @@
+//! `jigsaw-sched alloc <radix> --sizes 3,17,64 [--scheme ...] [--json]` —
+//! allocate a batch of jobs and display the isolated partitions.
+
+use crate::args::{fail, parse_sizes, Flags};
+use jigsaw_core::{Allocation, Shape};
+use jigsaw_routing::RoutingTables;
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+
+pub fn run(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(radix_str) = flags.positional.first() else {
+        return fail("usage: jigsaw-sched alloc <radix> --sizes 3,17,64");
+    };
+    let Ok(radix) = radix_str.parse::<u32>() else {
+        return fail(&format!("`{radix_str}` is not a radix"));
+    };
+    let tree = match FatTree::maximal(radix) {
+        Ok(t) => t,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let sizes = match flags.get("sizes").map(parse_sizes) {
+        Some(Ok(s)) if !s.is_empty() => s,
+        Some(Err(e)) => return fail(&e),
+        _ => return fail("--sizes is required, e.g. --sizes 3,17,64"),
+    };
+    let kind = match flags.scheme() {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
+
+    let mut state = SystemState::new(tree);
+    let mut alloc = kind.make(&tree);
+    let mut granted: Vec<Allocation> = Vec::new();
+    let mut rejected = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        let req = jigsaw_core::JobRequest::new(JobId(i as u32), size);
+        match alloc.allocate(&mut state, &req) {
+            Some(a) => granted.push(a),
+            None => rejected.push((i, size)),
+        }
+    }
+
+    if flags.has("--dot") {
+        let highlights: Vec<jigsaw_topology::dot::DotHighlight> = granted
+            .iter()
+            .map(|a| {
+                jigsaw_topology::dot::highlight(a.job, &a.nodes, &a.leaf_links, &a.spine_links)
+            })
+            .collect();
+        print!("{}", jigsaw_topology::dot::to_dot(&tree, &highlights));
+        return 0;
+    }
+
+    if flags.has("--json") {
+        let out = serde_json::json!({
+            "scheme": kind.name(),
+            "radix": radix,
+            "granted": granted,
+            "rejected": rejected,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        return 0;
+    }
+
+    println!("{} on a {}-node radix-{radix} fat-tree", kind.name(), tree.num_nodes());
+    println!(
+        "\n{:>4} {:>6} {:>7} {:>6} {:>6}  placement",
+        "job", "asked", "nodes", "links", "spine"
+    );
+    for a in &granted {
+        println!(
+            "{:>4} {:>6} {:>7} {:>6} {:>6}  {}",
+            a.job.0,
+            a.requested,
+            a.nodes.len(),
+            a.leaf_links.len(),
+            a.spine_links.len(),
+            describe(&a.shape),
+        );
+    }
+    for (i, size) in &rejected {
+        println!("{i:>4} {size:>6}  -- no isolated placement available");
+    }
+    let used: u32 = granted.iter().map(|a| a.nodes.len() as u32).sum();
+    println!(
+        "\nutilization: {used}/{} nodes ({:.1}%)",
+        tree.num_nodes(),
+        100.0 * used as f64 / tree.num_nodes() as f64,
+    );
+    match RoutingTables::build(&tree, &granted) {
+        Ok(tables) => println!("forwarding entries installed: {}", tables.len()),
+        Err(e) => return fail(&format!("routing table conflict: {e}")),
+    }
+    0
+}
+
+fn describe(shape: &Shape) -> String {
+    match shape {
+        Shape::SingleLeaf { leaf, .. } => format!("single leaf {}", leaf.0),
+        Shape::TwoLevel { pod, leaves, rem_leaf, .. } => format!(
+            "pod {}, {} leaves{}",
+            pod.0,
+            leaves.len() + usize::from(rem_leaf.is_some()),
+            if rem_leaf.is_some() { " (one partial)" } else { "" },
+        ),
+        Shape::ThreeLevel { trees, rem_tree, .. } => format!(
+            "{} pods{}",
+            trees.len() + usize::from(rem_tree.is_some()),
+            if rem_tree.is_some() { " (one partial)" } else { "" },
+        ),
+        Shape::Unstructured => "scattered (no network structure)".into(),
+    }
+}

@@ -1,0 +1,189 @@
+//! `jigsaw-sched serve <radix> [--scheme S]` — an online allocation
+//! service over stdin/stdout, the integration surface a resource manager
+//! (Slurm/Flux plugin) would drive.
+//!
+//! Line protocol (one request per line, one reply per request):
+//!
+//! ```text
+//! ALLOC <id> <size>     -> GRANT <id> <n0,n1,...>   |  DENY <id>
+//! FREE  <id>            -> OK <id>                  |  ERR unknown job <id>
+//! STATUS                -> STATUS nodes=<used>/<total> jobs=<n> util=<pct>
+//! TABLES                -> TABLES entries=<n>        (forwarding-table size)
+//! QUIT                  -> BYE
+//! ```
+
+use crate::args::{fail, Flags};
+use jigsaw_core::{Allocation, Allocator, JobRequest};
+use jigsaw_routing::RoutingTables;
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+pub fn run(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(radix_str) = flags.positional.first() else {
+        return fail("usage: jigsaw-sched serve <radix> [--scheme S]");
+    };
+    let Ok(radix) = radix_str.parse::<u32>() else {
+        return fail(&format!("`{radix_str}` is not a radix"));
+    };
+    let tree = match FatTree::maximal(radix) {
+        Ok(t) => t,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let kind = match flags.scheme() {
+        Ok(k) => k,
+        Err(e) => return fail(&e),
+    };
+    eprintln!(
+        "jigsaw-sched serving {} on a {}-node radix-{radix} fat-tree; \
+         ALLOC/FREE/STATUS/TABLES/QUIT",
+        kind.name(),
+        tree.num_nodes()
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve(tree, kind.make(&tree), stdin.lock(), stdout.lock())
+}
+
+/// The protocol loop, generic over the streams for testability.
+pub fn serve<R: BufRead, W: Write>(
+    tree: FatTree,
+    mut allocator: Box<dyn Allocator>,
+    reader: R,
+    mut out: W,
+) -> i32 {
+    let mut state = SystemState::new(tree);
+    let mut live: HashMap<u32, Allocation> = HashMap::new();
+
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let reply = match fields.as_slice() {
+            ["ALLOC", id, size] => match (id.parse::<u32>(), size.parse::<u32>()) {
+                (Ok(id), Ok(size)) => {
+                    if let std::collections::hash_map::Entry::Vacant(e) = live.entry(id) {
+                        match allocator.allocate(&mut state, &JobRequest::new(JobId(id), size)) {
+                            Some(alloc) => {
+                                let nodes: Vec<String> =
+                                    alloc.nodes.iter().map(|n| n.0.to_string()).collect();
+                                let reply = format!("GRANT {id} {}", nodes.join(","));
+                                e.insert(alloc);
+                                reply
+                            }
+                            None => format!("DENY {id}"),
+                        }
+                    } else {
+                        format!("ERR job {id} already allocated")
+                    }
+                }
+                _ => "ERR bad ALLOC arguments".to_string(),
+            },
+            ["FREE", id] => match id.parse::<u32>() {
+                Ok(id) => match live.remove(&id) {
+                    Some(alloc) => {
+                        allocator.release(&mut state, &alloc);
+                        format!("OK {id}")
+                    }
+                    None => format!("ERR unknown job {id}"),
+                },
+                Err(_) => "ERR bad FREE arguments".to_string(),
+            },
+            ["STATUS"] => {
+                let used = state.allocated_node_count();
+                let total = tree.num_nodes();
+                format!(
+                    "STATUS nodes={used}/{total} jobs={} util={:.1}%",
+                    live.len(),
+                    100.0 * used as f64 / total as f64
+                )
+            }
+            ["TABLES"] => {
+                let allocs: Vec<Allocation> = live.values().cloned().collect();
+                match RoutingTables::build(&tree, &allocs) {
+                    Ok(tables) => format!("TABLES entries={}", tables.len()),
+                    Err(e) => format!("ERR {e}"),
+                }
+            }
+            ["QUIT"] => {
+                let _ = writeln!(out, "BYE");
+                break;
+            }
+            [] => continue,
+            _ => format!("ERR unknown command `{line}`"),
+        };
+        if writeln!(out, "{reply}").is_err() {
+            break;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_core::SchedulerKind;
+
+    fn drive(script: &str) -> Vec<String> {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut out = Vec::new();
+        let code =
+            serve(tree, SchedulerKind::Jigsaw.make(&tree), script.as_bytes(), &mut out);
+        assert_eq!(code, 0);
+        String::from_utf8(out).unwrap().lines().map(String::from).collect()
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let replies = drive("ALLOC 1 4\nSTATUS\nFREE 1\nSTATUS\nQUIT\n");
+        assert!(replies[0].starts_with("GRANT 1 "));
+        assert_eq!(replies[1], "STATUS nodes=4/16 jobs=1 util=25.0%");
+        assert_eq!(replies[2], "OK 1");
+        assert_eq!(replies[3], "STATUS nodes=0/16 jobs=0 util=0.0%");
+        assert_eq!(replies[4], "BYE");
+    }
+
+    #[test]
+    fn deny_when_machine_full() {
+        let replies = drive("ALLOC 1 16\nALLOC 2 1\nQUIT\n");
+        assert!(replies[0].starts_with("GRANT 1 "));
+        assert_eq!(replies[1], "DENY 2");
+    }
+
+    #[test]
+    fn errors_reported_inline() {
+        let replies = drive("ALLOC 1 4\nALLOC 1 4\nFREE 9\nBOGUS\nQUIT\n");
+        assert!(replies[0].starts_with("GRANT"));
+        assert_eq!(replies[1], "ERR job 1 already allocated");
+        assert_eq!(replies[2], "ERR unknown job 9");
+        assert!(replies[3].starts_with("ERR unknown command"));
+    }
+
+    #[test]
+    fn tables_reflect_live_jobs() {
+        let replies = drive("TABLES\nALLOC 1 8\nTABLES\nQUIT\n");
+        assert_eq!(replies[0], "TABLES entries=0");
+        assert!(replies[1].starts_with("GRANT"));
+        let entries: u32 =
+            replies[2].strip_prefix("TABLES entries=").unwrap().parse().unwrap();
+        assert!(entries > 0);
+    }
+
+    #[test]
+    fn grants_carry_exact_node_lists() {
+        let replies = drive("ALLOC 7 5\nQUIT\n");
+        let nodes: Vec<u32> = replies[0]
+            .strip_prefix("GRANT 7 ")
+            .unwrap()
+            .split(',')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(nodes.len(), 5);
+        let unique: std::collections::HashSet<_> = nodes.iter().collect();
+        assert_eq!(unique.len(), 5);
+    }
+}

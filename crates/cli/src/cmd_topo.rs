@@ -1,0 +1,35 @@
+//! `jigsaw-sched topo <radix>` — describe a maximal three-level fat-tree.
+
+use crate::args::{fail, Flags};
+use jigsaw_topology::FatTree;
+
+pub fn run(args: &[String]) -> i32 {
+    let flags = match Flags::parse(args) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(radix_str) = flags.positional.first() else {
+        return fail("usage: jigsaw-sched topo <radix>");
+    };
+    let Ok(radix) = radix_str.parse::<u32>() else {
+        return fail(&format!("`{radix_str}` is not a radix"));
+    };
+    let tree = match FatTree::maximal(radix) {
+        Ok(t) => t,
+        Err(e) => return fail(&e.to_string()),
+    };
+    println!("maximal three-level fat-tree, radix-{radix} switches");
+    println!("  nodes            {:>8}", tree.num_nodes());
+    println!("  pods             {:>8}", tree.num_pods());
+    println!("  leaves per pod   {:>8}", tree.leaves_per_pod());
+    println!("  nodes per leaf   {:>8}", tree.nodes_per_leaf());
+    println!("  L2 per pod       {:>8}", tree.l2_per_pod());
+    println!("  spines           {:>8}", tree.num_spines());
+    println!("  leaf<->L2 links  {:>8}", tree.num_leaf_links());
+    println!("  L2<->spine links {:>8}", tree.num_spine_links());
+    println!(
+        "  full bandwidth   {:>8}",
+        if tree.is_full_bandwidth() { "yes" } else { "no" }
+    );
+    0
+}

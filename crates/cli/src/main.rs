@@ -1,0 +1,57 @@
+//! `jigsaw-sched` — command-line front end for the Jigsaw scheduler
+//! toolkit.
+//!
+//! ```text
+//! jigsaw-sched topo  <radix>
+//! jigsaw-sched alloc <radix> --sizes 3,17,64 [--scheme jigsaw|laas|ta|lcs|baseline]
+//! jigsaw-sched sim   --trace <Synth-16|Thunder|...|file.swf> [--scheme S]
+//!                    [--scale F] [--scenario none|5%|10%|20%|v2|random] [--json]
+//! jigsaw-sched trace --name <Synth-16|Thunder|...> [--scale F] [--swf|--json]
+//! jigsaw-sched serve <radix> [--scheme S]       # online allocation service
+//! ```
+
+mod args;
+mod cmd_alloc;
+mod cmd_serve;
+mod cmd_sim;
+mod cmd_topo;
+mod cmd_trace;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("topo") => cmd_topo::run(&argv[1..]),
+        Some("alloc") => cmd_alloc::run(&argv[1..]),
+        Some("serve") => cmd_serve::run(&argv[1..]),
+        Some("sim") => cmd_sim::run(&argv[1..]),
+        Some("trace") => cmd_trace::run(&argv[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+jigsaw-sched — the Jigsaw fat-tree scheduler toolkit
+
+USAGE:
+  jigsaw-sched topo  <radix>                     describe a maximal fat-tree
+  jigsaw-sched alloc <radix> --sizes 3,17,64     allocate jobs, show partitions
+        [--scheme jigsaw|laas|ta|lcs|baseline]
+  jigsaw-sched sim   --trace <name|file.swf>     simulate a job queue
+        [--scheme S] [--scale F] [--scenario none|5%|10%|20%|v2|random]
+        [--radix R] [--json]
+  jigsaw-sched trace --name <name> [--scale F]   generate a workload
+        [--swf | --json]
+  jigsaw-sched serve <radix> [--scheme S]        online allocation service
+        (line protocol: ALLOC id size / FREE id / STATUS / TABLES / QUIT)
+
+Built-in traces: Synth-16 Synth-22 Synth-28 Thunder Atlas
+                 Aug-Cab Sep-Cab Oct-Cab Nov-Cab
+";

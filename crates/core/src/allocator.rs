@@ -1,0 +1,150 @@
+//! The [`Allocator`] trait every scheduling scheme implements, and the
+//! [`SchedulerKind`] registry the simulator and experiment harness use.
+
+use crate::alloc::{release_allocation, Allocation};
+use crate::job::JobRequest;
+use jigsaw_topology::{FatTree, SystemState};
+use serde::{Deserialize, Serialize};
+
+/// A node-and-link allocation policy.
+///
+/// Allocators are deliberately *stateless with respect to the cluster*: all
+/// ownership lives in [`SystemState`], so the EASY-backfilling reservation
+/// logic can replay future completions on a scratch clone of the state. The
+/// only exception is scheme-internal bookkeeping (e.g. TA's sharing classes),
+/// which is why the trait requires [`Allocator::clone_box`] — the replay
+/// clones the allocator alongside the state.
+pub trait Allocator: Send {
+    /// Scheme name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Search for an allocation for `req` and, on success, claim it in
+    /// `state`. Returns `None` when no legal placement currently exists.
+    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation>;
+
+    /// Release a previously granted allocation.
+    fn release(&mut self, state: &mut SystemState, alloc: &Allocation) {
+        release_allocation(state, alloc);
+    }
+
+    /// Re-apply an allocation this scheme previously produced (used when
+    /// replaying hypothetical schedules onto scratch states). Schemes with
+    /// internal bookkeeping (TA) must override to restore it.
+    fn adopt(&mut self, state: &mut SystemState, alloc: &Allocation) {
+        crate::alloc::claim_allocation(state, alloc);
+    }
+
+    /// Search effort (backtracking steps) spent by the most recent
+    /// [`Allocator::allocate`] call; used by the scheduling-time analysis
+    /// (Table 3) as a machine-independent effort metric.
+    fn last_search_steps(&self) -> u64 {
+        0
+    }
+
+    /// Clone into a boxed trait object (see the trait docs).
+    fn clone_box(&self) -> Box<dyn Allocator>;
+
+    /// A pristine allocator of the same scheme, as if newly constructed —
+    /// used to answer "could this job fit an *empty* machine at all?".
+    /// Schemes with internal bookkeeping (TA) must override this; for the
+    /// stateless schemes a clone is already pristine.
+    fn fresh_box(&self) -> Box<dyn Allocator> {
+        self.clone_box()
+    }
+}
+
+impl Clone for Box<dyn Allocator> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The five scheduling schemes of the paper's evaluation (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Traditional, network-oblivious node allocation.
+    Baseline,
+    /// The paper's contribution (Algorithm 1).
+    Jigsaw,
+    /// Links as a Service [Zahavi et al. 2016].
+    Laas,
+    /// Topology-aware scheduling [Jain et al. 2017].
+    Ta,
+    /// Least-constrained with link sharing (bounding scheme).
+    LcS,
+}
+
+impl SchedulerKind {
+    /// All schemes, in the ordering the paper's figures use.
+    pub const ALL: [SchedulerKind; 5] = [
+        SchedulerKind::Baseline,
+        SchedulerKind::LcS,
+        SchedulerKind::Jigsaw,
+        SchedulerKind::Laas,
+        SchedulerKind::Ta,
+    ];
+
+    /// The four job-isolating / interference-mitigating schemes (everything
+    /// except Baseline) — the set that receives speed-up scenarios.
+    pub const ISOLATING: [SchedulerKind; 4] =
+        [SchedulerKind::LcS, SchedulerKind::Jigsaw, SchedulerKind::Laas, SchedulerKind::Ta];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Baseline => "Baseline",
+            SchedulerKind::Jigsaw => "Jigsaw",
+            SchedulerKind::Laas => "LaaS",
+            SchedulerKind::Ta => "TA",
+            SchedulerKind::LcS => "LC+S",
+        }
+    }
+
+    /// Construct the allocator for this scheme on `tree`.
+    ///
+    /// # Panics
+    /// For the isolating schemes if `tree` is not full bandwidth — their
+    /// guarantees only exist on full-bandwidth fat-trees.
+    pub fn make(&self, tree: &FatTree) -> Box<dyn Allocator> {
+        match self {
+            SchedulerKind::Baseline => Box::new(crate::BaselineAllocator::new(tree)),
+            SchedulerKind::Jigsaw => Box::new(crate::JigsawAllocator::new(tree)),
+            SchedulerKind::Laas => Box::new(crate::LaasAllocator::new(tree)),
+            SchedulerKind::Ta => Box::new(crate::TaAllocator::new(tree)),
+            SchedulerKind::LcS => Box::new(crate::LcsAllocator::new(tree)),
+        }
+    }
+
+    /// `true` iff this scheme guarantees complete network isolation.
+    pub fn is_isolating(&self) -> bool {
+        matches!(self, SchedulerKind::Jigsaw | SchedulerKind::Laas | SchedulerKind::Ta)
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(SchedulerKind::Jigsaw.name(), "Jigsaw");
+        assert_eq!(SchedulerKind::LcS.to_string(), "LC+S");
+        assert_eq!(SchedulerKind::ALL.len(), 5);
+    }
+
+    #[test]
+    fn isolation_flags() {
+        assert!(SchedulerKind::Jigsaw.is_isolating());
+        assert!(SchedulerKind::Ta.is_isolating());
+        assert!(!SchedulerKind::Baseline.is_isolating());
+        // LC+S allows (negligible but nonzero) sharing, so it does not
+        // guarantee isolation.
+        assert!(!SchedulerKind::LcS.is_isolating());
+    }
+}

@@ -1,0 +1,253 @@
+//! Whole-system auditing: cross-check a set of live allocations against
+//! the allocation state and the formal conditions.
+//!
+//! A resource manager embedding Jigsaw wants an independent invariant
+//! check it can run periodically (or after crashes/reconfigurations):
+//! every granted resource is recorded, nothing is double-booked, nothing
+//! leaked, and every structured partition still satisfies §3.2.2. This
+//! module provides that check; the simulator's tests and the integration
+//! suite run it continuously.
+
+use crate::alloc::{Allocation, Shape};
+use crate::conditions::check_shape;
+use jigsaw_topology::SystemState;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An audit finding. Any finding means the system is corrupt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AuditError {
+    /// Two allocations claim the same node.
+    NodeDoubleBooked {
+        /// The contested node id.
+        node: u32,
+    },
+    /// Two allocations claim the same leaf↔L2 link exclusively.
+    LeafLinkDoubleBooked {
+        /// The contested link id.
+        link: u32,
+    },
+    /// Two allocations claim the same L2↔spine link exclusively.
+    SpineLinkDoubleBooked {
+        /// The contested link id.
+        link: u32,
+    },
+    /// The state says a node is owned by a job, but no live allocation
+    /// accounts for it (a leak), or vice versa.
+    OwnershipMismatch {
+        /// The node id in question.
+        node: u32,
+    },
+    /// A structured allocation violates the formal conditions.
+    ConditionViolation {
+        /// The offending job.
+        job: u32,
+        /// Human-readable violation.
+        reason: String,
+    },
+    /// Fractional bandwidth on some link exceeds the configured cap.
+    BandwidthOverCap {
+        /// `true` for a leaf↔L2 link, `false` for L2↔spine.
+        leaf_layer: bool,
+        /// The link id.
+        link: u32,
+    },
+    /// An allocation's node count disagrees with its shape.
+    ShapeNodeMismatch {
+        /// The offending job.
+        job: u32,
+    },
+}
+
+impl fmt::Display for AuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditError::NodeDoubleBooked { node } => write!(f, "node {node} double-booked"),
+            AuditError::LeafLinkDoubleBooked { link } => {
+                write!(f, "leaf link {link} double-booked")
+            }
+            AuditError::SpineLinkDoubleBooked { link } => {
+                write!(f, "spine link {link} double-booked")
+            }
+            AuditError::OwnershipMismatch { node } => {
+                write!(f, "node {node} ownership disagrees with the live allocation set")
+            }
+            AuditError::ConditionViolation { job, reason } => {
+                write!(f, "job {job} violates the formal conditions: {reason}")
+            }
+            AuditError::BandwidthOverCap { leaf_layer, link } => write!(
+                f,
+                "{} link {link} carries bandwidth above the cap",
+                if *leaf_layer { "leaf" } else { "spine" }
+            ),
+            AuditError::ShapeNodeMismatch { job } => {
+                write!(f, "job {job}: shape and node list disagree")
+            }
+        }
+    }
+}
+
+/// Audit `state` against the complete set of live allocations. Returns
+/// every finding (empty = healthy).
+pub fn audit_system(state: &SystemState, live: &[Allocation]) -> Vec<AuditError> {
+    let tree = state.tree();
+    let mut errors = Vec::new();
+
+    // --- Double-booking across allocations. --------------------------------
+    let mut node_claims: HashMap<u32, u32> = HashMap::new();
+    let mut leaf_link_claims: HashMap<u32, u32> = HashMap::new();
+    let mut spine_link_claims: HashMap<u32, u32> = HashMap::new();
+    for alloc in live {
+        for n in &alloc.nodes {
+            if node_claims.insert(n.0, alloc.job.0).is_some() {
+                errors.push(AuditError::NodeDoubleBooked { node: n.0 });
+            }
+        }
+        if alloc.bw_tenths == 0 {
+            for l in &alloc.leaf_links {
+                if leaf_link_claims.insert(l.0, alloc.job.0).is_some() {
+                    errors.push(AuditError::LeafLinkDoubleBooked { link: l.0 });
+                }
+            }
+            for l in &alloc.spine_links {
+                if spine_link_claims.insert(l.0, alloc.job.0).is_some() {
+                    errors.push(AuditError::SpineLinkDoubleBooked { link: l.0 });
+                }
+            }
+        }
+    }
+
+    // --- Ownership agreement with the state. --------------------------------
+    for node in tree.nodes() {
+        let state_owner = state.node_owner(node).map(|j| j.0);
+        let live_owner = node_claims.get(&node.0).copied();
+        if state_owner != live_owner {
+            errors.push(AuditError::OwnershipMismatch { node: node.0 });
+        }
+    }
+
+    // --- Per-allocation structure. -------------------------------------------
+    for alloc in live {
+        match &alloc.shape {
+            Shape::Unstructured => {}
+            shape => {
+                if let Err(v) = check_shape(tree, shape) {
+                    errors.push(AuditError::ConditionViolation {
+                        job: alloc.job.0,
+                        reason: v.to_string(),
+                    });
+                }
+                if shape.node_count() as usize != alloc.nodes.len() {
+                    errors.push(AuditError::ShapeNodeMismatch { job: alloc.job.0 });
+                }
+            }
+        }
+    }
+
+    // --- Bandwidth caps. --------------------------------------------------------
+    let cap = state.bandwidth().cap_tenths;
+    for leaf in tree.leaves() {
+        for pos in 0..tree.l2_per_pod() {
+            let link = tree.leaf_link(leaf, pos);
+            if state.leaf_link_bw_used(link) > cap {
+                errors.push(AuditError::BandwidthOverCap { leaf_layer: true, link: link.0 });
+            }
+        }
+    }
+    for pod in tree.pods() {
+        for pos in 0..tree.l2_per_pod() {
+            for slot in 0..tree.spines_per_group() {
+                let link = tree.spine_link_at(pod, pos, slot);
+                if state.spine_link_bw_used(link) > cap {
+                    errors
+                        .push(AuditError::BandwidthOverCap { leaf_layer: false, link: link.0 });
+                }
+            }
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocator::Allocator;
+    use crate::{JigsawAllocator, JobRequest, SchedulerKind};
+    use jigsaw_topology::ids::{JobId, NodeId};
+    use jigsaw_topology::FatTree;
+
+    #[test]
+    fn healthy_system_audits_clean() {
+        let tree = FatTree::maximal(8).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut live = Vec::new();
+        for kind in [SchedulerKind::Jigsaw, SchedulerKind::Jigsaw] {
+            let mut alloc = kind.make(&tree);
+            for (i, size) in [(live.len() as u32 * 10, 13u32), (live.len() as u32 * 10 + 1, 7)] {
+                if let Some(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
+                    live.push(a);
+                }
+            }
+        }
+        assert!(live.len() >= 3);
+        assert_eq!(audit_system(&state, &live), Vec::new());
+    }
+
+    #[test]
+    fn leak_detected() {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        // Forget the allocation: state says owned, live set says nothing.
+        let errors = audit_system(&state, &[]);
+        assert!(errors.iter().any(|e| matches!(e, AuditError::OwnershipMismatch { .. })));
+        // And the reverse: live set claims nodes the state thinks are free.
+        jig.release(&mut state, &a);
+        let errors = audit_system(&state, &[a]);
+        assert!(errors.iter().any(|e| matches!(e, AuditError::OwnershipMismatch { .. })));
+    }
+
+    #[test]
+    fn double_booking_detected() {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        let mut b = a.clone();
+        b.job = JobId(2);
+        let errors = audit_system(&state, &[a, b]);
+        assert!(errors.iter().any(|e| matches!(e, AuditError::NodeDoubleBooked { .. })));
+    }
+
+    #[test]
+    fn tampered_shape_detected() {
+        let tree = FatTree::maximal(8).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let mut a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+        if let Shape::TwoLevel { l2_set, .. } = &mut a.shape {
+            *l2_set = 0b1; // unbalanced uplinks
+        }
+        let errors = audit_system(&state, &[a]);
+        assert!(errors.iter().any(|e| matches!(e, AuditError::ConditionViolation { .. })));
+    }
+
+    #[test]
+    fn shape_node_mismatch_detected() {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let mut a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 2)).unwrap();
+        // Claim one more node behind the audit's back — both a mismatch and
+        // an ownership error.
+        let extra = (0..tree.num_nodes())
+            .map(NodeId)
+            .find(|n| state.is_node_free(*n))
+            .unwrap();
+        state.claim_node(extra, JobId(1));
+        a.nodes.push(extra);
+        let errors = audit_system(&state, &[a]);
+        assert!(errors.iter().any(|e| matches!(e, AuditError::ShapeNodeMismatch { .. })));
+    }
+}

@@ -1,0 +1,126 @@
+//! The Baseline allocator: a traditional, network-oblivious scheduler.
+//!
+//! Baseline allocates any free nodes first-fit and ignores the network
+//! entirely — exactly how most production HPC schedulers behave (§1 of the
+//! paper). It never fails while enough nodes are free, which is why its
+//! utilization upper-bounds every other scheme; the price is inter-job
+//! network interference, modeled by the simulator's speed-up scenarios.
+
+use crate::alloc::{claim_allocation, Allocation, Shape};
+use crate::allocator::Allocator;
+use crate::job::JobRequest;
+use jigsaw_topology::{FatTree, SystemState};
+
+/// The traditional first-fit node allocator.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineAllocator {
+    steps: u64,
+}
+
+impl BaselineAllocator {
+    /// Build a Baseline allocator (works on any tree, tapered included).
+    pub fn new(_tree: &FatTree) -> Self {
+        BaselineAllocator { steps: 0 }
+    }
+}
+
+impl Allocator for BaselineAllocator {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
+        self.steps = 1;
+        if req.size == 0 || state.free_node_count() < req.size {
+            return None;
+        }
+        let tree = *state.tree();
+        let mut nodes = Vec::with_capacity(req.size as usize);
+        'leaves: for leaf in tree.leaves() {
+            self.steps += 1;
+            if state.free_nodes_on_leaf(leaf) == 0 {
+                continue;
+            }
+            for node in tree.nodes_of_leaf(leaf) {
+                if state.is_node_free(node) {
+                    nodes.push(node);
+                    if nodes.len() as u32 == req.size {
+                        break 'leaves;
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(nodes.len() as u32, req.size);
+        let alloc = Allocation {
+            job: req.id,
+            requested: req.size,
+            nodes,
+            leaf_links: Vec::new(),
+            spine_links: Vec::new(),
+            bw_tenths: 0,
+            shape: Shape::Unstructured,
+        };
+        claim_allocation(state, &alloc);
+        Some(alloc)
+    }
+
+    fn last_search_steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn clone_box(&self) -> Box<dyn Allocator> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_topology::ids::JobId;
+
+    fn setup() -> (SystemState, BaselineAllocator) {
+        let tree = FatTree::maximal(4).unwrap();
+        (SystemState::new(tree), BaselineAllocator::new(&FatTree::maximal(4).unwrap()))
+    }
+
+    #[test]
+    fn allocates_any_free_nodes() {
+        let (mut state, mut base) = setup();
+        let a = base.allocate(&mut state, &JobRequest::new(JobId(1), 5)).unwrap();
+        assert_eq!(a.nodes.len(), 5);
+        assert!(a.leaf_links.is_empty());
+        assert!(matches!(a.shape, Shape::Unstructured));
+        state.assert_consistent();
+    }
+
+    #[test]
+    fn succeeds_whenever_nodes_suffice() {
+        let (mut state, mut base) = setup();
+        // Fragment the machine: one node taken on every leaf.
+        let tree = *state.tree();
+        for leaf in tree.leaves() {
+            state.claim_node(tree.node_at(leaf, 0), JobId(99));
+        }
+        // 8 scattered nodes remain; Baseline takes them all.
+        let a = base.allocate(&mut state, &JobRequest::new(JobId(1), 8)).unwrap();
+        assert_eq!(a.nodes.len(), 8);
+        assert_eq!(state.free_node_count(), 0);
+    }
+
+    #[test]
+    fn fails_only_on_node_shortage() {
+        let (mut state, mut base) = setup();
+        assert!(base.allocate(&mut state, &JobRequest::new(JobId(1), 17)).is_none());
+        let _ = base.allocate(&mut state, &JobRequest::new(JobId(1), 16)).unwrap();
+        assert!(base.allocate(&mut state, &JobRequest::new(JobId(2), 1)).is_none());
+    }
+
+    #[test]
+    fn release_returns_nodes() {
+        let (mut state, mut base) = setup();
+        let a = base.allocate(&mut state, &JobRequest::new(JobId(1), 16)).unwrap();
+        base.release(&mut state, &a);
+        assert_eq!(state.free_node_count(), 16);
+        state.assert_consistent();
+    }
+}

@@ -1,0 +1,511 @@
+//! Executable form of the paper's formal allocation conditions (§3.2.2).
+//!
+//! [`check_shape`] validates a structured [`Shape`] against a fat-tree and
+//! reports the first violated condition. The conditions are exactly those
+//! proved necessary and sufficient for an allocation to be rearrangeable
+//! non-blocking (Appendix A of the paper):
+//!
+//! 1. nodes evenly distributed across `T` trees (+ optional smaller
+//!    remainder tree),
+//! 2. within each tree, evenly across `L_T` leaves (+ optional smaller
+//!    remainder leaf),
+//! 3. the remainder leaf lives in the remainder tree,
+//! 4. leaves of a tree connect to a common L2 set `S`; the remainder leaf
+//!    to `S^r ⊂ S`,
+//! 5. the L2 positions in `S` are identical across trees,
+//! 6. L2 switches at position `i` connect to a common spine set `S*_i`
+//!    (remainder tree: a subset), with uplinks balancing downlinks.
+//!
+//! The balance requirement (uplinks == downlinks at every leaf and L2
+//! switch, Fig. 1-left) is checked structurally: `|S| == n_L`,
+//! `|S^r| == n_L^r`, `|S*_i| == L_T`, `|S*^r_i| == L_T^r + [i ∈ S^r]`.
+
+use crate::alloc::Shape;
+use jigsaw_topology::bitset::iter_mask;
+use jigsaw_topology::state::mask_of;
+use jigsaw_topology::FatTree;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a shape fails the formal conditions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConditionViolation {
+    /// The shape carries no network structure (Baseline/TA allocations).
+    Unstructured,
+    /// An id refers outside the tree or into the wrong pod.
+    MalformedTopologyReference(&'static str),
+    /// A node, leaf or pod appears twice.
+    DuplicateResource(&'static str),
+    /// Condition 1/2 violated: a "full" tree or leaf count is out of range.
+    BadCount(&'static str),
+    /// Condition 2: the remainder leaf must hold fewer nodes than full
+    /// leaves (`n_L^r < n_L`).
+    RemainderLeafTooLarge,
+    /// Condition 1: the remainder tree must hold fewer nodes than full
+    /// trees (`n_T^r < n_T`).
+    RemainderTreeTooLarge,
+    /// Balance: a full leaf must have exactly `n_L` uplinks (`|S| = n_L`).
+    UnbalancedLeafUplinks,
+    /// Condition 4: the remainder leaf's `S^r` must be a subset of `S` with
+    /// `|S^r| = n_L^r`.
+    RemainderLeafLinks,
+    /// Condition 6: L2 switch at position `i` must have exactly `L_T`
+    /// spine uplinks (`|S*_i| = L_T`), at in-range slots, and only for
+    /// positions in `S`.
+    UnbalancedSpineUplinks,
+    /// Condition 6: remainder-tree spine sets must be subsets of the full
+    /// trees' sets with size `L_T^r + [i ∈ S^r]`.
+    RemainderSpineLinks,
+}
+
+impl fmt::Display for ConditionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConditionViolation::Unstructured => write!(f, "shape carries no network structure"),
+            ConditionViolation::MalformedTopologyReference(what) => {
+                write!(f, "malformed topology reference: {what}")
+            }
+            ConditionViolation::DuplicateResource(what) => write!(f, "duplicate {what}"),
+            ConditionViolation::BadCount(what) => write!(f, "bad count: {what}"),
+            ConditionViolation::RemainderLeafTooLarge => {
+                write!(f, "condition 2: remainder leaf must hold fewer nodes than full leaves")
+            }
+            ConditionViolation::RemainderTreeTooLarge => {
+                write!(f, "condition 1: remainder tree must hold fewer nodes than full trees")
+            }
+            ConditionViolation::UnbalancedLeafUplinks => {
+                write!(f, "balance: a full leaf needs exactly n_L uplinks (|S| = n_L)")
+            }
+            ConditionViolation::RemainderLeafLinks => {
+                write!(f, "condition 4: remainder leaf links must be S^r ⊂ S with |S^r| = n_L^r")
+            }
+            ConditionViolation::UnbalancedSpineUplinks => {
+                write!(f, "condition 6: each used L2 switch needs exactly L_T spine uplinks")
+            }
+            ConditionViolation::RemainderSpineLinks => {
+                write!(f, "condition 6: remainder tree spine sets must be subsets of size L_T^r (+1 on S^r)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConditionViolation {}
+
+/// Check a shape against the formal conditions of §3.2.2. `Ok(())` means
+/// the shape describes a legal, full-bandwidth (rearrangeable non-blocking)
+/// partition of `tree`.
+pub fn check_shape(tree: &FatTree, shape: &Shape) -> Result<(), ConditionViolation> {
+    match shape {
+        Shape::Unstructured => Err(ConditionViolation::Unstructured),
+        Shape::SingleLeaf { leaf, n } => {
+            if leaf.0 >= tree.num_leaves() {
+                return Err(ConditionViolation::MalformedTopologyReference("leaf id"));
+            }
+            if *n == 0 || *n > tree.nodes_per_leaf() {
+                return Err(ConditionViolation::BadCount("single-leaf node count"));
+            }
+            Ok(())
+        }
+        Shape::TwoLevel { pod, n_l, leaves, l2_set, rem_leaf } => {
+            check_two_level(tree, *pod, *n_l, leaves, *l2_set, rem_leaf.as_ref())
+        }
+        Shape::ThreeLevel { n_l, l_t, l2_set, trees, spine_sets, rem_tree } => {
+            check_three_level(tree, *n_l, *l_t, *l2_set, trees, spine_sets, rem_tree.as_ref())
+        }
+    }
+}
+
+fn check_two_level(
+    tree: &FatTree,
+    pod: jigsaw_topology::ids::PodId,
+    n_l: u32,
+    leaves: &[jigsaw_topology::ids::LeafId],
+    l2_set: u64,
+    rem_leaf: Option<&(jigsaw_topology::ids::LeafId, u32, u64)>,
+) -> Result<(), ConditionViolation> {
+    if pod.0 >= tree.num_pods() {
+        return Err(ConditionViolation::MalformedTopologyReference("pod id"));
+    }
+    if leaves.is_empty() {
+        return Err(ConditionViolation::BadCount("two-level allocation with no full leaves"));
+    }
+    if n_l == 0 || n_l > tree.nodes_per_leaf() {
+        return Err(ConditionViolation::BadCount("nodes per leaf"));
+    }
+    let mut seen = HashSet::with_capacity(leaves.len() + 1);
+    for &leaf in leaves {
+        if leaf.0 >= tree.num_leaves() || tree.pod_of_leaf(leaf) != pod {
+            return Err(ConditionViolation::MalformedTopologyReference("leaf not in pod"));
+        }
+        if !seen.insert(leaf) {
+            return Err(ConditionViolation::DuplicateResource("leaf"));
+        }
+    }
+    // Balance + condition 4: every full leaf uses the same S, |S| = n_L.
+    if l2_set & !mask_of(tree.l2_per_pod()) != 0 {
+        return Err(ConditionViolation::MalformedTopologyReference("L2 position"));
+    }
+    if l2_set.count_ones() != n_l {
+        return Err(ConditionViolation::UnbalancedLeafUplinks);
+    }
+    if let Some(&(leaf, n_r, s_r)) = rem_leaf {
+        if leaf.0 >= tree.num_leaves() || tree.pod_of_leaf(leaf) != pod {
+            return Err(ConditionViolation::MalformedTopologyReference("remainder leaf not in pod"));
+        }
+        if !seen.insert(leaf) {
+            return Err(ConditionViolation::DuplicateResource("remainder leaf"));
+        }
+        if n_r == 0 || n_r >= n_l {
+            return Err(ConditionViolation::RemainderLeafTooLarge);
+        }
+        // S^r ⊂ S with |S^r| = n_L^r.
+        if s_r & !l2_set != 0 || s_r.count_ones() != n_r {
+            return Err(ConditionViolation::RemainderLeafLinks);
+        }
+    }
+    Ok(())
+}
+
+fn check_three_level(
+    tree: &FatTree,
+    n_l: u32,
+    l_t: u32,
+    l2_set: u64,
+    trees: &[crate::alloc::TreeAlloc],
+    spine_sets: &[u64],
+    rem_tree: Option<&crate::alloc::RemTree>,
+) -> Result<(), ConditionViolation> {
+    if trees.is_empty() {
+        return Err(ConditionViolation::BadCount("three-level allocation with no full trees"));
+    }
+    if n_l == 0 || n_l > tree.nodes_per_leaf() {
+        return Err(ConditionViolation::BadCount("nodes per leaf"));
+    }
+    if l_t == 0 || l_t > tree.leaves_per_pod() {
+        return Err(ConditionViolation::BadCount("leaves per tree"));
+    }
+    if l2_set & !mask_of(tree.l2_per_pod()) != 0 {
+        return Err(ConditionViolation::MalformedTopologyReference("L2 position"));
+    }
+    if l2_set.count_ones() != n_l {
+        return Err(ConditionViolation::UnbalancedLeafUplinks);
+    }
+
+    let mut pods_seen = HashSet::new();
+    let mut leaves_seen = HashSet::new();
+    for t in trees {
+        if t.pod.0 >= tree.num_pods() {
+            return Err(ConditionViolation::MalformedTopologyReference("pod id"));
+        }
+        if !pods_seen.insert(t.pod) {
+            return Err(ConditionViolation::DuplicateResource("pod"));
+        }
+        // Condition 1/2: every full tree has exactly L_T leaves of n_L nodes.
+        if t.leaves.len() as u32 != l_t {
+            return Err(ConditionViolation::BadCount("full tree with wrong leaf count"));
+        }
+        for &leaf in &t.leaves {
+            if leaf.0 >= tree.num_leaves() || tree.pod_of_leaf(leaf) != t.pod {
+                return Err(ConditionViolation::MalformedTopologyReference("leaf not in its pod"));
+            }
+            if !leaves_seen.insert(leaf) {
+                return Err(ConditionViolation::DuplicateResource("leaf"));
+            }
+        }
+    }
+
+    // Condition 6 on full trees: spine sets indexed by position, |S*_i| = L_T
+    // exactly for i ∈ S, empty otherwise.
+    if spine_sets.len() != tree.l2_per_pod() as usize {
+        return Err(ConditionViolation::MalformedTopologyReference("spine set vector length"));
+    }
+    for (pos, &set) in spine_sets.iter().enumerate() {
+        let in_s = l2_set & (1 << pos) != 0;
+        if set & !mask_of(tree.spines_per_group()) != 0 {
+            return Err(ConditionViolation::MalformedTopologyReference("spine slot"));
+        }
+        if in_s {
+            if set.count_ones() != l_t {
+                return Err(ConditionViolation::UnbalancedSpineUplinks);
+            }
+        } else if set != 0 {
+            return Err(ConditionViolation::UnbalancedSpineUplinks);
+        }
+    }
+
+    if let Some(rem) = rem_tree {
+        if rem.pod.0 >= tree.num_pods() {
+            return Err(ConditionViolation::MalformedTopologyReference("remainder pod id"));
+        }
+        if !pods_seen.insert(rem.pod) {
+            return Err(ConditionViolation::DuplicateResource("remainder pod"));
+        }
+        let l_rt = rem.leaves.len() as u32;
+        let n_rl = rem.rem_leaf.map_or(0, |(_, n, _)| n);
+        // Condition 1: n_T^r < n_T.
+        if l_rt * n_l + n_rl >= l_t * n_l {
+            return Err(ConditionViolation::RemainderTreeTooLarge);
+        }
+        if l_rt == 0 && rem.rem_leaf.is_none() {
+            return Err(ConditionViolation::BadCount("empty remainder tree"));
+        }
+        for &leaf in &rem.leaves {
+            if leaf.0 >= tree.num_leaves() || tree.pod_of_leaf(leaf) != rem.pod {
+                return Err(ConditionViolation::MalformedTopologyReference(
+                    "remainder-tree leaf not in its pod",
+                ));
+            }
+            if !leaves_seen.insert(leaf) {
+                return Err(ConditionViolation::DuplicateResource("leaf"));
+            }
+        }
+        let mut s_r_mask = 0u64;
+        if let Some((leaf, n_r, s_r)) = rem.rem_leaf {
+            if leaf.0 >= tree.num_leaves() || tree.pod_of_leaf(leaf) != rem.pod {
+                return Err(ConditionViolation::MalformedTopologyReference(
+                    "remainder leaf not in remainder pod",
+                ));
+            }
+            if !leaves_seen.insert(leaf) {
+                return Err(ConditionViolation::DuplicateResource("remainder leaf"));
+            }
+            // Condition 2: n_L^r < n_L; condition 4: S^r ⊂ S.
+            if n_r == 0 || n_r >= n_l {
+                return Err(ConditionViolation::RemainderLeafTooLarge);
+            }
+            if s_r & !l2_set != 0 || s_r.count_ones() != n_r {
+                return Err(ConditionViolation::RemainderLeafLinks);
+            }
+            s_r_mask = s_r;
+        }
+        // Condition 6 on the remainder tree: S*^r_i ⊆ S*_i with
+        // |S*^r_i| = L_T^r + [i ∈ S^r].
+        if rem.spine_sets.len() != tree.l2_per_pod() as usize {
+            return Err(ConditionViolation::MalformedTopologyReference(
+                "remainder spine set vector length",
+            ));
+        }
+        #[allow(clippy::needless_range_loop)] // parallel-indexing two vectors
+        for pos in 0..tree.l2_per_pod() as usize {
+            let in_s = l2_set & (1 << pos) != 0;
+            let set = rem.spine_sets[pos];
+            if !in_s {
+                if set != 0 {
+                    return Err(ConditionViolation::RemainderSpineLinks);
+                }
+                continue;
+            }
+            let need = l_rt + u32::from(s_r_mask & (1 << pos) != 0);
+            if set & !spine_sets[pos] != 0 || set.count_ones() != need {
+                return Err(ConditionViolation::RemainderSpineLinks);
+            }
+        }
+    }
+
+    // Sanity: the implied per-position spine usage never exceeds the group.
+    for pos in iter_mask(l2_set) {
+        debug_assert!(spine_sets[pos as usize].count_ones() <= tree.spines_per_group());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{RemTree, TreeAlloc};
+    use jigsaw_topology::ids::{LeafId, PodId};
+
+    fn tree() -> FatTree {
+        FatTree::maximal(4).unwrap() // W=2, L=2, M=2, G=2, P=4
+    }
+
+    #[test]
+    fn single_leaf_legal() {
+        let t = tree();
+        assert_eq!(check_shape(&t, &Shape::SingleLeaf { leaf: LeafId(1), n: 2 }), Ok(()));
+        assert!(check_shape(&t, &Shape::SingleLeaf { leaf: LeafId(99), n: 1 }).is_err());
+        assert!(check_shape(&t, &Shape::SingleLeaf { leaf: LeafId(0), n: 3 }).is_err());
+    }
+
+    #[test]
+    fn unstructured_is_flagged() {
+        assert_eq!(check_shape(&tree(), &Shape::Unstructured), Err(ConditionViolation::Unstructured));
+    }
+
+    fn legal_two_level() -> Shape {
+        Shape::TwoLevel {
+            pod: PodId(0),
+            n_l: 2,
+            leaves: vec![LeafId(0)],
+            l2_set: 0b11,
+            rem_leaf: Some((LeafId(1), 1, 0b01)),
+        }
+    }
+
+    #[test]
+    fn two_level_legal_and_violations() {
+        let t = tree();
+        assert_eq!(check_shape(&t, &legal_two_level()), Ok(()));
+
+        // |S| != n_L (Fig. 1-left: tapering).
+        let mut s = legal_two_level();
+        if let Shape::TwoLevel { l2_set, .. } = &mut s {
+            *l2_set = 0b01;
+        }
+        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::UnbalancedLeafUplinks));
+
+        // Remainder as large as a full leaf (condition 2).
+        let s = Shape::TwoLevel {
+            pod: PodId(0),
+            n_l: 1,
+            leaves: vec![LeafId(0)],
+            l2_set: 0b01,
+            rem_leaf: Some((LeafId(1), 1, 0b01)),
+        };
+        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::RemainderLeafTooLarge));
+
+        // S^r not a subset of S (Fig. 1-right: disconnected links).
+        let mut s = legal_two_level();
+        if let Shape::TwoLevel { n_l, l2_set, rem_leaf, .. } = &mut s {
+            *n_l = 1;
+            *l2_set = 0b01;
+            *rem_leaf = None;
+        }
+        assert_eq!(check_shape(&t, &s), Ok(()));
+        let s = Shape::TwoLevel {
+            pod: PodId(0),
+            n_l: 2,
+            leaves: vec![LeafId(0)],
+            l2_set: 0b11,
+            rem_leaf: Some((LeafId(1), 1, 0b100)),
+        };
+        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::RemainderLeafLinks));
+
+        // Leaf from another pod.
+        let s = Shape::TwoLevel {
+            pod: PodId(0),
+            n_l: 1,
+            leaves: vec![LeafId(2)],
+            l2_set: 0b01,
+            rem_leaf: None,
+        };
+        assert!(matches!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::MalformedTopologyReference(_))
+        ));
+
+        // Duplicate leaf.
+        let s = Shape::TwoLevel {
+            pod: PodId(0),
+            n_l: 1,
+            leaves: vec![LeafId(0), LeafId(0)],
+            l2_set: 0b01,
+            rem_leaf: None,
+        };
+        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::DuplicateResource("leaf")));
+    }
+
+    fn legal_three_level() -> Shape {
+        // N = 11 on the radix-4 tree is impossible (16 nodes, W=2), use
+        // N = 2*2*2 + (1*2 + 1) = 11... actually: T=2 trees × (L_T=2 × n_L=2)
+        // + remainder tree (1 leaf × 2 + rem leaf 1) = 8 + 3 = 11, matching
+        // the paper's Figure 3 shape scaled down.
+        Shape::ThreeLevel {
+            n_l: 2,
+            l_t: 2,
+            l2_set: 0b11,
+            trees: vec![
+                TreeAlloc { pod: PodId(0), leaves: vec![LeafId(0), LeafId(1)] },
+                TreeAlloc { pod: PodId(1), leaves: vec![LeafId(2), LeafId(3)] },
+            ],
+            spine_sets: vec![0b11, 0b11],
+            rem_tree: Some(RemTree {
+                pod: PodId(2),
+                leaves: vec![LeafId(4)],
+                rem_leaf: Some((LeafId(5), 1, 0b01)),
+                spine_sets: vec![0b11, 0b01],
+            }),
+        }
+    }
+
+    #[test]
+    fn three_level_figure3_analogue_is_legal() {
+        let t = tree();
+        let s = legal_three_level();
+        assert_eq!(check_shape(&t, &s), Ok(()));
+        assert_eq!(s.node_count(), 11);
+    }
+
+    #[test]
+    fn three_level_spine_balance_enforced() {
+        let t = tree();
+        let mut s = legal_three_level();
+        if let Shape::ThreeLevel { spine_sets, .. } = &mut s {
+            spine_sets[0] = 0b01; // |S*_0| = 1 != L_T = 2
+        }
+        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::UnbalancedSpineUplinks));
+    }
+
+    #[test]
+    fn three_level_remainder_spine_subset_enforced() {
+        let t = tree();
+        let mut s = legal_three_level();
+        if let Shape::ThreeLevel { rem_tree: Some(r), .. } = &mut s {
+            // Remainder L2 position 1 (in S^r? no — S^r = 0b01, so position 1
+            // needs L_T^r = 1 uplink) pointing at a spine outside S*_1.
+            r.spine_sets[1] = 0b10;
+            // Still size 1, but S*_1 = 0b11 so 0b10 ⊆ S*_1 — make parent
+            // smaller to force subset violation.
+        }
+        if let Shape::ThreeLevel { trees, spine_sets, .. } = &mut s {
+            // Shrink job: one full tree so L_T slots are 2 but give S*_1 = 0b01.
+            let _ = trees;
+            spine_sets[1] = 0b01;
+        }
+        // Now |S*_1| = 1 != L_T = 2 → unbalanced fires first; craft a pure
+        // subset violation instead:
+        let mut s = legal_three_level();
+        if let Shape::ThreeLevel { rem_tree: Some(r), .. } = &mut s {
+            r.spine_sets[0] = 0b101; // wrong size and out of group range
+        }
+        assert!(matches!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::MalformedTopologyReference(_))
+                | Err(ConditionViolation::RemainderSpineLinks)
+        ));
+    }
+
+    #[test]
+    fn three_level_remainder_too_large() {
+        let t = tree();
+        let mut s = legal_three_level();
+        if let Shape::ThreeLevel { rem_tree: Some(r), .. } = &mut s {
+            // Remainder tree with 2 full leaves = n_T nodes, not fewer.
+            r.leaves = vec![LeafId(4), LeafId(5)];
+            r.rem_leaf = None;
+            r.spine_sets = vec![0b11, 0b11];
+        }
+        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::RemainderTreeTooLarge));
+    }
+
+    #[test]
+    fn three_level_wrong_tree_size() {
+        let t = tree();
+        let mut s = legal_three_level();
+        if let Shape::ThreeLevel { trees, .. } = &mut s {
+            trees[1].leaves.pop(); // condition 1: trees must be identical
+        }
+        assert!(matches!(check_shape(&t, &s), Err(ConditionViolation::BadCount(_))));
+    }
+
+    #[test]
+    fn three_level_duplicate_pod() {
+        let t = tree();
+        let mut s = legal_three_level();
+        if let Shape::ThreeLevel { rem_tree: Some(r), .. } = &mut s {
+            r.pod = PodId(0);
+            r.leaves = vec![LeafId(0)];
+        }
+        assert!(matches!(check_shape(&t, &s), Err(ConditionViolation::DuplicateResource(_))));
+    }
+}

@@ -1,0 +1,342 @@
+//! The Jigsaw allocator — Algorithm 1 of the paper.
+//!
+//! `GET_ALLOCATION` first enumerates two-level (single-subtree) shapes
+//! `(L_T, n_L, n_L^r)` with `L_T·n_L + n_L^r = size`, trying every pod for
+//! each; if no single subtree fits, it enumerates three-level shapes
+//! `(T, n_T, n_T^r)` with `n_L | n_T` where `n_L` is pinned to the full leaf
+//! size — the restriction of §4 that simultaneously tames the search space
+//! and the external fragmentation of free nodes.
+//!
+//! Shape enumeration order is densest-first (`n_L` descending at two
+//! levels, `L_T` descending at three levels): a job is packed onto as few
+//! leaves/pods as legally possible, which keeps fully free leaves — the
+//! currency of three-level allocations — intact for future jobs.
+
+use crate::alloc::{claim_allocation, Allocation, Shape};
+use crate::allocator::Allocator;
+use crate::job::JobRequest;
+use crate::search::{find_three_level_full, find_two_level, Budget, Exclusive};
+use jigsaw_topology::{FatTree, SystemState};
+
+/// The Jigsaw job-isolating allocator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct JigsawAllocator {
+    steps: u64,
+    widest_first: bool,
+}
+
+impl JigsawAllocator {
+    /// Build a Jigsaw allocator for `tree`.
+    ///
+    /// # Panics
+    /// If `tree` is not full bandwidth: Jigsaw's guarantee — every partition
+    /// is rearrangeable non-blocking — only exists on full-bandwidth trees.
+    pub fn new(tree: &FatTree) -> Self {
+        assert!(
+            tree.is_full_bandwidth(),
+            "Jigsaw requires a full-bandwidth fat-tree (m1 == w2, m2 == w3)"
+        );
+        JigsawAllocator { steps: 0, widest_first: false }
+    }
+
+    /// Ablation constructor (DESIGN.md §6): enumerate shapes widest-first
+    /// (`n_L` ascending — jobs spread over as many leaves as possible)
+    /// instead of the default densest-first order.
+    pub fn with_widest_first_order(tree: &FatTree) -> Self {
+        let mut a = Self::new(tree);
+        a.widest_first = true;
+        a
+    }
+
+    /// The search of Algorithm 1, without committing resources. Public so
+    /// tests and the experiment harness can inspect placements.
+    pub fn find_shape(&mut self, state: &SystemState, size: u32) -> Option<Shape> {
+        let mut budget = Budget::unlimited();
+        let shape = find_jigsaw_shape_ordered(state, size, &mut budget, self.widest_first);
+        self.steps = budget.spent();
+        shape
+    }
+}
+
+impl Allocator for JigsawAllocator {
+    fn name(&self) -> &'static str {
+        "Jigsaw"
+    }
+
+    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
+        let shape = self.find_shape(state, req.size)?;
+        let alloc = Allocation::from_shape(state, req.id, req.size, 0, shape);
+        debug_assert_eq!(alloc.nodes.len() as u32, req.size, "Jigsaw guarantees N = N_r");
+        claim_allocation(state, &alloc);
+        Some(alloc)
+    }
+
+    fn last_search_steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn clone_box(&self) -> Box<dyn Allocator> {
+        Box::new(self.clone())
+    }
+}
+
+/// The shape search of Algorithm 1 in its default (densest-first) order.
+pub fn find_jigsaw_shape(state: &SystemState, size: u32, budget: &mut Budget) -> Option<Shape> {
+    find_jigsaw_shape_ordered(state, size, budget, false)
+}
+
+fn find_jigsaw_shape_ordered(
+    state: &SystemState,
+    size: u32,
+    budget: &mut Budget,
+    widest_first: bool,
+) -> Option<Shape> {
+    let tree = state.tree();
+    if size == 0 || size > state.free_node_count() {
+        return None;
+    }
+    let w = tree.nodes_per_leaf();
+    let l = tree.leaves_per_pod();
+    let p = tree.num_pods();
+
+    // Single-leaf placement: no inter-leaf traffic, no links needed, so the
+    // leaf's uplink availability is irrelevant.
+    if size <= w {
+        for leaf in tree.leaves() {
+            if state.free_nodes_on_leaf(leaf) >= size {
+                return Some(Shape::SingleLeaf { leaf, n: size });
+            }
+            budget.spend();
+        }
+    }
+
+    // Two-level (single-subtree) shapes, densest-first by default.
+    let two_level_orders: Vec<u32> = if widest_first {
+        (1..=w.min(size)).collect()
+    } else {
+        (1..=w.min(size)).rev().collect()
+    };
+    for n_l in two_level_orders {
+        let l_t = size / n_l;
+        let n_r = size % n_l;
+        if l_t == 1 && n_r == 0 {
+            continue; // single-leaf case handled above
+        }
+        if l_t + u32::from(n_r > 0) > l {
+            continue;
+        }
+        for pod in tree.pods() {
+            if state.free_nodes_in_pod(pod) < size {
+                continue;
+            }
+            if let Some(pick) = find_two_level(state, &Exclusive, pod, l_t, n_l, n_r, budget) {
+                return Some(Shape::TwoLevel {
+                    pod,
+                    n_l,
+                    leaves: pick.leaves,
+                    l2_set: pick.l2_set,
+                    rem_leaf: pick.rem_leaf.map(|(leaf, s_r)| (leaf, n_r, s_r)),
+                });
+            }
+            if budget.exhausted() {
+                return None;
+            }
+        }
+    }
+
+    // Three-level shapes with full leaves (the §4 restriction): n_L = W.
+    let three_level_orders: Vec<u32> =
+        if widest_first { (1..=l).collect() } else { (1..=l).rev().collect() };
+    for l_t in three_level_orders {
+        let n_t = l_t * w;
+        let t_full = size / n_t;
+        if t_full == 0 {
+            continue;
+        }
+        let n_rt = size % n_t;
+        let (l_rt, n_rl) = (n_rt / w, n_rt % w);
+        if t_full == 1 && n_rt == 0 {
+            continue; // a single full tree is a two-level allocation
+        }
+        if t_full + u32::from(n_rt > 0) > p {
+            continue;
+        }
+        if let Some(pick) =
+            find_three_level_full(state, &Exclusive, l_t, t_full, l_rt, n_rl, budget)
+        {
+            return Some(pick.into_shape());
+        }
+        if budget.exhausted() {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::release_allocation;
+    use crate::conditions::check_shape;
+    use jigsaw_topology::ids::JobId;
+
+    fn setup(radix: u32) -> (SystemState, JigsawAllocator) {
+        let tree = FatTree::maximal(radix).unwrap();
+        let alloc = JigsawAllocator::new(&tree);
+        (SystemState::new(tree), alloc)
+    }
+
+    #[test]
+    #[should_panic(expected = "full-bandwidth")]
+    fn rejects_tapered_trees() {
+        let params = jigsaw_topology::FatTreeParams::new(4, 2, 1, 2, 2).unwrap();
+        let _ = JigsawAllocator::new(&FatTree::new(params));
+    }
+
+    #[test]
+    fn small_job_lands_on_single_leaf_without_links() {
+        let (mut state, mut jig) = setup(8);
+        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 3)).unwrap();
+        assert!(matches!(a.shape, Shape::SingleLeaf { n: 3, .. }));
+        assert!(a.leaf_links.is_empty() && a.spine_links.is_empty());
+        assert_eq!(a.nodes.len(), 3);
+        state.assert_consistent();
+    }
+
+    #[test]
+    fn exact_node_count_always() {
+        // Fresh machine per size: Jigsaw's full-leaf restriction can
+        // legitimately reject large jobs on a fragmented machine.
+        for size in [1u32, 5, 13, 40, 100, 128] {
+            let (mut state, mut jig) = setup(8);
+            let a = jig
+                .allocate(&mut state, &JobRequest::new(JobId(size), size))
+                .unwrap_or_else(|| panic!("size {size} must fit on an empty 128-node tree"));
+            assert_eq!(a.nodes.len() as u32, size, "N = N_r for size {size}");
+            state.assert_consistent();
+        }
+        // And cumulatively with sizes that keep fitting.
+        let (mut state, mut jig) = setup(8);
+        for (i, size) in [1u32, 5, 13, 40, 64].iter().enumerate() {
+            let a = jig
+                .allocate(&mut state, &JobRequest::new(JobId(i as u32), *size))
+                .unwrap_or_else(|| panic!("size {size} must fit cumulatively"));
+            assert_eq!(a.nodes.len() as u32, *size);
+            state.assert_consistent();
+        }
+    }
+
+    #[test]
+    fn every_structured_shape_satisfies_formal_conditions() {
+        let (mut state, mut jig) = setup(8);
+        let tree = *state.tree();
+        for size in 1..=80u32 {
+            let mut s = state.clone();
+            if let Some(a) = jig.allocate(&mut s, &JobRequest::new(JobId(size), size)) {
+                check_shape(&tree, &a.shape)
+                    .unwrap_or_else(|v| panic!("size {size}: condition violated: {v}"));
+            }
+        }
+        // And on a progressively filled system.
+        let mut id = 1000;
+        loop {
+            id += 1;
+            match jig.allocate(&mut state, &JobRequest::new(JobId(id), 7)) {
+                Some(a) => {
+                    check_shape(&tree, &a.shape)
+                        .unwrap_or_else(|v| panic!("packed 7-node job violated: {v}"));
+                }
+                None => break,
+            }
+        }
+        state.assert_consistent();
+    }
+
+    #[test]
+    fn spread_small_job_over_leaves_when_no_leaf_fits() {
+        // The paper's key advantage over TA: "a small job can be spread over
+        // multiple leaves with fewer nodes".
+        let (mut state, mut jig) = setup(4); // leaves of 2 nodes
+        let tree = *state.tree();
+        // Occupy one node on every leaf of pod 0 so no leaf has 2 free.
+        for leaf in tree.leaves_of_pod(jigsaw_topology::ids::PodId(0)) {
+            state.claim_node(tree.node_at(leaf, 0), JobId(99));
+        }
+        // Fill the remaining pods completely.
+        for pod in tree.pods().skip(1) {
+            for leaf in tree.leaves_of_pod(pod) {
+                for node in tree.nodes_of_leaf(leaf) {
+                    state.claim_node(node, JobId(99));
+                }
+            }
+        }
+        let a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 2))
+            .expect("2 nodes spread over two leaves of pod 0");
+        match &a.shape {
+            Shape::TwoLevel { n_l, leaves, rem_leaf, .. } => {
+                assert_eq!(*n_l, 1);
+                assert_eq!(leaves.len(), 2);
+                assert!(rem_leaf.is_none());
+            }
+            other => panic!("expected spread two-level shape, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn three_level_used_when_no_pod_fits() {
+        let (mut state, mut jig) = setup(4); // pods of 4 nodes
+        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+        match &a.shape {
+            Shape::ThreeLevel { trees, rem_tree, .. } => {
+                assert!(trees.len() >= 2 || rem_tree.is_some());
+            }
+            other => panic!("11 of 16 nodes needs a three-level shape, got {other:?}"),
+        }
+        assert_eq!(a.nodes.len(), 11);
+        check_shape(state.tree(), &a.shape).unwrap();
+        state.assert_consistent();
+    }
+
+    #[test]
+    fn allocate_release_restores_state() {
+        let (mut state, mut jig) = setup(8);
+        let before = state.clone();
+        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 37)).unwrap();
+        assert_ne!(state, before);
+        release_allocation(&mut state, &a);
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn full_machine_job_fits_empty_machine() {
+        let (mut state, mut jig) = setup(4);
+        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 16)).unwrap();
+        assert_eq!(a.nodes.len(), 16);
+        assert_eq!(state.free_node_count(), 0);
+        check_shape(state.tree(), &a.shape).unwrap();
+    }
+
+    #[test]
+    fn refuses_oversized_and_zero_jobs() {
+        let (mut state, mut jig) = setup(4);
+        assert!(jig.allocate(&mut state, &JobRequest::new(JobId(1), 17)).is_none());
+        assert!(jig.allocate(&mut state, &JobRequest::new(JobId(1), 0)).is_none());
+    }
+
+    #[test]
+    fn isolation_between_concurrent_jobs() {
+        let (mut state, mut jig) = setup(8);
+        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 60)).unwrap();
+        let b = jig.allocate(&mut state, &JobRequest::new(JobId(2), 60)).unwrap();
+        assert!(a.is_disjoint_from(&b), "Jigsaw partitions must be disjoint");
+        state.assert_consistent();
+    }
+
+    #[test]
+    fn search_steps_reported() {
+        let (mut state, mut jig) = setup(8);
+        let _ = jig.allocate(&mut state, &JobRequest::new(JobId(1), 100));
+        assert!(jig.last_search_steps() > 0);
+    }
+}

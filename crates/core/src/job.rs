@@ -1,0 +1,46 @@
+//! Job requests as seen by allocators.
+
+use jigsaw_topology::ids::JobId;
+use serde::{Deserialize, Serialize};
+
+/// A request for an allocation, carrying everything an allocator may need.
+///
+/// `bw_tenths` is the job's average per-link bandwidth demand in tenths of
+/// GB/s; it is consulted only by the LC+S allocator (§5.2.3 of the paper
+/// notes this information is *not* available to real schedulers — LC+S is a
+/// bounding scheme). Exclusive allocators ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Identity used for ownership tagging.
+    pub id: JobId,
+    /// Number of nodes requested (`N_r`; Jigsaw guarantees `N = N_r`).
+    pub size: u32,
+    /// Per-link bandwidth demand for link-sharing schemes, tenths of GB/s.
+    pub bw_tenths: u16,
+}
+
+impl JobRequest {
+    /// A request with the default LC+S bandwidth class (1.0 GB/s).
+    pub fn new(id: JobId, size: u32) -> Self {
+        JobRequest { id, size, bw_tenths: 10 }
+    }
+
+    /// A request with an explicit bandwidth class.
+    pub fn with_bandwidth(id: JobId, size: u32, bw_tenths: u16) -> Self {
+        JobRequest { id, size, bw_tenths }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let r = JobRequest::new(JobId(3), 17);
+        assert_eq!(r.size, 17);
+        assert_eq!(r.bw_tenths, 10);
+        let r = JobRequest::with_bandwidth(JobId(3), 17, 20);
+        assert_eq!(r.bw_tenths, 20);
+    }
+}

@@ -1,0 +1,69 @@
+//! # jigsaw-core
+//!
+//! The Jigsaw job-isolating allocator for three-level fat-trees
+//! (Smith & Lowenthal, HPDC 2021) and the comparison allocators of the
+//! paper's evaluation:
+//!
+//! * [`JigsawAllocator`] — Algorithm 1 of the paper: two-level
+//!   (single-subtree) search first, then a three-level search restricted to
+//!   full leaves (except the single remainder leaf), satisfying the formal
+//!   conditions of §3.2 and therefore producing partitions that are
+//!   rearrangeable non-blocking (made executable by `jigsaw-routing`).
+//! * [`LaasAllocator`] — Links-as-a-Service: whole-leaf allocations with job
+//!   sizes rounded up to leaf multiples (internal node fragmentation).
+//! * [`TaAllocator`] — topology-aware scheduling: node-placement rules
+//!   (leaf-/pod-/machine-class jobs) without explicit link allocation.
+//! * [`LcsAllocator`] — least-constrained scheduling with fractional link
+//!   sharing, the paper's near-optimal bounding scheme.
+//! * [`BaselineAllocator`] — a traditional, network-oblivious scheduler.
+//!
+//! All allocators implement the [`Allocator`] trait over a shared
+//! [`SystemState`](jigsaw_topology::SystemState), return structured
+//! [`Allocation`]s, and can be validated against the paper's formal
+//! conditions via [`conditions::check_shape`].
+//!
+//! ```
+//! use jigsaw_core::{Allocator, JigsawAllocator, JobRequest, SchedulerKind};
+//! use jigsaw_topology::{ids::JobId, FatTree, SystemState};
+//!
+//! let tree = FatTree::maximal(16).unwrap(); // 1024 nodes
+//! let mut state = SystemState::new(tree);
+//! let mut jigsaw = JigsawAllocator::new(&tree);
+//!
+//! // Jigsaw grants exactly the requested node count on an isolated,
+//! // full-bandwidth partition.
+//! let alloc = jigsaw
+//!     .allocate(&mut state, &JobRequest::new(JobId(1), 77))
+//!     .expect("fits an empty machine");
+//! assert_eq!(alloc.nodes.len(), 77);
+//! jigsaw_core::conditions::check_shape(&tree, &alloc.shape).unwrap();
+//!
+//! // Every scheme of the paper's evaluation is one constructor away.
+//! let mut ta = SchedulerKind::Ta.make(&tree);
+//! assert!(ta.allocate(&mut state, &JobRequest::new(JobId(2), 5)).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod allocator;
+pub mod audit;
+pub mod baseline;
+pub mod conditions;
+pub mod jigsaw;
+pub mod job;
+pub mod laas;
+pub mod lcs;
+pub mod search;
+pub mod ta;
+
+pub use alloc::{Allocation, RemTree, Shape, TreeAlloc};
+pub use audit::{audit_system, AuditError};
+pub use allocator::{Allocator, SchedulerKind};
+pub use baseline::BaselineAllocator;
+pub use conditions::{check_shape, ConditionViolation};
+pub use jigsaw::JigsawAllocator;
+pub use job::JobRequest;
+pub use laas::LaasAllocator;
+pub use lcs::LcsAllocator;
+pub use ta::TaAllocator;

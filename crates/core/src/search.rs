@@ -1,0 +1,1085 @@
+//! Shared search machinery behind the condition-respecting allocators.
+//!
+//! This module implements the recursive-backtracking searches of the paper's
+//! Algorithm 1 (`FIND_L2`, `FIND_ALL_L2`, `FIND_L3`) once, parameterized
+//! over a [`LinkView`] so the same code serves:
+//!
+//! * **Jigsaw / LaaS** — exclusive link availability straight from the
+//!   [`SystemState`] masks,
+//! * **LC+S** — bandwidth-aware availability ("the link has ≥ b spare
+//!   tenths of GB/s under the 80% cap").
+//!
+//! The three-level search comes in two flavors:
+//!
+//! * [`find_three_level_full`] — Jigsaw's restriction (§4): all leaves full
+//!   except the remainder leaf. On a full-bandwidth tree a full leaf uses
+//!   *all* `M` uplinks, so condition 5's "same L2 positions in every tree"
+//!   is automatically the full set and the per-pod sub-solutions collapse to
+//!   fully-free-leaf counts; only the cross-tree spine matching (the paper's
+//!   `FIND_L3`) needs backtracking.
+//! * [`find_three_level_general`] — the least-constrained search used by
+//!   LC+S, where `n_L` may be smaller than the leaf size. Per pod we
+//!   enumerate up to a cap of two-level sub-solutions (the paper's
+//!   `FIND_ALL_L2` with a cap standing in for the 5 s wall-clock timeout),
+//!   then backtrack over (pod, sub-solution) pairs.
+
+use crate::alloc::{RemTree, Shape, TreeAlloc};
+use jigsaw_topology::bitset::{iter_mask, lowest_n_bits};
+use jigsaw_topology::ids::{L2Id, LeafId, PodId};
+use jigsaw_topology::state::mask_of;
+use jigsaw_topology::SystemState;
+
+/// How the search decides whether a link can carry the job.
+pub trait LinkView {
+    /// Bitmask of `leaf`'s uplink positions usable by the job.
+    fn leaf_avail_mask(&self, state: &SystemState, leaf: LeafId) -> u64;
+    /// Bitmask of `l2`'s spine slots usable by the job.
+    fn spine_avail_mask(&self, state: &SystemState, l2: L2Id) -> u64;
+    /// `true` iff `leaf` can serve as a *full* leaf: every node free and
+    /// every uplink usable.
+    fn is_full_leaf(&self, state: &SystemState, leaf: LeafId) -> bool;
+    /// Number of leaves in `pod` satisfying [`LinkView::is_full_leaf`].
+    fn full_leaves_in_pod(&self, state: &SystemState, pod: PodId) -> u32;
+}
+
+/// Exclusive ownership (Jigsaw, LaaS): a link is usable iff unowned and
+/// carrying no shared bandwidth.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exclusive;
+
+impl LinkView for Exclusive {
+    #[inline]
+    fn leaf_avail_mask(&self, state: &SystemState, leaf: LeafId) -> u64 {
+        // Exclude links carrying fractional bandwidth (relevant only if
+        // schemes are mixed on one state; individually harmless).
+        let mut mask = state.leaf_uplink_free_mask(leaf);
+        if mask != 0 {
+            for pos in iter_mask(mask) {
+                if state.leaf_link_bw_used(state.tree().leaf_link(leaf, pos)) != 0 {
+                    mask &= !(1 << pos);
+                }
+            }
+        }
+        mask
+    }
+
+    #[inline]
+    fn spine_avail_mask(&self, state: &SystemState, l2: L2Id) -> u64 {
+        let mut mask = state.spine_uplink_free_mask(l2);
+        if mask != 0 {
+            for slot in iter_mask(mask) {
+                if state.spine_link_bw_used(state.tree().spine_link(l2, slot)) != 0 {
+                    mask &= !(1 << slot);
+                }
+            }
+        }
+        mask
+    }
+
+    #[inline]
+    fn is_full_leaf(&self, state: &SystemState, leaf: LeafId) -> bool {
+        state.is_leaf_fully_free(leaf)
+    }
+
+    #[inline]
+    fn full_leaves_in_pod(&self, state: &SystemState, pod: PodId) -> u32 {
+        state.fully_free_leaves_in_pod(pod)
+    }
+}
+
+/// Bandwidth-aware availability (LC+S): a link is usable iff it has at
+/// least `bw_tenths` spare capacity under the cap.
+#[derive(Debug, Clone, Copy)]
+pub struct Shared {
+    /// The job's per-link demand, tenths of GB/s.
+    pub bw_tenths: u16,
+}
+
+impl LinkView for Shared {
+    fn leaf_avail_mask(&self, state: &SystemState, leaf: LeafId) -> u64 {
+        let tree = state.tree();
+        let mut mask = 0u64;
+        for pos in 0..tree.l2_per_pod() {
+            if state.leaf_link_bw_spare(tree.leaf_link(leaf, pos)) >= self.bw_tenths {
+                mask |= 1 << pos;
+            }
+        }
+        mask
+    }
+
+    fn spine_avail_mask(&self, state: &SystemState, l2: L2Id) -> u64 {
+        let tree = state.tree();
+        let mut mask = 0u64;
+        for slot in 0..tree.spines_per_group() {
+            if state.spine_link_bw_spare(tree.spine_link(l2, slot)) >= self.bw_tenths {
+                mask |= 1 << slot;
+            }
+        }
+        mask
+    }
+
+    fn is_full_leaf(&self, state: &SystemState, leaf: LeafId) -> bool {
+        state.free_nodes_on_leaf(leaf) == state.tree().nodes_per_leaf()
+            && self.leaf_avail_mask(state, leaf) == mask_of(state.tree().l2_per_pod())
+    }
+
+    fn full_leaves_in_pod(&self, state: &SystemState, pod: PodId) -> u32 {
+        state
+            .tree()
+            .leaves_of_pod(pod)
+            .filter(|&l| self.is_full_leaf(state, l))
+            .count() as u32
+    }
+}
+
+/// Deterministic search budget: the paper guards LC+S's worst-case
+/// hours-long search with a wall-clock timeout; we use a step budget so
+/// simulations stay reproducible.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    steps: u64,
+    limit: u64,
+}
+
+impl Budget {
+    /// A budget allowing `limit` backtracking steps.
+    pub fn new(limit: u64) -> Self {
+        Budget { steps: 0, limit }
+    }
+
+    /// Effectively unlimited (Jigsaw's restricted search is fast; see §6.4).
+    pub fn unlimited() -> Self {
+        Budget::new(u64::MAX)
+    }
+
+    /// A budget that has already spent `spent` steps and may spend `limit`
+    /// more (used to carry accounting across search phases).
+    pub fn resumed(spent: u64, limit: u64) -> Self {
+        Budget { steps: spent, limit: spent.saturating_add(limit) }
+    }
+
+    /// Record one step. Returns `false` once the budget is exhausted.
+    #[inline]
+    pub fn spend(&mut self) -> bool {
+        self.steps += 1;
+        self.steps <= self.limit
+    }
+
+    /// Steps spent so far.
+    pub fn spent(&self) -> u64 {
+        self.steps
+    }
+
+    /// `true` once the budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.steps > self.limit
+    }
+}
+
+/// Result of a two-level (single-pod) search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoLevelPick {
+    /// The `L_T` full leaves.
+    pub leaves: Vec<LeafId>,
+    /// The chosen common L2 position set `S`, `|S| = n_L`.
+    pub l2_set: u64,
+    /// Optional remainder leaf `(leaf, S^r)` — the node count is the
+    /// caller's `n_r`.
+    pub rem_leaf: Option<(LeafId, u64)>,
+}
+
+/// The paper's `FIND_L2`: search `pod` for `l_t` leaves with `n_l` nodes
+/// each sharing `n_l` usable uplink positions, plus (if `n_r > 0`) a
+/// remainder leaf with `n_r` nodes whose usable uplinks cover `n_r`
+/// positions of the common set.
+pub fn find_two_level<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    pod: PodId,
+    l_t: u32,
+    n_l: u32,
+    n_r: u32,
+    budget: &mut Budget,
+) -> Option<TwoLevelPick> {
+    let tree = state.tree();
+    debug_assert!(n_l >= 1 && n_r < n_l);
+    debug_assert!(l_t + u32::from(n_r > 0) <= tree.leaves_per_pod());
+
+    // Candidate full leaves: enough free nodes and enough usable uplinks.
+    let mut candidates: Vec<(LeafId, u64)> = Vec::with_capacity(tree.leaves_per_pod() as usize);
+    for leaf in tree.leaves_of_pod(pod) {
+        if state.free_nodes_on_leaf(leaf) >= n_l {
+            let mask = view.leaf_avail_mask(state, leaf);
+            if mask.count_ones() >= n_l {
+                candidates.push((leaf, mask));
+            }
+        }
+    }
+    if (candidates.len() as u32) < l_t {
+        return None;
+    }
+
+    let mut chosen: Vec<LeafId> = Vec::with_capacity(l_t as usize);
+    search_leaves(state, view, pod, &candidates, 0, mask_of(tree.l2_per_pod()), l_t, n_l, n_r, &mut chosen, budget)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_leaves<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    pod: PodId,
+    candidates: &[(LeafId, u64)],
+    idx: usize,
+    inter: u64,
+    l_t: u32,
+    n_l: u32,
+    n_r: u32,
+    chosen: &mut Vec<LeafId>,
+    budget: &mut Budget,
+) -> Option<TwoLevelPick> {
+    if chosen.len() as u32 == l_t {
+        return complete_two_level(state, view, pod, inter, n_l, n_r, chosen, budget);
+    }
+    if budget.exhausted() {
+        return None;
+    }
+    let needed = l_t as usize - chosen.len();
+    // Not enough candidates left to finish.
+    if candidates.len() - idx < needed {
+        return None;
+    }
+    for i in idx..=candidates.len() - needed {
+        if !budget.spend() {
+            return None;
+        }
+        let (leaf, mask) = candidates[i];
+        let next = inter & mask;
+        if next.count_ones() < n_l {
+            continue;
+        }
+        chosen.push(leaf);
+        if let Some(pick) =
+            search_leaves(state, view, pod, candidates, i + 1, next, l_t, n_l, n_r, chosen, budget)
+        {
+            return Some(pick);
+        }
+        chosen.pop();
+    }
+    None
+}
+
+/// Base case of the two-level search: the full leaves are fixed with common
+/// usable positions `inter`; pick `S` (and the remainder leaf if needed).
+#[allow(clippy::too_many_arguments)]
+fn complete_two_level<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    pod: PodId,
+    inter: u64,
+    n_l: u32,
+    n_r: u32,
+    chosen: &[LeafId],
+    budget: &mut Budget,
+) -> Option<TwoLevelPick> {
+    debug_assert!(inter.count_ones() >= n_l);
+    if n_r == 0 {
+        return Some(TwoLevelPick {
+            leaves: chosen.to_vec(),
+            l2_set: lowest_n_bits(inter, n_l),
+            rem_leaf: None,
+        });
+    }
+    let tree = state.tree();
+    for leaf in tree.leaves_of_pod(pod) {
+        if chosen.contains(&leaf) || state.free_nodes_on_leaf(leaf) < n_r {
+            continue;
+        }
+        if !budget.spend() {
+            return None;
+        }
+        let rem_avail = view.leaf_avail_mask(state, leaf) & inter;
+        if rem_avail.count_ones() < n_r {
+            continue;
+        }
+        // Build S to contain the remainder leaf's n_r positions, then fill
+        // with further positions from the intersection.
+        let s_r = lowest_n_bits(rem_avail, n_r);
+        let mut l2_set = s_r;
+        let fill = inter & !s_r;
+        l2_set |= lowest_n_bits(fill, n_l - n_r);
+        return Some(TwoLevelPick { leaves: chosen.to_vec(), l2_set, rem_leaf: Some((leaf, s_r)) });
+    }
+    None
+}
+
+/// Result of a three-level search, ready to become a
+/// [`Shape::ThreeLevel`].
+#[derive(Debug, Clone)]
+pub struct ThreeLevelPick {
+    /// Nodes per full leaf.
+    pub n_l: u32,
+    /// Full leaves per full tree.
+    pub l_t: u32,
+    /// The common L2 position set `S`.
+    pub l2_set: u64,
+    /// The `T` full trees.
+    pub trees: Vec<TreeAlloc>,
+    /// Per-position spine sets `S*_i`.
+    pub spine_sets: Vec<u64>,
+    /// Optional remainder tree.
+    pub rem_tree: Option<RemTree>,
+}
+
+impl ThreeLevelPick {
+    /// Convert into an allocation shape.
+    pub fn into_shape(self) -> Shape {
+        Shape::ThreeLevel {
+            n_l: self.n_l,
+            l_t: self.l_t,
+            l2_set: self.l2_set,
+            trees: self.trees,
+            spine_sets: self.spine_sets,
+            rem_tree: self.rem_tree,
+        }
+    }
+}
+
+/// Jigsaw's restricted three-level search (`FIND_L3` with full leaves, §4):
+/// find `t_full` pods contributing `l_t` fully-free leaves each, plus — if
+/// `l_rt > 0 || n_rl > 0` — a remainder pod contributing `l_rt` fully-free
+/// leaves and a remainder leaf with `n_rl` nodes, such that per L2 position
+/// the chosen pods share enough free spine uplinks (condition 6).
+///
+/// Requires a full-bandwidth tree (`W == M`): a full leaf then uses all `M`
+/// uplink positions, so `S` is the full set.
+pub fn find_three_level_full<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    l_t: u32,
+    t_full: u32,
+    l_rt: u32,
+    n_rl: u32,
+    budget: &mut Budget,
+) -> Option<ThreeLevelPick> {
+    let tree = state.tree();
+    let m = tree.l2_per_pod();
+    debug_assert!(tree.is_full_bandwidth());
+    debug_assert!(t_full >= 1);
+    debug_assert!(l_t >= 1 && l_t <= tree.leaves_per_pod());
+    // Condition 1: the remainder tree holds fewer nodes than full trees.
+    debug_assert!(l_rt < l_t, "remainder tree must be smaller than full trees");
+
+    // Candidate full pods.
+    let pods: Vec<PodId> =
+        tree.pods().filter(|&p| view.full_leaves_in_pod(state, p) >= l_t).collect();
+    if (pods.len() as u32) < t_full {
+        return None;
+    }
+
+    let inter = vec![mask_of(tree.spines_per_group()); m as usize];
+    let mut chosen: Vec<PodId> = Vec::with_capacity(t_full as usize);
+    search_pods_full(state, view, &pods, 0, inter, l_t, t_full, l_rt, n_rl, &mut chosen, budget)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_pods_full<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    pods: &[PodId],
+    idx: usize,
+    inter: Vec<u64>,
+    l_t: u32,
+    t_full: u32,
+    l_rt: u32,
+    n_rl: u32,
+    chosen: &mut Vec<PodId>,
+    budget: &mut Budget,
+) -> Option<ThreeLevelPick> {
+    let tree = state.tree();
+    if chosen.len() as u32 == t_full {
+        return complete_three_level_full(state, view, chosen, &inter, l_t, l_rt, n_rl, budget);
+    }
+    if budget.exhausted() {
+        return None;
+    }
+    let needed = t_full as usize - chosen.len();
+    if pods.len() - idx < needed {
+        return None;
+    }
+    'pods: for i in idx..=pods.len() - needed {
+        if !budget.spend() {
+            return None;
+        }
+        let pod = pods[i];
+        let mut next = inter.clone();
+        for (pos, slot_mask) in next.iter_mut().enumerate() {
+            *slot_mask &= view.spine_avail_mask(state, tree.l2_at(pod, pos as u32));
+            if slot_mask.count_ones() < l_t {
+                continue 'pods;
+            }
+        }
+        chosen.push(pod);
+        if let Some(pick) = search_pods_full(
+            state, view, pods, i + 1, next, l_t, t_full, l_rt, n_rl, chosen, budget,
+        ) {
+            return Some(pick);
+        }
+        chosen.pop();
+    }
+    None
+}
+
+/// Base case of the full-leaf three-level search: the full pods are fixed
+/// with per-position spine intersections `inter`; find the remainder pod
+/// (if any) and construct the spine sets.
+#[allow(clippy::too_many_arguments)]
+fn complete_three_level_full<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    chosen: &[PodId],
+    inter: &[u64],
+    l_t: u32,
+    l_rt: u32,
+    n_rl: u32,
+    budget: &mut Budget,
+) -> Option<ThreeLevelPick> {
+    let tree = state.tree();
+    let m = tree.l2_per_pod();
+    let n_l = tree.nodes_per_leaf();
+    let l2_set = mask_of(m);
+
+    let make_trees = |pods: &[PodId]| -> Vec<TreeAlloc> {
+        pods.iter()
+            .map(|&pod| TreeAlloc {
+                pod,
+                leaves: full_leaves(state, view, pod, l_t, None),
+            })
+            .collect()
+    };
+
+    if l_rt == 0 && n_rl == 0 {
+        let spine_sets: Vec<u64> = inter.iter().map(|&mask| lowest_n_bits(mask, l_t)).collect();
+        return Some(ThreeLevelPick {
+            n_l,
+            l_t,
+            l2_set,
+            trees: make_trees(chosen),
+            spine_sets,
+            rem_tree: None,
+        });
+    }
+
+    // Search for the remainder pod.
+    'rem: for pod in tree.pods() {
+        if chosen.contains(&pod) {
+            continue;
+        }
+        if !budget.spend() {
+            return None;
+        }
+        if view.full_leaves_in_pod(state, pod) < l_rt {
+            continue;
+        }
+        let rem_full = full_leaves(state, view, pod, l_rt, None);
+
+        // Per-position usable spine slots of the remainder pod within the
+        // intersection chosen so far.
+        let rem_spine: Vec<u64> = (0..m)
+            .map(|pos| view.spine_avail_mask(state, tree.l2_at(pod, pos)) & inter[pos as usize])
+            .collect();
+
+        // Pick the remainder leaf and its S^r positions.
+        let mut rem_leaf = None;
+        let mut s_r = 0u64;
+        if n_rl > 0 {
+            let mut found = false;
+            'leaves: for leaf in tree.leaves_of_pod(pod) {
+                if rem_full.contains(&leaf) || state.free_nodes_on_leaf(leaf) < n_rl {
+                    continue;
+                }
+                let avail = view.leaf_avail_mask(state, leaf);
+                if avail.count_ones() < n_rl {
+                    continue;
+                }
+                // S^r must be positions where the remainder pod's L2 can
+                // carry one extra spine uplink beyond l_rt.
+                let mut mask = 0u64;
+                let mut count = 0;
+                for pos in iter_mask(avail) {
+                    if rem_spine[pos as usize].count_ones() > l_rt {
+                        mask |= 1 << pos;
+                        count += 1;
+                        if count == n_rl {
+                            rem_leaf = Some((leaf, n_rl, mask));
+                            s_r = mask;
+                            found = true;
+                            break 'leaves;
+                        }
+                    }
+                }
+            }
+            if !found {
+                continue 'rem;
+            }
+        }
+
+        // Per-position feasibility for the full leaves of the remainder.
+        for pos in 0..m {
+            let need = l_rt + u32::from(s_r & (1 << pos) != 0);
+            if rem_spine[pos as usize].count_ones() < need {
+                continue 'rem;
+            }
+        }
+
+        // Construct spine sets: the remainder part first (so S*^r_i ⊆ S*_i
+        // by construction), then fill to l_t from the intersection.
+        let mut spine_sets = vec![0u64; m as usize];
+        let mut rem_sets = vec![0u64; m as usize];
+        for pos in 0..m as usize {
+            let need = l_rt + u32::from(s_r & (1 << pos) != 0);
+            let rem_part = lowest_n_bits(rem_spine[pos], need);
+            rem_sets[pos] = rem_part;
+            let fill = inter[pos] & !rem_part;
+            spine_sets[pos] = rem_part | lowest_n_bits(fill, l_t - need);
+        }
+
+        return Some(ThreeLevelPick {
+            n_l,
+            l_t,
+            l2_set,
+            trees: make_trees(chosen),
+            spine_sets,
+            rem_tree: Some(RemTree { pod, leaves: rem_full, rem_leaf, spine_sets: rem_sets }),
+        });
+    }
+    None
+}
+
+/// The first `count` full leaves of `pod`, optionally skipping one leaf.
+fn full_leaves<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    pod: PodId,
+    count: u32,
+    skip: Option<LeafId>,
+) -> Vec<LeafId> {
+    let mut out = Vec::with_capacity(count as usize);
+    for leaf in state.tree().leaves_of_pod(pod) {
+        if out.len() as u32 == count {
+            break;
+        }
+        if Some(leaf) != skip && view.is_full_leaf(state, leaf) {
+            out.push(leaf);
+        }
+    }
+    debug_assert_eq!(out.len() as u32, count, "caller verified full-leaf availability");
+    out
+}
+
+/// One per-pod sub-solution of the general three-level search.
+#[derive(Debug, Clone)]
+struct PodSolution {
+    leaves: Vec<LeafId>,
+    /// Common usable uplink positions of the chosen leaves.
+    inter: u64,
+}
+
+/// The least-constrained three-level search (LC+S): like
+/// [`find_three_level_full`] but `n_l` may be smaller than the leaf size,
+/// so the common L2 position set `S` must be discovered. Per pod, up to
+/// `per_pod_cap` sub-solutions are enumerated (the paper's `FIND_ALL_L2`)
+/// and the cross-pod combination is found by backtracking (`FIND_L3`).
+#[allow(clippy::too_many_arguments)]
+pub fn find_three_level_general<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    n_l: u32,
+    l_t: u32,
+    t_full: u32,
+    l_rt: u32,
+    n_rl: u32,
+    budget: &mut Budget,
+    per_pod_cap: usize,
+) -> Option<ThreeLevelPick> {
+    let tree = state.tree();
+    debug_assert!(t_full >= 1 && n_l >= 1);
+
+    // Enumerate sub-solutions per pod.
+    let mut solutions: Vec<(PodId, Vec<PodSolution>)> = Vec::new();
+    for pod in tree.pods() {
+        if budget.exhausted() {
+            return None;
+        }
+        let mut sltns = Vec::new();
+        collect_pod_solutions(state, view, pod, l_t, n_l, per_pod_cap, &mut sltns, budget);
+        if !sltns.is_empty() {
+            solutions.push((pod, sltns));
+        }
+    }
+    if (solutions.len() as u32) < t_full {
+        return None;
+    }
+
+    let m = tree.l2_per_pod();
+    let spine_full = mask_of(tree.spines_per_group());
+    let mut chosen: Vec<(PodId, usize)> = Vec::with_capacity(t_full as usize);
+    search_pods_general(
+        state,
+        view,
+        &solutions,
+        0,
+        mask_of(m),
+        vec![spine_full; m as usize],
+        n_l,
+        l_t,
+        t_full,
+        l_rt,
+        n_rl,
+        &mut chosen,
+        budget,
+    )
+}
+
+/// Enumerate up to `cap` two-level sub-solutions (`l_t` leaves × `n_l`
+/// nodes, no remainder) inside `pod`.
+#[allow(clippy::too_many_arguments)]
+fn collect_pod_solutions<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    pod: PodId,
+    l_t: u32,
+    n_l: u32,
+    cap: usize,
+    out: &mut Vec<PodSolution>,
+    budget: &mut Budget,
+) {
+    let tree = state.tree();
+    let mut candidates: Vec<(LeafId, u64)> = Vec::new();
+    for leaf in tree.leaves_of_pod(pod) {
+        if state.free_nodes_on_leaf(leaf) >= n_l {
+            let mask = view.leaf_avail_mask(state, leaf);
+            if mask.count_ones() >= n_l {
+                candidates.push((leaf, mask));
+            }
+        }
+    }
+    if (candidates.len() as u32) < l_t {
+        return;
+    }
+    let mut chosen = Vec::with_capacity(l_t as usize);
+    collect_rec(
+        &candidates,
+        0,
+        mask_of(tree.l2_per_pod()),
+        l_t,
+        n_l,
+        cap,
+        &mut chosen,
+        out,
+        budget,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_rec(
+    candidates: &[(LeafId, u64)],
+    idx: usize,
+    inter: u64,
+    l_t: u32,
+    n_l: u32,
+    cap: usize,
+    chosen: &mut Vec<LeafId>,
+    out: &mut Vec<PodSolution>,
+    budget: &mut Budget,
+) {
+    if out.len() >= cap || budget.exhausted() {
+        return;
+    }
+    if chosen.len() as u32 == l_t {
+        // Keep solutions with distinct intersections only — duplicates add
+        // no matching power at the L3 stage.
+        if !out.iter().any(|s| s.inter == inter) {
+            out.push(PodSolution { leaves: chosen.clone(), inter });
+        }
+        return;
+    }
+    let needed = l_t as usize - chosen.len();
+    if candidates.len() - idx < needed {
+        return;
+    }
+    for i in idx..=candidates.len() - needed {
+        if !budget.spend() {
+            return;
+        }
+        let (leaf, mask) = candidates[i];
+        let next = inter & mask;
+        if next.count_ones() < n_l {
+            continue;
+        }
+        chosen.push(leaf);
+        collect_rec(candidates, i + 1, next, l_t, n_l, cap, chosen, out, budget);
+        chosen.pop();
+        if out.len() >= cap {
+            return;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search_pods_general<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    solutions: &[(PodId, Vec<PodSolution>)],
+    idx: usize,
+    pos_cand: u64,
+    spine_inter: Vec<u64>,
+    n_l: u32,
+    l_t: u32,
+    t_full: u32,
+    l_rt: u32,
+    n_rl: u32,
+    chosen: &mut Vec<(PodId, usize)>,
+    budget: &mut Budget,
+) -> Option<ThreeLevelPick> {
+    let tree = state.tree();
+    if chosen.len() as u32 == t_full {
+        return complete_three_level_general(
+            state, view, solutions, chosen, pos_cand, &spine_inter, n_l, l_t, l_rt, n_rl, budget,
+        );
+    }
+    if budget.exhausted() {
+        return None;
+    }
+    let needed = t_full as usize - chosen.len();
+    if solutions.len() - idx < needed {
+        return None;
+    }
+    for i in idx..=solutions.len() - needed {
+        let (pod, sltns) = &solutions[i];
+        // Spine availability of this pod per position (independent of which
+        // sub-solution is used — spine links hang off the pod's L2
+        // switches, not its leaves).
+        let pod_spines: Vec<u64> = (0..tree.l2_per_pod())
+            .map(|pos| view.spine_avail_mask(state, tree.l2_at(*pod, pos)))
+            .collect();
+        for (si, sltn) in sltns.iter().enumerate() {
+            if !budget.spend() {
+                return None;
+            }
+            let next_pos = pos_cand & sltn.inter;
+            if next_pos.count_ones() < n_l {
+                continue;
+            }
+            let mut next_spine = spine_inter.clone();
+            let mut good_positions = 0;
+            for pos in iter_mask(next_pos) {
+                next_spine[pos as usize] &= pod_spines[pos as usize];
+                if next_spine[pos as usize].count_ones() >= l_t {
+                    good_positions += 1;
+                }
+            }
+            if good_positions < n_l {
+                continue;
+            }
+            chosen.push((*pod, si));
+            if let Some(pick) = search_pods_general(
+                state, view, solutions, i + 1, next_pos, next_spine, n_l, l_t, t_full, l_rt,
+                n_rl, chosen, budget,
+            ) {
+                return Some(pick);
+            }
+            chosen.pop();
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complete_three_level_general<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    solutions: &[(PodId, Vec<PodSolution>)],
+    chosen: &[(PodId, usize)],
+    pos_cand: u64,
+    spine_inter: &[u64],
+    n_l: u32,
+    l_t: u32,
+    l_rt: u32,
+    n_rl: u32,
+    budget: &mut Budget,
+) -> Option<ThreeLevelPick> {
+    let tree = state.tree();
+    let m = tree.l2_per_pod() as usize;
+
+    let lookup = |pod: PodId, si: usize| -> &PodSolution {
+        let (_, sltns) = solutions.iter().find(|(p, _)| *p == pod).expect("chosen pod");
+        &sltns[si]
+    };
+
+    // Positions usable for S: in every chosen sub-solution's intersection
+    // and with ≥ l_t common spines.
+    let usable: Vec<u32> = iter_mask(pos_cand)
+        .filter(|&pos| spine_inter[pos as usize].count_ones() >= l_t)
+        .collect();
+    if (usable.len() as u32) < n_l {
+        return None;
+    }
+
+    let no_remainder = l_rt == 0 && n_rl == 0;
+    if no_remainder {
+        let l2_set: u64 = usable.iter().take(n_l as usize).map(|&p| 1u64 << p).sum();
+        let mut spine_sets = vec![0u64; m];
+        for pos in iter_mask(l2_set) {
+            spine_sets[pos as usize] = lowest_n_bits(spine_inter[pos as usize], l_t);
+        }
+        let trees = chosen
+            .iter()
+            .map(|&(pod, si)| TreeAlloc { pod, leaves: lookup(pod, si).leaves.clone() })
+            .collect();
+        return Some(ThreeLevelPick { n_l, l_t, l2_set, trees, spine_sets, rem_tree: None });
+    }
+
+    // Remainder pod search (general shapes).
+    'rem: for pod in tree.pods() {
+        if chosen.iter().any(|&(p, _)| p == pod) {
+            continue;
+        }
+        if !budget.spend() {
+            return None;
+        }
+        let pod_spines: Vec<u64> = (0..tree.l2_per_pod())
+            .map(|pos| view.spine_avail_mask(state, tree.l2_at(pod, pos)) & spine_inter[pos as usize])
+            .collect();
+
+        // Rank usable positions by remainder-pod spine slack and keep those
+        // able to carry at least l_rt uplinks.
+        let mut ranked: Vec<u32> = usable
+            .iter()
+            .copied()
+            .filter(|&pos| pod_spines[pos as usize].count_ones() >= l_rt)
+            .collect();
+        if (ranked.len() as u32) < n_l {
+            continue 'rem;
+        }
+        ranked.sort_by_key(|&pos| std::cmp::Reverse(pod_spines[pos as usize].count_ones()));
+        ranked.truncate(n_l as usize);
+        let l2_set: u64 = ranked.iter().map(|&p| 1u64 << p).sum();
+
+        // Find l_rt full leaves (n_l nodes, uplinks covering S).
+        let mut rem_leaves = Vec::with_capacity(l_rt as usize);
+        let mut rem_leaf = None;
+        let mut s_r = 0u64;
+        for leaf in tree.leaves_of_pod(pod) {
+            if (rem_leaves.len() as u32) < l_rt
+                && state.free_nodes_on_leaf(leaf) >= n_l
+                && view.leaf_avail_mask(state, leaf) & l2_set == l2_set
+            {
+                rem_leaves.push(leaf);
+            }
+        }
+        if (rem_leaves.len() as u32) < l_rt {
+            continue 'rem;
+        }
+        if n_rl > 0 {
+            let mut found = false;
+            'leaves: for leaf in tree.leaves_of_pod(pod) {
+                if rem_leaves.contains(&leaf) || state.free_nodes_on_leaf(leaf) < n_rl {
+                    continue;
+                }
+                let avail = view.leaf_avail_mask(state, leaf) & l2_set;
+                if avail.count_ones() < n_rl {
+                    continue;
+                }
+                let mut mask = 0u64;
+                let mut count = 0;
+                for pos in iter_mask(avail) {
+                    if pod_spines[pos as usize].count_ones() > l_rt {
+                        mask |= 1 << pos;
+                        count += 1;
+                        if count == n_rl {
+                            rem_leaf = Some((leaf, n_rl, mask));
+                            s_r = mask;
+                            found = true;
+                            break 'leaves;
+                        }
+                    }
+                }
+            }
+            if !found {
+                continue 'rem;
+            }
+        }
+
+        // Construct spine sets.
+        let mut spine_sets = vec![0u64; m];
+        let mut rem_sets = vec![0u64; m];
+        for pos in iter_mask(l2_set) {
+            let need = l_rt + u32::from(s_r & (1 << pos) != 0);
+            let rem_part = lowest_n_bits(pod_spines[pos as usize], need);
+            rem_sets[pos as usize] = rem_part;
+            let fill = spine_inter[pos as usize] & !rem_part;
+            if fill.count_ones() < l_t - need {
+                continue 'rem;
+            }
+            spine_sets[pos as usize] = rem_part | lowest_n_bits(fill, l_t - need);
+        }
+
+        let trees = chosen
+            .iter()
+            .map(|&(p, si)| TreeAlloc { pod: p, leaves: lookup(p, si).leaves.clone() })
+            .collect();
+        return Some(ThreeLevelPick {
+            n_l,
+            l_t,
+            l2_set,
+            trees,
+            spine_sets,
+            rem_tree: Some(RemTree { pod, leaves: rem_leaves, rem_leaf, spine_sets: rem_sets }),
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_topology::ids::JobId;
+    use jigsaw_topology::FatTree;
+
+    fn fresh(radix: u32) -> SystemState {
+        SystemState::new(FatTree::maximal(radix).unwrap())
+    }
+
+    #[test]
+    fn two_level_on_empty_pod() {
+        let state = fresh(8); // W=4, L=4, M=4
+        let pick =
+            find_two_level(&state, &Exclusive, PodId(0), 2, 3, 2, &mut Budget::unlimited())
+                .expect("allocation exists");
+        assert_eq!(pick.leaves.len(), 2);
+        assert_eq!(pick.l2_set.count_ones(), 3);
+        let (_, s_r) = pick.rem_leaf.unwrap();
+        assert_eq!(s_r.count_ones(), 2);
+        assert_eq!(s_r & !pick.l2_set, 0, "S^r ⊆ S");
+    }
+
+    #[test]
+    fn two_level_fails_when_nodes_busy() {
+        let mut state = fresh(4); // W=2, L=2 per pod
+        for n in state.tree().nodes_of_leaf(LeafId(0)).collect::<Vec<_>>() {
+            state.claim_node(n, JobId(9));
+        }
+        // Pod 0 now has one free leaf; asking for two full leaves fails.
+        assert!(find_two_level(&state, &Exclusive, PodId(0), 2, 2, 0, &mut Budget::unlimited())
+            .is_none());
+        // One full leaf still works.
+        assert!(find_two_level(&state, &Exclusive, PodId(0), 1, 2, 0, &mut Budget::unlimited())
+            .is_some());
+    }
+
+    #[test]
+    fn two_level_respects_link_availability() {
+        let mut state = fresh(4);
+        let t = *state.tree();
+        // Take one uplink of each leaf in pod 0 (positions 0 and 1 resp.)
+        // so the two leaves share no common free position.
+        state.claim_leaf_link(t.leaf_link(LeafId(0), 0), JobId(9));
+        state.claim_leaf_link(t.leaf_link(LeafId(1), 1), JobId(9));
+        // Two leaves with 1 node each need one COMMON position — none left.
+        assert!(find_two_level(&state, &Exclusive, PodId(0), 2, 1, 0, &mut Budget::unlimited())
+            .is_none());
+        // A single leaf with 2 nodes still fits (uses its one free position
+        // ... n_l = 2 needs 2 positions though, so that fails too).
+        assert!(find_two_level(&state, &Exclusive, PodId(0), 1, 2, 0, &mut Budget::unlimited())
+            .is_none());
+        assert!(find_two_level(&state, &Exclusive, PodId(0), 1, 1, 0, &mut Budget::unlimited())
+            .is_some());
+    }
+
+    #[test]
+    fn three_level_full_on_empty_tree() {
+        let state = fresh(4); // pods of 2 leaves × 2 nodes
+        // T=2 full trees × (l_t=2 × W=2) + remainder tree (1 full leaf + 1-node leaf).
+        let pick = find_three_level_full(&state, &Exclusive, 2, 2, 1, 1, &mut Budget::unlimited())
+            .expect("allocation exists");
+        assert_eq!(pick.trees.len(), 2);
+        assert_eq!(pick.l2_set, 0b11);
+        let rem = pick.rem_tree.as_ref().unwrap();
+        assert_eq!(rem.leaves.len(), 1);
+        assert!(rem.rem_leaf.is_some());
+        // Every spine set has l_t bits; remainder subsets are consistent.
+        for pos in 0..2usize {
+            assert_eq!(pick.spine_sets[pos].count_ones(), 2);
+            assert_eq!(rem.spine_sets[pos] & !pick.spine_sets[pos], 0);
+        }
+    }
+
+    #[test]
+    fn three_level_full_respects_spine_conflicts() {
+        let mut state = fresh(4);
+        let t = *state.tree();
+        // Burn all spine uplinks at position 0 of pods 0 and 1.
+        for pod in [PodId(0), PodId(1)] {
+            for slot in 0..2 {
+                state.claim_spine_link(t.spine_link_at(pod, 0, slot), JobId(9));
+            }
+        }
+        // A 2-tree allocation needing l_t = 2 spine uplinks per position can
+        // only use pods 2 and 3 now.
+        let pick = find_three_level_full(&state, &Exclusive, 2, 2, 0, 0, &mut Budget::unlimited())
+            .expect("pods 2,3 remain");
+        let pods: Vec<_> = pick.trees.iter().map(|t| t.pod).collect();
+        assert_eq!(pods, vec![PodId(2), PodId(3)]);
+        // Asking for three trees must fail.
+        assert!(
+            find_three_level_full(&state, &Exclusive, 2, 3, 0, 0, &mut Budget::unlimited())
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn general_three_level_with_partial_leaves() {
+        let state = fresh(8); // W=4, M=4, L=4, G=4, P=8
+        // n_l = 2 (< W): least-constrained shape Jigsaw would not use.
+        let pick = find_three_level_general(
+            &state,
+            &Exclusive,
+            2,
+            3,
+            2,
+            0,
+            0,
+            &mut Budget::unlimited(),
+            8,
+        )
+        .expect("allocation exists");
+        assert_eq!(pick.n_l, 2);
+        assert_eq!(pick.l2_set.count_ones(), 2);
+        assert_eq!(pick.trees.len(), 2);
+        for tree_alloc in &pick.trees {
+            assert_eq!(tree_alloc.leaves.len(), 3);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_aborts() {
+        let state = fresh(8);
+        let mut budget = Budget::new(1);
+        let _ = find_three_level_general(&state, &Exclusive, 2, 3, 2, 1, 1, &mut budget, 8);
+        assert!(budget.exhausted() || budget.spent() <= 2);
+    }
+
+    #[test]
+    fn shared_view_sees_spare_bandwidth() {
+        let mut state = fresh(4);
+        let t = *state.tree();
+        let link = t.leaf_link(LeafId(0), 0);
+        assert!(state.try_reserve_leaf_link_bw(link, 35));
+        let heavy = Shared { bw_tenths: 10 };
+        let light = Shared { bw_tenths: 5 };
+        assert_eq!(heavy.leaf_avail_mask(&state, LeafId(0)), 0b10);
+        assert_eq!(light.leaf_avail_mask(&state, LeafId(0)), 0b11);
+        // Exclusive view treats the shared link as unavailable.
+        assert_eq!(Exclusive.leaf_avail_mask(&state, LeafId(0)), 0b10);
+    }
+}

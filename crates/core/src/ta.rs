@@ -1,0 +1,420 @@
+//! The topology-aware (TA) allocator [Jain et al. 2017], as evaluated by
+//! the paper (§5.2.2).
+//!
+//! TA never allocates links explicitly. Instead it enforces node-placement
+//! rules that make link contention impossible under *any* routing:
+//!
+//! * **leaf jobs** (≤ nodes-per-leaf) must fit on a single leaf — their
+//!   traffic never leaves the leaf crossbar — and may share leaves only
+//!   with other leaf jobs ("a job of a given type will not be able to
+//!   share leaves ... with other jobs of certain types", §5.2.2);
+//! * **pod jobs** (≤ nodes-per-pod) must fit within a single pod, and every
+//!   leaf they touch becomes exclusively theirs among pod/machine jobs —
+//!   the leaf's uplinks are implicitly reserved (the internal link
+//!   fragmentation of Fig. 2-center);
+//! * **machine jobs** (larger) may span pods, but no two machine jobs may
+//!   share a pod (both would conceivably use the pod's spine uplinks), and
+//!   they obey the same leaf exclusivity.
+//!
+//! The "must fit on a single leaf / in a single pod, if it can" rules are
+//! TA's source of external fragmentation (Fig. 2-right): a 3-node job is
+//! rejected even when 3 nodes are free, if no single leaf holds 3.
+
+use crate::alloc::{claim_allocation, release_allocation, Allocation, Shape};
+use crate::allocator::Allocator;
+use crate::job::JobRequest;
+use jigsaw_topology::ids::{LeafId, NodeId, PodId};
+use jigsaw_topology::{FatTree, SystemState};
+
+const NONE: u32 = u32::MAX;
+
+/// Job classes under TA's placement rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaClass {
+    /// Fits on one leaf; traffic never touches a link.
+    Leaf,
+    /// Fits in one pod; implicitly owns the uplinks of its leaves.
+    Pod,
+    /// Spans pods; additionally owns the spine uplinks of its pods.
+    Machine,
+}
+
+/// The TA allocator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct TaAllocator {
+    /// Pod-or-machine job implicitly owning each leaf's uplinks.
+    leaf_excl: Vec<u32>,
+    /// Number of leaf-class jobs resident on each leaf (leaf-class jobs
+    /// exclude pod/machine jobs from the leaf and vice versa).
+    leaf_small: Vec<u16>,
+    /// Machine job implicitly owning each pod's spine uplinks.
+    pod_machine: Vec<u32>,
+    nodes_per_leaf: u32,
+    nodes_per_pod: u32,
+    steps: u64,
+}
+
+impl TaAllocator {
+    /// Build a TA allocator for `tree`.
+    pub fn new(tree: &FatTree) -> Self {
+        assert!(
+            tree.is_full_bandwidth(),
+            "TA's contention-freedom argument assumes a full-bandwidth fat-tree"
+        );
+        TaAllocator {
+            leaf_excl: vec![NONE; tree.num_leaves() as usize],
+            leaf_small: vec![0; tree.num_leaves() as usize],
+            pod_machine: vec![NONE; tree.num_pods() as usize],
+            nodes_per_leaf: tree.nodes_per_leaf(),
+            nodes_per_pod: tree.nodes_per_pod(),
+            steps: 0,
+        }
+    }
+
+    /// TA's class for a job of `size` nodes.
+    pub fn classify(&self, size: u32) -> TaClass {
+        if size <= self.nodes_per_leaf {
+            TaClass::Leaf
+        } else if size <= self.nodes_per_pod {
+            TaClass::Pod
+        } else {
+            TaClass::Machine
+        }
+    }
+
+    /// `true` iff `leaf` may host nodes of a new pod/machine job: not held
+    /// by another pod/machine job and free of leaf-class jobs.
+    fn leaf_available(&self, leaf: LeafId) -> bool {
+        self.leaf_excl[leaf.idx()] == NONE && self.leaf_small[leaf.idx()] == 0
+    }
+
+    fn take_nodes(
+        &self,
+        state: &SystemState,
+        leaves: impl Iterator<Item = LeafId>,
+        size: u32,
+    ) -> (Vec<NodeId>, Vec<LeafId>) {
+        let tree = state.tree();
+        let mut nodes = Vec::with_capacity(size as usize);
+        let mut touched = Vec::new();
+        for leaf in leaves {
+            if nodes.len() as u32 == size {
+                break;
+            }
+            if state.free_nodes_on_leaf(leaf) == 0 {
+                continue;
+            }
+            let before = nodes.len();
+            for node in tree.nodes_of_leaf(leaf) {
+                if nodes.len() as u32 == size {
+                    break;
+                }
+                if state.is_node_free(node) {
+                    nodes.push(node);
+                }
+            }
+            if nodes.len() > before {
+                touched.push(leaf);
+            }
+        }
+        (nodes, touched)
+    }
+}
+
+impl Allocator for TaAllocator {
+    fn name(&self) -> &'static str {
+        "TA"
+    }
+
+    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
+        self.steps = 0;
+        if req.size == 0 {
+            return None;
+        }
+        let tree = *state.tree();
+        let (nodes, touched) = match self.classify(req.size) {
+            TaClass::Leaf => {
+                // Single leaf with enough free nodes, not held by a
+                // pod/machine job — no spreading allowed (Fig. 2-right).
+                let mut found = None;
+                for leaf in tree.leaves() {
+                    self.steps += 1;
+                    if self.leaf_excl[leaf.idx()] == NONE
+                        && state.free_nodes_on_leaf(leaf) >= req.size
+                    {
+                        found = Some(leaf);
+                        break;
+                    }
+                }
+                let leaf = found?;
+                self.leaf_small[leaf.idx()] += 1;
+                (
+                    tree.nodes_of_leaf(leaf)
+                        .filter(|&n| state.is_node_free(n))
+                        .take(req.size as usize)
+                        .collect::<Vec<_>>(),
+                    Vec::new(),
+                )
+            }
+            TaClass::Pod => {
+                // Single pod, counting only leaves not held by another
+                // pod/machine job.
+                let mut placed = None;
+                for pod in tree.pods() {
+                    self.steps += 1;
+                    let free: u32 = tree
+                        .leaves_of_pod(pod)
+                        .filter(|&l| self.leaf_available(l))
+                        .map(|l| state.free_nodes_on_leaf(l))
+                        .sum();
+                    if free >= req.size {
+                        let eligible =
+                            tree.leaves_of_pod(pod).filter(|&l| self.leaf_available(l));
+                        placed = Some(self.take_nodes(state, eligible, req.size));
+                        break;
+                    }
+                }
+                placed?
+            }
+            TaClass::Machine => {
+                // Whole machine, skipping pods already hosting a machine job
+                // and leaves held by other pod/machine jobs.
+                let eligible_pods: Vec<PodId> =
+                    tree.pods().filter(|p| self.pod_machine[p.idx()] == NONE).collect();
+                self.steps += eligible_pods.len() as u64;
+                let free: u32 = eligible_pods
+                    .iter()
+                    .flat_map(|&p| tree.leaves_of_pod(p))
+                    .filter(|&l| self.leaf_available(l))
+                    .map(|l| state.free_nodes_on_leaf(l))
+                    .sum();
+                if free < req.size {
+                    return None;
+                }
+                let eligible = eligible_pods
+                    .iter()
+                    .flat_map(|&p| tree.leaves_of_pod(p))
+                    .filter(|&l| self.leaf_available(l));
+                let picked = self.take_nodes(state, eligible, req.size);
+                // Record the pods this machine job touches.
+                let mut pods_touched: Vec<PodId> =
+                    picked.1.iter().map(|&l| tree.pod_of_leaf(l)).collect();
+                pods_touched.dedup();
+                for pod in pods_touched {
+                    self.pod_machine[pod.idx()] = req.id.0;
+                }
+                picked
+            }
+        };
+
+        debug_assert_eq!(nodes.len() as u32, req.size);
+        for leaf in touched {
+            self.leaf_excl[leaf.idx()] = req.id.0;
+        }
+        let alloc = Allocation {
+            job: req.id,
+            requested: req.size,
+            nodes,
+            leaf_links: Vec::new(),
+            spine_links: Vec::new(),
+            bw_tenths: 0,
+            shape: Shape::Unstructured,
+        };
+        claim_allocation(state, &alloc);
+        Some(alloc)
+    }
+
+    fn adopt(&mut self, state: &mut SystemState, alloc: &Allocation) {
+        let tree = *state.tree();
+        claim_allocation(state, alloc);
+        match self.classify(alloc.requested) {
+            TaClass::Leaf => {
+                if let Some(&node) = alloc.nodes.first() {
+                    self.leaf_small[tree.leaf_of_node(node).idx()] += 1;
+                }
+            }
+            TaClass::Pod => {
+                for &node in &alloc.nodes {
+                    self.leaf_excl[tree.leaf_of_node(node).idx()] = alloc.job.0;
+                }
+            }
+            TaClass::Machine => {
+                for &node in &alloc.nodes {
+                    let leaf = tree.leaf_of_node(node);
+                    self.leaf_excl[leaf.idx()] = alloc.job.0;
+                    self.pod_machine[tree.pod_of_leaf(leaf).idx()] = alloc.job.0;
+                }
+            }
+        }
+    }
+
+    fn release(&mut self, state: &mut SystemState, alloc: &Allocation) {
+        if self.classify(alloc.requested) == TaClass::Leaf {
+            if let Some(&node) = alloc.nodes.first() {
+                let leaf = state.tree().leaf_of_node(node);
+                self.leaf_small[leaf.idx()] -= 1;
+            }
+        }
+        release_allocation(state, alloc);
+        let id = alloc.job.0;
+        for slot in self.leaf_excl.iter_mut() {
+            if *slot == id {
+                *slot = NONE;
+            }
+        }
+        for slot in self.pod_machine.iter_mut() {
+            if *slot == id {
+                *slot = NONE;
+            }
+        }
+    }
+
+    fn last_search_steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn clone_box(&self) -> Box<dyn Allocator> {
+        Box::new(self.clone())
+    }
+
+    fn fresh_box(&self) -> Box<dyn Allocator> {
+        Box::new(TaAllocator {
+            leaf_excl: vec![NONE; self.leaf_excl.len()],
+            leaf_small: vec![0; self.leaf_small.len()],
+            pod_machine: vec![NONE; self.pod_machine.len()],
+            nodes_per_leaf: self.nodes_per_leaf,
+            nodes_per_pod: self.nodes_per_pod,
+            steps: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_topology::ids::JobId;
+
+    fn setup(radix: u32) -> (SystemState, TaAllocator) {
+        let tree = FatTree::maximal(radix).unwrap();
+        let ta = TaAllocator::new(&tree);
+        (SystemState::new(tree), ta)
+    }
+
+    #[test]
+    fn classes() {
+        let (_, ta) = setup(8); // leaf = 4, pod = 16
+        assert_eq!(ta.classify(4), TaClass::Leaf);
+        assert_eq!(ta.classify(5), TaClass::Pod);
+        assert_eq!(ta.classify(16), TaClass::Pod);
+        assert_eq!(ta.classify(17), TaClass::Machine);
+    }
+
+    #[test]
+    fn figure2_right_external_fragmentation() {
+        // The paper's Fig. 2-right: a 3-node job cannot be placed although
+        // 3 nodes are free, because no single leaf has 3 free nodes.
+        let (mut state, mut ta) = setup(8); // leaves of 4 nodes
+        let tree = *state.tree();
+        // Leave exactly one node free on three leaves, fill the rest.
+        for (i, leaf) in tree.leaves().enumerate() {
+            let keep_free = if i < 3 { 1 } else { 0 };
+            for node in tree.nodes_of_leaf(leaf).skip(keep_free) {
+                state.claim_node(node, JobId(99));
+            }
+        }
+        assert_eq!(state.free_node_count(), 3);
+        assert!(
+            ta.allocate(&mut state, &JobRequest::new(JobId(1), 3)).is_none(),
+            "TA must reject the spread placement Jigsaw would accept"
+        );
+    }
+
+    #[test]
+    fn pod_job_confined_to_one_pod() {
+        let (mut state, mut ta) = setup(4); // pods of 4 nodes
+        let tree = *state.tree();
+        let a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        let pods: std::collections::HashSet<_> =
+            a.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
+        assert_eq!(pods.len(), 1);
+    }
+
+    #[test]
+    fn pod_jobs_exclude_each_other_from_leaves() {
+        let (mut state, mut ta) = setup(8); // leaves of 4, pods of 16
+        // Job A: 6 nodes → pod class, touches 2 leaves of pod 0.
+        let a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 6)).unwrap();
+        // Job B: 12 nodes → pod class. Pod 0 has 10 free nodes but 2 nodes
+        // sit on a leaf A touches; eligible free = 8 < 12 → B must go to
+        // pod 1.
+        let b = ta.allocate(&mut state, &JobRequest::new(JobId(2), 12)).unwrap();
+        let tree = *state.tree();
+        let pods_b: std::collections::HashSet<_> =
+            b.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
+        assert_eq!(pods_b.len(), 1);
+        assert!(!pods_b.contains(&PodId(0)) || {
+            // If B landed in pod 0 it must not share any leaf with A.
+            let leaves_a: std::collections::HashSet<_> =
+                a.nodes.iter().map(|&n| tree.leaf_of_node(n)).collect();
+            b.nodes.iter().all(|&n| !leaves_a.contains(&tree.leaf_of_node(n)))
+        });
+    }
+
+    #[test]
+    fn class_mixing_on_a_leaf_is_forbidden() {
+        // The source of TA's external fragmentation: nodes stranded on a
+        // pod job's leaf are unusable even by leaf jobs, and vice versa.
+        let (mut state, mut ta) = setup(8);
+        let tree = *state.tree();
+        // 7-node pod job: touches leaves 0 and 1, leaving 1 free node on
+        // leaf 1 — stranded.
+        let _a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 7)).unwrap();
+        assert_eq!(state.free_nodes_on_leaf(LeafId(1)), 1);
+        let b = ta.allocate(&mut state, &JobRequest::new(JobId(2), 1)).unwrap();
+        assert_ne!(
+            tree.leaf_of_node(b.nodes[0]),
+            LeafId(1),
+            "leaf job must avoid the pod job's leaf"
+        );
+        // And a pod job avoids leaves hosting leaf jobs: put a 3-node leaf
+        // job on every remaining leaf (first-fit spreads them), leaving one
+        // stranded node per leaf.
+        for i in 0..30u32 {
+            let _ = ta.allocate(&mut state, &JobRequest::new(JobId(10 + i), 3));
+        }
+        // Plenty of free nodes remain, but no class-clean leaves.
+        assert!(state.free_node_count() >= 16, "{} free", state.free_node_count());
+        assert!(ta.allocate(&mut state, &JobRequest::new(JobId(99), 16)).is_none());
+    }
+
+    #[test]
+    fn machine_jobs_never_share_pods() {
+        let (mut state, mut ta) = setup(4); // pods of 4 nodes, 16 total
+        let tree = *state.tree();
+        // Machine job A: 6 nodes over pods 0-1.
+        let a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 6)).unwrap();
+        let pods_a: std::collections::HashSet<_> =
+            a.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
+        // Machine job B: 6 nodes; must avoid every pod A touches.
+        let b = ta.allocate(&mut state, &JobRequest::new(JobId(2), 6)).unwrap();
+        let pods_b: std::collections::HashSet<_> =
+            b.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
+        assert!(pods_a.is_disjoint(&pods_b));
+        // A third machine job cannot fit: no two machine-free pods remain.
+        assert!(ta.allocate(&mut state, &JobRequest::new(JobId(3), 6)).is_none());
+    }
+
+    #[test]
+    fn release_restores_eligibility() {
+        let (mut state, mut ta) = setup(4);
+        let a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 6)).unwrap();
+        let b = ta.allocate(&mut state, &JobRequest::new(JobId(2), 6)).unwrap();
+        assert!(ta.allocate(&mut state, &JobRequest::new(JobId(3), 6)).is_none());
+        ta.release(&mut state, &a);
+        ta.release(&mut state, &b);
+        // Eligibility fully restored.
+        let c = ta.allocate(&mut state, &JobRequest::new(JobId(3), 6)).unwrap();
+        assert_eq!(c.nodes.len(), 6);
+        state.assert_consistent();
+    }
+}

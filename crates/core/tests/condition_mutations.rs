@@ -1,0 +1,239 @@
+//! Mutation testing of the formal-conditions checker: every systematic
+//! way of breaking a legal shape must be caught — by `check_shape`
+//! directly, and (for the link-visible mutations) by the constructive
+//! router failing or producing contention.
+//!
+//! This is the executable counterpart of the *necessity* direction of the
+//! paper's Appendix A: no looser conditions suffice.
+
+use jigsaw_core::alloc::{Allocation, Shape};
+use jigsaw_core::allocator::Allocator;
+use jigsaw_core::conditions::check_shape;
+use jigsaw_core::{JigsawAllocator, JobRequest};
+use jigsaw_topology::ids::{JobId, LeafId};
+use jigsaw_topology::{FatTree, SystemState};
+
+/// A canonical legal three-level shape with remainder tree and leaf —
+/// Figure 3 of the paper, hand-built on the radix-8 machine so that the
+/// spine sets are strict subsets of each group (leaving "foreign" spines
+/// for the superset mutations to reach for).
+fn figure3_allocation() -> (FatTree, Allocation) {
+    use jigsaw_core::alloc::{RemTree, TreeAlloc};
+    use jigsaw_topology::ids::PodId;
+    let tree = FatTree::maximal(8).unwrap(); // W = M = 4, L = G = 4, P = 8
+    let state = SystemState::new(tree);
+    // T = 2 trees × (L_T = 2 leaves × n_L = 4) + remainder tree
+    // (1 full leaf + remainder leaf of 3): N = 23, |S*_i| = 2 ⊂ 4 slots.
+    let shape = Shape::ThreeLevel {
+        n_l: 4,
+        l_t: 2,
+        l2_set: 0b1111,
+        trees: vec![
+            TreeAlloc { pod: PodId(0), leaves: vec![LeafId(0), LeafId(1)] },
+            TreeAlloc { pod: PodId(1), leaves: vec![LeafId(4), LeafId(5)] },
+        ],
+        spine_sets: vec![0b0011; 4],
+        rem_tree: Some(RemTree {
+            pod: PodId(2),
+            leaves: vec![LeafId(8)],
+            rem_leaf: Some((LeafId(9), 3, 0b0111)),
+            // L_T^r = 1, +1 where the remainder leaf connects (S^r).
+            spine_sets: vec![0b0011, 0b0011, 0b0011, 0b0001],
+        }),
+    };
+    let alloc = Allocation::from_shape(&state, JobId(1), 23, 0, shape);
+    (tree, alloc)
+}
+
+/// Apply `mutate` to a fresh copy of the Figure-3 shape and assert the
+/// checker rejects it.
+fn assert_rejected(label: &str, mutate: impl FnOnce(&mut Shape)) {
+    let (tree, alloc) = figure3_allocation();
+    let mut shape = alloc.shape.clone();
+    check_shape(&tree, &shape).expect("the unmutated shape is legal");
+    mutate(&mut shape);
+    assert!(
+        check_shape(&tree, &shape).is_err(),
+        "mutation `{label}` must violate the formal conditions"
+    );
+}
+
+#[test]
+fn unbalanced_tree_sizes_rejected() {
+    // Condition 1: trees must be identical.
+    assert_rejected("drop a leaf from one full tree", |shape| {
+        if let Shape::ThreeLevel { trees, .. } = shape {
+            trees[0].leaves.pop();
+        }
+    });
+}
+
+#[test]
+fn oversized_remainder_tree_rejected() {
+    // Condition 1: n_T^r < n_T.
+    assert_rejected("grow the remainder tree to full size", |shape| {
+        if let Shape::ThreeLevel { trees, rem_tree: Some(rem), .. } = shape {
+            // Copy a full tree's leaf count into the remainder.
+            let donor_pod = rem.pod;
+            let l_t = trees[0].leaves.len();
+            let tree = FatTree::maximal(8).unwrap();
+            rem.leaves = tree.leaves_of_pod(donor_pod).take(l_t).collect();
+            rem.rem_leaf = None;
+            for set in rem.spine_sets.iter_mut() {
+                // Keep sizes consistent with a full tree so only
+                // condition 1 fires.
+                *set = 0b11;
+            }
+        }
+    });
+}
+
+#[test]
+fn tapered_l2_set_rejected() {
+    // Balance / Fig. 1-left: |S| must equal n_L.
+    assert_rejected("shrink S below n_L", |shape| {
+        if let Shape::ThreeLevel { l2_set, .. } = shape {
+            *l2_set &= !1; // drop position 0
+        }
+    });
+}
+
+#[test]
+fn unbalanced_spine_set_rejected() {
+    // Condition 6: |S*_i| must equal L_T.
+    assert_rejected("drop one spine slot at position 0", |shape| {
+        if let Shape::ThreeLevel { spine_sets, .. } = shape {
+            let low = spine_sets[0] & spine_sets[0].wrapping_neg();
+            spine_sets[0] &= !low;
+        }
+    });
+}
+
+#[test]
+fn remainder_spine_superset_rejected() {
+    // Condition 6: S*^r_i ⊆ S*_i.
+    assert_rejected("point the remainder at a foreign spine", |shape| {
+        if let Shape::ThreeLevel { spine_sets, rem_tree: Some(rem), .. } = shape {
+            let foreign = !spine_sets[0] & 0b1111;
+            assert!(foreign != 0, "test needs a spine outside S*_0");
+            let low = foreign & foreign.wrapping_neg();
+            let old_low = rem.spine_sets[0] & rem.spine_sets[0].wrapping_neg();
+            rem.spine_sets[0] = (rem.spine_sets[0] & !old_low) | low;
+        }
+    });
+}
+
+#[test]
+fn remainder_leaf_links_outside_s_rejected() {
+    // Condition 4: S^r ⊂ S.
+    assert_rejected("remainder leaf uplink outside S", |shape| {
+        if let Shape::ThreeLevel { l2_set, rem_tree: Some(rem), .. } = shape {
+            if let Some((_, _, s_r)) = &mut rem.rem_leaf {
+                let outside = !*l2_set & 0b1111;
+                if outside == 0 {
+                    // S is the full set on this machine; force the size
+                    // violation instead.
+                    *s_r |= *l2_set;
+                } else {
+                    *s_r = outside & outside.wrapping_neg();
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn remainder_leaf_as_big_as_full_rejected() {
+    // Condition 2: n_L^r < n_L.
+    assert_rejected("remainder leaf grown to n_L", |shape| {
+        if let Shape::ThreeLevel { n_l, l2_set, rem_tree: Some(rem), .. } = shape {
+            if let Some((leaf, count, s_r)) = &mut rem.rem_leaf {
+                let _ = leaf;
+                *count = *n_l;
+                *s_r = *l2_set;
+            }
+        }
+    });
+}
+
+#[test]
+fn duplicate_leaf_rejected() {
+    assert_rejected("leaf in two trees", |shape| {
+        if let Shape::ThreeLevel { trees, .. } = shape {
+            let stolen = trees[0].leaves[0];
+            // Also relocate it into the other tree's pod id space? The
+            // checker must flag either the duplicate or the wrong pod.
+            trees[1].leaves[0] = stolen;
+        }
+    });
+}
+
+#[test]
+fn two_level_mutations_rejected() {
+    let tree = FatTree::maximal(8).unwrap();
+    let mut state = SystemState::new(tree);
+    let mut jig = JigsawAllocator::new(&tree);
+    let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+    let base = alloc.shape.clone();
+    assert!(matches!(base, Shape::TwoLevel { .. }));
+    check_shape(&tree, &base).unwrap();
+
+    // Remainder as large as a full leaf.
+    let mut s = base.clone();
+    if let Shape::TwoLevel { n_l, l2_set, rem_leaf: Some((_, count, s_r)), .. } = &mut s {
+        *count = *n_l;
+        *s_r = *l2_set;
+    }
+    assert!(check_shape(&tree, &s).is_err());
+
+    // Foreign-pod leaf.
+    let mut s = base.clone();
+    if let Shape::TwoLevel { pod, leaves, .. } = &mut s {
+        let foreign_pod = (pod.0 + 1) % tree.num_pods();
+        leaves[0] = tree.leaf_at(jigsaw_topology::ids::PodId(foreign_pod), 0);
+    }
+    assert!(check_shape(&tree, &s).is_err());
+
+    // |S| too large for n_L.
+    let mut s = base;
+    if let Shape::TwoLevel { l2_set, .. } = &mut s {
+        *l2_set = 0b1111;
+    }
+    // n_l of an 11-node two-level shape on this machine is 4 with S of 4
+    // — if it already uses the full set, shrink instead.
+    if check_shape(&tree, &s).is_ok() {
+        if let Shape::TwoLevel { l2_set, .. } = &mut s {
+            *l2_set = 0b1;
+        }
+        assert!(check_shape(&tree, &s).is_err());
+    }
+}
+
+#[test]
+fn checker_accepts_all_jigsaw_output_under_heavy_packing() {
+    // Pack the machine with jobs of every residue class; every granted
+    // shape must pass.
+    let tree = FatTree::maximal(8).unwrap();
+    let mut state = SystemState::new(tree);
+    let mut jig = JigsawAllocator::new(&tree);
+    let mut granted = 0;
+    for i in 0.. {
+        let size = 1 + (i * 11) % 23;
+        match jig.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
+            Some(a) => {
+                check_shape(&tree, &a.shape).unwrap();
+                granted += 1;
+            }
+            None => break,
+        }
+    }
+    assert!(granted > 5);
+    // A leaf mutated into a different pod must be caught even on shapes
+    // fresh from the allocator.
+    let (tree, alloc) = figure3_allocation();
+    let mut shape = alloc.shape;
+    if let Shape::ThreeLevel { trees, .. } = &mut shape {
+        trees[0].leaves[0] = LeafId(tree.num_leaves() - 1);
+    }
+    assert!(check_shape(&tree, &shape).is_err());
+}

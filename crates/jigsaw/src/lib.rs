@@ -1,0 +1,65 @@
+//! # jigsaw
+//!
+//! A from-scratch reproduction of **Jigsaw: A High-Utilization,
+//! Interference-Free Job Scheduler for Fat-Tree Clusters** (Smith &
+//! Lowenthal, HPDC 2021), as a reusable Rust library.
+//!
+//! Jigsaw is a job scheduler for three-level fat-trees that allocates every
+//! job a *network-isolated* partition with *full interconnect bandwidth*
+//! (the partition is rearrangeable non-blocking) while keeping system
+//! utilization at 95–96% — removing the utilization barrier that kept
+//! earlier job-isolating schedulers (LaaS, TA) out of production.
+//!
+//! This facade re-exports the whole toolkit:
+//!
+//! * [`topology`] — fat-tree model and link-level allocation state,
+//! * [`core`] — the Jigsaw allocator plus Baseline/LaaS/TA/LC+S,
+//! * [`routing`] — D-mod-k, wraparound partition routing, and the
+//!   constructive rearrangeable-non-blocking router (the paper's theorem,
+//!   executable),
+//! * [`sim`] — discrete-event scheduling simulator with EASY backfilling,
+//! * [`traces`] — workload models, SWF parsing, Table-1 statistics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jigsaw::prelude::*;
+//!
+//! // A 1024-node cluster (maximal radix-16 fat-tree).
+//! let tree = FatTree::maximal(16).unwrap();
+//! let mut state = SystemState::new(tree);
+//! let mut scheduler = JigsawAllocator::new(&tree);
+//!
+//! // Ask for 100 nodes.
+//! let alloc = scheduler
+//!     .allocate(&mut state, &JobRequest::new(JobId(1), 100))
+//!     .expect("an empty machine fits 100 nodes");
+//! assert_eq!(alloc.nodes.len(), 100); // exactly what was asked (N = N_r)
+//!
+//! // The partition satisfies the paper's formal conditions ...
+//! jigsaw::core::conditions::check_shape(&tree, &alloc.shape).unwrap();
+//!
+//! // ... so any permutation of its nodes routes with ≤ 1 flow per link.
+//! let perm = jigsaw::routing::permutation::reversal_permutation(&alloc.nodes);
+//! let routing = jigsaw::routing::route_permutation(&tree, &alloc, &perm).unwrap();
+//! assert!(routing.max_link_load(&tree) <= 1);
+//! ```
+
+pub use jigsaw_core as core;
+pub use jigsaw_routing as routing;
+pub use jigsaw_sim as sim;
+pub use jigsaw_topology as topology;
+pub use jigsaw_traces as traces;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use jigsaw_core::{
+        Allocation, Allocator, BaselineAllocator, JigsawAllocator, JobRequest, LaasAllocator,
+        LcsAllocator, SchedulerKind, Shape, TaAllocator,
+    };
+    pub use jigsaw_routing::{CongestionMap, PartitionRouter, Route};
+    pub use jigsaw_sim::{simulate, Scenario, SimConfig, SimResult};
+    pub use jigsaw_topology::ids::{JobId, LeafId, NodeId, PodId};
+    pub use jigsaw_topology::{FatTree, FatTreeParams, SystemState};
+    pub use jigsaw_traces::{Trace, TraceJob};
+}

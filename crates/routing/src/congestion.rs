@@ -1,0 +1,200 @@
+//! Per-directed-link flow accounting.
+//!
+//! [`CongestionMap`] counts how many flows traverse every directed link,
+//! supporting the interference analyses of the paper's motivation: under
+//! Baseline scheduling with D-mod-k routing, flows of *different jobs* share
+//! links; under Jigsaw every job's traffic stays on its own links.
+
+use crate::path::{Direction, LinkUse, Route};
+use jigsaw_topology::ids::{JobId, NodeId};
+use jigsaw_topology::FatTree;
+use std::collections::HashMap;
+
+/// Flow counts per directed link.
+#[derive(Debug, Clone)]
+pub struct CongestionMap {
+    /// `[up, down]` loads per leaf↔L2 link.
+    leaf_loads: Vec<[u32; 2]>,
+    /// `[up, down]` loads per L2↔spine link.
+    spine_loads: Vec<[u32; 2]>,
+    /// Owning jobs per directed link (populated by [`CongestionMap::add_for_job`]).
+    sharers: HashMap<LinkUse, Vec<JobId>>,
+}
+
+impl CongestionMap {
+    /// An empty map for `tree`.
+    pub fn new(tree: &FatTree) -> Self {
+        CongestionMap {
+            leaf_loads: vec![[0, 0]; tree.num_leaf_links() as usize],
+            spine_loads: vec![[0, 0]; tree.num_spine_links() as usize],
+            sharers: HashMap::new(),
+        }
+    }
+
+    /// Record the flow `src → dst` on `route`.
+    pub fn add(&mut self, tree: &FatTree, src: NodeId, dst: NodeId, route: Route) {
+        for link in route.links(tree, src, dst) {
+            self.bump(link);
+        }
+    }
+
+    /// Record a flow and remember which job it belongs to, for inter-job
+    /// sharing analysis.
+    pub fn add_for_job(
+        &mut self,
+        tree: &FatTree,
+        job: JobId,
+        src: NodeId,
+        dst: NodeId,
+        route: Route,
+    ) {
+        for link in route.links(tree, src, dst) {
+            self.bump(link);
+            let sharers = self.sharers.entry(link).or_default();
+            if !sharers.contains(&job) {
+                sharers.push(job);
+            }
+        }
+    }
+
+    fn bump(&mut self, link: LinkUse) {
+        match link {
+            LinkUse::Leaf(id, dir) => self.leaf_loads[id.idx()][dir_idx(dir)] += 1,
+            LinkUse::Spine(id, dir) => self.spine_loads[id.idx()][dir_idx(dir)] += 1,
+        }
+    }
+
+    /// Load of one directed link.
+    pub fn load(&self, link: LinkUse) -> u32 {
+        match link {
+            LinkUse::Leaf(id, dir) => self.leaf_loads[id.idx()][dir_idx(dir)],
+            LinkUse::Spine(id, dir) => self.spine_loads[id.idx()][dir_idx(dir)],
+        }
+    }
+
+    /// The maximum load over all directed links.
+    pub fn max_load(&self) -> u32 {
+        let leaf = self.leaf_loads.iter().flatten().copied().max().unwrap_or(0);
+        let spine = self.spine_loads.iter().flatten().copied().max().unwrap_or(0);
+        leaf.max(spine)
+    }
+
+    /// The hottest directed link and its load.
+    pub fn hottest(&self) -> (Option<LinkUse>, u32) {
+        let mut best: (Option<LinkUse>, u32) = (None, 0);
+        for (i, loads) in self.leaf_loads.iter().enumerate() {
+            for (d, &load) in loads.iter().enumerate() {
+                if load > best.1 {
+                    best = (
+                        Some(LinkUse::Leaf(jigsaw_topology::ids::LeafLinkId(i as u32), idx_dir(d))),
+                        load,
+                    );
+                }
+            }
+        }
+        for (i, loads) in self.spine_loads.iter().enumerate() {
+            for (d, &load) in loads.iter().enumerate() {
+                if load > best.1 {
+                    best = (
+                        Some(LinkUse::Spine(jigsaw_topology::ids::SpineLinkId(i as u32), idx_dir(d))),
+                        load,
+                    );
+                }
+            }
+        }
+        best
+    }
+
+    /// Histogram of directed-link loads: `hist[l]` = number of directed
+    /// links carrying exactly `l` flows (index capped at `hist.len()-1`).
+    pub fn load_histogram(&self, max: usize) -> Vec<u32> {
+        let mut hist = vec![0u32; max + 1];
+        for loads in self.leaf_loads.iter().chain(self.spine_loads.iter()) {
+            for &l in loads {
+                hist[(l as usize).min(max)] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Number of directed links carrying flows of two or more distinct jobs
+    /// — the paper's inter-job interference in its rawest form. Requires
+    /// flows recorded via [`CongestionMap::add_for_job`].
+    pub fn interjob_shared_links(&self) -> usize {
+        self.sharers.values().filter(|jobs| jobs.len() >= 2).count()
+    }
+
+    /// Total flows recorded on links (link traversals ÷ hops are not
+    /// normalized; each directed link counts separately).
+    pub fn total_traversals(&self) -> u64 {
+        self.leaf_loads
+            .iter()
+            .chain(self.spine_loads.iter())
+            .flatten()
+            .map(|&l| l as u64)
+            .sum()
+    }
+}
+
+#[inline]
+fn dir_idx(d: Direction) -> usize {
+    match d {
+        Direction::Up => 0,
+        Direction::Down => 1,
+    }
+}
+
+#[inline]
+fn idx_dir(i: usize) -> Direction {
+    if i == 0 {
+        Direction::Up
+    } else {
+        Direction::Down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dmodk::dmodk_route;
+
+    #[test]
+    fn counts_and_histogram() {
+        let t = FatTree::maximal(4).unwrap();
+        let mut c = CongestionMap::new(&t);
+        // Two flows from the same leaf to the same destination leaf pile on
+        // the same down-link if they pick the same position.
+        c.add(&t, NodeId(0), NodeId(4), Route::ViaSpine { pos: 0, slot: 0 });
+        c.add(&t, NodeId(1), NodeId(5), Route::ViaSpine { pos: 0, slot: 0 });
+        assert_eq!(c.max_load(), 2);
+        let hist = c.load_histogram(4);
+        assert_eq!(hist[2], 4, "all four directed links on the shared path carry 2");
+        assert_eq!(c.total_traversals(), 8);
+        let (link, load) = c.hottest();
+        assert!(link.is_some());
+        assert_eq!(load, 2);
+    }
+
+    #[test]
+    fn interjob_sharing_detected() {
+        let t = FatTree::maximal(4).unwrap();
+        let mut c = CongestionMap::new(&t);
+        let r1 = dmodk_route(&t, NodeId(0), NodeId(4));
+        let r2 = dmodk_route(&t, NodeId(1), NodeId(4));
+        c.add_for_job(&t, JobId(1), NodeId(0), NodeId(4), r1);
+        c.add_for_job(&t, JobId(2), NodeId(1), NodeId(4), r2);
+        // Destination-based routing: both flows take the same down path.
+        assert!(c.interjob_shared_links() >= 1);
+    }
+
+    #[test]
+    fn same_job_sharing_is_not_interjob() {
+        let t = FatTree::maximal(4).unwrap();
+        let mut c = CongestionMap::new(&t);
+        let r1 = dmodk_route(&t, NodeId(0), NodeId(4));
+        c.add_for_job(&t, JobId(1), NodeId(0), NodeId(4), r1);
+        c.add_for_job(&t, JobId(1), NodeId(0), NodeId(4), r1);
+        assert_eq!(c.interjob_shared_links(), 0);
+        assert_eq!(c.max_load(), 2);
+    }
+}

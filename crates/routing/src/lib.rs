@@ -1,0 +1,73 @@
+//! # jigsaw-routing
+//!
+//! Routing substrate for the Jigsaw reproduction (Smith & Lowenthal,
+//! HPDC 2021):
+//!
+//! * [`dmodk`] — the static D-mod-k routing used on production fat-trees
+//!   (§2.2 of the paper): destination-based up-port selection.
+//! * [`adaptive`] — a SAR/AFAR-style reactive rebalancer (the §7
+//!   related-work family): mitigates interference, cannot bound it.
+//! * [`partition`] — Jigsaw's adjusted routing (§4, Fig. 5): D-mod-k mapped
+//!   onto an allocated partition with wraparound on remainder switches, so
+//!   traffic uses *only* links belonging to the job.
+//! * [`congestion`] — per-directed-link flow accounting, used to demonstrate
+//!   inter-job interference under Baseline scheduling and its absence under
+//!   Jigsaw.
+//! * [`flowsim`] — max-min fair bandwidth sharing: measures the
+//!   communication slowdowns of §2.2's motivation, and proves (as an
+//!   executable property) that a Jigsaw job's slowdown is independent of
+//!   its neighbors.
+//! * [`rearrange`] — the constructive content of the paper's Theorems 5/6:
+//!   given a partition satisfying the formal conditions and *any*
+//!   permutation of its nodes, compute a routing with at most one flow per
+//!   directed link (Hall-matching peeling + Birkhoff-style decomposition).
+//! * [`tables`] — materialized per-switch forwarding tables (the paper's
+//!   subnet-manager routing updates), with hop-by-hop packet walking.
+//! * [`verify`] — the necessity side (Lemmas 1–6): max-flow probes that
+//!   exhibit a congesting traffic pattern for allocations violating the
+//!   conditions.
+//! * [`permutation`] — seeded permutation/traffic-pattern generators.
+//!
+//! ```
+//! use jigsaw_core::{Allocator, JigsawAllocator, JobRequest};
+//! use jigsaw_routing::{route_permutation, PartitionRouter};
+//! use jigsaw_routing::permutation::reversal_permutation;
+//! use jigsaw_topology::{ids::JobId, FatTree, SystemState};
+//!
+//! let tree = FatTree::maximal(8).unwrap();
+//! let mut state = SystemState::new(tree);
+//! let alloc = JigsawAllocator::new(&tree)
+//!     .allocate(&mut state, &JobRequest::new(JobId(1), 30))
+//!     .unwrap();
+//!
+//! // Static wraparound routing reaches every pair over allocated links...
+//! let router = PartitionRouter::new(&tree, &alloc).unwrap();
+//! assert!(router.route(&tree, alloc.nodes[0], alloc.nodes[29]).is_some());
+//!
+//! // ...and the paper's theorem holds: any permutation routes with at
+//! // most one flow per directed link.
+//! let routing =
+//!     route_permutation(&tree, &alloc, &reversal_permutation(&alloc.nodes)).unwrap();
+//! assert!(routing.max_link_load(&tree) <= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod congestion;
+pub mod dmodk;
+pub mod flowsim;
+pub mod matching;
+pub mod partition;
+pub mod path;
+pub mod permutation;
+pub mod rearrange;
+pub mod tables;
+pub mod verify;
+
+pub use congestion::CongestionMap;
+pub use dmodk::dmodk_route;
+pub use partition::PartitionRouter;
+pub use path::{Direction, LinkUse, Route};
+pub use rearrange::{route_permutation, RearrangeError, RearrangedRouting};
+pub use tables::RoutingTables;

@@ -1,0 +1,191 @@
+//! Perfect-matching decomposition of regular bipartite multigraphs.
+//!
+//! The constructive proofs of the paper (Theorems 5 and 6) repeatedly apply
+//! Hall's Marriage Theorem to peel, from a `d`-regular bipartite multigraph
+//! (flows between leaves, or between trees), one perfect matching at a time.
+//! König's theorem guarantees a `d`-regular bipartite multigraph decomposes
+//! into exactly `d` perfect matchings; this module computes the
+//! decomposition with Kuhn's augmenting-path algorithm.
+
+/// Decompose a `d`-regular bipartite multigraph on `n` left and `n` right
+/// vertices into `d` perfect matchings.
+///
+/// `edges[i] = (left, right)`; self-loop-like edges (`left == right`) are
+/// ordinary edges of the bipartite double cover. Returns `colors` with
+/// `colors[i] ∈ [0, d)` such that every color class is a perfect matching,
+/// or `None` if the graph is not regular (every vertex must have the same
+/// degree on both sides).
+pub fn decompose_regular_bipartite(n: usize, edges: &[(u32, u32)]) -> Option<Vec<u32>> {
+    if n == 0 {
+        return if edges.is_empty() { Some(Vec::new()) } else { None };
+    }
+    if !edges.len().is_multiple_of(n) {
+        return None;
+    }
+    let d = edges.len() / n;
+
+    // Regularity check.
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    for &(l, r) in edges {
+        if l as usize >= n || r as usize >= n {
+            return None;
+        }
+        out_deg[l as usize] += 1;
+        in_deg[r as usize] += 1;
+    }
+    if out_deg.iter().any(|&x| x != d) || in_deg.iter().any(|&x| x != d) {
+        return None;
+    }
+
+    let mut colors = vec![u32::MAX; edges.len()];
+    // Adjacency of *uncolored* edges per left vertex.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::with_capacity(d); n];
+    for (i, &(l, _)) in edges.iter().enumerate() {
+        adj[l as usize].push(i);
+    }
+
+    for color in 0..d as u32 {
+        // Kuhn's algorithm: match every left vertex.
+        let mut right_match: Vec<Option<usize>> = vec![None; n]; // edge index
+        for left in 0..n {
+            let mut visited = vec![false; n];
+            let ok = kuhn_augment(left, &adj, edges, &colors, &mut right_match, &mut visited);
+            debug_assert!(ok, "regular bipartite graph must have a perfect matching (König)");
+            if !ok {
+                return None;
+            }
+        }
+        for edge in right_match.into_iter().flatten() {
+            colors[edge] = color;
+        }
+        // Drop colored edges from adjacency.
+        for list in adj.iter_mut() {
+            list.retain(|&e| colors[e] == u32::MAX);
+        }
+    }
+    debug_assert!(colors.iter().all(|&c| c != u32::MAX));
+    Some(colors)
+}
+
+fn kuhn_augment(
+    left: usize,
+    adj: &[Vec<usize>],
+    edges: &[(u32, u32)],
+    colors: &[u32],
+    right_match: &mut [Option<usize>],
+    visited: &mut [bool],
+) -> bool {
+    for &e in &adj[left] {
+        if colors[e] != u32::MAX {
+            continue;
+        }
+        let r = edges[e].1 as usize;
+        if visited[r] {
+            continue;
+        }
+        visited[r] = true;
+        let take = match right_match[r] {
+            None => true,
+            Some(old) => {
+                let old_left = edges[old].0 as usize;
+                kuhn_augment(old_left, adj, edges, colors, right_match, visited)
+            }
+        };
+        if take {
+            right_match[r] = Some(e);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn assert_valid_decomposition(n: usize, edges: &[(u32, u32)], colors: &[u32], d: usize) {
+        assert_eq!(colors.len(), edges.len());
+        for c in 0..d as u32 {
+            let class: Vec<_> =
+                edges.iter().zip(colors).filter(|(_, &cc)| cc == c).map(|(e, _)| *e).collect();
+            assert_eq!(class.len(), n, "color {c} must be a perfect matching");
+            let mut lefts = vec![false; n];
+            let mut rights = vec![false; n];
+            for (l, r) in class {
+                assert!(!lefts[l as usize], "left {l} matched twice in color {c}");
+                assert!(!rights[r as usize], "right {r} matched twice in color {c}");
+                lefts[l as usize] = true;
+                rights[r as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn identity_multigraph() {
+        // 3 vertices, 2 parallel self edges each.
+        let edges = vec![(0, 0), (0, 0), (1, 1), (1, 1), (2, 2), (2, 2)];
+        let colors = decompose_regular_bipartite(3, &edges).unwrap();
+        assert_valid_decomposition(3, &edges, &colors, 2);
+    }
+
+    #[test]
+    fn cycle_graph() {
+        // 1-regular: a single permutation.
+        let edges = vec![(0, 1), (1, 2), (2, 0)];
+        let colors = decompose_regular_bipartite(3, &edges).unwrap();
+        assert!(colors.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn complete_bipartite() {
+        // K_{3,3} is 3-regular.
+        let mut edges = Vec::new();
+        for l in 0..3u32 {
+            for r in 0..3u32 {
+                edges.push((l, r));
+            }
+        }
+        let colors = decompose_regular_bipartite(3, &edges).unwrap();
+        assert_valid_decomposition(3, &edges, &colors, 3);
+    }
+
+    #[test]
+    fn irregular_rejected() {
+        assert!(decompose_regular_bipartite(2, &[(0, 0), (0, 1)]).is_none());
+        assert!(decompose_regular_bipartite(2, &[(0, 0)]).is_none());
+        assert!(decompose_regular_bipartite(2, &[(0, 0), (0, 1), (1, 0), (5, 1)]).is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(decompose_regular_bipartite(0, &[]), Some(vec![]));
+        // 0-regular on 3 vertices.
+        assert_eq!(decompose_regular_bipartite(3, &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn random_regular_multigraphs() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 5, 9] {
+            for d in [1usize, 3, 6] {
+                // Build a d-regular multigraph as a union of d random
+                // permutations.
+                let mut edges = Vec::with_capacity(n * d);
+                for _ in 0..d {
+                    let mut perm: Vec<u32> = (0..n as u32).collect();
+                    perm.shuffle(&mut rng);
+                    for (l, &r) in perm.iter().enumerate() {
+                        edges.push((l as u32, r));
+                    }
+                }
+                edges.shuffle(&mut rng);
+                let colors = decompose_regular_bipartite(n, &edges)
+                    .unwrap_or_else(|| panic!("n={n} d={d} must decompose"));
+                assert_valid_decomposition(n, &edges, &colors, d);
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Jigsaw's adjusted static routing (§4, Fig. 5).
+//!
+//! Standard D-mod-k is unaware of a job's allocation: its first hop may use
+//! a link that belongs to another job (Fig. 5, left). Jigsaw instead maps
+//! D-mod-k onto the partition: the destination's rank within the allocation
+//! selects among the *allocated* L2 positions and spine slots, with
+//! wraparound on remainder switches — the remainder leaf owns fewer uplinks
+//! (`S^r ⊂ S`) and the remainder tree fewer spine slots (`S*^r ⊆ S*`), so
+//! indexes wrap into the smaller sets (Fig. 5, right).
+//!
+//! The result is a *static, destination-based* routing confined to the
+//! job's links: inter-job interference is structurally impossible. (Within
+//! a job, adversarial permutations can still congest a static routing; the
+//! offline routing of [`crate::rearrange`] shows a contention-free routing
+//! always exists, which is the paper's full-bandwidth guarantee.)
+
+use crate::path::Route;
+use jigsaw_core::alloc::{Allocation, Shape};
+use jigsaw_topology::bitset::iter_mask;
+use jigsaw_topology::ids::{LeafId, NodeId, PodId};
+use jigsaw_topology::FatTree;
+use std::collections::HashMap;
+
+/// Destination-based routing over one job's allocation.
+#[derive(Debug, Clone)]
+pub struct PartitionRouter {
+    /// Sorted allocated uplink positions per leaf.
+    leaf_positions: HashMap<LeafId, Vec<u32>>,
+    /// Sorted allocated spine slots per (pod, position).
+    pod_spine: HashMap<(PodId, u32), Vec<u32>>,
+    /// Rank of each node within the allocation (the "address" D-mod-k
+    /// digits are derived from).
+    rank: HashMap<NodeId, u32>,
+}
+
+impl PartitionRouter {
+    /// Build the routing tables for `alloc`.
+    ///
+    /// Returns `None` for unstructured allocations (Baseline/TA do not
+    /// adjust routing — that is precisely why they interfere or must
+    /// over-constrain placement).
+    pub fn new(tree: &FatTree, alloc: &Allocation) -> Option<Self> {
+        if matches!(alloc.shape, Shape::Unstructured) {
+            return None;
+        }
+        let mut leaf_positions: HashMap<LeafId, Vec<u32>> = HashMap::new();
+        for &link in &alloc.leaf_links {
+            leaf_positions
+                .entry(tree.leaf_of_link(link))
+                .or_default()
+                .push(tree.l2_position_of_link(link));
+        }
+        for positions in leaf_positions.values_mut() {
+            positions.sort_unstable();
+        }
+        let mut pod_spine: HashMap<(PodId, u32), Vec<u32>> = HashMap::new();
+        for &link in &alloc.spine_links {
+            let l2 = tree.l2_of_spine_link(link);
+            let spine = tree.spine_of_link(link);
+            pod_spine
+                .entry((tree.pod_of_l2(l2), tree.l2_position(l2)))
+                .or_default()
+                .push(tree.spine_slot(spine));
+        }
+        for slots in pod_spine.values_mut() {
+            slots.sort_unstable();
+        }
+        // Leaves of single-leaf-ish shapes have no links; give them the
+        // shape's S so same-pod candidates still intersect correctly (they
+        // can only be the allocation's own leaf anyway).
+        if let Shape::TwoLevel { l2_set, leaves, .. } = &alloc.shape {
+            for &leaf in leaves {
+                leaf_positions.entry(leaf).or_insert_with(|| iter_mask(*l2_set).collect());
+            }
+        }
+        let rank = alloc.nodes.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
+        Some(PartitionRouter { leaf_positions, pod_spine, rank })
+    }
+
+    /// Number of nodes this router covers.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// `true` if the covered allocation is empty (never for real jobs).
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// The route from `src` to `dst`, or `None` if either node is outside
+    /// the allocation.
+    pub fn route(&self, tree: &FatTree, src: NodeId, dst: NodeId) -> Option<Route> {
+        let dst_rank = *self.rank.get(&dst)?;
+        if !self.rank.contains_key(&src) {
+            return None;
+        }
+        let src_leaf = tree.leaf_of_node(src);
+        let dst_leaf = tree.leaf_of_node(dst);
+        if src_leaf == dst_leaf {
+            return Some(Route::Local);
+        }
+        // Candidate positions: allocated on both endpoints' leaves.
+        let empty: Vec<u32> = Vec::new();
+        let src_pos = self.leaf_positions.get(&src_leaf).unwrap_or(&empty);
+        let dst_pos = self.leaf_positions.get(&dst_leaf).unwrap_or(&empty);
+        let common: Vec<u32> =
+            src_pos.iter().copied().filter(|p| dst_pos.binary_search(p).is_ok()).collect();
+        if common.is_empty() {
+            return None;
+        }
+        let src_pod = tree.pod_of_leaf(src_leaf);
+        let dst_pod = tree.pod_of_leaf(dst_leaf);
+        if src_pod == dst_pod {
+            let pos = common[dst_rank as usize % common.len()];
+            return Some(Route::ViaL2 { pos });
+        }
+        // Cross-pod: keep positions whose spine slots intersect on both
+        // pods (wraparound into the remainder tree's smaller sets).
+        let mut viable: Vec<(u32, Vec<u32>)> = Vec::with_capacity(common.len());
+        for &pos in &common {
+            let (Some(s_slots), Some(d_slots)) =
+                (self.pod_spine.get(&(src_pod, pos)), self.pod_spine.get(&(dst_pod, pos)))
+            else {
+                continue;
+            };
+            let slots: Vec<u32> =
+                s_slots.iter().copied().filter(|s| d_slots.binary_search(s).is_ok()).collect();
+            if !slots.is_empty() {
+                viable.push((pos, slots));
+            }
+        }
+        if viable.is_empty() {
+            return None;
+        }
+        let (pos, slots) = &viable[dst_rank as usize % viable.len()];
+        // The slot digit must not depend on the source leaf (`viable.len()`
+        // varies with it): all flows converging on one L2 switch toward the
+        // same destination must take the same spine slot, or per-switch
+        // forwarding tables could not exist. Divide by the constant M.
+        let m = tree.l2_per_pod() as usize;
+        let slot = slots[(dst_rank as usize / m) % slots.len()];
+        Some(Route::ViaSpine { pos: *pos, slot })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::CongestionMap;
+    use crate::path::LinkUse;
+    use jigsaw_core::allocator::Allocator;
+    use jigsaw_core::{JigsawAllocator, JobRequest};
+    use jigsaw_topology::ids::JobId;
+    use jigsaw_topology::SystemState;
+    use std::collections::HashSet;
+
+    fn allocate(radix: u32, sizes: &[u32]) -> (FatTree, Vec<Allocation>) {
+        let tree = FatTree::maximal(radix).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let allocs = sizes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s)))
+            .collect();
+        (tree, allocs)
+    }
+
+    #[test]
+    fn all_pairs_reachable_within_allocation() {
+        let (tree, allocs) = allocate(8, &[11, 29, 37]);
+        assert_eq!(allocs.len(), 3);
+        for alloc in &allocs {
+            let router = PartitionRouter::new(&tree, alloc).unwrap();
+            for &s in &alloc.nodes {
+                for &d in &alloc.nodes {
+                    let route = router
+                        .route(&tree, s, d)
+                        .unwrap_or_else(|| panic!("no route {s}→{d} in job {}", alloc.job));
+                    // Sanity of route kind.
+                    if tree.leaf_of_node(s) == tree.leaf_of_node(d) {
+                        assert_eq!(route, Route::Local);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routes_confined_to_allocated_links() {
+        // The isolation property of Fig. 5-right: no hop leaves the job's
+        // own links.
+        let (tree, allocs) = allocate(8, &[13, 26, 50]);
+        for alloc in &allocs {
+            let router = PartitionRouter::new(&tree, alloc).unwrap();
+            let leaf_links: HashSet<_> = alloc.leaf_links.iter().copied().collect();
+            let spine_links: HashSet<_> = alloc.spine_links.iter().copied().collect();
+            for &s in &alloc.nodes {
+                for &d in &alloc.nodes {
+                    if s == d {
+                        continue;
+                    }
+                    let route = router.route(&tree, s, d).unwrap();
+                    for link in route.links(&tree, s, d) {
+                        match link {
+                            LinkUse::Leaf(id, _) => assert!(
+                                leaf_links.contains(&id),
+                                "job {} used foreign leaf link {id}",
+                                alloc.job
+                            ),
+                            LinkUse::Spine(id, _) => assert!(
+                                spine_links.contains(&id),
+                                "job {} used foreign spine link {id}",
+                                alloc.job
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_never_share_links() {
+        let (tree, allocs) = allocate(8, &[17, 23, 31, 9]);
+        assert!(allocs.len() >= 3);
+        let mut cong = CongestionMap::new(&tree);
+        for alloc in &allocs {
+            let router = PartitionRouter::new(&tree, alloc).unwrap();
+            // All-to-all within each job.
+            for &s in &alloc.nodes {
+                for &d in &alloc.nodes {
+                    if s == d {
+                        continue;
+                    }
+                    let route = router.route(&tree, s, d).unwrap();
+                    cong.add_for_job(&tree, alloc.job, s, d, route);
+                }
+            }
+        }
+        assert_eq!(
+            cong.interjob_shared_links(),
+            0,
+            "Jigsaw partitions must produce zero inter-job link sharing"
+        );
+    }
+
+    #[test]
+    fn outside_nodes_rejected() {
+        let (tree, allocs) = allocate(4, &[4]);
+        let router = PartitionRouter::new(&tree, &allocs[0]).unwrap();
+        let inside = allocs[0].nodes[0];
+        let outside = (0..tree.num_nodes())
+            .map(NodeId)
+            .find(|n| !allocs[0].nodes.contains(n))
+            .unwrap();
+        assert!(router.route(&tree, inside, outside).is_none());
+        assert!(router.route(&tree, outside, inside).is_none());
+        assert_eq!(router.len(), 4);
+        assert!(!router.is_empty());
+    }
+
+    #[test]
+    fn unstructured_allocations_have_no_router() {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut base = jigsaw_core::BaselineAllocator::new(&tree);
+        let alloc = base.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        assert!(PartitionRouter::new(&tree, &alloc).is_none());
+    }
+
+    #[test]
+    fn remainder_wraparound_reaches_remainder_leaf() {
+        // Force a shape with a remainder leaf and verify traffic to/from it
+        // wraps into S^r.
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+        let Shape::ThreeLevel { rem_tree: Some(rem), .. } = &alloc.shape else {
+            panic!("11 nodes on radix-4 must produce a remainder tree");
+        };
+        let (rem_leaf, _, _) = rem.rem_leaf.expect("and a remainder leaf");
+        let router = PartitionRouter::new(&tree, &alloc).unwrap();
+        let rem_node = alloc
+            .nodes
+            .iter()
+            .copied()
+            .find(|&n| tree.leaf_of_node(n) == rem_leaf)
+            .unwrap();
+        for &other in &alloc.nodes {
+            if other == rem_node {
+                continue;
+            }
+            assert!(router.route(&tree, other, rem_node).is_some());
+            assert!(router.route(&tree, rem_node, other).is_some());
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Route and link-use representations.
+//!
+//! A route through a three-level fat-tree is fully determined by at most two
+//! choices: the L2 position taken at the first up-hop, and — for cross-pod
+//! traffic — the spine slot taken at the second up-hop. Down-hops are forced
+//! by the destination.
+
+use jigsaw_topology::ids::{LeafLinkId, NodeId, SpineLinkId};
+use jigsaw_topology::FatTree;
+
+/// Which direction a flow traverses a (full-duplex) link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward the spines.
+    Up,
+    /// Toward the nodes.
+    Down,
+}
+
+/// One directed link traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkUse {
+    /// A leaf↔L2 link in the given direction.
+    Leaf(LeafLinkId, Direction),
+    /// An L2↔spine link in the given direction.
+    Spine(SpineLinkId, Direction),
+}
+
+/// A route between two nodes of one fat-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Same leaf (or same node): crosses only the leaf crossbar.
+    Local,
+    /// Same pod: up to the L2 switch at `pos`, down to the destination leaf.
+    ViaL2 {
+        /// L2 position within the pod.
+        pos: u32,
+    },
+    /// Cross-pod: up to L2 `pos`, up to spine `(pos, slot)`, down through
+    /// the destination pod's L2 `pos`, down to the destination leaf.
+    ViaSpine {
+        /// L2 position (== spine group).
+        pos: u32,
+        /// Spine slot within the group.
+        slot: u32,
+    },
+}
+
+impl Route {
+    /// The directed links a flow `src → dst` traverses on this route.
+    ///
+    /// # Panics
+    /// In debug builds if the route kind is inconsistent with the endpoint
+    /// placement (e.g. `Local` for nodes on different leaves).
+    pub fn links(&self, tree: &FatTree, src: NodeId, dst: NodeId) -> Vec<LinkUse> {
+        let src_leaf = tree.leaf_of_node(src);
+        let dst_leaf = tree.leaf_of_node(dst);
+        match *self {
+            Route::Local => {
+                debug_assert_eq!(src_leaf, dst_leaf, "Local route between different leaves");
+                Vec::new()
+            }
+            Route::ViaL2 { pos } => {
+                debug_assert_eq!(
+                    tree.pod_of_leaf(src_leaf),
+                    tree.pod_of_leaf(dst_leaf),
+                    "ViaL2 route between different pods"
+                );
+                debug_assert_ne!(src_leaf, dst_leaf);
+                vec![
+                    LinkUse::Leaf(tree.leaf_link(src_leaf, pos), Direction::Up),
+                    LinkUse::Leaf(tree.leaf_link(dst_leaf, pos), Direction::Down),
+                ]
+            }
+            Route::ViaSpine { pos, slot } => {
+                let src_pod = tree.pod_of_leaf(src_leaf);
+                let dst_pod = tree.pod_of_leaf(dst_leaf);
+                debug_assert_ne!(src_pod, dst_pod, "ViaSpine route within one pod");
+                vec![
+                    LinkUse::Leaf(tree.leaf_link(src_leaf, pos), Direction::Up),
+                    LinkUse::Spine(tree.spine_link_at(src_pod, pos, slot), Direction::Up),
+                    LinkUse::Spine(tree.spine_link_at(dst_pod, pos, slot), Direction::Down),
+                    LinkUse::Leaf(tree.leaf_link(dst_leaf, pos), Direction::Down),
+                ]
+            }
+        }
+    }
+
+    /// Hop count of the route (0, 2 or 4 link traversals).
+    pub fn hops(&self) -> usize {
+        match self {
+            Route::Local => 0,
+            Route::ViaL2 { .. } => 2,
+            Route::ViaSpine { .. } => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_topology::FatTree;
+
+    #[test]
+    fn local_route_has_no_links() {
+        let t = FatTree::maximal(4).unwrap();
+        let r = Route::Local;
+        assert!(r.links(&t, NodeId(0), NodeId(1)).is_empty());
+        assert_eq!(r.hops(), 0);
+    }
+
+    #[test]
+    fn via_l2_uses_two_links() {
+        let t = FatTree::maximal(4).unwrap();
+        // Nodes 0 (leaf 0) and 2 (leaf 1), both pod 0.
+        let r = Route::ViaL2 { pos: 1 };
+        let links = r.links(&t, NodeId(0), NodeId(2));
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0], LinkUse::Leaf(t.leaf_link(t.leaf_of_node(NodeId(0)), 1), Direction::Up));
+        assert_eq!(
+            links[1],
+            LinkUse::Leaf(t.leaf_link(t.leaf_of_node(NodeId(2)), 1), Direction::Down)
+        );
+    }
+
+    #[test]
+    fn via_spine_uses_four_links() {
+        let t = FatTree::maximal(4).unwrap();
+        // Nodes 0 (pod 0) and 5 (pod 1).
+        let r = Route::ViaSpine { pos: 0, slot: 1 };
+        let links = r.links(&t, NodeId(0), NodeId(5));
+        assert_eq!(links.len(), 4);
+        assert_eq!(r.hops(), 4);
+        // Both spine traversals target the same physical spine.
+        let spine_of = |lu: &LinkUse| match lu {
+            LinkUse::Spine(id, _) => t.spine_of_link(*id),
+            _ => panic!("not a spine link"),
+        };
+        assert_eq!(spine_of(&links[1]), spine_of(&links[2]));
+    }
+}

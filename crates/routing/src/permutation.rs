@@ -1,0 +1,82 @@
+//! Seeded traffic-pattern generators used by tests, benches and examples.
+
+use jigsaw_topology::ids::NodeId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random permutation of `nodes` (as `(src, dst)` flows).
+pub fn random_permutation<R: Rng>(nodes: &[NodeId], rng: &mut R) -> Vec<(NodeId, NodeId)> {
+    let mut dsts: Vec<NodeId> = nodes.to_vec();
+    dsts.shuffle(rng);
+    nodes.iter().copied().zip(dsts).collect()
+}
+
+/// The reversal permutation: node `i` sends to node `n-1-i` (a classic
+/// adversarial pattern for multistage networks).
+pub fn reversal_permutation(nodes: &[NodeId]) -> Vec<(NodeId, NodeId)> {
+    nodes.iter().copied().zip(nodes.iter().rev().copied()).collect()
+}
+
+/// A shift permutation: node `i` sends to node `(i + shift) mod n`. Shift
+/// patterns are what D-mod-k routing is provably good at [Zahavi 2010].
+pub fn shift_permutation(nodes: &[NodeId], shift: usize) -> Vec<(NodeId, NodeId)> {
+    let n = nodes.len();
+    (0..n).map(|i| (nodes[i], nodes[(i + shift) % n])).collect()
+}
+
+/// A random bijection between two disjoint node sets (all-to-all pairing of
+/// senders and receivers, the pattern of the necessity proofs).
+pub fn random_pairing<R: Rng>(
+    senders: &[NodeId],
+    receivers: &[NodeId],
+    rng: &mut R,
+) -> Vec<(NodeId, NodeId)> {
+    assert_eq!(senders.len(), receivers.len());
+    let mut dsts: Vec<NodeId> = receivers.to_vec();
+    dsts.shuffle(rng);
+    senders.iter().copied().zip(dsts).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn random_permutation_is_a_bijection() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ns = nodes(32);
+        let perm = random_permutation(&ns, &mut rng);
+        let srcs: HashSet<_> = perm.iter().map(|p| p.0).collect();
+        let dsts: HashSet<_> = perm.iter().map(|p| p.1).collect();
+        assert_eq!(srcs.len(), 32);
+        assert_eq!(dsts.len(), 32);
+    }
+
+    #[test]
+    fn reversal_and_shift() {
+        let ns = nodes(4);
+        let rev = reversal_permutation(&ns);
+        assert_eq!(rev[0], (NodeId(0), NodeId(3)));
+        assert_eq!(rev[3], (NodeId(3), NodeId(0)));
+        let sh = shift_permutation(&ns, 1);
+        assert_eq!(sh[3], (NodeId(3), NodeId(0)));
+    }
+
+    #[test]
+    fn pairing_covers_receivers() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = nodes(8);
+        let r: Vec<_> = (100..108).map(NodeId).collect();
+        let pairing = random_pairing(&s, &r, &mut rng);
+        let dsts: HashSet<_> = pairing.iter().map(|p| p.1).collect();
+        assert_eq!(dsts.len(), 8);
+        assert!(dsts.iter().all(|d| d.0 >= 100));
+    }
+}

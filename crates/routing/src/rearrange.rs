@@ -1,0 +1,564 @@
+//! Constructive rearrangeable-non-blocking routing — the executable form of
+//! the paper's Theorems 5 and 6 (Appendix A).
+//!
+//! Given an allocation satisfying the formal conditions of §3.2.2 and *any*
+//! permutation of its nodes, [`route_permutation`] produces a routing with
+//! at most one flow per directed link, confined to the allocation's links.
+//! The algorithm follows the proof:
+//!
+//! 1. **Augment** the partition to a full three-level fat-tree with
+//!    parameters `(m1, m2, m3) = (n_L, L_T, T(+1))`: virtual nodes fill the
+//!    remainder leaf, virtual leaves fill the remainder tree. Virtual nodes
+//!    send a flow to themselves.
+//! 2. **Peel leaf-level matchings** (Hall's Marriage Theorem): the flow
+//!    multigraph over leaves is `m1`-regular bipartite, so it decomposes
+//!    into `m1` perfect matchings — the proof's repeated subsets, each
+//!    routed over one center-stage network. Matchings whose remainder-leaf
+//!    flow is *real* are assigned to L2 positions in `S^r` (the proof's
+//!    Case 2), the rest to `S \ S^r` (Case 1); the self-loop structure of
+//!    virtual flows makes the counts come out exactly.
+//! 3. **Peel tree-level matchings** within each center network: the
+//!    cross-tree flow multigraph is `m2`-regular over trees and decomposes
+//!    into `m2` permutations; each gets one spine slot. Permutations whose
+//!    remainder-tree edge crosses trees take slots from `S*^r` — again the
+//!    counts match by the self-loop argument.
+//!
+//! The same code routes permutations on the *full machine* (Theorem 5):
+//! pass the whole-machine allocation.
+
+use crate::matching::decompose_regular_bipartite;
+use crate::path::{LinkUse, Route};
+use jigsaw_core::alloc::{Allocation, Shape};
+use jigsaw_topology::bitset::iter_mask;
+use jigsaw_topology::ids::{LeafId, NodeId};
+use jigsaw_topology::FatTree;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Why a permutation could not be routed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RearrangeError {
+    /// The allocation carries no structured shape (Baseline/TA).
+    Unstructured,
+    /// The flow list is not a permutation of the allocation's nodes.
+    NotAPermutation,
+    /// A matching decomposition failed — on a legal shape this cannot
+    /// happen (König's theorem); it indicates the shape violates the formal
+    /// conditions.
+    MatchingFailed(&'static str),
+    /// Spine-slot demand exceeded the allocated spine set — again
+    /// impossible on legal shapes.
+    SpineShortage {
+        /// The L2 position where slots ran out.
+        pos: u32,
+    },
+}
+
+impl fmt::Display for RearrangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RearrangeError::Unstructured => write!(f, "allocation has no network structure"),
+            RearrangeError::NotAPermutation => {
+                write!(f, "flows do not form a permutation of the allocation's nodes")
+            }
+            RearrangeError::MatchingFailed(stage) => {
+                write!(f, "matching decomposition failed at the {stage} stage")
+            }
+            RearrangeError::SpineShortage { pos } => {
+                write!(f, "not enough allocated spine slots at L2 position {pos}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RearrangeError {}
+
+/// A contention-free routing of one permutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RearrangedRouting {
+    /// `(src, dst, route)` for every real flow.
+    pub flows: Vec<(NodeId, NodeId, Route)>,
+}
+
+impl RearrangedRouting {
+    /// Maximum number of flows on any directed link (1 ⇔ contention-free).
+    pub fn max_link_load(&self, tree: &FatTree) -> u32 {
+        let mut cong = crate::congestion::CongestionMap::new(tree);
+        for &(src, dst, route) in &self.flows {
+            cong.add(tree, src, dst, route);
+        }
+        cong.max_load()
+    }
+
+    /// `true` iff every link any flow uses belongs to `alloc` — the
+    /// isolation property.
+    pub fn confined_to(&self, tree: &FatTree, alloc: &Allocation) -> bool {
+        let leaf_links: HashSet<_> = alloc.leaf_links.iter().copied().collect();
+        let spine_links: HashSet<_> = alloc.spine_links.iter().copied().collect();
+        self.flows.iter().all(|&(src, dst, route)| {
+            route.links(tree, src, dst).iter().all(|lu| match lu {
+                LinkUse::Leaf(id, _) => leaf_links.contains(id),
+                LinkUse::Spine(id, _) => spine_links.contains(id),
+            })
+        })
+    }
+}
+
+/// The augmented-partition model: abstract full fat-tree coordinates.
+struct Model {
+    m1: u32,
+    m2: u32,
+    m3: u32,
+    /// Abstract node slot → real node (None = virtual).
+    nodes: Vec<Option<NodeId>>,
+    /// Abstract leaf index of the remainder leaf, if any.
+    rem_leaf: Option<usize>,
+    /// Abstract tree index of the remainder tree, if any.
+    rem_tree: Option<usize>,
+    /// Sorted positions of `S` and `S^r`.
+    s_sorted: Vec<u32>,
+    s_r: u64,
+    /// Spine sets per real position (full trees / remainder tree).
+    spine_sets: Vec<u64>,
+    rem_spine_sets: Vec<u64>,
+}
+
+impl Model {
+    fn build(alloc: &Allocation) -> Result<Option<Model>, RearrangeError> {
+        let shape = &alloc.shape;
+        match shape {
+            Shape::Unstructured => return Err(RearrangeError::Unstructured),
+            Shape::SingleLeaf { .. } => return Ok(None), // all flows are Local
+            _ => {}
+        }
+        // Walk alloc.nodes leaf by leaf, mirroring Allocation::from_shape.
+        let occupancy = shape.leaf_occupancy();
+        debug_assert_eq!(
+            occupancy.iter().map(|&(_, c)| c).sum::<u32>() as usize,
+            alloc.nodes.len()
+        );
+        let mut node_chunks: HashMap<LeafId, Vec<NodeId>> = HashMap::new();
+        let mut cursor = 0usize;
+        for &(leaf, count) in &occupancy {
+            node_chunks.insert(leaf, alloc.nodes[cursor..cursor + count as usize].to_vec());
+            cursor += count as usize;
+        }
+
+        match shape {
+            Shape::Unstructured | Shape::SingleLeaf { .. } => unreachable!("handled above"),
+            Shape::TwoLevel { pod, n_l, leaves, l2_set, rem_leaf } => {
+                let m1 = *n_l;
+                let m2 = leaves.len() as u32 + u32::from(rem_leaf.is_some());
+                let mut n_abstract_leaves = leaves.len();
+                let mut nodes: Vec<Option<NodeId>> = Vec::with_capacity((m1 * m2) as usize);
+                for &leaf in leaves {
+                    nodes.extend(node_chunks[&leaf].iter().map(|&n| Some(n)));
+                }
+                let mut rem_abstract = None;
+                let mut s_r = 0u64;
+                if let Some((leaf, n_r, s_r_mask)) = rem_leaf {
+                    rem_abstract = Some(n_abstract_leaves);
+                    n_abstract_leaves += 1;
+                    nodes.extend(node_chunks[leaf].iter().map(|&n| Some(n)));
+                    nodes.extend(std::iter::repeat_n(None, (m1 - n_r) as usize));
+                    s_r = *s_r_mask;
+                }
+                let _ = n_abstract_leaves;
+                let _ = pod;
+                Ok(Some(Model {
+                    m1,
+                    m2,
+                    m3: 1,
+                    nodes,
+                    rem_leaf: rem_abstract,
+                    rem_tree: None,
+                    s_sorted: iter_mask(*l2_set).collect(),
+                    s_r,
+                    spine_sets: Vec::new(),
+                    rem_spine_sets: Vec::new(),
+                }))
+            }
+            Shape::ThreeLevel { n_l, l_t, l2_set, trees, spine_sets, rem_tree } => {
+                let m1 = *n_l;
+                let m2 = *l_t;
+                let m3 = trees.len() as u32 + u32::from(rem_tree.is_some());
+                let mut n_abstract_leaves = 0usize;
+                let mut n_trees = 0usize;
+                let mut nodes: Vec<Option<NodeId>> = Vec::new();
+                for t in trees {
+                    n_trees += 1;
+                    for &leaf in &t.leaves {
+                        n_abstract_leaves += 1;
+                        nodes.extend(node_chunks[&leaf].iter().map(|&n| Some(n)));
+                    }
+                }
+                let mut rem_leaf_abstract = None;
+                let mut rem_tree_abstract = None;
+                let mut s_r = 0u64;
+                let mut rem_spines = Vec::new();
+                if let Some(rem) = rem_tree {
+                    rem_tree_abstract = Some(n_trees);
+                    for &leaf in &rem.leaves {
+                        n_abstract_leaves += 1;
+                        nodes.extend(node_chunks[&leaf].iter().map(|&n| Some(n)));
+                    }
+                    let mut used = rem.leaves.len() as u32;
+                    if let Some((leaf, n_r, s_r_mask)) = rem.rem_leaf {
+                        rem_leaf_abstract = Some(n_abstract_leaves);
+                        n_abstract_leaves += 1;
+                        nodes.extend(node_chunks[&leaf].iter().map(|&n| Some(n)));
+                        nodes.extend(std::iter::repeat_n(None, (m1 - n_r) as usize));
+                        s_r = s_r_mask;
+                        used += 1;
+                    }
+                    // Virtual leaves pad the remainder tree to L_T.
+                    for _ in used..m2 {
+                        nodes.extend(std::iter::repeat_n(None, m1 as usize));
+                    }
+                    rem_spines = rem.spine_sets.clone();
+                }
+                let _ = n_abstract_leaves;
+                Ok(Some(Model {
+                    m1,
+                    m2,
+                    m3,
+                    nodes,
+                    rem_leaf: rem_leaf_abstract,
+                    rem_tree: rem_tree_abstract,
+                    s_sorted: iter_mask(*l2_set).collect(),
+                    s_r,
+                    spine_sets: spine_sets.clone(),
+                    rem_spine_sets: rem_spines,
+                }))
+            }
+        }
+    }
+
+    #[inline]
+    fn leaf_of(&self, v: usize) -> usize {
+        v / self.m1 as usize
+    }
+
+    #[inline]
+    fn tree_of(&self, v: usize) -> usize {
+        v / (self.m1 * self.m2) as usize
+    }
+}
+
+/// Route an arbitrary permutation of `alloc`'s nodes with at most one flow
+/// per directed link, confined to `alloc`'s links. See the module docs.
+///
+/// `perm` is the list of flows `(src, dst)`; it must use every node of the
+/// allocation exactly once as a source and exactly once as a destination.
+pub fn route_permutation(
+    _tree: &FatTree,
+    alloc: &Allocation,
+    perm: &[(NodeId, NodeId)],
+) -> Result<RearrangedRouting, RearrangeError> {
+    // Validate the permutation.
+    let node_set: HashSet<NodeId> = alloc.nodes.iter().copied().collect();
+    if perm.len() != node_set.len() {
+        return Err(RearrangeError::NotAPermutation);
+    }
+    let mut srcs = HashSet::with_capacity(perm.len());
+    let mut dsts = HashSet::with_capacity(perm.len());
+    for &(s, d) in perm {
+        if !node_set.contains(&s) || !node_set.contains(&d) || !srcs.insert(s) || !dsts.insert(d)
+        {
+            return Err(RearrangeError::NotAPermutation);
+        }
+    }
+
+    let Some(model) = Model::build(alloc)? else {
+        // Single leaf: everything is crossbar-local.
+        return Ok(RearrangedRouting {
+            flows: perm.iter().map(|&(s, d)| (s, d, Route::Local)).collect(),
+        });
+    };
+
+    // Abstract permutation: real flows plus virtual identities.
+    let abs_of: HashMap<NodeId, usize> = model
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| n.map(|id| (id, i)))
+        .collect();
+    let total = model.nodes.len();
+    let mut abs_perm: Vec<usize> = (0..total).collect();
+    for &(s, d) in perm {
+        abs_perm[abs_of[&s]] = abs_of[&d];
+    }
+
+    // --- Stage 1: leaf-level decomposition into m1 rounds. -----------------
+    let n_leaves = (model.m2 * model.m3) as usize;
+    let leaf_edges: Vec<(u32, u32)> = abs_perm
+        .iter()
+        .enumerate()
+        .map(|(s, &d)| (model.leaf_of(s) as u32, model.leaf_of(d) as u32))
+        .collect();
+    let rounds = decompose_regular_bipartite(n_leaves, &leaf_edges)
+        .ok_or(RearrangeError::MatchingFailed("leaf"))?;
+
+    // Map rounds to L2 positions: rounds whose remainder-leaf out-flow is
+    // real go to S^r (proof Case 2), others to S \ S^r (Case 1).
+    let m1 = model.m1 as usize;
+    let mut round_pos = vec![0u32; m1];
+    if let Some(rl) = model.rem_leaf {
+        let mut real_rounds = Vec::new();
+        let mut virt_rounds = Vec::new();
+        let mut seen = vec![false; m1];
+        for (v, &r) in rounds.iter().enumerate() {
+            if model.leaf_of(v) == rl {
+                debug_assert!(!seen[r as usize], "one out-flow per leaf per round");
+                seen[r as usize] = true;
+                if model.nodes[v].is_some() {
+                    real_rounds.push(r);
+                } else {
+                    virt_rounds.push(r);
+                }
+            }
+        }
+        real_rounds.sort_unstable();
+        virt_rounds.sort_unstable();
+        let s_r_sorted: Vec<u32> = iter_mask(model.s_r).collect();
+        let s_other: Vec<u32> =
+            model.s_sorted.iter().copied().filter(|&p| model.s_r & (1 << p) == 0).collect();
+        if real_rounds.len() != s_r_sorted.len() || virt_rounds.len() != s_other.len() {
+            return Err(RearrangeError::MatchingFailed("remainder-leaf round count"));
+        }
+        for (&r, &p) in real_rounds.iter().zip(&s_r_sorted) {
+            round_pos[r as usize] = p;
+        }
+        for (&r, &p) in virt_rounds.iter().zip(&s_other) {
+            round_pos[r as usize] = p;
+        }
+    } else {
+        if model.s_sorted.len() != m1 {
+            return Err(RearrangeError::MatchingFailed("|S| != n_L"));
+        }
+        for (r, &p) in model.s_sorted.iter().enumerate() {
+            round_pos[r] = p;
+        }
+    }
+
+    // --- Stage 2: per-round tree-level decomposition into m2 colors. -------
+    // flows[v] gets (round, spine slot or None).
+    let mut slot_of_flow: Vec<Option<u32>> = vec![None; total];
+    if model.m3 > 1 {
+        let m3 = model.m3 as usize;
+        for round in 0..m1 as u32 {
+            let flow_ids: Vec<usize> =
+                (0..total).filter(|&v| rounds[v] == round).collect();
+            let tree_edges: Vec<(u32, u32)> = flow_ids
+                .iter()
+                .map(|&v| (model.tree_of(v) as u32, model.tree_of(abs_perm[v]) as u32))
+                .collect();
+            let colors = decompose_regular_bipartite(m3, &tree_edges)
+                .ok_or(RearrangeError::MatchingFailed("tree"))?;
+
+            let pos = round_pos[round as usize];
+            // Colors whose remainder-tree edge crosses trees need slots
+            // from S*^r; everything else takes the leftovers of S*.
+            let m2 = model.m2 as usize;
+            let mut needs_rem = vec![false; m2];
+            if let Some(rt) = model.rem_tree {
+                for (i, &v) in flow_ids.iter().enumerate() {
+                    let (src_t, dst_t) = (model.tree_of(v), model.tree_of(abs_perm[v]));
+                    if (src_t == rt || dst_t == rt) && src_t != dst_t {
+                        needs_rem[colors[i] as usize] = true;
+                    }
+                }
+            }
+            let full_set = model.spine_sets[pos as usize];
+            let rem_set = if model.rem_tree.is_some() {
+                model.rem_spine_sets[pos as usize]
+            } else {
+                0
+            };
+            let mut color_slot = vec![u32::MAX; m2];
+            let mut rem_slots = iter_mask(rem_set);
+            let mut other_slots = iter_mask(full_set & !rem_set);
+            for (c, slot) in color_slot.iter_mut().enumerate() {
+                if needs_rem[c] {
+                    *slot = rem_slots.next().ok_or(RearrangeError::SpineShortage { pos })?;
+                }
+            }
+            // Remaining colors: leftover rem slots first, then the rest.
+            for (c, slot) in color_slot.iter_mut().enumerate() {
+                if !needs_rem[c] {
+                    *slot = rem_slots
+                        .next()
+                        .or_else(|| other_slots.next())
+                        .ok_or(RearrangeError::SpineShortage { pos })?;
+                }
+            }
+            for (i, &v) in flow_ids.iter().enumerate() {
+                slot_of_flow[v] = Some(color_slot[colors[i] as usize]);
+            }
+        }
+    }
+
+    // --- Assemble real routes. ---------------------------------------------
+    let mut flows = Vec::with_capacity(perm.len());
+    for (v, &d) in abs_perm.iter().enumerate() {
+        let (Some(src), Some(dst)) = (model.nodes[v], model.nodes[d]) else {
+            debug_assert_eq!(
+                model.nodes[v].is_some(),
+                model.nodes[d].is_some(),
+                "virtual flows are self-flows"
+            );
+            continue;
+        };
+        let src_leaf = model.leaf_of(v);
+        let dst_leaf = model.leaf_of(d);
+        let route = if src_leaf == dst_leaf {
+            Route::Local
+        } else {
+            let pos = round_pos[rounds[v] as usize];
+            if model.tree_of(v) == model.tree_of(d) {
+                Route::ViaL2 { pos }
+            } else {
+                let slot = slot_of_flow[v].expect("cross-tree flow has a slot");
+                Route::ViaSpine { pos, slot }
+            }
+        };
+        flows.push((src, dst, route));
+    }
+    Ok(RearrangedRouting { flows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permutation::{random_permutation, reversal_permutation};
+    use jigsaw_core::allocator::Allocator;
+    use jigsaw_core::{JigsawAllocator, JobRequest};
+    use jigsaw_topology::ids::JobId;
+    use jigsaw_topology::SystemState;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Whole-machine allocation via Jigsaw (Theorem 5: the full fat-tree).
+    fn whole_machine(radix: u32) -> (FatTree, Allocation) {
+        let tree = FatTree::maximal(radix).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let alloc = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), tree.num_nodes()))
+            .expect("whole machine fits");
+        (tree, alloc)
+    }
+
+    #[test]
+    fn theorem5_full_tree_is_rearrangeable() {
+        let (tree, alloc) = whole_machine(4);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let perm = random_permutation(&alloc.nodes, &mut rng);
+            let routing = route_permutation(&tree, &alloc, &perm).expect("must route");
+            assert_eq!(routing.max_link_load(&tree), 1, "one flow per directed link");
+            assert_eq!(routing.flows.len(), alloc.nodes.len());
+        }
+    }
+
+    #[test]
+    fn theorem5_on_radix8() {
+        let (tree, alloc) = whole_machine(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let perm = random_permutation(&alloc.nodes, &mut rng);
+        let routing = route_permutation(&tree, &alloc, &perm).unwrap();
+        assert!(routing.max_link_load(&tree) <= 1);
+    }
+
+    #[test]
+    fn reversal_permutation_routes_cleanly() {
+        let (tree, alloc) = whole_machine(4);
+        let perm = reversal_permutation(&alloc.nodes);
+        let routing = route_permutation(&tree, &alloc, &perm).unwrap();
+        assert_eq!(routing.max_link_load(&tree), 1);
+    }
+
+    #[test]
+    fn theorem6_partition_with_remainders() {
+        // An 11-node allocation on the radix-4 tree forces a remainder tree
+        // with a remainder leaf (Figure 3's shape, scaled).
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+        assert!(matches!(alloc.shape, Shape::ThreeLevel { .. }));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let perm = random_permutation(&alloc.nodes, &mut rng);
+            let routing = route_permutation(&tree, &alloc, &perm).expect("legal shape must route");
+            assert_eq!(routing.max_link_load(&tree), 1);
+            assert!(
+                routing.confined_to(&tree, &alloc),
+                "isolation: flows must stay on allocated links"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_of_busy_system_remain_rearrangeable() {
+        let tree = FatTree::maximal(8).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let mut rng = StdRng::seed_from_u64(3);
+        let sizes = [7u32, 18, 3, 25, 12, 30, 5];
+        let mut allocs = Vec::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            if let Some(a) = jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+                allocs.push(a);
+            }
+        }
+        assert!(allocs.len() >= 5, "most jobs must fit");
+        for alloc in &allocs {
+            let perm = random_permutation(&alloc.nodes, &mut rng);
+            let routing = route_permutation(&tree, alloc, &perm)
+                .unwrap_or_else(|e| panic!("job {} failed: {e}", alloc.job));
+            assert!(routing.max_link_load(&tree) <= 1, "job {}", alloc.job);
+            assert!(routing.confined_to(&tree, alloc));
+        }
+    }
+
+    #[test]
+    fn single_leaf_allocations_route_locally() {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), 2)).unwrap();
+        let perm = reversal_permutation(&alloc.nodes);
+        let routing = route_permutation(&tree, &alloc, &perm).unwrap();
+        assert!(routing.flows.iter().all(|&(_, _, r)| r == Route::Local));
+        assert_eq!(routing.max_link_load(&tree), 0);
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        let (tree, alloc) = whole_machine(4);
+        // Duplicate destination.
+        let mut perm = reversal_permutation(&alloc.nodes);
+        perm[0].1 = perm[1].1;
+        assert_eq!(
+            route_permutation(&tree, &alloc, &perm),
+            Err(RearrangeError::NotAPermutation)
+        );
+        // Foreign node.
+        let bad = vec![(NodeId(0), NodeId(999))];
+        assert_eq!(route_permutation(&tree, &alloc, &bad), Err(RearrangeError::NotAPermutation));
+    }
+
+    #[test]
+    fn rejects_unstructured_allocations() {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut base = jigsaw_core::BaselineAllocator::new(&tree);
+        let alloc = base.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        let perm = reversal_permutation(&alloc.nodes);
+        assert_eq!(
+            route_permutation(&tree, &alloc, &perm),
+            Err(RearrangeError::Unstructured)
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Materialized per-switch forwarding tables.
+//!
+//! §4 of the paper: "once Jigsaw returns an allocation, the routing tables
+//! must be adjusted ... on the fly, for example via the subnet management
+//! software on an InfiniBand system". This module plays that subnet
+//! manager: it compiles the wraparound partition routing of every live
+//! allocation into destination-keyed forwarding tables — one per leaf and
+//! L2 switch — and can *walk* a packet through them hop by hop.
+//!
+//! Down-path hops in a fat-tree are forced by the destination (a spine has
+//! exactly one link toward each pod; an L2 switch one link toward each
+//! leaf), so only up-path choices need table entries: the leaf's uplink
+//! position and — for cross-pod traffic — the L2 switch's spine slot.
+//!
+//! Because every destination node belongs to at most one job, the per-job
+//! tables compose without conflicts; [`RoutingTables::build`] verifies
+//! this and reports the first collision otherwise.
+
+use crate::partition::PartitionRouter;
+use crate::path::{Direction, LinkUse, Route};
+use jigsaw_core::alloc::{Allocation, Shape};
+use jigsaw_topology::ids::NodeId;
+use jigsaw_topology::FatTree;
+use std::collections::HashMap;
+
+/// Two allocations tried to install different entries for the same
+/// `(switch, destination)` — impossible for node-disjoint allocations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableConflict {
+    /// The destination node with conflicting entries.
+    pub dst: NodeId,
+}
+
+impl std::fmt::Display for TableConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conflicting forwarding entries for destination {}", self.dst)
+    }
+}
+
+impl std::error::Error for TableConflict {}
+
+/// Destination-keyed forwarding state for the whole fabric.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTables {
+    /// `(leaf, dst) → uplink position`.
+    leaf_up: HashMap<(u32, NodeId), u32>,
+    /// `(l2, dst) → spine slot` (cross-pod traffic only).
+    l2_up: HashMap<(u32, NodeId), u32>,
+}
+
+impl RoutingTables {
+    /// Compile forwarding tables for a set of live allocations.
+    ///
+    /// Unstructured allocations (Baseline/TA) are skipped — they use the
+    /// fabric's default routing, which is exactly why they interfere.
+    pub fn build(tree: &FatTree, allocs: &[Allocation]) -> Result<Self, TableConflict> {
+        let mut tables = RoutingTables::default();
+        for alloc in allocs {
+            if matches!(alloc.shape, Shape::Unstructured) {
+                continue;
+            }
+            let router = PartitionRouter::new(tree, alloc).expect("structured shape");
+            for &src in &alloc.nodes {
+                for &dst in &alloc.nodes {
+                    if src == dst {
+                        continue;
+                    }
+                    let route = router.route(tree, src, dst).expect("partition is connected");
+                    tables.install(tree, src, dst, route)?;
+                }
+            }
+        }
+        Ok(tables)
+    }
+
+    fn install(
+        &mut self,
+        tree: &FatTree,
+        src: NodeId,
+        dst: NodeId,
+        route: Route,
+    ) -> Result<(), TableConflict> {
+        let src_leaf = tree.leaf_of_node(src);
+        match route {
+            Route::Local => Ok(()),
+            Route::ViaL2 { pos } => self.put_leaf(src_leaf.0, dst, pos),
+            Route::ViaSpine { pos, slot } => {
+                self.put_leaf(src_leaf.0, dst, pos)?;
+                let l2 = tree.l2_at(tree.pod_of_leaf(src_leaf), pos);
+                self.put_l2(l2.0, dst, slot)
+            }
+        }
+    }
+
+    fn put_leaf(&mut self, leaf: u32, dst: NodeId, pos: u32) -> Result<(), TableConflict> {
+        match self.leaf_up.insert((leaf, dst), pos) {
+            Some(old) if old != pos => Err(TableConflict { dst }),
+            _ => Ok(()),
+        }
+    }
+
+    fn put_l2(&mut self, l2: u32, dst: NodeId, slot: u32) -> Result<(), TableConflict> {
+        match self.l2_up.insert((l2, dst), slot) {
+            Some(old) if old != slot => Err(TableConflict { dst }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Number of installed forwarding entries (both switch layers).
+    pub fn len(&self) -> usize {
+        self.leaf_up.len() + self.l2_up.len()
+    }
+
+    /// `true` if no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.leaf_up.is_empty() && self.l2_up.is_empty()
+    }
+
+    /// Walk a packet from `src` to `dst` through the tables, returning the
+    /// directed links it traverses. `None` means the packet black-holes —
+    /// there is no forwarding entry (e.g. the destination belongs to
+    /// another job, or to no job).
+    pub fn walk(&self, tree: &FatTree, src: NodeId, dst: NodeId) -> Option<Vec<LinkUse>> {
+        let src_leaf = tree.leaf_of_node(src);
+        let dst_leaf = tree.leaf_of_node(dst);
+        if src_leaf == dst_leaf {
+            return Some(Vec::new()); // crossbar-local
+        }
+        // Up-hop 1: leaf table.
+        let &pos = self.leaf_up.get(&(src_leaf.0, dst))?;
+        let mut links = vec![LinkUse::Leaf(tree.leaf_link(src_leaf, pos), Direction::Up)];
+        let src_pod = tree.pod_of_leaf(src_leaf);
+        let dst_pod = tree.pod_of_leaf(dst_leaf);
+        if src_pod == dst_pod {
+            // Down-hop forced: the L2 switch has exactly one link to the
+            // destination leaf.
+            links.push(LinkUse::Leaf(tree.leaf_link(dst_leaf, pos), Direction::Down));
+            return Some(links);
+        }
+        // Up-hop 2: L2 table.
+        let l2 = tree.l2_at(src_pod, pos);
+        let &slot = self.l2_up.get(&(l2.0, dst))?;
+        links.push(LinkUse::Spine(tree.spine_link_at(src_pod, pos, slot), Direction::Up));
+        // Down-hops forced: spine → dst pod's L2 at `pos` → dst leaf.
+        links.push(LinkUse::Spine(tree.spine_link_at(dst_pod, pos, slot), Direction::Down));
+        links.push(LinkUse::Leaf(tree.leaf_link(dst_leaf, pos), Direction::Down));
+        Some(links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_core::allocator::Allocator;
+    use jigsaw_core::{JigsawAllocator, JobRequest};
+    use jigsaw_topology::ids::JobId;
+    use jigsaw_topology::SystemState;
+    use std::collections::HashSet;
+
+    fn live_allocations(radix: u32, sizes: &[u32]) -> (FatTree, Vec<Allocation>) {
+        let tree = FatTree::maximal(radix).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let allocs = sizes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &s)| jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s)))
+            .collect();
+        (tree, allocs)
+    }
+
+    #[test]
+    fn tables_compose_without_conflict() {
+        let (tree, allocs) = live_allocations(8, &[11, 29, 17, 40]);
+        assert_eq!(allocs.len(), 4);
+        let tables = RoutingTables::build(&tree, &allocs).expect("no conflicts");
+        assert!(!tables.is_empty());
+    }
+
+    #[test]
+    fn walking_tables_matches_the_partition_router() {
+        let (tree, allocs) = live_allocations(8, &[13, 27]);
+        let tables = RoutingTables::build(&tree, &allocs).unwrap();
+        for alloc in &allocs {
+            let router = PartitionRouter::new(&tree, alloc).unwrap();
+            for &src in &alloc.nodes {
+                for &dst in &alloc.nodes {
+                    if src == dst {
+                        continue;
+                    }
+                    let expected = router.route(&tree, src, dst).unwrap();
+                    let walked = tables.walk(&tree, src, dst).expect("no blackhole");
+                    assert_eq!(
+                        walked,
+                        expected.links(&tree, src, dst),
+                        "table walk must reproduce the partition route {src}→{dst}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_job_traffic_blackholes() {
+        // No forwarding entries exist toward another job's nodes: a
+        // misbehaving application cannot even *reach* a foreign node
+        // through the up-path tables.
+        let (tree, allocs) = live_allocations(8, &[14, 22]);
+        let tables = RoutingTables::build(&tree, &allocs).unwrap();
+        let a = &allocs[0];
+        let b = &allocs[1];
+        let mut checked = 0;
+        for &src in &a.nodes {
+            for &dst in &b.nodes {
+                if tree.leaf_of_node(src) == tree.leaf_of_node(dst) {
+                    continue; // crossbar-local delivery needs no table
+                }
+                assert_eq!(tables.walk(&tree, src, dst), None);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn walked_links_stay_inside_the_allocation() {
+        let (tree, allocs) = live_allocations(8, &[23, 31]);
+        let tables = RoutingTables::build(&tree, &allocs).unwrap();
+        for alloc in &allocs {
+            let leaf_links: HashSet<_> = alloc.leaf_links.iter().copied().collect();
+            let spine_links: HashSet<_> = alloc.spine_links.iter().copied().collect();
+            for &src in &alloc.nodes {
+                for &dst in &alloc.nodes {
+                    if src == dst {
+                        continue;
+                    }
+                    for link in tables.walk(&tree, src, dst).unwrap() {
+                        match link {
+                            LinkUse::Leaf(id, _) => assert!(leaf_links.contains(&id)),
+                            LinkUse::Spine(id, _) => assert!(spine_links.contains(&id)),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unstructured_allocations_are_skipped() {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut base = jigsaw_core::BaselineAllocator::new(&tree);
+        let alloc = base.allocate(&mut state, &JobRequest::new(JobId(1), 6)).unwrap();
+        let tables = RoutingTables::build(&tree, &[alloc]).unwrap();
+        assert!(tables.is_empty());
+    }
+}

@@ -1,0 +1,338 @@
+//! Necessity-side verification (Appendix A, Lemmas 1–6): max-flow probes
+//! that find a congesting traffic pattern in allocations violating the
+//! formal conditions.
+//!
+//! The necessity proofs all have the same skeleton: pick node subsets `A`
+//! and `B` of size `n` and show the allocation cannot carry `n` concurrent
+//! `A → B` flows on distinct links. We make that executable with an exact
+//! unit-capacity max-flow computation over the allocation's links
+//! (Edmonds–Karp; the graphs are small). [`check_full_bandwidth`] runs the
+//! lemma-shaped probes — every leaf pair, plus the Lemma-1 triple — and
+//! returns a concrete [`Witness`] when the allocation is *not* full
+//! bandwidth.
+
+use jigsaw_core::alloc::Allocation;
+use jigsaw_topology::ids::{LeafId, NodeId};
+use jigsaw_topology::FatTree;
+use std::collections::HashMap;
+
+/// Proof that an allocation lacks full interconnect bandwidth: `flows`
+/// concurrent flows from `senders` to `receivers` were required, only
+/// `achieved` fit on distinct directed links.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// Sending nodes (the proof's set `A`).
+    pub senders: Vec<NodeId>,
+    /// Receiving nodes (the proof's set `B`).
+    pub receivers: Vec<NodeId>,
+    /// Flows required (`|A|`).
+    pub flows: u32,
+    /// Maximum concurrently routable flows.
+    pub achieved: u32,
+}
+
+/// Exact maximum number of node-disjoint-endpoint flows from `senders` to
+/// `receivers` routable over `alloc`'s links with at most one flow per
+/// directed link.
+pub fn max_concurrent_flows(
+    tree: &FatTree,
+    alloc: &Allocation,
+    senders: &[NodeId],
+    receivers: &[NodeId],
+) -> u32 {
+    let mut g = FlowGraph::new();
+    let s = g.vertex();
+    let t = g.vertex();
+
+    // Leaf vertices, separate for the up-path and down-path roles.
+    let mut leaf_in: HashMap<LeafId, usize> = HashMap::new();
+    let mut leaf_out: HashMap<LeafId, usize> = HashMap::new();
+    let mut l2: HashMap<(u32, u32), usize> = HashMap::new(); // (pod, pos)
+    let mut spine: HashMap<(u32, u32), usize> = HashMap::new(); // (pos, slot)
+
+    let mut get_leaf_in = |g: &mut FlowGraph, leaf: LeafId| *leaf_in.entry(leaf).or_insert_with(|| g.vertex());
+    let mut get_leaf_out =
+        |g: &mut FlowGraph, leaf: LeafId| *leaf_out.entry(leaf).or_insert_with(|| g.vertex());
+
+    for &a in senders {
+        let v = g.vertex();
+        g.edge(s, v, 1);
+        let li = get_leaf_in(&mut g, tree.leaf_of_node(a));
+        g.edge(v, li, 1);
+    }
+    for &b in receivers {
+        let v = g.vertex();
+        g.edge(v, t, 1);
+        let lo = get_leaf_out(&mut g, tree.leaf_of_node(b));
+        g.edge(lo, v, 1);
+    }
+    // Crossbar-local paths.
+    let leaves: Vec<LeafId> = leaf_in.keys().copied().collect();
+    for leaf in leaves {
+        if let (Some(&li), Some(&lo)) = (leaf_in.get(&leaf), leaf_out.get(&leaf)) {
+            g.edge(li, lo, u32::MAX);
+        }
+    }
+    // Allocated leaf↔L2 links: capacity 1 in each direction.
+    for &link in &alloc.leaf_links {
+        let leaf = tree.leaf_of_link(link);
+        let pos = tree.l2_position_of_link(link);
+        let pod = tree.pod_of_leaf(leaf).0;
+        let l2v = *l2.entry((pod, pos)).or_insert_with(|| g.vertex());
+        if let Some(&li) = leaf_in.get(&leaf) {
+            g.edge(li, l2v, 1);
+        }
+        if let Some(&lo) = leaf_out.get(&leaf) {
+            g.edge(l2v, lo, 1);
+        }
+    }
+    // Allocated L2↔spine links.
+    for &link in &alloc.spine_links {
+        let l2id = tree.l2_of_spine_link(link);
+        let pod = tree.pod_of_l2(l2id).0;
+        let pos = tree.l2_position(l2id);
+        let slot = tree.spine_slot(tree.spine_of_link(link));
+        let l2v = *l2.entry((pod, pos)).or_insert_with(|| g.vertex());
+        let sv = *spine.entry((pos, slot)).or_insert_with(|| g.vertex());
+        g.edge(l2v, sv, 1);
+        g.edge(sv, l2v, 1);
+    }
+    g.max_flow(s, t)
+}
+
+/// Run the lemma-shaped probes over `alloc`. `Ok(())` means every probe
+/// routed at full bandwidth; otherwise the first failing probe is returned
+/// as a witness of the Appendix-A kind.
+pub fn check_full_bandwidth(tree: &FatTree, alloc: &Allocation) -> Result<(), Witness> {
+    // Group the allocation's nodes per leaf.
+    let mut per_leaf: HashMap<LeafId, Vec<NodeId>> = HashMap::new();
+    for &n in &alloc.nodes {
+        per_leaf.entry(tree.leaf_of_node(n)).or_default().push(n);
+    }
+    let mut leaves: Vec<(&LeafId, &Vec<NodeId>)> = per_leaf.iter().collect();
+    leaves.sort_by_key(|(l, _)| **l);
+
+    // Pairwise probes (Lemmas 1/4/5/6 pick pairs of leaves or trees).
+    for i in 0..leaves.len() {
+        for j in 0..leaves.len() {
+            if i == j {
+                continue;
+            }
+            let n = leaves[i].1.len().min(leaves[j].1.len()) as u32;
+            let senders: Vec<NodeId> = leaves[i].1.iter().copied().take(n as usize).collect();
+            let receivers: Vec<NodeId> = leaves[j].1.iter().copied().take(n as usize).collect();
+            let achieved = max_concurrent_flows(tree, alloc, &senders, &receivers);
+            if achieved < n {
+                return Err(Witness { senders, receivers, flows: n, achieved });
+            }
+        }
+    }
+
+    // Lemma-1 triple: the largest leaf sends to the two smallest combined.
+    if leaves.len() >= 3 {
+        let mut by_count = leaves.clone();
+        by_count.sort_by_key(|(_, nodes)| nodes.len());
+        let (small_a, small_b) = (by_count[0].1, by_count[1].1);
+        let largest = by_count.last().unwrap().1;
+        let n = largest.len().min(small_a.len() + small_b.len()) as u32;
+        let senders: Vec<NodeId> = largest.iter().copied().take(n as usize).collect();
+        let receivers: Vec<NodeId> =
+            small_a.iter().chain(small_b.iter()).copied().take(n as usize).collect();
+        if !senders.iter().any(|s| receivers.contains(s)) {
+            let achieved = max_concurrent_flows(tree, alloc, &senders, &receivers);
+            if achieved < n {
+                return Err(Witness { senders, receivers, flows: n, achieved });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A small Edmonds–Karp max-flow implementation over an adjacency list.
+struct FlowGraph {
+    /// Per edge: (to, capacity); reverse edge at `i ^ 1`.
+    edges: Vec<(usize, u32)>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl FlowGraph {
+    fn new() -> Self {
+        FlowGraph { edges: Vec::new(), adj: Vec::new() }
+    }
+
+    fn vertex(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize, cap: u32) {
+        let id = self.edges.len();
+        self.edges.push((to, cap));
+        self.edges.push((from, 0));
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> u32 {
+        let mut flow = 0;
+        loop {
+            // BFS for an augmenting path.
+            let mut pred: Vec<Option<usize>> = vec![None; self.adj.len()];
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            pred[s] = Some(usize::MAX);
+            while let Some(u) = queue.pop_front() {
+                if u == t {
+                    break;
+                }
+                for &e in &self.adj[u] {
+                    let (v, cap) = self.edges[e];
+                    if cap > 0 && pred[v].is_none() {
+                        pred[v] = Some(e);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if pred[t].is_none() {
+                return flow;
+            }
+            // Bottleneck (always ≥ 1; unit capacities dominate).
+            let mut bottleneck = u32::MAX;
+            let mut v = t;
+            while v != s {
+                let e = pred[v].unwrap();
+                bottleneck = bottleneck.min(self.edges[e].1);
+                v = self.edges[e ^ 1].0;
+            }
+            let mut v = t;
+            while v != s {
+                let e = pred[v].unwrap();
+                self.edges[e].1 -= bottleneck;
+                self.edges[e ^ 1].1 += bottleneck;
+                v = self.edges[e ^ 1].0;
+            }
+            flow += bottleneck;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_core::allocator::Allocator;
+    use jigsaw_core::{JigsawAllocator, JobRequest, LaasAllocator};
+    use jigsaw_topology::ids::JobId;
+    use jigsaw_topology::SystemState;
+
+    fn jigsaw_alloc(radix: u32, size: u32) -> (FatTree, Allocation) {
+        let tree = FatTree::maximal(radix).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), size)).unwrap();
+        (tree, alloc)
+    }
+
+    #[test]
+    fn legal_jigsaw_allocations_pass_all_probes() {
+        for size in [4u32, 7, 11, 14, 16] {
+            let (tree, alloc) = jigsaw_alloc(4, size);
+            check_full_bandwidth(&tree, &alloc)
+                .unwrap_or_else(|w| panic!("size {size}: witness {w:?}"));
+        }
+    }
+
+    #[test]
+    fn legal_laas_allocations_pass_all_probes() {
+        // Fresh machine per size: cumulative LaaS rounding exhausts whole
+        // leaves quickly on the tiny radix-4 tree.
+        let tree = FatTree::maximal(4).unwrap();
+        for size in [3u32, 6, 9, 13] {
+            let mut state = SystemState::new(tree);
+            let mut laas = LaasAllocator::new(&tree);
+            let alloc = laas.allocate(&mut state, &JobRequest::new(JobId(size), size)).unwrap();
+            check_full_bandwidth(&tree, &alloc)
+                .unwrap_or_else(|w| panic!("LaaS size {size}: witness {w:?}"));
+        }
+    }
+
+    #[test]
+    fn tapered_allocation_fails_lemma_probe() {
+        // Fig. 1-left: remove uplinks so a leaf has fewer uplinks than
+        // nodes; the pairwise probe must find the bottleneck.
+        let (tree, mut alloc) = jigsaw_alloc(4, 8); // 2 pods × 2 leaves × 2 nodes
+        assert!(!alloc.leaf_links.is_empty());
+        // Drop one uplink of the first leaf.
+        let victim_leaf = tree.leaf_of_node(alloc.nodes[0]);
+        let before = alloc.leaf_links.len();
+        let pos = alloc
+            .leaf_links
+            .iter()
+            .position(|&l| tree.leaf_of_link(l) == victim_leaf)
+            .unwrap();
+        alloc.leaf_links.remove(pos);
+        assert_eq!(alloc.leaf_links.len(), before - 1);
+        let w = check_full_bandwidth(&tree, &alloc).unwrap_err();
+        assert!(w.achieved < w.flows);
+    }
+
+    #[test]
+    fn missing_spine_links_fail_cross_pod_probe() {
+        let (tree, mut alloc) = jigsaw_alloc(4, 8);
+        assert!(!alloc.spine_links.is_empty());
+        // Drop half the spine links of the first pod.
+        let n = alloc.spine_links.len();
+        alloc.spine_links.truncate(n / 2);
+        assert!(check_full_bandwidth(&tree, &alloc).is_err());
+    }
+
+    #[test]
+    fn max_flow_exactness_on_local_traffic() {
+        let (tree, alloc) = jigsaw_alloc(4, 2); // single leaf, 2 nodes
+        let a = vec![alloc.nodes[0]];
+        let b = vec![alloc.nodes[1]];
+        // Crossbar-local: full flow despite zero links.
+        assert_eq!(max_concurrent_flows(&tree, &alloc, &a, &b), 1);
+    }
+
+    #[test]
+    fn figure1_center_unbalanced_nodes_fail() {
+        // Hand-build the Fig. 1-center violation: leaves with 1, 2, 3 nodes
+        // in one pod — the 3-node leaf only gets 3 uplinks but the probe
+        // "3 senders → 3 receivers" needs paths through common L2s that the
+        // 1-node leaf cannot provide... we emulate by giving each leaf as
+        // many uplinks as nodes but no *common* structure.
+        let tree = FatTree::maximal(8).unwrap(); // pods: 4 leaves × 4 nodes, M=4
+        let state = SystemState::new(tree);
+        use jigsaw_core::alloc::Shape;
+        use jigsaw_topology::ids::{LeafId, PodId};
+        // Illegal: 3 nodes on leaf 0 with links {0,1,2}, 3 nodes on leaf 1
+        // with links {1,2,3} — fine pairwise — and 2 nodes on leaf 2 with
+        // links {0,3} sharing only one L2 with each.
+        let mut alloc = jigsaw_core::alloc::Allocation::from_shape(
+            &state,
+            JobId(1),
+            8,
+            0,
+            Shape::TwoLevel {
+                pod: PodId(0),
+                n_l: 3,
+                leaves: vec![LeafId(0), LeafId(1)],
+                l2_set: 0b0111,
+                rem_leaf: Some((LeafId(2), 2, 0b0011)),
+            },
+        );
+        // Sabotage: shift leaf 1's links to {1,2,3} and leaf 2's to {0,3}.
+        alloc.leaf_links = vec![
+            tree.leaf_link(LeafId(0), 0),
+            tree.leaf_link(LeafId(0), 1),
+            tree.leaf_link(LeafId(0), 2),
+            tree.leaf_link(LeafId(1), 1),
+            tree.leaf_link(LeafId(1), 2),
+            tree.leaf_link(LeafId(1), 3),
+            tree.leaf_link(LeafId(2), 0),
+            tree.leaf_link(LeafId(2), 3),
+        ];
+        let w = check_full_bandwidth(&tree, &alloc).unwrap_err();
+        assert!(w.achieved < w.flows, "disjoint L2 sets must bottleneck");
+    }
+}

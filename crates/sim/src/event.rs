@@ -1,0 +1,133 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by time with a deterministic tie-break (sequence
+//! number), so simulations are exactly reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job (by trace index) arrives in the queue.
+    Arrival(u32),
+    /// A running job (by trace index) completes. The epoch invalidates
+    /// stale completions of jobs that were killed and restarted.
+    Completion(u32, u32),
+    /// A random node fails (failure-injection model).
+    Failure,
+    /// A failed node (by id) comes back online.
+    Repair(u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first. Completions
+        // before arrivals at equal time is handled by sequence order of
+        // insertion; what matters for determinism is total order.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule `kind` at `time`.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        debug_assert!(time.is_finite() && time >= 0.0);
+        self.heap.push(Event { time, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    /// Earliest event time, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+        self.heap.pop().map(|e| (e.time, e.kind))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::Arrival(1));
+        q.push(1.0, EventKind::Completion(0, 0));
+        q.push(3.0, EventKind::Arrival(2));
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop().unwrap().1, EventKind::Completion(0, 0));
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(2));
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(1));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::Arrival(10));
+        q.push(2.0, EventKind::Arrival(11));
+        q.push(2.0, EventKind::Completion(12, 0));
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(10));
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(11));
+        assert_eq!(q.pop().unwrap().1, EventKind::Completion(12, 0));
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, EventKind::Arrival(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Evaluation metrics (§5 and §6 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-job outcome of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Trace job id.
+    pub id: u32,
+    /// Requested node count (`N_r`).
+    pub size: u32,
+    /// Nodes actually assigned (`≥ size` under LaaS rounding).
+    pub granted: u32,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Start time (`f64::NAN` if the job could never be placed).
+    pub start: f64,
+    /// Completion time.
+    pub end: f64,
+}
+
+impl JobRecord {
+    /// Turnaround time: queue arrival to completion (§5).
+    pub fn turnaround(&self) -> f64 {
+        self.end - self.arrival
+    }
+
+    /// Wait time: arrival to start.
+    pub fn wait(&self) -> f64 {
+        self.start - self.arrival
+    }
+
+    /// `true` if the job was placed at all.
+    pub fn scheduled(&self) -> bool {
+        self.start.is_finite()
+    }
+}
+
+/// Instantaneous-utilization frequency buckets (Table 2): ≥98, 95–97,
+/// 90–95, 80–90, 60–80, ≤60 percent.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstUtilHistogram {
+    /// Counts per bucket, highest utilization first.
+    pub buckets: [u64; 6],
+}
+
+/// Bucket labels in Table 2's column order.
+pub const INST_UTIL_LABELS: [&str; 6] = [">=98", "95-97", "90-95", "80-90", "60-80", "<=60"];
+
+impl InstUtilHistogram {
+    /// Record one utilization sample (fraction in `[0, 1]`).
+    pub fn record(&mut self, utilization: f64) {
+        let pct = utilization * 100.0;
+        let idx = if pct >= 98.0 {
+            0
+        } else if pct >= 95.0 {
+            1
+        } else if pct >= 90.0 {
+            2
+        } else if pct >= 80.0 {
+            3
+        } else if pct > 60.0 {
+            4
+        } else {
+            5
+        };
+        self.buckets[idx] += 1;
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fraction of samples in bucket `idx`.
+    pub fn fraction(&self, idx: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.buckets[idx] as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation.
+/// Returns 0 for an empty sample.
+pub fn quantile(values: impl Iterator<Item = f64>, q: f64) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (pos - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// Average of an iterator of f64 values (0 if empty).
+pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for v in values {
+        sum += v;
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_record_derived_metrics() {
+        let r = JobRecord { id: 1, size: 4, granted: 4, arrival: 10.0, start: 15.0, end: 40.0 };
+        assert_eq!(r.turnaround(), 30.0);
+        assert_eq!(r.wait(), 5.0);
+        assert!(r.scheduled());
+        let never =
+            JobRecord { id: 2, size: 4, granted: 0, arrival: 0.0, start: f64::NAN, end: f64::NAN };
+        assert!(!never.scheduled());
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        let mut h = InstUtilHistogram::default();
+        for (util, expect) in [
+            (1.0, 0),
+            (0.98, 0),
+            (0.979, 1),
+            (0.95, 1),
+            (0.949, 2),
+            (0.90, 2),
+            (0.899, 3),
+            (0.80, 3),
+            (0.799, 4),
+            (0.601, 4),
+            (0.60, 5),
+            (0.0, 5),
+        ] {
+            let mut single = InstUtilHistogram::default();
+            single.record(util);
+            assert_eq!(
+                single.buckets[expect], 1,
+                "utilization {util} must land in bucket {expect}"
+            );
+            h.record(util);
+        }
+        assert_eq!(h.total(), 12);
+        assert_eq!(h.buckets, [2, 2, 2, 2, 2, 2]);
+        assert!((h.fraction(0) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean([1.0, 2.0, 3.0].into_iter()), 2.0);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn quantile_helper() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(v.iter().copied(), 0.0), 1.0);
+        assert_eq!(quantile(v.iter().copied(), 1.0), 4.0);
+        assert_eq!(quantile(v.iter().copied(), 0.5), 2.5);
+        assert_eq!(quantile(std::iter::empty(), 0.5), 0.0);
+        // Single element: every quantile is that element.
+        assert_eq!(quantile([7.0].into_iter(), 0.3), 7.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Graphviz (DOT) export of fat-tree topologies and allocations.
+//!
+//! Renders the folded-Clos structure — nodes, leaves, L2 switches, spines,
+//! and both link layers — optionally highlighting a set of allocations so
+//! that the partition structure of Figure 3 (and the wasted links of
+//! Figure 2) can be *seen*:
+//!
+//! ```text
+//! jigsaw-sched alloc 4 --sizes 11 --dot | dot -Tsvg > partition.svg
+//! ```
+
+use crate::ids::{JobId, LeafLinkId, NodeId, SpineLinkId};
+use crate::tree::FatTree;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Resources of one job to highlight.
+#[derive(Debug, Clone, Default)]
+pub struct DotHighlight {
+    /// Owning job (used for labeling and color selection).
+    pub job: u32,
+    /// Highlighted nodes.
+    pub nodes: Vec<NodeId>,
+    /// Highlighted leaf↔L2 links.
+    pub leaf_links: Vec<LeafLinkId>,
+    /// Highlighted L2↔spine links.
+    pub spine_links: Vec<SpineLinkId>,
+}
+
+/// A small qualitative palette (Graphviz X11 color names).
+const COLORS: [&str; 8] =
+    ["dodgerblue", "firebrick", "forestgreen", "darkorange", "purple", "teal", "goldenrod", "magenta"];
+
+/// Render `tree` as a DOT digraph, highlighting the given allocations.
+pub fn to_dot(tree: &FatTree, highlights: &[DotHighlight]) -> String {
+    let mut node_color: HashMap<u32, &str> = HashMap::new();
+    let mut leaf_link_color: HashMap<u32, &str> = HashMap::new();
+    let mut spine_link_color: HashMap<u32, &str> = HashMap::new();
+    for (i, h) in highlights.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        for n in &h.nodes {
+            node_color.insert(n.0, color);
+        }
+        for l in &h.leaf_links {
+            leaf_link_color.insert(l.0, color);
+        }
+        for l in &h.spine_links {
+            spine_link_color.insert(l.0, color);
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "graph fat_tree {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=9];");
+
+    // Compute nodes, clustered per pod for readable layout.
+    for pod in tree.pods() {
+        let _ = writeln!(out, "  subgraph cluster_pod{} {{", pod.0);
+        let _ = writeln!(out, "    label=\"pod {}\";", pod.0);
+        for leaf in tree.leaves_of_pod(pod) {
+            let _ = writeln!(out, "    leaf{} [label=\"leaf {}\", shape=box3d];", leaf.0, leaf.0);
+            for node in tree.nodes_of_leaf(leaf) {
+                let style = node_color
+                    .get(&node.0)
+                    .map(|c| format!(", style=filled, fillcolor={c}"))
+                    .unwrap_or_default();
+                let _ = writeln!(out, "    n{} [label=\"n{}\"{}];", node.0, node.0, style);
+                let _ = writeln!(out, "    n{} -- leaf{};", node.0, leaf.0);
+            }
+        }
+        for pos in 0..tree.l2_per_pod() {
+            let l2 = tree.l2_at(pod, pos);
+            let _ = writeln!(out, "    l2_{} [label=\"L2 {}.{}\", shape=component];", l2.0, pod.0, pos);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Spines.
+    for group in 0..tree.l2_per_pod() {
+        for slot in 0..tree.spines_per_group() {
+            let s = tree.spine_at(group, slot);
+            let _ = writeln!(out, "  spine{} [label=\"spine {group}.{slot}\", shape=octagon];", s.0);
+        }
+    }
+    // Leaf↔L2 links.
+    for leaf in tree.leaves() {
+        for pos in 0..tree.l2_per_pod() {
+            let link = tree.leaf_link(leaf, pos);
+            let l2 = tree.l2_of_leaf_link(link);
+            match leaf_link_color.get(&link.0) {
+                Some(c) => {
+                    let _ = writeln!(out, "  leaf{} -- l2_{} [color={c}, penwidth=2.2];", leaf.0, l2.0);
+                }
+                None => {
+                    let _ = writeln!(out, "  leaf{} -- l2_{} [color=gray70];", leaf.0, l2.0);
+                }
+            }
+        }
+    }
+    // L2↔spine links.
+    for pod in tree.pods() {
+        for pos in 0..tree.l2_per_pod() {
+            let l2 = tree.l2_at(pod, pos);
+            for slot in 0..tree.spines_per_group() {
+                let link = tree.spine_link(l2, slot);
+                let spine = tree.spine_of_link(link);
+                match spine_link_color.get(&link.0) {
+                    Some(c) => {
+                        let _ = writeln!(
+                            out,
+                            "  l2_{} -- spine{} [color={c}, penwidth=2.2];",
+                            l2.0, spine.0
+                        );
+                    }
+                    None => {
+                        let _ =
+                            writeln!(out, "  l2_{} -- spine{} [color=gray85];", l2.0, spine.0);
+                    }
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Convenience: highlight built from flat resource lists.
+pub fn highlight(
+    job: JobId,
+    nodes: &[NodeId],
+    leaf_links: &[LeafLinkId],
+    spine_links: &[SpineLinkId],
+) -> DotHighlight {
+    DotHighlight {
+        job: job.0,
+        nodes: nodes.to_vec(),
+        leaf_links: leaf_links.to_vec(),
+        spine_links: spine_links.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LeafId;
+
+    #[test]
+    fn dot_contains_every_entity() {
+        let tree = FatTree::maximal(4).unwrap();
+        let dot = to_dot(&tree, &[]);
+        assert!(dot.starts_with("graph fat_tree {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for n in 0..tree.num_nodes() {
+            assert!(dot.contains(&format!("n{n} [")), "node {n} missing");
+        }
+        for l in 0..tree.num_leaves() {
+            assert!(dot.contains(&format!("leaf{l} [")));
+        }
+        for s in 0..tree.num_spines() {
+            assert!(dot.contains(&format!("spine{s} [")));
+        }
+        // One edge line per link (plus node-leaf edges).
+        let leaf_l2_edges = dot.matches("leaf").count();
+        assert!(leaf_l2_edges > 0);
+    }
+
+    #[test]
+    fn highlights_color_resources() {
+        let tree = FatTree::maximal(4).unwrap();
+        let h = highlight(
+            JobId(1),
+            &[NodeId(0), NodeId(1)],
+            &[tree.leaf_link(LeafId(0), 0)],
+            &[tree.spine_link_at(crate::ids::PodId(0), 0, 0)],
+        );
+        let dot = to_dot(&tree, &[h]);
+        assert!(dot.contains("fillcolor=dodgerblue"));
+        assert!(dot.contains("penwidth=2.2"));
+        // Unhighlighted links stay gray.
+        assert!(dot.contains("color=gray70"));
+    }
+
+    #[test]
+    fn two_jobs_get_distinct_colors() {
+        let tree = FatTree::maximal(4).unwrap();
+        let h1 = highlight(JobId(1), &[NodeId(0)], &[], &[]);
+        let h2 = highlight(JobId(2), &[NodeId(2)], &[], &[]);
+        let dot = to_dot(&tree, &[h1, h2]);
+        assert!(dot.contains("dodgerblue"));
+        assert!(dot.contains("firebrick"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for topology construction and state manipulation.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating a fat-tree topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A structural parameter was zero.
+    ZeroParameter(&'static str),
+    /// The switch radix for a maximal tree must be an even number ≥ 4.
+    BadRadix(u32),
+    /// A parameter exceeds what the id arithmetic supports.
+    TooLarge(&'static str),
+    /// The operation requires a full-bandwidth tree (`nodes_per_leaf ==
+    /// l2_per_pod` and `leaves_per_pod == spines_per_group`).
+    NotFullBandwidth,
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::ZeroParameter(name) => {
+                write!(f, "topology parameter `{name}` must be nonzero")
+            }
+            TopologyError::BadRadix(r) => {
+                write!(f, "maximal fat-tree radix must be an even number >= 4, got {r}")
+            }
+            TopologyError::TooLarge(name) => {
+                write!(f, "topology parameter `{name}` too large for 32-bit id space")
+            }
+            TopologyError::NotFullBandwidth => {
+                write!(
+                    f,
+                    "operation requires a full-bandwidth fat-tree \
+                     (nodes_per_leaf == l2_per_pod and leaves_per_pod == spines_per_group)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TopologyError::BadRadix(5).to_string().contains("radix"));
+        assert!(TopologyError::ZeroParameter("pods").to_string().contains("pods"));
+        assert!(TopologyError::NotFullBandwidth.to_string().contains("full-bandwidth"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Typed identifiers for topology entities.
+//!
+//! All identifiers are dense `u32` indices so they can be used directly as
+//! vector offsets. The arithmetic relating them lives on
+//! [`FatTree`](crate::FatTree); the id types themselves are deliberately
+//! dumb newtypes so that mixing up, say, a leaf id and an L2 id is a type
+//! error rather than a silent bug.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The identifier as a `usize` vector index.
+            #[inline]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// A compute node. Global index: `((pod * L) + leaf) * W + slot`.
+    NodeId
+}
+
+id_type! {
+    /// A leaf (edge) switch. Global index: `pod * L + leaf_in_pod`.
+    LeafId
+}
+
+id_type! {
+    /// A pod — one of the independent two-level subtrees (the paper's
+    /// "trees") joined at the spine level.
+    PodId
+}
+
+id_type! {
+    /// An L2 (aggregation) switch. Global index: `pod * M + position`.
+    ///
+    /// The *position* `i ∈ [0, M)` is significant: condition (5) of the
+    /// paper requires allocations to use L2 switches at *the same set of
+    /// positions* in every allocated pod, and spine group `i` connects only
+    /// to L2 switches at position `i`.
+    L2Id
+}
+
+id_type! {
+    /// A spine (core) switch. Global index: `group * G + slot`, where
+    /// `group ∈ [0, M)` matches the L2 position it serves.
+    SpineId
+}
+
+id_type! {
+    /// A leaf↔L2 link. Global index: `leaf * M + l2_position`.
+    ///
+    /// In a maximal fat-tree each leaf has exactly one link to each of its
+    /// pod's `M` L2 switches, so the pair `(leaf, position)` is a complete
+    /// address.
+    LeafLinkId
+}
+
+id_type! {
+    /// An L2↔spine link. Global index: `l2 * G + spine_slot`.
+    ///
+    /// L2 switch at position `i` connects only to spines of group `i`, one
+    /// link per spine, so `(l2, slot)` is a complete address.
+    SpineLinkId
+}
+
+/// A job identifier as seen by the allocation state.
+///
+/// `JobId` is assigned by the simulator (or by the user of the library) and
+/// is only used for ownership bookkeeping; it carries no ordering semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        let a = NodeId(3);
+        let b = NodeId(7);
+        assert!(a < b);
+        assert_eq!(a.idx(), 3);
+        assert_eq!(usize::from(b), 7);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(NodeId(4).to_string(), "NodeId(4)");
+        assert_eq!(JobId(9).to_string(), "job#9");
+    }
+
+    #[test]
+    fn ids_roundtrip_serde() {
+        let id = SpineLinkId(123);
+        let json = serde_json::to_string(&id).unwrap();
+        let back: SpineLinkId = serde_json::from_str(&json).unwrap();
+        assert_eq!(id, back);
+    }
+}

@@ -1,0 +1,43 @@
+//! # jigsaw-topology
+//!
+//! Three-level fat-tree (folded Clos) topology model and link-level
+//! allocation state, the substrate underneath the Jigsaw scheduler
+//! (Smith & Lowenthal, HPDC 2021).
+//!
+//! A three-level fat-tree is a set of independent two-level subtrees
+//! ("pods"; the paper calls them *trees*) connected at the third level by
+//! spine switches. This crate provides:
+//!
+//! * [`FatTreeParams`] / [`FatTree`] — the parameterized topology, including
+//!   the *maximal* radix-`r` trees the paper evaluates
+//!   (`r³/4` nodes: radix 16/18/22/28 → 1024/1458/2662/5488 nodes),
+//! * typed identifiers for nodes, leaves, pods, L2 switches, spines, and the
+//!   two link layers ([`ids`]),
+//! * [`SystemState`] — per-node and per-link ownership with both exclusive
+//!   (Jigsaw/LaaS) and fractional-bandwidth (LC+S) allocation modes, plus the
+//!   derived free-capacity indices the allocators' searches rely on.
+//!
+//! ```
+//! use jigsaw_topology::{FatTree, ids::NodeId};
+//!
+//! let tree = FatTree::maximal(16).unwrap();
+//! assert_eq!(tree.num_nodes(), 1024);
+//! assert!(tree.is_full_bandwidth());
+//! let leaf = tree.leaf_of_node(NodeId(13));
+//! assert_eq!(tree.pod_of_leaf(leaf).0, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod dot;
+pub mod error;
+pub mod ids;
+pub mod params;
+pub mod state;
+pub mod tree;
+
+pub use error::TopologyError;
+pub use params::FatTreeParams;
+pub use state::{JobTag, LinkBandwidth, SystemState};
+pub use tree::FatTree;

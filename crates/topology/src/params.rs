@@ -1,0 +1,214 @@
+//! Structural parameters of a three-level fat-tree.
+//!
+//! In XGFT notation a three-level tree is `XGFT(3; m1, m2, m3; w1, w2, w3)`
+//! with `w1 = 1`. We name the parameters after their physical meaning:
+//!
+//! | here               | XGFT | meaning                                   |
+//! |--------------------|------|-------------------------------------------|
+//! | `nodes_per_leaf`   | `m1` | compute nodes under each leaf switch      |
+//! | `leaves_per_pod`   | `m2` | leaf switches in each pod                 |
+//! | `pods`             | `m3` | two-level subtrees (the paper's "trees")  |
+//! | `l2_per_pod`       | `w2` | L2 switches in each pod (parents per leaf)|
+//! | `spines_per_group` | `w3` | spines per group (parents per L2 switch)  |
+//!
+//! The tree is *full bandwidth* — a prerequisite for rearrangeable
+//! non-blocking partitions — iff `m1 == w2` and `m2 == w3`.
+
+use crate::error::TopologyError;
+use serde::{Deserialize, Serialize};
+
+/// Structural parameters of a three-level fat-tree. See the module docs for
+/// the XGFT correspondence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FatTreeParams {
+    /// Number of pods (`m3`), the independent two-level subtrees.
+    pub pods: u32,
+    /// Leaf switches per pod (`m2`).
+    pub leaves_per_pod: u32,
+    /// L2 switches per pod (`w2`).
+    pub l2_per_pod: u32,
+    /// Compute nodes per leaf switch (`m1`).
+    pub nodes_per_leaf: u32,
+    /// Spines per spine group (`w3`); there are `l2_per_pod` groups, one per
+    /// L2 position, and spine `(i, j)` links to L2 switch `i` of every pod.
+    pub spines_per_group: u32,
+}
+
+impl FatTreeParams {
+    /// Parameters of the *maximal* three-level fat-tree built from radix-`r`
+    /// switches: `r` pods of `r/2` leaves × `r/2` nodes, `r/2` L2 switches
+    /// per pod, and `(r/2)²` spines, for `r³/4` nodes total.
+    ///
+    /// These are the clusters of the paper's evaluation:
+    /// radix 16 → 1024 nodes, 18 → 1458, 22 → 2662, 28 → 5488.
+    pub fn maximal(radix: u32) -> Result<Self, TopologyError> {
+        if radix < 4 || !radix.is_multiple_of(2) {
+            return Err(TopologyError::BadRadix(radix));
+        }
+        let half = radix / 2;
+        Self::new(radix, half, half, half, half)
+    }
+
+    /// Build and validate arbitrary parameters.
+    pub fn new(
+        pods: u32,
+        leaves_per_pod: u32,
+        l2_per_pod: u32,
+        nodes_per_leaf: u32,
+        spines_per_group: u32,
+    ) -> Result<Self, TopologyError> {
+        let p = FatTreeParams { pods, leaves_per_pod, l2_per_pod, nodes_per_leaf, spines_per_group };
+        p.validate()?;
+        Ok(p)
+    }
+
+    fn validate(&self) -> Result<(), TopologyError> {
+        for (v, name) in [
+            (self.pods, "pods"),
+            (self.leaves_per_pod, "leaves_per_pod"),
+            (self.l2_per_pod, "l2_per_pod"),
+            (self.nodes_per_leaf, "nodes_per_leaf"),
+            (self.spines_per_group, "spines_per_group"),
+        ] {
+            if v == 0 {
+                return Err(TopologyError::ZeroParameter(name));
+            }
+        }
+        // The L2 bitmask fast paths in the allocators use u64 masks.
+        if self.l2_per_pod > 64 {
+            return Err(TopologyError::TooLarge("l2_per_pod"));
+        }
+        if self.spines_per_group > 64 {
+            return Err(TopologyError::TooLarge("spines_per_group"));
+        }
+        let nodes = (self.pods as u64)
+            .checked_mul(self.leaves_per_pod as u64)
+            .and_then(|v| v.checked_mul(self.nodes_per_leaf as u64));
+        match nodes {
+            Some(n) if n <= u32::MAX as u64 => Ok(()),
+            _ => Err(TopologyError::TooLarge("pods * leaves_per_pod * nodes_per_leaf")),
+        }
+    }
+
+    /// `true` iff partitions of this tree can be rearrangeable non-blocking:
+    /// `nodes_per_leaf == l2_per_pod` and `leaves_per_pod == spines_per_group`.
+    pub fn is_full_bandwidth(&self) -> bool {
+        self.nodes_per_leaf == self.l2_per_pod && self.leaves_per_pod == self.spines_per_group
+    }
+
+    /// Total number of compute nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.pods * self.leaves_per_pod * self.nodes_per_leaf
+    }
+
+    /// Total number of leaf switches.
+    pub fn num_leaves(&self) -> u32 {
+        self.pods * self.leaves_per_pod
+    }
+
+    /// Total number of L2 switches.
+    pub fn num_l2(&self) -> u32 {
+        self.pods * self.l2_per_pod
+    }
+
+    /// Total number of spine switches.
+    pub fn num_spines(&self) -> u32 {
+        self.l2_per_pod * self.spines_per_group
+    }
+
+    /// Number of leaf↔L2 links (`num_leaves * l2_per_pod`).
+    pub fn num_leaf_links(&self) -> u32 {
+        self.num_leaves() * self.l2_per_pod
+    }
+
+    /// Number of L2↔spine links (`num_l2 * spines_per_group`).
+    pub fn num_spine_links(&self) -> u32 {
+        self.num_l2() * self.spines_per_group
+    }
+
+    /// Nodes per pod (`leaves_per_pod * nodes_per_leaf`).
+    pub fn nodes_per_pod(&self) -> u32 {
+        self.leaves_per_pod * self.nodes_per_leaf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_trees_match_paper_node_counts() {
+        for (radix, nodes) in [(16, 1024), (18, 1458), (22, 2662), (28, 5488)] {
+            let p = FatTreeParams::maximal(radix).unwrap();
+            assert_eq!(p.num_nodes(), nodes, "radix {radix}");
+            assert!(p.is_full_bandwidth());
+        }
+    }
+
+    #[test]
+    fn maximal_radix4_is_tiny_and_consistent() {
+        let p = FatTreeParams::maximal(4).unwrap();
+        assert_eq!(p.pods, 4);
+        assert_eq!(p.num_nodes(), 16);
+        assert_eq!(p.num_spines(), 4);
+        assert_eq!(p.num_leaf_links(), 16);
+        assert_eq!(p.num_spine_links(), 16);
+    }
+
+    #[test]
+    fn switch_radix_is_respected_in_maximal_trees() {
+        // Every switch in a maximal radix-r tree uses exactly r ports:
+        // leaf: m1 down + w2 up; L2: m2 down + w3 up; spine: one per pod.
+        let r = 22;
+        let p = FatTreeParams::maximal(r).unwrap();
+        assert_eq!(p.nodes_per_leaf + p.l2_per_pod, r);
+        assert_eq!(p.leaves_per_pod + p.spines_per_group, r);
+        assert_eq!(p.pods, r);
+    }
+
+    #[test]
+    fn odd_or_small_radix_rejected() {
+        assert_eq!(FatTreeParams::maximal(5), Err(TopologyError::BadRadix(5)));
+        assert_eq!(FatTreeParams::maximal(2), Err(TopologyError::BadRadix(2)));
+        assert_eq!(FatTreeParams::maximal(0), Err(TopologyError::BadRadix(0)));
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert_eq!(
+            FatTreeParams::new(0, 2, 2, 2, 2),
+            Err(TopologyError::ZeroParameter("pods"))
+        );
+        assert_eq!(
+            FatTreeParams::new(2, 2, 2, 0, 2),
+            Err(TopologyError::ZeroParameter("nodes_per_leaf"))
+        );
+    }
+
+    #[test]
+    fn oversized_masks_rejected() {
+        assert_eq!(
+            FatTreeParams::new(2, 2, 65, 2, 2),
+            Err(TopologyError::TooLarge("l2_per_pod"))
+        );
+        assert_eq!(
+            FatTreeParams::new(2, 2, 2, 2, 65),
+            Err(TopologyError::TooLarge("spines_per_group"))
+        );
+    }
+
+    #[test]
+    fn tapered_tree_is_not_full_bandwidth() {
+        // Fig. 1 (left): fewer uplinks than downlinks tapers the tree.
+        let p = FatTreeParams::new(4, 2, 1, 2, 2).unwrap();
+        assert!(!p.is_full_bandwidth());
+    }
+
+    #[test]
+    fn params_roundtrip_serde() {
+        let p = FatTreeParams::maximal(18).unwrap();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: FatTreeParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,733 @@
+//! Link-level allocation state for a fat-tree.
+//!
+//! [`SystemState`] tracks which job owns every node, every leaf↔L2 link and
+//! every L2↔spine link, together with the derived free-capacity indices the
+//! allocator searches consult on their hot paths:
+//!
+//! * per-leaf free-node counts,
+//! * per-leaf bitmask of free uplinks (bit `i` ⇔ the link to the pod's L2
+//!   switch at position `i` is free),
+//! * per-L2 bitmask of free spine uplinks (bit `j` ⇔ the link to slot `j` of
+//!   the matching spine group is free),
+//! * per-pod counts of free nodes and of *fully free* leaves (all nodes and
+//!   all uplinks free — the unit of Jigsaw's three-level search).
+//!
+//! Exclusive ownership (Jigsaw, LaaS) and fractional bandwidth reservation
+//! (LC+S, §5.4.2 of the paper) are both supported; a link is *free* only if
+//! it has no exclusive owner **and** no reserved bandwidth, so the two modes
+//! compose safely.
+//!
+//! The state is plain data and `Clone` is cheap (a few `Vec`s of machine
+//! words), which the EASY-backfilling reservation logic exploits by
+//! replaying future completions on a scratch copy.
+
+use crate::ids::{JobId, L2Id, LeafId, LeafLinkId, NodeId, PodId, SpineLinkId};
+use crate::tree::FatTree;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel meaning "no owner".
+const FREE: u32 = u32::MAX;
+/// Sentinel meaning "node offline" (failed hardware); not free, owned by
+/// no job.
+const OFFLINE: u32 = u32::MAX - 1;
+
+/// Link bandwidth configuration for fractional (LC+S-style) reservation.
+///
+/// Bandwidth is tracked in tenths of GB/s to keep the arithmetic integral
+/// and exact. The paper's setting (§5.4.2): 5 GB/s links, total utilization
+/// capped at 80% (4 GB/s), job classes from 0.5 to 2.0 GB/s per link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkBandwidth {
+    /// Physical link capacity, tenths of GB/s.
+    pub capacity_tenths: u16,
+    /// Reservable ceiling, tenths of GB/s (≤ `capacity_tenths`).
+    pub cap_tenths: u16,
+}
+
+impl LinkBandwidth {
+    /// The paper's configuration: 5 GB/s capacity, 80% cap.
+    pub const PAPER: LinkBandwidth = LinkBandwidth { capacity_tenths: 50, cap_tenths: 40 };
+}
+
+impl Default for LinkBandwidth {
+    fn default() -> Self {
+        LinkBandwidth::PAPER
+    }
+}
+
+/// Convenience alias: the owner tag stored per resource.
+pub type JobTag = JobId;
+
+/// Full allocation state of one fat-tree system. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemState {
+    tree: FatTree,
+    bandwidth: LinkBandwidth,
+
+    node_owner: Vec<u32>,
+    leaf_link_owner: Vec<u32>,
+    spine_link_owner: Vec<u32>,
+
+    /// Fractional bandwidth reserved per link, tenths of GB/s.
+    leaf_link_bw: Vec<u16>,
+    spine_link_bw: Vec<u16>,
+
+    free_nodes_per_leaf: Vec<u16>,
+    free_nodes_per_pod: Vec<u32>,
+    /// Bit `i` set ⇔ this leaf's uplink to L2 position `i` is free.
+    leaf_uplink_free: Vec<u64>,
+    /// Bit `j` set ⇔ this L2 switch's uplink to spine slot `j` is free.
+    spine_uplink_free: Vec<u64>,
+    fully_free_leaves_per_pod: Vec<u16>,
+    leaf_fully_free: Vec<bool>,
+
+    allocated_nodes: u32,
+}
+
+impl SystemState {
+    /// Fresh, fully free state with the paper's bandwidth configuration.
+    pub fn new(tree: FatTree) -> Self {
+        Self::with_bandwidth(tree, LinkBandwidth::PAPER)
+    }
+
+    /// Fresh, fully free state with an explicit bandwidth configuration.
+    pub fn with_bandwidth(tree: FatTree, bandwidth: LinkBandwidth) -> Self {
+        let leaf_mask = mask_of(tree.l2_per_pod());
+        let spine_mask = mask_of(tree.spines_per_group());
+        SystemState {
+            tree,
+            bandwidth,
+            node_owner: vec![FREE; tree.num_nodes() as usize],
+            leaf_link_owner: vec![FREE; tree.num_leaf_links() as usize],
+            spine_link_owner: vec![FREE; tree.num_spine_links() as usize],
+            leaf_link_bw: vec![0; tree.num_leaf_links() as usize],
+            spine_link_bw: vec![0; tree.num_spine_links() as usize],
+            free_nodes_per_leaf: vec![tree.nodes_per_leaf() as u16; tree.num_leaves() as usize],
+            free_nodes_per_pod: vec![tree.nodes_per_pod(); tree.num_pods() as usize],
+            leaf_uplink_free: vec![leaf_mask; tree.num_leaves() as usize],
+            spine_uplink_free: vec![spine_mask; tree.num_l2() as usize],
+            fully_free_leaves_per_pod: vec![
+                tree.leaves_per_pod() as u16;
+                tree.num_pods() as usize
+            ],
+            leaf_fully_free: vec![true; tree.num_leaves() as usize],
+            allocated_nodes: 0,
+        }
+    }
+
+    /// The underlying tree.
+    #[inline]
+    pub fn tree(&self) -> &FatTree {
+        &self.tree
+    }
+
+    /// The bandwidth configuration for fractional reservation.
+    #[inline]
+    pub fn bandwidth(&self) -> LinkBandwidth {
+        self.bandwidth
+    }
+
+    // --- node queries -----------------------------------------------------
+
+    /// The job owning `node`, if any.
+    #[inline]
+    pub fn node_owner(&self, node: NodeId) -> Option<JobId> {
+        owner(self.node_owner[node.idx()])
+    }
+
+    /// `true` iff `node` is unallocated.
+    #[inline]
+    pub fn is_node_free(&self, node: NodeId) -> bool {
+        self.node_owner[node.idx()] == FREE
+    }
+
+    /// Free nodes under `leaf`.
+    #[inline]
+    pub fn free_nodes_on_leaf(&self, leaf: LeafId) -> u32 {
+        self.free_nodes_per_leaf[leaf.idx()] as u32
+    }
+
+    /// Free nodes in `pod`.
+    #[inline]
+    pub fn free_nodes_in_pod(&self, pod: PodId) -> u32 {
+        self.free_nodes_per_pod[pod.idx()]
+    }
+
+    /// Total allocated nodes (for instantaneous-utilization sampling).
+    #[inline]
+    pub fn allocated_node_count(&self) -> u32 {
+        self.allocated_nodes
+    }
+
+    /// Total free nodes (offline nodes are not free).
+    #[inline]
+    pub fn free_node_count(&self) -> u32 {
+        self.tree.num_nodes() - self.allocated_nodes
+    }
+
+    /// `true` iff `node` is marked offline (failed).
+    #[inline]
+    pub fn is_node_offline(&self, node: NodeId) -> bool {
+        self.node_owner[node.idx()] == OFFLINE
+    }
+
+    /// Number of offline nodes.
+    pub fn offline_node_count(&self) -> u32 {
+        self.node_owner.iter().filter(|&&o| o == OFFLINE).count() as u32
+    }
+
+    /// Mark a *free* node offline (failed hardware). Returns `false` — and
+    /// changes nothing — if the node is currently owned by a job (the
+    /// caller must kill/release the job first) or already offline.
+    pub fn set_node_offline(&mut self, node: NodeId) -> bool {
+        if self.node_owner[node.idx()] != FREE {
+            return false;
+        }
+        self.node_owner[node.idx()] = OFFLINE;
+        let leaf = self.tree.leaf_of_node(node);
+        let pod = self.tree.pod_of_leaf(leaf);
+        self.free_nodes_per_leaf[leaf.idx()] -= 1;
+        self.free_nodes_per_pod[pod.idx()] -= 1;
+        self.allocated_nodes += 1;
+        self.refresh_leaf_fully_free(leaf);
+        true
+    }
+
+    /// Bring an offline node back online. Returns `false` if the node was
+    /// not offline.
+    pub fn set_node_online(&mut self, node: NodeId) -> bool {
+        if self.node_owner[node.idx()] != OFFLINE {
+            return false;
+        }
+        self.node_owner[node.idx()] = FREE;
+        let leaf = self.tree.leaf_of_node(node);
+        let pod = self.tree.pod_of_leaf(leaf);
+        self.free_nodes_per_leaf[leaf.idx()] += 1;
+        self.free_nodes_per_pod[pod.idx()] += 1;
+        self.allocated_nodes -= 1;
+        self.refresh_leaf_fully_free(leaf);
+        true
+    }
+
+    /// `true` iff `leaf` has all nodes free, all uplinks unowned, and no
+    /// fractional bandwidth reserved on any uplink.
+    #[inline]
+    pub fn is_leaf_fully_free(&self, leaf: LeafId) -> bool {
+        self.leaf_fully_free[leaf.idx()]
+    }
+
+    /// Number of fully free leaves in `pod` (Jigsaw's three-level currency).
+    #[inline]
+    pub fn fully_free_leaves_in_pod(&self, pod: PodId) -> u32 {
+        self.fully_free_leaves_per_pod[pod.idx()] as u32
+    }
+
+    // --- link queries -------------------------------------------------------
+
+    /// Bitmask of `leaf`'s free uplinks (bit `i` ⇔ link to L2 position `i`).
+    #[inline]
+    pub fn leaf_uplink_free_mask(&self, leaf: LeafId) -> u64 {
+        self.leaf_uplink_free[leaf.idx()]
+    }
+
+    /// Bitmask of `l2`'s free spine uplinks (bit `j` ⇔ link to group slot `j`).
+    #[inline]
+    pub fn spine_uplink_free_mask(&self, l2: L2Id) -> u64 {
+        self.spine_uplink_free[l2.idx()]
+    }
+
+    /// The job exclusively owning a leaf↔L2 link, if any.
+    #[inline]
+    pub fn leaf_link_owner(&self, link: LeafLinkId) -> Option<JobId> {
+        owner(self.leaf_link_owner[link.idx()])
+    }
+
+    /// The job exclusively owning an L2↔spine link, if any.
+    #[inline]
+    pub fn spine_link_owner(&self, link: SpineLinkId) -> Option<JobId> {
+        owner(self.spine_link_owner[link.idx()])
+    }
+
+    /// Reserved fractional bandwidth on a leaf↔L2 link, tenths of GB/s.
+    #[inline]
+    pub fn leaf_link_bw_used(&self, link: LeafLinkId) -> u16 {
+        self.leaf_link_bw[link.idx()]
+    }
+
+    /// Reserved fractional bandwidth on an L2↔spine link, tenths of GB/s.
+    #[inline]
+    pub fn spine_link_bw_used(&self, link: SpineLinkId) -> u16 {
+        self.spine_link_bw[link.idx()]
+    }
+
+    /// Spare fractional capacity on a leaf↔L2 link, tenths of GB/s.
+    /// Zero if the link is exclusively owned.
+    #[inline]
+    pub fn leaf_link_bw_spare(&self, link: LeafLinkId) -> u16 {
+        if self.leaf_link_owner[link.idx()] != FREE {
+            0
+        } else {
+            self.bandwidth.cap_tenths.saturating_sub(self.leaf_link_bw[link.idx()])
+        }
+    }
+
+    /// Spare fractional capacity on an L2↔spine link, tenths of GB/s.
+    /// Zero if the link is exclusively owned.
+    #[inline]
+    pub fn spine_link_bw_spare(&self, link: SpineLinkId) -> u16 {
+        if self.spine_link_owner[link.idx()] != FREE {
+            0
+        } else {
+            self.bandwidth.cap_tenths.saturating_sub(self.spine_link_bw[link.idx()])
+        }
+    }
+
+    // --- node mutation --------------------------------------------------------
+
+    /// Give `node` to `job`.
+    ///
+    /// # Panics
+    /// If the node is already owned — allocators must check availability
+    /// first; double allocation is an isolation violation.
+    pub fn claim_node(&mut self, node: NodeId, job: JobId) {
+        let slot = &mut self.node_owner[node.idx()];
+        assert!(*slot == FREE, "isolation violation: {node} already owned by job#{}", *slot);
+        *slot = job.0;
+        let leaf = self.tree.leaf_of_node(node);
+        let pod = self.tree.pod_of_leaf(leaf);
+        self.free_nodes_per_leaf[leaf.idx()] -= 1;
+        self.free_nodes_per_pod[pod.idx()] -= 1;
+        self.allocated_nodes += 1;
+        self.refresh_leaf_fully_free(leaf);
+    }
+
+    /// Release `node`.
+    ///
+    /// # Panics
+    /// If the node is already free (double release is a scheduler bug).
+    pub fn release_node(&mut self, node: NodeId) {
+        let slot = &mut self.node_owner[node.idx()];
+        assert!(*slot != FREE, "double release of {node}");
+        *slot = FREE;
+        let leaf = self.tree.leaf_of_node(node);
+        let pod = self.tree.pod_of_leaf(leaf);
+        self.free_nodes_per_leaf[leaf.idx()] += 1;
+        self.free_nodes_per_pod[pod.idx()] += 1;
+        self.allocated_nodes -= 1;
+        self.refresh_leaf_fully_free(leaf);
+    }
+
+    // --- exclusive link mutation ------------------------------------------------
+
+    /// Exclusively claim a leaf↔L2 link for `job`.
+    ///
+    /// # Panics
+    /// If the link is owned or carries fractional reservations.
+    pub fn claim_leaf_link(&mut self, link: LeafLinkId, job: JobId) {
+        let slot = &mut self.leaf_link_owner[link.idx()];
+        assert!(*slot == FREE, "isolation violation: {link} already owned by job#{}", *slot);
+        assert!(
+            self.leaf_link_bw[link.idx()] == 0,
+            "isolation violation: {link} carries shared bandwidth"
+        );
+        *slot = job.0;
+        let leaf = self.tree.leaf_of_link(link);
+        let pos = self.tree.l2_position_of_link(link);
+        self.leaf_uplink_free[leaf.idx()] &= !(1u64 << pos);
+        self.refresh_leaf_fully_free(leaf);
+    }
+
+    /// Release an exclusively owned leaf↔L2 link.
+    pub fn release_leaf_link(&mut self, link: LeafLinkId) {
+        let slot = &mut self.leaf_link_owner[link.idx()];
+        assert!(*slot != FREE, "double release of {link}");
+        *slot = FREE;
+        let leaf = self.tree.leaf_of_link(link);
+        let pos = self.tree.l2_position_of_link(link);
+        self.leaf_uplink_free[leaf.idx()] |= 1u64 << pos;
+        self.refresh_leaf_fully_free(leaf);
+    }
+
+    /// Exclusively claim an L2↔spine link for `job`.
+    ///
+    /// # Panics
+    /// If the link is owned or carries fractional reservations.
+    pub fn claim_spine_link(&mut self, link: SpineLinkId, job: JobId) {
+        let slot = &mut self.spine_link_owner[link.idx()];
+        assert!(*slot == FREE, "isolation violation: {link} already owned by job#{}", *slot);
+        assert!(
+            self.spine_link_bw[link.idx()] == 0,
+            "isolation violation: {link} carries shared bandwidth"
+        );
+        *slot = job.0;
+        let l2 = self.tree.l2_of_spine_link(link);
+        let j = self.tree.spine_slot(self.tree.spine_of_link(link));
+        self.spine_uplink_free[l2.idx()] &= !(1u64 << j);
+    }
+
+    /// Release an exclusively owned L2↔spine link.
+    pub fn release_spine_link(&mut self, link: SpineLinkId) {
+        let slot = &mut self.spine_link_owner[link.idx()];
+        assert!(*slot != FREE, "double release of {link}");
+        *slot = FREE;
+        let l2 = self.tree.l2_of_spine_link(link);
+        let j = self.tree.spine_slot(self.tree.spine_of_link(link));
+        self.spine_uplink_free[l2.idx()] |= 1u64 << j;
+    }
+
+    // --- fractional link mutation (LC+S) ---------------------------------------
+
+    /// Reserve `amount` tenths of GB/s on a leaf↔L2 link if it fits under
+    /// the cap and the link is not exclusively owned. Returns success.
+    pub fn try_reserve_leaf_link_bw(&mut self, link: LeafLinkId, amount: u16) -> bool {
+        if self.leaf_link_bw_spare(link) < amount {
+            return false;
+        }
+        self.leaf_link_bw[link.idx()] += amount;
+        let leaf = self.tree.leaf_of_link(link);
+        self.refresh_leaf_fully_free(leaf);
+        true
+    }
+
+    /// Release `amount` tenths of GB/s from a leaf↔L2 link.
+    ///
+    /// # Panics
+    /// If more is released than was reserved.
+    pub fn release_leaf_link_bw(&mut self, link: LeafLinkId, amount: u16) {
+        let used = &mut self.leaf_link_bw[link.idx()];
+        assert!(*used >= amount, "bandwidth release underflow on {link}");
+        *used -= amount;
+        let leaf = self.tree.leaf_of_link(link);
+        self.refresh_leaf_fully_free(leaf);
+    }
+
+    /// Reserve `amount` tenths of GB/s on an L2↔spine link. Returns success.
+    pub fn try_reserve_spine_link_bw(&mut self, link: SpineLinkId, amount: u16) -> bool {
+        if self.spine_link_bw_spare(link) < amount {
+            return false;
+        }
+        self.spine_link_bw[link.idx()] += amount;
+        true
+    }
+
+    /// Release `amount` tenths of GB/s from an L2↔spine link.
+    ///
+    /// # Panics
+    /// If more is released than was reserved.
+    pub fn release_spine_link_bw(&mut self, link: SpineLinkId, amount: u16) {
+        let used = &mut self.spine_link_bw[link.idx()];
+        assert!(*used >= amount, "bandwidth release underflow on {link}");
+        *used -= amount;
+    }
+
+    // --- integrity ---------------------------------------------------------------
+
+    /// Recompute every derived index from the ownership vectors and assert
+    /// it matches the incrementally maintained copy. Test/debug helper;
+    /// `O(system size)`.
+    pub fn assert_consistent(&self) {
+        let t = &self.tree;
+        let mut alloc = 0u32;
+        for pod in t.pods() {
+            let mut pod_free = 0u32;
+            let mut pod_ff = 0u16;
+            for leaf in t.leaves_of_pod(pod) {
+                let free =
+                    t.nodes_of_leaf(leaf).filter(|n| self.node_owner[n.idx()] == FREE).count()
+                        as u32;
+                alloc += t.nodes_per_leaf() - free;
+                pod_free += free;
+                assert_eq!(
+                    self.free_nodes_per_leaf[leaf.idx()] as u32, free,
+                    "free-node count stale for {leaf}"
+                );
+                let mut mask = 0u64;
+                let mut unshared = true;
+                for pos in 0..t.l2_per_pod() {
+                    let link = t.leaf_link(leaf, pos);
+                    if self.leaf_link_owner[link.idx()] == FREE {
+                        mask |= 1 << pos;
+                    }
+                    if self.leaf_link_bw[link.idx()] != 0 {
+                        unshared = false;
+                    }
+                }
+                assert_eq!(
+                    self.leaf_uplink_free[leaf.idx()],
+                    mask,
+                    "uplink mask stale for {leaf}"
+                );
+                let ff = free == t.nodes_per_leaf() && mask == mask_of(t.l2_per_pod()) && unshared;
+                assert_eq!(self.leaf_fully_free[leaf.idx()], ff, "fully-free stale for {leaf}");
+                pod_ff += ff as u16;
+            }
+            assert_eq!(self.free_nodes_per_pod[pod.idx()], pod_free, "pod free count stale");
+            assert_eq!(
+                self.fully_free_leaves_per_pod[pod.idx()],
+                pod_ff,
+                "pod fully-free count stale"
+            );
+            for pos in 0..t.l2_per_pod() {
+                let l2 = t.l2_at(pod, pos);
+                let mut mask = 0u64;
+                for slot in 0..t.spines_per_group() {
+                    let link = t.spine_link(l2, slot);
+                    if self.spine_link_owner[link.idx()] == FREE {
+                        mask |= 1 << slot;
+                    }
+                }
+                assert_eq!(
+                    self.spine_uplink_free[l2.idx()],
+                    mask,
+                    "spine uplink mask stale for {l2}"
+                );
+            }
+        }
+        assert_eq!(self.allocated_nodes, alloc, "allocated-node count stale");
+    }
+
+    fn refresh_leaf_fully_free(&mut self, leaf: LeafId) {
+        let t = &self.tree;
+        let pod = t.pod_of_leaf(leaf);
+        let all_links = mask_of(t.l2_per_pod());
+        let mut ff = self.free_nodes_per_leaf[leaf.idx()] as u32 == t.nodes_per_leaf()
+            && self.leaf_uplink_free[leaf.idx()] == all_links;
+        if ff {
+            // Fractional reservations also disqualify a leaf from being the
+            // unit of a full-leaf allocation.
+            for pos in 0..t.l2_per_pod() {
+                if self.leaf_link_bw[t.leaf_link(leaf, pos).idx()] != 0 {
+                    ff = false;
+                    break;
+                }
+            }
+        }
+        let was = self.leaf_fully_free[leaf.idx()];
+        if was != ff {
+            self.leaf_fully_free[leaf.idx()] = ff;
+            if ff {
+                self.fully_free_leaves_per_pod[pod.idx()] += 1;
+            } else {
+                self.fully_free_leaves_per_pod[pod.idx()] -= 1;
+            }
+        }
+    }
+}
+
+#[inline]
+fn owner(raw: u32) -> Option<JobId> {
+    if raw == FREE || raw == OFFLINE {
+        None
+    } else {
+        Some(JobId(raw))
+    }
+}
+
+/// A mask with the lowest `n` bits set.
+#[inline]
+pub fn mask_of(n: u32) -> u64 {
+    debug_assert!(n <= 64);
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> SystemState {
+        SystemState::new(FatTree::maximal(4).unwrap())
+    }
+
+    #[test]
+    fn fresh_state_is_fully_free() {
+        let s = fresh();
+        assert_eq!(s.allocated_node_count(), 0);
+        assert_eq!(s.free_node_count(), 16);
+        for leaf in s.tree().leaves() {
+            assert!(s.is_leaf_fully_free(leaf));
+            assert_eq!(s.free_nodes_on_leaf(leaf), 2);
+            assert_eq!(s.leaf_uplink_free_mask(leaf), 0b11);
+        }
+        for pod in s.tree().pods() {
+            assert_eq!(s.fully_free_leaves_in_pod(pod), 2);
+            assert_eq!(s.free_nodes_in_pod(pod), 4);
+        }
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn claim_and_release_node_maintain_counters() {
+        let mut s = fresh();
+        let n = NodeId(5);
+        let leaf = s.tree().leaf_of_node(n);
+        let pod = s.tree().pod_of_leaf(leaf);
+        s.claim_node(n, JobId(1));
+        assert_eq!(s.node_owner(n), Some(JobId(1)));
+        assert!(!s.is_node_free(n));
+        assert_eq!(s.free_nodes_on_leaf(leaf), 1);
+        assert_eq!(s.free_nodes_in_pod(pod), 3);
+        assert!(!s.is_leaf_fully_free(leaf));
+        assert_eq!(s.fully_free_leaves_in_pod(pod), 1);
+        assert_eq!(s.allocated_node_count(), 1);
+        s.assert_consistent();
+
+        s.release_node(n);
+        assert!(s.is_node_free(n));
+        assert!(s.is_leaf_fully_free(leaf));
+        assert_eq!(s.allocated_node_count(), 0);
+        s.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "isolation violation")]
+    fn double_claim_node_panics() {
+        let mut s = fresh();
+        s.claim_node(NodeId(0), JobId(1));
+        s.claim_node(NodeId(0), JobId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_node_panics() {
+        let mut s = fresh();
+        s.claim_node(NodeId(0), JobId(1));
+        s.release_node(NodeId(0));
+        s.release_node(NodeId(0));
+    }
+
+    #[test]
+    fn leaf_link_claims_update_masks() {
+        let mut s = fresh();
+        let t = *s.tree();
+        let leaf = LeafId(3);
+        let link = t.leaf_link(leaf, 1);
+        s.claim_leaf_link(link, JobId(7));
+        assert_eq!(s.leaf_link_owner(link), Some(JobId(7)));
+        assert_eq!(s.leaf_uplink_free_mask(leaf), 0b01);
+        assert!(!s.is_leaf_fully_free(leaf));
+        s.assert_consistent();
+        s.release_leaf_link(link);
+        assert_eq!(s.leaf_uplink_free_mask(leaf), 0b11);
+        assert!(s.is_leaf_fully_free(leaf));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn spine_link_claims_update_masks() {
+        let mut s = fresh();
+        let t = *s.tree();
+        let l2 = t.l2_at(PodId(2), 1);
+        let link = t.spine_link(l2, 0);
+        s.claim_spine_link(link, JobId(3));
+        assert_eq!(s.spine_link_owner(link), Some(JobId(3)));
+        assert_eq!(s.spine_uplink_free_mask(l2), 0b10);
+        s.assert_consistent();
+        s.release_spine_link(link);
+        assert_eq!(s.spine_uplink_free_mask(l2), 0b11);
+        s.assert_consistent();
+    }
+
+    #[test]
+    #[should_panic(expected = "isolation violation")]
+    fn double_claim_leaf_link_panics() {
+        let mut s = fresh();
+        let link = s.tree().leaf_link(LeafId(0), 0);
+        s.claim_leaf_link(link, JobId(1));
+        s.claim_leaf_link(link, JobId(2));
+    }
+
+    #[test]
+    fn fractional_reservation_respects_cap() {
+        let mut s = fresh();
+        let link = s.tree().leaf_link(LeafId(0), 0);
+        assert!(s.try_reserve_leaf_link_bw(link, 20)); // 2.0 GB/s
+        assert!(s.try_reserve_leaf_link_bw(link, 20)); // 4.0 total = cap
+        assert!(!s.try_reserve_leaf_link_bw(link, 5)); // over the 80% cap
+        assert_eq!(s.leaf_link_bw_used(link), 40);
+        assert_eq!(s.leaf_link_bw_spare(link), 0);
+        s.release_leaf_link_bw(link, 20);
+        assert_eq!(s.leaf_link_bw_spare(link), 20);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn fractional_and_exclusive_modes_exclude_each_other() {
+        let mut s = fresh();
+        let link = s.tree().leaf_link(LeafId(0), 0);
+        assert!(s.try_reserve_leaf_link_bw(link, 5));
+        // A leaf carrying shared bandwidth is not fully free.
+        assert!(!s.is_leaf_fully_free(LeafId(0)));
+        s.release_leaf_link_bw(link, 5);
+        s.claim_leaf_link(link, JobId(1));
+        // Exclusive ownership leaves no spare fractional capacity.
+        assert_eq!(s.leaf_link_bw_spare(link), 0);
+        assert!(!s.try_reserve_leaf_link_bw(link, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "carries shared bandwidth")]
+    fn exclusive_claim_of_shared_link_panics() {
+        let mut s = fresh();
+        let link = s.tree().leaf_link(LeafId(0), 0);
+        assert!(s.try_reserve_leaf_link_bw(link, 5));
+        s.claim_leaf_link(link, JobId(1));
+    }
+
+    #[test]
+    fn spine_fractional_reservation() {
+        let mut s = fresh();
+        let link = s.tree().spine_link(L2Id(0), 1);
+        assert!(s.try_reserve_spine_link_bw(link, 40));
+        assert!(!s.try_reserve_spine_link_bw(link, 1));
+        assert_eq!(s.spine_link_bw_spare(link), 0);
+        s.release_spine_link_bw(link, 40);
+        assert_eq!(s.spine_link_bw_spare(link), 40);
+    }
+
+    #[test]
+    fn clone_is_independent_snapshot() {
+        let mut s = fresh();
+        s.claim_node(NodeId(0), JobId(1));
+        let snap = s.clone();
+        s.claim_node(NodeId(1), JobId(1));
+        assert_eq!(snap.allocated_node_count(), 1);
+        assert_eq!(s.allocated_node_count(), 2);
+        snap.assert_consistent();
+    }
+
+    #[test]
+    fn offline_nodes_are_not_free_and_not_owned() {
+        let mut s = fresh();
+        let n = NodeId(3);
+        assert!(s.set_node_offline(n));
+        assert!(!s.is_node_free(n));
+        assert!(s.is_node_offline(n));
+        assert_eq!(s.node_owner(n), None, "offline is not ownership");
+        assert_eq!(s.offline_node_count(), 1);
+        assert_eq!(s.free_node_count(), 15);
+        assert!(!s.is_leaf_fully_free(s.tree().leaf_of_node(n)));
+        s.assert_consistent();
+        // Double-offline and offline-of-owned are rejected.
+        assert!(!s.set_node_offline(n));
+        s.claim_node(NodeId(0), JobId(1));
+        assert!(!s.set_node_offline(NodeId(0)));
+        // Repair restores everything.
+        assert!(s.set_node_online(n));
+        assert!(!s.set_node_online(n));
+        assert!(s.is_node_free(n));
+        assert_eq!(s.offline_node_count(), 0);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn mask_of_widths() {
+        assert_eq!(mask_of(0), 0);
+        assert_eq!(mask_of(1), 1);
+        assert_eq!(mask_of(8), 0xFF);
+        assert_eq!(mask_of(64), u64::MAX);
+    }
+}

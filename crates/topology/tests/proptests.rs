@@ -1,0 +1,128 @@
+//! Property-based tests for the topology substrate: id arithmetic is a
+//! bijection, and the incrementally maintained allocation-state indices
+//! agree with recomputation after arbitrary operation sequences.
+
+use jigsaw_topology::ids::{JobId, LeafId, NodeId};
+use jigsaw_topology::{FatTree, FatTreeParams, SystemState};
+use proptest::prelude::*;
+
+/// Strategy: valid (possibly non-maximal, possibly tapered) parameters.
+fn params() -> impl Strategy<Value = FatTreeParams> {
+    (1u32..6, 1u32..6, 1u32..6, 1u32..6, 1u32..6).prop_map(|(p, l, m, w, g)| {
+        FatTreeParams::new(p, l, m, w, g).expect("small parameters are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// node → (leaf, slot) → node round-trips for every node.
+    #[test]
+    fn node_addressing_is_a_bijection(p in params()) {
+        let tree = FatTree::new(p);
+        for node in tree.nodes() {
+            let leaf = tree.leaf_of_node(node);
+            let slot = tree.node_slot(node);
+            prop_assert_eq!(tree.node_at(leaf, slot), node);
+            prop_assert!(tree.pod_of_leaf(leaf).0 < tree.num_pods());
+        }
+        // Every (leaf, slot) pair maps to a distinct node.
+        let mut seen = vec![false; tree.num_nodes() as usize];
+        for leaf in tree.leaves() {
+            for slot in 0..tree.nodes_per_leaf() {
+                let n = tree.node_at(leaf, slot);
+                prop_assert!(!seen[n.idx()]);
+                seen[n.idx()] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// Link endpoint arithmetic round-trips.
+    #[test]
+    fn link_addressing_round_trips(p in params()) {
+        let tree = FatTree::new(p);
+        for leaf in tree.leaves() {
+            for pos in 0..tree.l2_per_pod() {
+                let link = tree.leaf_link(leaf, pos);
+                prop_assert_eq!(tree.leaf_of_link(link), leaf);
+                prop_assert_eq!(tree.l2_position_of_link(link), pos);
+            }
+        }
+        for pod in tree.pods() {
+            for pos in 0..tree.l2_per_pod() {
+                for slot in 0..tree.spines_per_group() {
+                    let link = tree.spine_link_at(pod, pos, slot);
+                    let l2 = tree.l2_of_spine_link(link);
+                    prop_assert_eq!(tree.pod_of_l2(l2), pod);
+                    prop_assert_eq!(tree.l2_position(l2), pos);
+                    prop_assert_eq!(tree.spine_slot(tree.spine_of_link(link)), slot);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary claim/release interleavings keep the derived indices
+    /// consistent (checked by full recomputation) and land back at the
+    /// pristine state when all operations are undone.
+    #[test]
+    fn state_indices_survive_arbitrary_churn(ops in prop::collection::vec((0u32..64, any::<bool>()), 1..120)) {
+        let tree = FatTree::maximal(8).unwrap(); // 128 nodes
+        let mut state = SystemState::new(tree);
+        let pristine = state.clone();
+        let mut owned_nodes: Vec<NodeId> = Vec::new();
+        let mut owned_links: Vec<(LeafId, u32)> = Vec::new();
+        for (k, claim) in ops {
+            if claim {
+                let node = NodeId(k % tree.num_nodes());
+                if state.is_node_free(node) {
+                    state.claim_node(node, JobId(1));
+                    owned_nodes.push(node);
+                }
+                let leaf = LeafId(k % tree.num_leaves());
+                let pos = k % tree.l2_per_pod();
+                if state.leaf_link_owner(tree.leaf_link(leaf, pos)).is_none() {
+                    state.claim_leaf_link(tree.leaf_link(leaf, pos), JobId(1));
+                    owned_links.push((leaf, pos));
+                }
+            } else {
+                if let Some(node) = owned_nodes.pop() {
+                    state.release_node(node);
+                }
+                if let Some((leaf, pos)) = owned_links.pop() {
+                    state.release_leaf_link(tree.leaf_link(leaf, pos));
+                }
+            }
+            state.assert_consistent();
+        }
+        for node in owned_nodes {
+            state.release_node(node);
+        }
+        for (leaf, pos) in owned_links {
+            state.release_leaf_link(tree.leaf_link(leaf, pos));
+        }
+        prop_assert_eq!(state, pristine);
+    }
+
+    /// Fractional reservations never exceed the cap and always release to
+    /// zero.
+    #[test]
+    fn bandwidth_accounting_balances(amounts in prop::collection::vec(1u16..25, 1..30)) {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let link = tree.leaf_link(LeafId(0), 0);
+        let cap = state.bandwidth().cap_tenths;
+        let mut reserved = Vec::new();
+        for amount in amounts {
+            if state.try_reserve_leaf_link_bw(link, amount) {
+                reserved.push(amount);
+            }
+            prop_assert!(state.leaf_link_bw_used(link) <= cap);
+        }
+        for amount in reserved {
+            state.release_leaf_link_bw(link, amount);
+        }
+        prop_assert_eq!(state.leaf_link_bw_used(link), 0);
+        state.assert_consistent();
+    }
+}

@@ -1,0 +1,133 @@
+//! Probability distributions for workload modeling.
+//!
+//! Implemented here rather than pulling in `rand_distr` (see DESIGN.md §7):
+//! exponential (inverse-CDF), normal/log-normal (Box–Muller), and the
+//! power-of-two snapping that HPC job-size distributions exhibit.
+
+use rand::{Rng, RngExt};
+
+/// Sample `Exp(mean)` by inverse CDF.
+pub fn exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = rng.random::<f64>();
+    // 1 - u ∈ (0, 1]; ln is finite.
+    -mean * (1.0 - u).ln()
+}
+
+/// Sample a standard normal via Box–Muller.
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Sample `LogNormal(mu, sigma)` (parameters of the underlying normal).
+pub fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Sample uniformly from `[lo, hi)`.
+pub fn uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(hi > lo);
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+/// Round `x` to the nearest power of two (≥ 1).
+pub fn snap_pow2(x: f64) -> u32 {
+    if x <= 1.0 {
+        return 1;
+    }
+    let lg = x.log2().round().clamp(0.0, 31.0);
+    1u32 << lg as u32
+}
+
+/// Sample a job size that is "roughly exponential in shape but contains
+/// more sizes that are powers of two" (§5.1 on the LLNL traces): with
+/// probability `pow2_prob` the exponential draw is snapped to a power of
+/// two. Clamped to `[1, max]`.
+pub fn hpc_job_size<R: Rng>(rng: &mut R, mean: f64, max: u32, pow2_prob: f64) -> u32 {
+    let raw = exponential(rng, mean).max(1.0);
+    let size = if rng.random::<f64>() < pow2_prob {
+        snap_pow2(raw)
+    } else {
+        raw.round() as u32
+    };
+    size.clamp(1, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 16.0)).sum::<f64>() / n as f64;
+        assert!((mean - 16.0).abs() < 0.5, "sample mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let samples: Vec<f64> = (0..10_000).map(|_| lognormal(&mut rng, 4.0, 2.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > 2.0 * median, "lognormal(σ=2) must be heavily right-skewed");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..1000 {
+            let x = uniform(&mut rng, 20.0, 3000.0);
+            assert!((20.0..3000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pow2_snapping() {
+        assert_eq!(snap_pow2(0.3), 1);
+        assert_eq!(snap_pow2(1.4), 1);
+        assert_eq!(snap_pow2(3.0), 4); // log2(3) = 1.58 rounds to 2
+        assert_eq!(snap_pow2(6.0), 8); // log2(6) = 2.58 rounds to 3
+        assert_eq!(snap_pow2(100.0), 128);
+    }
+
+    #[test]
+    fn job_sizes_respect_bounds_and_spike_at_pow2() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut pow2_count = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let s = hpc_job_size(&mut rng, 24.0, 256, 0.5);
+            assert!((1..=256).contains(&s));
+            if s.is_power_of_two() {
+                pow2_count += 1;
+            }
+        }
+        // At least the snapped half lands on powers of two.
+        assert!(pow2_count as f64 > 0.45 * n as f64);
+    }
+}

@@ -1,0 +1,191 @@
+//! Per-trace summaries reproducing Table 1 of the paper.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Trace name.
+    pub name: String,
+    /// System node count ("–" in the paper for synthetic traces; 0 here).
+    pub system_nodes: u32,
+    /// Number of jobs.
+    pub jobs: usize,
+    /// Largest job size.
+    pub max_job_nodes: u32,
+    /// Runtime range in seconds.
+    pub runtime_range: (f64, f64),
+    /// Whether arrival times are retained.
+    pub arrival_times: bool,
+}
+
+impl TraceSummary {
+    /// Summarize a trace.
+    pub fn of(trace: &Trace) -> Self {
+        TraceSummary {
+            name: trace.name.clone(),
+            system_nodes: trace.system_nodes,
+            jobs: trace.len(),
+            max_job_nodes: trace.max_size(),
+            runtime_range: trace.runtime_range(),
+            arrival_times: trace.has_arrival_times(),
+        }
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let system = if self.system_nodes == 0 {
+            "–".to_string()
+        } else {
+            self.system_nodes.to_string()
+        };
+        write!(
+            f,
+            "{:<10} {:>7} {:>9} {:>8} {:>9.0}-{:<9.0} {}",
+            self.name,
+            system,
+            self.jobs,
+            self.max_job_nodes,
+            self.runtime_range.0,
+            self.runtime_range.1,
+            if self.arrival_times { "Y" } else { "N" },
+        )
+    }
+}
+
+/// Deeper per-trace analytics: where the node-seconds live.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceAnalysis {
+    /// Share of jobs that are single-node.
+    pub single_node_job_share: f64,
+    /// Share of jobs with power-of-two sizes.
+    pub pow2_job_share: f64,
+    /// Node-seconds-weighted mean job size (what fragmentation arithmetic
+    /// actually depends on; see EXPERIMENTS.md on LaaS).
+    pub weighted_mean_size: f64,
+    /// Plain mean job size.
+    pub mean_size: f64,
+    /// Share of total node-seconds carried by jobs larger than 64 nodes.
+    pub large_job_ns_share: f64,
+    /// Job-size histogram over power-of-two buckets: `buckets[k]` counts
+    /// jobs with `2^k ≤ size < 2^(k+1)`.
+    pub size_histogram: Vec<u64>,
+}
+
+impl TraceAnalysis {
+    /// Analyze a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let n = trace.len().max(1) as f64;
+        let single = trace.jobs.iter().filter(|j| j.size == 1).count() as f64 / n;
+        let pow2 =
+            trace.jobs.iter().filter(|j| j.size.is_power_of_two()).count() as f64 / n;
+        let mean_size = trace.jobs.iter().map(|j| j.size as f64).sum::<f64>() / n;
+        let total_ns: f64 = trace.total_node_seconds().max(f64::MIN_POSITIVE);
+        let weighted_mean_size = trace
+            .jobs
+            .iter()
+            .map(|j| j.size as f64 * (j.size as f64 * j.runtime))
+            .sum::<f64>()
+            / total_ns;
+        let large_ns: f64 =
+            trace.jobs.iter().filter(|j| j.size > 64).map(|j| j.size as f64 * j.runtime).sum();
+        let max_bucket =
+            trace.jobs.iter().map(|j| 32 - j.size.leading_zeros()).max().unwrap_or(0) as usize;
+        let mut size_histogram = vec![0u64; max_bucket];
+        for j in &trace.jobs {
+            let k = (31 - j.size.leading_zeros()) as usize;
+            size_histogram[k] += 1;
+        }
+        TraceAnalysis {
+            single_node_job_share: single,
+            pow2_job_share: pow2,
+            weighted_mean_size,
+            mean_size,
+            large_job_ns_share: large_ns / total_ns,
+            size_histogram,
+        }
+    }
+}
+
+impl fmt::Display for TraceAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "mean size            {:>8.1} nodes", self.mean_size)?;
+        writeln!(f, "weighted mean size   {:>8.1} nodes (by node-seconds)", self.weighted_mean_size)?;
+        writeln!(f, "single-node jobs     {:>8.1}%", 100.0 * self.single_node_job_share)?;
+        writeln!(f, "power-of-two sizes   {:>8.1}%", 100.0 * self.pow2_job_share)?;
+        writeln!(f, "node-seconds in >64n {:>8.1}%", 100.0 * self.large_job_ns_share)?;
+        writeln!(f, "size histogram (jobs per power-of-two bucket):")?;
+        for (k, &count) in self.size_histogram.iter().enumerate() {
+            if count > 0 {
+                writeln!(f, "  [{:>4}, {:>4}) {:>7}", 1u64 << k, 1u64 << (k + 1), count)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Format a set of summaries as the Table-1 layout.
+pub fn format_table1(summaries: &[TraceSummary]) -> String {
+    let mut out = String::from(
+        "Trace      System    Number   Max job  Job run times (s)  Arrival\n\
+         name        nodes   of jobs    nodes                      times\n",
+    );
+    for s in summaries {
+        out.push_str(&s.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synth;
+
+    #[test]
+    fn summary_of_synth_trace() {
+        let t = synth(16, 500, 1);
+        let s = TraceSummary::of(&t);
+        assert_eq!(s.name, "Synth-16");
+        assert_eq!(s.jobs, 500);
+        assert!(!s.arrival_times);
+        assert!(s.max_job_nodes <= 138);
+        let rendered = s.to_string();
+        assert!(rendered.contains("Synth-16"));
+        assert!(rendered.ends_with('N'));
+    }
+
+    #[test]
+    fn analysis_of_synth_trace() {
+        let t = synth(16, 2000, 1);
+        let a = TraceAnalysis::of(&t);
+        assert!((a.mean_size - 16.0).abs() < 2.0, "mean {}", a.mean_size);
+        // Exponential: weighted mean ≈ 2 × mean.
+        assert!(a.weighted_mean_size > 1.5 * a.mean_size, "{}", a.weighted_mean_size);
+        assert!(a.single_node_job_share > 0.0 && a.single_node_job_share < 0.2);
+        assert_eq!(a.size_histogram.iter().sum::<u64>(), 2000);
+        let text = a.to_string();
+        assert!(text.contains("weighted mean size"));
+    }
+
+    #[test]
+    fn analysis_handles_empty_trace() {
+        let t = Trace::new("e", 16, vec![]);
+        let a = TraceAnalysis::of(&t);
+        assert_eq!(a.mean_size, 0.0);
+        assert!(a.size_histogram.is_empty());
+    }
+
+    #[test]
+    fn table_rendering_includes_all_rows() {
+        let summaries: Vec<TraceSummary> =
+            [synth(16, 10, 1), synth(22, 10, 2)].iter().map(TraceSummary::of).collect();
+        let table = format_table1(&summaries);
+        assert!(table.contains("Synth-16"));
+        assert!(table.contains("Synth-22"));
+        assert_eq!(table.lines().count(), 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! The trace data model.
+
+use serde::{Deserialize, Serialize};
+
+/// One job of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceJob {
+    /// Sequential id within the trace.
+    pub id: u32,
+    /// Arrival (submit) time in seconds. Zero for arrive-at-once traces.
+    pub arrival: f64,
+    /// Requested node count.
+    pub size: u32,
+    /// Runtime in seconds under Baseline scheduling (speed-up scenarios
+    /// shorten this for isolating schedulers).
+    pub runtime: f64,
+    /// LC+S bandwidth class, tenths of GB/s (§5.4.2: 0.5–2.0 GB/s).
+    pub bw_tenths: u16,
+}
+
+/// A job-queue trace plus the system it was recorded on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Trace name as used in the paper's tables/figures.
+    pub name: String,
+    /// Node count of the originating system (Table 1, "System nodes").
+    pub system_nodes: u32,
+    /// The jobs, sorted by arrival time.
+    pub jobs: Vec<TraceJob>,
+}
+
+impl Trace {
+    /// Construct, sorting jobs by arrival and reassigning sequential ids.
+    pub fn new(name: impl Into<String>, system_nodes: u32, mut jobs: Vec<TraceJob>) -> Self {
+        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = i as u32;
+        }
+        Trace { name: name.into(), system_nodes, jobs }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` if the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Largest job size.
+    pub fn max_size(&self) -> u32 {
+        self.jobs.iter().map(|j| j.size).max().unwrap_or(0)
+    }
+
+    /// `(min, max)` runtime.
+    pub fn runtime_range(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for j in &self.jobs {
+            min = min.min(j.runtime);
+            max = max.max(j.runtime);
+        }
+        if self.jobs.is_empty() {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// `true` iff any job arrives after time zero.
+    pub fn has_arrival_times(&self) -> bool {
+        self.jobs.iter().any(|j| j.arrival > 0.0)
+    }
+
+    /// Total demanded node-seconds (`Σ size · runtime`).
+    pub fn total_node_seconds(&self) -> f64 {
+        self.jobs.iter().map(|j| j.size as f64 * j.runtime).sum()
+    }
+
+    /// Keep only the first `n` jobs (by arrival order). Used to scale
+    /// experiments down; documented wherever applied.
+    pub fn truncated(&self, n: usize) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            system_nodes: self.system_nodes,
+            jobs: self.jobs.iter().take(n).copied().collect(),
+        }
+    }
+
+    /// Multiply all arrival times by `factor` (the paper scales Aug-Cab and
+    /// Nov-Cab arrivals by 0.5 to raise load).
+    pub fn scale_arrivals(&mut self, factor: f64) {
+        for j in &mut self.jobs {
+            j.arrival *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(arrival: f64, size: u32, runtime: f64) -> TraceJob {
+        TraceJob { id: 0, arrival, size, runtime, bw_tenths: 10 }
+    }
+
+    #[test]
+    fn new_sorts_and_renumbers() {
+        let t = Trace::new("t", 64, vec![job(5.0, 2, 10.0), job(1.0, 4, 20.0)]);
+        assert_eq!(t.jobs[0].arrival, 1.0);
+        assert_eq!(t.jobs[0].id, 0);
+        assert_eq!(t.jobs[1].id, 1);
+    }
+
+    #[test]
+    fn summary_accessors() {
+        let t = Trace::new("t", 64, vec![job(0.0, 2, 10.0), job(0.0, 9, 20.0)]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.max_size(), 9);
+        assert_eq!(t.runtime_range(), (10.0, 20.0));
+        assert!(!t.has_arrival_times());
+        assert_eq!(t.total_node_seconds(), 2.0 * 10.0 + 9.0 * 20.0);
+    }
+
+    #[test]
+    fn truncate_and_scale() {
+        let mut t = Trace::new("t", 64, vec![job(0.0, 1, 1.0), job(4.0, 1, 1.0)]);
+        assert_eq!(t.truncated(1).len(), 1);
+        t.scale_arrivals(0.5);
+        assert_eq!(t.jobs[1].arrival, 2.0);
+        assert!(t.has_arrival_times());
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = Trace::new("empty", 16, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.max_size(), 0);
+        assert_eq!(t.runtime_range(), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,50 @@
+//! Capacity planning: sweep switch radixes and inspect what a maximal
+//! three-level fat-tree of each radix provides, how fast Jigsaw schedules
+//! on it, and what utilization an isolating scheduler sustains.
+//!
+//! Useful when sizing a cluster: the paper evaluates radix 16/18/22/28
+//! (1024–5488 nodes); this sweep covers the whole family.
+//!
+//! ```text
+//! cargo run --release -p jigsaw --example capacity_planning
+//! ```
+
+use jigsaw::prelude::*;
+use jigsaw::traces::synth::synth;
+use std::time::Instant;
+
+fn main() {
+    println!(
+        "{:>5} {:>7} {:>7} {:>7} {:>8} {:>11} {:>13} {:>12}",
+        "radix", "nodes", "leaves", "spines", "links", "jigsaw util", "avg sched µs", "makespan"
+    );
+    for radix in [8u32, 12, 16, 18, 22, 28] {
+        let tree = FatTree::maximal(radix).unwrap();
+        // A heavy synthetic workload proportional to machine size.
+        let mean = (tree.num_nodes() / 64).clamp(4, 28);
+        let trace = synth(mean, 600, radix as u64);
+
+        let t0 = Instant::now();
+        let result = simulate(
+            &tree,
+            SchedulerKind::Jigsaw.make(&tree),
+            &trace,
+            &SimConfig::default(),
+        );
+        let _elapsed = t0.elapsed();
+
+        println!(
+            "{:>5} {:>7} {:>7} {:>7} {:>8} {:>10.1}% {:>13.1} {:>12.0}",
+            radix,
+            tree.num_nodes(),
+            tree.num_leaves(),
+            tree.num_spines(),
+            tree.num_leaf_links() + tree.num_spine_links(),
+            100.0 * result.utilization,
+            1e6 * result.avg_sched_time_per_job(),
+            result.makespan,
+        );
+    }
+    println!("\nJigsaw scheduling time stays in the microsecond range across the");
+    println!("whole radix family — the paper's §6.4 scalability claim.");
+}

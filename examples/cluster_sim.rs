@@ -1,0 +1,63 @@
+//! Cluster-scale scheduling comparison: a scaled-down rendition of the
+//! paper's Figure 6 pipeline on one synthetic trace.
+//!
+//! Runs the Synth-16 workload (exponential sizes, uniform runtimes, all
+//! arriving at time zero) on the 1024-node radix-16 fat-tree under all five
+//! schemes and prints utilization, turnaround and makespan. Pass a job
+//! count to change the scale:
+//!
+//! ```text
+//! cargo run --release -p jigsaw --example cluster_sim [n_jobs]
+//! ```
+
+use jigsaw::prelude::*;
+use jigsaw::traces::synth::synth;
+
+fn main() {
+    let n_jobs: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1500);
+    let tree = FatTree::maximal(16).unwrap();
+    let trace = synth(16, n_jobs, 42);
+    println!(
+        "trace: {} ({} jobs, max {} nodes) on a {}-node cluster",
+        trace.name,
+        trace.len(),
+        trace.max_size(),
+        tree.num_nodes()
+    );
+    println!("scenario: 10% speed-up for isolated jobs larger than 4 nodes\n");
+
+    let config_iso = SimConfig {
+        scenario: Scenario::Fixed(10),
+        scheme_benefits: true,
+        ..SimConfig::default()
+    };
+    let config_base = SimConfig { scheme_benefits: false, ..config_iso.clone() };
+
+    println!(
+        "{:<10} {:>11} {:>14} {:>14} {:>12} {:>10}",
+        "scheme", "utilization", "avg turnaround", "turnaround>100", "makespan", "sched µs/job"
+    );
+    let mut baseline_turnaround = 0.0;
+    for kind in SchedulerKind::ALL {
+        let config = if kind == SchedulerKind::Baseline { &config_base } else { &config_iso };
+        let result = simulate(&tree, kind.make(&tree), &trace, config);
+        if kind == SchedulerKind::Baseline {
+            baseline_turnaround = result.avg_turnaround();
+        }
+        println!(
+            "{:<10} {:>10.1}% {:>14.0} {:>14.0} {:>12.0} {:>10.1}",
+            kind.name(),
+            100.0 * result.utilization,
+            result.avg_turnaround(),
+            result.avg_turnaround_large(100),
+            result.makespan,
+            1e6 * result.avg_sched_time_per_job(),
+        );
+    }
+    println!(
+        "\n(turnarounds normalized to Baseline = {:.0} s; lower is better — \
+         compare with the paper's Figs. 6-8)",
+        baseline_turnaround
+    );
+}

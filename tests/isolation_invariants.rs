@@ -1,0 +1,154 @@
+//! Cross-crate isolation invariants: whatever happens over a simulated
+//! lifetime, no two jobs ever share a node or a link, Jigsaw/LaaS shapes
+//! always satisfy the formal conditions, and every Jigsaw partition admits
+//! a contention-free routing (the paper's central guarantee).
+
+use jigsaw::core::conditions::check_shape;
+use jigsaw::prelude::*;
+use jigsaw::routing::permutation::random_permutation;
+use jigsaw::routing::verify::check_full_bandwidth;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Drive an allocate/release churn and hand every live allocation set to
+/// `inspect`.
+fn churn<F: FnMut(&FatTree, &SystemState, &[Allocation])>(
+    kind: SchedulerKind,
+    radix: u32,
+    steps: usize,
+    seed: u64,
+    mut inspect: F,
+) {
+    let tree = FatTree::maximal(radix).unwrap();
+    let mut state = SystemState::new(tree);
+    let mut alloc = kind.make(&tree);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<Allocation> = Vec::new();
+    for i in 0..steps {
+        if !live.is_empty() && (rng.random::<f64>() < 0.4 || state.free_node_count() == 0) {
+            let victim = rng.random_range(0..live.len());
+            let a = live.swap_remove(victim);
+            alloc.release(&mut state, &a);
+        } else {
+            let size = 1 + rng.random_range(0..tree.num_nodes() / 3);
+            if let Some(a) = alloc.allocate(
+                &mut state,
+                &JobRequest::with_bandwidth(JobId(i as u32), size, 10),
+            ) {
+                live.push(a);
+            }
+        }
+        state.assert_consistent();
+        inspect(&tree, &state, &live);
+    }
+}
+
+#[test]
+fn no_scheme_ever_double_books_nodes() {
+    for kind in SchedulerKind::ALL {
+        churn(kind, 8, 120, 7, |_, _, live| {
+            for i in 0..live.len() {
+                for j in i + 1..live.len() {
+                    let mut a = live[i].nodes.clone();
+                    a.retain(|n| live[j].nodes.contains(n));
+                    assert!(a.is_empty(), "{kind}: jobs {i} and {j} share nodes {a:?}");
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn exclusive_schemes_never_share_links() {
+    for kind in [SchedulerKind::Jigsaw, SchedulerKind::Laas] {
+        churn(kind, 8, 120, 11, |_, _, live| {
+            for i in 0..live.len() {
+                for j in i + 1..live.len() {
+                    assert!(
+                        live[i].is_disjoint_from(&live[j]),
+                        "{kind}: allocations must be fully disjoint"
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[test]
+fn jigsaw_shapes_always_satisfy_conditions_under_churn() {
+    churn(SchedulerKind::Jigsaw, 8, 150, 13, |tree, _, live| {
+        for a in live {
+            check_shape(tree, &a.shape).unwrap_or_else(|v| panic!("violation: {v}"));
+        }
+    });
+}
+
+#[test]
+fn laas_shapes_always_satisfy_conditions_under_churn() {
+    churn(SchedulerKind::Laas, 8, 150, 17, |tree, _, live| {
+        for a in live {
+            check_shape(tree, &a.shape).unwrap_or_else(|v| panic!("violation: {v}"));
+        }
+    });
+}
+
+#[test]
+fn jigsaw_partitions_are_rearrangeable_under_churn() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut checked = 0usize;
+    churn(SchedulerKind::Jigsaw, 4, 80, 19, |tree, _, live| {
+        // Sampling every step is expensive; check the newest allocation.
+        if let Some(a) = live.last() {
+            let perm = random_permutation(&a.nodes, &mut rng);
+            let routing = jigsaw::routing::route_permutation(tree, a, &perm)
+                .unwrap_or_else(|e| panic!("rearrangement failed: {e}"));
+            assert!(routing.max_link_load(tree) <= 1);
+            assert!(routing.confined_to(tree, a));
+            checked += 1;
+        }
+    });
+    assert!(checked > 20, "the churn must actually exercise allocations");
+}
+
+#[test]
+fn jigsaw_partitions_pass_maxflow_probes_under_churn() {
+    let mut checked = 0usize;
+    churn(SchedulerKind::Jigsaw, 4, 60, 23, |tree, _, live| {
+        if let Some(a) = live.last() {
+            check_full_bandwidth(tree, a).unwrap_or_else(|w| panic!("witness: {w:?}"));
+            checked += 1;
+        }
+    });
+    assert!(checked > 10);
+}
+
+#[test]
+fn lcs_respects_bandwidth_cap_under_churn() {
+    churn(SchedulerKind::LcS, 8, 150, 29, |tree, state, _| {
+        let cap = state.bandwidth().cap_tenths;
+        for leaf in tree.leaves() {
+            for pos in 0..tree.l2_per_pod() {
+                assert!(state.leaf_link_bw_used(tree.leaf_link(leaf, pos)) <= cap);
+            }
+        }
+    });
+}
+
+#[test]
+fn ta_leaf_jobs_never_span_leaves() {
+    let tree = FatTree::maximal(8).unwrap();
+    let mut state = SystemState::new(tree);
+    let mut ta = SchedulerKind::Ta.make(&tree);
+    let mut rng = StdRng::seed_from_u64(31);
+    for i in 0..200u32 {
+        let size = 1 + rng.random_range(0..tree.nodes_per_leaf());
+        if let Some(a) = ta.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
+            let leaves: std::collections::HashSet<_> =
+                a.nodes.iter().map(|&n| tree.leaf_of_node(n)).collect();
+            assert_eq!(leaves.len(), 1, "TA leaf-class jobs live on one leaf");
+            if rng.random::<f64>() < 0.5 {
+                ta.release(&mut state, &a);
+            }
+        }
+    }
+}

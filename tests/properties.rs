@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's invariants.
+
+use jigsaw::core::conditions::check_shape;
+use jigsaw::prelude::*;
+use jigsaw::routing::permutation::random_permutation;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a batch of job sizes for a machine of `max` nodes.
+fn sizes(max: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(1..=max, 1..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Jigsaw either grants exactly N = N_r with a condition-satisfying
+    /// shape, or grants nothing; claims and releases always balance.
+    #[test]
+    fn jigsaw_exactness_and_legality(batch in sizes(64), seed in 0u64..1000) {
+        let tree = FatTree::maximal(8).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let pristine = state.clone();
+        let mut live = Vec::new();
+        let _ = seed;
+        for (i, &size) in batch.iter().enumerate() {
+            if let Some(a) = jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+                prop_assert_eq!(a.nodes.len() as u32, size);
+                prop_assert!(check_shape(&tree, &a.shape).is_ok());
+                live.push(a);
+            }
+        }
+        state.assert_consistent();
+        for a in &live {
+            jig.release(&mut state, a);
+        }
+        prop_assert_eq!(state, pristine);
+    }
+
+    /// LaaS grants are exact for sub-leaf jobs (node-granularity packing)
+    /// and whole-leaf multiples for everything else; strict mode rounds
+    /// every job.
+    #[test]
+    fn laas_rounding_property(batch in sizes(64)) {
+        let tree = FatTree::maximal(8).unwrap();
+        let w = tree.nodes_per_leaf();
+        let mut state = SystemState::new(tree);
+        let mut laas = LaasAllocator::new(&tree);
+        for (i, &size) in batch.iter().enumerate() {
+            if let Some(a) = laas.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+                if size <= w {
+                    prop_assert_eq!(a.nodes.len() as u32, size);
+                } else {
+                    prop_assert_eq!(a.nodes.len() as u32, size.div_ceil(w) * w);
+                }
+                prop_assert!(check_shape(&tree, &a.shape).is_ok());
+            }
+        }
+        state.assert_consistent();
+
+        let mut state = SystemState::new(tree);
+        let mut strict = LaasAllocator::strict_whole_leaf(&tree);
+        for (i, &size) in batch.iter().enumerate() {
+            if let Some(a) = strict.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+                prop_assert_eq!(a.nodes.len() as u32, size.div_ceil(w) * w);
+            }
+        }
+    }
+
+    /// Whatever Jigsaw allocates on a random machine state is
+    /// rearrangeable non-blocking: a random permutation routes with at
+    /// most one flow per directed link, confined to the partition.
+    #[test]
+    fn jigsaw_partitions_rearrangeable(presizes in sizes(10), size in 1u32..16, seed in 0u64..10_000) {
+        let tree = FatTree::maximal(4).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        // Random pre-occupancy.
+        for (i, &s) in presizes.iter().enumerate() {
+            let _ = jig.allocate(&mut state, &JobRequest::new(JobId(100 + i as u32), s.min(6)));
+        }
+        if let Some(a) = jig.allocate(&mut state, &JobRequest::new(JobId(1), size)) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let perm = random_permutation(&a.nodes, &mut rng);
+            let routing = jigsaw::routing::route_permutation(&tree, &a, &perm);
+            prop_assert!(routing.is_ok(), "rearrangement failed: {:?}", routing.err());
+            let routing = routing.unwrap();
+            prop_assert!(routing.max_link_load(&tree) <= 1);
+            prop_assert!(routing.confined_to(&tree, &a));
+        }
+    }
+
+    /// The wraparound partition router reaches every pair and never leaves
+    /// the allocation.
+    #[test]
+    fn partition_router_reachability(size in 2u32..40) {
+        let tree = FatTree::maximal(8).unwrap();
+        let mut state = SystemState::new(tree);
+        let mut jig = JigsawAllocator::new(&tree);
+        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), size)).unwrap();
+        let router = PartitionRouter::new(&tree, &a).unwrap();
+        for &s in a.nodes.iter().take(8) {
+            for &d in a.nodes.iter().rev().take(8) {
+                prop_assert!(router.route(&tree, s, d).is_some());
+            }
+        }
+    }
+
+    /// Utilization is always within [0, 1] and makespan is bounded below
+    /// by the longest job, for every scheme.
+    #[test]
+    fn simulation_metric_sanity(batch in sizes(16), kind_idx in 0usize..5) {
+        let tree = FatTree::maximal(4).unwrap();
+        let kind = SchedulerKind::ALL[kind_idx];
+        let jobs: Vec<TraceJob> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| TraceJob {
+                id: i as u32,
+                arrival: 0.0,
+                size: s,
+                runtime: 10.0 + (i % 7) as f64,
+                bw_tenths: 10,
+            })
+            .collect();
+        let longest = jobs
+            .iter()
+            .filter(|j| j.size <= 16)
+            .map(|j| j.runtime)
+            .fold(0.0f64, f64::max);
+        let trace = Trace::new("prop", 16, jobs);
+        let r = simulate(&tree, kind.make(&tree), &trace, &SimConfig::default());
+        prop_assert!(r.utilization >= 0.0 && r.utilization <= 1.0 + 1e-9);
+        if longest > 0.0 && r.jobs.iter().any(|j| j.scheduled()) {
+            prop_assert!(r.makespan + 1e-9 >= longest * 0.999 || kind == SchedulerKind::Ta
+                || kind == SchedulerKind::Laas,
+                "makespan {} shorter than longest schedulable job {longest}", r.makespan);
+        }
+    }
+
+    /// Releasing in any order restores the pristine state for every
+    /// exclusive scheme.
+    #[test]
+    fn release_order_independence(batch in sizes(32), order_seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        for kind in [SchedulerKind::Jigsaw, SchedulerKind::Laas, SchedulerKind::Baseline] {
+            let tree = FatTree::maximal(8).unwrap();
+            let mut state = SystemState::new(tree);
+            let mut alloc = kind.make(&tree);
+            let pristine = state.clone();
+            let mut live = Vec::new();
+            for (i, &size) in batch.iter().enumerate() {
+                if let Some(a) =
+                    alloc.allocate(&mut state, &JobRequest::new(JobId(i as u32), size))
+                {
+                    live.push(a);
+                }
+            }
+            let mut rng = StdRng::seed_from_u64(order_seed);
+            live.shuffle(&mut rng);
+            for a in &live {
+                alloc.release(&mut state, a);
+            }
+            prop_assert_eq!(&state, &pristine);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The experiment harness runs scaled-down traces by default (DESIGN.md §5).
+//! This test backs that choice: relative utilization between schemes is
+//! stable across trace scales, because the load stays heavy either way.
+
+use jigsaw::prelude::*;
+use jigsaw::traces::synth::synth;
+
+fn utilization(kind: SchedulerKind, trace: &Trace, tree: &FatTree) -> f64 {
+    let cfg = SimConfig { scheme_benefits: kind != SchedulerKind::Baseline, ..SimConfig::default() };
+    simulate(tree, kind.make(tree), trace, &cfg).utilization
+}
+
+#[test]
+fn utilization_gap_stable_across_scales() {
+    let tree = FatTree::maximal(16).unwrap();
+    let small = synth(16, 400, 42);
+    let large = synth(16, 1600, 42);
+
+    for (a, b) in [
+        (SchedulerKind::Jigsaw, SchedulerKind::Laas),
+        (SchedulerKind::Jigsaw, SchedulerKind::Ta),
+    ] {
+        let gap_small = utilization(a, &small, &tree) - utilization(b, &small, &tree);
+        let gap_large = utilization(a, &large, &tree) - utilization(b, &large, &tree);
+        assert!(
+            gap_small > 0.0 && gap_large > 0.0,
+            "{a} must beat {b} at both scales ({gap_small:.3}, {gap_large:.3})"
+        );
+        assert!(
+            (gap_small - gap_large).abs() < 0.06,
+            "{a}-vs-{b} gap must be scale-stable: {gap_small:.3} vs {gap_large:.3}"
+        );
+    }
+}
+
+#[test]
+fn absolute_utilization_stable_across_scales() {
+    let tree = FatTree::maximal(16).unwrap();
+    for kind in [SchedulerKind::Baseline, SchedulerKind::Jigsaw, SchedulerKind::Laas] {
+        let u_small = utilization(kind, &synth(16, 400, 7), &tree);
+        let u_large = utilization(kind, &synth(16, 1600, 7), &tree);
+        assert!(
+            (u_small - u_large).abs() < 0.05,
+            "{kind}: utilization must be scale-stable ({u_small:.3} vs {u_large:.3})"
+        );
+    }
+}

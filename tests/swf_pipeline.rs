@@ -1,0 +1,45 @@
+//! The SWF import path produces traces that behave identically to
+//! generator output in the simulation pipeline.
+
+use jigsaw::prelude::*;
+use jigsaw::traces::swf::{parse_swf, to_swf};
+use jigsaw::traces::synth::synth;
+
+#[test]
+fn swf_roundtrip_preserves_simulation() {
+    let tree = FatTree::maximal(8).unwrap();
+    let original = synth(8, 300, 17);
+    let text = to_swf(&original);
+    let mut reparsed = parse_swf(&original.name, original.system_nodes, &text, 1);
+    // Bandwidth classes differ (SWF carries none); align them so LC+S-free
+    // schemes compare exactly.
+    for (a, b) in reparsed.jobs.iter_mut().zip(&original.jobs) {
+        a.bw_tenths = b.bw_tenths;
+    }
+
+    for kind in [SchedulerKind::Baseline, SchedulerKind::Jigsaw, SchedulerKind::Laas] {
+        let r1 = simulate(&tree, kind.make(&tree), &original, &SimConfig::default());
+        let r2 = simulate(&tree, kind.make(&tree), &reparsed, &SimConfig::default());
+        assert_eq!(r1.jobs.len(), r2.jobs.len());
+        assert!(
+            (r1.utilization - r2.utilization).abs() < 1e-9,
+            "{kind}: utilization must match through SWF round-trip"
+        );
+        assert!((r1.makespan - r2.makespan).abs() < 1e-9);
+        for (a, b) in r1.jobs.iter().zip(&r2.jobs) {
+            assert_eq!(a.size, b.size);
+            assert!((a.start - b.start).abs() < 1e-9 || (!a.scheduled() && !b.scheduled()));
+        }
+    }
+}
+
+#[test]
+fn swf_comments_and_garbage_tolerated() {
+    let text = "; header\n\n; another\n1 0 0 100 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+    let t = parse_swf("mini", 16, text, 1);
+    assert_eq!(t.len(), 1);
+    let tree = FatTree::maximal(4).unwrap();
+    let r = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &t, &SimConfig::default());
+    assert!(r.jobs[0].scheduled());
+    assert_eq!(r.jobs[0].end, 100.0);
+}
