@@ -16,9 +16,17 @@ fn bench_backfill(c: &mut Criterion) {
     group.sample_size(10);
     for window in [0usize, 10, 50, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
-            let config = SimConfig { backfill_window: w, ..SimConfig::default() };
+            let config = SimConfig {
+                backfill_window: w,
+                ..SimConfig::default()
+            };
             b.iter(|| {
-                black_box(simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config))
+                black_box(simulate(
+                    &tree,
+                    SchedulerKind::Jigsaw.make(&tree),
+                    &trace,
+                    &config,
+                ))
             });
         });
     }

@@ -12,7 +12,11 @@ use std::hint::black_box;
 
 /// Churn the machine to roughly `target` occupancy with a deterministic
 /// mixed job stream.
-fn churned(tree: &FatTree, scheme: SchedulerKind, target: f64) -> (SystemState, Box<dyn Allocator>) {
+fn churned(
+    tree: &FatTree,
+    scheme: SchedulerKind,
+    target: f64,
+) -> (SystemState, Box<dyn Allocator>) {
     let mut state = SystemState::new(*tree);
     let mut alloc = scheme.make(tree);
     let mut i = 0u32;
@@ -56,8 +60,8 @@ fn bench_alloc(c: &mut Criterion) {
                     let (mut state, mut alloc) = churned(&tree, scheme, 0.7);
                     let size = tree.nodes_per_leaf() + 1;
                     b.iter(|| {
-                        if let Some(a) = alloc
-                            .allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
+                        if let Some(a) =
+                            alloc.allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
                         {
                             alloc.release(&mut state, &a);
                         }

@@ -14,13 +14,17 @@ fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput/synth16_400jobs");
     group.sample_size(10);
     for scheme in SchedulerKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &scheme, |b, &s| {
-            let config = SimConfig {
-                scheme_benefits: s != SchedulerKind::Baseline,
-                ..SimConfig::default()
-            };
-            b.iter(|| black_box(simulate(&tree, s.make(&tree), &trace, &config)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.name()),
+            &scheme,
+            |b, &s| {
+                let config = SimConfig {
+                    scheme_benefits: s != SchedulerKind::Baseline,
+                    ..SimConfig::default()
+                };
+                b.iter(|| black_box(simulate(&tree, s.make(&tree), &trace, &config)));
+            },
+        );
     }
     group.finish();
 }

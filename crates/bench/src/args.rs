@@ -14,7 +14,11 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { scale: 0.02, seed: 2021, out_dir: "results".into() }
+        HarnessArgs {
+            scale: 0.02,
+            seed: 2021,
+            out_dir: "results".into(),
+        }
     }
 }
 
@@ -40,7 +44,9 @@ impl HarnessArgs {
                         .unwrap_or_else(|| usage("--seed needs an integer"));
                 }
                 "--out" => {
-                    args.out_dir = it.next().unwrap_or_else(|| usage("--out needs a directory"));
+                    args.out_dir = it
+                        .next()
+                        .unwrap_or_else(|| usage("--out needs a directory"));
                 }
                 other => usage(&format!("unknown flag {other}")),
             }

@@ -38,7 +38,10 @@ fn main() {
     let lcs = simulate(&tree, SchedulerKind::LcS.make(&tree), &trace, &config);
 
     println!("## Ablation — the full-leaf restriction (§4)\n");
-    println!("{:<28} {:>12} {:>16} {:>14}", "variant", "utilization", "sched time/job", "makespan");
+    println!(
+        "{:<28} {:>12} {:>16} {:>14}",
+        "variant", "utilization", "sched time/job", "makespan"
+    );
     for (name, r) in [
         ("Jigsaw (restricted)", &jig),
         ("LC (least constrained)", &lc),

@@ -16,12 +16,19 @@ use jigsaw_sim::{simulate, SimConfig};
 fn main() {
     let args = HarnessArgs::parse();
     println!("## Ablation — Jigsaw shape enumeration order\n");
-    println!("{:<10} {:>16} {:>15} {:>16} {:>15}", "trace", "densest util", "densest µs/job", "widest util", "widest µs/job");
+    println!(
+        "{:<10} {:>16} {:>15} {:>16} {:>15}",
+        "trace", "densest util", "densest µs/job", "widest util", "widest µs/job"
+    );
     for name in ["Synth-16", "Thunder"] {
         let (trace, tree) = trace_by_name(name, args.scale, args.seed);
         let config = SimConfig::default();
-        let dense =
-            simulate(&tree, Box::new(JigsawAllocator::new(&tree)), &trace, &config);
+        let dense = simulate(
+            &tree,
+            Box::new(JigsawAllocator::new(&tree)),
+            &trace,
+            &config,
+        );
         let wide = simulate(
             &tree,
             Box::new(JigsawAllocator::with_widest_first_order(&tree)),

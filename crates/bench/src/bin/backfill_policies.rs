@@ -34,7 +34,10 @@ fn main() {
         ("EASY", BackfillPolicy::Easy),
         ("conservative", BackfillPolicy::Conservative),
     ] {
-        let config = SimConfig { policy, ..SimConfig::default() };
+        let config = SimConfig {
+            policy,
+            ..SimConfig::default()
+        };
         let r = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config);
         println!(
             "{:<14} {:>10.1}% {:>14.0} {:>12.0} {:>12.0} {:>14.1}",

@@ -32,7 +32,10 @@ fn main() {
             ("over up to 5x", EstimateModel::Over { max_factor: 5.0 }),
             ("over up to 10x", EstimateModel::Over { max_factor: 10.0 }),
         ] {
-            let config = SimConfig { estimates: model, ..SimConfig::default() };
+            let config = SimConfig {
+                estimates: model,
+                ..SimConfig::default()
+            };
             let r = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config);
             println!(
                 "{:<12} {:>24} {:>10.1}% {:>14.0} {:>12.0}",

@@ -30,12 +30,34 @@ fn main() {
     // scale) so the sweep spans "rare" to "constant" failures.
     let models = [
         ("none", FailureModel::None),
-        ("mtbf 2e6 s/node", FailureModel::Random { mtbf_node_seconds: 2e6, repair_seconds: 600.0 }),
-        ("mtbf 5e5 s/node", FailureModel::Random { mtbf_node_seconds: 5e5, repair_seconds: 600.0 }),
-        ("mtbf 1e5 s/node", FailureModel::Random { mtbf_node_seconds: 1e5, repair_seconds: 600.0 }),
+        (
+            "mtbf 2e6 s/node",
+            FailureModel::Random {
+                mtbf_node_seconds: 2e6,
+                repair_seconds: 600.0,
+            },
+        ),
+        (
+            "mtbf 5e5 s/node",
+            FailureModel::Random {
+                mtbf_node_seconds: 5e5,
+                repair_seconds: 600.0,
+            },
+        ),
+        (
+            "mtbf 1e5 s/node",
+            FailureModel::Random {
+                mtbf_node_seconds: 1e5,
+                repair_seconds: 600.0,
+            },
+        ),
     ];
     for (label, failures) in models {
-        for kind in [SchedulerKind::Baseline, SchedulerKind::Jigsaw, SchedulerKind::Laas] {
+        for kind in [
+            SchedulerKind::Baseline,
+            SchedulerKind::Jigsaw,
+            SchedulerKind::Laas,
+        ] {
             let config = SimConfig {
                 failures,
                 scheme_benefits: kind != SchedulerKind::Baseline,

@@ -21,8 +21,10 @@ fn main() {
     let args = HarnessArgs::parse();
     let trace_names = ["Aug-Cab", "Oct-Cab"];
     eprintln!("generating Cab traces at scale {} ...", args.scale);
-    let traces: Vec<_> =
-        trace_names.iter().map(|n| trace_by_name(n, args.scale, args.seed)).collect();
+    let traces: Vec<_> = trace_names
+        .iter()
+        .map(|n| trace_by_name(n, args.scale, args.seed))
+        .collect();
     let cells = product(&trace_names, &SchedulerKind::ALL, &Scenario::ALL);
     eprintln!("running {} simulations ...", cells.len());
     let results = run_grid(&cells, &traces, args.seed, false);
@@ -32,10 +34,7 @@ fn main() {
     for trace in trace_names {
         let mut rows = Vec::new();
         for kind in SchedulerKind::ISOLATING {
-            for (suffix, pick) in [
-                ("all", 0usize),
-                ("large", 1usize),
-            ] {
+            for (suffix, pick) in [("all", 0usize), ("large", 1usize)] {
                 let values = Scenario::ALL
                     .iter()
                     .map(|s| {
@@ -54,7 +53,9 @@ fn main() {
         println!(
             "{}",
             table(
-                &format!("Figure 7 — turnaround on {trace}, normalized to Baseline (lower is better)"),
+                &format!(
+                    "Figure 7 — turnaround on {trace}, normalized to Baseline (lower is better)"
+                ),
                 &columns,
                 &rows
             )

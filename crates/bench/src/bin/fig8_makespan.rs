@@ -20,8 +20,10 @@ fn main() {
     let args = HarnessArgs::parse();
     let trace_names = ["Thunder", "Atlas"];
     eprintln!("generating traces at scale {} ...", args.scale);
-    let traces: Vec<_> =
-        trace_names.iter().map(|n| trace_by_name(n, args.scale, args.seed)).collect();
+    let traces: Vec<_> = trace_names
+        .iter()
+        .map(|n| trace_by_name(n, args.scale, args.seed))
+        .collect();
     let cells = product(&trace_names, &SchedulerKind::ALL, &Scenario::ALL);
     eprintln!("running {} simulations ...", cells.len());
     let results = run_grid(&cells, &traces, args.seed, false);
@@ -46,7 +48,9 @@ fn main() {
         println!(
             "{}",
             table(
-                &format!("Figure 8 — makespan on {trace}, normalized to Baseline (lower is better)"),
+                &format!(
+                    "Figure 8 — makespan on {trace}, normalized to Baseline (lower is better)"
+                ),
                 &columns,
                 &rows
             )

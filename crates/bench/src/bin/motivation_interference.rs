@@ -45,9 +45,10 @@ fn main() {
     let churn = |state: &mut SystemState, alloc: &mut Box<dyn Allocator>, rng: &mut StdRng| {
         let mut held = Vec::new();
         for i in 0..400u32 {
-            if let Some(a) =
-                alloc.allocate(state, &JobRequest::new(JobId(1000 + i), 1 + rng.random_range(0..24)))
-            {
+            if let Some(a) = alloc.allocate(
+                state,
+                &JobRequest::new(JobId(1000 + i), 1 + rng.random_range(0u32..24)),
+            ) {
                 held.push(a);
             }
         }
@@ -77,7 +78,11 @@ fn main() {
         .map(|a| {
             random_permutation(&a.nodes, &mut rng)
                 .into_iter()
-                .map(|(s, d)| Flow { src: s, dst: d, route: dmodk_route(&tree, s, d) })
+                .map(|(s, d)| Flow {
+                    src: s,
+                    dst: d,
+                    route: dmodk_route(&tree, s, d),
+                })
                 .collect()
         })
         .collect();
@@ -90,8 +95,7 @@ fn main() {
 
     // --- Baseline + SAR-like reactive rerouting (§7 related work). ----------
     // Same placements, but a global balancer re-routes every live flow.
-    let all_pairs: Vec<(NodeId, NodeId)> =
-        flows.iter().flatten().map(|f| (f.src, f.dst)).collect();
+    let all_pairs: Vec<(NodeId, NodeId)> = flows.iter().flatten().map(|f| (f.src, f.dst)).collect();
     let balanced = jigsaw_routing::adaptive::balance_routes(&tree, &all_pairs);
     let mut rerouted: Vec<Vec<Flow>> = Vec::new();
     let mut cursor = 0;
@@ -100,7 +104,11 @@ fn main() {
             job_flows
                 .iter()
                 .zip(&balanced[cursor..cursor + job_flows.len()])
-                .map(|(f, &route)| Flow { src: f.src, dst: f.dst, route })
+                .map(|(f, &route)| Flow {
+                    src: f.src,
+                    dst: f.dst,
+                    route,
+                })
                 .collect(),
         );
         cursor += job_flows.len();
@@ -115,15 +123,21 @@ fn main() {
 
     // --- Jigsaw + static partition routing. ----------------------------------
     let (allocs, _) = place(SchedulerKind::Jigsaw, &mut rng);
-    let perms: Vec<Vec<(NodeId, NodeId)>> =
-        allocs.iter().map(|a| random_permutation(&a.nodes, &mut rng)).collect();
+    let perms: Vec<Vec<(NodeId, NodeId)>> = allocs
+        .iter()
+        .map(|a| random_permutation(&a.nodes, &mut rng))
+        .collect();
     let flows: Vec<Vec<Flow>> = allocs
         .iter()
         .zip(&perms)
         .map(|(a, perm)| {
             let router = PartitionRouter::new(&tree, a).expect("structured");
             perm.iter()
-                .map(|&(s, d)| Flow { src: s, dst: d, route: router.route(&tree, s, d).unwrap() })
+                .map(|&(s, d)| Flow {
+                    src: s,
+                    dst: d,
+                    route: router.route(&tree, s, d).unwrap(),
+                })
                 .collect()
         })
         .collect();
@@ -132,10 +146,18 @@ fn main() {
         .iter()
         .map(|f| job_slowdowns(&tree, std::slice::from_ref(f))[0])
         .collect();
-    report_delta("Jigsaw + partition routing (static)", &allocs, &alone, &together);
+    report_delta(
+        "Jigsaw + partition routing (static)",
+        &allocs,
+        &alone,
+        &together,
+    );
     // Neighbor-independence: each job alone has the same slowdown.
     for (i, (&a, &t)) in alone.iter().zip(&together).enumerate() {
-        assert!((a - t).abs() < 1e-9, "job {i} slowdown must be neighbor-independent");
+        assert!(
+            (a - t).abs() < 1e-9,
+            "job {i} slowdown must be neighbor-independent"
+        );
     }
     println!("  (verified: zero interference — alone == together for every job)\n");
 
@@ -148,12 +170,20 @@ fn main() {
                 .expect("legal partitions are rearrangeable")
                 .flows
                 .into_iter()
-                .map(|(s, d, route)| Flow { src: s, dst: d, route })
+                .map(|(s, d, route)| Flow {
+                    src: s,
+                    dst: d,
+                    route,
+                })
                 .collect()
         })
         .collect();
     let slowdowns = job_slowdowns(&tree, &flows);
-    report("Jigsaw + rearranged routing (Theorem 6)", &allocs, &slowdowns);
+    report(
+        "Jigsaw + rearranged routing (Theorem 6)",
+        &allocs,
+        &slowdowns,
+    );
     assert!(slowdowns.iter().all(|&s| (s - 1.0).abs() < 1e-9));
     println!("  (guaranteed: every permutation routes contention-free)");
 }
@@ -188,7 +218,10 @@ fn report_delta(title: &str, allocs: &[Allocation], alone: &[f64], together: &[f
             100.0 * (tg / al - 1.0)
         );
     }
-    let worst =
-        alone.iter().zip(together).map(|(&a, &t)| t / a).fold(1.0f64, f64::max);
+    let worst = alone
+        .iter()
+        .zip(together)
+        .map(|(&a, &t)| t / a)
+        .fold(1.0f64, f64::max);
     println!("  worst interference: {:+.0}%\n", 100.0 * (worst - 1.0));
 }

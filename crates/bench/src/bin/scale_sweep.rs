@@ -15,11 +15,18 @@ use jigsaw_sim::{simulate, SimConfig};
 fn main() {
     let args = HarnessArgs::parse();
     println!("## Thunder utilization vs. trace scale\n");
-    println!("{:>7} {:>7} {:>10} {:>8} {:>8}", "scale", "jobs", "Baseline", "Jigsaw", "LC+S");
+    println!(
+        "{:>7} {:>7} {:>10} {:>8} {:>8}",
+        "scale", "jobs", "Baseline", "Jigsaw", "LC+S"
+    );
     for scale in [0.02f64, 0.05, 0.1, 0.15] {
         let (trace, tree) = trace_by_name("Thunder", scale, args.seed);
         let mut cells = Vec::new();
-        for kind in [SchedulerKind::Baseline, SchedulerKind::Jigsaw, SchedulerKind::LcS] {
+        for kind in [
+            SchedulerKind::Baseline,
+            SchedulerKind::Jigsaw,
+            SchedulerKind::LcS,
+        ] {
             let config = SimConfig {
                 scheme_benefits: kind != SchedulerKind::Baseline,
                 ..SimConfig::default()
@@ -27,7 +34,14 @@ fn main() {
             let r = simulate(&tree, kind.make(&tree), &trace, &config);
             cells.push(format!("{:>7.1}%", 100.0 * r.utilization));
         }
-        println!("{:>7} {:>7} {:>10} {:>8} {:>8}", scale, trace.len(), cells[0], cells[1], cells[2]);
+        println!(
+            "{:>7} {:>7} {:>10} {:>8} {:>8}",
+            scale,
+            trace.len(),
+            cells[0],
+            cells[1],
+            cells[2]
+        );
     }
     println!("\nJigsaw and LC+S converge toward the paper's 95-96% as the horizon");
     println!("amortizes the single whole-machine-scale job.");

@@ -19,7 +19,11 @@ use jigsaw_sim::Scenario;
 fn main() {
     let args = HarnessArgs::parse();
     let traces = vec![trace_by_name("Thunder", args.scale, args.seed)];
-    let schemes = [SchedulerKind::Laas, SchedulerKind::Jigsaw, SchedulerKind::Ta];
+    let schemes = [
+        SchedulerKind::Laas,
+        SchedulerKind::Jigsaw,
+        SchedulerKind::Ta,
+    ];
     let cells = product(&["Thunder"], &schemes, &[Scenario::None]);
     eprintln!("simulating Thunder under LaaS/Jigsaw/TA ...");
     let results = run_grid(&cells, &traces, args.seed, true);

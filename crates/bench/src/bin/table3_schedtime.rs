@@ -22,10 +22,16 @@ fn main() {
     // Smallest to largest cluster (1024, 1296, 1458, 5488 nodes).
     let trace_names = ["Synth-16", "Sep-Cab", "Thunder", "Synth-28"];
     eprintln!("generating traces at scale {} ...", args.scale);
-    let traces: Vec<_> =
-        trace_names.iter().map(|n| trace_by_name(n, args.scale, args.seed)).collect();
-    let schemes =
-        [SchedulerKind::Ta, SchedulerKind::Laas, SchedulerKind::Jigsaw, SchedulerKind::LcS];
+    let traces: Vec<_> = trace_names
+        .iter()
+        .map(|n| trace_by_name(n, args.scale, args.seed))
+        .collect();
+    let schemes = [
+        SchedulerKind::Ta,
+        SchedulerKind::Laas,
+        SchedulerKind::Jigsaw,
+        SchedulerKind::LcS,
+    ];
     let cells = product(&trace_names, &schemes, &[Scenario::None]);
     eprintln!("running {} simulations ...", cells.len());
     let results = run_grid(&cells, &traces, args.seed, false);
@@ -45,7 +51,11 @@ fn main() {
         .collect();
     println!(
         "{}",
-        table("Table 3 — average scheduling time per job (seconds)", &trace_names, &rows)
+        table(
+            "Table 3 — average scheduling time per job (seconds)",
+            &trace_names,
+            &rows
+        )
     );
     write_json(&args.out_dir, "table3_schedtime", &results).expect("write results");
 }

@@ -24,7 +24,10 @@ fn main() {
     println!(
         "{:<10} {}",
         "trace",
-        schemes.iter().map(|k| format!("{:>16}", k.name())).collect::<String>()
+        schemes
+            .iter()
+            .map(|k| format!("{:>16}", k.name()))
+            .collect::<String>()
     );
     for name in ["Synth-16", "Oct-Cab"] {
         let mut samples: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
@@ -43,8 +46,8 @@ fn main() {
             .iter()
             .map(|v| {
                 let mean = v.iter().sum::<f64>() / v.len() as f64;
-                let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                    / (v.len() - 1).max(1) as f64;
+                let var =
+                    v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (v.len() - 1).max(1) as f64;
                 format!("{:>9.1}%±{:>4.1}", 100.0 * mean, 100.0 * var.sqrt())
             })
             .collect();
@@ -55,7 +58,10 @@ fn main() {
         let laas_row = &samples[idx(SchedulerKind::Laas)];
         let ta_row = &samples[idx(SchedulerKind::Ta)];
         for ((&jig, &laas), &ta) in jig_row.iter().zip(laas_row).zip(ta_row) {
-            assert!(jig > laas && jig > ta, "{name}: ordering must hold for every seed");
+            assert!(
+                jig > laas && jig > ta,
+                "{name}: ordering must hold for every seed"
+            );
         }
     }
     println!("\nordering Jigsaw > LaaS and Jigsaw > TA held on every seed.");

@@ -20,15 +20,51 @@ pub struct TraceSpec {
 
 /// All nine (trace, cluster) pairs, in Fig. 6's order.
 pub const SPECS: [TraceSpec; 9] = [
-    TraceSpec { name: "Synth-16", radix: 16, full_jobs: PAPER_JOBS },
-    TraceSpec { name: "Synth-22", radix: 22, full_jobs: PAPER_JOBS },
-    TraceSpec { name: "Synth-28", radix: 28, full_jobs: PAPER_JOBS },
-    TraceSpec { name: "Atlas", radix: 18, full_jobs: 29_700 },
-    TraceSpec { name: "Thunder", radix: 18, full_jobs: 105_764 },
-    TraceSpec { name: "Aug-Cab", radix: 18, full_jobs: 30_691 },
-    TraceSpec { name: "Sep-Cab", radix: 18, full_jobs: 87_564 },
-    TraceSpec { name: "Oct-Cab", radix: 18, full_jobs: 125_228 },
-    TraceSpec { name: "Nov-Cab", radix: 18, full_jobs: 50_353 },
+    TraceSpec {
+        name: "Synth-16",
+        radix: 16,
+        full_jobs: PAPER_JOBS,
+    },
+    TraceSpec {
+        name: "Synth-22",
+        radix: 22,
+        full_jobs: PAPER_JOBS,
+    },
+    TraceSpec {
+        name: "Synth-28",
+        radix: 28,
+        full_jobs: PAPER_JOBS,
+    },
+    TraceSpec {
+        name: "Atlas",
+        radix: 18,
+        full_jobs: 29_700,
+    },
+    TraceSpec {
+        name: "Thunder",
+        radix: 18,
+        full_jobs: 105_764,
+    },
+    TraceSpec {
+        name: "Aug-Cab",
+        radix: 18,
+        full_jobs: 30_691,
+    },
+    TraceSpec {
+        name: "Sep-Cab",
+        radix: 18,
+        full_jobs: 87_564,
+    },
+    TraceSpec {
+        name: "Oct-Cab",
+        radix: 18,
+        full_jobs: 125_228,
+    },
+    TraceSpec {
+        name: "Nov-Cab",
+        radix: 18,
+        full_jobs: 50_353,
+    },
 ];
 
 /// Generate the named trace at `scale` and pair it with its cluster.
@@ -59,7 +95,10 @@ pub fn trace_by_name(name: &str, scale: f64, seed: u64) -> (Trace, FatTree) {
 
 /// All nine traces at `scale`.
 pub fn paper_traces(scale: f64, seed: u64) -> Vec<(Trace, FatTree)> {
-    SPECS.iter().map(|s| trace_by_name(s.name, scale, seed)).collect()
+    SPECS
+        .iter()
+        .map(|s| trace_by_name(s.name, scale, seed))
+        .collect()
 }
 
 #[cfg(test)]

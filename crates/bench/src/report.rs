@@ -8,7 +8,10 @@ use std::path::Path;
 pub fn write_json(out_dir: &str, name: &str, results: &[GridResult]) -> std::io::Result<()> {
     fs::create_dir_all(out_dir)?;
     let path = Path::new(out_dir).join(format!("{name}.json"));
-    fs::write(&path, serde_json::to_string_pretty(results).expect("serializable"))?;
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(results).expect("serializable"),
+    )?;
     eprintln!("wrote {}", path.display());
     Ok(())
 }
@@ -102,7 +105,11 @@ mod tests {
         assert_eq!(pct(0.954), "95.4%");
         assert_eq!(norm(150.0, 100.0), "1.50");
         assert_eq!(norm(1.0, 0.0), "--");
-        let t = table("T", &["c1", "c2"], &[("row".into(), vec!["1".into(), "2".into()])]);
+        let t = table(
+            "T",
+            &["c1", "c2"],
+            &[("row".into(), vec!["1".into(), "2".into()])],
+        );
         assert!(t.contains("## T") && t.contains("c1") && t.contains("row"));
     }
 

@@ -100,7 +100,11 @@ pub fn product(
     for &trace in traces {
         for &scheme in schemes {
             for &scenario in scenarios {
-                cells.push(GridCell { trace: trace.into(), scheme, scenario });
+                cells.push(GridCell {
+                    trace: trace.into(),
+                    scheme,
+                    scenario,
+                });
             }
         }
     }
@@ -124,8 +128,7 @@ mod tests {
         assert_eq!(results.len(), 4);
         assert!(results.iter().all(|r| r.utilization > 0.0));
         // Scenario does not change Baseline.
-        let base: Vec<&GridResult> =
-            results.iter().filter(|r| r.scheme == "Baseline").collect();
+        let base: Vec<&GridResult> = results.iter().filter(|r| r.scheme == "Baseline").collect();
         assert_eq!(base[0].makespan, base[1].makespan);
     }
 }

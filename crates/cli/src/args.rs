@@ -17,8 +17,11 @@ const SWITCHES: [&str; 5] = ["--json", "--swf", "--help", "--dot", "--analyze"];
 
 impl Flags {
     pub fn parse(args: &[String]) -> Result<Flags, String> {
-        let mut flags =
-            Flags { positional: Vec::new(), values: HashMap::new(), switches: Vec::new() };
+        let mut flags = Flags {
+            positional: Vec::new(),
+            values: HashMap::new(),
+            switches: Vec::new(),
+        };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if let Some(name) = arg.strip_prefix("--") {
@@ -46,19 +49,28 @@ impl Flags {
     pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: `{v}` is not a number")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: `{v}` is not a number")),
         }
     }
 
     pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: `{v}` is not an integer")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: `{v}` is not an integer")),
         }
     }
 
     pub fn scheme(&self) -> Result<SchedulerKind, String> {
-        match self.get("scheme").unwrap_or("jigsaw").to_ascii_lowercase().as_str() {
+        match self
+            .get("scheme")
+            .unwrap_or("jigsaw")
+            .to_ascii_lowercase()
+            .as_str()
+        {
             "jigsaw" => Ok(SchedulerKind::Jigsaw),
             "laas" => Ok(SchedulerKind::Laas),
             "ta" => Ok(SchedulerKind::Ta),
@@ -69,7 +81,12 @@ impl Flags {
     }
 
     pub fn scenario(&self) -> Result<Scenario, String> {
-        match self.get("scenario").unwrap_or("none").to_ascii_lowercase().as_str() {
+        match self
+            .get("scenario")
+            .unwrap_or("none")
+            .to_ascii_lowercase()
+            .as_str()
+        {
             "none" => Ok(Scenario::None),
             "5%" | "5" => Ok(Scenario::Fixed(5)),
             "10%" | "10" => Ok(Scenario::Fixed(10)),
@@ -84,7 +101,11 @@ impl Flags {
 /// Parse a comma-separated size list.
 pub fn parse_sizes(s: &str) -> Result<Vec<u32>, String> {
     s.split(',')
-        .map(|p| p.trim().parse::<u32>().map_err(|_| format!("bad size `{p}`")))
+        .map(|p| {
+            p.trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad size `{p}`"))
+        })
         .collect()
 }
 
@@ -117,13 +138,23 @@ mod tests {
 
     #[test]
     fn numeric_and_enum_accessors() {
-        let f = Flags::parse(&args(&["--scale", "0.1", "--scheme", "laas", "--scenario", "v2"]))
-            .unwrap();
+        let f = Flags::parse(&args(&[
+            "--scale",
+            "0.1",
+            "--scheme",
+            "laas",
+            "--scenario",
+            "v2",
+        ]))
+        .unwrap();
         assert_eq!(f.get_f64("scale", 1.0).unwrap(), 0.1);
         assert_eq!(f.get_u64("seed", 7).unwrap(), 7);
         assert_eq!(f.scheme().unwrap(), SchedulerKind::Laas);
         assert_eq!(f.scenario().unwrap(), Scenario::V2);
-        assert!(Flags::parse(&args(&["--scheme", "bogus"])).unwrap().scheme().is_err());
+        assert!(Flags::parse(&args(&["--scheme", "bogus"]))
+            .unwrap()
+            .scheme()
+            .is_err());
     }
 
     #[test]

@@ -62,11 +62,18 @@ pub fn run(args: &[String]) -> i32 {
             "granted": granted,
             "rejected": rejected,
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
         return 0;
     }
 
-    println!("{} on a {}-node radix-{radix} fat-tree", kind.name(), tree.num_nodes());
+    println!(
+        "{} on a {}-node radix-{radix} fat-tree",
+        kind.name(),
+        tree.num_nodes()
+    );
     println!(
         "\n{:>4} {:>6} {:>7} {:>6} {:>6}  placement",
         "job", "asked", "nodes", "links", "spine"
@@ -101,16 +108,31 @@ pub fn run(args: &[String]) -> i32 {
 fn describe(shape: &Shape) -> String {
     match shape {
         Shape::SingleLeaf { leaf, .. } => format!("single leaf {}", leaf.0),
-        Shape::TwoLevel { pod, leaves, rem_leaf, .. } => format!(
+        Shape::TwoLevel {
+            pod,
+            leaves,
+            rem_leaf,
+            ..
+        } => format!(
             "pod {}, {} leaves{}",
             pod.0,
             leaves.len() + usize::from(rem_leaf.is_some()),
-            if rem_leaf.is_some() { " (one partial)" } else { "" },
+            if rem_leaf.is_some() {
+                " (one partial)"
+            } else {
+                ""
+            },
         ),
-        Shape::ThreeLevel { trees, rem_tree, .. } => format!(
+        Shape::ThreeLevel {
+            trees, rem_tree, ..
+        } => format!(
             "{} pods{}",
             trees.len() + usize::from(rem_tree.is_some()),
-            if rem_tree.is_some() { " (one partial)" } else { "" },
+            if rem_tree.is_some() {
+                " (one partial)"
+            } else {
+                ""
+            },
         ),
         Shape::Unstructured => "scattered (no network structure)".into(),
     }

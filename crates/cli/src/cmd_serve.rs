@@ -1,6 +1,6 @@
-//! `jigsaw-sched serve <radix> [--scheme S]` — an online allocation
-//! service over stdin/stdout, the integration surface a resource manager
-//! (Slurm/Flux plugin) would drive.
+//! `jigsaw-sched serve <radix> [--scheme S] [--journal DIR]` — an online
+//! allocation service over stdin/stdout, the integration surface a
+//! resource manager (Slurm/Flux plugin) would drive.
 //!
 //! Line protocol (one request per line, one reply per request):
 //!
@@ -9,16 +9,27 @@
 //! FREE  <id>            -> OK <id>                  |  ERR unknown job <id>
 //! STATUS                -> STATUS nodes=<used>/<total> jobs=<n> util=<pct>
 //! TABLES                -> TABLES entries=<n>        (forwarding-table size)
+//! SNAPSHOT              -> SNAPSHOT seq=<n>          |  ERR no journal configured
+//! HELP                  -> OK <one-line command summary>
 //! QUIT                  -> BYE
 //! ```
+//!
+//! With `--journal DIR` the session is durable: every grant and release
+//! is written to a checksummed write-ahead log under `DIR` before it is
+//! acknowledged, full snapshots compact the log every `--snapshot-every N`
+//! events (and on the `SNAPSHOT` verb), and a restart pointed at the same
+//! directory recovers the exact pre-crash state — snapshot plus journal
+//! replay, cross-checked by `jigsaw_core::audit`. Without `--journal`
+//! the session is ephemeral and behaves exactly as before.
 
 use crate::args::{fail, Flags};
 use jigsaw_core::{Allocation, Allocator, JobRequest};
+use jigsaw_persist::{PersistError, PersistentState};
 use jigsaw_routing::RoutingTables;
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
-use std::collections::HashMap;
 use std::io::{BufRead, Write};
+use std::path::Path;
 
 pub fn run(args: &[String]) -> i32 {
     let flags = match Flags::parse(args) {
@@ -26,7 +37,7 @@ pub fn run(args: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
     let Some(radix_str) = flags.positional.first() else {
-        return fail("usage: jigsaw-sched serve <radix> [--scheme S]");
+        return fail("usage: jigsaw-sched serve <radix> [--scheme S] [--journal DIR]");
     };
     let Ok(radix) = radix_str.parse::<u32>() else {
         return fail(&format!("`{radix_str}` is not a radix"));
@@ -39,76 +50,126 @@ pub fn run(args: &[String]) -> i32 {
         Ok(k) => k,
         Err(e) => return fail(&e),
     };
+    let snapshot_every =
+        match flags.get_u64("snapshot-every", jigsaw_persist::DEFAULT_SNAPSHOT_EVERY) {
+            Ok(v) => v,
+            Err(e) => return fail(&e),
+        };
+    let mut persist = match flags.get("journal") {
+        Some(dir) => match PersistentState::open(Path::new(dir), tree) {
+            Ok((ps, report)) => {
+                eprintln!("jigsaw-sched: journal {dir}: {report}");
+                ps
+            }
+            Err(e) => return fail(&format!("recovery from `{dir}` failed: {e}")),
+        },
+        None => PersistentState::ephemeral(tree),
+    };
+    persist.set_snapshot_every(snapshot_every);
     eprintln!(
-        "jigsaw-sched serving {} on a {}-node radix-{radix} fat-tree; \
-         ALLOC/FREE/STATUS/TABLES/QUIT",
+        "jigsaw-sched serving {} on a {}-node radix-{radix} fat-tree{}; \
+         ALLOC/FREE/STATUS/TABLES/SNAPSHOT/HELP/QUIT",
         kind.name(),
-        tree.num_nodes()
+        tree.num_nodes(),
+        if persist.is_durable() {
+            " (durable)"
+        } else {
+            ""
+        }
     );
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    serve(tree, kind.make(&tree), stdin.lock(), stdout.lock())
+    serve(tree, kind.make(&tree), persist, stdin.lock(), stdout.lock())
 }
 
 /// The protocol loop, generic over the streams for testability.
 pub fn serve<R: BufRead, W: Write>(
     tree: FatTree,
     mut allocator: Box<dyn Allocator>,
+    mut persist: PersistentState,
     reader: R,
     mut out: W,
 ) -> i32 {
-    let mut state = SystemState::new(tree);
-    let mut live: HashMap<u32, Allocation> = HashMap::new();
+    // Recovered allocations were claimed into the state without the
+    // allocator watching; replay them through `adopt` on a scratch state
+    // so schemes with internal bookkeeping (TA's per-leaf counters)
+    // catch up. The scratch state is discarded — the real one already
+    // has every claim applied.
+    if !persist.live().is_empty() {
+        let mut scratch = SystemState::new(tree);
+        for alloc in persist.live_allocations() {
+            allocator.adopt(&mut scratch, &alloc);
+        }
+    }
 
     for line in reader.lines() {
         let Ok(line) = line else { break };
         let fields: Vec<&str> = line.split_whitespace().collect();
         let reply = match fields.as_slice() {
             ["ALLOC", id, size] => match (id.parse::<u32>(), size.parse::<u32>()) {
-                (Ok(id), Ok(size)) => {
-                    if let std::collections::hash_map::Entry::Vacant(e) = live.entry(id) {
-                        match allocator.allocate(&mut state, &JobRequest::new(JobId(id), size)) {
-                            Some(alloc) => {
-                                let nodes: Vec<String> =
-                                    alloc.nodes.iter().map(|n| n.0.to_string()).collect();
-                                let reply = format!("GRANT {id} {}", nodes.join(","));
-                                e.insert(alloc);
-                                reply
-                            }
+                (Ok(id), Ok(size)) if size > 0 => {
+                    if persist.live().contains_key(&id) {
+                        format!("ERR job {id} already allocated")
+                    } else {
+                        match allocator
+                            .allocate(persist.state_mut(), &JobRequest::new(JobId(id), size))
+                        {
+                            Some(alloc) => match persist.commit_grant(&alloc) {
+                                Ok(()) => {
+                                    let nodes: Vec<String> =
+                                        alloc.nodes.iter().map(|n| n.0.to_string()).collect();
+                                    auto_snapshot(&mut persist);
+                                    format!("GRANT {id} {}", nodes.join(","))
+                                }
+                                Err(e) => {
+                                    // Keep state and journal agreeing: the
+                                    // unjournaled claim is rolled back.
+                                    allocator.release(persist.state_mut(), &alloc);
+                                    format!("ERR journal: {e}")
+                                }
+                            },
                             None => format!("DENY {id}"),
                         }
-                    } else {
-                        format!("ERR job {id} already allocated")
                     }
                 }
                 _ => "ERR bad ALLOC arguments".to_string(),
             },
             ["FREE", id] => match id.parse::<u32>() {
-                Ok(id) => match live.remove(&id) {
-                    Some(alloc) => {
-                        allocator.release(&mut state, &alloc);
+                Ok(id) => match persist.commit_release(JobId(id)) {
+                    Ok(Some(alloc)) => {
+                        allocator.release(persist.state_mut(), &alloc);
+                        auto_snapshot(&mut persist);
                         format!("OK {id}")
                     }
-                    None => format!("ERR unknown job {id}"),
+                    Ok(None) => format!("ERR unknown job {id}"),
+                    Err(e) => format!("ERR journal: {e}"),
                 },
                 Err(_) => "ERR bad FREE arguments".to_string(),
             },
             ["STATUS"] => {
-                let used = state.allocated_node_count();
+                let used = persist.state().allocated_node_count();
                 let total = tree.num_nodes();
                 format!(
                     "STATUS nodes={used}/{total} jobs={} util={:.1}%",
-                    live.len(),
+                    persist.live().len(),
                     100.0 * used as f64 / total as f64
                 )
             }
             ["TABLES"] => {
-                let allocs: Vec<Allocation> = live.values().cloned().collect();
+                let allocs: Vec<Allocation> = persist.live_allocations();
                 match RoutingTables::build(&tree, &allocs) {
                     Ok(tables) => format!("TABLES entries={}", tables.len()),
                     Err(e) => format!("ERR {e}"),
                 }
             }
+            ["SNAPSHOT"] => match persist.snapshot() {
+                Ok(seq) => format!("SNAPSHOT seq={seq}"),
+                Err(PersistError::NotDurable) => "ERR no journal configured".to_string(),
+                Err(e) => format!("ERR snapshot: {e}"),
+            },
+            ["HELP"] => "OK ALLOC <id> <size> | FREE <id> | STATUS | TABLES | SNAPSHOT | HELP \
+                         | QUIT"
+                .to_string(),
             ["QUIT"] => {
                 let _ = writeln!(out, "BYE");
                 break;
@@ -123,18 +184,50 @@ pub fn serve<R: BufRead, W: Write>(
     0
 }
 
+/// Auto-snapshot if due. A failed snapshot is survivable (the journal is
+/// intact; snapshots only bound recovery time), so warn and carry on.
+fn auto_snapshot(persist: &mut PersistentState) {
+    if let Err(e) = persist.maybe_snapshot() {
+        eprintln!("jigsaw-sched: warning: auto-snapshot failed: {e}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use jigsaw_core::SchedulerKind;
+    use std::path::PathBuf;
+
+    fn tree() -> FatTree {
+        FatTree::maximal(4).unwrap()
+    }
+
+    fn drive_with(persist: PersistentState, script: &str) -> Vec<String> {
+        let tree = tree();
+        let mut out = Vec::new();
+        let code = serve(
+            tree,
+            SchedulerKind::Jigsaw.make(&tree),
+            persist,
+            script.as_bytes(),
+            &mut out,
+        );
+        assert_eq!(code, 0);
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect()
+    }
 
     fn drive(script: &str) -> Vec<String> {
-        let tree = FatTree::maximal(4).unwrap();
-        let mut out = Vec::new();
-        let code =
-            serve(tree, SchedulerKind::Jigsaw.make(&tree), script.as_bytes(), &mut out);
-        assert_eq!(code, 0);
-        String::from_utf8(out).unwrap().lines().map(String::from).collect()
+        drive_with(PersistentState::ephemeral(tree()), script)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jigsaw-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -164,12 +257,36 @@ mod tests {
     }
 
     #[test]
+    fn zero_size_alloc_is_rejected() {
+        let replies = drive("ALLOC 1 0\nSTATUS\nQUIT\n");
+        assert_eq!(replies[0], "ERR bad ALLOC arguments");
+        assert_eq!(replies[1], "STATUS nodes=0/16 jobs=0 util=0.0%");
+    }
+
+    #[test]
+    fn help_is_a_single_line() {
+        let replies = drive("HELP\nQUIT\n");
+        assert!(replies[0].starts_with("OK ALLOC"));
+        assert!(replies[0].contains("SNAPSHOT"));
+        assert_eq!(replies[1], "BYE");
+    }
+
+    #[test]
+    fn snapshot_without_journal_is_an_error() {
+        let replies = drive("SNAPSHOT\nQUIT\n");
+        assert_eq!(replies[0], "ERR no journal configured");
+    }
+
+    #[test]
     fn tables_reflect_live_jobs() {
         let replies = drive("TABLES\nALLOC 1 8\nTABLES\nQUIT\n");
         assert_eq!(replies[0], "TABLES entries=0");
         assert!(replies[1].starts_with("GRANT"));
-        let entries: u32 =
-            replies[2].strip_prefix("TABLES entries=").unwrap().parse().unwrap();
+        let entries: u32 = replies[2]
+            .strip_prefix("TABLES entries=")
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(entries > 0);
     }
 
@@ -185,5 +302,41 @@ mod tests {
         assert_eq!(nodes.len(), 5);
         let unique: std::collections::HashSet<_> = nodes.iter().collect();
         assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn durable_session_recovers_across_restarts() {
+        let dir = tmpdir("recover");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let first = drive_with(
+            ps,
+            "ALLOC 1 4\nALLOC 2 6\nFREE 1\nALLOC 3 2\nSTATUS\nQUIT\n",
+        );
+        let status = first[4].clone();
+        assert!(status.contains("jobs=2"));
+
+        // Same directory, fresh process: identical state, same grants live.
+        let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.live_jobs, 2);
+        let second = drive_with(ps, "STATUS\nFREE 2\nFREE 3\nSTATUS\nQUIT\n");
+        assert_eq!(second[0], status);
+        assert_eq!(second[1], "OK 2");
+        assert_eq!(second[2], "OK 3");
+        assert_eq!(second[3], "STATUS nodes=0/16 jobs=0 util=0.0%");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_verb_compacts_and_reports_seq() {
+        let dir = tmpdir("snapverb");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let replies = drive_with(ps, "ALLOC 1 4\nALLOC 2 2\nSNAPSHOT\nQUIT\n");
+        assert_eq!(replies[2], "SNAPSHOT seq=2");
+        // Restart recovers from the snapshot, not a long replay.
+        let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.snapshot_seq, Some(2));
+        let replies = drive_with(ps, "STATUS\nQUIT\n");
+        assert!(replies[0].contains("nodes=6/16 jobs=2"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

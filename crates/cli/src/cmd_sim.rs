@@ -6,7 +6,7 @@ use crate::cmd_trace::builtin_trace;
 use jigsaw_core::SchedulerKind;
 use jigsaw_sim::{simulate, SimConfig};
 use jigsaw_topology::FatTree;
-use jigsaw_traces::swf::parse_swf;
+use jigsaw_traces::swf::parse_swf_report;
 use jigsaw_traces::Trace;
 
 pub fn run(args: &[String]) -> i32 {
@@ -38,7 +38,19 @@ pub fn run(args: &[String]) -> i32 {
     let (trace, default_radix): (Trace, u32) = if trace_arg.ends_with(".swf") {
         match std::fs::read_to_string(trace_arg) {
             Ok(text) => {
-                let t = parse_swf(trace_arg, 0, &text, 1);
+                let (t, skipped) = parse_swf_report(trace_arg, 0, &text, 1);
+                if !skipped.is_empty() {
+                    eprintln!(
+                        "warning: {trace_arg}: skipped {} unusable line(s):",
+                        skipped.len()
+                    );
+                    for s in skipped.iter().take(10) {
+                        eprintln!("warning:   {s}");
+                    }
+                    if skipped.len() > 10 {
+                        eprintln!("warning:   ... and {} more", skipped.len() - 10);
+                    }
+                }
                 if t.is_empty() {
                     return fail(&format!("{trace_arg}: no usable jobs"));
                 }
@@ -96,7 +108,10 @@ pub fn run(args: &[String]) -> i32 {
             "sched_time_per_job": result.avg_sched_time_per_job(),
             "unschedulable": result.unschedulable,
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
         return 0;
     }
 
@@ -108,19 +123,37 @@ pub fn run(args: &[String]) -> i32 {
         tree.num_nodes(),
         scenario.label()
     );
-    println!("  utilization (steady)   {:>10.1}%", 100.0 * result.utilization);
+    println!(
+        "  utilization (steady)   {:>10.1}%",
+        100.0 * result.utilization
+    );
     if result.internal_fragmentation() > 1e-6 {
         println!(
             "  internal fragmentation {:>10.1} pts",
             100.0 * result.internal_fragmentation()
         );
     }
-    println!("  avg turnaround         {:>10.0} s", result.avg_turnaround());
-    println!("  median turnaround      {:>10.0} s", result.median_turnaround());
-    println!("  avg turnaround >100n   {:>10.0} s", result.avg_turnaround_large(100));
-    println!("  p95 wait               {:>10.0} s", result.wait_quantile(0.95));
+    println!(
+        "  avg turnaround         {:>10.0} s",
+        result.avg_turnaround()
+    );
+    println!(
+        "  median turnaround      {:>10.0} s",
+        result.median_turnaround()
+    );
+    println!(
+        "  avg turnaround >100n   {:>10.0} s",
+        result.avg_turnaround_large(100)
+    );
+    println!(
+        "  p95 wait               {:>10.0} s",
+        result.wait_quantile(0.95)
+    );
     println!("  makespan               {:>10.0} s", result.makespan);
-    println!("  sched time per job     {:>10.1} µs", 1e6 * result.avg_sched_time_per_job());
+    println!(
+        "  sched time per job     {:>10.1} µs",
+        1e6 * result.avg_sched_time_per_job()
+    );
     if result.unschedulable > 0 {
         println!("  unschedulable jobs     {:>10}", result.unschedulable);
     }

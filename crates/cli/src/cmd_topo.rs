@@ -29,7 +29,11 @@ pub fn run(args: &[String]) -> i32 {
     println!("  L2<->spine links {:>8}", tree.num_spine_links());
     println!(
         "  full bandwidth   {:>8}",
-        if tree.is_full_bandwidth() { "yes" } else { "no" }
+        if tree.is_full_bandwidth() {
+            "yes"
+        } else {
+            "no"
+        }
     );
     0
 }

@@ -54,7 +54,10 @@ pub fn run(args: &[String]) -> i32 {
         return 0;
     }
     if flags.has("--json") {
-        println!("{}", serde_json::to_string_pretty(&trace).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&trace).expect("serializable")
+        );
         return 0;
     }
     let summary = TraceSummary::of(&trace);

@@ -7,7 +7,8 @@
 //! jigsaw-sched sim   --trace <Synth-16|Thunder|...|file.swf> [--scheme S]
 //!                    [--scale F] [--scenario none|5%|10%|20%|v2|random] [--json]
 //! jigsaw-sched trace --name <Synth-16|Thunder|...> [--scale F] [--swf|--json]
-//! jigsaw-sched serve <radix> [--scheme S]       # online allocation service
+//! jigsaw-sched serve <radix> [--scheme S] [--journal DIR]
+//!                    [--snapshot-every N]       # online allocation service
 //! ```
 
 mod args;
@@ -50,7 +51,10 @@ USAGE:
   jigsaw-sched trace --name <name> [--scale F]   generate a workload
         [--swf | --json]
   jigsaw-sched serve <radix> [--scheme S]        online allocation service
-        (line protocol: ALLOC id size / FREE id / STATUS / TABLES / QUIT)
+        [--journal DIR] [--snapshot-every N]
+        (line protocol: ALLOC id size / FREE id / STATUS / TABLES /
+         SNAPSHOT / HELP / QUIT; --journal makes the session durable and
+         recovers state from DIR on start)
 
 Built-in traces: Synth-16 Synth-22 Synth-28 Thunder Atlas
                  Aug-Cab Sep-Cab Oct-Cab Nov-Cab

@@ -89,12 +89,19 @@ impl Shape {
     pub fn node_count(&self) -> u32 {
         match self {
             Shape::SingleLeaf { n, .. } => *n,
-            Shape::TwoLevel { n_l, leaves, rem_leaf, .. } => {
-                n_l * leaves.len() as u32 + rem_leaf.map_or(0, |(_, n, _)| n)
-            }
-            Shape::ThreeLevel { n_l, trees, rem_tree, .. } => {
-                let full: u32 =
-                    trees.iter().map(|t| n_l * t.leaves.len() as u32).sum();
+            Shape::TwoLevel {
+                n_l,
+                leaves,
+                rem_leaf,
+                ..
+            } => n_l * leaves.len() as u32 + rem_leaf.map_or(0, |(_, n, _)| n),
+            Shape::ThreeLevel {
+                n_l,
+                trees,
+                rem_tree,
+                ..
+            } => {
+                let full: u32 = trees.iter().map(|t| n_l * t.leaves.len() as u32).sum();
                 let rem = rem_tree.as_ref().map_or(0, |r| {
                     n_l * r.leaves.len() as u32 + r.rem_leaf.map_or(0, |(_, n, _)| n)
                 });
@@ -109,14 +116,24 @@ impl Shape {
     pub fn leaf_occupancy(&self) -> Vec<(LeafId, u32)> {
         match self {
             Shape::SingleLeaf { leaf, n } => vec![(*leaf, *n)],
-            Shape::TwoLevel { n_l, leaves, rem_leaf, .. } => {
+            Shape::TwoLevel {
+                n_l,
+                leaves,
+                rem_leaf,
+                ..
+            } => {
                 let mut v: Vec<_> = leaves.iter().map(|&l| (l, *n_l)).collect();
                 if let Some((l, n, _)) = rem_leaf {
                     v.push((*l, *n));
                 }
                 v
             }
-            Shape::ThreeLevel { n_l, trees, rem_tree, .. } => {
+            Shape::ThreeLevel {
+                n_l,
+                trees,
+                rem_tree,
+                ..
+            } => {
                 let mut v = Vec::new();
                 for t in trees {
                     v.extend(t.leaves.iter().map(|&l| (l, *n_l)));
@@ -138,7 +155,12 @@ impl Shape {
         let mut links = Vec::new();
         match self {
             Shape::SingleLeaf { .. } | Shape::Unstructured => {}
-            Shape::TwoLevel { leaves, l2_set, rem_leaf, .. } => {
+            Shape::TwoLevel {
+                leaves,
+                l2_set,
+                rem_leaf,
+                ..
+            } => {
                 for &leaf in leaves {
                     for pos in iter_mask(*l2_set) {
                         links.push(tree.leaf_link(leaf, pos));
@@ -150,7 +172,12 @@ impl Shape {
                     }
                 }
             }
-            Shape::ThreeLevel { l2_set, trees, rem_tree, .. } => {
+            Shape::ThreeLevel {
+                l2_set,
+                trees,
+                rem_tree,
+                ..
+            } => {
                 for t in trees {
                     for &leaf in &t.leaves {
                         for pos in iter_mask(*l2_set) {
@@ -178,7 +205,13 @@ impl Shape {
     /// The L2↔spine links the shape implies (three-level shapes only).
     pub fn spine_links(&self, tree: &FatTree) -> Vec<SpineLinkId> {
         let mut links = Vec::new();
-        if let Shape::ThreeLevel { trees, spine_sets, rem_tree, .. } = self {
+        if let Shape::ThreeLevel {
+            trees,
+            spine_sets,
+            rem_tree,
+            ..
+        } = self
+        {
             for t in trees {
                 for (pos, &slots) in spine_sets.iter().enumerate() {
                     for slot in iter_mask(slots) {
@@ -238,7 +271,15 @@ impl Allocation {
         }
         let leaf_links = shape.leaf_links(tree);
         let spine_links = shape.spine_links(tree);
-        Allocation { job, requested, nodes, leaf_links, spine_links, bw_tenths, shape }
+        Allocation {
+            job,
+            requested,
+            nodes,
+            leaf_links,
+            spine_links,
+            bw_tenths,
+            shape,
+        }
     }
 
     /// Total links of both layers.
@@ -363,7 +404,10 @@ mod tests {
     #[test]
     fn single_leaf_shape_has_no_links() {
         let state = tiny_state();
-        let shape = Shape::SingleLeaf { leaf: LeafId(2), n: 2 };
+        let shape = Shape::SingleLeaf {
+            leaf: LeafId(2),
+            n: 2,
+        };
         assert_eq!(shape.node_count(), 2);
         assert!(shape.leaf_links(state.tree()).is_empty());
         assert!(shape.spine_links(state.tree()).is_empty());
@@ -398,8 +442,14 @@ mod tests {
             l_t: 2,
             l2_set: 0b11,
             trees: vec![
-                TreeAlloc { pod: PodId(0), leaves: vec![LeafId(0), LeafId(1)] },
-                TreeAlloc { pod: PodId(1), leaves: vec![LeafId(2), LeafId(3)] },
+                TreeAlloc {
+                    pod: PodId(0),
+                    leaves: vec![LeafId(0), LeafId(1)],
+                },
+                TreeAlloc {
+                    pod: PodId(1),
+                    leaves: vec![LeafId(2), LeafId(3)],
+                },
             ],
             spine_sets: vec![0b11, 0b11],
             rem_tree: None,
@@ -449,7 +499,10 @@ mod tests {
         assert_eq!(state.leaf_link_bw_used(link), 15);
         // A second fractional job can share the same links.
         let mut nodes_shape = shape;
-        if let Shape::TwoLevel { n_l: _, leaves: _, .. } = &mut nodes_shape {}
+        if let Shape::TwoLevel {
+            n_l: _, leaves: _, ..
+        } = &mut nodes_shape
+        {}
         let b = Allocation {
             job: JobId(2),
             requested: 2,
@@ -475,14 +528,20 @@ mod tests {
             JobId(1),
             2,
             0,
-            Shape::SingleLeaf { leaf: LeafId(0), n: 2 },
+            Shape::SingleLeaf {
+                leaf: LeafId(0),
+                n: 2,
+            },
         );
         let b = Allocation::from_shape(
             &state,
             JobId(2),
             2,
             0,
-            Shape::SingleLeaf { leaf: LeafId(1), n: 2 },
+            Shape::SingleLeaf {
+                leaf: LeafId(1),
+                n: 2,
+            },
         );
         assert!(a.is_disjoint_from(&b));
         assert!(!a.is_disjoint_from(&a));
@@ -499,7 +558,10 @@ mod tests {
             JobId(1),
             1,
             0,
-            Shape::SingleLeaf { leaf: LeafId(0), n: 1 },
+            Shape::SingleLeaf {
+                leaf: LeafId(0),
+                n: 1,
+            },
         );
     }
 

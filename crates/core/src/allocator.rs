@@ -86,8 +86,12 @@ impl SchedulerKind {
 
     /// The four job-isolating / interference-mitigating schemes (everything
     /// except Baseline) — the set that receives speed-up scenarios.
-    pub const ISOLATING: [SchedulerKind; 4] =
-        [SchedulerKind::LcS, SchedulerKind::Jigsaw, SchedulerKind::Laas, SchedulerKind::Ta];
+    pub const ISOLATING: [SchedulerKind; 4] = [
+        SchedulerKind::LcS,
+        SchedulerKind::Jigsaw,
+        SchedulerKind::Laas,
+        SchedulerKind::Ta,
+    ];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {
@@ -117,7 +121,10 @@ impl SchedulerKind {
 
     /// `true` iff this scheme guarantees complete network isolation.
     pub fn is_isolating(&self) -> bool {
-        matches!(self, SchedulerKind::Jigsaw | SchedulerKind::Laas | SchedulerKind::Ta)
+        matches!(
+            self,
+            SchedulerKind::Jigsaw | SchedulerKind::Laas | SchedulerKind::Ta
+        )
     }
 }
 

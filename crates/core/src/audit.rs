@@ -70,7 +70,10 @@ impl fmt::Display for AuditError {
                 write!(f, "spine link {link} double-booked")
             }
             AuditError::OwnershipMismatch { node } => {
-                write!(f, "node {node} ownership disagrees with the live allocation set")
+                write!(
+                    f,
+                    "node {node} ownership disagrees with the live allocation set"
+                )
             }
             AuditError::ConditionViolation { job, reason } => {
                 write!(f, "job {job} violates the formal conditions: {reason}")
@@ -150,7 +153,10 @@ pub fn audit_system(state: &SystemState, live: &[Allocation]) -> Vec<AuditError>
         for pos in 0..tree.l2_per_pod() {
             let link = tree.leaf_link(leaf, pos);
             if state.leaf_link_bw_used(link) > cap {
-                errors.push(AuditError::BandwidthOverCap { leaf_layer: true, link: link.0 });
+                errors.push(AuditError::BandwidthOverCap {
+                    leaf_layer: true,
+                    link: link.0,
+                });
             }
         }
     }
@@ -159,8 +165,10 @@ pub fn audit_system(state: &SystemState, live: &[Allocation]) -> Vec<AuditError>
             for slot in 0..tree.spines_per_group() {
                 let link = tree.spine_link_at(pod, pos, slot);
                 if state.spine_link_bw_used(link) > cap {
-                    errors
-                        .push(AuditError::BandwidthOverCap { leaf_layer: false, link: link.0 });
+                    errors.push(AuditError::BandwidthOverCap {
+                        leaf_layer: false,
+                        link: link.0,
+                    });
                 }
             }
         }
@@ -183,7 +191,10 @@ mod tests {
         let mut live = Vec::new();
         for kind in [SchedulerKind::Jigsaw, SchedulerKind::Jigsaw] {
             let mut alloc = kind.make(&tree);
-            for (i, size) in [(live.len() as u32 * 10, 13u32), (live.len() as u32 * 10 + 1, 7)] {
+            for (i, size) in [
+                (live.len() as u32 * 10, 13u32),
+                (live.len() as u32 * 10 + 1, 7),
+            ] {
                 if let Some(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
                     live.push(a);
                 }
@@ -198,14 +209,20 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        let a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .unwrap();
         // Forget the allocation: state says owned, live set says nothing.
         let errors = audit_system(&state, &[]);
-        assert!(errors.iter().any(|e| matches!(e, AuditError::OwnershipMismatch { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AuditError::OwnershipMismatch { .. })));
         // And the reverse: live set claims nodes the state thinks are free.
         jig.release(&mut state, &a);
         let errors = audit_system(&state, &[a]);
-        assert!(errors.iter().any(|e| matches!(e, AuditError::OwnershipMismatch { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AuditError::OwnershipMismatch { .. })));
     }
 
     #[test]
@@ -213,11 +230,15 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        let a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .unwrap();
         let mut b = a.clone();
         b.job = JobId(2);
         let errors = audit_system(&state, &[a, b]);
-        assert!(errors.iter().any(|e| matches!(e, AuditError::NodeDoubleBooked { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AuditError::NodeDoubleBooked { .. })));
     }
 
     #[test]
@@ -225,12 +246,16 @@ mod tests {
         let tree = FatTree::maximal(8).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let mut a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+        let mut a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+            .unwrap();
         if let Shape::TwoLevel { l2_set, .. } = &mut a.shape {
             *l2_set = 0b1; // unbalanced uplinks
         }
         let errors = audit_system(&state, &[a]);
-        assert!(errors.iter().any(|e| matches!(e, AuditError::ConditionViolation { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AuditError::ConditionViolation { .. })));
     }
 
     #[test]
@@ -238,7 +263,9 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let mut a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 2)).unwrap();
+        let mut a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 2))
+            .unwrap();
         // Claim one more node behind the audit's back — both a mismatch and
         // an ownership error.
         let extra = (0..tree.num_nodes())
@@ -248,6 +275,8 @@ mod tests {
         state.claim_node(extra, JobId(1));
         a.nodes.push(extra);
         let errors = audit_system(&state, &[a]);
-        assert!(errors.iter().any(|e| matches!(e, AuditError::ShapeNodeMismatch { .. })));
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, AuditError::ShapeNodeMismatch { .. })));
     }
 }

@@ -80,13 +80,18 @@ mod tests {
 
     fn setup() -> (SystemState, BaselineAllocator) {
         let tree = FatTree::maximal(4).unwrap();
-        (SystemState::new(tree), BaselineAllocator::new(&FatTree::maximal(4).unwrap()))
+        (
+            SystemState::new(tree),
+            BaselineAllocator::new(&FatTree::maximal(4).unwrap()),
+        )
     }
 
     #[test]
     fn allocates_any_free_nodes() {
         let (mut state, mut base) = setup();
-        let a = base.allocate(&mut state, &JobRequest::new(JobId(1), 5)).unwrap();
+        let a = base
+            .allocate(&mut state, &JobRequest::new(JobId(1), 5))
+            .unwrap();
         assert_eq!(a.nodes.len(), 5);
         assert!(a.leaf_links.is_empty());
         assert!(matches!(a.shape, Shape::Unstructured));
@@ -102,7 +107,9 @@ mod tests {
             state.claim_node(tree.node_at(leaf, 0), JobId(99));
         }
         // 8 scattered nodes remain; Baseline takes them all.
-        let a = base.allocate(&mut state, &JobRequest::new(JobId(1), 8)).unwrap();
+        let a = base
+            .allocate(&mut state, &JobRequest::new(JobId(1), 8))
+            .unwrap();
         assert_eq!(a.nodes.len(), 8);
         assert_eq!(state.free_node_count(), 0);
     }
@@ -110,15 +117,23 @@ mod tests {
     #[test]
     fn fails_only_on_node_shortage() {
         let (mut state, mut base) = setup();
-        assert!(base.allocate(&mut state, &JobRequest::new(JobId(1), 17)).is_none());
-        let _ = base.allocate(&mut state, &JobRequest::new(JobId(1), 16)).unwrap();
-        assert!(base.allocate(&mut state, &JobRequest::new(JobId(2), 1)).is_none());
+        assert!(base
+            .allocate(&mut state, &JobRequest::new(JobId(1), 17))
+            .is_none());
+        let _ = base
+            .allocate(&mut state, &JobRequest::new(JobId(1), 16))
+            .unwrap();
+        assert!(base
+            .allocate(&mut state, &JobRequest::new(JobId(2), 1))
+            .is_none());
     }
 
     #[test]
     fn release_returns_nodes() {
         let (mut state, mut base) = setup();
-        let a = base.allocate(&mut state, &JobRequest::new(JobId(1), 16)).unwrap();
+        let a = base
+            .allocate(&mut state, &JobRequest::new(JobId(1), 16))
+            .unwrap();
         base.release(&mut state, &a);
         assert_eq!(state.free_node_count(), 16);
         state.assert_consistent();

@@ -68,19 +68,34 @@ impl fmt::Display for ConditionViolation {
             ConditionViolation::DuplicateResource(what) => write!(f, "duplicate {what}"),
             ConditionViolation::BadCount(what) => write!(f, "bad count: {what}"),
             ConditionViolation::RemainderLeafTooLarge => {
-                write!(f, "condition 2: remainder leaf must hold fewer nodes than full leaves")
+                write!(
+                    f,
+                    "condition 2: remainder leaf must hold fewer nodes than full leaves"
+                )
             }
             ConditionViolation::RemainderTreeTooLarge => {
-                write!(f, "condition 1: remainder tree must hold fewer nodes than full trees")
+                write!(
+                    f,
+                    "condition 1: remainder tree must hold fewer nodes than full trees"
+                )
             }
             ConditionViolation::UnbalancedLeafUplinks => {
-                write!(f, "balance: a full leaf needs exactly n_L uplinks (|S| = n_L)")
+                write!(
+                    f,
+                    "balance: a full leaf needs exactly n_L uplinks (|S| = n_L)"
+                )
             }
             ConditionViolation::RemainderLeafLinks => {
-                write!(f, "condition 4: remainder leaf links must be S^r ⊂ S with |S^r| = n_L^r")
+                write!(
+                    f,
+                    "condition 4: remainder leaf links must be S^r ⊂ S with |S^r| = n_L^r"
+                )
             }
             ConditionViolation::UnbalancedSpineUplinks => {
-                write!(f, "condition 6: each used L2 switch needs exactly L_T spine uplinks")
+                write!(
+                    f,
+                    "condition 6: each used L2 switch needs exactly L_T spine uplinks"
+                )
             }
             ConditionViolation::RemainderSpineLinks => {
                 write!(f, "condition 6: remainder tree spine sets must be subsets of size L_T^r (+1 on S^r)")
@@ -106,12 +121,29 @@ pub fn check_shape(tree: &FatTree, shape: &Shape) -> Result<(), ConditionViolati
             }
             Ok(())
         }
-        Shape::TwoLevel { pod, n_l, leaves, l2_set, rem_leaf } => {
-            check_two_level(tree, *pod, *n_l, leaves, *l2_set, rem_leaf.as_ref())
-        }
-        Shape::ThreeLevel { n_l, l_t, l2_set, trees, spine_sets, rem_tree } => {
-            check_three_level(tree, *n_l, *l_t, *l2_set, trees, spine_sets, rem_tree.as_ref())
-        }
+        Shape::TwoLevel {
+            pod,
+            n_l,
+            leaves,
+            l2_set,
+            rem_leaf,
+        } => check_two_level(tree, *pod, *n_l, leaves, *l2_set, rem_leaf.as_ref()),
+        Shape::ThreeLevel {
+            n_l,
+            l_t,
+            l2_set,
+            trees,
+            spine_sets,
+            rem_tree,
+        } => check_three_level(
+            tree,
+            *n_l,
+            *l_t,
+            *l2_set,
+            trees,
+            spine_sets,
+            rem_tree.as_ref(),
+        ),
     }
 }
 
@@ -127,7 +159,9 @@ fn check_two_level(
         return Err(ConditionViolation::MalformedTopologyReference("pod id"));
     }
     if leaves.is_empty() {
-        return Err(ConditionViolation::BadCount("two-level allocation with no full leaves"));
+        return Err(ConditionViolation::BadCount(
+            "two-level allocation with no full leaves",
+        ));
     }
     if n_l == 0 || n_l > tree.nodes_per_leaf() {
         return Err(ConditionViolation::BadCount("nodes per leaf"));
@@ -135,7 +169,9 @@ fn check_two_level(
     let mut seen = HashSet::with_capacity(leaves.len() + 1);
     for &leaf in leaves {
         if leaf.0 >= tree.num_leaves() || tree.pod_of_leaf(leaf) != pod {
-            return Err(ConditionViolation::MalformedTopologyReference("leaf not in pod"));
+            return Err(ConditionViolation::MalformedTopologyReference(
+                "leaf not in pod",
+            ));
         }
         if !seen.insert(leaf) {
             return Err(ConditionViolation::DuplicateResource("leaf"));
@@ -143,14 +179,18 @@ fn check_two_level(
     }
     // Balance + condition 4: every full leaf uses the same S, |S| = n_L.
     if l2_set & !mask_of(tree.l2_per_pod()) != 0 {
-        return Err(ConditionViolation::MalformedTopologyReference("L2 position"));
+        return Err(ConditionViolation::MalformedTopologyReference(
+            "L2 position",
+        ));
     }
     if l2_set.count_ones() != n_l {
         return Err(ConditionViolation::UnbalancedLeafUplinks);
     }
     if let Some(&(leaf, n_r, s_r)) = rem_leaf {
         if leaf.0 >= tree.num_leaves() || tree.pod_of_leaf(leaf) != pod {
-            return Err(ConditionViolation::MalformedTopologyReference("remainder leaf not in pod"));
+            return Err(ConditionViolation::MalformedTopologyReference(
+                "remainder leaf not in pod",
+            ));
         }
         if !seen.insert(leaf) {
             return Err(ConditionViolation::DuplicateResource("remainder leaf"));
@@ -176,7 +216,9 @@ fn check_three_level(
     rem_tree: Option<&crate::alloc::RemTree>,
 ) -> Result<(), ConditionViolation> {
     if trees.is_empty() {
-        return Err(ConditionViolation::BadCount("three-level allocation with no full trees"));
+        return Err(ConditionViolation::BadCount(
+            "three-level allocation with no full trees",
+        ));
     }
     if n_l == 0 || n_l > tree.nodes_per_leaf() {
         return Err(ConditionViolation::BadCount("nodes per leaf"));
@@ -185,7 +227,9 @@ fn check_three_level(
         return Err(ConditionViolation::BadCount("leaves per tree"));
     }
     if l2_set & !mask_of(tree.l2_per_pod()) != 0 {
-        return Err(ConditionViolation::MalformedTopologyReference("L2 position"));
+        return Err(ConditionViolation::MalformedTopologyReference(
+            "L2 position",
+        ));
     }
     if l2_set.count_ones() != n_l {
         return Err(ConditionViolation::UnbalancedLeafUplinks);
@@ -202,11 +246,15 @@ fn check_three_level(
         }
         // Condition 1/2: every full tree has exactly L_T leaves of n_L nodes.
         if t.leaves.len() as u32 != l_t {
-            return Err(ConditionViolation::BadCount("full tree with wrong leaf count"));
+            return Err(ConditionViolation::BadCount(
+                "full tree with wrong leaf count",
+            ));
         }
         for &leaf in &t.leaves {
             if leaf.0 >= tree.num_leaves() || tree.pod_of_leaf(leaf) != t.pod {
-                return Err(ConditionViolation::MalformedTopologyReference("leaf not in its pod"));
+                return Err(ConditionViolation::MalformedTopologyReference(
+                    "leaf not in its pod",
+                ));
             }
             if !leaves_seen.insert(leaf) {
                 return Err(ConditionViolation::DuplicateResource("leaf"));
@@ -217,7 +265,9 @@ fn check_three_level(
     // Condition 6 on full trees: spine sets indexed by position, |S*_i| = L_T
     // exactly for i ∈ S, empty otherwise.
     if spine_sets.len() != tree.l2_per_pod() as usize {
-        return Err(ConditionViolation::MalformedTopologyReference("spine set vector length"));
+        return Err(ConditionViolation::MalformedTopologyReference(
+            "spine set vector length",
+        ));
     }
     for (pos, &set) in spine_sets.iter().enumerate() {
         let in_s = l2_set & (1 << pos) != 0;
@@ -235,7 +285,9 @@ fn check_three_level(
 
     if let Some(rem) = rem_tree {
         if rem.pod.0 >= tree.num_pods() {
-            return Err(ConditionViolation::MalformedTopologyReference("remainder pod id"));
+            return Err(ConditionViolation::MalformedTopologyReference(
+                "remainder pod id",
+            ));
         }
         if !pods_seen.insert(rem.pod) {
             return Err(ConditionViolation::DuplicateResource("remainder pod"));
@@ -322,14 +374,40 @@ mod tests {
     #[test]
     fn single_leaf_legal() {
         let t = tree();
-        assert_eq!(check_shape(&t, &Shape::SingleLeaf { leaf: LeafId(1), n: 2 }), Ok(()));
-        assert!(check_shape(&t, &Shape::SingleLeaf { leaf: LeafId(99), n: 1 }).is_err());
-        assert!(check_shape(&t, &Shape::SingleLeaf { leaf: LeafId(0), n: 3 }).is_err());
+        assert_eq!(
+            check_shape(
+                &t,
+                &Shape::SingleLeaf {
+                    leaf: LeafId(1),
+                    n: 2
+                }
+            ),
+            Ok(())
+        );
+        assert!(check_shape(
+            &t,
+            &Shape::SingleLeaf {
+                leaf: LeafId(99),
+                n: 1
+            }
+        )
+        .is_err());
+        assert!(check_shape(
+            &t,
+            &Shape::SingleLeaf {
+                leaf: LeafId(0),
+                n: 3
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn unstructured_is_flagged() {
-        assert_eq!(check_shape(&tree(), &Shape::Unstructured), Err(ConditionViolation::Unstructured));
+        assert_eq!(
+            check_shape(&tree(), &Shape::Unstructured),
+            Err(ConditionViolation::Unstructured)
+        );
     }
 
     fn legal_two_level() -> Shape {
@@ -352,7 +430,10 @@ mod tests {
         if let Shape::TwoLevel { l2_set, .. } = &mut s {
             *l2_set = 0b01;
         }
-        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::UnbalancedLeafUplinks));
+        assert_eq!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::UnbalancedLeafUplinks)
+        );
 
         // Remainder as large as a full leaf (condition 2).
         let s = Shape::TwoLevel {
@@ -362,11 +443,20 @@ mod tests {
             l2_set: 0b01,
             rem_leaf: Some((LeafId(1), 1, 0b01)),
         };
-        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::RemainderLeafTooLarge));
+        assert_eq!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::RemainderLeafTooLarge)
+        );
 
         // S^r not a subset of S (Fig. 1-right: disconnected links).
         let mut s = legal_two_level();
-        if let Shape::TwoLevel { n_l, l2_set, rem_leaf, .. } = &mut s {
+        if let Shape::TwoLevel {
+            n_l,
+            l2_set,
+            rem_leaf,
+            ..
+        } = &mut s
+        {
             *n_l = 1;
             *l2_set = 0b01;
             *rem_leaf = None;
@@ -379,7 +469,10 @@ mod tests {
             l2_set: 0b11,
             rem_leaf: Some((LeafId(1), 1, 0b100)),
         };
-        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::RemainderLeafLinks));
+        assert_eq!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::RemainderLeafLinks)
+        );
 
         // Leaf from another pod.
         let s = Shape::TwoLevel {
@@ -402,7 +495,10 @@ mod tests {
             l2_set: 0b01,
             rem_leaf: None,
         };
-        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::DuplicateResource("leaf")));
+        assert_eq!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::DuplicateResource("leaf"))
+        );
     }
 
     fn legal_three_level() -> Shape {
@@ -415,8 +511,14 @@ mod tests {
             l_t: 2,
             l2_set: 0b11,
             trees: vec![
-                TreeAlloc { pod: PodId(0), leaves: vec![LeafId(0), LeafId(1)] },
-                TreeAlloc { pod: PodId(1), leaves: vec![LeafId(2), LeafId(3)] },
+                TreeAlloc {
+                    pod: PodId(0),
+                    leaves: vec![LeafId(0), LeafId(1)],
+                },
+                TreeAlloc {
+                    pod: PodId(1),
+                    leaves: vec![LeafId(2), LeafId(3)],
+                },
             ],
             spine_sets: vec![0b11, 0b11],
             rem_tree: Some(RemTree {
@@ -443,21 +545,30 @@ mod tests {
         if let Shape::ThreeLevel { spine_sets, .. } = &mut s {
             spine_sets[0] = 0b01; // |S*_0| = 1 != L_T = 2
         }
-        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::UnbalancedSpineUplinks));
+        assert_eq!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::UnbalancedSpineUplinks)
+        );
     }
 
     #[test]
     fn three_level_remainder_spine_subset_enforced() {
         let t = tree();
         let mut s = legal_three_level();
-        if let Shape::ThreeLevel { rem_tree: Some(r), .. } = &mut s {
+        if let Shape::ThreeLevel {
+            rem_tree: Some(r), ..
+        } = &mut s
+        {
             // Remainder L2 position 1 (in S^r? no — S^r = 0b01, so position 1
             // needs L_T^r = 1 uplink) pointing at a spine outside S*_1.
             r.spine_sets[1] = 0b10;
             // Still size 1, but S*_1 = 0b11 so 0b10 ⊆ S*_1 — make parent
             // smaller to force subset violation.
         }
-        if let Shape::ThreeLevel { trees, spine_sets, .. } = &mut s {
+        if let Shape::ThreeLevel {
+            trees, spine_sets, ..
+        } = &mut s
+        {
             // Shrink job: one full tree so L_T slots are 2 but give S*_1 = 0b01.
             let _ = trees;
             spine_sets[1] = 0b01;
@@ -465,7 +576,10 @@ mod tests {
         // Now |S*_1| = 1 != L_T = 2 → unbalanced fires first; craft a pure
         // subset violation instead:
         let mut s = legal_three_level();
-        if let Shape::ThreeLevel { rem_tree: Some(r), .. } = &mut s {
+        if let Shape::ThreeLevel {
+            rem_tree: Some(r), ..
+        } = &mut s
+        {
             r.spine_sets[0] = 0b101; // wrong size and out of group range
         }
         assert!(matches!(
@@ -479,13 +593,19 @@ mod tests {
     fn three_level_remainder_too_large() {
         let t = tree();
         let mut s = legal_three_level();
-        if let Shape::ThreeLevel { rem_tree: Some(r), .. } = &mut s {
+        if let Shape::ThreeLevel {
+            rem_tree: Some(r), ..
+        } = &mut s
+        {
             // Remainder tree with 2 full leaves = n_T nodes, not fewer.
             r.leaves = vec![LeafId(4), LeafId(5)];
             r.rem_leaf = None;
             r.spine_sets = vec![0b11, 0b11];
         }
-        assert_eq!(check_shape(&t, &s), Err(ConditionViolation::RemainderTreeTooLarge));
+        assert_eq!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::RemainderTreeTooLarge)
+        );
     }
 
     #[test]
@@ -495,17 +615,26 @@ mod tests {
         if let Shape::ThreeLevel { trees, .. } = &mut s {
             trees[1].leaves.pop(); // condition 1: trees must be identical
         }
-        assert!(matches!(check_shape(&t, &s), Err(ConditionViolation::BadCount(_))));
+        assert!(matches!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::BadCount(_))
+        ));
     }
 
     #[test]
     fn three_level_duplicate_pod() {
         let t = tree();
         let mut s = legal_three_level();
-        if let Shape::ThreeLevel { rem_tree: Some(r), .. } = &mut s {
+        if let Shape::ThreeLevel {
+            rem_tree: Some(r), ..
+        } = &mut s
+        {
             r.pod = PodId(0);
             r.leaves = vec![LeafId(0)];
         }
-        assert!(matches!(check_shape(&t, &s), Err(ConditionViolation::DuplicateResource(_))));
+        assert!(matches!(
+            check_shape(&t, &s),
+            Err(ConditionViolation::DuplicateResource(_))
+        ));
     }
 }

@@ -36,7 +36,10 @@ impl JigsawAllocator {
             tree.is_full_bandwidth(),
             "Jigsaw requires a full-bandwidth fat-tree (m1 == w2, m2 == w3)"
         );
-        JigsawAllocator { steps: 0, widest_first: false }
+        JigsawAllocator {
+            steps: 0,
+            widest_first: false,
+        }
     }
 
     /// Ablation constructor (DESIGN.md §6): enumerate shapes widest-first
@@ -66,7 +69,11 @@ impl Allocator for JigsawAllocator {
     fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
         let shape = self.find_shape(state, req.size)?;
         let alloc = Allocation::from_shape(state, req.id, req.size, 0, shape);
-        debug_assert_eq!(alloc.nodes.len() as u32, req.size, "Jigsaw guarantees N = N_r");
+        debug_assert_eq!(
+            alloc.nodes.len() as u32,
+            req.size,
+            "Jigsaw guarantees N = N_r"
+        );
         claim_allocation(state, &alloc);
         Some(alloc)
     }
@@ -145,8 +152,11 @@ fn find_jigsaw_shape_ordered(
     }
 
     // Three-level shapes with full leaves (the §4 restriction): n_L = W.
-    let three_level_orders: Vec<u32> =
-        if widest_first { (1..=l).collect() } else { (1..=l).rev().collect() };
+    let three_level_orders: Vec<u32> = if widest_first {
+        (1..=l).collect()
+    } else {
+        (1..=l).rev().collect()
+    };
     for l_t in three_level_orders {
         let n_t = l_t * w;
         let t_full = size / n_t;
@@ -196,7 +206,9 @@ mod tests {
     #[test]
     fn small_job_lands_on_single_leaf_without_links() {
         let (mut state, mut jig) = setup(8);
-        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 3)).unwrap();
+        let a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 3))
+            .unwrap();
         assert!(matches!(a.shape, Shape::SingleLeaf { n: 3, .. }));
         assert!(a.leaf_links.is_empty() && a.spine_links.is_empty());
         assert_eq!(a.nodes.len(), 3);
@@ -274,7 +286,12 @@ mod tests {
             .allocate(&mut state, &JobRequest::new(JobId(1), 2))
             .expect("2 nodes spread over two leaves of pod 0");
         match &a.shape {
-            Shape::TwoLevel { n_l, leaves, rem_leaf, .. } => {
+            Shape::TwoLevel {
+                n_l,
+                leaves,
+                rem_leaf,
+                ..
+            } => {
                 assert_eq!(*n_l, 1);
                 assert_eq!(leaves.len(), 2);
                 assert!(rem_leaf.is_none());
@@ -286,9 +303,13 @@ mod tests {
     #[test]
     fn three_level_used_when_no_pod_fits() {
         let (mut state, mut jig) = setup(4); // pods of 4 nodes
-        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+        let a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+            .unwrap();
         match &a.shape {
-            Shape::ThreeLevel { trees, rem_tree, .. } => {
+            Shape::ThreeLevel {
+                trees, rem_tree, ..
+            } => {
                 assert!(trees.len() >= 2 || rem_tree.is_some());
             }
             other => panic!("11 of 16 nodes needs a three-level shape, got {other:?}"),
@@ -302,7 +323,9 @@ mod tests {
     fn allocate_release_restores_state() {
         let (mut state, mut jig) = setup(8);
         let before = state.clone();
-        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 37)).unwrap();
+        let a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 37))
+            .unwrap();
         assert_ne!(state, before);
         release_allocation(&mut state, &a);
         assert_eq!(state, before);
@@ -311,7 +334,9 @@ mod tests {
     #[test]
     fn full_machine_job_fits_empty_machine() {
         let (mut state, mut jig) = setup(4);
-        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 16)).unwrap();
+        let a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 16))
+            .unwrap();
         assert_eq!(a.nodes.len(), 16);
         assert_eq!(state.free_node_count(), 0);
         check_shape(state.tree(), &a.shape).unwrap();
@@ -320,15 +345,23 @@ mod tests {
     #[test]
     fn refuses_oversized_and_zero_jobs() {
         let (mut state, mut jig) = setup(4);
-        assert!(jig.allocate(&mut state, &JobRequest::new(JobId(1), 17)).is_none());
-        assert!(jig.allocate(&mut state, &JobRequest::new(JobId(1), 0)).is_none());
+        assert!(jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 17))
+            .is_none());
+        assert!(jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 0))
+            .is_none());
     }
 
     #[test]
     fn isolation_between_concurrent_jobs() {
         let (mut state, mut jig) = setup(8);
-        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), 60)).unwrap();
-        let b = jig.allocate(&mut state, &JobRequest::new(JobId(2), 60)).unwrap();
+        let a = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 60))
+            .unwrap();
+        let b = jig
+            .allocate(&mut state, &JobRequest::new(JobId(2), 60))
+            .unwrap();
         assert!(a.is_disjoint_from(&b), "Jigsaw partitions must be disjoint");
         state.assert_consistent();
     }

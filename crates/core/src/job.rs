@@ -22,12 +22,20 @@ pub struct JobRequest {
 impl JobRequest {
     /// A request with the default LC+S bandwidth class (1.0 GB/s).
     pub fn new(id: JobId, size: u32) -> Self {
-        JobRequest { id, size, bw_tenths: 10 }
+        JobRequest {
+            id,
+            size,
+            bw_tenths: 10,
+        }
     }
 
     /// A request with an explicit bandwidth class.
     pub fn with_bandwidth(id: JobId, size: u32, bw_tenths: u16) -> Self {
-        JobRequest { id, size, bw_tenths }
+        JobRequest {
+            id,
+            size,
+            bw_tenths,
+        }
     }
 }
 

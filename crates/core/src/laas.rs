@@ -47,7 +47,10 @@ impl LaasAllocator {
             tree.is_full_bandwidth(),
             "LaaS requires a full-bandwidth fat-tree (m1 == w2, m2 == w3)"
         );
-        LaasAllocator { steps: 0, pack_subleaf: true }
+        LaasAllocator {
+            steps: 0,
+            pack_subleaf: true,
+        }
     }
 
     /// The literal reduction: every job, however small, rounds up to whole
@@ -93,7 +96,10 @@ impl LaasAllocator {
                             .take(leaves_needed as usize)
                             .collect();
                         if leaves_needed == 1 {
-                            break 'search Some(Shape::SingleLeaf { leaf: leaves[0], n: w });
+                            break 'search Some(Shape::SingleLeaf {
+                                leaf: leaves[0],
+                                n: w,
+                            });
                         }
                         break 'search Some(Shape::TwoLevel {
                             pod,
@@ -174,7 +180,9 @@ mod tests {
     #[test]
     fn rounds_up_to_whole_leaves() {
         let (mut state, mut laas) = setup(8); // leaves of 4 nodes
-        let a = laas.allocate(&mut state, &JobRequest::new(JobId(1), 5)).unwrap();
+        let a = laas
+            .allocate(&mut state, &JobRequest::new(JobId(1), 5))
+            .unwrap();
         assert_eq!(a.requested, 5);
         assert_eq!(a.nodes.len(), 8, "5 nodes round up to 2 whole leaves");
         // The internal fragmentation of Fig. 2-left: 3 nodes wasted.
@@ -185,11 +193,15 @@ mod tests {
     #[test]
     fn subleaf_job_packs_by_default_and_rounds_in_strict_mode() {
         let (mut state, mut laas) = setup(8);
-        let a = laas.allocate(&mut state, &JobRequest::new(JobId(1), 1)).unwrap();
+        let a = laas
+            .allocate(&mut state, &JobRequest::new(JobId(1), 1))
+            .unwrap();
         assert!(matches!(a.shape, Shape::SingleLeaf { n: 1, .. }));
         assert_eq!(a.nodes.len(), 1);
         // A second 1-node job shares the leaf.
-        let b = laas.allocate(&mut state, &JobRequest::new(JobId(2), 1)).unwrap();
+        let b = laas
+            .allocate(&mut state, &JobRequest::new(JobId(2), 1))
+            .unwrap();
         assert_eq!(
             state.tree().leaf_of_node(a.nodes[0]),
             state.tree().leaf_of_node(b.nodes[0])
@@ -198,9 +210,15 @@ mod tests {
         let tree = jigsaw_topology::FatTree::maximal(8).unwrap();
         let mut state = SystemState::new(tree);
         let mut strict = LaasAllocator::strict_whole_leaf(&tree);
-        let c = strict.allocate(&mut state, &JobRequest::new(JobId(1), 1)).unwrap();
+        let c = strict
+            .allocate(&mut state, &JobRequest::new(JobId(1), 1))
+            .unwrap();
         assert!(matches!(c.shape, Shape::SingleLeaf { n: 4, .. }));
-        assert_eq!(c.nodes.len(), 4, "strict mode rounds even 1-node jobs to a leaf");
+        assert_eq!(
+            c.nodes.len(),
+            4,
+            "strict mode rounds even 1-node jobs to a leaf"
+        );
     }
 
     #[test]
@@ -208,7 +226,9 @@ mod tests {
         let (mut state, mut laas) = setup(8);
         let tree = *state.tree();
         for (i, size) in [9u32, 17, 40].iter().enumerate() {
-            let a = laas.allocate(&mut state, &JobRequest::new(JobId(i as u32), *size)).unwrap();
+            let a = laas
+                .allocate(&mut state, &JobRequest::new(JobId(i as u32), *size))
+                .unwrap();
             // Every touched leaf is wholly owned.
             let mut per_leaf = std::collections::HashMap::new();
             for &n in &a.nodes {
@@ -222,7 +242,9 @@ mod tests {
     #[test]
     fn multi_pod_shapes_satisfy_conditions() {
         let (mut state, mut laas) = setup(4); // pods of 4 nodes, leaves of 2
-        let a = laas.allocate(&mut state, &JobRequest::new(JobId(1), 9)).unwrap();
+        let a = laas
+            .allocate(&mut state, &JobRequest::new(JobId(1), 9))
+            .unwrap();
         // 9 rounds to 10 nodes = 5 whole leaves over 3 pods (2+2+1 leaves).
         assert_eq!(a.nodes.len(), 10);
         check_shape(state.tree(), &a.shape).unwrap();
@@ -239,7 +261,9 @@ mod tests {
             state.claim_node(tree.node_at(leaf, 0), JobId(99));
         }
         // Half the machine is free, but LaaS cannot place even a 1-node job.
-        assert!(laas.allocate(&mut state, &JobRequest::new(JobId(1), 1)).is_none());
+        assert!(laas
+            .allocate(&mut state, &JobRequest::new(JobId(1), 1))
+            .is_none());
     }
 
     #[test]
@@ -255,6 +279,9 @@ mod tests {
                 assert_eq!(a.nodes.len() as u32, size.div_ceil(w) * w);
             }
         }
-        assert!(wasted > 0, "a 5..20 size sweep on 4-node leaves must waste nodes");
+        assert!(
+            wasted > 0,
+            "a 5..20 size sweep on 4-node leaves must waste nodes"
+        );
     }
 }

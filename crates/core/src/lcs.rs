@@ -49,7 +49,11 @@ impl LcsAllocator {
             tree.is_full_bandwidth(),
             "LC+S requires a full-bandwidth fat-tree (m1 == w2, m2 == w3)"
         );
-        LcsAllocator { step_budget, per_pod_cap, steps: 0 }
+        LcsAllocator {
+            step_budget,
+            per_pod_cap,
+            steps: 0,
+        }
     }
 
     /// The LC+S placement search, without committing resources.
@@ -91,7 +95,8 @@ impl LcsAllocator {
                     if state.free_nodes_in_pod(pod) < size {
                         continue;
                     }
-                    if let Some(pick) = find_two_level(state, &view, pod, l_t, n_l, n_r, &mut budget)
+                    if let Some(pick) =
+                        find_two_level(state, &view, pod, l_t, n_l, n_r, &mut budget)
                     {
                         break 'search Some(Shape::TwoLevel {
                             pod,
@@ -221,8 +226,7 @@ mod tests {
             if let Some(a) =
                 lcs.allocate(&mut s, &JobRequest::with_bandwidth(JobId(size), size, 10))
             {
-                check_shape(state.tree(), &a.shape)
-                    .unwrap_or_else(|v| panic!("size {size}: {v}"));
+                check_shape(state.tree(), &a.shape).unwrap_or_else(|v| panic!("size {size}: {v}"));
                 assert_eq!(a.nodes.len() as u32, size);
                 assert_eq!(a.bw_tenths, 10);
             } else {
@@ -236,15 +240,24 @@ mod tests {
         let (mut state, mut lcs) = setup(4);
         // Two jobs of 2.0 GB/s class exactly fill the 4.0 GB/s cap; they may
         // share links.
-        let a = lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 8, 20)).unwrap();
-        let b = lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(2), 8, 20)).unwrap();
-        assert!(!a.nodes.iter().any(|n| b.nodes.contains(n)), "nodes stay exclusive");
+        let a = lcs
+            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 8, 20))
+            .unwrap();
+        let b = lcs
+            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(2), 8, 20))
+            .unwrap();
+        assert!(
+            !a.nodes.iter().any(|n| b.nodes.contains(n)),
+            "nodes stay exclusive"
+        );
         state.assert_consistent();
         // A third job needing links cannot fit bandwidth-wise anywhere —
         // but there are no nodes left anyway; release B and fill again
         // with a light job.
         lcs.release(&mut state, &b);
-        let c = lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(3), 8, 5)).unwrap();
+        let c = lcs
+            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(3), 8, 5))
+            .unwrap();
         assert_eq!(c.nodes.len(), 8);
         state.assert_consistent();
     }
@@ -261,8 +274,12 @@ mod tests {
         }
         // Multi-leaf jobs need links → must fail.
         // (2 nodes still fit on one leaf without links.)
-        assert!(lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 2, 5)).is_some());
-        assert!(lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(2), 6, 5)).is_none());
+        assert!(lcs
+            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 2, 5))
+            .is_some());
+        assert!(lcs
+            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(2), 6, 5))
+            .is_none());
     }
 
     #[test]
@@ -276,7 +293,9 @@ mod tests {
         for leaf in tree.leaves() {
             state.claim_node(tree.node_at(leaf, 0), JobId(99));
         }
-        let a = lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 6, 5)).unwrap();
+        let a = lcs
+            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 6, 5))
+            .unwrap();
         assert_eq!(a.nodes.len(), 6);
         check_shape(&tree, &a.shape).unwrap();
         match a.shape {

@@ -58,8 +58,8 @@ pub mod search;
 pub mod ta;
 
 pub use alloc::{Allocation, RemTree, Shape, TreeAlloc};
-pub use audit::{audit_system, AuditError};
 pub use allocator::{Allocator, SchedulerKind};
+pub use audit::{audit_system, AuditError};
 pub use baseline::BaselineAllocator;
 pub use conditions::{check_shape, ConditionViolation};
 pub use jigsaw::JigsawAllocator;

@@ -155,7 +155,10 @@ impl Budget {
     /// A budget that has already spent `spent` steps and may spend `limit`
     /// more (used to carry accounting across search phases).
     pub fn resumed(spent: u64, limit: u64) -> Self {
-        Budget { steps: spent, limit: spent.saturating_add(limit) }
+        Budget {
+            steps: spent,
+            limit: spent.saturating_add(limit),
+        }
     }
 
     /// Record one step. Returns `false` once the budget is exhausted.
@@ -220,7 +223,19 @@ pub fn find_two_level<V: LinkView>(
     }
 
     let mut chosen: Vec<LeafId> = Vec::with_capacity(l_t as usize);
-    search_leaves(state, view, pod, &candidates, 0, mask_of(tree.l2_per_pod()), l_t, n_l, n_r, &mut chosen, budget)
+    search_leaves(
+        state,
+        view,
+        pod,
+        &candidates,
+        0,
+        mask_of(tree.l2_per_pod()),
+        l_t,
+        n_l,
+        n_r,
+        &mut chosen,
+        budget,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -258,9 +273,19 @@ fn search_leaves<V: LinkView>(
             continue;
         }
         chosen.push(leaf);
-        if let Some(pick) =
-            search_leaves(state, view, pod, candidates, i + 1, next, l_t, n_l, n_r, chosen, budget)
-        {
+        if let Some(pick) = search_leaves(
+            state,
+            view,
+            pod,
+            candidates,
+            i + 1,
+            next,
+            l_t,
+            n_l,
+            n_r,
+            chosen,
+            budget,
+        ) {
             return Some(pick);
         }
         chosen.pop();
@@ -307,7 +332,11 @@ fn complete_two_level<V: LinkView>(
         let mut l2_set = s_r;
         let fill = inter & !s_r;
         l2_set |= lowest_n_bits(fill, n_l - n_r);
-        return Some(TwoLevelPick { leaves: chosen.to_vec(), l2_set, rem_leaf: Some((leaf, s_r)) });
+        return Some(TwoLevelPick {
+            leaves: chosen.to_vec(),
+            l2_set,
+            rem_leaf: Some((leaf, s_r)),
+        });
     }
     None
 }
@@ -370,15 +399,29 @@ pub fn find_three_level_full<V: LinkView>(
     debug_assert!(l_rt < l_t, "remainder tree must be smaller than full trees");
 
     // Candidate full pods.
-    let pods: Vec<PodId> =
-        tree.pods().filter(|&p| view.full_leaves_in_pod(state, p) >= l_t).collect();
+    let pods: Vec<PodId> = tree
+        .pods()
+        .filter(|&p| view.full_leaves_in_pod(state, p) >= l_t)
+        .collect();
     if (pods.len() as u32) < t_full {
         return None;
     }
 
     let inter = vec![mask_of(tree.spines_per_group()); m as usize];
     let mut chosen: Vec<PodId> = Vec::with_capacity(t_full as usize);
-    search_pods_full(state, view, &pods, 0, inter, l_t, t_full, l_rt, n_rl, &mut chosen, budget)
+    search_pods_full(
+        state,
+        view,
+        &pods,
+        0,
+        inter,
+        l_t,
+        t_full,
+        l_rt,
+        n_rl,
+        &mut chosen,
+        budget,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -420,7 +463,17 @@ fn search_pods_full<V: LinkView>(
         }
         chosen.push(pod);
         if let Some(pick) = search_pods_full(
-            state, view, pods, i + 1, next, l_t, t_full, l_rt, n_rl, chosen, budget,
+            state,
+            view,
+            pods,
+            i + 1,
+            next,
+            l_t,
+            t_full,
+            l_rt,
+            n_rl,
+            chosen,
+            budget,
         ) {
             return Some(pick);
         }
@@ -549,7 +602,12 @@ fn complete_three_level_full<V: LinkView>(
             l2_set,
             trees: make_trees(chosen),
             spine_sets,
-            rem_tree: Some(RemTree { pod, leaves: rem_full, rem_leaf, spine_sets: rem_sets }),
+            rem_tree: Some(RemTree {
+                pod,
+                leaves: rem_full,
+                rem_leaf,
+                spine_sets: rem_sets,
+            }),
         });
     }
     None
@@ -572,7 +630,11 @@ fn full_leaves<V: LinkView>(
             out.push(leaf);
         }
     }
-    debug_assert_eq!(out.len() as u32, count, "caller verified full-leaf availability");
+    debug_assert_eq!(
+        out.len() as u32,
+        count,
+        "caller verified full-leaf availability"
+    );
     out
 }
 
@@ -699,7 +761,10 @@ fn collect_rec(
         // Keep solutions with distinct intersections only — duplicates add
         // no matching power at the L3 stage.
         if !out.iter().any(|s| s.inter == inter) {
-            out.push(PodSolution { leaves: chosen.clone(), inter });
+            out.push(PodSolution {
+                leaves: chosen.clone(),
+                inter,
+            });
         }
         return;
     }
@@ -744,7 +809,17 @@ fn search_pods_general<V: LinkView>(
     let tree = state.tree();
     if chosen.len() as u32 == t_full {
         return complete_three_level_general(
-            state, view, solutions, chosen, pos_cand, &spine_inter, n_l, l_t, l_rt, n_rl, budget,
+            state,
+            view,
+            solutions,
+            chosen,
+            pos_cand,
+            &spine_inter,
+            n_l,
+            l_t,
+            l_rt,
+            n_rl,
+            budget,
         );
     }
     if budget.exhausted() {
@@ -783,8 +858,19 @@ fn search_pods_general<V: LinkView>(
             }
             chosen.push((*pod, si));
             if let Some(pick) = search_pods_general(
-                state, view, solutions, i + 1, next_pos, next_spine, n_l, l_t, t_full, l_rt,
-                n_rl, chosen, budget,
+                state,
+                view,
+                solutions,
+                i + 1,
+                next_pos,
+                next_spine,
+                n_l,
+                l_t,
+                t_full,
+                l_rt,
+                n_rl,
+                chosen,
+                budget,
             ) {
                 return Some(pick);
             }
@@ -812,7 +898,10 @@ fn complete_three_level_general<V: LinkView>(
     let m = tree.l2_per_pod() as usize;
 
     let lookup = |pod: PodId, si: usize| -> &PodSolution {
-        let (_, sltns) = solutions.iter().find(|(p, _)| *p == pod).expect("chosen pod");
+        let (_, sltns) = solutions
+            .iter()
+            .find(|(p, _)| *p == pod)
+            .expect("chosen pod");
         &sltns[si]
     };
 
@@ -834,9 +923,19 @@ fn complete_three_level_general<V: LinkView>(
         }
         let trees = chosen
             .iter()
-            .map(|&(pod, si)| TreeAlloc { pod, leaves: lookup(pod, si).leaves.clone() })
+            .map(|&(pod, si)| TreeAlloc {
+                pod,
+                leaves: lookup(pod, si).leaves.clone(),
+            })
             .collect();
-        return Some(ThreeLevelPick { n_l, l_t, l2_set, trees, spine_sets, rem_tree: None });
+        return Some(ThreeLevelPick {
+            n_l,
+            l_t,
+            l2_set,
+            trees,
+            spine_sets,
+            rem_tree: None,
+        });
     }
 
     // Remainder pod search (general shapes).
@@ -848,7 +947,9 @@ fn complete_three_level_general<V: LinkView>(
             return None;
         }
         let pod_spines: Vec<u64> = (0..tree.l2_per_pod())
-            .map(|pos| view.spine_avail_mask(state, tree.l2_at(pod, pos)) & spine_inter[pos as usize])
+            .map(|pos| {
+                view.spine_avail_mask(state, tree.l2_at(pod, pos)) & spine_inter[pos as usize]
+            })
             .collect();
 
         // Rank usable positions by remainder-pod spine slack and keep those
@@ -926,7 +1027,10 @@ fn complete_three_level_general<V: LinkView>(
 
         let trees = chosen
             .iter()
-            .map(|&(p, si)| TreeAlloc { pod: p, leaves: lookup(p, si).leaves.clone() })
+            .map(|&(p, si)| TreeAlloc {
+                pod: p,
+                leaves: lookup(p, si).leaves.clone(),
+            })
             .collect();
         return Some(ThreeLevelPick {
             n_l,
@@ -934,7 +1038,12 @@ fn complete_three_level_general<V: LinkView>(
             l2_set,
             trees,
             spine_sets,
-            rem_tree: Some(RemTree { pod, leaves: rem_leaves, rem_leaf, spine_sets: rem_sets }),
+            rem_tree: Some(RemTree {
+                pod,
+                leaves: rem_leaves,
+                rem_leaf,
+                spine_sets: rem_sets,
+            }),
         });
     }
     None
@@ -953,9 +1062,16 @@ mod tests {
     #[test]
     fn two_level_on_empty_pod() {
         let state = fresh(8); // W=4, L=4, M=4
-        let pick =
-            find_two_level(&state, &Exclusive, PodId(0), 2, 3, 2, &mut Budget::unlimited())
-                .expect("allocation exists");
+        let pick = find_two_level(
+            &state,
+            &Exclusive,
+            PodId(0),
+            2,
+            3,
+            2,
+            &mut Budget::unlimited(),
+        )
+        .expect("allocation exists");
         assert_eq!(pick.leaves.len(), 2);
         assert_eq!(pick.l2_set.count_ones(), 3);
         let (_, s_r) = pick.rem_leaf.unwrap();
@@ -970,11 +1086,27 @@ mod tests {
             state.claim_node(n, JobId(9));
         }
         // Pod 0 now has one free leaf; asking for two full leaves fails.
-        assert!(find_two_level(&state, &Exclusive, PodId(0), 2, 2, 0, &mut Budget::unlimited())
-            .is_none());
+        assert!(find_two_level(
+            &state,
+            &Exclusive,
+            PodId(0),
+            2,
+            2,
+            0,
+            &mut Budget::unlimited()
+        )
+        .is_none());
         // One full leaf still works.
-        assert!(find_two_level(&state, &Exclusive, PodId(0), 1, 2, 0, &mut Budget::unlimited())
-            .is_some());
+        assert!(find_two_level(
+            &state,
+            &Exclusive,
+            PodId(0),
+            1,
+            2,
+            0,
+            &mut Budget::unlimited()
+        )
+        .is_some());
     }
 
     #[test]
@@ -986,20 +1118,44 @@ mod tests {
         state.claim_leaf_link(t.leaf_link(LeafId(0), 0), JobId(9));
         state.claim_leaf_link(t.leaf_link(LeafId(1), 1), JobId(9));
         // Two leaves with 1 node each need one COMMON position — none left.
-        assert!(find_two_level(&state, &Exclusive, PodId(0), 2, 1, 0, &mut Budget::unlimited())
-            .is_none());
+        assert!(find_two_level(
+            &state,
+            &Exclusive,
+            PodId(0),
+            2,
+            1,
+            0,
+            &mut Budget::unlimited()
+        )
+        .is_none());
         // A single leaf with 2 nodes still fits (uses its one free position
         // ... n_l = 2 needs 2 positions though, so that fails too).
-        assert!(find_two_level(&state, &Exclusive, PodId(0), 1, 2, 0, &mut Budget::unlimited())
-            .is_none());
-        assert!(find_two_level(&state, &Exclusive, PodId(0), 1, 1, 0, &mut Budget::unlimited())
-            .is_some());
+        assert!(find_two_level(
+            &state,
+            &Exclusive,
+            PodId(0),
+            1,
+            2,
+            0,
+            &mut Budget::unlimited()
+        )
+        .is_none());
+        assert!(find_two_level(
+            &state,
+            &Exclusive,
+            PodId(0),
+            1,
+            1,
+            0,
+            &mut Budget::unlimited()
+        )
+        .is_some());
     }
 
     #[test]
     fn three_level_full_on_empty_tree() {
         let state = fresh(4); // pods of 2 leaves × 2 nodes
-        // T=2 full trees × (l_t=2 × W=2) + remainder tree (1 full leaf + 1-node leaf).
+                              // T=2 full trees × (l_t=2 × W=2) + remainder tree (1 full leaf + 1-node leaf).
         let pick = find_three_level_full(&state, &Exclusive, 2, 2, 1, 1, &mut Budget::unlimited())
             .expect("allocation exists");
         assert_eq!(pick.trees.len(), 2);
@@ -1040,7 +1196,7 @@ mod tests {
     #[test]
     fn general_three_level_with_partial_leaves() {
         let state = fresh(8); // W=4, M=4, L=4, G=4, P=8
-        // n_l = 2 (< W): least-constrained shape Jigsaw would not use.
+                              // n_l = 2 (< W): least-constrained shape Jigsaw would not use.
         let pick = find_three_level_general(
             &state,
             &Exclusive,

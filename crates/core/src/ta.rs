@@ -168,8 +168,7 @@ impl Allocator for TaAllocator {
                         .map(|l| state.free_nodes_on_leaf(l))
                         .sum();
                     if free >= req.size {
-                        let eligible =
-                            tree.leaves_of_pod(pod).filter(|&l| self.leaf_available(l));
+                        let eligible = tree.leaves_of_pod(pod).filter(|&l| self.leaf_available(l));
                         placed = Some(self.take_nodes(state, eligible, req.size));
                         break;
                     }
@@ -179,8 +178,10 @@ impl Allocator for TaAllocator {
             TaClass::Machine => {
                 // Whole machine, skipping pods already hosting a machine job
                 // and leaves held by other pod/machine jobs.
-                let eligible_pods: Vec<PodId> =
-                    tree.pods().filter(|p| self.pod_machine[p.idx()] == NONE).collect();
+                let eligible_pods: Vec<PodId> = tree
+                    .pods()
+                    .filter(|p| self.pod_machine[p.idx()] == NONE)
+                    .collect();
                 self.steps += eligible_pods.len() as u64;
                 let free: u32 = eligible_pods
                     .iter()
@@ -324,7 +325,8 @@ mod tests {
         }
         assert_eq!(state.free_node_count(), 3);
         assert!(
-            ta.allocate(&mut state, &JobRequest::new(JobId(1), 3)).is_none(),
+            ta.allocate(&mut state, &JobRequest::new(JobId(1), 3))
+                .is_none(),
             "TA must reject the spread placement Jigsaw would accept"
         );
     }
@@ -333,7 +335,9 @@ mod tests {
     fn pod_job_confined_to_one_pod() {
         let (mut state, mut ta) = setup(4); // pods of 4 nodes
         let tree = *state.tree();
-        let a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        let a = ta
+            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .unwrap();
         let pods: std::collections::HashSet<_> =
             a.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
         assert_eq!(pods.len(), 1);
@@ -342,22 +346,30 @@ mod tests {
     #[test]
     fn pod_jobs_exclude_each_other_from_leaves() {
         let (mut state, mut ta) = setup(8); // leaves of 4, pods of 16
-        // Job A: 6 nodes → pod class, touches 2 leaves of pod 0.
-        let a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 6)).unwrap();
+                                            // Job A: 6 nodes → pod class, touches 2 leaves of pod 0.
+        let a = ta
+            .allocate(&mut state, &JobRequest::new(JobId(1), 6))
+            .unwrap();
         // Job B: 12 nodes → pod class. Pod 0 has 10 free nodes but 2 nodes
         // sit on a leaf A touches; eligible free = 8 < 12 → B must go to
         // pod 1.
-        let b = ta.allocate(&mut state, &JobRequest::new(JobId(2), 12)).unwrap();
+        let b = ta
+            .allocate(&mut state, &JobRequest::new(JobId(2), 12))
+            .unwrap();
         let tree = *state.tree();
         let pods_b: std::collections::HashSet<_> =
             b.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
         assert_eq!(pods_b.len(), 1);
-        assert!(!pods_b.contains(&PodId(0)) || {
-            // If B landed in pod 0 it must not share any leaf with A.
-            let leaves_a: std::collections::HashSet<_> =
-                a.nodes.iter().map(|&n| tree.leaf_of_node(n)).collect();
-            b.nodes.iter().all(|&n| !leaves_a.contains(&tree.leaf_of_node(n)))
-        });
+        assert!(
+            !pods_b.contains(&PodId(0)) || {
+                // If B landed in pod 0 it must not share any leaf with A.
+                let leaves_a: std::collections::HashSet<_> =
+                    a.nodes.iter().map(|&n| tree.leaf_of_node(n)).collect();
+                b.nodes
+                    .iter()
+                    .all(|&n| !leaves_a.contains(&tree.leaf_of_node(n)))
+            }
+        );
     }
 
     #[test]
@@ -368,9 +380,13 @@ mod tests {
         let tree = *state.tree();
         // 7-node pod job: touches leaves 0 and 1, leaving 1 free node on
         // leaf 1 — stranded.
-        let _a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 7)).unwrap();
+        let _a = ta
+            .allocate(&mut state, &JobRequest::new(JobId(1), 7))
+            .unwrap();
         assert_eq!(state.free_nodes_on_leaf(LeafId(1)), 1);
-        let b = ta.allocate(&mut state, &JobRequest::new(JobId(2), 1)).unwrap();
+        let b = ta
+            .allocate(&mut state, &JobRequest::new(JobId(2), 1))
+            .unwrap();
         assert_ne!(
             tree.leaf_of_node(b.nodes[0]),
             LeafId(1),
@@ -383,8 +399,14 @@ mod tests {
             let _ = ta.allocate(&mut state, &JobRequest::new(JobId(10 + i), 3));
         }
         // Plenty of free nodes remain, but no class-clean leaves.
-        assert!(state.free_node_count() >= 16, "{} free", state.free_node_count());
-        assert!(ta.allocate(&mut state, &JobRequest::new(JobId(99), 16)).is_none());
+        assert!(
+            state.free_node_count() >= 16,
+            "{} free",
+            state.free_node_count()
+        );
+        assert!(ta
+            .allocate(&mut state, &JobRequest::new(JobId(99), 16))
+            .is_none());
     }
 
     #[test]
@@ -392,28 +414,42 @@ mod tests {
         let (mut state, mut ta) = setup(4); // pods of 4 nodes, 16 total
         let tree = *state.tree();
         // Machine job A: 6 nodes over pods 0-1.
-        let a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 6)).unwrap();
+        let a = ta
+            .allocate(&mut state, &JobRequest::new(JobId(1), 6))
+            .unwrap();
         let pods_a: std::collections::HashSet<_> =
             a.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
         // Machine job B: 6 nodes; must avoid every pod A touches.
-        let b = ta.allocate(&mut state, &JobRequest::new(JobId(2), 6)).unwrap();
+        let b = ta
+            .allocate(&mut state, &JobRequest::new(JobId(2), 6))
+            .unwrap();
         let pods_b: std::collections::HashSet<_> =
             b.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
         assert!(pods_a.is_disjoint(&pods_b));
         // A third machine job cannot fit: no two machine-free pods remain.
-        assert!(ta.allocate(&mut state, &JobRequest::new(JobId(3), 6)).is_none());
+        assert!(ta
+            .allocate(&mut state, &JobRequest::new(JobId(3), 6))
+            .is_none());
     }
 
     #[test]
     fn release_restores_eligibility() {
         let (mut state, mut ta) = setup(4);
-        let a = ta.allocate(&mut state, &JobRequest::new(JobId(1), 6)).unwrap();
-        let b = ta.allocate(&mut state, &JobRequest::new(JobId(2), 6)).unwrap();
-        assert!(ta.allocate(&mut state, &JobRequest::new(JobId(3), 6)).is_none());
+        let a = ta
+            .allocate(&mut state, &JobRequest::new(JobId(1), 6))
+            .unwrap();
+        let b = ta
+            .allocate(&mut state, &JobRequest::new(JobId(2), 6))
+            .unwrap();
+        assert!(ta
+            .allocate(&mut state, &JobRequest::new(JobId(3), 6))
+            .is_none());
         ta.release(&mut state, &a);
         ta.release(&mut state, &b);
         // Eligibility fully restored.
-        let c = ta.allocate(&mut state, &JobRequest::new(JobId(3), 6)).unwrap();
+        let c = ta
+            .allocate(&mut state, &JobRequest::new(JobId(3), 6))
+            .unwrap();
         assert_eq!(c.nodes.len(), 6);
         state.assert_consistent();
     }

@@ -29,8 +29,14 @@ fn figure3_allocation() -> (FatTree, Allocation) {
         l_t: 2,
         l2_set: 0b1111,
         trees: vec![
-            TreeAlloc { pod: PodId(0), leaves: vec![LeafId(0), LeafId(1)] },
-            TreeAlloc { pod: PodId(1), leaves: vec![LeafId(4), LeafId(5)] },
+            TreeAlloc {
+                pod: PodId(0),
+                leaves: vec![LeafId(0), LeafId(1)],
+            },
+            TreeAlloc {
+                pod: PodId(1),
+                leaves: vec![LeafId(4), LeafId(5)],
+            },
         ],
         spine_sets: vec![0b0011; 4],
         rem_tree: Some(RemTree {
@@ -72,7 +78,12 @@ fn unbalanced_tree_sizes_rejected() {
 fn oversized_remainder_tree_rejected() {
     // Condition 1: n_T^r < n_T.
     assert_rejected("grow the remainder tree to full size", |shape| {
-        if let Shape::ThreeLevel { trees, rem_tree: Some(rem), .. } = shape {
+        if let Shape::ThreeLevel {
+            trees,
+            rem_tree: Some(rem),
+            ..
+        } = shape
+        {
             // Copy a full tree's leaf count into the remainder.
             let donor_pod = rem.pod;
             let l_t = trees[0].leaves.len();
@@ -113,7 +124,12 @@ fn unbalanced_spine_set_rejected() {
 fn remainder_spine_superset_rejected() {
     // Condition 6: S*^r_i ⊆ S*_i.
     assert_rejected("point the remainder at a foreign spine", |shape| {
-        if let Shape::ThreeLevel { spine_sets, rem_tree: Some(rem), .. } = shape {
+        if let Shape::ThreeLevel {
+            spine_sets,
+            rem_tree: Some(rem),
+            ..
+        } = shape
+        {
             let foreign = !spine_sets[0] & 0b1111;
             assert!(foreign != 0, "test needs a spine outside S*_0");
             let low = foreign & foreign.wrapping_neg();
@@ -127,7 +143,12 @@ fn remainder_spine_superset_rejected() {
 fn remainder_leaf_links_outside_s_rejected() {
     // Condition 4: S^r ⊂ S.
     assert_rejected("remainder leaf uplink outside S", |shape| {
-        if let Shape::ThreeLevel { l2_set, rem_tree: Some(rem), .. } = shape {
+        if let Shape::ThreeLevel {
+            l2_set,
+            rem_tree: Some(rem),
+            ..
+        } = shape
+        {
             if let Some((_, _, s_r)) = &mut rem.rem_leaf {
                 let outside = !*l2_set & 0b1111;
                 if outside == 0 {
@@ -146,7 +167,13 @@ fn remainder_leaf_links_outside_s_rejected() {
 fn remainder_leaf_as_big_as_full_rejected() {
     // Condition 2: n_L^r < n_L.
     assert_rejected("remainder leaf grown to n_L", |shape| {
-        if let Shape::ThreeLevel { n_l, l2_set, rem_tree: Some(rem), .. } = shape {
+        if let Shape::ThreeLevel {
+            n_l,
+            l2_set,
+            rem_tree: Some(rem),
+            ..
+        } = shape
+        {
             if let Some((leaf, count, s_r)) = &mut rem.rem_leaf {
                 let _ = leaf;
                 *count = *n_l;
@@ -173,14 +200,22 @@ fn two_level_mutations_rejected() {
     let tree = FatTree::maximal(8).unwrap();
     let mut state = SystemState::new(tree);
     let mut jig = JigsawAllocator::new(&tree);
-    let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+    let alloc = jig
+        .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+        .unwrap();
     let base = alloc.shape.clone();
     assert!(matches!(base, Shape::TwoLevel { .. }));
     check_shape(&tree, &base).unwrap();
 
     // Remainder as large as a full leaf.
     let mut s = base.clone();
-    if let Shape::TwoLevel { n_l, l2_set, rem_leaf: Some((_, count, s_r)), .. } = &mut s {
+    if let Shape::TwoLevel {
+        n_l,
+        l2_set,
+        rem_leaf: Some((_, count, s_r)),
+        ..
+    } = &mut s
+    {
         *count = *n_l;
         *s_r = *l2_set;
     }

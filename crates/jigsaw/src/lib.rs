@@ -18,7 +18,9 @@
 //!   constructive rearrangeable-non-blocking router (the paper's theorem,
 //!   executable),
 //! * [`sim`] — discrete-event scheduling simulator with EASY backfilling,
-//! * [`traces`] — workload models, SWF parsing, Table-1 statistics.
+//! * [`traces`] — workload models, SWF parsing, Table-1 statistics,
+//! * [`persist`] — write-ahead journal, snapshots, and crash recovery for
+//!   the scheduler's allocation state.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@
 //! ```
 
 pub use jigsaw_core as core;
+pub use jigsaw_persist as persist;
 pub use jigsaw_routing as routing;
 pub use jigsaw_sim as sim;
 pub use jigsaw_topology as topology;
@@ -57,6 +60,7 @@ pub mod prelude {
         Allocation, Allocator, BaselineAllocator, JigsawAllocator, JobRequest, LaasAllocator,
         LcsAllocator, SchedulerKind, Shape, TaAllocator,
     };
+    pub use jigsaw_persist::{PersistError, PersistentState, RecoveryReport};
     pub use jigsaw_routing::{CongestionMap, PartitionRouter, Route};
     pub use jigsaw_sim::{simulate, Scenario, SimConfig, SimResult};
     pub use jigsaw_topology::ids::{JobId, LeafId, NodeId, PodId};

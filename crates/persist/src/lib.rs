@@ -1,0 +1,823 @@
+//! # jigsaw-persist — durability for the scheduler's allocation state
+//!
+//! The scheduler core (`jigsaw-core`) is a pure in-memory machine: a
+//! [`SystemState`] plus the set of live [`Allocation`]s. This crate makes
+//! that state survive crashes:
+//!
+//! * **Journal** ([`journal::Journal`]): every grant and release is
+//!   appended to a write-ahead log with per-record length + CRC-32
+//!   framing, fsynced before the operation is acknowledged. A torn tail
+//!   left by `kill -9` is detected and discarded on reopen.
+//! * **Snapshots** ([`snapshot::SnapshotStore`]): periodically the full
+//!   state is written atomically to `snap-<seq>.json`, after which the
+//!   journal is truncated (snapshot-then-truncate compaction). Recovery
+//!   cost is bounded by the snapshot interval, not by history length.
+//! * **Recovery** ([`PersistentState::open`] / [`recover`]): load the
+//!   newest readable snapshot, replay the journal suffix (records with
+//!   `seq <= snapshot.last_seq` are already covered and skipped — this is
+//!   what makes a crash *between* snapshot write and journal truncation
+//!   harmless), then cross-check the result with `jigsaw_core::audit`.
+//!   Recovery is deterministic: same files in, same state out.
+//!
+//! Replay never uses the panicking claim path blindly: each grant is
+//! validated against the rebuilt state first, and any impossibility —
+//! double-booked node, unknown release, out-of-range id — surfaces as a
+//! typed [`PersistError::ReplayConflict`] instead of a panic, so a corrupt
+//! journal is a diagnosable error, not a crash loop.
+//!
+//! [`PersistentState`] is the one-stop handle an embedding daemon (the
+//! `jigsaw-sched serve` REPL) uses: it owns the state, the live set, and
+//! the journal, and also runs in a journal-less *ephemeral* mode so callers
+//! need one code path for both durable and throwaway sessions.
+
+pub mod journal;
+pub mod snapshot;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use jigsaw_core::alloc::{claim_allocation, release_allocation};
+use jigsaw_core::audit::{audit_system, AuditError};
+use jigsaw_core::Allocation;
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+
+pub use journal::{crc32, Event, Journal, Record, Scan};
+pub use snapshot::{Snapshot, SnapshotStore};
+
+/// File name of the write-ahead log inside a journal directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// Snapshot files kept after compaction (the newest plus one fallback).
+pub const SNAPSHOTS_KEPT: usize = 2;
+
+/// Default auto-snapshot interval (events between snapshots); see
+/// [`PersistentState::set_snapshot_every`].
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
+
+/// Why persistence or recovery failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The snapshot on disk was built for a different topology than the
+    /// one the caller is recovering into.
+    TopologyMismatch {
+        /// Parameters the caller expected.
+        expected: String,
+        /// Parameters found in the snapshot.
+        found: String,
+    },
+    /// The journal demanded a transition the rebuilt state cannot take
+    /// (double-booked resource, release of an unknown job, non-monotonic
+    /// sequence numbers, out-of-range ids).
+    ReplayConflict {
+        /// Sequence number of the offending record.
+        seq: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Replay finished but `jigsaw_core::audit` found the result corrupt.
+    AuditFailed {
+        /// Every finding.
+        errors: Vec<AuditError>,
+    },
+    /// The operation needs a journal directory but the handle is ephemeral.
+    NotDurable,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::TopologyMismatch { expected, found } => write!(
+                f,
+                "snapshot topology mismatch: recovering into {expected}, snapshot built for {found}"
+            ),
+            PersistError::ReplayConflict { seq, detail } => {
+                write!(f, "journal replay conflict at seq {seq}: {detail}")
+            }
+            PersistError::AuditFailed { errors } => {
+                write!(
+                    f,
+                    "recovered state failed audit with {} finding(s): ",
+                    errors.len()
+                )?;
+                for (i, e) in errors.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+            PersistError::NotDurable => {
+                write!(f, "no journal directory configured (ephemeral session)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> PersistError {
+        PersistError::Io(e)
+    }
+}
+
+/// What recovery found and did. One of these is returned by every
+/// [`PersistentState::open`] so the embedding daemon can log it.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// `last_seq` of the snapshot recovery started from, if any.
+    pub snapshot_seq: Option<u64>,
+    /// Snapshot files skipped as unreadable while falling back.
+    pub corrupt_snapshots_skipped: usize,
+    /// Journal records replayed on top of the snapshot.
+    pub records_replayed: usize,
+    /// Journal records skipped because the snapshot already covered them.
+    pub records_skipped: usize,
+    /// Bytes of torn/corrupt journal tail discarded.
+    pub torn_bytes_discarded: u64,
+    /// Live jobs after recovery.
+    pub live_jobs: usize,
+    /// Allocated nodes after recovery.
+    pub allocated_nodes: u32,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovered {} live job(s) / {} node(s)",
+            self.live_jobs, self.allocated_nodes
+        )?;
+        match self.snapshot_seq {
+            Some(seq) => write!(f, " from snapshot seq {seq}")?,
+            None => write!(f, " from empty state")?,
+        }
+        write!(f, " + {} replayed record(s)", self.records_replayed)?;
+        if self.records_skipped > 0 {
+            write!(f, " ({} already in snapshot)", self.records_skipped)?;
+        }
+        if self.torn_bytes_discarded > 0 {
+            write!(
+                f,
+                "; discarded {} byte(s) of torn tail",
+                self.torn_bytes_discarded
+            )?;
+        }
+        if self.corrupt_snapshots_skipped > 0 {
+            write!(
+                f,
+                "; skipped {} corrupt snapshot(s)",
+                self.corrupt_snapshots_skipped
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The scheduler's allocation state plus its durability machinery.
+///
+/// Owns the [`SystemState`] and the live allocation set, but is
+/// deliberately allocator-agnostic: allocators may keep internal
+/// bookkeeping (TA's per-leaf counters) that only their own
+/// `allocate`/`release` methods maintain, so *state mutation stays with
+/// the caller* and this type confines itself to journaling and live-set
+/// tracking. The daemon's write path is:
+///
+/// 1. the allocator searches and claims against [`state_mut`]
+///    (exactly as in a non-durable session),
+/// 2. the grant is made durable with [`commit_grant`]; if the journal
+///    append fails the caller rolls the claim back (via the allocator),
+///    so state and journal never diverge,
+/// 3. releases journal first through [`commit_release`], then the caller
+///    releases the returned allocation through the allocator — the
+///    write-ahead order, so a crash between the two replays the release.
+///
+/// [`state_mut`]: PersistentState::state_mut
+/// [`commit_grant`]: PersistentState::commit_grant
+/// [`commit_release`]: PersistentState::commit_release
+#[derive(Debug)]
+pub struct PersistentState {
+    backend: Option<Durable>,
+    state: SystemState,
+    live: BTreeMap<u32, Allocation>,
+    /// Sequence number of the last event recorded (0 = none yet).
+    last_seq: u64,
+    events_since_snapshot: u64,
+    snapshot_every: u64,
+}
+
+#[derive(Debug)]
+struct Durable {
+    journal: Journal,
+    store: SnapshotStore,
+}
+
+impl PersistentState {
+    /// Open (creating if needed) the journal directory `dir` and recover
+    /// the state it describes for topology `tree`. A fresh directory
+    /// recovers to the empty state.
+    pub fn open(
+        dir: &Path,
+        tree: FatTree,
+    ) -> Result<(PersistentState, RecoveryReport), PersistError> {
+        std::fs::create_dir_all(dir)?;
+        let store = SnapshotStore::new(dir);
+        let (snapshot, outcome) = store.load_latest()?;
+        let (journal, scan) = Journal::open(&dir.join(JOURNAL_FILE))?;
+        let (state, live, last_seq, report) =
+            rebuild(tree, snapshot, &scan, outcome.corrupt_skipped)?;
+        let me = PersistentState {
+            backend: Some(Durable { journal, store }),
+            state,
+            live,
+            last_seq,
+            events_since_snapshot: report.records_replayed as u64,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        };
+        Ok((me, report))
+    }
+
+    /// A journal-less in-memory session: same API, nothing written.
+    pub fn ephemeral(tree: FatTree) -> PersistentState {
+        PersistentState {
+            backend: None,
+            state: SystemState::new(tree),
+            live: BTreeMap::new(),
+            last_seq: 0,
+            events_since_snapshot: 0,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+
+    /// `true` if backed by a journal directory.
+    pub fn is_durable(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// The allocation bookkeeping (read-only).
+    pub fn state(&self) -> &SystemState {
+        &self.state
+    }
+
+    /// The allocation bookkeeping, for allocator searches and claims.
+    /// Every claim made here must be followed by [`commit_grant`] (or
+    /// rolled back by the caller) before the next operation.
+    ///
+    /// [`commit_grant`]: PersistentState::commit_grant
+    pub fn state_mut(&mut self) -> &mut SystemState {
+        &mut self.state
+    }
+
+    /// The live allocations, keyed by job id.
+    pub fn live(&self) -> &BTreeMap<u32, Allocation> {
+        &self.live
+    }
+
+    /// The live allocations as an owned vector (ascending job id) — the
+    /// shape `jigsaw_core::audit::audit_system` consumes.
+    pub fn live_allocations(&self) -> Vec<Allocation> {
+        self.live.values().cloned().collect()
+    }
+
+    /// Sequence number of the last recorded event.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Auto-snapshot after every `n` journaled events (0 disables;
+    /// default [`DEFAULT_SNAPSHOT_EVERY`]).
+    pub fn set_snapshot_every(&mut self, n: u64) {
+        self.snapshot_every = n;
+    }
+
+    /// Make a grant durable and track it as live. The allocation must
+    /// already be claimed into [`state_mut`]. On journal failure nothing
+    /// is tracked and the caller must roll the claim back (through the
+    /// allocator that made it) before continuing.
+    ///
+    /// # Panics
+    /// If `alloc.job` is already live (caller bug — the daemon checks
+    /// before allocating).
+    ///
+    /// [`state_mut`]: PersistentState::state_mut
+    pub fn commit_grant(&mut self, alloc: &Allocation) -> Result<(), PersistError> {
+        assert!(
+            !self.live.contains_key(&alloc.job.0),
+            "job {} granted twice",
+            alloc.job.0
+        );
+        if let Some(backend) = &mut self.backend {
+            let record = Record {
+                seq: self.last_seq + 1,
+                event: Event::Grant(alloc.clone()),
+            };
+            backend.journal.append(&record)?;
+        }
+        self.last_seq += 1;
+        self.events_since_snapshot += 1;
+        self.live.insert(alloc.job.0, alloc.clone());
+        Ok(())
+    }
+
+    /// Journal a release and stop tracking `job`, returning its
+    /// allocation for the caller to release through the allocator
+    /// (write-ahead: the journal entry lands *before* the state changes).
+    /// `None` if the job is not live — nothing is journaled then.
+    pub fn commit_release(&mut self, job: JobId) -> Result<Option<Allocation>, PersistError> {
+        if !self.live.contains_key(&job.0) {
+            return Ok(None);
+        }
+        if let Some(backend) = &mut self.backend {
+            let record = Record {
+                seq: self.last_seq + 1,
+                event: Event::Release(job),
+            };
+            backend.journal.append(&record)?;
+        }
+        self.last_seq += 1;
+        self.events_since_snapshot += 1;
+        Ok(self.live.remove(&job.0))
+    }
+
+    /// Write a full snapshot now, prune old ones, truncate the journal,
+    /// and append a [`Event::Snapshot`] marker. Returns the sequence
+    /// number the snapshot covers. Errors with [`PersistError::NotDurable`]
+    /// on an ephemeral session.
+    pub fn snapshot(&mut self) -> Result<u64, PersistError> {
+        let covered = self.last_seq;
+        let snap = Snapshot {
+            last_seq: covered,
+            state: self.state.clone(),
+            live: self.live_allocations(),
+        };
+        let Some(backend) = &mut self.backend else {
+            return Err(PersistError::NotDurable);
+        };
+        backend.store.save(&snap)?;
+        backend.store.prune(SNAPSHOTS_KEPT)?;
+        // A crash in the window between `save` and `truncate` is safe:
+        // recovery skips journal records with seq <= covered.
+        backend.journal.truncate()?;
+        let marker = Record {
+            seq: self.last_seq + 1,
+            event: Event::Snapshot { last_seq: covered },
+        };
+        backend.journal.append(&marker)?;
+        self.last_seq += 1;
+        self.events_since_snapshot = 0;
+        Ok(covered)
+    }
+
+    /// Snapshot if the auto-snapshot threshold has been reached. The
+    /// daemon calls this after each committed operation; a failure here
+    /// is survivable (the journal is intact — snapshots only bound
+    /// recovery time), so callers typically log and continue.
+    pub fn maybe_snapshot(&mut self) -> Result<Option<u64>, PersistError> {
+        if self.backend.is_some()
+            && self.snapshot_every > 0
+            && self.events_since_snapshot >= self.snapshot_every
+        {
+            return self.snapshot().map(Some);
+        }
+        Ok(None)
+    }
+}
+
+/// Deterministic read-only recovery: load the newest snapshot under `dir`,
+/// replay the journal suffix, audit, and return the state plus live
+/// allocations. Unlike [`PersistentState::open`] this never writes (the
+/// torn tail, if any, is ignored rather than truncated), so it is safe to
+/// point at a directory another process is still appending to.
+pub fn recover(
+    dir: &Path,
+    tree: FatTree,
+) -> Result<(SystemState, Vec<Allocation>, RecoveryReport), PersistError> {
+    let store = SnapshotStore::new(dir);
+    let (snapshot, outcome) = store.load_latest()?;
+    let scan = Journal::scan(&dir.join(JOURNAL_FILE))?;
+    let (state, live, _, report) = rebuild(tree, snapshot, &scan, outcome.corrupt_skipped)?;
+    Ok((state, live.into_values().collect(), report))
+}
+
+/// Shared recovery core: snapshot base + journal replay + audit.
+fn rebuild(
+    tree: FatTree,
+    snapshot: Option<Snapshot>,
+    scan: &Scan,
+    corrupt_snapshots_skipped: usize,
+) -> Result<(SystemState, BTreeMap<u32, Allocation>, u64, RecoveryReport), PersistError> {
+    let snapshot_seq = snapshot.as_ref().map(|s| s.last_seq);
+    let (mut state, mut live, base_seq) = match snapshot {
+        Some(snap) => {
+            if snap.state.tree() != &tree {
+                return Err(PersistError::TopologyMismatch {
+                    expected: format!("{:?}", tree.params()),
+                    found: format!("{:?}", snap.state.tree().params()),
+                });
+            }
+            let live: BTreeMap<u32, Allocation> =
+                snap.live.into_iter().map(|a| (a.job.0, a)).collect();
+            (snap.state, live, snap.last_seq)
+        }
+        None => (SystemState::new(tree), BTreeMap::new(), 0),
+    };
+
+    let mut last_seq = base_seq;
+    let mut replayed = 0usize;
+    let mut skipped = 0usize;
+    for record in &scan.records {
+        if record.seq <= base_seq {
+            skipped += 1;
+            continue;
+        }
+        if record.seq <= last_seq {
+            return Err(PersistError::ReplayConflict {
+                seq: record.seq,
+                detail: format!("sequence number not monotonic (last was {last_seq})"),
+            });
+        }
+        last_seq = record.seq;
+        match &record.event {
+            Event::Grant(alloc) => {
+                if live.contains_key(&alloc.job.0) {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail: format!("job {} granted while already live", alloc.job.0),
+                    });
+                }
+                if let Some(detail) = grant_conflict(&state, alloc) {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail,
+                    });
+                }
+                claim_allocation(&mut state, alloc);
+                live.insert(alloc.job.0, alloc.clone());
+            }
+            Event::Release(job) => {
+                let Some(alloc) = live.remove(&job.0) else {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail: format!("release of job {} which is not live", job.0),
+                    });
+                };
+                release_allocation(&mut state, &alloc);
+            }
+            Event::Snapshot { .. } => {}
+        }
+        replayed += 1;
+    }
+
+    let errors = audit_system(&state, &live.values().cloned().collect::<Vec<_>>());
+    if !errors.is_empty() {
+        return Err(PersistError::AuditFailed { errors });
+    }
+
+    let report = RecoveryReport {
+        snapshot_seq,
+        corrupt_snapshots_skipped,
+        records_replayed: replayed,
+        records_skipped: skipped,
+        torn_bytes_discarded: scan.file_len - scan.valid_len,
+        live_jobs: live.len(),
+        allocated_nodes: state.allocated_node_count(),
+    };
+    Ok((state, live, last_seq, report))
+}
+
+/// Why `alloc` cannot be claimed into `state`, or `None` if it can. This
+/// is the non-panicking twin of `jigsaw_core::claim_allocation`'s
+/// assertions, used so journal corruption surfaces as a typed error.
+fn grant_conflict(state: &SystemState, alloc: &Allocation) -> Option<String> {
+    fn has_dup<T: Ord + Copy>(ids: &[T]) -> bool {
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.windows(2).any(|w| w[0] == w[1])
+    }
+    let tree = state.tree();
+    if has_dup(&alloc.nodes) || has_dup(&alloc.leaf_links) || has_dup(&alloc.spine_links) {
+        return Some(format!(
+            "job {}: duplicate resource ids in grant",
+            alloc.job.0
+        ));
+    }
+    for &n in &alloc.nodes {
+        if n.0 >= tree.num_nodes() {
+            return Some(format!("node {} out of range", n.0));
+        }
+        if !state.is_node_free(n) {
+            return Some(format!("node {} is not free", n.0));
+        }
+    }
+    for &l in &alloc.leaf_links {
+        if l.0 >= tree.num_leaf_links() {
+            return Some(format!("leaf link {} out of range", l.0));
+        }
+    }
+    for &l in &alloc.spine_links {
+        if l.0 >= tree.num_spine_links() {
+            return Some(format!("spine link {} out of range", l.0));
+        }
+    }
+    if alloc.bw_tenths == 0 {
+        for &l in &alloc.leaf_links {
+            if state.leaf_link_owner(l).is_some() {
+                return Some(format!("leaf link {} already owned", l.0));
+            }
+        }
+        for &l in &alloc.spine_links {
+            if state.spine_link_owner(l).is_some() {
+                return Some(format!("spine link {} already owned", l.0));
+            }
+        }
+    } else {
+        for &l in &alloc.leaf_links {
+            if state.leaf_link_bw_spare(l) < alloc.bw_tenths {
+                return Some(format!("leaf link {} lacks spare bandwidth", l.0));
+            }
+        }
+        for &l in &alloc.spine_links {
+            if state.spine_link_bw_spare(l) < alloc.bw_tenths {
+                return Some(format!("spine link {} lacks spare bandwidth", l.0));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_core::allocator::Allocator;
+    use jigsaw_core::{JigsawAllocator, JobRequest};
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jigsaw-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tree() -> FatTree {
+        FatTree::maximal(4).unwrap()
+    }
+
+    /// Allocate `size` nodes for `job` through the real allocator and
+    /// commit the grant.
+    fn grant(ps: &mut PersistentState, alloc8r: &mut JigsawAllocator, job: u32, size: u32) {
+        let a = alloc8r
+            .allocate(ps.state_mut(), &JobRequest::new(JobId(job), size))
+            .expect("allocation must fit");
+        ps.commit_grant(&a).unwrap();
+    }
+
+    /// Journal a release and apply it to the state, as the daemon does.
+    fn release(ps: &mut PersistentState, job: u32) {
+        let a = ps
+            .commit_release(JobId(job))
+            .unwrap()
+            .expect("job must be live");
+        release_allocation(ps.state_mut(), &a);
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = tmpdir("fresh");
+        let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert!(ps.is_durable());
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(ps.state().allocated_node_count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_and_recover_roundtrip() {
+        let dir = tmpdir("crash");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        grant(&mut ps, &mut a, 2, 2);
+        release(&mut ps, 1);
+        grant(&mut ps, &mut a, 3, 3);
+        let want_state = ps.state().clone();
+        let want_live = ps.live().clone();
+        drop(ps); // "crash": no snapshot, no clean shutdown
+
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(ps2.state(), &want_state);
+        assert_eq!(ps2.live(), &want_live);
+        assert_eq!(report.records_replayed, 4);
+        assert_eq!(report.live_jobs, 2);
+        assert!(audit_system(ps2.state(), &ps2.live_allocations()).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_the_journal() {
+        let dir = tmpdir("compact");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        for job in 1..=4 {
+            grant(&mut ps, &mut a, job, 2);
+        }
+        let before = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        let covered = ps.snapshot().unwrap();
+        assert_eq!(covered, 4);
+        let after = std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len();
+        assert!(
+            after < before,
+            "journal should shrink ({before} -> {after})"
+        );
+        let want = ps.state().clone();
+        drop(ps);
+
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(ps2.state(), &want);
+        assert_eq!(report.snapshot_seq, Some(4));
+        // Only the snapshot marker remains in the journal.
+        assert_eq!(report.records_replayed, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_truncate_is_harmless() {
+        let dir = tmpdir("window");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        grant(&mut ps, &mut a, 2, 2);
+        // Write the snapshot by hand, leaving the journal un-truncated —
+        // exactly the state after a crash inside `snapshot()`.
+        let store = SnapshotStore::new(&dir);
+        store
+            .save(&Snapshot {
+                last_seq: ps.last_seq(),
+                state: ps.state().clone(),
+                live: ps.live_allocations(),
+            })
+            .unwrap();
+        let want = ps.state().clone();
+        drop(ps);
+
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(ps2.state(), &want);
+        assert_eq!(report.snapshot_seq, Some(2));
+        assert_eq!(report.records_skipped, 2, "journal suffix already covered");
+        assert_eq!(report.records_replayed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_last_complete_record() {
+        use std::io::Write;
+        let dir = tmpdir("torn");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        let want = ps.state().clone();
+        drop(ps);
+        // Crash mid-append: garbage half-frame at the tail.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(JOURNAL_FILE))
+            .unwrap();
+        f.write_all(&[0x20, 0x00, 0x00, 0x00, 0xab]).unwrap();
+        drop(f);
+
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(ps2.state(), &want);
+        assert_eq!(report.torn_bytes_discarded, 5);
+        assert_eq!(report.records_replayed, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_conflict_is_a_typed_error() {
+        let dir = tmpdir("conflict");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        drop(ps);
+        // Append a duplicate of the same grant straight to the journal:
+        // same nodes, different job — a double-booking on replay.
+        let scan = Journal::scan(&dir.join(JOURNAL_FILE)).unwrap();
+        let Event::Grant(orig) = &scan.records[0].event else {
+            panic!("expected grant")
+        };
+        let mut dup = orig.clone();
+        dup.job = JobId(99);
+        let (mut j, _) = Journal::open(&dir.join(JOURNAL_FILE)).unwrap();
+        j.append(&Record {
+            seq: 2,
+            event: Event::Grant(dup),
+        })
+        .unwrap();
+        drop(j);
+
+        match PersistentState::open(&dir, tree()) {
+            Err(PersistError::ReplayConflict { seq: 2, .. }) => {}
+            other => panic!("expected ReplayConflict at seq 2, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn audit_failure_is_a_typed_error() {
+        let dir = tmpdir("audit");
+        // A snapshot whose state claims nodes no live allocation owns.
+        let mut state = SystemState::new(tree());
+        state.claim_node(jigsaw_topology::ids::NodeId(0), JobId(7));
+        SnapshotStore::new(&dir)
+            .save(&Snapshot {
+                last_seq: 1,
+                state,
+                live: Vec::new(),
+            })
+            .unwrap();
+        match PersistentState::open(&dir, tree()) {
+            Err(PersistError::AuditFailed { errors }) => assert!(!errors.is_empty()),
+            other => panic!("expected AuditFailed, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn topology_mismatch_is_refused() {
+        let dir = tmpdir("topo");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 2);
+        ps.snapshot().unwrap();
+        drop(ps);
+        match PersistentState::open(&dir, FatTree::maximal(8).unwrap()) {
+            Err(PersistError::TopologyMismatch { .. }) => {}
+            other => panic!("expected TopologyMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_snapshot_fires_on_threshold() {
+        let dir = tmpdir("auto");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        ps.set_snapshot_every(4);
+        let mut a = JigsawAllocator::new(&tree());
+        for job in 1..=2 {
+            grant(&mut ps, &mut a, job, 1);
+            release(&mut ps, job);
+            ps.maybe_snapshot().unwrap();
+        }
+        // 4 events -> snapshot happened: snap file exists, journal compacted.
+        let store = SnapshotStore::new(&dir);
+        let (snap, _) = store.load_latest().unwrap();
+        assert_eq!(snap.unwrap().last_seq, 4);
+        drop(ps);
+        let (_, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.snapshot_seq, Some(4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ephemeral_mode_journals_nothing() {
+        let mut ps = PersistentState::ephemeral(tree());
+        assert!(!ps.is_durable());
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        assert_eq!(ps.live().len(), 1);
+        assert!(matches!(ps.snapshot(), Err(PersistError::NotDurable)));
+        release(&mut ps, 1);
+        assert_eq!(ps.state().allocated_node_count(), 0);
+    }
+
+    #[test]
+    fn release_of_unknown_job_is_none_and_unjournaled() {
+        let dir = tmpdir("unknown");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        assert!(ps.commit_release(JobId(42)).unwrap().is_none());
+        assert_eq!(ps.last_seq(), 0);
+        assert_eq!(std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_only_recover_matches_open() {
+        let dir = tmpdir("readonly");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        grant(&mut ps, &mut a, 2, 2);
+        let want = ps.state().clone();
+        drop(ps);
+        let (state, live, report) = recover(&dir, tree()).unwrap();
+        assert_eq!(state, want);
+        assert_eq!(live.len(), 2);
+        assert_eq!(report.live_jobs, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

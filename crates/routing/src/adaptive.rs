@@ -69,13 +69,7 @@ fn best_route(tree: &FatTree, load: &CongestionMap, src: NodeId, dst: NodeId) ->
     best
 }
 
-fn bottleneck(
-    tree: &FatTree,
-    load: &CongestionMap,
-    src: NodeId,
-    dst: NodeId,
-    route: Route,
-) -> u32 {
+fn bottleneck(tree: &FatTree, load: &CongestionMap, src: NodeId, dst: NodeId, route: Route) -> u32 {
     route
         .links(tree, src, dst)
         .into_iter()
@@ -156,6 +150,9 @@ mod tests {
         for (&(s, d), &r) in flows.iter().zip(&routes) {
             cong.add(&tree, s, d, r);
         }
-        assert!(cong.max_load() >= 2, "8 flows into 4 down-links cannot be contention-free");
+        assert!(
+            cong.max_load() >= 2,
+            "8 flows into 4 down-links cannot be contention-free"
+        );
     }
 }

@@ -75,7 +75,13 @@ impl CongestionMap {
     /// The maximum load over all directed links.
     pub fn max_load(&self) -> u32 {
         let leaf = self.leaf_loads.iter().flatten().copied().max().unwrap_or(0);
-        let spine = self.spine_loads.iter().flatten().copied().max().unwrap_or(0);
+        let spine = self
+            .spine_loads
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0);
         leaf.max(spine)
     }
 
@@ -86,7 +92,10 @@ impl CongestionMap {
             for (d, &load) in loads.iter().enumerate() {
                 if load > best.1 {
                     best = (
-                        Some(LinkUse::Leaf(jigsaw_topology::ids::LeafLinkId(i as u32), idx_dir(d))),
+                        Some(LinkUse::Leaf(
+                            jigsaw_topology::ids::LeafLinkId(i as u32),
+                            idx_dir(d),
+                        )),
                         load,
                     );
                 }
@@ -96,7 +105,10 @@ impl CongestionMap {
             for (d, &load) in loads.iter().enumerate() {
                 if load > best.1 {
                     best = (
-                        Some(LinkUse::Spine(jigsaw_topology::ids::SpineLinkId(i as u32), idx_dir(d))),
+                        Some(LinkUse::Spine(
+                            jigsaw_topology::ids::SpineLinkId(i as u32),
+                            idx_dir(d),
+                        )),
                         load,
                     );
                 }
@@ -164,11 +176,24 @@ mod tests {
         let mut c = CongestionMap::new(&t);
         // Two flows from the same leaf to the same destination leaf pile on
         // the same down-link if they pick the same position.
-        c.add(&t, NodeId(0), NodeId(4), Route::ViaSpine { pos: 0, slot: 0 });
-        c.add(&t, NodeId(1), NodeId(5), Route::ViaSpine { pos: 0, slot: 0 });
+        c.add(
+            &t,
+            NodeId(0),
+            NodeId(4),
+            Route::ViaSpine { pos: 0, slot: 0 },
+        );
+        c.add(
+            &t,
+            NodeId(1),
+            NodeId(5),
+            Route::ViaSpine { pos: 0, slot: 0 },
+        );
         assert_eq!(c.max_load(), 2);
         let hist = c.load_histogram(4);
-        assert_eq!(hist[2], 4, "all four directed links on the shared path carry 2");
+        assert_eq!(
+            hist[2], 4,
+            "all four directed links on the shared path carry 2"
+        );
         assert_eq!(c.total_traversals(), 8);
         let (link, load) = c.hottest();
         assert!(link.is_some());

@@ -68,7 +68,11 @@ mod tests {
             let route = dmodk_route(&t, NodeId(s), NodeId(d));
             cong.add(&t, NodeId(s), NodeId(d), route);
         }
-        assert_eq!(cong.max_load(), 1, "shift permutation must be contention-free");
+        assert_eq!(
+            cong.max_load(),
+            1,
+            "shift permutation must be contention-free"
+        );
     }
 
     #[test]
@@ -87,10 +91,16 @@ mod tests {
             let route = dmodk_route(&t, *s, *d);
             cong.add(&t, *s, *d, route);
         }
-        assert!(cong.max_load() > 1, "digit-aligned destinations must collide");
+        assert!(
+            cong.max_load() > 1,
+            "digit-aligned destinations must collide"
+        );
         // And the collisions are on up-links as expected.
         let (_link, load) = cong.hottest();
         assert!(load >= 2);
-        let _ = LinkUse::Leaf(t.leaf_link(jigsaw_topology::ids::LeafId(0), 0), crate::Direction::Up);
+        let _ = LinkUse::Leaf(
+            t.leaf_link(jigsaw_topology::ids::LeafId(0), 0),
+            crate::Direction::Up,
+        );
     }
 }

@@ -17,7 +17,11 @@
 /// degree on both sides).
 pub fn decompose_regular_bipartite(n: usize, edges: &[(u32, u32)]) -> Option<Vec<u32>> {
     if n == 0 {
-        return if edges.is_empty() { Some(Vec::new()) } else { None };
+        return if edges.is_empty() {
+            Some(Vec::new())
+        } else {
+            None
+        };
     }
     if !edges.len().is_multiple_of(n) {
         return None;
@@ -51,7 +55,10 @@ pub fn decompose_regular_bipartite(n: usize, edges: &[(u32, u32)]) -> Option<Vec
         for left in 0..n {
             let mut visited = vec![false; n];
             let ok = kuhn_augment(left, &adj, edges, &colors, &mut right_match, &mut visited);
-            debug_assert!(ok, "regular bipartite graph must have a perfect matching (König)");
+            debug_assert!(
+                ok,
+                "regular bipartite graph must have a perfect matching (König)"
+            );
             if !ok {
                 return None;
             }
@@ -109,8 +116,12 @@ mod tests {
     fn assert_valid_decomposition(n: usize, edges: &[(u32, u32)], colors: &[u32], d: usize) {
         assert_eq!(colors.len(), edges.len());
         for c in 0..d as u32 {
-            let class: Vec<_> =
-                edges.iter().zip(colors).filter(|(_, &cc)| cc == c).map(|(e, _)| *e).collect();
+            let class: Vec<_> = edges
+                .iter()
+                .zip(colors)
+                .filter(|(_, &cc)| cc == c)
+                .map(|(e, _)| *e)
+                .collect();
             assert_eq!(class.len(), n, "color {c} must be a perfect matching");
             let mut lefts = vec![false; n];
             let mut rights = vec![false; n];

@@ -70,11 +70,22 @@ impl PartitionRouter {
         // can only be the allocation's own leaf anyway).
         if let Shape::TwoLevel { l2_set, leaves, .. } = &alloc.shape {
             for &leaf in leaves {
-                leaf_positions.entry(leaf).or_insert_with(|| iter_mask(*l2_set).collect());
+                leaf_positions
+                    .entry(leaf)
+                    .or_insert_with(|| iter_mask(*l2_set).collect());
             }
         }
-        let rank = alloc.nodes.iter().enumerate().map(|(i, &n)| (n, i as u32)).collect();
-        Some(PartitionRouter { leaf_positions, pod_spine, rank })
+        let rank = alloc
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+        Some(PartitionRouter {
+            leaf_positions,
+            pod_spine,
+            rank,
+        })
     }
 
     /// Number of nodes this router covers.
@@ -103,8 +114,11 @@ impl PartitionRouter {
         let empty: Vec<u32> = Vec::new();
         let src_pos = self.leaf_positions.get(&src_leaf).unwrap_or(&empty);
         let dst_pos = self.leaf_positions.get(&dst_leaf).unwrap_or(&empty);
-        let common: Vec<u32> =
-            src_pos.iter().copied().filter(|p| dst_pos.binary_search(p).is_ok()).collect();
+        let common: Vec<u32> = src_pos
+            .iter()
+            .copied()
+            .filter(|p| dst_pos.binary_search(p).is_ok())
+            .collect();
         if common.is_empty() {
             return None;
         }
@@ -118,13 +132,17 @@ impl PartitionRouter {
         // pods (wraparound into the remainder tree's smaller sets).
         let mut viable: Vec<(u32, Vec<u32>)> = Vec::with_capacity(common.len());
         for &pos in &common {
-            let (Some(s_slots), Some(d_slots)) =
-                (self.pod_spine.get(&(src_pod, pos)), self.pod_spine.get(&(dst_pod, pos)))
-            else {
+            let (Some(s_slots), Some(d_slots)) = (
+                self.pod_spine.get(&(src_pod, pos)),
+                self.pod_spine.get(&(dst_pod, pos)),
+            ) else {
                 continue;
             };
-            let slots: Vec<u32> =
-                s_slots.iter().copied().filter(|s| d_slots.binary_search(s).is_ok()).collect();
+            let slots: Vec<u32> = s_slots
+                .iter()
+                .copied()
+                .filter(|s| d_slots.binary_search(s).is_ok())
+                .collect();
             if !slots.is_empty() {
                 viable.push((pos, slots));
             }
@@ -265,7 +283,9 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut base = jigsaw_core::BaselineAllocator::new(&tree);
-        let alloc = base.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        let alloc = base
+            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .unwrap();
         assert!(PartitionRouter::new(&tree, &alloc).is_none());
     }
 
@@ -276,8 +296,14 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
-        let Shape::ThreeLevel { rem_tree: Some(rem), .. } = &alloc.shape else {
+        let alloc = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+            .unwrap();
+        let Shape::ThreeLevel {
+            rem_tree: Some(rem),
+            ..
+        } = &alloc.shape
+        else {
             panic!("11 nodes on radix-4 must produce a remainder tree");
         };
         let (rem_leaf, _, _) = rem.rem_leaf.expect("and a remainder leaf");

@@ -116,7 +116,10 @@ mod tests {
         let r = Route::ViaL2 { pos: 1 };
         let links = r.links(&t, NodeId(0), NodeId(2));
         assert_eq!(links.len(), 2);
-        assert_eq!(links[0], LinkUse::Leaf(t.leaf_link(t.leaf_of_node(NodeId(0)), 1), Direction::Up));
+        assert_eq!(
+            links[0],
+            LinkUse::Leaf(t.leaf_link(t.leaf_of_node(NodeId(0)), 1), Direction::Up)
+        );
         assert_eq!(
             links[1],
             LinkUse::Leaf(t.leaf_link(t.leaf_of_node(NodeId(2)), 1), Direction::Down)

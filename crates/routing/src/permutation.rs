@@ -14,7 +14,11 @@ pub fn random_permutation<R: Rng>(nodes: &[NodeId], rng: &mut R) -> Vec<(NodeId,
 /// The reversal permutation: node `i` sends to node `n-1-i` (a classic
 /// adversarial pattern for multistage networks).
 pub fn reversal_permutation(nodes: &[NodeId]) -> Vec<(NodeId, NodeId)> {
-    nodes.iter().copied().zip(nodes.iter().rev().copied()).collect()
+    nodes
+        .iter()
+        .copied()
+        .zip(nodes.iter().rev().copied())
+        .collect()
 }
 
 /// A shift permutation: node `i` sends to node `(i + shift) mod n`. Shift

@@ -59,7 +59,10 @@ impl fmt::Display for RearrangeError {
         match self {
             RearrangeError::Unstructured => write!(f, "allocation has no network structure"),
             RearrangeError::NotAPermutation => {
-                write!(f, "flows do not form a permutation of the allocation's nodes")
+                write!(
+                    f,
+                    "flows do not form a permutation of the allocation's nodes"
+                )
             }
             RearrangeError::MatchingFailed(stage) => {
                 write!(f, "matching decomposition failed at the {stage} stage")
@@ -146,7 +149,13 @@ impl Model {
 
         match shape {
             Shape::Unstructured | Shape::SingleLeaf { .. } => unreachable!("handled above"),
-            Shape::TwoLevel { pod, n_l, leaves, l2_set, rem_leaf } => {
+            Shape::TwoLevel {
+                pod,
+                n_l,
+                leaves,
+                l2_set,
+                rem_leaf,
+            } => {
                 let m1 = *n_l;
                 let m2 = leaves.len() as u32 + u32::from(rem_leaf.is_some());
                 let mut n_abstract_leaves = leaves.len();
@@ -178,7 +187,14 @@ impl Model {
                     rem_spine_sets: Vec::new(),
                 }))
             }
-            Shape::ThreeLevel { n_l, l_t, l2_set, trees, spine_sets, rem_tree } => {
+            Shape::ThreeLevel {
+                n_l,
+                l_t,
+                l2_set,
+                trees,
+                spine_sets,
+                rem_tree,
+            } => {
                 let m1 = *n_l;
                 let m2 = *l_t;
                 let m3 = trees.len() as u32 + u32::from(rem_tree.is_some());
@@ -263,8 +279,7 @@ pub fn route_permutation(
     let mut srcs = HashSet::with_capacity(perm.len());
     let mut dsts = HashSet::with_capacity(perm.len());
     for &(s, d) in perm {
-        if !node_set.contains(&s) || !node_set.contains(&d) || !srcs.insert(s) || !dsts.insert(d)
-        {
+        if !node_set.contains(&s) || !node_set.contains(&d) || !srcs.insert(s) || !dsts.insert(d) {
             return Err(RearrangeError::NotAPermutation);
         }
     }
@@ -321,8 +336,12 @@ pub fn route_permutation(
         real_rounds.sort_unstable();
         virt_rounds.sort_unstable();
         let s_r_sorted: Vec<u32> = iter_mask(model.s_r).collect();
-        let s_other: Vec<u32> =
-            model.s_sorted.iter().copied().filter(|&p| model.s_r & (1 << p) == 0).collect();
+        let s_other: Vec<u32> = model
+            .s_sorted
+            .iter()
+            .copied()
+            .filter(|&p| model.s_r & (1 << p) == 0)
+            .collect();
         if real_rounds.len() != s_r_sorted.len() || virt_rounds.len() != s_other.len() {
             return Err(RearrangeError::MatchingFailed("remainder-leaf round count"));
         }
@@ -347,8 +366,7 @@ pub fn route_permutation(
     if model.m3 > 1 {
         let m3 = model.m3 as usize;
         for round in 0..m1 as u32 {
-            let flow_ids: Vec<usize> =
-                (0..total).filter(|&v| rounds[v] == round).collect();
+            let flow_ids: Vec<usize> = (0..total).filter(|&v| rounds[v] == round).collect();
             let tree_edges: Vec<(u32, u32)> = flow_ids
                 .iter()
                 .map(|&v| (model.tree_of(v) as u32, model.tree_of(abs_perm[v]) as u32))
@@ -380,7 +398,9 @@ pub fn route_permutation(
             let mut other_slots = iter_mask(full_set & !rem_set);
             for (c, slot) in color_slot.iter_mut().enumerate() {
                 if needs_rem[c] {
-                    *slot = rem_slots.next().ok_or(RearrangeError::SpineShortage { pos })?;
+                    *slot = rem_slots
+                        .next()
+                        .ok_or(RearrangeError::SpineShortage { pos })?;
                 }
             }
             // Remaining colors: leftover rem slots first, then the rest.
@@ -456,7 +476,11 @@ mod tests {
         for _ in 0..10 {
             let perm = random_permutation(&alloc.nodes, &mut rng);
             let routing = route_permutation(&tree, &alloc, &perm).expect("must route");
-            assert_eq!(routing.max_link_load(&tree), 1, "one flow per directed link");
+            assert_eq!(
+                routing.max_link_load(&tree),
+                1,
+                "one flow per directed link"
+            );
             assert_eq!(routing.flows.len(), alloc.nodes.len());
         }
     }
@@ -485,7 +509,9 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), 11)).unwrap();
+        let alloc = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+            .unwrap();
         assert!(matches!(alloc.shape, Shape::ThreeLevel { .. }));
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..20 {
@@ -527,7 +553,9 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), 2)).unwrap();
+        let alloc = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), 2))
+            .unwrap();
         let perm = reversal_permutation(&alloc.nodes);
         let routing = route_permutation(&tree, &alloc, &perm).unwrap();
         assert!(routing.flows.iter().all(|&(_, _, r)| r == Route::Local));
@@ -546,7 +574,10 @@ mod tests {
         );
         // Foreign node.
         let bad = vec![(NodeId(0), NodeId(999))];
-        assert_eq!(route_permutation(&tree, &alloc, &bad), Err(RearrangeError::NotAPermutation));
+        assert_eq!(
+            route_permutation(&tree, &alloc, &bad),
+            Err(RearrangeError::NotAPermutation)
+        );
     }
 
     #[test]
@@ -554,7 +585,9 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut base = jigsaw_core::BaselineAllocator::new(&tree);
-        let alloc = base.allocate(&mut state, &JobRequest::new(JobId(1), 4)).unwrap();
+        let alloc = base
+            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .unwrap();
         let perm = reversal_permutation(&alloc.nodes);
         assert_eq!(
             route_permutation(&tree, &alloc, &perm),

@@ -33,7 +33,11 @@ pub struct TableConflict {
 
 impl std::fmt::Display for TableConflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "conflicting forwarding entries for destination {}", self.dst)
+        write!(
+            f,
+            "conflicting forwarding entries for destination {}",
+            self.dst
+        )
     }
 }
 
@@ -65,7 +69,9 @@ impl RoutingTables {
                     if src == dst {
                         continue;
                     }
-                    let route = router.route(tree, src, dst).expect("partition is connected");
+                    let route = router
+                        .route(tree, src, dst)
+                        .expect("partition is connected");
                     tables.install(tree, src, dst, route)?;
                 }
             }
@@ -134,16 +140,28 @@ impl RoutingTables {
         if src_pod == dst_pod {
             // Down-hop forced: the L2 switch has exactly one link to the
             // destination leaf.
-            links.push(LinkUse::Leaf(tree.leaf_link(dst_leaf, pos), Direction::Down));
+            links.push(LinkUse::Leaf(
+                tree.leaf_link(dst_leaf, pos),
+                Direction::Down,
+            ));
             return Some(links);
         }
         // Up-hop 2: L2 table.
         let l2 = tree.l2_at(src_pod, pos);
         let &slot = self.l2_up.get(&(l2.0, dst))?;
-        links.push(LinkUse::Spine(tree.spine_link_at(src_pod, pos, slot), Direction::Up));
+        links.push(LinkUse::Spine(
+            tree.spine_link_at(src_pod, pos, slot),
+            Direction::Up,
+        ));
         // Down-hops forced: spine → dst pod's L2 at `pos` → dst leaf.
-        links.push(LinkUse::Spine(tree.spine_link_at(dst_pod, pos, slot), Direction::Down));
-        links.push(LinkUse::Leaf(tree.leaf_link(dst_leaf, pos), Direction::Down));
+        links.push(LinkUse::Spine(
+            tree.spine_link_at(dst_pod, pos, slot),
+            Direction::Down,
+        ));
+        links.push(LinkUse::Leaf(
+            tree.leaf_link(dst_leaf, pos),
+            Direction::Down,
+        ));
         Some(links)
     }
 }
@@ -250,7 +268,9 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let mut base = jigsaw_core::BaselineAllocator::new(&tree);
-        let alloc = base.allocate(&mut state, &JobRequest::new(JobId(1), 6)).unwrap();
+        let alloc = base
+            .allocate(&mut state, &JobRequest::new(JobId(1), 6))
+            .unwrap();
         let tables = RoutingTables::build(&tree, &[alloc]).unwrap();
         assert!(tables.is_empty());
     }

@@ -50,7 +50,8 @@ pub fn max_concurrent_flows(
     let mut l2: HashMap<(u32, u32), usize> = HashMap::new(); // (pod, pos)
     let mut spine: HashMap<(u32, u32), usize> = HashMap::new(); // (pos, slot)
 
-    let mut get_leaf_in = |g: &mut FlowGraph, leaf: LeafId| *leaf_in.entry(leaf).or_insert_with(|| g.vertex());
+    let mut get_leaf_in =
+        |g: &mut FlowGraph, leaf: LeafId| *leaf_in.entry(leaf).or_insert_with(|| g.vertex());
     let mut get_leaf_out =
         |g: &mut FlowGraph, leaf: LeafId| *leaf_out.entry(leaf).or_insert_with(|| g.vertex());
 
@@ -123,7 +124,12 @@ pub fn check_full_bandwidth(tree: &FatTree, alloc: &Allocation) -> Result<(), Wi
             let receivers: Vec<NodeId> = leaves[j].1.iter().copied().take(n as usize).collect();
             let achieved = max_concurrent_flows(tree, alloc, &senders, &receivers);
             if achieved < n {
-                return Err(Witness { senders, receivers, flows: n, achieved });
+                return Err(Witness {
+                    senders,
+                    receivers,
+                    flows: n,
+                    achieved,
+                });
             }
         }
     }
@@ -136,12 +142,21 @@ pub fn check_full_bandwidth(tree: &FatTree, alloc: &Allocation) -> Result<(), Wi
         let largest = by_count.last().unwrap().1;
         let n = largest.len().min(small_a.len() + small_b.len()) as u32;
         let senders: Vec<NodeId> = largest.iter().copied().take(n as usize).collect();
-        let receivers: Vec<NodeId> =
-            small_a.iter().chain(small_b.iter()).copied().take(n as usize).collect();
+        let receivers: Vec<NodeId> = small_a
+            .iter()
+            .chain(small_b.iter())
+            .copied()
+            .take(n as usize)
+            .collect();
         if !senders.iter().any(|s| receivers.contains(s)) {
             let achieved = max_concurrent_flows(tree, alloc, &senders, &receivers);
             if achieved < n {
-                return Err(Witness { senders, receivers, flows: n, achieved });
+                return Err(Witness {
+                    senders,
+                    receivers,
+                    flows: n,
+                    achieved,
+                });
             }
         }
     }
@@ -157,7 +172,10 @@ struct FlowGraph {
 
 impl FlowGraph {
     fn new() -> Self {
-        FlowGraph { edges: Vec::new(), adj: Vec::new() }
+        FlowGraph {
+            edges: Vec::new(),
+            adj: Vec::new(),
+        }
     }
 
     fn vertex(&mut self) -> usize {
@@ -228,7 +246,9 @@ mod tests {
         let tree = FatTree::maximal(radix).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let alloc = jig.allocate(&mut state, &JobRequest::new(JobId(1), size)).unwrap();
+        let alloc = jig
+            .allocate(&mut state, &JobRequest::new(JobId(1), size))
+            .unwrap();
         (tree, alloc)
     }
 
@@ -249,7 +269,9 @@ mod tests {
         for size in [3u32, 6, 9, 13] {
             let mut state = SystemState::new(tree);
             let mut laas = LaasAllocator::new(&tree);
-            let alloc = laas.allocate(&mut state, &JobRequest::new(JobId(size), size)).unwrap();
+            let alloc = laas
+                .allocate(&mut state, &JobRequest::new(JobId(size), size))
+                .unwrap();
             check_full_bandwidth(&tree, &alloc)
                 .unwrap_or_else(|w| panic!("LaaS size {size}: witness {w:?}"));
         }

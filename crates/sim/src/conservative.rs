@@ -54,8 +54,10 @@ pub(crate) fn plan(
     depth: usize,
 ) -> ConservativePlan {
     // The planner sees estimated completion times, like a real scheduler.
-    let mut completions: Vec<(f64, &Allocation)> =
-        running.values().map(|r| (r.estimated_end, &r.alloc)).collect();
+    let mut completions: Vec<(f64, &Allocation)> = running
+        .values()
+        .map(|r| (r.estimated_end, &r.alloc))
+        .collect();
     completions.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut reservations: Vec<Reservation> = Vec::new();
@@ -104,7 +106,11 @@ pub(crate) fn plan(
             if tau <= now + 1e-9 {
                 start_now.push(qi);
             }
-            reservations.push(Reservation { start: tau, end, alloc });
+            reservations.push(Reservation {
+                start: tau,
+                end,
+                alloc,
+            });
             break;
         }
     }
@@ -125,7 +131,11 @@ mod tests {
     #[test]
     fn empty_machine_starts_everything_that_fits() {
         let (state, alloc) = setup();
-        let queue = vec![(0u32, 8u32, 10u16, 10.0), (1, 8, 10, 10.0), (2, 8, 10, 10.0)];
+        let queue = vec![
+            (0u32, 8u32, 10u16, 10.0),
+            (1, 8, 10, 10.0),
+            (2, 8, 10, 10.0),
+        ];
         let plan = plan(&state, alloc.as_ref(), &HashMap::new(), &queue, 0.0, 50);
         // First two fill the machine; the third reserves later.
         assert_eq!(plan.start_now, vec![0, 1]);
@@ -135,17 +145,35 @@ mod tests {
     fn later_job_backfills_only_without_disturbing_reservations() {
         let (mut state, mut alloc) = setup();
         // A 12-node job runs until t=100.
-        let running_alloc =
-            alloc.allocate(&mut state, &JobRequest::new(JobId(99), 12)).unwrap();
+        let running_alloc = alloc
+            .allocate(&mut state, &JobRequest::new(JobId(99), 12))
+            .unwrap();
         let mut running = HashMap::new();
-        running.insert(99u32, Running { alloc: running_alloc, end: 100.0, estimated_end: 100.0 });
+        running.insert(
+            99u32,
+            Running {
+                alloc: running_alloc,
+                end: 100.0,
+                estimated_end: 100.0,
+            },
+        );
         // Head wants 16 nodes: reserves [100, 110) over the whole machine.
         // A 4-node/200s filler would overlap that reservation — held back;
         // a 4-node/50s filler ends in time — starts now.
-        let queue = vec![(0u32, 16u32, 10u16, 10.0), (1, 4, 10, 200.0), (2, 4, 10, 50.0)];
+        let queue = vec![
+            (0u32, 16u32, 10u16, 10.0),
+            (1, 4, 10, 200.0),
+            (2, 4, 10, 50.0),
+        ];
         let plan = plan(&state, alloc.as_ref(), &running, &queue, 0.0, 50);
-        assert!(!plan.start_now.contains(&1), "long filler would delay the head");
-        assert!(plan.start_now.contains(&2), "short filler ends before the head's slot");
+        assert!(
+            !plan.start_now.contains(&1),
+            "long filler would delay the head"
+        );
+        assert!(
+            plan.start_now.contains(&2),
+            "short filler ends before the head's slot"
+        );
     }
 
     #[test]
@@ -156,12 +184,23 @@ mod tests {
         // so even a filler ending at t=1000 < ∞ must not start if it
         // collides with either reservation window... with 4 free nodes and
         // the machine-wide reservations at 100 and 110, it cannot start.
-        let running_alloc =
-            alloc.allocate(&mut state, &JobRequest::new(JobId(99), 12)).unwrap();
+        let running_alloc = alloc
+            .allocate(&mut state, &JobRequest::new(JobId(99), 12))
+            .unwrap();
         let mut running = HashMap::new();
-        running.insert(99u32, Running { alloc: running_alloc, end: 100.0, estimated_end: 100.0 });
-        let queue =
-            vec![(0u32, 16u32, 10u16, 10.0), (1, 16, 10, 10.0), (2, 4, 10, 1000.0)];
+        running.insert(
+            99u32,
+            Running {
+                alloc: running_alloc,
+                end: 100.0,
+                estimated_end: 100.0,
+            },
+        );
+        let queue = vec![
+            (0u32, 16u32, 10u16, 10.0),
+            (1, 16, 10, 10.0),
+            (2, 4, 10, 1000.0),
+        ];
         let plan = plan(&state, alloc.as_ref(), &running, &queue, 0.0, 50);
         assert!(plan.start_now.is_empty(), "{:?}", plan.start_now);
     }

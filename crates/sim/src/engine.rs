@@ -150,7 +150,12 @@ pub struct SimResult {
 impl SimResult {
     /// Average turnaround over all scheduled jobs (Fig. 7, filled bars).
     pub fn avg_turnaround(&self) -> f64 {
-        mean(self.jobs.iter().filter(|j| j.scheduled()).map(|j| j.turnaround()))
+        mean(
+            self.jobs
+                .iter()
+                .filter(|j| j.scheduled())
+                .map(|j| j.turnaround()),
+        )
     }
 
     /// Average turnaround over jobs larger than `threshold` nodes (Fig. 7
@@ -167,7 +172,10 @@ impl SimResult {
     /// Median turnaround over all scheduled jobs.
     pub fn median_turnaround(&self) -> f64 {
         crate::metrics::quantile(
-            self.jobs.iter().filter(|j| j.scheduled()).map(|j| j.turnaround()),
+            self.jobs
+                .iter()
+                .filter(|j| j.scheduled())
+                .map(|j| j.turnaround()),
             0.5,
         )
     }
@@ -236,7 +244,11 @@ pub fn simulate(
     let runtimes: Vec<f64> = trace
         .jobs
         .iter()
-        .map(|j| config.scenario.runtime(j, config.scenario_seed, config.scheme_benefits))
+        .map(|j| {
+            config
+                .scenario
+                .runtime(j, config.scenario_seed, config.scheme_benefits)
+        })
         .collect();
     let estimates: Vec<f64> = trace
         .jobs
@@ -262,9 +274,15 @@ pub fn simulate(
     let mut failure_rng = StdRng::seed_from_u64(config.scenario_seed ^ 0xFA11);
     let mut failures_injected = 0u32;
     let mut killed_jobs = 0u32;
-    if let FailureModel::Random { mtbf_node_seconds, .. } = config.failures {
+    if let FailureModel::Random {
+        mtbf_node_seconds, ..
+    } = config.failures
+    {
         let mean = mtbf_node_seconds / total_nodes;
-        events.push(first_failure_gap(&mut failure_rng, mean), EventKind::Failure);
+        events.push(
+            first_failure_gap(&mut failure_rng, mean),
+            EventKind::Failure,
+        );
     }
 
     // Busy-node bookkeeping. Utilization counts requested nodes — LaaS's
@@ -312,8 +330,10 @@ pub fn simulate(
                 }
                 EventKind::Failure => {
                     let work_left = remaining_jobs > 0;
-                    if let FailureModel::Random { mtbf_node_seconds, repair_seconds } =
-                        config.failures
+                    if let FailureModel::Random {
+                        mtbf_node_seconds,
+                        repair_seconds,
+                    } = config.failures
                     {
                         if work_left {
                             // Strike a uniformly random node.
@@ -362,11 +382,8 @@ pub fn simulate(
         loop {
             let Some(&head) = queue.front() else { break };
             let head_job = &trace.jobs[head as usize];
-            let req = JobRequest::with_bandwidth(
-                JobId(head_job.id),
-                head_job.size,
-                head_job.bw_tenths,
-            );
+            let req =
+                JobRequest::with_bandwidth(JobId(head_job.id), head_job.size, head_job.bw_tenths);
             if let Some(alloc) = timed_allocate(
                 &mut allocator,
                 &mut state,
@@ -376,9 +393,20 @@ pub fn simulate(
                 &mut search_steps,
             ) {
                 start_job(
-                    head, epochs[head as usize], alloc, t, &runtimes, &estimates, &mut records,
-                    &mut running, &mut events, &mut busy_req, &mut busy_log, &mut busy_granted,
-                    &mut granted_log, trace,
+                    head,
+                    epochs[head as usize],
+                    alloc,
+                    t,
+                    &runtimes,
+                    &estimates,
+                    &mut records,
+                    &mut running,
+                    &mut events,
+                    &mut busy_req,
+                    &mut busy_log,
+                    &mut busy_granted,
+                    &mut granted_log,
+                    trace,
                 );
                 first_start.get_or_insert(t);
                 last_start = t;
@@ -460,8 +488,7 @@ pub fn simulate(
                             plan.start_now.iter().map(|&qi| waiting[qi].0).collect();
                         for idx in start_idxs {
                             let j = &trace.jobs[idx as usize];
-                            let req =
-                                JobRequest::with_bandwidth(JobId(j.id), j.size, j.bw_tenths);
+                            let req = JobRequest::with_bandwidth(JobId(j.id), j.size, j.bw_tenths);
                             let alloc = timed_allocate(
                                 &mut allocator,
                                 &mut state,
@@ -472,9 +499,20 @@ pub fn simulate(
                             )
                             .expect("conservative plan verified this fits");
                             start_job(
-                                idx, epochs[idx as usize], alloc, t, &runtimes, &estimates,
-                                &mut records, &mut running, &mut events, &mut busy_req,
-                                &mut busy_log, &mut busy_granted, &mut granted_log, trace,
+                                idx,
+                                epochs[idx as usize],
+                                alloc,
+                                t,
+                                &runtimes,
+                                &estimates,
+                                &mut records,
+                                &mut running,
+                                &mut events,
+                                &mut busy_req,
+                                &mut busy_log,
+                                &mut busy_granted,
+                                &mut granted_log,
+                                trace,
                             );
                             last_start = t;
                             let pos = queue.iter().position(|&q| q == idx).unwrap();
@@ -591,7 +629,14 @@ fn start_job(
     *busy_granted += alloc.nodes.len() as u64;
     granted_log.push((t, *busy_granted));
     events.push(end, EventKind::Completion(idx, epoch));
-    running.insert(idx, Running { alloc, end, estimated_end: t + estimates[idx as usize] });
+    running.insert(
+        idx,
+        Running {
+            alloc,
+            end,
+            estimated_end: t + estimates[idx as usize],
+        },
+    );
 }
 
 fn timed_allocate(
@@ -622,8 +667,11 @@ fn compute_reservation(
     let mut scratch_alloc = allocator.clone_box();
     // The scheduler only knows *estimated* ends; replay in that order.
     let mut completions: Vec<(&u32, &Running)> = running.iter().collect();
-    completions
-        .sort_by(|a, b| a.1.estimated_end.total_cmp(&b.1.estimated_end).then(a.0.cmp(b.0)));
+    completions.sort_by(|a, b| {
+        a.1.estimated_end
+            .total_cmp(&b.1.estimated_end)
+            .then(a.0.cmp(b.0))
+    });
     for (_, run) in completions {
         scratch_alloc.release(&mut scratch_state, &run.alloc);
         if scratch_state.free_node_count() < req.size {
@@ -672,13 +720,32 @@ fn backfill(
             continue;
         }
         let req = JobRequest::with_bandwidth(JobId(job.id), job.size, job.bw_tenths);
-        match timed_allocate(allocator, state, &req, sched_wall, sched_calls, search_steps) {
+        match timed_allocate(
+            allocator,
+            state,
+            &req,
+            sched_wall,
+            sched_calls,
+            search_steps,
+        ) {
             Some(alloc) => {
                 let finishes_in_time = t + estimates[idx as usize] <= shadow_time + 1e-9;
                 if finishes_in_time || alloc.is_disjoint_from(shadow_alloc) {
                     start_job(
-                        idx, epochs[idx as usize], alloc, t, runtimes, estimates, records,
-                        running, events, busy_req, busy_log, busy_granted, granted_log, trace,
+                        idx,
+                        epochs[idx as usize],
+                        alloc,
+                        t,
+                        runtimes,
+                        estimates,
+                        records,
+                        running,
+                        events,
+                        busy_req,
+                        busy_log,
+                        busy_granted,
+                        granted_log,
+                        trace,
                     );
                     *last_start = t;
                     queue.remove(i);
@@ -730,7 +797,13 @@ mod tests {
     use jigsaw_traces::{Trace, TraceJob};
 
     fn job(id: u32, arrival: f64, size: u32, runtime: f64) -> TraceJob {
-        TraceJob { id, arrival, size, runtime, bw_tenths: 10 }
+        TraceJob {
+            id,
+            arrival,
+            size,
+            runtime,
+            bw_tenths: 10,
+        }
     }
 
     fn run(kind: SchedulerKind, trace: &Trace, config: &SimConfig) -> SimResult {
@@ -755,9 +828,16 @@ mod tests {
         let trace = Trace::new(
             "t",
             16,
-            vec![job(0, 0.0, 16, 10.0), job(1, 0.0, 16, 10.0), job(2, 0.0, 1, 1.0)],
+            vec![
+                job(0, 0.0, 16, 10.0),
+                job(1, 0.0, 16, 10.0),
+                job(2, 0.0, 1, 1.0),
+            ],
         );
-        let config = SimConfig { backfill_window: 0, ..SimConfig::default() };
+        let config = SimConfig {
+            backfill_window: 0,
+            ..SimConfig::default()
+        };
         let r = run(SchedulerKind::Baseline, &trace, &config);
         assert_eq!(r.jobs[0].start, 0.0);
         assert_eq!(r.jobs[1].start, 10.0);
@@ -818,7 +898,10 @@ mod tests {
         let r = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
         assert_eq!(r.unschedulable, 1);
         assert!(!r.jobs[0].scheduled());
-        assert!(r.jobs[1].scheduled(), "queue keeps moving past rejected jobs");
+        assert!(
+            r.jobs[1].scheduled(),
+            "queue keeps moving past rejected jobs"
+        );
     }
 
     #[test]
@@ -831,20 +914,28 @@ mod tests {
         };
         let r_iso = run(SchedulerKind::Jigsaw, &trace, &config);
         assert!((r_iso.jobs[0].end - 100.0).abs() < 1e-9);
-        let config_base = SimConfig { scheme_benefits: false, ..config };
+        let config_base = SimConfig {
+            scheme_benefits: false,
+            ..config
+        };
         let r_base = run(SchedulerKind::Baseline, &trace, &config_base);
         assert!((r_base.jobs[0].end - 110.0).abs() < 1e-9);
     }
 
     #[test]
     fn all_schemes_complete_a_mixed_queue() {
-        let jobs: Vec<TraceJob> =
-            (0..40).map(|i| job(i, 0.0, 1 + (i * 7) % 12, 10.0 + (i % 5) as f64)).collect();
+        let jobs: Vec<TraceJob> = (0..40)
+            .map(|i| job(i, 0.0, 1 + (i * 7) % 12, 10.0 + (i % 5) as f64))
+            .collect();
         let trace = Trace::new("t", 16, jobs);
         for kind in SchedulerKind::ALL {
             let r = run(kind, &trace, &SimConfig::default());
             let done = r.jobs.iter().filter(|j| j.scheduled()).count();
-            assert_eq!(done as u32 + r.unschedulable, 40, "{kind}: all jobs accounted for");
+            assert_eq!(
+                done as u32 + r.unschedulable,
+                40,
+                "{kind}: all jobs accounted for"
+            );
             assert!(r.makespan > 0.0);
             assert!(r.utilization > 0.0 && r.utilization <= 1.0 + 1e-9, "{kind}");
         }
@@ -855,16 +946,25 @@ mod tests {
         let trace = Trace::new("t", 16, vec![job(0, 0.0, 3, 10.0)]);
         let r = run(SchedulerKind::Laas, &trace, &SimConfig::default());
         assert_eq!(r.jobs[0].size, 3);
-        assert_eq!(r.jobs[0].granted, 4, "rounded up to a whole 2-node leaf pair... ");
+        assert_eq!(
+            r.jobs[0].granted, 4,
+            "rounded up to a whole 2-node leaf pair... "
+        );
     }
 
     #[test]
     fn inst_util_histogram_collected() {
         let trace = Trace::new("t", 16, vec![job(0, 0.0, 16, 10.0), job(1, 0.0, 16, 10.0)]);
-        let config = SimConfig { collect_inst_util: true, ..SimConfig::default() };
+        let config = SimConfig {
+            collect_inst_util: true,
+            ..SimConfig::default()
+        };
         let r = run(SchedulerKind::Baseline, &trace, &config);
         assert!(r.inst_util.total() > 0);
-        assert!(r.inst_util.buckets[0] > 0, "full-machine samples land in >=98");
+        assert!(
+            r.inst_util.buckets[0] > 0,
+            "full-machine samples land in >=98"
+        );
     }
 
     #[test]
@@ -893,10 +993,15 @@ mod tests {
                 job(2, 2.0, 1, 50.0),
             ],
         );
-        let config =
-            SimConfig { policy: BackfillPolicy::Conservative, ..SimConfig::default() };
+        let config = SimConfig {
+            policy: BackfillPolicy::Conservative,
+            ..SimConfig::default()
+        };
         let r = run(SchedulerKind::Baseline, &trace, &config);
-        assert_eq!(r.jobs[2].start, 2.0, "short filler backfills conservatively too");
+        assert_eq!(
+            r.jobs[2].start, 2.0,
+            "short filler backfills conservatively too"
+        );
         assert_eq!(r.jobs[1].start, 100.0, "head keeps its reservation");
     }
 
@@ -913,21 +1018,29 @@ mod tests {
                 job(2, 2.0, 4, 500.0),
             ],
         );
-        let config =
-            SimConfig { policy: BackfillPolicy::Conservative, ..SimConfig::default() };
+        let config = SimConfig {
+            policy: BackfillPolicy::Conservative,
+            ..SimConfig::default()
+        };
         let r = run(SchedulerKind::Baseline, &trace, &config);
         assert_eq!(r.jobs[1].start, 100.0);
-        assert!(r.jobs[2].start >= 100.0, "long filler would overlap the reservation");
+        assert!(
+            r.jobs[2].start >= 100.0,
+            "long filler would overlap the reservation"
+        );
     }
 
     #[test]
     fn all_schemes_complete_under_conservative() {
-        let jobs: Vec<TraceJob> =
-            (0..30).map(|i| job(i, 0.0, 1 + (i * 5) % 12, 10.0 + (i % 4) as f64)).collect();
+        let jobs: Vec<TraceJob> = (0..30)
+            .map(|i| job(i, 0.0, 1 + (i * 5) % 12, 10.0 + (i % 4) as f64))
+            .collect();
         let trace = Trace::new("t", 16, jobs);
         for kind in SchedulerKind::ALL {
-            let config =
-                SimConfig { policy: BackfillPolicy::Conservative, ..SimConfig::default() };
+            let config = SimConfig {
+                policy: BackfillPolicy::Conservative,
+                ..SimConfig::default()
+            };
             let r = run(kind, &trace, &config);
             let done = r.jobs.iter().filter(|j| j.scheduled()).count();
             assert_eq!(done as u32 + r.unschedulable, 30, "{kind}");
@@ -938,18 +1051,30 @@ mod tests {
     fn failures_kill_and_requeue_jobs() {
         // Aggressive failures on a tiny machine: jobs die, requeue, and
         // still all finish; no state corruption; metrics stay sane.
-        let jobs: Vec<TraceJob> =
-            (0..25).map(|i| job(i, 0.0, 1 + (i * 3) % 8, 50.0 + (i % 6) as f64)).collect();
+        let jobs: Vec<TraceJob> = (0..25)
+            .map(|i| job(i, 0.0, 1 + (i * 3) % 8, 50.0 + (i % 6) as f64))
+            .collect();
         let trace = Trace::new("t", 16, jobs);
         let config = SimConfig {
-            failures: FailureModel::Random { mtbf_node_seconds: 1_000.0, repair_seconds: 30.0 },
+            failures: FailureModel::Random {
+                mtbf_node_seconds: 1_000.0,
+                repair_seconds: 30.0,
+            },
             ..SimConfig::default()
         };
-        for kind in [SchedulerKind::Baseline, SchedulerKind::Jigsaw, SchedulerKind::Laas] {
+        for kind in [
+            SchedulerKind::Baseline,
+            SchedulerKind::Jigsaw,
+            SchedulerKind::Laas,
+        ] {
             let r = run(kind, &trace, &config);
             assert!(r.failures > 0, "{kind}: the model must inject failures");
             let done = r.jobs.iter().filter(|j| j.scheduled()).count();
-            assert_eq!(done as u32 + r.unschedulable, 25, "{kind}: every job finishes");
+            assert_eq!(
+                done as u32 + r.unschedulable,
+                25,
+                "{kind}: every job finishes"
+            );
             assert!(r.utilization >= 0.0 && r.utilization <= 1.0 + 1e-9);
             // Killed jobs (if any) completed on their final run: each
             // scheduled record carries one coherent [start, end] window.
@@ -961,12 +1086,14 @@ mod tests {
 
     #[test]
     fn failures_lengthen_makespan() {
-        let jobs: Vec<TraceJob> =
-            (0..30).map(|i| job(i, 0.0, 2 + (i % 6), 100.0)).collect();
+        let jobs: Vec<TraceJob> = (0..30).map(|i| job(i, 0.0, 2 + (i % 6), 100.0)).collect();
         let trace = Trace::new("t", 16, jobs);
         let clean = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
         let faulty_cfg = SimConfig {
-            failures: FailureModel::Random { mtbf_node_seconds: 2_000.0, repair_seconds: 200.0 },
+            failures: FailureModel::Random {
+                mtbf_node_seconds: 2_000.0,
+                repair_seconds: 200.0,
+            },
             ..SimConfig::default()
         };
         let faulty = run(SchedulerKind::Jigsaw, &trace, &faulty_cfg);
@@ -981,8 +1108,9 @@ mod tests {
 
     #[test]
     fn over_estimates_do_not_break_scheduling() {
-        let jobs: Vec<TraceJob> =
-            (0..40).map(|i| job(i, 0.0, 1 + (i * 7) % 12, 10.0 + (i % 5) as f64)).collect();
+        let jobs: Vec<TraceJob> = (0..40)
+            .map(|i| job(i, 0.0, 1 + (i * 7) % 12, 10.0 + (i % 5) as f64))
+            .collect();
         let trace = Trace::new("t", 16, jobs);
         let exact = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
         let sloppy = SimConfig {
@@ -1003,8 +1131,9 @@ mod tests {
 
     #[test]
     fn deterministic_simulation() {
-        let jobs: Vec<TraceJob> =
-            (0..30).map(|i| job(i, i as f64, 1 + (i % 9), 20.0 + (i % 7) as f64)).collect();
+        let jobs: Vec<TraceJob> = (0..30)
+            .map(|i| job(i, i as f64, 1 + (i % 9), 20.0 + (i % 7) as f64))
+            .collect();
         let trace = Trace::new("t", 16, jobs);
         let a = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
         let b = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());

@@ -68,7 +68,11 @@ impl EventQueue {
     /// Schedule `kind` at `time`.
     pub fn push(&mut self, time: f64, kind: EventKind) {
         debug_assert!(time.is_finite() && time >= 0.0);
-        self.heap.push(Event { time, seq: self.seq, kind });
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
         self.seq += 1;
     }
 

@@ -121,12 +121,25 @@ mod tests {
 
     #[test]
     fn job_record_derived_metrics() {
-        let r = JobRecord { id: 1, size: 4, granted: 4, arrival: 10.0, start: 15.0, end: 40.0 };
+        let r = JobRecord {
+            id: 1,
+            size: 4,
+            granted: 4,
+            arrival: 10.0,
+            start: 15.0,
+            end: 40.0,
+        };
         assert_eq!(r.turnaround(), 30.0);
         assert_eq!(r.wait(), 5.0);
         assert!(r.scheduled());
-        let never =
-            JobRecord { id: 2, size: 4, granted: 0, arrival: 0.0, start: f64::NAN, end: f64::NAN };
+        let never = JobRecord {
+            id: 2,
+            size: 4,
+            granted: 0,
+            arrival: 0.0,
+            start: f64::NAN,
+            end: f64::NAN,
+        };
         assert!(!never.scheduled());
     }
 

@@ -119,7 +119,13 @@ mod tests {
     use super::*;
 
     fn job(id: u32, size: u32, runtime: f64) -> TraceJob {
-        TraceJob { id, arrival: 0.0, size, runtime, bw_tenths: 10 }
+        TraceJob {
+            id,
+            arrival: 0.0,
+            size,
+            runtime,
+            bw_tenths: 10,
+        }
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty bitset with capacity for `len` bits, all clear.
     pub fn new(len: usize) -> Self {
-        BitSet { len, words: vec![0; len.div_ceil(64)] }
+        BitSet {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Capacity in bits.

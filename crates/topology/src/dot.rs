@@ -28,8 +28,16 @@ pub struct DotHighlight {
 }
 
 /// A small qualitative palette (Graphviz X11 color names).
-const COLORS: [&str; 8] =
-    ["dodgerblue", "firebrick", "forestgreen", "darkorange", "purple", "teal", "goldenrod", "magenta"];
+const COLORS: [&str; 8] = [
+    "dodgerblue",
+    "firebrick",
+    "forestgreen",
+    "darkorange",
+    "purple",
+    "teal",
+    "goldenrod",
+    "magenta",
+];
 
 /// Render `tree` as a DOT digraph, highlighting the given allocations.
 pub fn to_dot(tree: &FatTree, highlights: &[DotHighlight]) -> String {
@@ -59,7 +67,11 @@ pub fn to_dot(tree: &FatTree, highlights: &[DotHighlight]) -> String {
         let _ = writeln!(out, "  subgraph cluster_pod{} {{", pod.0);
         let _ = writeln!(out, "    label=\"pod {}\";", pod.0);
         for leaf in tree.leaves_of_pod(pod) {
-            let _ = writeln!(out, "    leaf{} [label=\"leaf {}\", shape=box3d];", leaf.0, leaf.0);
+            let _ = writeln!(
+                out,
+                "    leaf{} [label=\"leaf {}\", shape=box3d];",
+                leaf.0, leaf.0
+            );
             for node in tree.nodes_of_leaf(leaf) {
                 let style = node_color
                     .get(&node.0)
@@ -71,7 +83,11 @@ pub fn to_dot(tree: &FatTree, highlights: &[DotHighlight]) -> String {
         }
         for pos in 0..tree.l2_per_pod() {
             let l2 = tree.l2_at(pod, pos);
-            let _ = writeln!(out, "    l2_{} [label=\"L2 {}.{}\", shape=component];", l2.0, pod.0, pos);
+            let _ = writeln!(
+                out,
+                "    l2_{} [label=\"L2 {}.{}\", shape=component];",
+                l2.0, pod.0, pos
+            );
         }
         let _ = writeln!(out, "  }}");
     }
@@ -79,7 +95,11 @@ pub fn to_dot(tree: &FatTree, highlights: &[DotHighlight]) -> String {
     for group in 0..tree.l2_per_pod() {
         for slot in 0..tree.spines_per_group() {
             let s = tree.spine_at(group, slot);
-            let _ = writeln!(out, "  spine{} [label=\"spine {group}.{slot}\", shape=octagon];", s.0);
+            let _ = writeln!(
+                out,
+                "  spine{} [label=\"spine {group}.{slot}\", shape=octagon];",
+                s.0
+            );
         }
     }
     // Leaf↔L2 links.
@@ -89,7 +109,11 @@ pub fn to_dot(tree: &FatTree, highlights: &[DotHighlight]) -> String {
             let l2 = tree.l2_of_leaf_link(link);
             match leaf_link_color.get(&link.0) {
                 Some(c) => {
-                    let _ = writeln!(out, "  leaf{} -- l2_{} [color={c}, penwidth=2.2];", leaf.0, l2.0);
+                    let _ = writeln!(
+                        out,
+                        "  leaf{} -- l2_{} [color={c}, penwidth=2.2];",
+                        leaf.0, l2.0
+                    );
                 }
                 None => {
                     let _ = writeln!(out, "  leaf{} -- l2_{} [color=gray70];", leaf.0, l2.0);
@@ -113,8 +137,7 @@ pub fn to_dot(tree: &FatTree, highlights: &[DotHighlight]) -> String {
                         );
                     }
                     None => {
-                        let _ =
-                            writeln!(out, "  l2_{} -- spine{} [color=gray85];", l2.0, spine.0);
+                        let _ = writeln!(out, "  l2_{} -- spine{} [color=gray85];", l2.0, spine.0);
                     }
                 }
             }

@@ -23,10 +23,16 @@ impl fmt::Display for TopologyError {
                 write!(f, "topology parameter `{name}` must be nonzero")
             }
             TopologyError::BadRadix(r) => {
-                write!(f, "maximal fat-tree radix must be an even number >= 4, got {r}")
+                write!(
+                    f,
+                    "maximal fat-tree radix must be an even number >= 4, got {r}"
+                )
             }
             TopologyError::TooLarge(name) => {
-                write!(f, "topology parameter `{name}` too large for 32-bit id space")
+                write!(
+                    f,
+                    "topology parameter `{name}` too large for 32-bit id space"
+                )
             }
             TopologyError::NotFullBandwidth => {
                 write!(
@@ -48,7 +54,11 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(TopologyError::BadRadix(5).to_string().contains("radix"));
-        assert!(TopologyError::ZeroParameter("pods").to_string().contains("pods"));
-        assert!(TopologyError::NotFullBandwidth.to_string().contains("full-bandwidth"));
+        assert!(TopologyError::ZeroParameter("pods")
+            .to_string()
+            .contains("pods"));
+        assert!(TopologyError::NotFullBandwidth
+            .to_string()
+            .contains("full-bandwidth"));
     }
 }

@@ -57,7 +57,13 @@ impl FatTreeParams {
         nodes_per_leaf: u32,
         spines_per_group: u32,
     ) -> Result<Self, TopologyError> {
-        let p = FatTreeParams { pods, leaves_per_pod, l2_per_pod, nodes_per_leaf, spines_per_group };
+        let p = FatTreeParams {
+            pods,
+            leaves_per_pod,
+            l2_per_pod,
+            nodes_per_leaf,
+            spines_per_group,
+        };
         p.validate()?;
         Ok(p)
     }
@@ -86,7 +92,9 @@ impl FatTreeParams {
             .and_then(|v| v.checked_mul(self.nodes_per_leaf as u64));
         match nodes {
             Some(n) if n <= u32::MAX as u64 => Ok(()),
-            _ => Err(TopologyError::TooLarge("pods * leaves_per_pod * nodes_per_leaf")),
+            _ => Err(TopologyError::TooLarge(
+                "pods * leaves_per_pod * nodes_per_leaf",
+            )),
         }
     }
 

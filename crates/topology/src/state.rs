@@ -46,7 +46,10 @@ pub struct LinkBandwidth {
 
 impl LinkBandwidth {
     /// The paper's configuration: 5 GB/s capacity, 80% cap.
-    pub const PAPER: LinkBandwidth = LinkBandwidth { capacity_tenths: 50, cap_tenths: 40 };
+    pub const PAPER: LinkBandwidth = LinkBandwidth {
+        capacity_tenths: 50,
+        cap_tenths: 40,
+    };
 }
 
 impl Default for LinkBandwidth {
@@ -106,10 +109,7 @@ impl SystemState {
             free_nodes_per_pod: vec![tree.nodes_per_pod(); tree.num_pods() as usize],
             leaf_uplink_free: vec![leaf_mask; tree.num_leaves() as usize],
             spine_uplink_free: vec![spine_mask; tree.num_l2() as usize],
-            fully_free_leaves_per_pod: vec![
-                tree.leaves_per_pod() as u16;
-                tree.num_pods() as usize
-            ],
+            fully_free_leaves_per_pod: vec![tree.leaves_per_pod() as u16; tree.num_pods() as usize],
             leaf_fully_free: vec![true; tree.num_leaves() as usize],
             allocated_nodes: 0,
         }
@@ -267,7 +267,9 @@ impl SystemState {
         if self.leaf_link_owner[link.idx()] != FREE {
             0
         } else {
-            self.bandwidth.cap_tenths.saturating_sub(self.leaf_link_bw[link.idx()])
+            self.bandwidth
+                .cap_tenths
+                .saturating_sub(self.leaf_link_bw[link.idx()])
         }
     }
 
@@ -278,7 +280,9 @@ impl SystemState {
         if self.spine_link_owner[link.idx()] != FREE {
             0
         } else {
-            self.bandwidth.cap_tenths.saturating_sub(self.spine_link_bw[link.idx()])
+            self.bandwidth
+                .cap_tenths
+                .saturating_sub(self.spine_link_bw[link.idx()])
         }
     }
 
@@ -291,7 +295,11 @@ impl SystemState {
     /// first; double allocation is an isolation violation.
     pub fn claim_node(&mut self, node: NodeId, job: JobId) {
         let slot = &mut self.node_owner[node.idx()];
-        assert!(*slot == FREE, "isolation violation: {node} already owned by job#{}", *slot);
+        assert!(
+            *slot == FREE,
+            "isolation violation: {node} already owned by job#{}",
+            *slot
+        );
         *slot = job.0;
         let leaf = self.tree.leaf_of_node(node);
         let pod = self.tree.pod_of_leaf(leaf);
@@ -325,7 +333,11 @@ impl SystemState {
     /// If the link is owned or carries fractional reservations.
     pub fn claim_leaf_link(&mut self, link: LeafLinkId, job: JobId) {
         let slot = &mut self.leaf_link_owner[link.idx()];
-        assert!(*slot == FREE, "isolation violation: {link} already owned by job#{}", *slot);
+        assert!(
+            *slot == FREE,
+            "isolation violation: {link} already owned by job#{}",
+            *slot
+        );
         assert!(
             self.leaf_link_bw[link.idx()] == 0,
             "isolation violation: {link} carries shared bandwidth"
@@ -354,7 +366,11 @@ impl SystemState {
     /// If the link is owned or carries fractional reservations.
     pub fn claim_spine_link(&mut self, link: SpineLinkId, job: JobId) {
         let slot = &mut self.spine_link_owner[link.idx()];
-        assert!(*slot == FREE, "isolation violation: {link} already owned by job#{}", *slot);
+        assert!(
+            *slot == FREE,
+            "isolation violation: {link} already owned by job#{}",
+            *slot
+        );
         assert!(
             self.spine_link_bw[link.idx()] == 0,
             "isolation violation: {link} carries shared bandwidth"
@@ -432,13 +448,15 @@ impl SystemState {
             let mut pod_free = 0u32;
             let mut pod_ff = 0u16;
             for leaf in t.leaves_of_pod(pod) {
-                let free =
-                    t.nodes_of_leaf(leaf).filter(|n| self.node_owner[n.idx()] == FREE).count()
-                        as u32;
+                let free = t
+                    .nodes_of_leaf(leaf)
+                    .filter(|n| self.node_owner[n.idx()] == FREE)
+                    .count() as u32;
                 alloc += t.nodes_per_leaf() - free;
                 pod_free += free;
                 assert_eq!(
-                    self.free_nodes_per_leaf[leaf.idx()] as u32, free,
+                    self.free_nodes_per_leaf[leaf.idx()] as u32,
+                    free,
                     "free-node count stale for {leaf}"
                 );
                 let mut mask = 0u64;
@@ -458,10 +476,18 @@ impl SystemState {
                     "uplink mask stale for {leaf}"
                 );
                 let ff = free == t.nodes_per_leaf() && mask == mask_of(t.l2_per_pod()) && unshared;
-                assert_eq!(self.leaf_fully_free[leaf.idx()], ff, "fully-free stale for {leaf}");
+                assert_eq!(
+                    self.leaf_fully_free[leaf.idx()],
+                    ff,
+                    "fully-free stale for {leaf}"
+                );
                 pod_ff += ff as u16;
             }
-            assert_eq!(self.free_nodes_per_pod[pod.idx()], pod_free, "pod free count stale");
+            assert_eq!(
+                self.free_nodes_per_pod[pod.idx()],
+                pod_free,
+                "pod free count stale"
+            );
             assert_eq!(
                 self.fully_free_leaves_per_pod[pod.idx()],
                 pod_ff,

@@ -94,7 +94,10 @@ mod tests {
         let mut sorted = samples.clone();
         sorted.sort_by(f64::total_cmp);
         let median = sorted[sorted.len() / 2];
-        assert!(mean > 2.0 * median, "lognormal(σ=2) must be heavily right-skewed");
+        assert!(
+            mean > 2.0 * median,
+            "lognormal(σ=2) must be heavily right-skewed"
+        );
     }
 
     #[test]

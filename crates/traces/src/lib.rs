@@ -12,7 +12,8 @@
 //!   sizes, runtime ranges, power-of-two-heavy size distributions, a few
 //!   whole-machine requests on Atlas, real arrival streams on Cab).
 //! * [`swf`] — a Standard Workload Format parser/writer so genuine traces
-//!   drop in unchanged.
+//!   drop in unchanged; [`swf::parse_swf_report`] reports skipped lines
+//!   instead of dropping them silently.
 //! * [`stats`] — per-trace summaries reproducing Table 1.
 //!
 //! All generators are deterministic given a seed, and support scaling the
@@ -30,4 +31,5 @@ pub mod synth;
 pub mod trace;
 
 pub use stats::{TraceAnalysis, TraceSummary};
+pub use swf::{parse_swf, parse_swf_report, SwfSkipReason, SwfSkipped};
 pub use trace::{Trace, TraceJob};

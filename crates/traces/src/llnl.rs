@@ -229,7 +229,10 @@ mod tests {
         assert!(t.jobs.iter().any(|j| j.size == 1024));
         let full = atlas_model().generate(1.0, 10);
         let whole = full.jobs.iter().filter(|j| j.size == 1024).count();
-        assert!(whole >= 8, "full-scale Atlas has several whole-machine requests");
+        assert!(
+            whole >= 8,
+            "full-scale Atlas has several whole-machine requests"
+        );
     }
 
     #[test]

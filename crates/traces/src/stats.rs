@@ -80,8 +80,12 @@ impl TraceAnalysis {
     pub fn of(trace: &Trace) -> Self {
         let n = trace.len().max(1) as f64;
         let single = trace.jobs.iter().filter(|j| j.size == 1).count() as f64 / n;
-        let pow2 =
-            trace.jobs.iter().filter(|j| j.size.is_power_of_two()).count() as f64 / n;
+        let pow2 = trace
+            .jobs
+            .iter()
+            .filter(|j| j.size.is_power_of_two())
+            .count() as f64
+            / n;
         let mean_size = trace.jobs.iter().map(|j| j.size as f64).sum::<f64>() / n;
         let total_ns: f64 = trace.total_node_seconds().max(f64::MIN_POSITIVE);
         let weighted_mean_size = trace
@@ -90,10 +94,18 @@ impl TraceAnalysis {
             .map(|j| j.size as f64 * (j.size as f64 * j.runtime))
             .sum::<f64>()
             / total_ns;
-        let large_ns: f64 =
-            trace.jobs.iter().filter(|j| j.size > 64).map(|j| j.size as f64 * j.runtime).sum();
-        let max_bucket =
-            trace.jobs.iter().map(|j| 32 - j.size.leading_zeros()).max().unwrap_or(0) as usize;
+        let large_ns: f64 = trace
+            .jobs
+            .iter()
+            .filter(|j| j.size > 64)
+            .map(|j| j.size as f64 * j.runtime)
+            .sum();
+        let max_bucket = trace
+            .jobs
+            .iter()
+            .map(|j| 32 - j.size.leading_zeros())
+            .max()
+            .unwrap_or(0) as usize;
         let mut size_histogram = vec![0u64; max_bucket];
         for j in &trace.jobs {
             let k = (31 - j.size.leading_zeros()) as usize;
@@ -113,14 +125,36 @@ impl TraceAnalysis {
 impl fmt::Display for TraceAnalysis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "mean size            {:>8.1} nodes", self.mean_size)?;
-        writeln!(f, "weighted mean size   {:>8.1} nodes (by node-seconds)", self.weighted_mean_size)?;
-        writeln!(f, "single-node jobs     {:>8.1}%", 100.0 * self.single_node_job_share)?;
-        writeln!(f, "power-of-two sizes   {:>8.1}%", 100.0 * self.pow2_job_share)?;
-        writeln!(f, "node-seconds in >64n {:>8.1}%", 100.0 * self.large_job_ns_share)?;
+        writeln!(
+            f,
+            "weighted mean size   {:>8.1} nodes (by node-seconds)",
+            self.weighted_mean_size
+        )?;
+        writeln!(
+            f,
+            "single-node jobs     {:>8.1}%",
+            100.0 * self.single_node_job_share
+        )?;
+        writeln!(
+            f,
+            "power-of-two sizes   {:>8.1}%",
+            100.0 * self.pow2_job_share
+        )?;
+        writeln!(
+            f,
+            "node-seconds in >64n {:>8.1}%",
+            100.0 * self.large_job_ns_share
+        )?;
         writeln!(f, "size histogram (jobs per power-of-two bucket):")?;
         for (k, &count) in self.size_histogram.iter().enumerate() {
             if count > 0 {
-                writeln!(f, "  [{:>4}, {:>4}) {:>7}", 1u64 << k, 1u64 << (k + 1), count)?;
+                writeln!(
+                    f,
+                    "  [{:>4}, {:>4}) {:>7}",
+                    1u64 << k,
+                    1u64 << (k + 1),
+                    count
+                )?;
             }
         }
         Ok(())
@@ -164,7 +198,11 @@ mod tests {
         let a = TraceAnalysis::of(&t);
         assert!((a.mean_size - 16.0).abs() < 2.0, "mean {}", a.mean_size);
         // Exponential: weighted mean ≈ 2 × mean.
-        assert!(a.weighted_mean_size > 1.5 * a.mean_size, "{}", a.weighted_mean_size);
+        assert!(
+            a.weighted_mean_size > 1.5 * a.mean_size,
+            "{}",
+            a.weighted_mean_size
+        );
         assert!(a.single_node_job_share > 0.0 && a.single_node_job_share < 0.2);
         assert_eq!(a.size_histogram.iter().sum::<u64>(), 2000);
         let text = a.to_string();
@@ -181,8 +219,10 @@ mod tests {
 
     #[test]
     fn table_rendering_includes_all_rows() {
-        let summaries: Vec<TraceSummary> =
-            [synth(16, 10, 1), synth(22, 10, 2)].iter().map(TraceSummary::of).collect();
+        let summaries: Vec<TraceSummary> = [synth(16, 10, 1), synth(22, 10, 2)]
+            .iter()
+            .map(TraceSummary::of)
+            .collect();
         let table = format_table1(&summaries);
         assert!(table.contains("Synth-16"));
         assert!(table.contains("Synth-22"));

@@ -14,22 +14,104 @@ use crate::synth::BW_CLASSES;
 use crate::trace::{Trace, TraceJob};
 use std::fmt::Write as _;
 
+/// Why a non-comment SWF line was excluded from the parsed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwfSkipReason {
+    /// Fewer than 8 whitespace-separated fields.
+    TooFewFields {
+        /// How many fields the line actually had.
+        found: usize,
+    },
+    /// Field 1 (submit time) missing, non-numeric, or negative.
+    BadSubmitTime,
+    /// Field 3 (run time) missing, non-numeric, or not positive.
+    BadRuntime,
+    /// Neither field 4 (allocated) nor field 7 (requested) gives a
+    /// positive processor count.
+    BadProcessorCount,
+}
+
+impl std::fmt::Display for SwfSkipReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwfSkipReason::TooFewFields { found } => {
+                write!(f, "expected >= 8 fields, found {found}")
+            }
+            SwfSkipReason::BadSubmitTime => write!(f, "submit time (field 1) is not a time >= 0"),
+            SwfSkipReason::BadRuntime => write!(f, "run time (field 3) is not a time > 0"),
+            SwfSkipReason::BadProcessorCount => {
+                write!(
+                    f,
+                    "neither allocated (field 4) nor requested (field 7) processors is > 0"
+                )
+            }
+        }
+    }
+}
+
+/// A line the parser had to skip, with enough context to report it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwfSkipped {
+    /// 1-based line number in the input text.
+    pub line_no: usize,
+    /// The offending line, trimmed.
+    pub line: String,
+    /// Why the line could not become a job.
+    pub reason: SwfSkipReason,
+}
+
+impl std::fmt::Display for SwfSkipped {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "line {}: {} (`{}`)",
+            self.line_no, self.reason, self.line
+        )
+    }
+}
+
 /// Parse SWF text into a trace.
 ///
-/// `nodes_per_processor_group`: SWF records processors; for traces where
-/// jobs are node-scheduled (the LLNL machines), pass the processors per
-/// node so sizes convert to nodes (e.g. 4 for Thunder's quad-socket nodes).
-/// Pass 1 to take processor counts as node counts.
+/// `procs_per_node`: SWF records processors; for traces where jobs are
+/// node-scheduled (the LLNL machines), pass the processors per node so
+/// sizes convert to nodes (e.g. 4 for Thunder's quad-socket nodes). Pass 1
+/// to take processor counts as node counts.
+///
+/// Unusable lines are dropped; use [`parse_swf_report`] to learn which
+/// lines were skipped and why.
 pub fn parse_swf(name: &str, system_nodes: u32, text: &str, procs_per_node: u32) -> Trace {
+    parse_swf_report(name, system_nodes, text, procs_per_node).0
+}
+
+/// Like [`parse_swf`], but also reports every non-comment line the parser
+/// had to skip, so callers can surface data problems instead of silently
+/// losing jobs.
+pub fn parse_swf_report(
+    name: &str,
+    system_nodes: u32,
+    text: &str,
+    procs_per_node: u32,
+) -> (Trace, Vec<SwfSkipped>) {
     assert!(procs_per_node >= 1);
     let mut jobs = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
+    let mut skipped = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
+        let mut skip = |reason: SwfSkipReason| {
+            skipped.push(SwfSkipped {
+                line_no: idx + 1,
+                line: line.to_string(),
+                reason,
+            });
+        };
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() < 8 {
+            skip(SwfSkipReason::TooFewFields {
+                found: fields.len(),
+            });
             continue;
         }
         let submit: f64 = fields[1].parse().unwrap_or(-1.0);
@@ -38,7 +120,16 @@ pub fn parse_swf(name: &str, system_nodes: u32, text: &str, procs_per_node: u32)
         if procs <= 0 {
             procs = fields[7].parse().unwrap_or(-1);
         }
-        if submit < 0.0 || runtime <= 0.0 || procs <= 0 {
+        if submit < 0.0 {
+            skip(SwfSkipReason::BadSubmitTime);
+            continue;
+        }
+        if runtime <= 0.0 {
+            skip(SwfSkipReason::BadRuntime);
+            continue;
+        }
+        if procs <= 0 {
+            skip(SwfSkipReason::BadProcessorCount);
             continue;
         }
         let size = ((procs as u32).div_ceil(procs_per_node)).max(1);
@@ -53,7 +144,7 @@ pub fn parse_swf(name: &str, system_nodes: u32, text: &str, procs_per_node: u32)
             bw_tenths: BW_CLASSES[(id as usize * 2654435761) % BW_CLASSES.len()],
         });
     }
-    Trace::new(name, system_nodes, jobs)
+    (Trace::new(name, system_nodes, jobs), skipped)
 }
 
 /// Serialize a trace to SWF text (fields this pipeline does not track are
@@ -125,10 +216,108 @@ bogus line
     }
 
     #[test]
+    fn hand_written_fixture_roundtrips_exactly() {
+        // A fixture written by hand (not derived from parse output): every
+        // job must survive trace -> SWF text -> trace unchanged.
+        let original = Trace::new(
+            "fixture",
+            64,
+            vec![
+                TraceJob {
+                    id: 0,
+                    arrival: 0.0,
+                    size: 1,
+                    runtime: 30.0,
+                    bw_tenths: 2,
+                },
+                TraceJob {
+                    id: 1,
+                    arrival: 12.5,
+                    size: 17,
+                    runtime: 3600.0,
+                    bw_tenths: 5,
+                },
+                TraceJob {
+                    id: 2,
+                    arrival: 12.5,
+                    size: 64,
+                    runtime: 0.5,
+                    bw_tenths: 10,
+                },
+                TraceJob {
+                    id: 3,
+                    arrival: 86400.0,
+                    size: 3,
+                    runtime: 7.25,
+                    bw_tenths: 2,
+                },
+            ],
+        );
+        let text = to_swf(&original);
+        let (back, skipped) = parse_swf_report("fixture", 64, &text, 1);
+        assert!(
+            skipped.is_empty(),
+            "writer emitted unparseable lines: {skipped:?}"
+        );
+        assert_eq!(back.len(), original.len());
+        for (a, b) in original.jobs.iter().zip(&back.jobs) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.runtime, b.runtime);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_not_silently_dropped() {
+        let (t, skipped) = parse_swf_report("test", 1024, SAMPLE, 1);
+        assert_eq!(t.len(), 3);
+        // Every excluded non-comment line is accounted for, with its
+        // position and a reason a human can act on.
+        assert_eq!(skipped.len(), 2);
+        assert_eq!(skipped[0].line_no, 6);
+        assert_eq!(skipped[0].reason, SwfSkipReason::BadRuntime);
+        assert!(skipped[0].line.starts_with("3 60"));
+        assert_eq!(skipped[1].line_no, 7);
+        assert_eq!(skipped[1].reason, SwfSkipReason::TooFewFields { found: 2 });
+        assert_eq!(skipped[1].line, "bogus line");
+        // The Display form carries the line number and the raw line.
+        let msg = skipped[1].to_string();
+        assert!(
+            msg.contains("line 7") && msg.contains("bogus line"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn skip_reasons_cover_each_field_failure() {
+        let text = "\
+-1 -5 0 100 4 -1 -1 4 -1 -1 1 1 1 -1 1 -1 -1 -1
+2 10 0 100 -1 -1 -1 -1 -1 -1 1 1 1 -1 1 -1 -1 -1
+3 10 0 100 0 -1 -1 nonsense -1 -1 1 1 1 -1 1 -1 -1 -1
+";
+        let (t, skipped) = parse_swf_report("test", 16, text, 1);
+        assert_eq!(t.len(), 0);
+        let reasons: Vec<_> = skipped.iter().map(|s| s.reason.clone()).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                SwfSkipReason::BadSubmitTime,
+                SwfSkipReason::BadProcessorCount,
+                SwfSkipReason::BadProcessorCount,
+            ]
+        );
+    }
+
+    #[test]
     fn bandwidth_classes_deterministic() {
         let a = parse_swf("t", 64, SAMPLE, 1);
         let b = parse_swf("t", 64, SAMPLE, 1);
-        assert!(a.jobs.iter().zip(&b.jobs).all(|(x, y)| x.bw_tenths == y.bw_tenths));
+        assert!(a
+            .jobs
+            .iter()
+            .zip(&b.jobs)
+            .all(|(x, y)| x.bw_tenths == y.bw_tenths));
         assert!(a.jobs.iter().all(|j| BW_CLASSES.contains(&j.bw_tenths)));
     }
 }

@@ -32,8 +32,7 @@ pub fn synth(mean_size: u32, n_jobs: usize, seed: u64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
     let jobs = (0..n_jobs)
         .map(|i| {
-            let size =
-                (exponential(&mut rng, mean_size as f64).round() as u32).clamp(1, max_size);
+            let size = (exponential(&mut rng, mean_size as f64).round() as u32).clamp(1, max_size);
             TraceJob {
                 id: i as u32,
                 arrival: 0.0,
@@ -51,7 +50,11 @@ pub fn synth(mean_size: u32, n_jobs: usize, seed: u64) -> Trace {
 /// clusters respectively (§5.4.3).
 pub fn paper_synth_traces(scale: f64, seed: u64) -> Vec<Trace> {
     let n = ((PAPER_JOBS as f64) * scale).round().max(1.0) as usize;
-    vec![synth(16, n, seed), synth(22, n, seed + 1), synth(28, n, seed + 2)]
+    vec![
+        synth(16, n, seed),
+        synth(22, n, seed + 1),
+        synth(28, n, seed + 2),
+    ]
 }
 
 #[cfg(test)]
@@ -65,10 +68,12 @@ mod tests {
         assert!(t.max_size() <= 138);
         let (lo, hi) = t.runtime_range();
         assert!(lo >= 20.0 && hi < 3000.0);
-        assert!(!t.has_arrival_times(), "synthetic jobs all arrive at time zero");
+        assert!(
+            !t.has_arrival_times(),
+            "synthetic jobs all arrive at time zero"
+        );
         // Mean size in the right ballpark (clamping pulls it slightly down).
-        let mean: f64 =
-            t.jobs.iter().map(|j| j.size as f64).sum::<f64>() / t.len() as f64;
+        let mean: f64 = t.jobs.iter().map(|j| j.size as f64).sum::<f64>() / t.len() as f64;
         assert!((14.0..18.0).contains(&mean), "mean {mean}");
     }
 

@@ -36,7 +36,11 @@ impl Trace {
         for (i, job) in jobs.iter_mut().enumerate() {
             job.id = i as u32;
         }
-        Trace { name: name.into(), system_nodes, jobs }
+        Trace {
+            name: name.into(),
+            system_nodes,
+            jobs,
+        }
     }
 
     /// Number of jobs.
@@ -103,7 +107,13 @@ mod tests {
     use super::*;
 
     fn job(arrival: f64, size: u32, runtime: f64) -> TraceJob {
-        TraceJob { id: 0, arrival, size, runtime, bw_tenths: 10 }
+        TraceJob {
+            id: 0,
+            arrival,
+            size,
+            runtime,
+            bw_tenths: 10,
+        }
     }
 
     #[test]

@@ -14,8 +14,10 @@ use jigsaw::prelude::*;
 use jigsaw::traces::synth::synth;
 
 fn main() {
-    let n_jobs: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1500);
+    let n_jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
     let tree = FatTree::maximal(16).unwrap();
     let trace = synth(16, n_jobs, 42);
     println!(
@@ -32,7 +34,10 @@ fn main() {
         scheme_benefits: true,
         ..SimConfig::default()
     };
-    let config_base = SimConfig { scheme_benefits: false, ..config_iso.clone() };
+    let config_base = SimConfig {
+        scheme_benefits: false,
+        ..config_iso.clone()
+    };
 
     println!(
         "{:<10} {:>11} {:>14} {:>14} {:>12} {:>10}",
@@ -40,7 +45,11 @@ fn main() {
     );
     let mut baseline_turnaround = 0.0;
     for kind in SchedulerKind::ALL {
-        let config = if kind == SchedulerKind::Baseline { &config_base } else { &config_iso };
+        let config = if kind == SchedulerKind::Baseline {
+            &config_base
+        } else {
+            &config_iso
+        };
         let result = simulate(&tree, kind.make(&tree), &trace, config);
         if kind == SchedulerKind::Baseline {
             baseline_turnaround = result.avg_turnaround();

@@ -22,7 +22,12 @@ fn main() {
     let sizes = [40u32, 36];
     let mut rng = StdRng::seed_from_u64(2021);
 
-    println!("two jobs ({} and {} nodes) on a {}-node fat-tree\n", sizes[0], sizes[1], tree.num_nodes());
+    println!(
+        "two jobs ({} and {} nodes) on a {}-node fat-tree\n",
+        sizes[0],
+        sizes[1],
+        tree.num_nodes()
+    );
 
     // --- Baseline: first-fit nodes, global D-mod-k routing. -----------------
     let mut state = SystemState::new(tree);
@@ -30,7 +35,10 @@ fn main() {
     let allocs: Vec<Allocation> = sizes
         .iter()
         .enumerate()
-        .map(|(i, &s)| base.allocate(&mut state, &JobRequest::new(JobId(i as u32), s)).unwrap())
+        .map(|(i, &s)| {
+            base.allocate(&mut state, &JobRequest::new(JobId(i as u32), s))
+                .unwrap()
+        })
         .collect();
     let mut cong = CongestionMap::new(&tree);
     for alloc in &allocs {
@@ -41,7 +49,10 @@ fn main() {
     }
     println!("Baseline + D-mod-k:");
     println!("  max flows on one directed link: {}", cong.max_load());
-    println!("  directed links shared by BOTH jobs: {}", cong.interjob_shared_links());
+    println!(
+        "  directed links shared by BOTH jobs: {}",
+        cong.interjob_shared_links()
+    );
 
     // --- Jigsaw: isolated partitions, wraparound partition routing. ---------
     let mut state = SystemState::new(tree);
@@ -49,13 +60,18 @@ fn main() {
     let allocs: Vec<Allocation> = sizes
         .iter()
         .enumerate()
-        .map(|(i, &s)| jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s)).unwrap())
+        .map(|(i, &s)| {
+            jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s))
+                .unwrap()
+        })
         .collect();
     let mut cong = CongestionMap::new(&tree);
     for alloc in &allocs {
         let router = PartitionRouter::new(&tree, alloc).expect("Jigsaw shapes are structured");
         for (src, dst) in random_permutation(&alloc.nodes, &mut rng) {
-            let route = router.route(&tree, src, dst).expect("partition is connected");
+            let route = router
+                .route(&tree, src, dst)
+                .expect("partition is connected");
             cong.add_for_job(&tree, alloc.job, src, dst, route);
         }
     }

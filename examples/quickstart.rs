@@ -27,7 +27,10 @@ fn main() {
     // A mixed batch of job requests, nothing leaf- or pod-aligned.
     let sizes = [3u32, 17, 64, 100, 9, 230, 41];
     let mut allocations = Vec::new();
-    println!("\n{:>4} {:>6} {:>7} {:>10} {:>11}  shape", "job", "asked", "nodes", "leaf links", "spine links");
+    println!(
+        "\n{:>4} {:>6} {:>7} {:>10} {:>11}  shape",
+        "job", "asked", "nodes", "leaf links", "spine links"
+    );
     for (i, &size) in sizes.iter().enumerate() {
         let req = JobRequest::new(JobId(i as u32), size);
         match scheduler.allocate(&mut state, &req) {
@@ -79,16 +82,31 @@ fn main() {
 fn shape_kind(shape: &Shape) -> String {
     match shape {
         Shape::SingleLeaf { leaf, .. } => format!("single leaf ({leaf})"),
-        Shape::TwoLevel { pod, leaves, rem_leaf, .. } => format!(
+        Shape::TwoLevel {
+            pod,
+            leaves,
+            rem_leaf,
+            ..
+        } => format!(
             "two-level: pod {}, {} full leaves{}",
             pod.0,
             leaves.len(),
-            if rem_leaf.is_some() { " + remainder leaf" } else { "" }
+            if rem_leaf.is_some() {
+                " + remainder leaf"
+            } else {
+                ""
+            }
         ),
-        Shape::ThreeLevel { trees, rem_tree, .. } => format!(
+        Shape::ThreeLevel {
+            trees, rem_tree, ..
+        } => format!(
             "three-level: {} trees{}",
             trees.len(),
-            if rem_tree.is_some() { " + remainder tree" } else { "" }
+            if rem_tree.is_some() {
+                " + remainder tree"
+            } else {
+                ""
+            }
         ),
         Shape::Unstructured => "unstructured".into(),
     }

@@ -62,10 +62,24 @@ fn utilization_ordering_matches_figure6() {
 fn laas_internal_fragmentation_visible() {
     let tree = FatTree::maximal(16).unwrap();
     let trace = synth(16, 600, 7);
-    let r = simulate(&tree, SchedulerKind::Laas.make(&tree), &trace, &SimConfig::default());
-    let wasted: u64 =
-        r.jobs.iter().filter(|j| j.scheduled()).map(|j| (j.granted - j.size) as u64).sum();
-    let granted: u64 = r.jobs.iter().filter(|j| j.scheduled()).map(|j| j.granted as u64).sum();
+    let r = simulate(
+        &tree,
+        SchedulerKind::Laas.make(&tree),
+        &trace,
+        &SimConfig::default(),
+    );
+    let wasted: u64 = r
+        .jobs
+        .iter()
+        .filter(|j| j.scheduled())
+        .map(|j| (j.granted - j.size) as u64)
+        .sum();
+    let granted: u64 = r
+        .jobs
+        .iter()
+        .filter(|j| j.scheduled())
+        .map(|j| j.granted as u64)
+        .sum();
     let frac = wasted as f64 / granted as f64;
     // The paper reports 3-7% of nodes lost to rounding.
     assert!(frac > 0.02, "LaaS must waste nodes to rounding, got {frac}");
@@ -75,8 +89,14 @@ fn laas_internal_fragmentation_visible() {
 fn speedup_scenarios_help_isolating_schemes() {
     let tree = FatTree::maximal(16).unwrap();
     let trace = synth(16, 800, 11);
-    let none = SimConfig { scenario: Scenario::None, ..SimConfig::default() };
-    let twenty = SimConfig { scenario: Scenario::Fixed(20), ..SimConfig::default() };
+    let none = SimConfig {
+        scenario: Scenario::None,
+        ..SimConfig::default()
+    };
+    let twenty = SimConfig {
+        scenario: Scenario::Fixed(20),
+        ..SimConfig::default()
+    };
     let r_none = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &none);
     let r_20 = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &twenty);
     assert!(
@@ -87,8 +107,14 @@ fn speedup_scenarios_help_isolating_schemes() {
     );
     assert!(r_20.avg_turnaround() < r_none.avg_turnaround());
     // Baseline is unaffected by scenarios.
-    let b_none = SimConfig { scheme_benefits: false, ..none };
-    let b_20 = SimConfig { scheme_benefits: false, ..twenty };
+    let b_none = SimConfig {
+        scheme_benefits: false,
+        ..none
+    };
+    let b_20 = SimConfig {
+        scheme_benefits: false,
+        ..twenty
+    };
     let rb_none = simulate(&tree, SchedulerKind::Baseline.make(&tree), &trace, &b_none);
     let rb_20 = simulate(&tree, SchedulerKind::Baseline.make(&tree), &trace, &b_20);
     assert_eq!(rb_none.makespan, rb_20.makespan);
@@ -99,7 +125,12 @@ fn cab_like_arrivals_flow_through() {
     let tree = FatTree::maximal(18).unwrap(); // the paper's 1458-node cluster
     let trace = cab_model(CabMonth::Aug).generate(0.01, 3);
     assert!(trace.has_arrival_times());
-    let r = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &SimConfig::default());
+    let r = simulate(
+        &tree,
+        SchedulerKind::Jigsaw.make(&tree),
+        &trace,
+        &SimConfig::default(),
+    );
     let scheduled = r.jobs.iter().filter(|j| j.scheduled()).count();
     assert_eq!(scheduled as u32 + r.unschedulable, trace.len() as u32);
     assert_eq!(r.unschedulable, 0, "all Cab jobs fit a 1458-node machine");
@@ -115,10 +146,16 @@ fn atlas_whole_machine_jobs_complete_everywhere() {
     let trace = atlas_model().generate(0.01, 5);
     assert_eq!(trace.max_size(), 1024);
     for kind in SchedulerKind::ALL {
-        let cfg = SimConfig { scheme_benefits: kind != SchedulerKind::Baseline, ..SimConfig::default() };
+        let cfg = SimConfig {
+            scheme_benefits: kind != SchedulerKind::Baseline,
+            ..SimConfig::default()
+        };
         let r = simulate(&tree, kind.make(&tree), &trace, &cfg);
         let whole = r.jobs.iter().find(|j| j.size == 1024).unwrap();
-        assert!(whole.scheduled(), "{kind}: the whole-machine job must eventually run");
+        assert!(
+            whole.scheduled(),
+            "{kind}: the whole-machine job must eventually run"
+        );
     }
 }
 
@@ -127,7 +164,10 @@ fn backfilling_improves_turnaround() {
     let tree = FatTree::maximal(16).unwrap();
     let trace = synth(16, 500, 21);
     let with = SimConfig::default();
-    let without = SimConfig { backfill_window: 0, ..SimConfig::default() };
+    let without = SimConfig {
+        backfill_window: 0,
+        ..SimConfig::default()
+    };
     let r_with = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &with);
     let r_without = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &without);
     assert!(
@@ -143,7 +183,10 @@ fn table2_histogram_shape() {
     // Jigsaw reaches the >=98 bucket; TA spends more time below 80.
     let tree = FatTree::maximal(16).unwrap();
     let trace = synth(16, 1200, 42);
-    let cfg = SimConfig { collect_inst_util: true, ..SimConfig::default() };
+    let cfg = SimConfig {
+        collect_inst_util: true,
+        ..SimConfig::default()
+    };
     let jig = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &cfg);
     let ta = simulate(&tree, SchedulerKind::Ta.make(&tree), &trace, &cfg);
     assert!(jig.inst_util.total() > 0);
@@ -155,5 +198,8 @@ fn table2_histogram_shape() {
     );
     let jig_low = jig.inst_util.fraction(4) + jig.inst_util.fraction(5);
     let ta_low = ta.inst_util.fraction(4) + ta.inst_util.fraction(5);
-    assert!(ta_low >= jig_low, "TA's external fragmentation shows up as low-utilization time");
+    assert!(
+        ta_low >= jig_low,
+        "TA's external fragmentation shows up as low-utilization time"
+    );
 }

@@ -6,7 +6,10 @@ use jigsaw::prelude::*;
 use jigsaw::traces::synth::synth;
 
 fn utilization(kind: SchedulerKind, trace: &Trace, tree: &FatTree) -> f64 {
-    let cfg = SimConfig { scheme_benefits: kind != SchedulerKind::Baseline, ..SimConfig::default() };
+    let cfg = SimConfig {
+        scheme_benefits: kind != SchedulerKind::Baseline,
+        ..SimConfig::default()
+    };
     simulate(tree, kind.make(tree), trace, &cfg).utilization
 }
 
@@ -36,7 +39,11 @@ fn utilization_gap_stable_across_scales() {
 #[test]
 fn absolute_utilization_stable_across_scales() {
     let tree = FatTree::maximal(16).unwrap();
-    for kind in [SchedulerKind::Baseline, SchedulerKind::Jigsaw, SchedulerKind::Laas] {
+    for kind in [
+        SchedulerKind::Baseline,
+        SchedulerKind::Jigsaw,
+        SchedulerKind::Laas,
+    ] {
         let u_small = utilization(kind, &synth(16, 400, 7), &tree);
         let u_large = utilization(kind, &synth(16, 1600, 7), &tree);
         assert!(

@@ -22,8 +22,14 @@ fn figure3() -> (FatTree, Allocation) {
         l_t: 2,
         l2_set: 0b1111,
         trees: vec![
-            TreeAlloc { pod: PodId(0), leaves: vec![LeafId(0), LeafId(1)] },
-            TreeAlloc { pod: PodId(1), leaves: vec![LeafId(4), LeafId(5)] },
+            TreeAlloc {
+                pod: PodId(0),
+                leaves: vec![LeafId(0), LeafId(1)],
+            },
+            TreeAlloc {
+                pod: PodId(1),
+                leaves: vec![LeafId(4), LeafId(5)],
+            },
         ],
         spine_sets: vec![0b0011; 4],
         rem_tree: Some(RemTree {
@@ -33,7 +39,10 @@ fn figure3() -> (FatTree, Allocation) {
             spine_sets: vec![0b0011, 0b0011, 0b0011, 0b0001],
         }),
     };
-    (tree, jigsaw::core::alloc::Allocation::from_shape(&state, JobId(1), 23, 0, shape))
+    (
+        tree,
+        jigsaw::core::alloc::Allocation::from_shape(&state, JobId(1), 23, 0, shape),
+    )
 }
 
 #[test]
@@ -84,7 +93,11 @@ fn inconsistent_spine_sets_break_the_constructive_router() {
     // position 0 points outside S*_0. The rearranging router must fail
     // (or produce contention) rather than silently "succeed".
     let (tree, mut alloc) = figure3();
-    if let Shape::ThreeLevel { rem_tree: Some(rem), .. } = &mut alloc.shape {
+    if let Shape::ThreeLevel {
+        rem_tree: Some(rem),
+        ..
+    } = &mut alloc.shape
+    {
         rem.spine_sets[0] = 0b1100; // disjoint from S*_0 = 0b0011
     }
     // Rebuild the link lists from the tampered shape.
@@ -104,7 +117,10 @@ fn inconsistent_spine_sets_break_the_constructive_router() {
             }
         }
     }
-    assert!(bad > 0, "a condition-6 violation must be physically detectable");
+    assert!(
+        bad > 0,
+        "a condition-6 violation must be physically detectable"
+    );
 }
 
 #[test]
@@ -124,7 +140,7 @@ fn simulated_system_audits_clean_at_every_event() {
                 let a = live.swap_remove(rng.random_range(0..live.len()));
                 alloc.release(&mut state, &a);
             } else {
-                let size = 1 + rng.random_range(0..40);
+                let size = 1 + rng.random_range(0u32..40);
                 if let Some(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
                     live.push(a);
                 }

@@ -1,0 +1,291 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Runs each property as a deterministic randomized test: the RNG is
+//! seeded from the property's name, so failures reproduce across runs and
+//! machines. Differences from real proptest, by design:
+//!
+//! * no shrinking — a failure reports the case number and the generated
+//!   inputs via the panic message instead of a minimized counterexample,
+//! * no persistence — `*.proptest-regressions` files are ignored,
+//! * strategies are plain generators (no value trees).
+//!
+//! The surface covered is exactly what this workspace uses: integer range
+//! strategies, `any::<T>()`, tuples of strategies, `prop::collection::vec`,
+//! `prop_map`, `proptest!`, `prop_assert!`, `prop_assert_eq!`, and
+//! `ProptestConfig::with_cases`.
+
+use rand::prelude::*;
+
+/// The RNG handed to strategies. Deterministic per property name.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seed from a property name (FNV-1a of the name).
+    pub fn deterministic(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl rand::Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The `any::<T>()` strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Build it.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for all values of a primitive type.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_via_random {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random()
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_random!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// Strategy for `Vec`s with element strategy `S` and a length drawn
+    /// from `len` on each case.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `vec(element, min..max)`: vectors of `min..max` elements.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Define properties. Each `fn name(arg in strategy, ...) { body }` becomes
+/// a test running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal: expand the property fns of a `proptest!` block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __case_desc = format!(
+                    concat!("[case {}/{}] ", $(stringify!($arg), " = {:?} "),+),
+                    __case + 1, __cfg.cases, $(&$arg),+
+                );
+                $crate::__run_case(&__case_desc, move || $body);
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}
+
+/// Internal: run one case, decorating panics with the generated inputs.
+#[doc(hidden)]
+pub fn __run_case<F: FnOnce() + std::panic::UnwindSafe>(desc: &str, f: F) {
+    if let Err(cause) = std::panic::catch_unwind(f) {
+        eprintln!("proptest stand-in: property failed at {desc}");
+        std::panic::resume_unwind(cause);
+    }
+}
+
+/// Assert inside a property (stand-in: plain `assert!` semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property (stand-in: `assert_eq!` semantics,
+/// but by-reference so operands are not moved, matching real proptest).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!(&$a, &$b) };
+    ($a:expr, $b:expr, $($t:tt)+) => { assert_eq!(&$a, &$b, $($t)+) };
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+
+    /// Namespaced strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in 0u64..1000) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 1000);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(1u32..=5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..=5).contains(&x)));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (1u32..4, any::<bool>()), mapped in (2u32..5).prop_map(|x| x * 2)) {
+            prop_assert!((1..4).contains(&pair.0));
+            prop_assert!(mapped % 2 == 0);
+            prop_assert_eq!(mapped / 2 * 2, mapped);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = super::TestRng::deterministic("x");
+        let mut b = super::TestRng::deterministic("x");
+        let s = 0u64..u64::MAX;
+        use super::Strategy;
+        assert_eq!(s.generate(&mut a), (0u64..u64::MAX).generate(&mut b));
+    }
+}

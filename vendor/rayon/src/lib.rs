@@ -1,0 +1,46 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! `par_iter()` returns the ordinary sequential iterator, so all
+//! combinator chains compile and produce identical results — just without
+//! parallel speedup. When real rayon becomes installable, deleting this
+//! stand-in restores parallelism with no call-site changes.
+
+/// The common imports.
+pub mod prelude {
+    /// Sequential stand-in for rayon's `par_iter`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element reference type.
+        type Iter: Iterator;
+
+        /// Iterate "in parallel" (sequentially, in this stand-in).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> std::slice::Iter<'data, T> {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> std::slice::Iter<'data, T> {
+            self.as_slice().iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

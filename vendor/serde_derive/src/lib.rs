@@ -1,0 +1,415 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the value-based `serde` facade in `vendor/serde` (miniserde-style: one
+//! `Value` tree, no visitor machinery). The parser is hand-rolled over
+//! `proc_macro::TokenStream` — this build environment has no registry
+//! access, so `syn`/`quote` are unavailable.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently, like real serde),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Not supported (panics with a clear message): generic types, unions, and
+//! `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shapes a derived item can take.
+enum Fields {
+    Unit,
+    /// Tuple fields; the count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_ser(name, fields),
+        Item::Enum { name, variants } => gen_enum_ser(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_de(name, fields),
+        Item::Enum { name, variants } => gen_enum_de(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive stand-in: enum `{name}` has no body"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive stand-in: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stand-in: expected identifier, found {other:?}"),
+    }
+}
+
+/// Field names of a named-field group. Commas inside generic arguments are
+/// tracked by `<`/`>` depth; parenthesized/bracketed types are atomic
+/// groups, so only angle brackets need manual balancing.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut angle: i32 = 0;
+    let mut expect_name = true;
+    let mut k = 0usize;
+    while k < toks.len() {
+        match &toks[k] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute or doc comment: skip `#` + the bracket group.
+                k += 2;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => expect_name = true,
+            TokenTree::Ident(id) if expect_name => {
+                let s = id.to_string();
+                if s != "pub"
+                    && matches!(toks.get(k + 1), Some(TokenTree::Punct(c)) if c.as_char() == ':')
+                {
+                    names.push(s);
+                    expect_name = false;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    names
+}
+
+/// Number of fields in a tuple-struct/-variant body (top-level commas + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle: i32 = 0;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip to past the next top-level comma (discriminants don't occur).
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// --- codegen: Serialize ----------------------------------------------------
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Fields::Named(names) => {
+            let pushes: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let mut __obj = Vec::new(); {} ::serde::Value::Object(__obj) }}",
+                pushes.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = Vec::new();
+    for (v, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let elems: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                };
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),",
+                    binds.join(", ")
+                )
+            }
+            Fields::Named(fnames) => {
+                let binds = fnames.join(", ");
+                let pushes: Vec<String> = fnames
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "__obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => {{ let mut __obj = Vec::new(); {} \
+                     ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(__obj))]) }},",
+                    pushes.join(" ")
+                )
+            }
+        };
+        arms.push(arm);
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ match self {{ {} }} }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+// --- codegen: Deserialize --------------------------------------------------
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "{{ let __arr = __v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array for {name}\"))?;\n\
+                    if __arr.len() != {n} {{ return Err(::serde::DeError::expected(\"{n}-element array for {name}\")); }}\n\
+                    Ok({name}({})) }}",
+                elems.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let __obj = __v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\"))?;\n\
+                    Ok({name} {{ {} }}) }}",
+                inits.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[(String, Fields)]) -> String {
+    // Unit variants arrive as strings; data variants as single-key objects
+    // (externally tagged).
+    let mut unit_arms = Vec::new();
+    let mut tagged_arms = Vec::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                unit_arms.push(format!("\"{v}\" => return Ok({name}::{v}),"));
+            }
+            Fields::Tuple(1) => tagged_arms.push(format!(
+                "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{v}\" => {{\n\
+                         let __arr = __inner.as_array().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{v}\"))?;\n\
+                         if __arr.len() != {n} {{ return Err(::serde::DeError::expected(\"{n}-element array for {name}::{v}\")); }}\n\
+                         return Ok({name}::{v}({}));\n\
+                     }}",
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(fnames) => {
+                let inits: Vec<String> = fnames
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\"))?,"
+                        )
+                    })
+                    .collect();
+                tagged_arms.push(format!(
+                    "\"{v}\" => {{\n\
+                         let __obj = __inner.as_object().ok_or_else(|| ::serde::DeError::expected(\"object for {name}::{v}\"))?;\n\
+                         return Ok({name}::{v} {{ {} }});\n\
+                     }}",
+                    inits.join(" ")
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if let Some(__s) = __v.as_str() {{\n\
+                     match __s {{ {} _ => {{}} }}\n\
+                     return Err(::serde::DeError::expected(\"known unit variant of {name}\"));\n\
+                 }}\n\
+                 if let Some(__obj) = __v.as_object() {{\n\
+                     if __obj.len() == 1 {{\n\
+                         let (__tag, __inner) = (&__obj[0].0, &__obj[0].1);\n\
+                         match __tag.as_str() {{ {} _ => {{}} }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"externally tagged variant of {name}\"))\n\
+             }}\n\
+         }}",
+        unit_arms.join("\n"),
+        tagged_arms.join("\n")
+    )
+}
