@@ -60,7 +60,7 @@ fn bench_alloc(c: &mut Criterion) {
                     let (mut state, mut alloc) = churned(&tree, scheme, 0.7);
                     let size = tree.nodes_per_leaf() + 1;
                     b.iter(|| {
-                        if let Some(a) =
+                        if let Ok(a) =
                             alloc.allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
                         {
                             alloc.release(&mut state, &a);

@@ -1,0 +1,69 @@
+//! Overhead of the observability layer on the allocation hot path.
+//!
+//! Three configurations of the same allocate+release cycle:
+//!
+//! * `raw`      — the bare scheme, no instrumentation at all,
+//! * `disabled` — wrapped in `ObservedAllocator` with a disabled
+//!   `Registry` (the production default when metrics are off): every
+//!   handle is a null check, so this must sit within noise of `raw`,
+//! * `enabled`  — a live `Registry` recording counters, latency and
+//!   search-effort histograms, and the nodes-in-use gauge.
+//!
+//! CI runs this harness with `-- --test` (smoke mode: each routine runs
+//! once) to keep it compiling and running without paying measurement time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_core::{Allocator, JobRequest, ObservedAllocator, SchedulerKind};
+use jigsaw_obs::Registry;
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+use std::hint::black_box;
+
+fn cycle(alloc: &mut dyn Allocator, state: &mut SystemState, size: u32) {
+    let a = alloc
+        .allocate(state, &JobRequest::new(JobId(1), black_box(size)))
+        .expect("fits empty machine");
+    alloc.release(state, &a);
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let tree = FatTree::maximal(16).unwrap(); // the paper's 1024-node cluster
+    let size = tree.nodes_per_pod() / 2;
+    let mut group = c.benchmark_group("obs_overhead");
+
+    for scheme in [SchedulerKind::Jigsaw, SchedulerKind::Baseline] {
+        group.bench_with_input(
+            BenchmarkId::new("raw", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let mut state = SystemState::new(tree);
+                let mut alloc = scheme.make(&tree);
+                b.iter(|| cycle(alloc.as_mut(), &mut state, size));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("disabled", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let mut state = SystemState::new(tree);
+                let registry = Registry::disabled();
+                let mut alloc = ObservedAllocator::new(scheme.make(&tree), &registry);
+                b.iter(|| cycle(&mut alloc, &mut state, size));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("enabled", scheme.name()),
+            &scheme,
+            |b, &scheme| {
+                let mut state = SystemState::new(tree);
+                let registry = Registry::new();
+                let mut alloc = ObservedAllocator::new(scheme.make(&tree), &registry);
+                b.iter(|| cycle(&mut alloc, &mut state, size));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

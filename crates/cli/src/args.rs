@@ -13,7 +13,14 @@ pub struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 5] = ["--json", "--swf", "--help", "--dot", "--analyze"];
+const SWITCHES: [&str; 6] = [
+    "--json",
+    "--swf",
+    "--help",
+    "--dot",
+    "--analyze",
+    "--metrics",
+];
 
 impl Flags {
     pub fn parse(args: &[String]) -> Result<Flags, String> {

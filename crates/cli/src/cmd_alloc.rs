@@ -35,12 +35,12 @@ pub fn run(args: &[String]) -> i32 {
     let mut state = SystemState::new(tree);
     let mut alloc = kind.make(&tree);
     let mut granted: Vec<Allocation> = Vec::new();
-    let mut rejected = Vec::new();
+    let mut rejected: Vec<(usize, u32, jigsaw_core::Reject)> = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
         let req = jigsaw_core::JobRequest::new(JobId(i as u32), size);
         match alloc.allocate(&mut state, &req) {
-            Some(a) => granted.push(a),
-            None => rejected.push((i, size)),
+            Ok(a) => granted.push(a),
+            Err(why) => rejected.push((i, size, why)),
         }
     }
 
@@ -89,8 +89,8 @@ pub fn run(args: &[String]) -> i32 {
             describe(&a.shape),
         );
     }
-    for (i, size) in &rejected {
-        println!("{i:>4} {size:>6}  -- no isolated placement available");
+    for (i, size, why) in &rejected {
+        println!("{i:>4} {size:>6}  -- rejected: {why}");
     }
     let used: u32 = granted.iter().map(|a| a.nodes.len() as u32).sum();
     println!(

@@ -2,17 +2,31 @@
 //! allocation service over stdin/stdout, the integration surface a
 //! resource manager (Slurm/Flux plugin) would drive.
 //!
-//! Line protocol (one request per line, one reply per request):
+//! Line protocol (one request per line; replies follow the unified
+//! grammar of [`crate::protocol`]):
 //!
 //! ```text
-//! ALLOC <id> <size>     -> GRANT <id> <n0,n1,...>   |  DENY <id>
-//! FREE  <id>            -> OK <id>                  |  ERR unknown job <id>
-//! STATUS                -> STATUS nodes=<used>/<total> jobs=<n> util=<pct>
-//! TABLES                -> TABLES entries=<n>        (forwarding-table size)
-//! SNAPSHOT              -> SNAPSHOT seq=<n>          |  ERR no journal configured
-//! HELP                  -> OK <one-line command summary>
-//! QUIT                  -> BYE
+//! ALLOC <id> <size>  -> OK GRANT <id> <n0,n1,...> | ERR denied <reason>
+//! FREE  <id>         -> OK FREE <id>              | ERR unknown-job <msg>
+//! STATUS             -> OK STATUS nodes=<u>/<t> jobs=<n> util=<pct>%
+//! TABLES             -> OK TABLES entries=<n>
+//! SNAPSHOT           -> OK SNAPSHOT seq=<n>       | ERR not-durable <msg>
+//! STATS              -> OK STATS k=v k=v ...
+//! METRICS            -> OK METRICS <n>  (then n raw Prometheus lines)
+//! HELP               -> OK HELP <usage summary>
+//! QUIT               -> OK BYE
 //! ```
+//!
+//! Every failure is `ERR <code> <message>` with a stable lowercase code
+//! (`denied`, `bad-request`, `exists`, `unknown-job`, `journal`,
+//! `not-durable`, `unknown-verb`, `internal`).
+//!
+//! The session carries a live [`Registry`]: allocation latency, search
+//! effort, and typed rejection counters per scheme (via
+//! [`ObservedAllocator`]), per-verb request counters and latency
+//! histograms, and — with `--journal` — the write-ahead fsync latency
+//! from `jigsaw-persist`. `METRICS` exposes all of it as Prometheus text;
+//! `STATS` gives a one-line summary.
 //!
 //! With `--journal DIR` the session is durable: every grant and release
 //! is written to a checksummed write-ahead log under `DIR` before it is
@@ -23,7 +37,9 @@
 //! the session is ephemeral and behaves exactly as before.
 
 use crate::args::{fail, Flags};
-use jigsaw_core::{Allocation, Allocator, JobRequest};
+use crate::protocol::{ErrCode, Reply, VERBS};
+use jigsaw_core::{Allocation, Allocator, JobRequest, ObservedAllocator};
+use jigsaw_obs::{Counter, Histogram, Registry};
 use jigsaw_persist::{PersistError, PersistentState};
 use jigsaw_routing::RoutingTables;
 use jigsaw_topology::ids::JobId;
@@ -55,6 +71,7 @@ pub fn run(args: &[String]) -> i32 {
             Ok(v) => v,
             Err(e) => return fail(&e),
         };
+    let registry = Registry::new();
     let mut persist = match flags.get("journal") {
         Some(dir) => match PersistentState::open(Path::new(dir), tree) {
             Ok((ps, report)) => {
@@ -66,9 +83,9 @@ pub fn run(args: &[String]) -> i32 {
         None => PersistentState::ephemeral(tree),
     };
     persist.set_snapshot_every(snapshot_every);
+    persist.attach_registry(&registry);
     eprintln!(
-        "jigsaw-sched serving {} on a {}-node radix-{radix} fat-tree{}; \
-         ALLOC/FREE/STATUS/TABLES/SNAPSHOT/HELP/QUIT",
+        "jigsaw-sched serving {} on a {}-node radix-{radix} fat-tree{}",
         kind.name(),
         tree.num_nodes(),
         if persist.is_durable() {
@@ -77,9 +94,66 @@ pub fn run(args: &[String]) -> i32 {
             ""
         }
     );
+    for v in VERBS {
+        eprintln!("  {:<18} {}", v.usage, v.summary);
+    }
+    let allocator = Box::new(ObservedAllocator::new(kind.make(&tree), &registry));
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    serve(tree, kind.make(&tree), persist, stdin.lock(), stdout.lock())
+    serve(
+        tree,
+        allocator,
+        persist,
+        &registry,
+        stdin.lock(),
+        stdout.lock(),
+    )
+}
+
+/// Per-verb request counters and latency histograms, one pair per entry
+/// of [`VERBS`]. Unknown verbs are not counted (an unbounded label set
+/// would let a misbehaving client grow the registry without limit).
+struct ServeObs {
+    verbs: Vec<(&'static str, Counter, Histogram)>,
+    /// `ERR` replies of any code (including unknown verbs).
+    errors: Counter,
+}
+
+impl ServeObs {
+    fn new(registry: &Registry) -> ServeObs {
+        ServeObs {
+            errors: registry.counter(
+                "jigsaw_serve_errors_total",
+                "Requests answered with an ERR reply.",
+            ),
+            verbs: VERBS
+                .iter()
+                .map(|v| {
+                    (
+                        v.name,
+                        registry.counter_with(
+                            "jigsaw_serve_requests_total",
+                            "Requests handled, by verb.",
+                            &[("verb", v.name)],
+                        ),
+                        registry.histogram_with(
+                            "jigsaw_serve_request_latency_ns",
+                            "Request handling latency including journaling (ns), by verb.",
+                            &[("verb", v.name)],
+                        ),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn get(&self, verb: &str) -> Option<&(&'static str, Counter, Histogram)> {
+        self.verbs.iter().find(|(name, _, _)| *name == verb)
+    }
+
+    fn total_requests(&self) -> u64 {
+        self.verbs.iter().map(|(_, c, _)| c.get()).sum()
+    }
 }
 
 /// The protocol loop, generic over the streams for testability.
@@ -87,6 +161,7 @@ pub fn serve<R: BufRead, W: Write>(
     tree: FatTree,
     mut allocator: Box<dyn Allocator>,
     mut persist: PersistentState,
+    registry: &Registry,
     reader: R,
     mut out: W,
 ) -> i32 {
@@ -101,83 +176,133 @@ pub fn serve<R: BufRead, W: Write>(
             allocator.adopt(&mut scratch, &alloc);
         }
     }
+    let obs = ServeObs::new(registry);
 
     for line in reader.lines() {
         let Ok(line) = line else { break };
         let fields: Vec<&str> = line.split_whitespace().collect();
+        let Some(&verb) = fields.first() else {
+            continue;
+        };
+        let verb_obs = obs.get(verb);
+        let t0 = verb_obs.map(|(_, requests, latency)| {
+            requests.inc();
+            latency.start()
+        });
+        let mut quit = false;
         let reply = match fields.as_slice() {
             ["ALLOC", id, size] => match (id.parse::<u32>(), size.parse::<u32>()) {
                 (Ok(id), Ok(size)) if size > 0 => {
                     if persist.live().contains_key(&id) {
-                        format!("ERR job {id} already allocated")
+                        Reply::err(ErrCode::Exists, format!("job {id} already allocated"))
                     } else {
                         match allocator
                             .allocate(persist.state_mut(), &JobRequest::new(JobId(id), size))
                         {
-                            Some(alloc) => match persist.commit_grant(&alloc) {
+                            Ok(alloc) => match persist.commit_grant(&alloc) {
                                 Ok(()) => {
-                                    let nodes: Vec<String> =
-                                        alloc.nodes.iter().map(|n| n.0.to_string()).collect();
                                     auto_snapshot(&mut persist);
-                                    format!("GRANT {id} {}", nodes.join(","))
+                                    Reply::Grant {
+                                        id,
+                                        nodes: alloc.nodes.iter().map(|n| n.0).collect(),
+                                    }
                                 }
                                 Err(e) => {
                                     // Keep state and journal agreeing: the
                                     // unjournaled claim is rolled back.
                                     allocator.release(persist.state_mut(), &alloc);
-                                    format!("ERR journal: {e}")
+                                    Reply::err(ErrCode::Journal, e.to_string())
                                 }
                             },
-                            None => format!("DENY {id}"),
+                            Err(reject) => {
+                                Reply::err(ErrCode::Denied, format!("job {id}: {reject}"))
+                            }
                         }
                     }
                 }
-                _ => "ERR bad ALLOC arguments".to_string(),
+                _ => Reply::err(ErrCode::BadRequest, "bad ALLOC arguments"),
             },
             ["FREE", id] => match id.parse::<u32>() {
                 Ok(id) => match persist.commit_release(JobId(id)) {
                     Ok(Some(alloc)) => {
                         allocator.release(persist.state_mut(), &alloc);
                         auto_snapshot(&mut persist);
-                        format!("OK {id}")
+                        Reply::Freed { id }
                     }
-                    Ok(None) => format!("ERR unknown job {id}"),
-                    Err(e) => format!("ERR journal: {e}"),
+                    Ok(None) => {
+                        Reply::err(ErrCode::UnknownJob, format!("job {id} is not allocated"))
+                    }
+                    Err(e) => Reply::err(ErrCode::Journal, e.to_string()),
                 },
-                Err(_) => "ERR bad FREE arguments".to_string(),
+                Err(_) => Reply::err(ErrCode::BadRequest, "bad FREE arguments"),
             },
-            ["STATUS"] => {
-                let used = persist.state().allocated_node_count();
-                let total = tree.num_nodes();
-                format!(
-                    "STATUS nodes={used}/{total} jobs={} util={:.1}%",
-                    persist.live().len(),
-                    100.0 * used as f64 / total as f64
-                )
-            }
+            ["STATUS"] => Reply::Status {
+                used: persist.state().allocated_node_count(),
+                total: tree.num_nodes(),
+                jobs: persist.live().len(),
+            },
             ["TABLES"] => {
                 let allocs: Vec<Allocation> = persist.live_allocations();
                 match RoutingTables::build(&tree, &allocs) {
-                    Ok(tables) => format!("TABLES entries={}", tables.len()),
-                    Err(e) => format!("ERR {e}"),
+                    Ok(tables) => Reply::Tables {
+                        entries: tables.len(),
+                    },
+                    Err(e) => Reply::err(ErrCode::Internal, e.to_string()),
                 }
             }
             ["SNAPSHOT"] => match persist.snapshot() {
-                Ok(seq) => format!("SNAPSHOT seq={seq}"),
-                Err(PersistError::NotDurable) => "ERR no journal configured".to_string(),
-                Err(e) => format!("ERR snapshot: {e}"),
+                Ok(seq) => Reply::Snapshot { seq },
+                Err(PersistError::NotDurable) => {
+                    Reply::err(ErrCode::NotDurable, "no journal configured")
+                }
+                Err(e) => Reply::err(ErrCode::Journal, e.to_string()),
             },
-            ["HELP"] => "OK ALLOC <id> <size> | FREE <id> | STATUS | TABLES | SNAPSHOT | HELP \
-                         | QUIT"
-                .to_string(),
-            ["QUIT"] => {
-                let _ = writeln!(out, "BYE");
-                break;
+            ["STATS"] => {
+                let used = persist.state().allocated_node_count();
+                let total = tree.num_nodes();
+                Reply::Stats {
+                    pairs: vec![
+                        ("scheme".into(), allocator.name().into()),
+                        ("nodes".into(), format!("{used}/{total}")),
+                        ("jobs".into(), persist.live().len().to_string()),
+                        ("seq".into(), persist.last_seq().to_string()),
+                        ("durable".into(), persist.is_durable().to_string()),
+                        ("requests".into(), obs.total_requests().to_string()),
+                        ("errors".into(), obs.errors.get().to_string()),
+                        (
+                            "events_dropped".into(),
+                            registry.events_dropped().to_string(),
+                        ),
+                    ],
+                }
             }
-            [] => continue,
-            _ => format!("ERR unknown command `{line}`"),
+            ["METRICS"] => Reply::Metrics {
+                text: registry.render_prometheus(),
+            },
+            ["HELP"] => Reply::Help,
+            ["QUIT"] => {
+                quit = true;
+                Reply::Bye
+            }
+            _ => Reply::err(
+                if obs.get(verb).is_some() {
+                    ErrCode::BadRequest
+                } else {
+                    ErrCode::UnknownVerb
+                },
+                format!("`{line}`"),
+            ),
         };
+        if reply.is_err() {
+            obs.errors.inc();
+        }
+        if let (Some((_, _, latency)), Some(t0)) = (verb_obs, t0) {
+            latency.observe_since(t0);
+        }
         if writeln!(out, "{reply}").is_err() {
+            break;
+        }
+        if quit {
             break;
         }
     }
@@ -202,22 +327,36 @@ mod tests {
         FatTree::maximal(4).unwrap()
     }
 
-    fn drive_with(persist: PersistentState, script: &str) -> Vec<String> {
+    /// Drive a session and return the registry plus every reply line
+    /// (multi-line replies contribute multiple entries).
+    fn drive_full(mut persist: PersistentState, script: &str) -> (Registry, Vec<String>) {
         let tree = tree();
+        let registry = Registry::new();
+        persist.attach_registry(&registry);
+        let allocator = Box::new(ObservedAllocator::new(
+            SchedulerKind::Jigsaw.make(&tree),
+            &registry,
+        ));
         let mut out = Vec::new();
         let code = serve(
             tree,
-            SchedulerKind::Jigsaw.make(&tree),
+            allocator,
             persist,
+            &registry,
             script.as_bytes(),
             &mut out,
         );
         assert_eq!(code, 0);
-        String::from_utf8(out)
+        let lines = String::from_utf8(out)
             .unwrap()
             .lines()
             .map(String::from)
-            .collect()
+            .collect();
+        (registry, lines)
+    }
+
+    fn drive_with(persist: PersistentState, script: &str) -> Vec<String> {
+        drive_full(persist, script).1
     }
 
     fn drive(script: &str) -> Vec<String> {
@@ -233,57 +372,70 @@ mod tests {
     #[test]
     fn alloc_free_roundtrip() {
         let replies = drive("ALLOC 1 4\nSTATUS\nFREE 1\nSTATUS\nQUIT\n");
-        assert!(replies[0].starts_with("GRANT 1 "));
-        assert_eq!(replies[1], "STATUS nodes=4/16 jobs=1 util=25.0%");
-        assert_eq!(replies[2], "OK 1");
-        assert_eq!(replies[3], "STATUS nodes=0/16 jobs=0 util=0.0%");
-        assert_eq!(replies[4], "BYE");
+        assert!(replies[0].starts_with("OK GRANT 1 "));
+        assert_eq!(replies[1], "OK STATUS nodes=4/16 jobs=1 util=25.0%");
+        assert_eq!(replies[2], "OK FREE 1");
+        assert_eq!(replies[3], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
+        assert_eq!(replies[4], "OK BYE");
     }
 
     #[test]
     fn deny_when_machine_full() {
         let replies = drive("ALLOC 1 16\nALLOC 2 1\nQUIT\n");
-        assert!(replies[0].starts_with("GRANT 1 "));
-        assert_eq!(replies[1], "DENY 2");
+        assert!(replies[0].starts_with("OK GRANT 1 "));
+        assert!(
+            replies[1].starts_with("ERR denied job 2:"),
+            "typed rejection: {}",
+            replies[1]
+        );
     }
 
     #[test]
     fn errors_reported_inline() {
         let replies = drive("ALLOC 1 4\nALLOC 1 4\nFREE 9\nBOGUS\nQUIT\n");
-        assert!(replies[0].starts_with("GRANT"));
-        assert_eq!(replies[1], "ERR job 1 already allocated");
-        assert_eq!(replies[2], "ERR unknown job 9");
-        assert!(replies[3].starts_with("ERR unknown command"));
+        assert!(replies[0].starts_with("OK GRANT"));
+        assert_eq!(replies[1], "ERR exists job 1 already allocated");
+        assert_eq!(replies[2], "ERR unknown-job job 9 is not allocated");
+        assert!(replies[3].starts_with("ERR unknown-verb"));
+    }
+
+    #[test]
+    fn known_verb_with_bad_arity_is_bad_request_not_unknown() {
+        let replies = drive("ALLOC 1\nFREE\nQUIT\n");
+        assert!(replies[0].starts_with("ERR bad-request"), "{}", replies[0]);
+        assert!(replies[1].starts_with("ERR bad-request"), "{}", replies[1]);
     }
 
     #[test]
     fn zero_size_alloc_is_rejected() {
         let replies = drive("ALLOC 1 0\nSTATUS\nQUIT\n");
-        assert_eq!(replies[0], "ERR bad ALLOC arguments");
-        assert_eq!(replies[1], "STATUS nodes=0/16 jobs=0 util=0.0%");
+        assert_eq!(replies[0], "ERR bad-request bad ALLOC arguments");
+        assert_eq!(replies[1], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
     }
 
     #[test]
     fn help_is_a_single_line() {
         let replies = drive("HELP\nQUIT\n");
-        assert!(replies[0].starts_with("OK ALLOC"));
+        assert!(replies[0].starts_with("OK HELP"));
         assert!(replies[0].contains("SNAPSHOT"));
-        assert_eq!(replies[1], "BYE");
+        assert!(replies[0].contains("METRICS"));
+        assert!(replies[0].contains("STATS"));
+        assert_eq!(replies[1], "OK BYE");
     }
 
     #[test]
     fn snapshot_without_journal_is_an_error() {
         let replies = drive("SNAPSHOT\nQUIT\n");
-        assert_eq!(replies[0], "ERR no journal configured");
+        assert_eq!(replies[0], "ERR not-durable no journal configured");
     }
 
     #[test]
     fn tables_reflect_live_jobs() {
         let replies = drive("TABLES\nALLOC 1 8\nTABLES\nQUIT\n");
-        assert_eq!(replies[0], "TABLES entries=0");
-        assert!(replies[1].starts_with("GRANT"));
+        assert_eq!(replies[0], "OK TABLES entries=0");
+        assert!(replies[1].starts_with("OK GRANT"));
         let entries: u32 = replies[2]
-            .strip_prefix("TABLES entries=")
+            .strip_prefix("OK TABLES entries=")
             .unwrap()
             .parse()
             .unwrap();
@@ -294,7 +446,7 @@ mod tests {
     fn grants_carry_exact_node_lists() {
         let replies = drive("ALLOC 7 5\nQUIT\n");
         let nodes: Vec<u32> = replies[0]
-            .strip_prefix("GRANT 7 ")
+            .strip_prefix("OK GRANT 7 ")
             .unwrap()
             .split(',')
             .map(|s| s.parse().unwrap())
@@ -302,6 +454,69 @@ mod tests {
         assert_eq!(nodes.len(), 5);
         let unique: std::collections::HashSet<_> = nodes.iter().collect();
         assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn stats_parse_as_key_value_pairs() {
+        let replies = drive("ALLOC 1 4\nSTATS\nQUIT\n");
+        let stats = &replies[1];
+        assert!(stats.starts_with("OK STATS "), "{stats}");
+        let pairs: std::collections::HashMap<&str, &str> = stats
+            .strip_prefix("OK STATS ")
+            .unwrap()
+            .split_whitespace()
+            .map(|kv| kv.split_once('=').expect("every field is k=v"))
+            .collect();
+        assert_eq!(pairs["scheme"], "Jigsaw");
+        assert_eq!(pairs["nodes"], "4/16");
+        assert_eq!(pairs["jobs"], "1");
+        assert_eq!(pairs["durable"], "false");
+        // The STATS request itself is counted.
+        assert_eq!(pairs["requests"], "2");
+        assert_eq!(pairs["events_dropped"], "0");
+    }
+
+    #[test]
+    fn metrics_expose_prometheus_text_with_declared_line_count() {
+        let replies = drive("ALLOC 1 4\nALLOC 2 99\nFREE 1\nMETRICS\nQUIT\n");
+        let header_at = replies
+            .iter()
+            .position(|l| l.starts_with("OK METRICS "))
+            .expect("METRICS header");
+        let n: usize = replies[header_at]
+            .strip_prefix("OK METRICS ")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let body = &replies[header_at + 1..header_at + 1 + n];
+        assert_eq!(body.len(), n);
+        assert_eq!(replies[header_at + 1 + n], "OK BYE");
+        let text = body.join("\n");
+        // Per-scheme allocator metrics (latency, search effort, typed
+        // rejections) and per-verb serve metrics are all present.
+        assert!(text.contains("jigsaw_alloc_grants_total{scheme=\"Jigsaw\"} 1"));
+        assert!(
+            text.contains("jigsaw_alloc_rejects_total{scheme=\"Jigsaw\",reason=\"no_nodes\"} 1")
+        );
+        assert!(text.contains("jigsaw_alloc_latency_ns_bucket{scheme=\"Jigsaw\","));
+        assert!(text.contains("jigsaw_alloc_search_steps_count{scheme=\"Jigsaw\"} 2"));
+        assert!(text.contains("jigsaw_serve_requests_total{verb=\"ALLOC\"} 2"));
+        assert!(text.contains("jigsaw_serve_requests_total{verb=\"FREE\"} 1"));
+        assert!(text.contains("jigsaw_serve_request_latency_ns_count{verb=\"ALLOC\"} 2"));
+    }
+
+    #[test]
+    fn durable_session_exposes_fsync_latency() {
+        let dir = tmpdir("fsync");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let (registry, replies) = drive_full(ps, "ALLOC 1 4\nFREE 1\nQUIT\n");
+        assert!(replies[0].starts_with("OK GRANT"));
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("jigsaw_journal_fsync_latency_ns_count 2"),
+            "one fsync per committed op: {text}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -320,9 +535,9 @@ mod tests {
         assert_eq!(report.live_jobs, 2);
         let second = drive_with(ps, "STATUS\nFREE 2\nFREE 3\nSTATUS\nQUIT\n");
         assert_eq!(second[0], status);
-        assert_eq!(second[1], "OK 2");
-        assert_eq!(second[2], "OK 3");
-        assert_eq!(second[3], "STATUS nodes=0/16 jobs=0 util=0.0%");
+        assert_eq!(second[1], "OK FREE 2");
+        assert_eq!(second[2], "OK FREE 3");
+        assert_eq!(second[3], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -331,7 +546,7 @@ mod tests {
         let dir = tmpdir("snapverb");
         let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
         let replies = drive_with(ps, "ALLOC 1 4\nALLOC 2 2\nSNAPSHOT\nQUIT\n");
-        assert_eq!(replies[2], "SNAPSHOT seq=2");
+        assert_eq!(replies[2], "OK SNAPSHOT seq=2");
         // Restart recovers from the snapshot, not a long replay.
         let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
         assert_eq!(report.snapshot_seq, Some(2));

@@ -1,10 +1,13 @@
 //! `jigsaw-sched sim --trace <name|file.swf> [...]` — simulate a job queue
-//! and report the paper's metrics.
+//! and report the paper's metrics. With `--metrics` the run also records
+//! the observability registry (engine histograms, backfill counters, event
+//! ring) and emits it as JSON.
 
 use crate::args::{fail, Flags};
 use crate::cmd_trace::builtin_trace;
 use jigsaw_core::SchedulerKind;
-use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_obs::Registry;
+use jigsaw_sim::{simulate_with_obs, SimConfig};
 use jigsaw_topology::FatTree;
 use jigsaw_traces::swf::parse_swf_report;
 use jigsaw_traces::Trace;
@@ -89,10 +92,15 @@ pub fn run(args: &[String]) -> i32 {
         scheme_benefits: kind != SchedulerKind::Baseline,
         ..SimConfig::default()
     };
-    let result = simulate(&tree, kind.make(&tree), &trace, &config);
+    let registry = if flags.has("--metrics") {
+        Registry::new()
+    } else {
+        Registry::disabled()
+    };
+    let result = simulate_with_obs(&tree, kind.make(&tree), &trace, &config, &registry);
 
     if flags.has("--json") {
-        let out = serde_json::json!({
+        let mut out = serde_json::json!({
             "trace": trace.name,
             "jobs": trace.len(),
             "cluster_nodes": tree.num_nodes(),
@@ -108,6 +116,13 @@ pub fn run(args: &[String]) -> i32 {
             "sched_time_per_job": result.avg_sched_time_per_job(),
             "unschedulable": result.unschedulable,
         });
+        if registry.is_enabled() {
+            let metrics: serde_json::Value =
+                serde_json::from_str(&registry.render_json()).expect("registry JSON is valid");
+            if let serde_json::Value::Object(pairs) = &mut out {
+                pairs.push(("metrics".to_string(), metrics));
+            }
+        }
         println!(
             "{}",
             serde_json::to_string_pretty(&out).expect("serializable")
@@ -156,6 +171,9 @@ pub fn run(args: &[String]) -> i32 {
     );
     if result.unschedulable > 0 {
         println!("  unschedulable jobs     {:>10}", result.unschedulable);
+    }
+    if registry.is_enabled() {
+        println!("\nmetrics: {}", registry.render_json());
     }
     0
 }

@@ -17,6 +17,7 @@ mod cmd_serve;
 mod cmd_sim;
 mod cmd_topo;
 mod cmd_trace;
+mod protocol;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -47,14 +48,15 @@ USAGE:
         [--scheme jigsaw|laas|ta|lcs|baseline]
   jigsaw-sched sim   --trace <name|file.swf>     simulate a job queue
         [--scheme S] [--scale F] [--scenario none|5%|10%|20%|v2|random]
-        [--radix R] [--json]
+        [--radix R] [--json] [--metrics]
   jigsaw-sched trace --name <name> [--scale F]   generate a workload
         [--swf | --json]
   jigsaw-sched serve <radix> [--scheme S]        online allocation service
         [--journal DIR] [--snapshot-every N]
         (line protocol: ALLOC id size / FREE id / STATUS / TABLES /
-         SNAPSHOT / HELP / QUIT; --journal makes the session durable and
-         recovers state from DIR on start)
+         SNAPSHOT / STATS / METRICS / HELP / QUIT; replies are
+         `OK <VERB> ...` or `ERR <code> <msg>`; --journal makes the
+         session durable and recovers state from DIR on start)
 
 Built-in traces: Synth-16 Synth-22 Synth-28 Thunder Atlas
                  Aug-Cab Sep-Cab Oct-Cab Nov-Cab

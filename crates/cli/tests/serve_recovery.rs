@@ -55,7 +55,7 @@ impl Session {
     }
 
     fn quit(mut self) {
-        assert_eq!(self.request("QUIT"), "BYE");
+        assert_eq!(self.request("QUIT"), "OK BYE");
         let status = self.child.wait().expect("reap serve");
         assert!(status.success());
     }
@@ -74,12 +74,12 @@ fn hard_killed_session_recovers_identically() {
     // Session 1: build up non-trivial state — grants, a release, a
     // re-grant — then die without warning.
     let mut s = Session::start(&dir);
-    assert!(s.request("ALLOC 1 4").starts_with("GRANT 1 "));
+    assert!(s.request("ALLOC 1 4").starts_with("OK GRANT 1 "));
     let grant2 = s.request("ALLOC 2 6");
-    assert!(grant2.starts_with("GRANT 2 "));
-    assert_eq!(s.request("FREE 1"), "OK 1");
+    assert!(grant2.starts_with("OK GRANT 2 "));
+    assert_eq!(s.request("FREE 1"), "OK FREE 1");
     let grant3 = s.request("ALLOC 3 2");
-    assert!(grant3.starts_with("GRANT 3 "));
+    assert!(grant3.starts_with("OK GRANT 3 "));
     let status_before = s.request("STATUS");
     let tables_before = s.request("TABLES");
     assert!(
@@ -96,10 +96,13 @@ fn hard_killed_session_recovers_identically() {
     assert_eq!(s.request("TABLES"), tables_before);
     // The recovered live set is fully operational: released job ids are
     // really gone, live ones really live.
-    assert_eq!(s.request("FREE 1"), "ERR unknown job 1");
-    assert_eq!(s.request("FREE 2"), "OK 2");
-    assert_eq!(s.request("FREE 3"), "OK 3");
-    assert_eq!(s.request("STATUS"), "STATUS nodes=0/16 jobs=0 util=0.0%");
+    assert_eq!(
+        s.request("FREE 1"),
+        "ERR unknown-job job 1 is not allocated"
+    );
+    assert_eq!(s.request("FREE 2"), "OK FREE 2");
+    assert_eq!(s.request("FREE 3"), "OK FREE 3");
+    assert_eq!(s.request("STATUS"), "OK STATUS nodes=0/16 jobs=0 util=0.0%");
     s.quit();
 
     std::fs::remove_dir_all(&dir).unwrap();
@@ -110,17 +113,17 @@ fn recovery_replays_past_a_snapshot() {
     let dir = tmpdir("snap");
 
     let mut s = Session::start(&dir);
-    assert!(s.request("ALLOC 1 4").starts_with("GRANT 1 "));
-    assert_eq!(s.request("SNAPSHOT"), "SNAPSHOT seq=1");
+    assert!(s.request("ALLOC 1 4").starts_with("OK GRANT 1 "));
+    assert_eq!(s.request("SNAPSHOT"), "OK SNAPSHOT seq=1");
     // Post-snapshot events live only in the journal suffix.
-    assert!(s.request("ALLOC 2 6").starts_with("GRANT 2 "));
-    assert_eq!(s.request("FREE 1"), "OK 1");
+    assert!(s.request("ALLOC 2 6").starts_with("OK GRANT 2 "));
+    assert_eq!(s.request("FREE 1"), "OK FREE 1");
     let status_before = s.request("STATUS");
     s.hard_kill();
 
     let mut s = Session::start(&dir);
     assert_eq!(s.request("STATUS"), status_before);
-    assert_eq!(s.request("FREE 2"), "OK 2");
+    assert_eq!(s.request("FREE 2"), "OK FREE 2");
     s.quit();
 
     std::fs::remove_dir_all(&dir).unwrap();
@@ -131,7 +134,7 @@ fn torn_journal_tail_recovers_to_last_complete_record() {
     let dir = tmpdir("torn");
 
     let mut s = Session::start(&dir);
-    assert!(s.request("ALLOC 1 4").starts_with("GRANT 1 "));
+    assert!(s.request("ALLOC 1 4").starts_with("OK GRANT 1 "));
     let status_at_record_1 = s.request("STATUS");
     s.hard_kill();
 
@@ -144,7 +147,7 @@ fn torn_journal_tail_recovers_to_last_complete_record() {
 
     let mut s = Session::start(&dir);
     assert_eq!(s.request("STATUS"), status_at_record_1);
-    assert_eq!(s.request("FREE 1"), "OK 1");
+    assert_eq!(s.request("FREE 1"), "OK FREE 1");
     s.quit();
 
     std::fs::remove_dir_all(&dir).unwrap();

@@ -3,6 +3,7 @@
 
 use crate::alloc::{release_allocation, Allocation};
 use crate::job::JobRequest;
+use crate::reject::Reject;
 use jigsaw_topology::{FatTree, SystemState};
 use serde::{Deserialize, Serialize};
 
@@ -19,8 +20,17 @@ pub trait Allocator: Send {
     fn name(&self) -> &'static str;
 
     /// Search for an allocation for `req` and, on success, claim it in
-    /// `state`. Returns `None` when no legal placement currently exists.
-    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation>;
+    /// `state`. Returns a typed [`Reject`] naming the binding constraint
+    /// when no legal placement currently exists.
+    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest)
+        -> Result<Allocation, Reject>;
+
+    /// [`Allocator::allocate`] with the rejection reason erased — a
+    /// migration shim for callers that only care whether placement
+    /// succeeded.
+    fn allocate_opt(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
+        self.allocate(state, req).ok()
+    }
 
     /// Release a previously granted allocation.
     fn release(&mut self, state: &mut SystemState, alloc: &Allocation) {

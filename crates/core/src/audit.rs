@@ -195,7 +195,7 @@ mod tests {
                 (live.len() as u32 * 10, 13u32),
                 (live.len() as u32 * 10 + 1, 7),
             ] {
-                if let Some(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
+                if let Ok(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
                     live.push(a);
                 }
             }

@@ -9,6 +9,7 @@
 use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
+use crate::reject::Reject;
 use jigsaw_topology::{FatTree, SystemState};
 
 /// The traditional first-fit node allocator.
@@ -29,10 +30,20 @@ impl Allocator for BaselineAllocator {
         "Baseline"
     }
 
-    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
+    fn allocate(
+        &mut self,
+        state: &mut SystemState,
+        req: &JobRequest,
+    ) -> Result<Allocation, Reject> {
         self.steps = 1;
-        if req.size == 0 || state.free_node_count() < req.size {
-            return None;
+        if req.size == 0 {
+            return Err(Reject::ZeroSize);
+        }
+        if state.free_node_count() < req.size {
+            return Err(Reject::NoNodes {
+                free: state.free_node_count(),
+                requested: req.size,
+            });
         }
         let tree = *state.tree();
         let mut nodes = Vec::with_capacity(req.size as usize);
@@ -61,7 +72,7 @@ impl Allocator for BaselineAllocator {
             shape: Shape::Unstructured,
         };
         claim_allocation(state, &alloc);
-        Some(alloc)
+        Ok(alloc)
     }
 
     fn last_search_steps(&self) -> u64 {
@@ -117,15 +128,23 @@ mod tests {
     #[test]
     fn fails_only_on_node_shortage() {
         let (mut state, mut base) = setup();
-        assert!(base
-            .allocate(&mut state, &JobRequest::new(JobId(1), 17))
-            .is_none());
+        assert_eq!(
+            base.allocate(&mut state, &JobRequest::new(JobId(1), 17)),
+            Err(crate::Reject::NoNodes {
+                free: 16,
+                requested: 17
+            })
+        );
         let _ = base
             .allocate(&mut state, &JobRequest::new(JobId(1), 16))
             .unwrap();
-        assert!(base
-            .allocate(&mut state, &JobRequest::new(JobId(2), 1))
-            .is_none());
+        assert_eq!(
+            base.allocate(&mut state, &JobRequest::new(JobId(2), 1)),
+            Err(crate::Reject::NoNodes {
+                free: 0,
+                requested: 1
+            })
+        );
     }
 
     #[test]

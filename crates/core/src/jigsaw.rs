@@ -15,6 +15,7 @@
 use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
+use crate::reject::Reject;
 use crate::search::{find_three_level_full, find_two_level, Budget, Exclusive};
 use jigsaw_topology::{FatTree, SystemState};
 
@@ -66,8 +67,21 @@ impl Allocator for JigsawAllocator {
         "Jigsaw"
     }
 
-    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
-        let shape = self.find_shape(state, req.size)?;
+    fn allocate(
+        &mut self,
+        state: &mut SystemState,
+        req: &JobRequest,
+    ) -> Result<Allocation, Reject> {
+        if req.size == 0 {
+            return Err(Reject::ZeroSize);
+        }
+        if req.size > state.free_node_count() {
+            return Err(Reject::NoNodes {
+                free: state.free_node_count(),
+                requested: req.size,
+            });
+        }
+        let shape = self.find_shape(state, req.size).ok_or(Reject::NoShape)?;
         let alloc = Allocation::from_shape(state, req.id, req.size, 0, shape);
         debug_assert_eq!(
             alloc.nodes.len() as u32,
@@ -75,7 +89,7 @@ impl Allocator for JigsawAllocator {
             "Jigsaw guarantees N = N_r"
         );
         claim_allocation(state, &alloc);
-        Some(alloc)
+        Ok(alloc)
     }
 
     fn last_search_steps(&self) -> u64 {
@@ -223,7 +237,7 @@ mod tests {
             let (mut state, mut jig) = setup(8);
             let a = jig
                 .allocate(&mut state, &JobRequest::new(JobId(size), size))
-                .unwrap_or_else(|| panic!("size {size} must fit on an empty 128-node tree"));
+                .unwrap_or_else(|e| panic!("size {size} must fit on an empty 128-node tree: {e}"));
             assert_eq!(a.nodes.len() as u32, size, "N = N_r for size {size}");
             state.assert_consistent();
         }
@@ -232,7 +246,7 @@ mod tests {
         for (i, size) in [1u32, 5, 13, 40, 64].iter().enumerate() {
             let a = jig
                 .allocate(&mut state, &JobRequest::new(JobId(i as u32), *size))
-                .unwrap_or_else(|| panic!("size {size} must fit cumulatively"));
+                .unwrap_or_else(|e| panic!("size {size} must fit cumulatively: {e}"));
             assert_eq!(a.nodes.len() as u32, *size);
             state.assert_consistent();
         }
@@ -244,7 +258,7 @@ mod tests {
         let tree = *state.tree();
         for size in 1..=80u32 {
             let mut s = state.clone();
-            if let Some(a) = jig.allocate(&mut s, &JobRequest::new(JobId(size), size)) {
+            if let Ok(a) = jig.allocate(&mut s, &JobRequest::new(JobId(size), size)) {
                 check_shape(&tree, &a.shape)
                     .unwrap_or_else(|v| panic!("size {size}: condition violated: {v}"));
             }
@@ -254,11 +268,11 @@ mod tests {
         loop {
             id += 1;
             match jig.allocate(&mut state, &JobRequest::new(JobId(id), 7)) {
-                Some(a) => {
+                Ok(a) => {
                     check_shape(&tree, &a.shape)
                         .unwrap_or_else(|v| panic!("packed 7-node job violated: {v}"));
                 }
-                None => break,
+                Err(_) => break,
             }
         }
         state.assert_consistent();
@@ -345,12 +359,17 @@ mod tests {
     #[test]
     fn refuses_oversized_and_zero_jobs() {
         let (mut state, mut jig) = setup(4);
-        assert!(jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 17))
-            .is_none());
-        assert!(jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 0))
-            .is_none());
+        assert_eq!(
+            jig.allocate(&mut state, &JobRequest::new(JobId(1), 17)),
+            Err(Reject::NoNodes {
+                free: 16,
+                requested: 17
+            })
+        );
+        assert_eq!(
+            jig.allocate(&mut state, &JobRequest::new(JobId(1), 0)),
+            Err(Reject::ZeroSize)
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
+use crate::reject::Reject;
 use crate::search::{find_three_level_full, Budget, Exclusive, LinkView};
 use jigsaw_topology::state::mask_of;
 use jigsaw_topology::{FatTree, SystemState};
@@ -141,8 +142,21 @@ impl Allocator for LaasAllocator {
         "LaaS"
     }
 
-    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
-        let shape = self.find_shape(state, req.size)?;
+    fn allocate(
+        &mut self,
+        state: &mut SystemState,
+        req: &JobRequest,
+    ) -> Result<Allocation, Reject> {
+        if req.size == 0 {
+            return Err(Reject::ZeroSize);
+        }
+        if req.size > state.tree().num_nodes() || req.size > state.free_node_count() {
+            return Err(Reject::NoNodes {
+                free: state.free_node_count(),
+                requested: req.size,
+            });
+        }
+        let shape = self.find_shape(state, req.size).ok_or(Reject::NoShape)?;
         // `requested` records the true need; the shape's node count is the
         // rounded-up grant (internal fragmentation) for multi-leaf jobs.
         let alloc = Allocation::from_shape(state, req.id, req.size, 0, shape);
@@ -153,7 +167,7 @@ impl Allocator for LaasAllocator {
                 || alloc.nodes.len() as u32 == req.size.div_ceil(w) * w
         );
         claim_allocation(state, &alloc);
-        Some(alloc)
+        Ok(alloc)
     }
 
     fn last_search_steps(&self) -> u64 {
@@ -261,9 +275,10 @@ mod tests {
             state.claim_node(tree.node_at(leaf, 0), JobId(99));
         }
         // Half the machine is free, but LaaS cannot place even a 1-node job.
-        assert!(laas
-            .allocate(&mut state, &JobRequest::new(JobId(1), 1))
-            .is_none());
+        assert_eq!(
+            laas.allocate(&mut state, &JobRequest::new(JobId(1), 1)),
+            Err(Reject::NoShape)
+        );
     }
 
     #[test]
@@ -274,7 +289,7 @@ mod tests {
         let w = state.tree().nodes_per_leaf();
         let mut wasted = 0;
         for (i, size) in (5..=20u32).enumerate() {
-            if let Some(a) = laas.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = laas.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 wasted += a.nodes.len() as u32 - a.requested;
                 assert_eq!(a.nodes.len() as u32, size.div_ceil(w) * w);
             }

@@ -17,6 +17,7 @@
 use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
+use crate::reject::Reject;
 use crate::search::{
     find_three_level_full, find_three_level_general, find_two_level, Budget, Shared,
 };
@@ -35,6 +36,7 @@ pub struct LcsAllocator {
     step_budget: u64,
     per_pod_cap: usize,
     steps: u64,
+    exhausted_last: bool,
 }
 
 impl LcsAllocator {
@@ -53,6 +55,7 @@ impl LcsAllocator {
             step_budget,
             per_pod_cap,
             steps: 0,
+            exhausted_last: false,
         }
     }
 
@@ -178,6 +181,7 @@ impl LcsAllocator {
             None
         };
         self.steps = budget.spent();
+        self.exhausted_last = shape.is_none() && budget.exhausted();
         shape
     }
 }
@@ -187,14 +191,44 @@ impl Allocator for LcsAllocator {
         "LC+S"
     }
 
-    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
+    fn allocate(
+        &mut self,
+        state: &mut SystemState,
+        req: &JobRequest,
+    ) -> Result<Allocation, Reject> {
+        if req.size == 0 {
+            return Err(Reject::ZeroSize);
+        }
+        if req.size > state.free_node_count() {
+            return Err(Reject::NoNodes {
+                free: state.free_node_count(),
+                requested: req.size,
+            });
+        }
         // Nodes are always exclusive; links carry the job's bandwidth class.
         let bw = req.bw_tenths.max(1);
-        let shape = self.find_shape(state, req.size, bw)?;
+        let Some(shape) = self.find_shape(state, req.size, bw) else {
+            if self.exhausted_last {
+                return Err(Reject::BudgetExhausted { spent: self.steps });
+            }
+            // Distinguish "no node placement at all" from "placement exists
+            // but the bandwidth cap blocks it": retry ignoring bandwidth
+            // (a zero reservation always fits under the cap). The retry
+            // runs only on the already-failed path, so the primary search's
+            // effort accounting is restored afterwards.
+            let steps = self.steps;
+            let placement_exists = self.find_shape(state, req.size, 0).is_some();
+            self.steps = steps;
+            return Err(if placement_exists {
+                Reject::NoLinks
+            } else {
+                Reject::NoShape
+            });
+        };
         let alloc = Allocation::from_shape(state, req.id, req.size, bw, shape);
         debug_assert_eq!(alloc.nodes.len() as u32, req.size);
         claim_allocation(state, &alloc);
-        Some(alloc)
+        Ok(alloc)
     }
 
     fn last_search_steps(&self) -> u64 {
@@ -223,8 +257,7 @@ mod tests {
         let (state, mut lcs) = setup(8);
         for size in [1u32, 5, 9, 17, 33, 100] {
             let mut s = state.clone();
-            if let Some(a) =
-                lcs.allocate(&mut s, &JobRequest::with_bandwidth(JobId(size), size, 10))
+            if let Ok(a) = lcs.allocate(&mut s, &JobRequest::with_bandwidth(JobId(size), size, 10))
             {
                 check_shape(state.tree(), &a.shape).unwrap_or_else(|v| panic!("size {size}: {v}"));
                 assert_eq!(a.nodes.len() as u32, size);
@@ -276,10 +309,12 @@ mod tests {
         // (2 nodes still fit on one leaf without links.)
         assert!(lcs
             .allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 2, 5))
-            .is_some());
-        assert!(lcs
-            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(2), 6, 5))
-            .is_none());
+            .is_ok());
+        assert_eq!(
+            lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(2), 6, 5)),
+            Err(Reject::NoLinks),
+            "a placement exists but every link sits at the bandwidth cap"
+        );
     }
 
     #[test]

@@ -19,11 +19,14 @@
 //!
 //! All allocators implement the [`Allocator`] trait over a shared
 //! [`SystemState`](jigsaw_topology::SystemState), return structured
-//! [`Allocation`]s, and can be validated against the paper's formal
-//! conditions via [`conditions::check_shape`].
+//! [`Allocation`]s or a typed [`Reject`] reason, and can be validated
+//! against the paper's formal conditions via [`conditions::check_shape`].
+//! Wrapping any scheme in [`ObservedAllocator`] records per-scheme
+//! latency/effort/rejection metrics into a
+//! [`Registry`](jigsaw_obs::Registry).
 //!
 //! ```
-//! use jigsaw_core::{Allocator, JigsawAllocator, JobRequest, SchedulerKind};
+//! use jigsaw_core::{Allocator, JigsawAllocator, JobRequest, Reject, SchedulerKind};
 //! use jigsaw_topology::{ids::JobId, FatTree, SystemState};
 //!
 //! let tree = FatTree::maximal(16).unwrap(); // 1024 nodes
@@ -38,9 +41,14 @@
 //! assert_eq!(alloc.nodes.len(), 77);
 //! jigsaw_core::conditions::check_shape(&tree, &alloc.shape).unwrap();
 //!
-//! // Every scheme of the paper's evaluation is one constructor away.
+//! // Every scheme of the paper's evaluation is one constructor away, and
+//! // failures carry a typed reason.
 //! let mut ta = SchedulerKind::Ta.make(&tree);
-//! assert!(ta.allocate(&mut state, &JobRequest::new(JobId(2), 5)).is_some());
+//! assert!(ta.allocate(&mut state, &JobRequest::new(JobId(2), 5)).is_ok());
+//! assert_eq!(
+//!     ta.allocate(&mut state, &JobRequest::new(JobId(3), 0)),
+//!     Err(Reject::ZeroSize)
+//! );
 //! ```
 
 #![warn(missing_docs)]
@@ -50,10 +58,12 @@ pub mod allocator;
 pub mod audit;
 pub mod baseline;
 pub mod conditions;
+pub mod instrument;
 pub mod jigsaw;
 pub mod job;
 pub mod laas;
 pub mod lcs;
+pub mod reject;
 pub mod search;
 pub mod ta;
 
@@ -62,8 +72,10 @@ pub use allocator::{Allocator, SchedulerKind};
 pub use audit::{audit_system, AuditError};
 pub use baseline::BaselineAllocator;
 pub use conditions::{check_shape, ConditionViolation};
+pub use instrument::{AllocatorObs, ObservedAllocator};
 pub use jigsaw::JigsawAllocator;
 pub use job::JobRequest;
 pub use laas::LaasAllocator;
 pub use lcs::LcsAllocator;
+pub use reject::Reject;
 pub use ta::TaAllocator;

@@ -1,0 +1,146 @@
+//! Typed allocation-rejection reasons.
+//!
+//! `Allocator::allocate` returns `Result<Allocation, Reject>` so every
+//! consumer — the simulator's backfilling diagnostics, the serve protocol's
+//! `ERR denied` replies, and the obs rejection counters — can see *why* a
+//! placement failed, not just that it did. Each scheme maps its failure
+//! paths onto the variant that names the binding constraint:
+//!
+//! * Baseline fails only on node shortage ([`Reject::NoNodes`]).
+//! * Jigsaw/LaaS fail on shortage or because no legal *shape* exists under
+//!   their placement restrictions ([`Reject::NoShape`]).
+//! * TA additionally rejects placements its class-exclusivity rules forbid
+//!   even though raw nodes are free ([`Reject::SharingConflict`]).
+//! * LC+S can run out of search budget ([`Reject::BudgetExhausted`]) or
+//!   fail purely on link-bandwidth caps ([`Reject::NoLinks`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Why an allocation attempt was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Reject {
+    /// The request asked for zero nodes.
+    ZeroSize,
+    /// Not enough free nodes on the machine, full stop.
+    NoNodes {
+        /// Free nodes at the time of the attempt.
+        free: u32,
+        /// Nodes the job asked for.
+        requested: u32,
+    },
+    /// Enough nodes are free, but no placement satisfies the scheme's
+    /// shape restrictions (external fragmentation).
+    NoShape,
+    /// A node placement exists, but required link bandwidth is unavailable
+    /// under the sharing cap.
+    NoLinks,
+    /// The search gave up after spending its backtracking-step budget
+    /// (LC+S's stand-in for the paper's 5 s timeout).
+    BudgetExhausted {
+        /// Steps spent before giving up.
+        spent: u64,
+    },
+    /// The scheme's class-exclusivity rules forbid sharing the required
+    /// leaves/pods with resident jobs (TA's internal link fragmentation).
+    SharingConflict,
+}
+
+impl Reject {
+    /// Stable snake_case names of every variant, in [`Reject::kind_index`]
+    /// order — used to pre-register per-reason metric labels.
+    pub const ALL_KINDS: [&'static str; 6] = [
+        "zero_size",
+        "no_nodes",
+        "no_shape",
+        "no_links",
+        "budget_exhausted",
+        "sharing_conflict",
+    ];
+
+    /// Stable snake_case name of this variant (a metric label value).
+    pub fn kind(&self) -> &'static str {
+        Self::ALL_KINDS[self.kind_index()]
+    }
+
+    /// Index of this variant into [`Reject::ALL_KINDS`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Reject::ZeroSize => 0,
+            Reject::NoNodes { .. } => 1,
+            Reject::NoShape => 2,
+            Reject::NoLinks => 3,
+            Reject::BudgetExhausted { .. } => 4,
+            Reject::SharingConflict => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::ZeroSize => write!(f, "zero-size request"),
+            Reject::NoNodes { free, requested } => {
+                write!(
+                    f,
+                    "not enough free nodes ({free} free, {requested} requested)"
+                )
+            }
+            Reject::NoShape => write!(f, "no legal placement shape"),
+            Reject::NoLinks => write!(f, "insufficient link bandwidth"),
+            Reject::BudgetExhausted { spent } => {
+                write!(f, "search budget exhausted after {spent} steps")
+            }
+            Reject::SharingConflict => write!(f, "class-sharing rules forbid placement"),
+        }
+    }
+}
+
+impl std::error::Error for Reject {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_exhaustive_and_consistent() {
+        let variants = [
+            Reject::ZeroSize,
+            Reject::NoNodes {
+                free: 1,
+                requested: 2,
+            },
+            Reject::NoShape,
+            Reject::NoLinks,
+            Reject::BudgetExhausted { spent: 3 },
+            Reject::SharingConflict,
+        ];
+        assert_eq!(variants.len(), Reject::ALL_KINDS.len());
+        for (i, v) in variants.iter().enumerate() {
+            assert_eq!(v.kind_index(), i);
+            assert_eq!(v.kind(), Reject::ALL_KINDS[i]);
+        }
+    }
+
+    #[test]
+    fn display_mentions_the_numbers() {
+        let r = Reject::NoNodes {
+            free: 3,
+            requested: 8,
+        };
+        assert!(r.to_string().contains("3 free"));
+        assert!(r.to_string().contains("8 requested"));
+        assert!(Reject::BudgetExhausted { spent: 42 }
+            .to_string()
+            .contains("42 steps"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = Reject::NoNodes {
+            free: 3,
+            requested: 8,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<Reject>(&json).unwrap(), r);
+    }
+}

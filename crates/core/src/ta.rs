@@ -23,6 +23,7 @@
 use crate::alloc::{claim_allocation, release_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
+use crate::reject::Reject;
 use jigsaw_topology::ids::{LeafId, NodeId, PodId};
 use jigsaw_topology::{FatTree, SystemState};
 
@@ -126,10 +127,20 @@ impl Allocator for TaAllocator {
         "TA"
     }
 
-    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
+    fn allocate(
+        &mut self,
+        state: &mut SystemState,
+        req: &JobRequest,
+    ) -> Result<Allocation, Reject> {
         self.steps = 0;
         if req.size == 0 {
-            return None;
+            return Err(Reject::ZeroSize);
+        }
+        if state.free_node_count() < req.size {
+            return Err(Reject::NoNodes {
+                free: state.free_node_count(),
+                requested: req.size,
+            });
         }
         let tree = *state.tree();
         let (nodes, touched) = match self.classify(req.size) {
@@ -146,7 +157,18 @@ impl Allocator for TaAllocator {
                         break;
                     }
                 }
-                let leaf = found?;
+                let Some(leaf) = found else {
+                    // A leaf with room exists but is class-held: the
+                    // sharing rules, not fragmentation, block placement.
+                    let blocked = tree.leaves().any(|l| {
+                        self.leaf_excl[l.idx()] != NONE && state.free_nodes_on_leaf(l) >= req.size
+                    });
+                    return Err(if blocked {
+                        Reject::SharingConflict
+                    } else {
+                        Reject::NoShape
+                    });
+                };
                 self.leaf_small[leaf.idx()] += 1;
                 (
                     tree.nodes_of_leaf(leaf)
@@ -173,7 +195,22 @@ impl Allocator for TaAllocator {
                         break;
                     }
                 }
-                placed?
+                let Some(placed) = placed else {
+                    // Enough free nodes sit in some single pod ignoring
+                    // class eligibility → the sharing rules are what block.
+                    let fits_raw = tree.pods().any(|pod| {
+                        tree.leaves_of_pod(pod)
+                            .map(|l| state.free_nodes_on_leaf(l))
+                            .sum::<u32>()
+                            >= req.size
+                    });
+                    return Err(if fits_raw {
+                        Reject::SharingConflict
+                    } else {
+                        Reject::NoShape
+                    });
+                };
+                placed
             }
             TaClass::Machine => {
                 // Whole machine, skipping pods already hosting a machine job
@@ -190,7 +227,10 @@ impl Allocator for TaAllocator {
                     .map(|l| state.free_nodes_on_leaf(l))
                     .sum();
                 if free < req.size {
-                    return None;
+                    // Raw free nodes suffice (checked on entry); what is
+                    // missing is *eligible* capacity — pods held by other
+                    // machine jobs or class-held leaves.
+                    return Err(Reject::SharingConflict);
                 }
                 let eligible = eligible_pods
                     .iter()
@@ -222,7 +262,7 @@ impl Allocator for TaAllocator {
             shape: Shape::Unstructured,
         };
         claim_allocation(state, &alloc);
-        Some(alloc)
+        Ok(alloc)
     }
 
     fn adopt(&mut self, state: &mut SystemState, alloc: &Allocation) {
@@ -324,9 +364,9 @@ mod tests {
             }
         }
         assert_eq!(state.free_node_count(), 3);
-        assert!(
-            ta.allocate(&mut state, &JobRequest::new(JobId(1), 3))
-                .is_none(),
+        assert_eq!(
+            ta.allocate(&mut state, &JobRequest::new(JobId(1), 3)),
+            Err(Reject::NoShape),
             "TA must reject the spread placement Jigsaw would accept"
         );
     }
@@ -404,9 +444,13 @@ mod tests {
             "{} free",
             state.free_node_count()
         );
-        assert!(ta
-            .allocate(&mut state, &JobRequest::new(JobId(99), 16))
-            .is_none());
+        // Free nodes exist machine-wide but class mixing stranded them one
+        // per leaf, so no single pod can field 16 even ignoring classes:
+        // the attempt reports the shape restriction as binding.
+        assert_eq!(
+            ta.allocate(&mut state, &JobRequest::new(JobId(99), 16)),
+            Err(Reject::NoShape)
+        );
     }
 
     #[test]
@@ -429,7 +473,7 @@ mod tests {
         // A third machine job cannot fit: no two machine-free pods remain.
         assert!(ta
             .allocate(&mut state, &JobRequest::new(JobId(3), 6))
-            .is_none());
+            .is_err());
     }
 
     #[test]
@@ -443,7 +487,7 @@ mod tests {
             .unwrap();
         assert!(ta
             .allocate(&mut state, &JobRequest::new(JobId(3), 6))
-            .is_none());
+            .is_err());
         ta.release(&mut state, &a);
         ta.release(&mut state, &b);
         // Eligibility fully restored.

@@ -255,11 +255,11 @@ fn checker_accepts_all_jigsaw_output_under_heavy_packing() {
     for i in 0.. {
         let size = 1 + (i * 11) % 23;
         match jig.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
-            Some(a) => {
+            Ok(a) => {
                 check_shape(&tree, &a.shape).unwrap();
                 granted += 1;
             }
-            None => break,
+            Err(_) => break,
         }
     }
     assert!(granted > 5);

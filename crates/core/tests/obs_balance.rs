@@ -1,0 +1,86 @@
+//! Property test: the observability layer never drifts from the system
+//! state it watches. For any sequence of allocate/release operations,
+//! grants minus releases equals the number of live jobs, the
+//! `nodes_in_use` gauge tracks the state's allocated-node count exactly,
+//! and after everything is released the books balance to zero.
+
+use jigsaw_core::{Allocation, Allocator, JobRequest, ObservedAllocator, SchedulerKind};
+use jigsaw_obs::Registry;
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+use proptest::prelude::*;
+
+const KINDS: [SchedulerKind; 4] = [
+    SchedulerKind::Jigsaw,
+    SchedulerKind::Baseline,
+    SchedulerKind::Laas,
+    SchedulerKind::Ta,
+];
+
+/// Pull the total of a labeled counter family out of the rendered text —
+/// the only view a monitoring system gets.
+fn prometheus_total(text: &str, metric: &str) -> u64 {
+    text.lines()
+        .filter(|l| l.starts_with(metric) && (l.as_bytes().get(metric.len()) == Some(&b'{')))
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counters_balance_and_gauge_tracks_state(
+        // Each step: (selector, size, index). Selector < 3 allocates
+        // `size` nodes; otherwise releases the live job at `index`.
+        ops in prop::collection::vec((0u8..5, 1u32..=12, 0usize..16), 1..48),
+        kind_idx in 0usize..4,
+    ) {
+        let kind = KINDS[kind_idx];
+        let tree = FatTree::maximal(4).unwrap(); // 16 nodes
+        let registry = Registry::new();
+        let mut alloc = ObservedAllocator::new(kind.make(&tree), &registry);
+        let mut state = SystemState::new(tree);
+        let mut live: Vec<Allocation> = Vec::new();
+        let mut next_id = 0u32;
+
+        for &(sel, size, idx) in &ops {
+            if sel < 3 {
+                next_id += 1;
+                if let Ok(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(next_id), size)) {
+                    live.push(a);
+                }
+            } else if !live.is_empty() {
+                let a = live.remove(idx % live.len());
+                alloc.release(&mut state, &a);
+            }
+            // The gauge is exactly the state's allocated-node count, at
+            // every intermediate point — not only at quiescence.
+            prop_assert_eq!(
+                alloc.obs().nodes_in_use().get(),
+                i64::from(state.allocated_node_count())
+            );
+            prop_assert_eq!(
+                alloc.obs().grants().get() - alloc.obs().releases().get(),
+                live.len() as u64
+            );
+        }
+
+        // Attempts partition into grants + rejects (observed through the
+        // rendered exposition, like a scraper would).
+        let text = registry.render_prometheus();
+        prop_assert_eq!(
+            prometheus_total(&text, "jigsaw_alloc_attempts_total"),
+            prometheus_total(&text, "jigsaw_alloc_grants_total")
+                + prometheus_total(&text, "jigsaw_alloc_rejects_total")
+        );
+
+        // Drain the session: the books balance to zero.
+        for a in live.drain(..) {
+            alloc.release(&mut state, &a);
+        }
+        prop_assert_eq!(alloc.obs().grants().get(), alloc.obs().releases().get());
+        prop_assert_eq!(alloc.obs().nodes_in_use().get(), 0);
+        prop_assert_eq!(state.free_node_count(), 16);
+    }
+}

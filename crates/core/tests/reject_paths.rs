@@ -1,0 +1,122 @@
+//! Every [`Reject`] variant is reachable on a small machine — the typed
+//! rejection API is only useful if each reason can actually be produced
+//! (and therefore tested against) by a consumer.
+
+use jigsaw_core::{JobRequest, LcsAllocator, Reject, SchedulerKind, TaAllocator};
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+
+use jigsaw_core::Allocator;
+
+/// Radix-4 maximal tree: 16 nodes, 4 pods × 2 leaves × 2 nodes.
+fn small() -> FatTree {
+    FatTree::maximal(4).unwrap()
+}
+
+#[test]
+fn zero_size_from_every_scheme() {
+    let tree = small();
+    for kind in [
+        SchedulerKind::Jigsaw,
+        SchedulerKind::Baseline,
+        SchedulerKind::Laas,
+        SchedulerKind::Ta,
+        SchedulerKind::LcS,
+    ] {
+        let mut state = SystemState::new(tree);
+        let mut alloc = kind.make(&tree);
+        assert_eq!(
+            alloc.allocate(&mut state, &JobRequest::new(JobId(1), 0)),
+            Err(Reject::ZeroSize),
+            "{} must reject a zero-size request",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn no_nodes_reports_free_and_requested() {
+    let tree = small();
+    let mut state = SystemState::new(tree);
+    let mut alloc = SchedulerKind::Jigsaw.make(&tree);
+    assert_eq!(
+        alloc.allocate(&mut state, &JobRequest::new(JobId(1), 17)),
+        Err(Reject::NoNodes {
+            free: 16,
+            requested: 17
+        })
+    );
+}
+
+#[test]
+fn no_shape_under_fragmentation() {
+    // One node claimed on every leaf: 8 nodes remain free, but no leaf is
+    // fully free, so Jigsaw (full-leaf multi-leaf shapes) cannot place a
+    // 4-node job — external fragmentation, not node shortage.
+    let tree = small();
+    let mut state = SystemState::new(tree);
+    for leaf in tree.leaves() {
+        state.claim_node(tree.node_at(leaf, 0), JobId(99));
+    }
+    let mut alloc = SchedulerKind::Jigsaw.make(&tree);
+    assert!(state.free_node_count() >= 4);
+    assert_eq!(
+        alloc.allocate(&mut state, &JobRequest::new(JobId(1), 4)),
+        Err(Reject::NoShape)
+    );
+}
+
+#[test]
+fn no_links_when_bandwidth_saturated() {
+    // LC+S is the one scheme with link-bandwidth caps. Saturate every
+    // leaf uplink: a multi-leaf placement exists node-wise but no link
+    // bandwidth is left.
+    let tree = small();
+    let mut state = SystemState::new(tree);
+    for leaf in tree.leaves() {
+        for pos in 0..tree.l2_per_pod() {
+            assert!(state.try_reserve_leaf_link_bw(tree.leaf_link(leaf, pos), 40));
+        }
+    }
+    let mut lcs = LcsAllocator::new(&tree);
+    assert_eq!(
+        lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 6, 5)),
+        Err(Reject::NoLinks)
+    );
+}
+
+#[test]
+fn budget_exhausted_reports_steps_spent() {
+    // Fragment a bigger machine so the fast paths miss, then hand LC+S a
+    // 1-step search budget: it must give up with the steps it spent.
+    let tree = FatTree::maximal(8).unwrap();
+    let mut state = SystemState::new(tree);
+    for leaf in tree.leaves() {
+        state.claim_node(tree.node_at(leaf, 0), JobId(99));
+    }
+    let mut lcs = LcsAllocator::with_budget(&tree, 1, 1);
+    match lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 60, 10)) {
+        Err(Reject::BudgetExhausted { spent }) => assert!(spent >= 1),
+        other => panic!("expected BudgetExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn sharing_conflict_from_ta_class_rules() {
+    // TA's class exclusivity: pod-class jobs hold their leaves. Place a
+    // 3-node pod-class job in every pod; each pod keeps one free node,
+    // but every leaf is now held by a pod job, so a 1-node leaf-class job
+    // is blocked by the sharing rules — with 4 nodes demonstrably free.
+    let tree = small();
+    let mut state = SystemState::new(tree);
+    let mut ta = TaAllocator::new(&tree);
+    for (i, _) in tree.pods().enumerate() {
+        ta.allocate(&mut state, &JobRequest::new(JobId(i as u32), 3))
+            .expect("an empty pod fits a 3-node pod-class job");
+    }
+    assert_eq!(state.free_node_count(), 4);
+    assert_eq!(
+        ta.allocate(&mut state, &JobRequest::new(JobId(10), 1)),
+        Err(Reject::SharingConflict)
+    );
+}

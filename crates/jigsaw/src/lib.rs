@@ -20,7 +20,12 @@
 //! * [`sim`] — discrete-event scheduling simulator with EASY backfilling,
 //! * [`traces`] — workload models, SWF parsing, Table-1 statistics,
 //! * [`persist`] — write-ahead journal, snapshots, and crash recovery for
-//!   the scheduler's allocation state.
+//!   the scheduler's allocation state,
+//! * [`obs`] — zero-dependency observability: counters, log2 histograms,
+//!   gauges, and a bounded event ring behind a [`prelude::Registry`] that
+//!   renders Prometheus text and JSON. Wrap any scheduler in
+//!   [`prelude::ObservedAllocator`] to record per-scheme latency, search
+//!   effort, and typed rejections ([`prelude::Reject`]).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +53,7 @@
 //! ```
 
 pub use jigsaw_core as core;
+pub use jigsaw_obs as obs;
 pub use jigsaw_persist as persist;
 pub use jigsaw_routing as routing;
 pub use jigsaw_sim as sim;
@@ -58,8 +64,9 @@ pub use jigsaw_traces as traces;
 pub mod prelude {
     pub use jigsaw_core::{
         Allocation, Allocator, BaselineAllocator, JigsawAllocator, JobRequest, LaasAllocator,
-        LcsAllocator, SchedulerKind, Shape, TaAllocator,
+        LcsAllocator, ObservedAllocator, Reject, SchedulerKind, Shape, TaAllocator,
     };
+    pub use jigsaw_obs::Registry;
     pub use jigsaw_persist::{PersistError, PersistentState, RecoveryReport};
     pub use jigsaw_routing::{CongestionMap, PartitionRouter, Route};
     pub use jigsaw_sim::{simulate, Scenario, SimConfig, SimResult};

@@ -1,0 +1,256 @@
+//! The three metric primitives: [`Counter`], [`Gauge`], and [`Histogram`].
+//!
+//! Every handle wraps an `Option<Arc<…>>`. A handle created through an
+//! enabled [`Registry`](crate::Registry) carries `Some`; a handle from
+//! [`Registry::disabled()`](crate::Registry::disabled) (or the `disabled()`
+//! constructors here) carries `None`, so every operation on it is a single
+//! branch on a null pointer — no atomics touched, no clock read. That is
+//! what keeps instrumented hot paths honest when observability is off.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of histogram buckets. Bucket 0 holds the value 0; bucket `i`
+/// (for `i >= 1`) holds values with exactly `i` significant bits, i.e.
+/// `[2^(i-1), 2^i - 1]`; the last bucket additionally absorbs everything
+/// larger. 44 buckets cover `[0, 2^43)` — about 2.4 hours in nanoseconds,
+/// comfortably past any latency or search-step count this system produces.
+pub const BUCKET_COUNT: usize = 44;
+
+/// Bucket index for a value: 0 for 0, otherwise the number of significant
+/// bits, clamped into the last bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKET_COUNT - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, as used for Prometheus `le` labels.
+/// The final bucket is unbounded (`u64::MAX` stands in for `+Inf`).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKET_COUNT - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op counter: `inc`/`add` do nothing, `get` reads 0.
+    pub fn disabled() -> Counter {
+        Counter(None)
+    }
+
+    /// `true` if this handle actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A signed gauge that can move in both directions.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A no-op gauge.
+    pub fn disabled() -> Gauge {
+        Gauge(None)
+    }
+
+    /// `true` if this handle actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage behind an enabled [`Histogram`].
+#[derive(Debug)]
+pub struct HistogramCore {
+    pub(crate) buckets: [AtomicU64; BUCKET_COUNT],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Consistent-enough snapshot for rendering: per-bucket counts (not
+    /// cumulative), total count, and sum. Individual loads are relaxed —
+    /// rendering tolerates a metric arriving between loads.
+    pub(crate) fn snapshot(&self) -> ([u64; BUCKET_COUNT], u64, u64) {
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        (
+            buckets,
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A fixed-bucket log2 histogram over `u64` samples (nanoseconds, search
+/// steps, queue depths — anything non-negative).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCore>>);
+
+impl Histogram {
+    /// A no-op histogram: `observe` does nothing, timers never read the
+    /// clock.
+    pub fn disabled() -> Histogram {
+        Histogram(None)
+    }
+
+    /// `true` if this handle actually records.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            h.sum.fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Start timing. Returns `None` — without ever reading the clock —
+    /// when the histogram is disabled; pass the result back to
+    /// [`Histogram::observe_since`] to record the elapsed nanoseconds.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.0.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Record the nanoseconds elapsed since a [`Histogram::start`]. A
+    /// `None` start (disabled at start time) records nothing.
+    #[inline]
+    pub fn observe_since(&self, start: Option<Instant>) {
+        if let Some(t0) = start {
+            self.observe(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+
+    /// Total number of samples (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of all samples (0 when disabled).
+    pub fn sum(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+        // Every value lands in the bucket whose bound covers it.
+        for v in [0u64, 1, 7, 100, 4096, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i), "{v} escapes bucket {i}");
+            if i > 0 {
+                assert!(v > bucket_upper_bound(i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.add(3);
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::disabled();
+        h.observe(42);
+        assert!(h.start().is_none());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+    }
+}

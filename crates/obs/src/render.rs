@@ -1,0 +1,194 @@
+//! Rendering the registry: Prometheus text exposition and JSON.
+//!
+//! Both renderers are hand-rolled so this crate stays dependency-free.
+//! The Prometheus form follows the text exposition format (HELP/TYPE
+//! headers once per family, cumulative `_bucket{le=…}` series for
+//! histograms); the JSON form is a faithful structural dump of the same
+//! data plus the event ring.
+
+use crate::metrics::{bucket_upper_bound, BUCKET_COUNT};
+use crate::ring::EventRing;
+use crate::{Entry, Slot};
+
+/// Escape a label value per the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `{k="v",…}` for a label set; empty string for no labels. `extra`
+/// is appended last (used for `le`).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    if labels.is_empty() && extra.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Prometheus-style text exposition of every registered metric.
+pub(crate) fn prometheus(entries: &[Entry]) -> String {
+    let mut out = String::new();
+    let mut seen_families: Vec<&str> = Vec::new();
+    for e in entries {
+        if !seen_families.contains(&e.name.as_str()) {
+            seen_families.push(&e.name);
+            let ty = match &e.slot {
+                Slot::Counter(_) => "counter",
+                Slot::Gauge(_) => "gauge",
+                Slot::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} {ty}\n",
+                e.name, e.help, e.name
+            ));
+        }
+        match &e.slot {
+            Slot::Counter(c) => {
+                let v = c.load(std::sync::atomic::Ordering::Relaxed);
+                out.push_str(&format!("{}{} {v}\n", e.name, label_block(&e.labels, None)));
+            }
+            Slot::Gauge(g) => {
+                let v = g.load(std::sync::atomic::Ordering::Relaxed);
+                out.push_str(&format!("{}{} {v}\n", e.name, label_block(&e.labels, None)));
+            }
+            Slot::Histogram(h) => {
+                let (buckets, count, sum) = h.snapshot();
+                let mut cumulative = 0u64;
+                for (i, n) in buckets.iter().enumerate() {
+                    cumulative += n;
+                    // Empty interior buckets still render so `le` series
+                    // stay aligned across scrapes, but we skip runs of
+                    // leading zeros past bucket 0 to keep output compact.
+                    if cumulative == 0 && i > 0 && i < BUCKET_COUNT - 1 {
+                        continue;
+                    }
+                    let le = if i == BUCKET_COUNT - 1 {
+                        "+Inf".to_string()
+                    } else {
+                        bucket_upper_bound(i).to_string()
+                    };
+                    out.push_str(&format!(
+                        "{}_bucket{} {cumulative}\n",
+                        e.name,
+                        label_block(&e.labels, Some(("le", &le)))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_sum{} {sum}\n",
+                    e.name,
+                    label_block(&e.labels, None)
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {count}\n",
+                    e.name,
+                    label_block(&e.labels, None)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Escape a string for JSON output.
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// JSON dump of every registered metric plus the event ring.
+pub(crate) fn json(entries: &[Entry], ring: &EventRing) -> String {
+    let mut metrics: Vec<String> = Vec::with_capacity(entries.len());
+    for e in entries {
+        let head = format!(
+            "\"name\":\"{}\",\"help\":\"{}\",\"labels\":{}",
+            escape_json(&e.name),
+            escape_json(&e.help),
+            json_labels(&e.labels)
+        );
+        let body = match &e.slot {
+            Slot::Counter(c) => format!(
+                "\"type\":\"counter\",\"value\":{}",
+                c.load(std::sync::atomic::Ordering::Relaxed)
+            ),
+            Slot::Gauge(g) => format!(
+                "\"type\":\"gauge\",\"value\":{}",
+                g.load(std::sync::atomic::Ordering::Relaxed)
+            ),
+            Slot::Histogram(h) => {
+                let (buckets, count, sum) = h.snapshot();
+                let mut bs: Vec<String> = Vec::new();
+                for (i, n) in buckets.iter().enumerate() {
+                    if *n == 0 {
+                        continue;
+                    }
+                    let le = if i == BUCKET_COUNT - 1 {
+                        "\"+Inf\"".to_string()
+                    } else {
+                        format!("\"{}\"", bucket_upper_bound(i))
+                    };
+                    bs.push(format!("{{\"le\":{le},\"count\":{n}}}"));
+                }
+                format!(
+                    "\"type\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":[{}]",
+                    bs.join(",")
+                )
+            }
+        };
+        metrics.push(format!("{{{head},{body}}}"));
+    }
+    let events: Vec<String> = ring
+        .events()
+        .map(|ev| {
+            let job = match ev.job {
+                Some(j) => j.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"seq\":{},\"kind\":\"{}\",\"job\":{job},\"detail\":\"{}\"}}",
+                ev.seq,
+                ev.kind.as_str(),
+                escape_json(&ev.detail)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"metrics\":[{}],\"events\":[{}],\"events_dropped\":{}}}",
+        metrics.join(","),
+        events.join(","),
+        ring.dropped()
+    )
+}

@@ -40,6 +40,7 @@ use std::path::Path;
 use jigsaw_core::alloc::{claim_allocation, release_allocation};
 use jigsaw_core::audit::{audit_system, AuditError};
 use jigsaw_core::Allocation;
+use jigsaw_obs::{EventKind, Histogram, Registry};
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
 
@@ -180,6 +181,42 @@ impl fmt::Display for RecoveryReport {
     }
 }
 
+/// Durability observability: the latency of journaled appends (the
+/// write-ahead fsync is the dominant cost of every durable operation)
+/// plus journal/snapshot events in the registry's event ring. Disabled by
+/// default; [`PersistentState::attach_registry`] turns it on.
+#[derive(Debug, Clone)]
+pub struct PersistObs {
+    registry: Registry,
+    fsync_ns: Histogram,
+}
+
+impl PersistObs {
+    /// Register the durability metrics in `registry`.
+    pub fn new(registry: &Registry) -> PersistObs {
+        PersistObs {
+            registry: registry.clone(),
+            fsync_ns: registry.histogram(
+                "jigsaw_journal_fsync_latency_ns",
+                "Latency of journaled appends, write + fsync (ns).",
+            ),
+        }
+    }
+
+    /// Inert handles: every record is a no-op.
+    pub fn disabled() -> PersistObs {
+        PersistObs {
+            registry: Registry::disabled(),
+            fsync_ns: Histogram::disabled(),
+        }
+    }
+
+    /// The journal append (write + fsync) latency histogram.
+    pub fn fsync_ns(&self) -> &Histogram {
+        &self.fsync_ns
+    }
+}
+
 /// The scheduler's allocation state plus its durability machinery.
 ///
 /// Owns the [`SystemState`] and the live allocation set, but is
@@ -210,6 +247,7 @@ pub struct PersistentState {
     last_seq: u64,
     events_since_snapshot: u64,
     snapshot_every: u64,
+    obs: PersistObs,
 }
 
 #[derive(Debug)]
@@ -239,6 +277,7 @@ impl PersistentState {
             last_seq,
             events_since_snapshot: report.records_replayed as u64,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            obs: PersistObs::disabled(),
         };
         Ok((me, report))
     }
@@ -252,12 +291,19 @@ impl PersistentState {
             last_seq: 0,
             events_since_snapshot: 0,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            obs: PersistObs::disabled(),
         }
     }
 
     /// `true` if backed by a journal directory.
     pub fn is_durable(&self) -> bool {
         self.backend.is_some()
+    }
+
+    /// Record durability metrics (journal fsync latency, journal and
+    /// snapshot events) into `registry` from now on.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.obs = PersistObs::new(registry);
     }
 
     /// The allocation bookkeeping (read-only).
@@ -317,7 +363,14 @@ impl PersistentState {
                 seq: self.last_seq + 1,
                 event: Event::Grant(alloc.clone()),
             };
+            let t0 = self.obs.fsync_ns.start();
             backend.journal.append(&record)?;
+            self.obs.fsync_ns.observe_since(t0);
+            self.obs
+                .registry
+                .event(EventKind::JournalFsync, Some(alloc.job.0), || {
+                    format!("grant seq={}", record.seq)
+                });
         }
         self.last_seq += 1;
         self.events_since_snapshot += 1;
@@ -338,7 +391,14 @@ impl PersistentState {
                 seq: self.last_seq + 1,
                 event: Event::Release(job),
             };
+            let t0 = self.obs.fsync_ns.start();
             backend.journal.append(&record)?;
+            self.obs.fsync_ns.observe_since(t0);
+            self.obs
+                .registry
+                .event(EventKind::JournalFsync, Some(job.0), || {
+                    format!("release seq={}", record.seq)
+                });
         }
         self.last_seq += 1;
         self.events_since_snapshot += 1;
@@ -371,6 +431,9 @@ impl PersistentState {
         backend.journal.append(&marker)?;
         self.last_seq += 1;
         self.events_since_snapshot = 0;
+        self.obs.registry.event(EventKind::Snapshot, None, || {
+            format!("covered_seq={covered}")
+        });
         Ok(covered)
     }
 
@@ -793,6 +856,44 @@ mod tests {
         assert!(matches!(ps.snapshot(), Err(PersistError::NotDurable)));
         release(&mut ps, 1);
         assert_eq!(ps.state().allocated_node_count(), 0);
+    }
+
+    #[test]
+    fn attached_registry_records_fsyncs_and_snapshot_events() {
+        let dir = tmpdir("obs");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let reg = jigsaw_obs::Registry::new();
+        ps.attach_registry(&reg);
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        release(&mut ps, 1);
+        ps.snapshot().unwrap();
+
+        // One fsync per committed operation (the snapshot marker append is
+        // not timed — it is not on the request path).
+        assert_eq!(ps.obs.fsync_ns().count(), 2);
+        let text = reg.render_prometheus();
+        assert!(text.contains("jigsaw_journal_fsync_latency_ns_count 2"));
+        let kinds: Vec<_> = reg.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::JournalFsync,
+                EventKind::JournalFsync,
+                EventKind::Snapshot
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ephemeral_session_with_registry_records_no_fsyncs() {
+        let mut ps = PersistentState::ephemeral(tree());
+        let reg = jigsaw_obs::Registry::new();
+        ps.attach_registry(&reg);
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        assert_eq!(ps.obs.fsync_ns().count(), 0, "nothing was synced");
     }
 
     #[test]

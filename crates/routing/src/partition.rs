@@ -179,7 +179,10 @@ mod tests {
         let allocs = sizes
             .iter()
             .enumerate()
-            .filter_map(|(i, &s)| jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s)))
+            .filter_map(|(i, &s)| {
+                jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s))
+                    .ok()
+            })
             .collect();
         (tree, allocs)
     }

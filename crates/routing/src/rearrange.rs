@@ -534,7 +534,7 @@ mod tests {
         let sizes = [7u32, 18, 3, 25, 12, 30, 5];
         let mut allocs = Vec::new();
         for (i, &size) in sizes.iter().enumerate() {
-            if let Some(a) = jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 allocs.push(a);
             }
         }

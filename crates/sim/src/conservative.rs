@@ -92,7 +92,7 @@ pub(crate) fn plan(
             if scratch.free_node_count() < size {
                 continue;
             }
-            let Some(alloc) = salloc.allocate(&mut scratch, &req) else {
+            let Ok(alloc) = salloc.allocate(&mut scratch, &req) else {
                 continue;
             };
             // The slot must not collide with reservations that begin while

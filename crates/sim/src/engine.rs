@@ -13,7 +13,8 @@
 use crate::event::{EventKind, EventQueue};
 use crate::metrics::{mean, InstUtilHistogram, JobRecord};
 use crate::scenario::Scenario;
-use jigsaw_core::{Allocation, Allocator, JobRequest};
+use jigsaw_core::{Allocation, Allocator, JobRequest, Reject};
+use jigsaw_obs::{Counter, EventKind as ObsEventKind, Histogram, Registry};
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
 use rand::rngs::StdRng;
@@ -205,6 +206,55 @@ impl SimResult {
     }
 }
 
+/// Simulator engine metrics, recorded by [`simulate_with_obs`]:
+///
+/// * `jigsaw_sim_event_queue_depth` — pending discrete events, observed at
+///   every event-loop tick;
+/// * `jigsaw_sim_wait_queue_length` — jobs waiting after each scheduling
+///   pass;
+/// * `jigsaw_sim_backfill_hits_total` / `jigsaw_sim_backfill_misses_total`
+///   — backfill candidates started early vs. inspected-but-held;
+/// * `jigsaw_sim_reservation_replay_ns` — cost of computing the EASY
+///   shadow reservation by replaying completions on scratch state.
+#[derive(Debug, Clone)]
+pub struct SimObs {
+    registry: Registry,
+    event_queue_depth: Histogram,
+    wait_queue_len: Histogram,
+    backfill_hits: Counter,
+    backfill_misses: Counter,
+    reservation_replay_ns: Histogram,
+}
+
+impl SimObs {
+    /// Register the simulator metric family in `registry`.
+    pub fn new(registry: &Registry) -> SimObs {
+        SimObs {
+            registry: registry.clone(),
+            event_queue_depth: registry.histogram(
+                "jigsaw_sim_event_queue_depth",
+                "Pending discrete events per event-loop tick.",
+            ),
+            wait_queue_len: registry.histogram(
+                "jigsaw_sim_wait_queue_length",
+                "Jobs waiting in the queue after each scheduling pass.",
+            ),
+            backfill_hits: registry.counter(
+                "jigsaw_sim_backfill_hits_total",
+                "Backfill candidates that started ahead of the queue head.",
+            ),
+            backfill_misses: registry.counter(
+                "jigsaw_sim_backfill_misses_total",
+                "Backfill candidates inspected but held back.",
+            ),
+            reservation_replay_ns: registry.histogram(
+                "jigsaw_sim_reservation_replay_ns",
+                "Latency of computing the EASY shadow reservation (ns).",
+            ),
+        }
+    }
+}
+
 /// A running job's allocation and completion time (shared with the
 /// conservative-backfilling planner).
 pub(crate) struct Running {
@@ -217,10 +267,24 @@ pub(crate) struct Running {
 /// Simulate `trace` on `tree` under `allocator`. See the module docs.
 pub fn simulate(
     tree: &FatTree,
-    mut allocator: Box<dyn Allocator>,
+    allocator: Box<dyn Allocator>,
     trace: &jigsaw_traces::Trace,
     config: &SimConfig,
 ) -> SimResult {
+    simulate_with_obs(tree, allocator, trace, config, &Registry::disabled())
+}
+
+/// [`simulate`], recording engine metrics and job events into `registry`
+/// (see [`SimObs`] for the catalog). With a disabled registry this is
+/// exactly `simulate` — every record degrades to a null check.
+pub fn simulate_with_obs(
+    tree: &FatTree,
+    mut allocator: Box<dyn Allocator>,
+    trace: &jigsaw_traces::Trace,
+    config: &SimConfig,
+    registry: &Registry,
+) -> SimResult {
+    let obs = SimObs::new(registry);
     let total_nodes = tree.num_nodes() as f64;
     let mut state = SystemState::new(*tree);
     let mut events = EventQueue::new();
@@ -309,11 +373,19 @@ pub fn simulate(
     let mut fits_empty: HashMap<u32, bool> = HashMap::new();
 
     while let Some(t) = events.peek_time() {
+        obs.event_queue_depth.observe(events.len() as u64);
         // Drain the whole batch at time t.
         while events.peek_time() == Some(t) {
             let (_, kind) = events.pop().unwrap();
             match kind {
-                EventKind::Arrival(idx) => queue.push_back(idx),
+                EventKind::Arrival(idx) => {
+                    let job = &trace.jobs[idx as usize];
+                    obs.registry
+                        .event(ObsEventKind::JobArrival, Some(job.id), || {
+                            format!("size={}", job.size)
+                        });
+                    queue.push_back(idx);
+                }
                 EventKind::Completion(idx, epoch) => {
                     if epochs[idx as usize] != epoch {
                         continue; // stale completion of a killed run
@@ -384,7 +456,7 @@ pub fn simulate(
             let head_job = &trace.jobs[head as usize];
             let req =
                 JobRequest::with_bandwidth(JobId(head_job.id), head_job.size, head_job.bw_tenths);
-            if let Some(alloc) = timed_allocate(
+            if let Ok(alloc) = timed_allocate(
                 &mut allocator,
                 &mut state,
                 &req,
@@ -419,7 +491,7 @@ pub fn simulate(
             let can_fit = *fits_empty.entry(head_job.size).or_insert_with(|| {
                 let mut scratch_state = SystemState::new(*tree);
                 let mut scratch_alloc = allocator.fresh_box();
-                scratch_alloc.allocate(&mut scratch_state, &req).is_some()
+                scratch_alloc.allocate(&mut scratch_state, &req).is_ok()
             });
             if !can_fit {
                 unschedulable += 1;
@@ -433,9 +505,11 @@ pub fn simulate(
                 match config.policy {
                     BackfillPolicy::None => {}
                     BackfillPolicy::Easy => {
-                        if let Some((shadow_time, shadow_alloc)) =
-                            compute_reservation(allocator.as_ref(), &state, &running, &req)
-                        {
+                        let t0 = obs.reservation_replay_ns.start();
+                        let reservation =
+                            compute_reservation(allocator.as_ref(), &state, &running, &req);
+                        obs.reservation_replay_ns.observe_since(t0);
+                        if let Some((shadow_time, shadow_alloc)) = reservation {
                             backfill(
                                 &mut allocator,
                                 &mut state,
@@ -459,6 +533,7 @@ pub fn simulate(
                                 &mut sched_calls,
                                 &mut search_steps,
                                 &mut last_start,
+                                &obs,
                             );
                         }
                     }
@@ -524,6 +599,7 @@ pub fn simulate(
             break;
         }
 
+        obs.wait_queue_len.observe(queue.len() as u64);
         if config.collect_inst_util {
             util_samples.push((t, busy_req as f64 / total_nodes));
         }
@@ -646,7 +722,7 @@ fn timed_allocate(
     sched_wall: &mut f64,
     sched_calls: &mut u64,
     search_steps: &mut u64,
-) -> Option<Allocation> {
+) -> Result<Allocation, Reject> {
     let t0 = Instant::now();
     let result = allocator.allocate(state, req);
     *sched_wall += t0.elapsed().as_secs_f64();
@@ -677,7 +753,7 @@ fn compute_reservation(
         if scratch_state.free_node_count() < req.size {
             continue;
         }
-        if let Some(alloc) = scratch_alloc.allocate(&mut scratch_state, req) {
+        if let Ok(alloc) = scratch_alloc.allocate(&mut scratch_state, req) {
             return Some((run.estimated_end, alloc));
         }
     }
@@ -708,6 +784,7 @@ fn backfill(
     sched_calls: &mut u64,
     search_steps: &mut u64,
     last_start: &mut f64,
+    obs: &SimObs,
 ) {
     let mut i = 1usize;
     let mut inspected = 0usize;
@@ -716,6 +793,7 @@ fn backfill(
         let idx = queue[i];
         let job = &trace.jobs[idx as usize];
         if job.size as u64 > state.free_node_count() as u64 {
+            obs.backfill_misses.inc();
             i += 1;
             continue;
         }
@@ -728,7 +806,7 @@ fn backfill(
             sched_calls,
             search_steps,
         ) {
-            Some(alloc) => {
+            Ok(alloc) => {
                 let finishes_in_time = t + estimates[idx as usize] <= shadow_time + 1e-9;
                 if finishes_in_time || alloc.is_disjoint_from(shadow_alloc) {
                     start_job(
@@ -748,14 +826,23 @@ fn backfill(
                         trace,
                     );
                     *last_start = t;
+                    obs.backfill_hits.inc();
+                    obs.registry
+                        .event(ObsEventKind::Backfill, Some(job.id), || {
+                            format!("size={} ahead_of_head", job.size)
+                        });
                     queue.remove(i);
                     // Do not advance i: the next candidate shifted into i.
                 } else {
                     allocator.release(state, &alloc);
+                    obs.backfill_misses.inc();
                     i += 1;
                 }
             }
-            None => i += 1,
+            Err(_) => {
+                obs.backfill_misses.inc();
+                i += 1;
+            }
         }
     }
 }
@@ -1127,6 +1214,70 @@ mod tests {
         // Over-estimation can only make backfilling more conservative:
         // makespan does not improve.
         assert!(r.makespan + 1e-9 >= exact.makespan * 0.999);
+    }
+
+    #[test]
+    fn obs_records_engine_metrics() {
+        // The backfill scenario: one hit (the short filler) is guaranteed.
+        let trace = Trace::new(
+            "t",
+            16,
+            vec![
+                job(0, 0.0, 9, 100.0),
+                job(1, 1.0, 16, 10.0),
+                job(2, 2.0, 1, 50.0),
+            ],
+        );
+        let tree = FatTree::maximal(4).unwrap();
+        let reg = Registry::new();
+        let r = simulate_with_obs(
+            &tree,
+            jigsaw_core::SchedulerKind::Baseline.make(&tree),
+            &trace,
+            &SimConfig::default(),
+            &reg,
+        );
+        assert_eq!(r.jobs[2].start, 2.0);
+        let text = reg.render_prometheus();
+        assert!(text.contains("jigsaw_sim_backfill_hits_total 1"), "{text}");
+        assert!(text.contains("jigsaw_sim_event_queue_depth_count"));
+        assert!(text.contains("jigsaw_sim_wait_queue_length_count"));
+        assert!(text.contains("jigsaw_sim_reservation_replay_ns_count 1"));
+        let kinds: Vec<_> = reg.events().iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds
+                .iter()
+                .filter(|k| **k == ObsEventKind::JobArrival)
+                .count(),
+            3
+        );
+        assert!(kinds.contains(&ObsEventKind::Backfill));
+        // The registry JSON view the CLI exposes is well-formed.
+        let json = reg.render_json();
+        assert!(json.contains("\"jigsaw_sim_backfill_hits_total\""));
+    }
+
+    #[test]
+    fn simulate_with_disabled_registry_matches_simulate() {
+        let jobs: Vec<TraceJob> = (0..30)
+            .map(|i| job(i, i as f64, 1 + (i % 9), 20.0 + (i % 7) as f64))
+            .collect();
+        let trace = Trace::new("t", 16, jobs);
+        let tree = FatTree::maximal(4).unwrap();
+        let plain = simulate(
+            &tree,
+            jigsaw_core::SchedulerKind::Jigsaw.make(&tree),
+            &trace,
+            &SimConfig::default(),
+        );
+        let observed = simulate_with_obs(
+            &tree,
+            jigsaw_core::SchedulerKind::Jigsaw.make(&tree),
+            &trace,
+            &SimConfig::default(),
+            &Registry::new(),
+        );
+        assert_eq!(plain.jobs, observed.jobs, "observation must not perturb");
     }
 
     #[test]

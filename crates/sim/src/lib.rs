@@ -39,6 +39,9 @@ pub mod event;
 pub mod metrics;
 pub mod scenario;
 
-pub use engine::{simulate, BackfillPolicy, EstimateModel, FailureModel, SimConfig, SimResult};
+pub use engine::{
+    simulate, simulate_with_obs, BackfillPolicy, EstimateModel, FailureModel, SimConfig, SimObs,
+    SimResult,
+};
 pub use metrics::{InstUtilHistogram, JobRecord};
 pub use scenario::Scenario;

@@ -22,7 +22,11 @@ fn main() {
     );
 
     let mut state = SystemState::new(tree);
-    let mut scheduler = JigsawAllocator::new(&tree);
+    // Wrap the scheduler in the observability layer: every allocate and
+    // release is counted and timed into `registry` (latency, search
+    // effort, typed rejections), at the cost of two atomic bumps.
+    let registry = Registry::new();
+    let mut scheduler = ObservedAllocator::new(Box::new(JigsawAllocator::new(&tree)), &registry);
 
     // A mixed batch of job requests, nothing leaf- or pod-aligned.
     let sizes = [3u32, 17, 64, 100, 9, 230, 41];
@@ -34,7 +38,7 @@ fn main() {
     for (i, &size) in sizes.iter().enumerate() {
         let req = JobRequest::new(JobId(i as u32), size);
         match scheduler.allocate(&mut state, &req) {
-            Some(alloc) => {
+            Ok(alloc) => {
                 // Jigsaw grants exactly what was asked (high-utilization
                 // condition N = N_r) and the shape provably satisfies the
                 // paper's formal conditions.
@@ -51,7 +55,7 @@ fn main() {
                 );
                 allocations.push(alloc);
             }
-            None => println!("{i:>4} {size:>6}  -- no isolated placement currently available"),
+            Err(why) => println!("{i:>4} {size:>6}  -- rejected: {why}"),
         }
     }
 
@@ -77,6 +81,15 @@ fn main() {
     }
     assert_eq!(state.free_node_count(), tree.num_nodes());
     println!("released: machine fully free again");
+
+    // The registry recorded the whole session; here are the counters
+    // (`METRICS` in `jigsaw-sched serve` exposes the same text).
+    println!("\nrecorded metrics:");
+    for line in registry.render_prometheus().lines() {
+        if line.starts_with("jigsaw_alloc_") && !line.contains("_bucket") {
+            println!("  {line}");
+        }
+    }
 }
 
 fn shape_kind(shape: &Shape) -> String {

@@ -27,7 +27,7 @@ proptest! {
         let mut live = Vec::new();
         let _ = seed;
         for (i, &size) in batch.iter().enumerate() {
-            if let Some(a) = jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 prop_assert_eq!(a.nodes.len() as u32, size);
                 prop_assert!(check_shape(&tree, &a.shape).is_ok());
                 live.push(a);
@@ -50,7 +50,7 @@ proptest! {
         let mut state = SystemState::new(tree);
         let mut laas = LaasAllocator::new(&tree);
         for (i, &size) in batch.iter().enumerate() {
-            if let Some(a) = laas.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = laas.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 if size <= w {
                     prop_assert_eq!(a.nodes.len() as u32, size);
                 } else {
@@ -64,7 +64,7 @@ proptest! {
         let mut state = SystemState::new(tree);
         let mut strict = LaasAllocator::strict_whole_leaf(&tree);
         for (i, &size) in batch.iter().enumerate() {
-            if let Some(a) = strict.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = strict.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 prop_assert_eq!(a.nodes.len() as u32, size.div_ceil(w) * w);
             }
         }
@@ -82,7 +82,7 @@ proptest! {
         for (i, &s) in presizes.iter().enumerate() {
             let _ = jig.allocate(&mut state, &JobRequest::new(JobId(100 + i as u32), s.min(6)));
         }
-        if let Some(a) = jig.allocate(&mut state, &JobRequest::new(JobId(1), size)) {
+        if let Ok(a) = jig.allocate(&mut state, &JobRequest::new(JobId(1), size)) {
             let mut rng = StdRng::seed_from_u64(seed);
             let perm = random_permutation(&a.nodes, &mut rng);
             let routing = jigsaw::routing::route_permutation(&tree, &a, &perm);
@@ -153,7 +153,7 @@ proptest! {
             let pristine = state.clone();
             let mut live = Vec::new();
             for (i, &size) in batch.iter().enumerate() {
-                if let Some(a) =
+                if let Ok(a) =
                     alloc.allocate(&mut state, &JobRequest::new(JobId(i as u32), size))
                 {
                     live.push(a);

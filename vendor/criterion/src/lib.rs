@@ -7,9 +7,25 @@
 //! saved baselines.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// `--test` smoke mode: run every routine once, skip the timing loops.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable `--test` smoke mode (done by `criterion_main!` when
+/// the harness is invoked as `cargo bench ... -- --test`, mirroring real
+/// criterion). In smoke mode each benchmark routine executes exactly once
+/// — enough for CI to prove the benchmarks still run, in milliseconds.
+pub fn set_test_mode(enabled: bool) {
+    TEST_MODE.store(enabled, Ordering::Relaxed);
+}
+
+fn test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
 
 /// Benchmark identifier: `function_name/parameter`.
 pub struct BenchmarkId {
@@ -59,11 +75,17 @@ impl IntoBenchmarkId for String {
 /// Passed to benchmark closures; runs and times the measured routine.
 pub struct Bencher {
     ns_per_iter: Option<f64>,
+    smoke_ran: bool,
 }
 
 impl Bencher {
     /// Time `routine`, calibrating the iteration count automatically.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if test_mode() {
+            black_box(routine());
+            self.smoke_ran = true;
+            return;
+        }
         // Warm-up and calibration: run once to estimate cost.
         let start = Instant::now();
         black_box(routine());
@@ -161,11 +183,17 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, group: Option<&str>, mut f: F) {
         Some(g) => format!("{g}/{name}"),
         None => name.to_string(),
     };
-    let mut b = Bencher { ns_per_iter: None };
+    let mut b = Bencher {
+        ns_per_iter: None,
+        smoke_ran: false,
+    };
     f(&mut b);
-    match b.ns_per_iter {
-        Some(ns) => println!("bench {label:<60} {ns:>14.1} ns/iter"),
-        None => println!("bench {label:<60}  (no measurement: Bencher::iter never called)"),
+    match (b.ns_per_iter, b.smoke_ran) {
+        (Some(ns), _) => println!("bench {label:<60} {ns:>14.1} ns/iter"),
+        (None, true) => println!("bench {label:<60}  ok (smoke)"),
+        (None, false) => {
+            println!("bench {label:<60}  (no measurement: Bencher::iter never called)")
+        }
     }
 }
 
@@ -185,6 +213,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                $crate::set_test_mode(true);
+            }
             $( $group(); )+
         }
     };
@@ -193,6 +224,16 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn smoke_mode_runs_the_routine_exactly_once() {
+        set_test_mode(true);
+        let mut count = 0u32;
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        set_test_mode(false);
+        assert_eq!(count, 1);
+    }
 
     #[test]
     fn bencher_measures_something() {
