@@ -8,6 +8,7 @@
 //! claims and releases.
 
 use jigsaw_topology::bitset::iter_mask;
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::ids::{JobId, LeafId, LeafLinkId, NodeId, PodId, SpineLinkId};
 use jigsaw_topology::{FatTree, SystemState};
 use serde::{Deserialize, Serialize};
@@ -94,16 +95,16 @@ impl Shape {
                 leaves,
                 rem_leaf,
                 ..
-            } => n_l * leaves.len() as u32 + rem_leaf.map_or(0, |(_, n, _)| n),
+            } => n_l * count_u32(leaves.len()) + rem_leaf.map_or(0, |(_, n, _)| n),
             Shape::ThreeLevel {
                 n_l,
                 trees,
                 rem_tree,
                 ..
             } => {
-                let full: u32 = trees.iter().map(|t| n_l * t.leaves.len() as u32).sum();
+                let full: u32 = trees.iter().map(|t| n_l * count_u32(t.leaves.len())).sum();
                 let rem = rem_tree.as_ref().map_or(0, |r| {
-                    n_l * r.leaves.len() as u32 + r.rem_leaf.map_or(0, |(_, n, _)| n)
+                    n_l * count_u32(r.leaves.len()) + r.rem_leaf.map_or(0, |(_, n, _)| n)
                 });
                 full + rem
             }
@@ -215,14 +216,14 @@ impl Shape {
             for t in trees {
                 for (pos, &slots) in spine_sets.iter().enumerate() {
                     for slot in iter_mask(slots) {
-                        links.push(tree.spine_link_at(t.pod, pos as u32, slot));
+                        links.push(tree.spine_link_at(t.pod, count_u32(pos), slot));
                     }
                 }
             }
             if let Some(r) = rem_tree {
                 for (pos, &slots) in r.spine_sets.iter().enumerate() {
                     for slot in iter_mask(slots) {
-                        links.push(tree.spine_link_at(r.pod, pos as u32, slot));
+                        links.push(tree.spine_link_at(r.pod, count_u32(pos), slot));
                     }
                 }
             }

@@ -22,6 +22,10 @@ pub trait Allocator: Send {
     /// Search for an allocation for `req` and, on success, claim it in
     /// `state`. Returns a typed [`Reject`] naming the binding constraint
     /// when no legal placement currently exists.
+    ///
+    /// On `Ok` the resources are already claimed in `state` — dropping the
+    /// returned [`Allocation`] leaks them, hence `#[must_use]`.
+    #[must_use = "the grant has already claimed nodes and links; dropping it leaks them"]
     fn allocate(&mut self, state: &mut SystemState, req: &JobRequest)
         -> Result<Allocation, Reject>;
 

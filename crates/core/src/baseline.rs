@@ -10,6 +10,7 @@ use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
 use crate::reject::Reject;
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::{FatTree, SystemState};
 
 /// The traditional first-fit node allocator.
@@ -55,13 +56,13 @@ impl Allocator for BaselineAllocator {
             for node in tree.nodes_of_leaf(leaf) {
                 if state.is_node_free(node) {
                     nodes.push(node);
-                    if nodes.len() as u32 == req.size {
+                    if count_u32(nodes.len()) == req.size {
                         break 'leaves;
                     }
                 }
             }
         }
-        debug_assert_eq!(nodes.len() as u32, req.size);
+        debug_assert_eq!(count_u32(nodes.len()), req.size);
         let alloc = Allocation {
             job: req.id,
             requested: req.size,

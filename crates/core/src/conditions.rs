@@ -22,6 +22,7 @@
 
 use crate::alloc::Shape;
 use jigsaw_topology::bitset::iter_mask;
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::state::mask_of;
 use jigsaw_topology::FatTree;
 use std::collections::HashSet;
@@ -245,7 +246,7 @@ fn check_three_level(
             return Err(ConditionViolation::DuplicateResource("pod"));
         }
         // Condition 1/2: every full tree has exactly L_T leaves of n_L nodes.
-        if t.leaves.len() as u32 != l_t {
+        if count_u32(t.leaves.len()) != l_t {
             return Err(ConditionViolation::BadCount(
                 "full tree with wrong leaf count",
             ));
@@ -292,7 +293,7 @@ fn check_three_level(
         if !pods_seen.insert(rem.pod) {
             return Err(ConditionViolation::DuplicateResource("remainder pod"));
         }
-        let l_rt = rem.leaves.len() as u32;
+        let l_rt = count_u32(rem.leaves.len());
         let n_rl = rem.rem_leaf.map_or(0, |(_, n, _)| n);
         // Condition 1: n_T^r < n_T.
         if l_rt * n_l + n_rl >= l_t * n_l {

@@ -17,6 +17,7 @@ use crate::allocator::Allocator;
 use crate::job::JobRequest;
 use crate::reject::Reject;
 use crate::search::{find_three_level_full, find_two_level, Budget, Exclusive};
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::{FatTree, SystemState};
 
 /// The Jigsaw job-isolating allocator. See the module docs.
@@ -84,7 +85,7 @@ impl Allocator for JigsawAllocator {
         let shape = self.find_shape(state, req.size).ok_or(Reject::NoShape)?;
         let alloc = Allocation::from_shape(state, req.id, req.size, 0, shape);
         debug_assert_eq!(
-            alloc.nodes.len() as u32,
+            count_u32(alloc.nodes.len()),
             req.size,
             "Jigsaw guarantees N = N_r"
         );

@@ -28,6 +28,7 @@ use crate::allocator::Allocator;
 use crate::job::JobRequest;
 use crate::reject::Reject;
 use crate::search::{find_three_level_full, Budget, Exclusive, LinkView};
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::state::mask_of;
 use jigsaw_topology::{FatTree, SystemState};
 
@@ -160,11 +161,11 @@ impl Allocator for LaasAllocator {
         // `requested` records the true need; the shape's node count is the
         // rounded-up grant (internal fragmentation) for multi-leaf jobs.
         let alloc = Allocation::from_shape(state, req.id, req.size, 0, shape);
-        debug_assert!(alloc.nodes.len() as u32 >= req.size);
+        debug_assert!(count_u32(alloc.nodes.len()) >= req.size);
         let w = state.tree().nodes_per_leaf();
         debug_assert!(
-            (self.pack_subleaf && req.size <= w && alloc.nodes.len() as u32 == req.size)
-                || alloc.nodes.len() as u32 == req.size.div_ceil(w) * w
+            (self.pack_subleaf && req.size <= w && count_u32(alloc.nodes.len()) == req.size)
+                || count_u32(alloc.nodes.len()) == req.size.div_ceil(w) * w
         );
         claim_allocation(state, &alloc);
         Ok(alloc)

@@ -21,6 +21,7 @@ use crate::reject::Reject;
 use crate::search::{
     find_three_level_full, find_three_level_general, find_two_level, Budget, Shared,
 };
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::{FatTree, SystemState};
 
 /// Default backtracking-step budget per allocation attempt, standing in for
@@ -226,7 +227,7 @@ impl Allocator for LcsAllocator {
             });
         };
         let alloc = Allocation::from_shape(state, req.id, req.size, bw, shape);
-        debug_assert_eq!(alloc.nodes.len() as u32, req.size);
+        debug_assert_eq!(count_u32(alloc.nodes.len()), req.size);
         claim_allocation(state, &alloc);
         Ok(alloc)
     }

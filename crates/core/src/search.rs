@@ -25,6 +25,7 @@
 
 use crate::alloc::{RemTree, Shape, TreeAlloc};
 use jigsaw_topology::bitset::{iter_mask, lowest_n_bits};
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::ids::{L2Id, LeafId, PodId};
 use jigsaw_topology::state::mask_of;
 use jigsaw_topology::SystemState;
@@ -124,11 +125,13 @@ impl LinkView for Shared {
     }
 
     fn full_leaves_in_pod(&self, state: &SystemState, pod: PodId) -> u32 {
-        state
-            .tree()
-            .leaves_of_pod(pod)
-            .filter(|&l| self.is_full_leaf(state, l))
-            .count() as u32
+        count_u32(
+            state
+                .tree()
+                .leaves_of_pod(pod)
+                .filter(|&l| self.is_full_leaf(state, l))
+                .count(),
+        )
     }
 }
 
@@ -218,7 +221,7 @@ pub fn find_two_level<V: LinkView>(
             }
         }
     }
-    if (candidates.len() as u32) < l_t {
+    if count_u32(candidates.len()) < l_t {
         return None;
     }
 
@@ -252,7 +255,7 @@ fn search_leaves<V: LinkView>(
     chosen: &mut Vec<LeafId>,
     budget: &mut Budget,
 ) -> Option<TwoLevelPick> {
-    if chosen.len() as u32 == l_t {
+    if count_u32(chosen.len()) == l_t {
         return complete_two_level(state, view, pod, inter, n_l, n_r, chosen, budget);
     }
     if budget.exhausted() {
@@ -403,7 +406,7 @@ pub fn find_three_level_full<V: LinkView>(
         .pods()
         .filter(|&p| view.full_leaves_in_pod(state, p) >= l_t)
         .collect();
-    if (pods.len() as u32) < t_full {
+    if count_u32(pods.len()) < t_full {
         return None;
     }
 
@@ -439,7 +442,7 @@ fn search_pods_full<V: LinkView>(
     budget: &mut Budget,
 ) -> Option<ThreeLevelPick> {
     let tree = state.tree();
-    if chosen.len() as u32 == t_full {
+    if count_u32(chosen.len()) == t_full {
         return complete_three_level_full(state, view, chosen, &inter, l_t, l_rt, n_rl, budget);
     }
     if budget.exhausted() {
@@ -456,7 +459,7 @@ fn search_pods_full<V: LinkView>(
         let pod = pods[i];
         let mut next = inter.clone();
         for (pos, slot_mask) in next.iter_mut().enumerate() {
-            *slot_mask &= view.spine_avail_mask(state, tree.l2_at(pod, pos as u32));
+            *slot_mask &= view.spine_avail_mask(state, tree.l2_at(pod, count_u32(pos)));
             if slot_mask.count_ones() < l_t {
                 continue 'pods;
             }
@@ -623,7 +626,7 @@ fn full_leaves<V: LinkView>(
 ) -> Vec<LeafId> {
     let mut out = Vec::with_capacity(count as usize);
     for leaf in state.tree().leaves_of_pod(pod) {
-        if out.len() as u32 == count {
+        if count_u32(out.len()) == count {
             break;
         }
         if Some(leaf) != skip && view.is_full_leaf(state, leaf) {
@@ -631,7 +634,7 @@ fn full_leaves<V: LinkView>(
         }
     }
     debug_assert_eq!(
-        out.len() as u32,
+        count_u32(out.len()),
         count,
         "caller verified full-leaf availability"
     );
@@ -678,7 +681,7 @@ pub fn find_three_level_general<V: LinkView>(
             solutions.push((pod, sltns));
         }
     }
-    if (solutions.len() as u32) < t_full {
+    if count_u32(solutions.len()) < t_full {
         return None;
     }
 
@@ -725,7 +728,7 @@ fn collect_pod_solutions<V: LinkView>(
             }
         }
     }
-    if (candidates.len() as u32) < l_t {
+    if count_u32(candidates.len()) < l_t {
         return;
     }
     let mut chosen = Vec::with_capacity(l_t as usize);
@@ -757,7 +760,7 @@ fn collect_rec(
     if out.len() >= cap || budget.exhausted() {
         return;
     }
-    if chosen.len() as u32 == l_t {
+    if count_u32(chosen.len()) == l_t {
         // Keep solutions with distinct intersections only — duplicates add
         // no matching power at the L3 stage.
         if !out.iter().any(|s| s.inter == inter) {
@@ -807,7 +810,7 @@ fn search_pods_general<V: LinkView>(
     budget: &mut Budget,
 ) -> Option<ThreeLevelPick> {
     let tree = state.tree();
-    if chosen.len() as u32 == t_full {
+    if count_u32(chosen.len()) == t_full {
         return complete_three_level_general(
             state,
             view,
@@ -897,12 +900,11 @@ fn complete_three_level_general<V: LinkView>(
     let tree = state.tree();
     let m = tree.l2_per_pod() as usize;
 
-    let lookup = |pod: PodId, si: usize| -> &PodSolution {
-        let (_, sltns) = solutions
-            .iter()
-            .find(|(p, _)| *p == pod)
-            .expect("chosen pod");
-        &sltns[si]
+    // `chosen` only ever holds pods drawn from `solutions`, so the lookup
+    // cannot miss; propagating the `Option` keeps this fn panic-free anyway.
+    let lookup = |pod: PodId, si: usize| -> Option<&PodSolution> {
+        let (_, sltns) = solutions.iter().find(|(p, _)| *p == pod)?;
+        sltns.get(si)
     };
 
     // Positions usable for S: in every chosen sub-solution's intersection
@@ -910,7 +912,7 @@ fn complete_three_level_general<V: LinkView>(
     let usable: Vec<u32> = iter_mask(pos_cand)
         .filter(|&pos| spine_inter[pos as usize].count_ones() >= l_t)
         .collect();
-    if (usable.len() as u32) < n_l {
+    if count_u32(usable.len()) < n_l {
         return None;
     }
 
@@ -923,11 +925,13 @@ fn complete_three_level_general<V: LinkView>(
         }
         let trees = chosen
             .iter()
-            .map(|&(pod, si)| TreeAlloc {
-                pod,
-                leaves: lookup(pod, si).leaves.clone(),
+            .map(|&(pod, si)| {
+                Some(TreeAlloc {
+                    pod,
+                    leaves: lookup(pod, si)?.leaves.clone(),
+                })
             })
-            .collect();
+            .collect::<Option<_>>()?;
         return Some(ThreeLevelPick {
             n_l,
             l_t,
@@ -959,7 +963,7 @@ fn complete_three_level_general<V: LinkView>(
             .copied()
             .filter(|&pos| pod_spines[pos as usize].count_ones() >= l_rt)
             .collect();
-        if (ranked.len() as u32) < n_l {
+        if count_u32(ranked.len()) < n_l {
             continue 'rem;
         }
         ranked.sort_by_key(|&pos| std::cmp::Reverse(pod_spines[pos as usize].count_ones()));
@@ -971,14 +975,14 @@ fn complete_three_level_general<V: LinkView>(
         let mut rem_leaf = None;
         let mut s_r = 0u64;
         for leaf in tree.leaves_of_pod(pod) {
-            if (rem_leaves.len() as u32) < l_rt
+            if count_u32(rem_leaves.len()) < l_rt
                 && state.free_nodes_on_leaf(leaf) >= n_l
                 && view.leaf_avail_mask(state, leaf) & l2_set == l2_set
             {
                 rem_leaves.push(leaf);
             }
         }
-        if (rem_leaves.len() as u32) < l_rt {
+        if count_u32(rem_leaves.len()) < l_rt {
             continue 'rem;
         }
         if n_rl > 0 {
@@ -1027,11 +1031,13 @@ fn complete_three_level_general<V: LinkView>(
 
         let trees = chosen
             .iter()
-            .map(|&(p, si)| TreeAlloc {
-                pod: p,
-                leaves: lookup(p, si).leaves.clone(),
+            .map(|&(p, si)| {
+                Some(TreeAlloc {
+                    pod: p,
+                    leaves: lookup(p, si)?.leaves.clone(),
+                })
             })
-            .collect();
+            .collect::<Option<_>>()?;
         return Some(ThreeLevelPick {
             n_l,
             l_t,

@@ -24,6 +24,7 @@ use crate::alloc::{claim_allocation, release_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
 use crate::reject::Reject;
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::ids::{LeafId, NodeId, PodId};
 use jigsaw_topology::{FatTree, SystemState};
 
@@ -99,7 +100,7 @@ impl TaAllocator {
         let mut nodes = Vec::with_capacity(size as usize);
         let mut touched = Vec::new();
         for leaf in leaves {
-            if nodes.len() as u32 == size {
+            if count_u32(nodes.len()) == size {
                 break;
             }
             if state.free_nodes_on_leaf(leaf) == 0 {
@@ -107,7 +108,7 @@ impl TaAllocator {
             }
             let before = nodes.len();
             for node in tree.nodes_of_leaf(leaf) {
-                if nodes.len() as u32 == size {
+                if count_u32(nodes.len()) == size {
                     break;
                 }
                 if state.is_node_free(node) {
@@ -248,7 +249,7 @@ impl Allocator for TaAllocator {
             }
         };
 
-        debug_assert_eq!(nodes.len() as u32, req.size);
+        debug_assert_eq!(count_u32(nodes.len()), req.size);
         for leaf in touched {
             self.leaf_excl[leaf.idx()] = req.id.0;
         }

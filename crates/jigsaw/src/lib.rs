@@ -52,6 +52,8 @@
 //! assert!(routing.max_link_load(&tree) <= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use jigsaw_core as core;
 pub use jigsaw_obs as obs;
 pub use jigsaw_persist as persist;

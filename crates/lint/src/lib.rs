@@ -1,0 +1,267 @@
+//! jigsaw-lint: the workspace's static invariant checker.
+//!
+//! The Jigsaw scheduler's central guarantee — every node and link
+//! exclusively assigned to at most one job — is defended at runtime by
+//! `jigsaw_core::audit` and at the source level by this tool. It walks the
+//! workspace's Rust sources with a hand-rolled lexer (no `syn`, no
+//! dependencies at all) and enforces the project rule catalog R1–R5; see
+//! [`rules`] for the catalog and DESIGN.md §10 for the rationale.
+//!
+//! The crate is a library plus a thin `main.rs` so the integration tests
+//! can drive the engine directly against golden fixtures.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{FileClass, FileReport, Violation, Waiver};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregated result of linting a whole tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub waived: Vec<Waiver>,
+    /// `(file, line)` of suppression comments that matched nothing.
+    pub unused_suppressions: Vec<(String, u32)>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when nothing needs fixing: no violations and no stale waivers.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.unused_suppressions.is_empty()
+    }
+
+    fn absorb(&mut self, file: FileReport) {
+        self.violations.extend(file.violations);
+        self.waived.extend(file.waived);
+    }
+}
+
+/// Directories never descended into: build output, vendored third-party
+/// code, and the lint's own deliberately-violating fixtures.
+fn skip_dir(rel: &str) -> bool {
+    matches!(rel, "target" | "vendor" | ".git" | ".github") || rel == "crates/lint/tests/fixtures"
+}
+
+/// Lint one in-memory source file. `rel_path` is workspace-relative with
+/// `/` separators; it decides which rules apply.
+pub fn lint_source(rel_path: &str, src: &str) -> FileReport {
+    rules::check_file(src, &FileClass::of(rel_path))
+}
+
+/// Walk `root` (a workspace checkout) and lint every `.rs` file outside
+/// the skip list. I/O errors abort: a lint that silently skips unreadable
+/// files would report "clean" on a broken tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let file_report = lint_source(&rel, &src);
+        report.unused_suppressions.extend(
+            file_report
+                .unused_suppressions
+                .iter()
+                .map(|&l| (rel.clone(), l)),
+        );
+        report.absorb(file_report);
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
+    Ok(report)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = rel_path(root, &path);
+        let ty = entry.file_type()?;
+        if ty.is_dir() {
+            if !skip_dir(&rel) {
+                collect_rs_files(root, &path, out)?;
+            }
+        } else if ty.is_file() && rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Find the workspace root by ascending from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+// --- rendering --------------------------------------------------------------
+
+/// Human-readable report: one `file:line:col RULE message` line per
+/// violation, then waiver and stale-suppression summaries.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}:{} {} {}\n",
+            v.file, v.line, v.col, v.rule, v.message
+        ));
+    }
+    if !report.waived.is_empty() {
+        out.push_str(&format!("\n{} waived finding(s):\n", report.waived.len()));
+        for w in &report.waived {
+            out.push_str(&format!(
+                "  {}:{} {} -- {}\n",
+                w.file, w.line, w.rule, w.reason
+            ));
+        }
+    }
+    for (file, line) in &report.unused_suppressions {
+        out.push_str(&format!(
+            "{file}:{line} unused suppression: no finding on this or the next line\n"
+        ));
+    }
+    out.push_str(&format!(
+        "\n{} file(s) scanned, {} violation(s), {} waived, {} unused suppression(s)\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived.len(),
+        report.unused_suppressions.len()
+    ));
+    out
+}
+
+/// Machine-readable report. Hand-rolled emitter (the crate has no
+/// dependencies); the integration tests parse it back with the vendored
+/// `serde_json` to prove it is well-formed.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&v.file),
+            v.line,
+            v.col,
+            json_str(v.rule),
+            json_str(&v.message)
+        ));
+    }
+    out.push_str("\n  ],\n  \"waived\": [");
+    for (i, w) in report.waived.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {}}}",
+            json_str(&w.file),
+            w.line,
+            json_str(w.rule),
+            json_str(&w.reason)
+        ));
+    }
+    out.push_str("\n  ],\n  \"unused_suppressions\": [");
+    for (i, (file, line)) in report.unused_suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}}}",
+            json_str(file),
+            line
+        ));
+    }
+    out.push_str(&format!(
+        "\n  ],\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+        report.files_scanned,
+        report.is_clean()
+    ));
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_controls_and_quotes() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn skip_list_blocks_vendor_and_fixtures() {
+        assert!(skip_dir("vendor"));
+        assert!(skip_dir("target"));
+        assert!(skip_dir("crates/lint/tests/fixtures"));
+        assert!(!skip_dir("crates/lint/tests"));
+        assert!(!skip_dir("crates/core"));
+    }
+
+    #[test]
+    fn lint_source_routes_by_path() {
+        let bad = "fn f() { x.unwrap(); }";
+        assert_eq!(lint_source("crates/core/src/x.rs", bad).violations.len(), 1);
+        assert!(lint_source("crates/cli/src/x.rs", bad)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn render_text_includes_rule_and_position() {
+        let rep = lint_source("crates/core/src/x.rs", "fn f() { x.unwrap(); }");
+        let mut full = Report::default();
+        full.absorb(rep);
+        full.files_scanned = 1;
+        let text = render_text(&full);
+        assert!(text.contains("crates/core/src/x.rs:1:12 R1"));
+    }
+}

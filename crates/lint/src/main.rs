@@ -1,0 +1,98 @@
+//! CLI entry point for jigsaw-lint.
+//!
+//! ```text
+//! cargo run -p jigsaw-lint --          # report, exit 0
+//! cargo run -p jigsaw-lint -- --deny   # exit 1 on any violation (CI mode)
+//! cargo run -p jigsaw-lint -- --json   # machine-readable report
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Flags {
+    deny: bool,
+    json: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_flags() -> Result<Flags, String> {
+    let mut flags = Flags {
+        deny: false,
+        json: false,
+        root: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => flags.deny = true,
+            "--json" => flags.json = true,
+            "--root" => {
+                let v = args.next().ok_or("--root needs a path")?;
+                flags.root = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "jigsaw-lint: enforce the workspace safety contracts (R1-R5)\n\n\
+                     USAGE: jigsaw-lint [--deny] [--json] [--root <dir>]\n\n\
+                     --deny        exit nonzero on any violation or stale suppression\n\
+                     --json        emit a machine-readable report\n\
+                     --root <dir>  lint this tree instead of the enclosing workspace\n\n\
+                     Rules are documented in DESIGN.md section 10. Waive a finding with\n\
+                     `// jigsaw-lint: allow(R1) -- <reason>` on the same or previous line."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(flags)
+}
+
+fn main() -> ExitCode {
+    let flags = match parse_flags() {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("jigsaw-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match flags.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match jigsaw_lint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "jigsaw-lint: no workspace Cargo.toml above {} (use --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match jigsaw_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("jigsaw-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if flags.json {
+        print!("{}", jigsaw_lint::render_json(&report));
+    } else {
+        print!("{}", jigsaw_lint::render_text(&report));
+    }
+
+    if flags.deny && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

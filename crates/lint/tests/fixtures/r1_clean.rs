@@ -1,0 +1,18 @@
+// Fixture: checked alternatives, test-scoped panics, and allowed idioms.
+fn read_config(path: &str) -> Option<u32> {
+    let text = std::fs::read_to_string(path).ok()?;
+    text.trim().parse().ok()
+}
+
+fn fallback(v: Option<u32>) -> u32 {
+    v.unwrap_or(7) // unwrap_or is not unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        super::read_config("x").unwrap();
+        panic!("fine here");
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: every R1 pattern fires in library-crate source outside tests.
+fn read_config(path: &str) -> u32 {
+    let text = std::fs::read_to_string(path).unwrap();
+    let n: u32 = text.trim().parse().expect("a number");
+    if n == 0 {
+        panic!("zero config");
+    }
+    n
+}

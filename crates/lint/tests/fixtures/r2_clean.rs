@@ -1,0 +1,8 @@
+// Fixture: widening casts and checked conversions are fine.
+fn ids(nodes: &[u32]) -> (usize, u64, f64, Option<u16>) {
+    let as_usize = nodes[0] as usize;
+    let as_u64 = nodes[0] as u64;
+    let as_f64 = nodes[0] as f64;
+    let checked: Option<u16> = nodes[0].try_into().ok();
+    (as_usize, as_u64, as_f64, checked)
+}

@@ -1,0 +1,6 @@
+// Fixture: narrowing casts on id/capacity arithmetic.
+fn ids(nodes: &[u64]) -> Vec<u32> {
+    let first = nodes[0] as u32;
+    let count = nodes.len() as u16;
+    vec![first, u32::from(count)]
+}

@@ -1,0 +1,8 @@
+// Fixture: reads and audited-entry-point calls are fine anywhere.
+fn inspect(state: &SystemState, n: NodeId) -> bool {
+    state.node_owner(n).is_none()
+}
+
+fn grant(state: &mut SystemState, alloc: &Allocation) {
+    claim_allocation(state, alloc);
+}

@@ -1,0 +1,5 @@
+// Fixture: direct state mutation outside the audited entry points.
+fn grab(state: &mut SystemState, n: NodeId, j: JobId) {
+    state.claim_node(n, j);
+    state.release_node(n);
+}

@@ -1,0 +1,10 @@
+// Fixture: the reasoned #[must_use] form satisfies R4.
+#[must_use = "the grant has already claimed resources"]
+pub fn allocate(state: &mut SystemState, req: &JobRequest) -> Result<Allocation, Reject> {
+    plan(state, req)
+}
+
+// Results that are neither grants nor persist I/O need no attribute.
+pub fn parse(text: &str) -> Result<u32, String> {
+    text.parse().map_err(|_| "bad".to_string())
+}

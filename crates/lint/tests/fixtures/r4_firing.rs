@@ -1,0 +1,4 @@
+// Fixture: a grant-returning pub fn without #[must_use].
+pub fn allocate(state: &mut SystemState, req: &JobRequest) -> Result<Allocation, Reject> {
+    plan(state, req)
+}

@@ -1,0 +1,4 @@
+// Fixture: safe code referring to "unsafe" only in strings and comments.
+fn describe() -> &'static str {
+    "this crate forbids unsafe code"
+}

@@ -1,0 +1,10 @@
+// Fixture: unsafe is banned everywhere, even inside test modules.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sneaky() {
+        let x = [1u8, 2];
+        let first = unsafe { *x.as_ptr() };
+        assert_eq!(first, 1);
+    }
+}

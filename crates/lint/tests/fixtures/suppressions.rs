@@ -1,0 +1,12 @@
+// Fixture: suppression round-trips — waived, reason-less, stale, wrong-rule.
+fn guarded(n: usize) -> u32 {
+    // jigsaw-lint: allow(R2) -- clamped by the caller to fit
+    n as u32
+}
+
+fn reasonless(v: Option<u32>) -> u32 {
+    v.unwrap() // jigsaw-lint: allow(R1)
+}
+
+// jigsaw-lint: allow(R5) -- nothing unsafe on the next line
+fn stale() {}

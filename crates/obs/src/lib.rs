@@ -37,6 +37,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod metrics;
 mod render;
@@ -48,6 +49,14 @@ pub use ring::{Event, EventKind, EventRing, DEFAULT_RING_CAPACITY};
 use metrics::HistogramCore;
 use std::sync::atomic::{AtomicI64, AtomicU64};
 use std::sync::{Arc, Mutex};
+
+/// Lock a registry mutex, tolerating poison. Observability must keep
+/// working after an unrelated thread panics mid-record; every guarded
+/// structure is valid at each unlock point, so the poisoned data is safe
+/// to reuse.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// The storage a registered metric name points at.
 #[derive(Debug)]
@@ -137,12 +146,13 @@ impl Registry {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
-        let mut entries = inner.entries.lock().unwrap();
+        let mut entries = lock(&inner.entries);
         if let Some(existing) = entries
             .iter()
             .find(|e| e.name == name && e.labels == labels)
         {
             return Some(extract(&existing.slot).unwrap_or_else(|| {
+                // jigsaw-lint: allow(R1) -- kind mismatch is a caller naming bug; a silent fallback would record into the wrong metric
                 panic!(
                     "metric `{name}` re-registered as a different kind (was {})",
                     existing.slot.kind_name()
@@ -150,7 +160,11 @@ impl Registry {
             }));
         }
         let slot = make();
-        let handle = extract(&slot).expect("freshly made slot matches its own kind");
+        let Some(handle) = extract(&slot) else {
+            // `make`/`extract` pairs are written together below; a mismatch
+            // cannot produce a usable handle, so behave as if disabled.
+            return None;
+        };
         entries.push(Entry {
             name: name.to_string(),
             help: help.to_string(),
@@ -231,29 +245,27 @@ impl Registry {
     /// registry is enabled, so disabled call sites never format strings.
     pub fn event(&self, kind: EventKind, job: Option<u32>, detail: impl FnOnce() -> String) {
         if let Some(inner) = &self.inner {
-            inner.ring.lock().unwrap().push(kind, job, detail());
+            lock(&inner.ring).push(kind, job, detail());
         }
     }
 
     /// Snapshot of the retained events, oldest first.
     pub fn events(&self) -> Vec<Event> {
         match &self.inner {
-            Some(inner) => inner.ring.lock().unwrap().events().cloned().collect(),
+            Some(inner) => lock(&inner.ring).events().cloned().collect(),
             None => Vec::new(),
         }
     }
 
     /// How many events were evicted from the ring.
     pub fn events_dropped(&self) -> u64 {
-        self.inner
-            .as_ref()
-            .map_or(0, |i| i.ring.lock().unwrap().dropped())
+        self.inner.as_ref().map_or(0, |i| lock(&i.ring).dropped())
     }
 
     /// Prometheus-style text exposition. Empty when disabled.
     pub fn render_prometheus(&self) -> String {
         match &self.inner {
-            Some(inner) => render::prometheus(&inner.entries.lock().unwrap()),
+            Some(inner) => render::prometheus(&lock(&inner.entries)),
             None => String::new(),
         }
     }
@@ -263,8 +275,8 @@ impl Registry {
     pub fn render_json(&self) -> String {
         match &self.inner {
             Some(inner) => {
-                let entries = inner.entries.lock().unwrap();
-                let ring = inner.ring.lock().unwrap();
+                let entries = lock(&inner.entries);
+                let ring = lock(&inner.ring);
                 render::json(&entries, &ring)
             }
             None => "{\"metrics\":[],\"events\":[],\"events_dropped\":0}".to_string(),

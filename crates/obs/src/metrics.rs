@@ -196,7 +196,7 @@ impl Histogram {
     #[inline]
     pub fn observe_since(&self, start: Option<Instant>) {
         if let Some(t0) = start {
-            self.observe(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            self.observe(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         }
     }
 

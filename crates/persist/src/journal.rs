@@ -92,6 +92,7 @@ impl Journal {
     /// scan of its current contents. The file is truncated to the valid
     /// prefix, so a torn tail from a previous crash is discarded exactly
     /// once, here, and the handle is positioned for clean appends.
+    #[must_use = "an unchecked open can silently drop the journal's recovered records"]
     pub fn open(path: &Path) -> std::io::Result<(Journal, Scan)> {
         let mut file = OpenOptions::new()
             .read(true)
@@ -116,6 +117,7 @@ impl Journal {
 
     /// Scan `path` without opening it for writing (and without truncating
     /// a torn tail). Missing file reads as an empty journal.
+    #[must_use = "the scan result is the journal's entire readable history"]
     pub fn scan(path: &Path) -> std::io::Result<Scan> {
         match File::open(path) {
             Ok(mut f) => scan_stream(&mut f),
@@ -132,12 +134,14 @@ impl Journal {
     /// The fsync-per-append policy is deliberate: the journal exists for
     /// crash recovery, and an unsynced append is exactly the data a crash
     /// loses.
+    #[must_use = "an ignored append error means the record is not durable"]
     pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
         let payload = serde_json::to_string(record)
             .map_err(|e| std::io::Error::other(format!("journal encode: {e}")))?;
         let payload = payload.as_bytes();
+        let len = frame_len(payload.len())?;
         let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         self.file.write_all(&frame)?;
@@ -145,6 +149,7 @@ impl Journal {
     }
 
     /// Discard every record (used after a snapshot makes them redundant).
+    #[must_use = "an ignored truncate error leaves stale records that recovery will replay"]
     pub fn truncate(&mut self) -> std::io::Result<()> {
         self.file.set_len(0)?;
         self.file.seek(SeekFrom::Start(0))?;
@@ -155,6 +160,28 @@ impl Journal {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Validate a payload length for framing. Before this guard the `as u32`
+/// length cast silently wrapped on a >4 GiB payload and wrote a frame the
+/// scanner could never read; anything over [`MAX_RECORD_LEN`] is rejected
+/// at append time because the scanner would discard it as corruption.
+fn frame_len(payload_len: usize) -> std::io::Result<u32> {
+    u32::try_from(payload_len)
+        .ok()
+        .filter(|&l| l <= MAX_RECORD_LEN)
+        .ok_or_else(|| {
+            std::io::Error::other(format!(
+                "journal record of {payload_len} bytes exceeds MAX_RECORD_LEN ({MAX_RECORD_LEN})"
+            ))
+        })
+}
+
+/// Read the little-endian `u32` at `off`. The caller has bounds-checked
+/// `b.len() >= off + 4`; fixed-size array construction keeps the frame
+/// parser free of fallible slice conversions.
+fn read_u32_le(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
 }
 
 fn scan_stream(file: &mut File) -> std::io::Result<Scan> {
@@ -169,8 +196,8 @@ fn scan_stream(file: &mut File) -> std::io::Result<Scan> {
         if rest.len() < 8 {
             break; // clean EOF (empty rest) or torn header
         }
-        let len = u32::from_le_bytes(rest[0..4].try_into().unwrap());
-        let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+        let len = read_u32_le(rest, 0);
+        let crc = read_u32_le(rest, 4);
         if len > MAX_RECORD_LEN {
             break; // length byte garbage: corrupt tail
         }
@@ -203,9 +230,9 @@ fn scan_stream(file: &mut File) -> std::io::Result<Scan> {
 pub fn crc32(data: &[u8]) -> u32 {
     const TABLE: [u32; 256] = {
         let mut table = [0u32; 256];
-        let mut n = 0usize;
+        let mut n = 0u32;
         while n < 256 {
-            let mut c = n as u32;
+            let mut c = n;
             let mut k = 0;
             while k < 8 {
                 c = if c & 1 != 0 {
@@ -215,14 +242,14 @@ pub fn crc32(data: &[u8]) -> u32 {
                 };
                 k += 1;
             }
-            table[n] = c;
+            table[n as usize] = c;
             n += 1;
         }
         table
     };
     let mut c = !0u32;
     for &b in data {
-        c = TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+        c = TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
     }
     !c
 }
@@ -256,6 +283,17 @@ mod tests {
                 },
             }),
         }
+    }
+
+    #[test]
+    fn oversize_record_is_rejected_not_wrapped() {
+        assert_eq!(frame_len(0).unwrap(), 0);
+        assert_eq!(frame_len(MAX_RECORD_LEN as usize).unwrap(), MAX_RECORD_LEN);
+        let err = frame_len(MAX_RECORD_LEN as usize + 1).unwrap_err();
+        assert!(err.to_string().contains("MAX_RECORD_LEN"), "{err}");
+        // The old `as u32` cast wrapped this to 0 and framed garbage.
+        let err = frame_len(u32::MAX as usize + 1).unwrap_err();
+        assert!(err.to_string().contains("MAX_RECORD_LEN"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! the journal, and also runs in a journal-less *ephemeral* mode so callers
 //! need one code path for both durable and throwaway sessions.
 
+#![forbid(unsafe_code)]
+
 pub mod journal;
 pub mod snapshot;
 
@@ -260,6 +262,7 @@ impl PersistentState {
     /// Open (creating if needed) the journal directory `dir` and recover
     /// the state it describes for topology `tree`. A fresh directory
     /// recovers to the empty state.
+    #[must_use = "an unchecked open discards the recovered state and its report"]
     pub fn open(
         dir: &Path,
         tree: FatTree,
@@ -352,6 +355,7 @@ impl PersistentState {
     /// before allocating).
     ///
     /// [`state_mut`]: PersistentState::state_mut
+    #[must_use = "an ignored commit error means the grant is not durable and must not be acted on"]
     pub fn commit_grant(&mut self, alloc: &Allocation) -> Result<(), PersistError> {
         assert!(
             !self.live.contains_key(&alloc.job.0),
@@ -382,6 +386,7 @@ impl PersistentState {
     /// allocation for the caller to release through the allocator
     /// (write-ahead: the journal entry lands *before* the state changes).
     /// `None` if the job is not live — nothing is journaled then.
+    #[must_use = "an ignored commit error means the release is not durable"]
     pub fn commit_release(&mut self, job: JobId) -> Result<Option<Allocation>, PersistError> {
         if !self.live.contains_key(&job.0) {
             return Ok(None);
@@ -409,6 +414,7 @@ impl PersistentState {
     /// and append a [`Event::Snapshot`] marker. Returns the sequence
     /// number the snapshot covers. Errors with [`PersistError::NotDurable`]
     /// on an ephemeral session.
+    #[must_use = "an ignored snapshot error leaves recovery bounded by the full journal"]
     pub fn snapshot(&mut self) -> Result<u64, PersistError> {
         let covered = self.last_seq;
         let snap = Snapshot {
@@ -441,6 +447,7 @@ impl PersistentState {
     /// daemon calls this after each committed operation; a failure here
     /// is survivable (the journal is intact — snapshots only bound
     /// recovery time), so callers typically log and continue.
+    #[must_use = "an ignored snapshot error leaves recovery bounded by the full journal"]
     pub fn maybe_snapshot(&mut self) -> Result<Option<u64>, PersistError> {
         if self.backend.is_some()
             && self.snapshot_every > 0
@@ -457,6 +464,7 @@ impl PersistentState {
 /// allocations. Unlike [`PersistentState::open`] this never writes (the
 /// torn tail, if any, is ignored rather than truncated), so it is safe to
 /// point at a directory another process is still appending to.
+#[must_use = "an unchecked recovery discards the rebuilt state and its report"]
 pub fn recover(
     dir: &Path,
     tree: FatTree,

@@ -64,6 +64,7 @@ impl SnapshotStore {
     /// that is fsynced and then renamed into place, so a crash at any point
     /// leaves either the old set of snapshots or the old set plus the new
     /// one — never a half-written `snap-*.json`.
+    #[must_use = "an ignored save error means the snapshot is not durable"]
     pub fn save(&self, snapshot: &Snapshot) -> std::io::Result<PathBuf> {
         fs::create_dir_all(&self.dir)?;
         let final_path = self.path_for(snapshot.last_seq);
@@ -84,6 +85,7 @@ impl SnapshotStore {
     /// the outcome); if files exist but none parses, that is an error — the
     /// caller must not silently recover from an empty state when durable
     /// state demonstrably existed.
+    #[must_use = "an unchecked load discards the newest readable snapshot"]
     pub fn load_latest(&self) -> std::io::Result<(Option<Snapshot>, LoadOutcome)> {
         let mut outcome = LoadOutcome::default();
         let mut candidates = self.list()?;
@@ -111,6 +113,7 @@ impl SnapshotStore {
     }
 
     /// Delete all but the newest `keep` snapshot files.
+    #[must_use = "an ignored prune error leaves stale snapshot files on disk"]
     pub fn prune(&self, keep: usize) -> std::io::Result<()> {
         let candidates = self.list()?;
         let n = candidates.len().saturating_sub(keep);

@@ -93,7 +93,7 @@ impl CongestionMap {
                 if load > best.1 {
                     best = (
                         Some(LinkUse::Leaf(
-                            jigsaw_topology::ids::LeafLinkId(i as u32),
+                            jigsaw_topology::ids::LeafLinkId::from_index(i),
                             idx_dir(d),
                         )),
                         load,
@@ -106,7 +106,7 @@ impl CongestionMap {
                 if load > best.1 {
                     best = (
                         Some(LinkUse::Spine(
-                            jigsaw_topology::ids::SpineLinkId(i as u32),
+                            jigsaw_topology::ids::SpineLinkId::from_index(i),
                             idx_dir(d),
                         )),
                         load,

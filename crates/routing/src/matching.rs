@@ -49,7 +49,7 @@ pub fn decompose_regular_bipartite(n: usize, edges: &[(u32, u32)]) -> Option<Vec
         adj[l as usize].push(i);
     }
 
-    for color in 0..d as u32 {
+    for color in 0..jigsaw_topology::cast::count_u32(d) {
         // Kuhn's algorithm: match every left vertex.
         let mut right_match: Vec<Option<usize>> = vec![None; n]; // edge index
         for left in 0..n {

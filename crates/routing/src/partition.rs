@@ -79,7 +79,7 @@ impl PartitionRouter {
             .nodes
             .iter()
             .enumerate()
-            .map(|(i, &n)| (n, i as u32))
+            .map(|(i, &n)| (n, jigsaw_topology::cast::count_u32(i)))
             .collect();
         Some(PartitionRouter {
             leaf_positions,

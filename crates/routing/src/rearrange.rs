@@ -30,6 +30,7 @@ use crate::matching::decompose_regular_bipartite;
 use crate::path::{LinkUse, Route};
 use jigsaw_core::alloc::{Allocation, Shape};
 use jigsaw_topology::bitset::iter_mask;
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::ids::{LeafId, NodeId};
 use jigsaw_topology::FatTree;
 use std::collections::{HashMap, HashSet};
@@ -157,7 +158,7 @@ impl Model {
                 rem_leaf,
             } => {
                 let m1 = *n_l;
-                let m2 = leaves.len() as u32 + u32::from(rem_leaf.is_some());
+                let m2 = count_u32(leaves.len()) + u32::from(rem_leaf.is_some());
                 let mut n_abstract_leaves = leaves.len();
                 let mut nodes: Vec<Option<NodeId>> = Vec::with_capacity((m1 * m2) as usize);
                 for &leaf in leaves {
@@ -197,7 +198,7 @@ impl Model {
             } => {
                 let m1 = *n_l;
                 let m2 = *l_t;
-                let m3 = trees.len() as u32 + u32::from(rem_tree.is_some());
+                let m3 = count_u32(trees.len()) + u32::from(rem_tree.is_some());
                 let mut n_abstract_leaves = 0usize;
                 let mut n_trees = 0usize;
                 let mut nodes: Vec<Option<NodeId>> = Vec::new();
@@ -218,7 +219,7 @@ impl Model {
                         n_abstract_leaves += 1;
                         nodes.extend(node_chunks[&leaf].iter().map(|&n| Some(n)));
                     }
-                    let mut used = rem.leaves.len() as u32;
+                    let mut used = count_u32(rem.leaves.len());
                     if let Some((leaf, n_r, s_r_mask)) = rem.rem_leaf {
                         rem_leaf_abstract = Some(n_abstract_leaves);
                         n_abstract_leaves += 1;
@@ -309,7 +310,7 @@ pub fn route_permutation(
     let leaf_edges: Vec<(u32, u32)> = abs_perm
         .iter()
         .enumerate()
-        .map(|(s, &d)| (model.leaf_of(s) as u32, model.leaf_of(d) as u32))
+        .map(|(s, &d)| (count_u32(model.leaf_of(s)), count_u32(model.leaf_of(d))))
         .collect();
     let rounds = decompose_regular_bipartite(n_leaves, &leaf_edges)
         .ok_or(RearrangeError::MatchingFailed("leaf"))?;
@@ -365,11 +366,16 @@ pub fn route_permutation(
     let mut slot_of_flow: Vec<Option<u32>> = vec![None; total];
     if model.m3 > 1 {
         let m3 = model.m3 as usize;
-        for round in 0..m1 as u32 {
+        for round in 0..model.m1 {
             let flow_ids: Vec<usize> = (0..total).filter(|&v| rounds[v] == round).collect();
             let tree_edges: Vec<(u32, u32)> = flow_ids
                 .iter()
-                .map(|&v| (model.tree_of(v) as u32, model.tree_of(abs_perm[v]) as u32))
+                .map(|&v| {
+                    (
+                        count_u32(model.tree_of(v)),
+                        count_u32(model.tree_of(abs_perm[v])),
+                    )
+                })
                 .collect();
             let colors = decompose_regular_bipartite(m3, &tree_edges)
                 .ok_or(RearrangeError::MatchingFailed("tree"))?;
@@ -438,7 +444,9 @@ pub fn route_permutation(
             if model.tree_of(v) == model.tree_of(d) {
                 Route::ViaL2 { pos }
             } else {
-                let slot = slot_of_flow[v].expect("cross-tree flow has a slot");
+                let Some(slot) = slot_of_flow[v] else {
+                    return Err(RearrangeError::MatchingFailed("slot assignment"));
+                };
                 Route::ViaSpine { pos, slot }
             }
         };

@@ -23,21 +23,34 @@ use jigsaw_topology::ids::NodeId;
 use jigsaw_topology::FatTree;
 use std::collections::HashMap;
 
-/// Two allocations tried to install different entries for the same
-/// `(switch, destination)` — impossible for node-disjoint allocations.
+/// Compiling forwarding tables failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TableConflict {
-    /// The destination node with conflicting entries.
-    pub dst: NodeId,
+pub enum TableConflict {
+    /// Two allocations tried to install different entries for the same
+    /// `(switch, destination)` — impossible for node-disjoint allocations.
+    Conflict {
+        /// The destination node with conflicting entries.
+        dst: NodeId,
+    },
+    /// A structured allocation could not be routed: its shape metadata is
+    /// inconsistent with its node set (a corrupt allocation, not a table
+    /// collision).
+    Unroutable {
+        /// A node of the allocation that could not be routed.
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for TableConflict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "conflicting forwarding entries for destination {}",
-            self.dst
-        )
+        match self {
+            TableConflict::Conflict { dst } => {
+                write!(f, "conflicting forwarding entries for destination {dst}")
+            }
+            TableConflict::Unroutable { node } => {
+                write!(f, "allocation shape is inconsistent: cannot route {node}")
+            }
+        }
     }
 }
 
@@ -63,7 +76,11 @@ impl RoutingTables {
             if matches!(alloc.shape, Shape::Unstructured) {
                 continue;
             }
-            let router = PartitionRouter::new(tree, alloc).expect("structured shape");
+            let router = match (PartitionRouter::new(tree, alloc), alloc.nodes.first()) {
+                (Some(r), _) => r,
+                (None, Some(&node)) => return Err(TableConflict::Unroutable { node }),
+                (None, None) => continue, // empty allocation routes nothing
+            };
             for &src in &alloc.nodes {
                 for &dst in &alloc.nodes {
                     if src == dst {
@@ -71,7 +88,7 @@ impl RoutingTables {
                     }
                     let route = router
                         .route(tree, src, dst)
-                        .expect("partition is connected");
+                        .ok_or(TableConflict::Unroutable { node: src })?;
                     tables.install(tree, src, dst, route)?;
                 }
             }
@@ -100,14 +117,14 @@ impl RoutingTables {
 
     fn put_leaf(&mut self, leaf: u32, dst: NodeId, pos: u32) -> Result<(), TableConflict> {
         match self.leaf_up.insert((leaf, dst), pos) {
-            Some(old) if old != pos => Err(TableConflict { dst }),
+            Some(old) if old != pos => Err(TableConflict::Conflict { dst }),
             _ => Ok(()),
         }
     }
 
     fn put_l2(&mut self, l2: u32, dst: NodeId, slot: u32) -> Result<(), TableConflict> {
         match self.l2_up.insert((l2, dst), slot) {
-            Some(old) if old != slot => Err(TableConflict { dst }),
+            Some(old) if old != slot => Err(TableConflict::Conflict { dst }),
             _ => Ok(()),
         }
     }

@@ -12,6 +12,7 @@
 //! bandwidth.
 
 use jigsaw_core::alloc::Allocation;
+use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::ids::{LeafId, NodeId};
 use jigsaw_topology::FatTree;
 use std::collections::HashMap;
@@ -119,7 +120,7 @@ pub fn check_full_bandwidth(tree: &FatTree, alloc: &Allocation) -> Result<(), Wi
             if i == j {
                 continue;
             }
-            let n = leaves[i].1.len().min(leaves[j].1.len()) as u32;
+            let n = count_u32(leaves[i].1.len().min(leaves[j].1.len()));
             let senders: Vec<NodeId> = leaves[i].1.iter().copied().take(n as usize).collect();
             let receivers: Vec<NodeId> = leaves[j].1.iter().copied().take(n as usize).collect();
             let achieved = max_concurrent_flows(tree, alloc, &senders, &receivers);
@@ -139,8 +140,8 @@ pub fn check_full_bandwidth(tree: &FatTree, alloc: &Allocation) -> Result<(), Wi
         let mut by_count = leaves.clone();
         by_count.sort_by_key(|(_, nodes)| nodes.len());
         let (small_a, small_b) = (by_count[0].1, by_count[1].1);
-        let largest = by_count.last().unwrap().1;
-        let n = largest.len().min(small_a.len() + small_b.len()) as u32;
+        let largest = by_count[by_count.len() - 1].1;
+        let n = count_u32(largest.len().min(small_a.len() + small_b.len()));
         let senders: Vec<NodeId> = largest.iter().copied().take(n as usize).collect();
         let receivers: Vec<NodeId> = small_a
             .iter()
@@ -214,20 +215,25 @@ impl FlowGraph {
             if pred[t].is_none() {
                 return flow;
             }
-            // Bottleneck (always ≥ 1; unit capacities dominate).
-            let mut bottleneck = u32::MAX;
+            // Walk the augmenting path once; BFS reached `t`, so every hop
+            // has a predecessor (a missing one would mean the residual
+            // graph is corrupt — stop and report the flow found so far,
+            // which the caller flags as a shortfall).
+            let mut path = Vec::new();
             let mut v = t;
             while v != s {
-                let e = pred[v].unwrap();
-                bottleneck = bottleneck.min(self.edges[e].1);
+                let Some(e) = pred[v] else { return flow };
+                path.push(e);
                 v = self.edges[e ^ 1].0;
             }
-            let mut v = t;
-            while v != s {
-                let e = pred[v].unwrap();
+            // Bottleneck (always ≥ 1; unit capacities dominate).
+            let mut bottleneck = u32::MAX;
+            for &e in &path {
+                bottleneck = bottleneck.min(self.edges[e].1);
+            }
+            for &e in &path {
                 self.edges[e].1 -= bottleneck;
                 self.edges[e ^ 1].1 += bottleneck;
-                v = self.edges[e ^ 1].0;
             }
             flow += bottleneck;
         }

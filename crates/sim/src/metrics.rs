@@ -84,6 +84,7 @@ impl InstUtilHistogram {
 
 /// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation.
 /// Returns 0 for an empty sample.
+#[allow(clippy::cast_possible_truncation)] // pos is clamped to [0, len-1]
 pub fn quantile(values: impl Iterator<Item = f64>, q: f64) -> f64 {
     let mut v: Vec<f64> = values.collect();
     if v.is_empty() {

@@ -1,0 +1,82 @@
+//! Checked narrowing conversions for id and capacity arithmetic.
+//!
+//! The workspace bans bare `as` casts to narrow integer types (jigsaw-lint
+//! rule R2): ids are dense `u32` indices and a silently truncated count is
+//! exactly the class of bug that corrupts allocation state without failing
+//! any runtime audit. This module centralizes the two conversions the code
+//! base actually needs, so every call site is either infallible by
+//! construction or fails loudly at the single audited guard below.
+
+/// Convert a collection length or dense index to `u32`.
+///
+/// Topology sizes are validated at construction ([`FatTreeParams`]
+/// rejects parameter sets whose node count overflows), so in correct code
+/// the guard is unreachable; it exists so that a future refactor that
+/// breaks the validation stops loudly instead of wrapping an id.
+///
+/// [`FatTreeParams`]: crate::FatTreeParams
+#[inline]
+#[must_use]
+pub fn count_u32(n: usize) -> u32 {
+    match u32::try_from(n) {
+        Ok(v) => v,
+        Err(_) => count_overflow(n),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn count_overflow(n: usize) -> ! {
+    // jigsaw-lint: allow(R1) -- centralized overflow guard; sizes are validated at construction, a loud stop beats a wrapped id
+    panic!("count {n} exceeds u32::MAX — topology validation must have been bypassed")
+}
+
+/// Round a non-negative `f64` to the nearest `u32`, saturating at the type
+/// bounds. NaN maps to 0. Used by the trace generators when scaling
+/// inter-arrival times and node counts; saturation (not truncation) is the
+/// correct behavior for out-of-range synthetic values.
+#[inline]
+#[must_use]
+#[allow(clippy::cast_possible_truncation)] // clamped below; mirrors the R2 waiver
+pub fn sat_round_u32(x: f64) -> u32 {
+    if x.is_nan() {
+        return 0;
+    }
+    let r = x.round();
+    if r <= 0.0 {
+        0
+    } else if r >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        // jigsaw-lint: allow(R2) -- clamped to [0, u32::MAX] above, the cast cannot truncate
+        r as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_u32_passes_small_values() {
+        assert_eq!(count_u32(0), 0);
+        assert_eq!(count_u32(5488), 5488);
+        assert_eq!(count_u32(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn count_u32_stops_loudly_on_overflow() {
+        let _ = count_u32(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn sat_round_handles_bounds_and_nan() {
+        assert_eq!(sat_round_u32(2.5), 3);
+        assert_eq!(sat_round_u32(2.4), 2);
+        assert_eq!(sat_round_u32(-1.0), 0);
+        assert_eq!(sat_round_u32(f64::NAN), 0);
+        assert_eq!(sat_round_u32(f64::INFINITY), u32::MAX);
+        assert_eq!(sat_round_u32(1e12), u32::MAX);
+    }
+}

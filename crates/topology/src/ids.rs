@@ -22,6 +22,13 @@ macro_rules! id_type {
             pub fn idx(self) -> usize {
                 self.0 as usize
             }
+
+            /// Checked constructor from a dense vector index — the typed
+            /// alternative to a bare `as u32` cast (jigsaw-lint rule R2).
+            #[inline]
+            pub fn from_index(i: usize) -> $name {
+                $name(crate::cast::count_u32(i))
+            }
         }
 
         impl From<$name> for usize {

@@ -28,8 +28,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bitset;
+pub mod cast;
 pub mod dot;
 pub mod error;
 pub mod ids;

@@ -21,6 +21,7 @@
 //! words), which the EASY-backfilling reservation logic exploits by
 //! replaying future completions on a scratch copy.
 
+use crate::cast::count_u32;
 use crate::ids::{JobId, L2Id, LeafId, LeafLinkId, NodeId, PodId, SpineLinkId};
 use crate::tree::FatTree;
 use serde::{Deserialize, Serialize};
@@ -75,13 +76,13 @@ pub struct SystemState {
     leaf_link_bw: Vec<u16>,
     spine_link_bw: Vec<u16>,
 
-    free_nodes_per_leaf: Vec<u16>,
+    free_nodes_per_leaf: Vec<u32>,
     free_nodes_per_pod: Vec<u32>,
     /// Bit `i` set ⇔ this leaf's uplink to L2 position `i` is free.
     leaf_uplink_free: Vec<u64>,
     /// Bit `j` set ⇔ this L2 switch's uplink to spine slot `j` is free.
     spine_uplink_free: Vec<u64>,
-    fully_free_leaves_per_pod: Vec<u16>,
+    fully_free_leaves_per_pod: Vec<u32>,
     leaf_fully_free: Vec<bool>,
 
     allocated_nodes: u32,
@@ -105,11 +106,11 @@ impl SystemState {
             spine_link_owner: vec![FREE; tree.num_spine_links() as usize],
             leaf_link_bw: vec![0; tree.num_leaf_links() as usize],
             spine_link_bw: vec![0; tree.num_spine_links() as usize],
-            free_nodes_per_leaf: vec![tree.nodes_per_leaf() as u16; tree.num_leaves() as usize],
+            free_nodes_per_leaf: vec![tree.nodes_per_leaf(); tree.num_leaves() as usize],
             free_nodes_per_pod: vec![tree.nodes_per_pod(); tree.num_pods() as usize],
             leaf_uplink_free: vec![leaf_mask; tree.num_leaves() as usize],
             spine_uplink_free: vec![spine_mask; tree.num_l2() as usize],
-            fully_free_leaves_per_pod: vec![tree.leaves_per_pod() as u16; tree.num_pods() as usize],
+            fully_free_leaves_per_pod: vec![tree.leaves_per_pod(); tree.num_pods() as usize],
             leaf_fully_free: vec![true; tree.num_leaves() as usize],
             allocated_nodes: 0,
         }
@@ -144,7 +145,7 @@ impl SystemState {
     /// Free nodes under `leaf`.
     #[inline]
     pub fn free_nodes_on_leaf(&self, leaf: LeafId) -> u32 {
-        self.free_nodes_per_leaf[leaf.idx()] as u32
+        self.free_nodes_per_leaf[leaf.idx()]
     }
 
     /// Free nodes in `pod`.
@@ -173,7 +174,7 @@ impl SystemState {
 
     /// Number of offline nodes.
     pub fn offline_node_count(&self) -> u32 {
-        self.node_owner.iter().filter(|&&o| o == OFFLINE).count() as u32
+        count_u32(self.node_owner.iter().filter(|&&o| o == OFFLINE).count())
     }
 
     /// Mark a *free* node offline (failed hardware). Returns `false` — and
@@ -219,7 +220,7 @@ impl SystemState {
     /// Number of fully free leaves in `pod` (Jigsaw's three-level currency).
     #[inline]
     pub fn fully_free_leaves_in_pod(&self, pod: PodId) -> u32 {
-        self.fully_free_leaves_per_pod[pod.idx()] as u32
+        self.fully_free_leaves_per_pod[pod.idx()]
     }
 
     // --- link queries -------------------------------------------------------
@@ -446,16 +447,17 @@ impl SystemState {
         let mut alloc = 0u32;
         for pod in t.pods() {
             let mut pod_free = 0u32;
-            let mut pod_ff = 0u16;
+            let mut pod_ff = 0u32;
             for leaf in t.leaves_of_pod(pod) {
-                let free = t
-                    .nodes_of_leaf(leaf)
-                    .filter(|n| self.node_owner[n.idx()] == FREE)
-                    .count() as u32;
+                let free = count_u32(
+                    t.nodes_of_leaf(leaf)
+                        .filter(|n| self.node_owner[n.idx()] == FREE)
+                        .count(),
+                );
                 alloc += t.nodes_per_leaf() - free;
                 pod_free += free;
                 assert_eq!(
-                    self.free_nodes_per_leaf[leaf.idx()] as u32,
+                    self.free_nodes_per_leaf[leaf.idx()],
                     free,
                     "free-node count stale for {leaf}"
                 );
@@ -481,7 +483,7 @@ impl SystemState {
                     ff,
                     "fully-free stale for {leaf}"
                 );
-                pod_ff += ff as u16;
+                pod_ff += u32::from(ff);
             }
             assert_eq!(
                 self.free_nodes_per_pod[pod.idx()],
@@ -516,7 +518,7 @@ impl SystemState {
         let t = &self.tree;
         let pod = t.pod_of_leaf(leaf);
         let all_links = mask_of(t.l2_per_pod());
-        let mut ff = self.free_nodes_per_leaf[leaf.idx()] as u32 == t.nodes_per_leaf()
+        let mut ff = self.free_nodes_per_leaf[leaf.idx()] == t.nodes_per_leaf()
             && self.leaf_uplink_free[leaf.idx()] == all_links;
         if ff {
             // Fractional reservations also disqualify a leaf from being the

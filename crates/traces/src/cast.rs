@@ -1,0 +1,66 @@
+//! Private checked conversions for the trace tooling.
+//!
+//! Mirrors the spirit of `jigsaw_topology::cast` without coupling this
+//! crate to the topology model: trace ids and sizes are labels and request
+//! parameters, so out-of-range values saturate (and get rejected by the
+//! scheduler downstream) instead of truncating into a colliding id.
+
+/// A collection index as `u32`, saturating. Traces with more than
+/// `u32::MAX` jobs are out of scope; saturation keeps the conversion
+/// total without hiding a wrap.
+pub(crate) fn count_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Round a non-negative `f64` to the nearest `u32`, saturating at the
+/// type bounds; NaN maps to 0. Sampled sizes and scaled durations are
+/// clamped by callers anyway — saturation makes the conversion itself
+/// total.
+#[allow(clippy::cast_possible_truncation)] // clamped below; mirrors the R2 waiver
+pub(crate) fn sat_round_u32(x: f64) -> u32 {
+    if x.is_nan() {
+        return 0;
+    }
+    let r = x.round();
+    if r <= 0.0 {
+        0
+    } else if r >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        // jigsaw-lint: allow(R2) -- clamped to [0, u32::MAX] above, the cast cannot truncate
+        r as u32
+    }
+}
+
+/// Round a non-negative `f64` to the nearest `usize`, saturating; NaN
+/// maps to 0. Used for scaled job counts, where saturation is harmless
+/// (allocation of a `Vec` that large fails long before the count wraps).
+#[allow(clippy::cast_possible_truncation)] // clamped below, cannot truncate
+pub(crate) fn sat_round_usize(x: f64) -> usize {
+    if x.is_nan() {
+        return 0;
+    }
+    let r = x.round();
+    if r <= 0.0 {
+        0
+    } else if r >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        r as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_saturate() {
+        assert_eq!(count_u32(7), 7);
+        assert_eq!(count_u32(usize::MAX), u32::MAX);
+        assert_eq!(sat_round_u32(2.6), 3);
+        assert_eq!(sat_round_u32(-4.0), 0);
+        assert_eq!(sat_round_u32(f64::NAN), 0);
+        assert_eq!(sat_round_u32(1e18), u32::MAX);
+    }
+}

@@ -4,6 +4,7 @@
 //! exponential (inverse-CDF), normal/log-normal (Box–Muller), and the
 //! power-of-two snapping that HPC job-size distributions exhibit.
 
+use crate::cast::sat_round_u32;
 use rand::{Rng, RngExt};
 
 /// Sample `Exp(mean)` by inverse CDF.
@@ -43,7 +44,7 @@ pub fn snap_pow2(x: f64) -> u32 {
         return 1;
     }
     let lg = x.log2().round().clamp(0.0, 31.0);
-    1u32 << lg as u32
+    1u32 << sat_round_u32(lg)
 }
 
 /// Sample a job size that is "roughly exponential in shape but contains
@@ -55,7 +56,7 @@ pub fn hpc_job_size<R: Rng>(rng: &mut R, mean: f64, max: u32, pow2_prob: f64) ->
     let size = if rng.random::<f64>() < pow2_prob {
         snap_pow2(raw)
     } else {
-        raw.round() as u32
+        sat_round_u32(raw)
     };
     size.clamp(1, max)
 }

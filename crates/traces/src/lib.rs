@@ -22,7 +22,9 @@
 //! heavy (see EXPERIMENTS.md).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
+mod cast;
 pub mod distr;
 pub mod llnl;
 pub mod stats;

@@ -19,6 +19,7 @@
 //! Genuine SWF traces can be loaded with [`crate::swf`] instead and run
 //! through the identical pipeline.
 
+use crate::cast::count_u32;
 use crate::distr::{hpc_job_size, lognormal, uniform};
 use crate::synth::random_bw_class;
 use crate::trace::{Trace, TraceJob};
@@ -137,7 +138,7 @@ pub enum CabMonth {
 impl LlnlModel {
     /// Generate the trace at `scale` (1.0 = full Table-1 job count).
     pub fn generate(&self, scale: f64, seed: u64) -> Trace {
-        let n = ((self.jobs as f64) * scale).round().max(1.0) as usize;
+        let n = crate::cast::sat_round_usize((self.jobs as f64) * scale).max(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut jobs: Vec<TraceJob> = Vec::with_capacity(n);
         let (rt_lo, rt_hi) = self.runtime_range;
@@ -150,7 +151,7 @@ impl LlnlModel {
                 * lognormal(&mut rng, self.runtime_lognorm.0, self.runtime_lognorm.1))
             .clamp(rt_lo, rt_hi);
             jobs.push(TraceJob {
-                id: i as u32,
+                id: count_u32(i),
                 arrival: 0.0,
                 size,
                 runtime,
@@ -163,7 +164,7 @@ impl LlnlModel {
         let wm = if self.whole_machine_jobs == 0 {
             0
         } else {
-            ((self.whole_machine_jobs as f64 * scale).round() as usize).max(1)
+            crate::cast::sat_round_usize(self.whole_machine_jobs as f64 * scale).max(1)
         }
         .min(jobs.len());
         for job in jobs.iter_mut().take(wm) {

@@ -10,6 +10,7 @@
 //! processors, 7 = requested processors (fallback when 4 is `-1`). Jobs
 //! with unusable size or runtime are skipped, matching common practice.
 
+use crate::cast::count_u32;
 use crate::synth::BW_CLASSES;
 use crate::trace::{Trace, TraceJob};
 use std::fmt::Write as _;
@@ -132,8 +133,9 @@ pub fn parse_swf_report(
             skip(SwfSkipReason::BadProcessorCount);
             continue;
         }
-        let size = ((procs as u32).div_ceil(procs_per_node)).max(1);
-        let id = jobs.len() as u32;
+        let procs: u32 = procs.try_into().unwrap_or(u32::MAX);
+        let size = procs.div_ceil(procs_per_node).max(1);
+        let id = count_u32(jobs.len());
         jobs.push(TraceJob {
             id,
             arrival: submit,

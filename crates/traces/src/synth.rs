@@ -7,6 +7,7 @@
 //! and maximum sizes 138/190/241 for means 16/22/28 (= mean × 8.625,
 //! rounded — the natural exceedance cap of an exponential at 10⁴ draws).
 
+use crate::cast::{count_u32, sat_round_u32};
 use crate::distr::{exponential, uniform};
 use crate::trace::{Trace, TraceJob};
 use rand::rngs::StdRng;
@@ -28,13 +29,14 @@ pub fn random_bw_class<R: Rng>(rng: &mut R) -> u16 {
 /// of the given mean (clamped to `mean × 8.625`), uniform runtimes in
 /// [20, 3000) s, all arriving at time zero.
 pub fn synth(mean_size: u32, n_jobs: usize, seed: u64) -> Trace {
-    let max_size = ((mean_size as f64) * 8.625).round() as u32;
+    let max_size = sat_round_u32(f64::from(mean_size) * 8.625);
     let mut rng = StdRng::seed_from_u64(seed);
     let jobs = (0..n_jobs)
         .map(|i| {
-            let size = (exponential(&mut rng, mean_size as f64).round() as u32).clamp(1, max_size);
+            let size =
+                sat_round_u32(exponential(&mut rng, f64::from(mean_size))).clamp(1, max_size);
             TraceJob {
-                id: i as u32,
+                id: count_u32(i),
                 arrival: 0.0,
                 size,
                 runtime: uniform(&mut rng, 20.0, 3000.0),
@@ -49,7 +51,7 @@ pub fn synth(mean_size: u32, n_jobs: usize, seed: u64) -> Trace {
 /// 10,000 jobs). They are simulated on the 1024-, 2662- and 5488-node
 /// clusters respectively (§5.4.3).
 pub fn paper_synth_traces(scale: f64, seed: u64) -> Vec<Trace> {
-    let n = ((PAPER_JOBS as f64) * scale).round().max(1.0) as usize;
+    let n = crate::cast::sat_round_usize((PAPER_JOBS as f64) * scale).max(1);
     vec![
         synth(16, n, seed),
         synth(22, n, seed + 1),

@@ -34,7 +34,7 @@ impl Trace {
     pub fn new(name: impl Into<String>, system_nodes: u32, mut jobs: Vec<TraceJob>) -> Self {
         jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
         for (i, job) in jobs.iter_mut().enumerate() {
-            job.id = i as u32;
+            job.id = crate::cast::count_u32(i);
         }
         Trace {
             name: name.into(),

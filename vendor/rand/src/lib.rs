@@ -12,6 +12,10 @@
 //! workspace only rely on *seeded determinism* and statistical quality,
 //! not on specific values.
 
+// Offline stand-in, outside the scheduler's R1/R2 contract: exempt from
+// the strict lib-target clippy pass (see .github/workflows/ci.yml).
+#![allow(clippy::cast_possible_truncation, clippy::unwrap_used)]
+
 /// A source of random 64-bit words.
 pub trait Rng {
     /// The next 64 random bits.

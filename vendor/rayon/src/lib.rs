@@ -5,6 +5,10 @@
 //! parallel speedup. When real rayon becomes installable, deleting this
 //! stand-in restores parallelism with no call-site changes.
 
+// Offline stand-in, outside the scheduler's R1/R2 contract: exempt from
+// the strict lib-target clippy pass (see .github/workflows/ci.yml).
+#![allow(clippy::cast_possible_truncation, clippy::unwrap_used)]
+
 /// The common imports.
 pub mod prelude {
     /// Sequential stand-in for rayon's `par_iter`.

@@ -15,6 +15,10 @@
 //!   `{"SingleLeaf": {...}}`, unit variants → `"Variant"`), matching real
 //!   serde's default representation.
 
+// Offline stand-in, outside the scheduler's R1/R2 contract: exempt from
+// the strict lib-target clippy pass (see .github/workflows/ci.yml).
+#![allow(clippy::cast_possible_truncation, clippy::unwrap_used)]
+
 // Let the derive macros' `::serde::...` paths resolve inside this crate's
 // own tests.
 extern crate self as serde;

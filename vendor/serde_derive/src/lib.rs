@@ -16,6 +16,10 @@
 //! Not supported (panics with a clear message): generic types, unions, and
 //! `#[serde(...)]` attributes.
 
+// Offline stand-in, outside the scheduler's R1/R2 contract: exempt from
+// the strict lib-target clippy pass (see .github/workflows/ci.yml).
+#![allow(clippy::cast_possible_truncation, clippy::unwrap_used)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The shapes a derived item can take.

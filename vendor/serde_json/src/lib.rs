@@ -12,6 +12,10 @@
 //! * object key order is preserved,
 //! * `\uXXXX` escapes (including surrogate pairs) are parsed.
 
+// Offline stand-in, outside the scheduler's R1/R2 contract: exempt from
+// the strict lib-target clippy pass (see .github/workflows/ci.yml).
+#![allow(clippy::cast_possible_truncation, clippy::unwrap_used)]
+
 pub use serde::Value;
 use serde::{DeError, Deserialize, Serialize};
 use std::fmt;
