@@ -3,7 +3,7 @@
 //! reservation/backfill machinery dominates scheduling overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::{simulate, SimConfig};
 use jigsaw_topology::FatTree;
 use jigsaw_traces::synth::synth;
@@ -20,14 +20,7 @@ fn bench_backfill(c: &mut Criterion) {
                 backfill_window: w,
                 ..SimConfig::default()
             };
-            b.iter(|| {
-                black_box(simulate(
-                    &tree,
-                    SchedulerKind::Jigsaw.make(&tree),
-                    &trace,
-                    &config,
-                ))
-            });
+            b.iter(|| black_box(simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &config)));
         });
     }
     group.finish();

@@ -1,0 +1,111 @@
+//! Hot-path micro-benchmark for the index-guided candidate enumeration.
+//!
+//! The searches behind every scheme consult `SystemState`'s per-pod
+//! min-free-spine-slots and max-free-leaf-nodes indices to skip exhausted
+//! pods and leaves without touching any availability mask. This bench
+//! exercises the regimes where those skips matter:
+//!
+//! * `fragmented` — the machine is churned to high occupancy so most pods
+//!   fail the index checks and candidate enumeration is skip-dominated,
+//! * `drained_pods` — all but one pod fully allocated; the search must
+//!   reject P−1 pods per allocation attempt,
+//! * `empty` — fresh machine, where the indices must not slow the search
+//!   down (the no-regression guard for small trees).
+//!
+//! Radixes 10 (250 nodes) and 22 (2662 nodes) bracket the "no slower on
+//! small trees, faster on radix-22+" acceptance criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jigsaw_core::{Allocator, JobRequest, Scheme};
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+use std::hint::black_box;
+
+/// Churn the machine to roughly `target` occupancy with a deterministic
+/// mixed job stream (same stream as `alloc_latency`).
+fn churned(tree: &FatTree, scheme: Scheme, target: f64) -> (SystemState, Box<dyn Allocator>) {
+    let mut state = SystemState::new(*tree);
+    let mut alloc = scheme.make(tree);
+    let mut i = 0u32;
+    while (state.allocated_node_count() as f64) < target * tree.num_nodes() as f64 {
+        let size = 1 + (i * 13 + 7) % (tree.nodes_per_pod() / 2);
+        let _ = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size));
+        i += 1;
+        if i > 4 * tree.num_nodes() {
+            break;
+        }
+    }
+    (state, alloc)
+}
+
+/// Allocate every pod except the last one wholesale, so candidate
+/// enumeration faces a machine of exhausted pods.
+fn drained(tree: &FatTree, scheme: Scheme) -> (SystemState, Box<dyn Allocator>) {
+    let mut state = SystemState::new(*tree);
+    let mut alloc = scheme.make(tree);
+    let pods = tree.num_pods();
+    for i in 0..pods - 1 {
+        let _ = alloc.allocate(&mut state, &JobRequest::new(JobId(i), tree.nodes_per_pod()));
+    }
+    (state, alloc)
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    for radix in [10u32, 22] {
+        let tree = FatTree::maximal(radix).unwrap();
+        let mut group = c.benchmark_group(format!("alloc_hot_path/radix{radix}"));
+        for scheme in [Scheme::Jigsaw, Scheme::LcS] {
+            group.bench_with_input(
+                BenchmarkId::new("empty", scheme.name()),
+                &scheme,
+                |b, &scheme| {
+                    let mut state = SystemState::new(tree);
+                    let mut alloc = scheme.make(&tree);
+                    let size = tree.nodes_per_pod() / 2;
+                    b.iter(|| {
+                        let a = alloc
+                            .allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
+                            .expect("fits empty machine");
+                        alloc.release(&mut state, &a);
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("fragmented90", scheme.name()),
+                &scheme,
+                |b, &scheme| {
+                    let (mut state, mut alloc) = churned(&tree, scheme, 0.9);
+                    let size = tree.nodes_per_leaf() + 1;
+                    b.iter(|| {
+                        if let Ok(a) =
+                            alloc.allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
+                        {
+                            alloc.release(&mut state, &a);
+                        }
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("drained_pods", scheme.name()),
+                &scheme,
+                |b, &scheme| {
+                    let (mut state, mut alloc) = drained(&tree, scheme);
+                    // One pod's worth still fits; the search must skip the
+                    // P−1 drained pods to find it.
+                    let size = tree.nodes_per_pod() / 2;
+                    b.iter(|| {
+                        if let Ok(a) =
+                            alloc.allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
+                        {
+                            alloc.release(&mut state, &a);
+                        }
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

@@ -5,18 +5,14 @@
 //! clusters (radix 16 → 1024 nodes, radix 28 → 5488 nodes).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jigsaw_core::{Allocator, JobRequest, SchedulerKind};
+use jigsaw_core::{Allocator, JobRequest, Scheme};
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
 use std::hint::black_box;
 
 /// Churn the machine to roughly `target` occupancy with a deterministic
 /// mixed job stream.
-fn churned(
-    tree: &FatTree,
-    scheme: SchedulerKind,
-    target: f64,
-) -> (SystemState, Box<dyn Allocator>) {
+fn churned(tree: &FatTree, scheme: Scheme, target: f64) -> (SystemState, Box<dyn Allocator>) {
     let mut state = SystemState::new(*tree);
     let mut alloc = scheme.make(tree);
     let mut i = 0u32;
@@ -35,7 +31,7 @@ fn bench_alloc(c: &mut Criterion) {
     for radix in [16u32, 28] {
         let tree = FatTree::maximal(radix).unwrap();
         let mut group = c.benchmark_group(format!("alloc_latency/radix{radix}"));
-        for scheme in SchedulerKind::ALL {
+        for scheme in Scheme::ALL {
             // Empty machine, medium job (half a pod).
             let size = tree.nodes_per_pod() / 2;
             group.bench_with_input(

@@ -13,7 +13,7 @@
 //! once) to keep it compiling and running without paying measurement time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jigsaw_core::{Allocator, JobRequest, ObservedAllocator, SchedulerKind};
+use jigsaw_core::{Allocator, JobRequest, ObservedAllocator, Scheme};
 use jigsaw_obs::Registry;
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
@@ -31,7 +31,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     let size = tree.nodes_per_pod() / 2;
     let mut group = c.benchmark_group("obs_overhead");
 
-    for scheme in [SchedulerKind::Jigsaw, SchedulerKind::Baseline] {
+    for scheme in [Scheme::Jigsaw, Scheme::Baseline] {
         group.bench_with_input(
             BenchmarkId::new("raw", scheme.name()),
             &scheme,

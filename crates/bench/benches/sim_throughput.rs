@@ -2,7 +2,7 @@
 //! simulation of a 400-job synthetic trace on the 1024-node cluster.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::{simulate, SimConfig};
 use jigsaw_topology::FatTree;
 use jigsaw_traces::synth::synth;
@@ -13,13 +13,13 @@ fn bench_sim(c: &mut Criterion) {
     let trace = synth(16, 400, 42);
     let mut group = c.benchmark_group("sim_throughput/synth16_400jobs");
     group.sample_size(10);
-    for scheme in SchedulerKind::ALL {
+    for scheme in Scheme::ALL {
         group.bench_with_input(
             BenchmarkId::from_parameter(scheme.name()),
             &scheme,
             |b, &s| {
                 let config = SimConfig {
-                    scheme_benefits: s != SchedulerKind::Baseline,
+                    scheme_benefits: s != Scheme::Baseline,
                     ..SimConfig::default()
                 };
                 b.iter(|| black_box(simulate(&tree, s.make(&tree), &trace, &config)));

@@ -1,5 +1,7 @@
 //! Minimal command-line handling shared by the experiment binaries (no
-//! external CLI dependency needed for three flags).
+//! external CLI dependency needed for four flags).
+
+use jigsaw_par::Pool;
 
 /// Common harness options.
 #[derive(Debug, Clone)]
@@ -10,6 +12,9 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Where to write JSON results (`results/` by default).
     pub out_dir: String,
+    /// Worker count for the parallel executor (`--jobs <n>`). `None`
+    /// defers to `JIGSAW_JOBS` or the machine's available parallelism.
+    pub jobs: Option<usize>,
 }
 
 impl Default for HarnessArgs {
@@ -18,13 +23,14 @@ impl Default for HarnessArgs {
             scale: 0.02,
             seed: 2021,
             out_dir: "results".into(),
+            jobs: None,
         }
     }
 }
 
 impl HarnessArgs {
-    /// Parse `--scale <f> | --full | --seed <n> | --out <dir>` from
-    /// `std::env::args`. Unknown flags abort with usage help.
+    /// Parse `--scale <f> | --full | --seed <n> | --out <dir> | --jobs <n>`
+    /// from `std::env::args`. Unknown flags abort with usage help.
     pub fn parse() -> Self {
         let mut args = HarnessArgs::default();
         let mut it = std::env::args().skip(1);
@@ -48,6 +54,16 @@ impl HarnessArgs {
                         .next()
                         .unwrap_or_else(|| usage("--out needs a directory"));
                 }
+                "--jobs" => {
+                    let n: usize = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--jobs needs a positive integer"));
+                    if n == 0 {
+                        usage("--jobs must be at least 1");
+                    }
+                    args.jobs = Some(n);
+                }
                 other => usage(&format!("unknown flag {other}")),
             }
         }
@@ -56,11 +72,24 @@ impl HarnessArgs {
         }
         args
     }
+
+    /// The work pool every experiment fans its grid cells onto. `--jobs <n>`
+    /// pins the worker count; otherwise `JIGSAW_JOBS` / available
+    /// parallelism decide. Results are deterministic either way — see
+    /// `jigsaw_par`.
+    pub fn pool(&self) -> Pool {
+        match self.jobs {
+            Some(n) => Pool::new(n),
+            None => Pool::from_env(),
+        }
+    }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <experiment> [--scale <0..1>] [--full] [--seed <n>] [--out <dir>]");
+    eprintln!(
+        "usage: <experiment> [--scale <0..1>] [--full] [--seed <n>] [--out <dir>] [--jobs <n>]"
+    );
     std::process::exit(2);
 }
 
@@ -73,5 +102,15 @@ mod tests {
         let a = HarnessArgs::default();
         assert!(a.scale > 0.0 && a.scale <= 1.0);
         assert_eq!(a.out_dir, "results");
+        assert_eq!(a.jobs, None);
+    }
+
+    #[test]
+    fn pool_honors_explicit_jobs() {
+        let a = HarnessArgs {
+            jobs: Some(3),
+            ..HarnessArgs::default()
+        };
+        assert_eq!(a.pool().jobs(), 3);
     }
 }

@@ -15,7 +15,7 @@
 //! ```
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::{simulate, SimConfig};
 
 fn main() {
@@ -25,28 +25,37 @@ fn main() {
 
     let config = SimConfig::default();
 
-    let jig = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config);
-
     // LC: least-constrained placements, exclusive links (bw = the cap).
     let mut lc_trace = trace.clone();
     for j in &mut lc_trace.jobs {
         j.bw_tenths = 40;
     }
-    let lc = simulate(&tree, SchedulerKind::LcS.make(&tree), &lc_trace, &config);
 
-    // LC+S: the real bandwidth classes.
-    let lcs = simulate(&tree, SchedulerKind::LcS.make(&tree), &trace, &config);
+    let variants = [
+        ("Jigsaw (restricted)", Scheme::Jigsaw, &trace),
+        ("LC (least constrained)", Scheme::LcS, &lc_trace),
+        // LC+S: the real bandwidth classes.
+        ("LC+S (LC + link sharing)", Scheme::LcS, &trace),
+    ];
+    let results = match args.pool().map(variants.to_vec(), |_, (_, scheme, t)| {
+        simulate(&tree, scheme.make(&tree), t, &config)
+    }) {
+        Ok(r) => r,
+        Err(tp) => {
+            eprintln!(
+                "error: variant `{}` failed: {}",
+                variants[tp.index].0, tp.message
+            );
+            std::process::exit(1);
+        }
+    };
 
     println!("## Ablation — the full-leaf restriction (§4)\n");
     println!(
         "{:<28} {:>12} {:>16} {:>14}",
         "variant", "utilization", "sched time/job", "makespan"
     );
-    for (name, r) in [
-        ("Jigsaw (restricted)", &jig),
-        ("LC (least constrained)", &lc),
-        ("LC+S (LC + link sharing)", &lcs),
-    ] {
+    for ((name, _, _), r) in variants.iter().zip(&results) {
         println!(
             "{:<28} {:>11.1}% {:>14.1}µs {:>14.0}",
             name,

@@ -15,26 +15,41 @@ use jigsaw_sim::{simulate, SimConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let pool = args.pool();
+    let names = ["Synth-16", "Thunder"];
+    let config = SimConfig::default();
+
+    // One task per (trace, order) cell; trace generation is cheap next to
+    // the simulation, so each cell regenerates its own copy.
+    let cells: Vec<(&str, bool)> = names
+        .iter()
+        .flat_map(|&n| [(n, false), (n, true)])
+        .collect();
+    let results = match pool.map(cells.clone(), |_, (name, widest)| {
+        let (trace, tree) = trace_by_name(name, args.scale, args.seed);
+        let alloc = if widest {
+            JigsawAllocator::with_widest_first_order(&tree)
+        } else {
+            JigsawAllocator::new(&tree)
+        };
+        simulate(&tree, Box::new(alloc), &trace, &config)
+    }) {
+        Ok(r) => r,
+        Err(tp) => {
+            let (name, widest) = cells[tp.index];
+            let order = if widest { "widest" } else { "densest" };
+            eprintln!("error: cell ({name}, {order}-first) failed: {}", tp.message);
+            std::process::exit(1);
+        }
+    };
+
     println!("## Ablation — Jigsaw shape enumeration order\n");
     println!(
         "{:<10} {:>16} {:>15} {:>16} {:>15}",
         "trace", "densest util", "densest µs/job", "widest util", "widest µs/job"
     );
-    for name in ["Synth-16", "Thunder"] {
-        let (trace, tree) = trace_by_name(name, args.scale, args.seed);
-        let config = SimConfig::default();
-        let dense = simulate(
-            &tree,
-            Box::new(JigsawAllocator::new(&tree)),
-            &trace,
-            &config,
-        );
-        let wide = simulate(
-            &tree,
-            Box::new(JigsawAllocator::with_widest_first_order(&tree)),
-            &trace,
-            &config,
-        );
+    for (i, name) in names.iter().enumerate() {
+        let (dense, wide) = (&results[2 * i], &results[2 * i + 1]);
         println!(
             "{:<10} {:>15.1}% {:>15.1} {:>15.1}% {:>15.1}",
             name,

@@ -13,7 +13,7 @@
 //! ```
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::{simulate, BackfillPolicy, SimConfig};
 
 fn main() {
@@ -24,21 +24,34 @@ fn main() {
     let (trace, tree) = trace_by_name("Synth-16", scale, args.seed);
     eprintln!("trace: {} jobs on {} nodes", trace.len(), tree.num_nodes());
 
+    let policies = [
+        ("FIFO", BackfillPolicy::None),
+        ("EASY", BackfillPolicy::Easy),
+        ("conservative", BackfillPolicy::Conservative),
+    ];
+    let results = match args.pool().map(policies.to_vec(), |_, (_, policy)| {
+        let config = SimConfig {
+            policy,
+            ..SimConfig::default()
+        };
+        simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &config)
+    }) {
+        Ok(r) => r,
+        Err(tp) => {
+            eprintln!(
+                "error: policy `{}` failed: {}",
+                policies[tp.index].0, tp.message
+            );
+            std::process::exit(1);
+        }
+    };
+
     println!("## Backfilling disciplines under Jigsaw\n");
     println!(
         "{:<14} {:>11} {:>14} {:>12} {:>12} {:>14}",
         "policy", "utilization", "avg turnaround", "p95 wait", "makespan", "sched µs/job"
     );
-    for (name, policy) in [
-        ("FIFO", BackfillPolicy::None),
-        ("EASY", BackfillPolicy::Easy),
-        ("conservative", BackfillPolicy::Conservative),
-    ] {
-        let config = SimConfig {
-            policy,
-            ..SimConfig::default()
-        };
-        let r = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config);
+    for ((name, _), r) in policies.iter().zip(&results) {
         println!(
             "{:<14} {:>10.1}% {:>14.0} {:>12.0} {:>12.0} {:>14.1}",
             name,

@@ -14,38 +14,69 @@
 //! ```
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::{simulate, EstimateModel, SimConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
+    let pool = args.pool();
+    let names = ["Synth-16", "Oct-Cab"];
+    let models = [
+        ("exact", EstimateModel::Exact),
+        ("over up to 2x", EstimateModel::Over { max_factor: 2.0 }),
+        ("over up to 5x", EstimateModel::Over { max_factor: 5.0 }),
+        ("over up to 10x", EstimateModel::Over { max_factor: 10.0 }),
+    ];
+
+    // Generate each trace once, then fan the (trace × model) cells out.
+    let generated = match pool.map(names.to_vec(), |_, name| {
+        trace_by_name(name, args.scale, args.seed)
+    }) {
+        Ok(g) => g,
+        Err(tp) => {
+            eprintln!(
+                "error: generating trace {} failed: {}",
+                names[tp.index], tp.message
+            );
+            std::process::exit(1);
+        }
+    };
+    let cells: Vec<(usize, usize)> = (0..names.len())
+        .flat_map(|t| (0..models.len()).map(move |m| (t, m)))
+        .collect();
+    let results = match pool.map(cells.clone(), |_, (t, m)| {
+        let (trace, tree) = &generated[t];
+        let config = SimConfig {
+            estimates: models[m].1,
+            ..SimConfig::default()
+        };
+        simulate(tree, Scheme::Jigsaw.make(tree), trace, &config)
+    }) {
+        Ok(r) => r,
+        Err(tp) => {
+            let (t, m) = cells[tp.index];
+            eprintln!(
+                "error: cell ({}, {}) failed: {}",
+                names[t], models[m].0, tp.message
+            );
+            std::process::exit(1);
+        }
+    };
+
     println!("## Runtime-estimate sensitivity (Jigsaw, EASY backfilling)\n");
     println!(
         "{:<12} {:>24} {:>11} {:>14} {:>12}",
         "trace", "estimates", "utilization", "avg turnaround", "makespan"
     );
-    for name in ["Synth-16", "Oct-Cab"] {
-        let (trace, tree) = trace_by_name(name, args.scale, args.seed);
-        for (label, model) in [
-            ("exact", EstimateModel::Exact),
-            ("over up to 2x", EstimateModel::Over { max_factor: 2.0 }),
-            ("over up to 5x", EstimateModel::Over { max_factor: 5.0 }),
-            ("over up to 10x", EstimateModel::Over { max_factor: 10.0 }),
-        ] {
-            let config = SimConfig {
-                estimates: model,
-                ..SimConfig::default()
-            };
-            let r = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config);
-            println!(
-                "{:<12} {:>24} {:>10.1}% {:>14.0} {:>12.0}",
-                name,
-                label,
-                100.0 * r.utilization,
-                r.avg_turnaround(),
-                r.makespan,
-            );
-        }
+    for (&(t, m), r) in cells.iter().zip(&results) {
+        println!(
+            "{:<12} {:>24} {:>10.1}% {:>14.0} {:>12.0}",
+            names[t],
+            models[m].0,
+            100.0 * r.utilization,
+            r.avg_turnaround(),
+            r.makespan,
+        );
     }
     println!("\nEASY's robustness to over-estimation means the paper's exact-runtime");
     println!("simulator does not flatter Jigsaw: the utilization gap to Baseline is");

@@ -13,7 +13,7 @@
 //! ```
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::{simulate, FailureModel, SimConfig};
 
 fn main() {
@@ -52,30 +52,42 @@ fn main() {
             },
         ),
     ];
-    for (label, failures) in models {
-        for kind in [
-            SchedulerKind::Baseline,
-            SchedulerKind::Jigsaw,
-            SchedulerKind::Laas,
-        ] {
-            let config = SimConfig {
-                failures,
-                scheme_benefits: kind != SchedulerKind::Baseline,
-                ..SimConfig::default()
-            };
-            let r = simulate(&tree, kind.make(&tree), &trace, &config);
-            println!(
-                "{:<22} {:>9} {:>8} {:>8} {:>10.1}% {:>11.0} {:>12.0}",
-                label,
-                r.failures,
-                r.killed_jobs,
-                kind.name(),
-                100.0 * r.utilization,
-                r.avg_turnaround(),
-                r.makespan,
+    let schemes = [Scheme::Baseline, Scheme::Jigsaw, Scheme::Laas];
+    let cells: Vec<(usize, Scheme)> = (0..models.len())
+        .flat_map(|m| schemes.iter().map(move |&k| (m, k)))
+        .collect();
+    let results = match args.pool().map(cells.clone(), |_, (m, kind)| {
+        let config = SimConfig {
+            failures: models[m].1,
+            scheme_benefits: kind.benefits_from_isolation(),
+            ..SimConfig::default()
+        };
+        simulate(&tree, kind.make(&tree), &trace, &config)
+    }) {
+        Ok(r) => r,
+        Err(tp) => {
+            let (m, kind) = cells[tp.index];
+            eprintln!(
+                "error: cell ({}, {kind}) failed: {}",
+                models[m].0, tp.message
             );
+            std::process::exit(1);
         }
-        println!();
+    };
+    for (&(m, kind), r) in cells.iter().zip(&results) {
+        println!(
+            "{:<22} {:>9} {:>8} {:>8} {:>10.1}% {:>11.0} {:>12.0}",
+            models[m].0,
+            r.failures,
+            r.killed_jobs,
+            kind.name(),
+            100.0 * r.utilization,
+            r.avg_turnaround(),
+            r.makespan,
+        );
+        if kind == *schemes.last().unwrap() {
+            println!();
+        }
     }
     println!("Jigsaw's utilization should track Baseline's decline point-for-point:");
     println!("isolation does not amplify failure cost.");

@@ -11,9 +11,9 @@
 
 use jigsaw_bench::registry::SPECS;
 use jigsaw_bench::report::{pct, table, write_json};
-use jigsaw_bench::runner::{product, run_grid};
+use jigsaw_bench::runner::{product, run_grid_or_exit};
 use jigsaw_bench::{paper_traces, HarnessArgs};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::Scenario;
 
 fn main() {
@@ -21,18 +21,18 @@ fn main() {
     eprintln!("generating traces at scale {} ...", args.scale);
     let traces = paper_traces(args.scale, args.seed);
     let names: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
-    let cells = product(&names, &SchedulerKind::ALL, &[Scenario::None]);
+    let cells = product(&names, &Scheme::ALL, &[Scenario::None]);
     eprintln!("running {} simulations ...", cells.len());
-    let results = run_grid(&cells, &traces, args.seed, false);
+    let results = run_grid_or_exit(&args.pool(), &cells, &traces, args.seed, false);
 
-    let columns: Vec<&str> = SchedulerKind::ALL.iter().map(|k| k.name()).collect();
+    let columns: Vec<&str> = Scheme::ALL.iter().map(|k| k.name()).collect();
     let rows: Vec<(String, Vec<String>)> = names
         .iter()
         .map(|&trace| {
-            let values = SchedulerKind::ALL
+            let values = Scheme::ALL
                 .iter()
-                .map(|k| {
-                    pct(jigsaw_bench::report::cell(&results, trace, k.name(), "None").utilization)
+                .map(|&k| {
+                    pct(jigsaw_bench::report::cell(&results, trace, k, Scenario::None).utilization)
                 })
                 .collect();
             (trace.to_string(), values)

@@ -11,9 +11,9 @@
 //! ```
 
 use jigsaw_bench::report::{cell, norm, table, write_json};
-use jigsaw_bench::runner::{product, run_grid};
+use jigsaw_bench::runner::{product, run_grid_or_exit};
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::Scenario;
 
 fn main() {
@@ -24,21 +24,21 @@ fn main() {
         .iter()
         .map(|n| trace_by_name(n, args.scale, args.seed))
         .collect();
-    let cells = product(&trace_names, &SchedulerKind::ALL, &Scenario::ALL);
+    let cells = product(&trace_names, &Scheme::ALL, &Scenario::ALL);
     eprintln!("running {} simulations ...", cells.len());
-    let results = run_grid(&cells, &traces, args.seed, false);
+    let results = run_grid_or_exit(&args.pool(), &cells, &traces, args.seed, false);
 
     let scenario_labels: Vec<String> = Scenario::ALL.iter().map(|s| s.label()).collect();
     let columns: Vec<&str> = scenario_labels.iter().map(String::as_str).collect();
     for trace in trace_names {
-        let rows: Vec<(String, Vec<String>)> = SchedulerKind::ISOLATING
+        let rows: Vec<(String, Vec<String>)> = Scheme::ISOLATING
             .iter()
             .map(|kind| {
                 let values = Scenario::ALL
                     .iter()
-                    .map(|s| {
-                        let r = cell(&results, trace, kind.name(), &s.label());
-                        let b = cell(&results, trace, "Baseline", &s.label());
+                    .map(|&s| {
+                        let r = cell(&results, trace, *kind, s);
+                        let b = cell(&results, trace, Scheme::Baseline, s);
                         norm(r.makespan, b.makespan)
                     })
                     .collect();

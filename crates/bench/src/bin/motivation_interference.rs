@@ -19,7 +19,7 @@
 //! ```
 
 use jigsaw_bench::HarnessArgs;
-use jigsaw_core::{Allocation, Allocator, JobRequest, SchedulerKind};
+use jigsaw_core::{Allocation, Allocator, JobRequest, Scheme};
 use jigsaw_routing::dmodk::dmodk_route;
 use jigsaw_routing::flowsim::{job_slowdowns, Flow};
 use jigsaw_routing::permutation::random_permutation;
@@ -59,7 +59,7 @@ fn main() {
         }
     };
 
-    let place = |kind: SchedulerKind, rng: &mut StdRng| -> (Vec<Allocation>, SystemState) {
+    let place = |kind: Scheme, rng: &mut StdRng| -> (Vec<Allocation>, SystemState) {
         let mut state = SystemState::new(tree);
         let mut alloc = kind.make(&tree);
         churn(&mut state, &mut alloc, rng);
@@ -76,7 +76,7 @@ fn main() {
     };
 
     // --- Baseline + D-mod-k. ------------------------------------------------
-    let (allocs, _) = place(SchedulerKind::Baseline, &mut rng);
+    let (allocs, _) = place(Scheme::Baseline, &mut rng);
     let flows: Vec<Vec<Flow>> = allocs
         .iter()
         .map(|a| {
@@ -126,7 +126,7 @@ fn main() {
     println!("  (mitigates, but interference can remain nonzero — no guarantee)\n");
 
     // --- Jigsaw + static partition routing. ----------------------------------
-    let (allocs, _) = place(SchedulerKind::Jigsaw, &mut rng);
+    let (allocs, _) = place(Scheme::Jigsaw, &mut rng);
     let perms: Vec<Vec<(NodeId, NodeId)>> = allocs
         .iter()
         .map(|a| random_permutation(&a.nodes, &mut rng))

@@ -5,42 +5,54 @@
 //! grows, and the column converges to the paper's values.
 //!
 //! ```text
-//! cargo run --release -p jigsaw-bench --bin scale_sweep
+//! cargo run --release -p jigsaw-bench --bin scale_sweep [--jobs n]
 //! ```
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
-use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_core::Scheme;
+use jigsaw_sim::{sweep_points, SimConfig};
+use std::sync::Mutex;
 
 fn main() {
     let args = HarnessArgs::parse();
+    let scales = [0.02f64, 0.05, 0.1, 0.15];
+    let schemes = [Scheme::Baseline, Scheme::Jigsaw, Scheme::LcS];
+    // Trace sizes, recorded as the sweep generates each scale's trace.
+    let job_counts = Mutex::new(vec![0usize; scales.len()]);
+    let runs = match sweep_points(
+        &args.pool(),
+        &scales,
+        &schemes,
+        &SimConfig::default(),
+        |&scale| {
+            let (trace, tree) = trace_by_name("Thunder", scale, args.seed);
+            let i = scales.iter().position(|&s| s == scale).unwrap();
+            job_counts.lock().unwrap()[i] = trace.len();
+            (trace, tree)
+        },
+    ) {
+        Ok(runs) => runs,
+        Err(failure) => {
+            eprintln!("error: {failure}");
+            std::process::exit(1);
+        }
+    };
+
     println!("## Thunder utilization vs. trace scale\n");
     println!(
         "{:>7} {:>7} {:>10} {:>8} {:>8}",
         "scale", "jobs", "Baseline", "Jigsaw", "LC+S"
     );
-    for scale in [0.02f64, 0.05, 0.1, 0.15] {
-        let (trace, tree) = trace_by_name("Thunder", scale, args.seed);
-        let mut cells = Vec::new();
-        for kind in [
-            SchedulerKind::Baseline,
-            SchedulerKind::Jigsaw,
-            SchedulerKind::LcS,
-        ] {
-            let config = SimConfig {
-                scheme_benefits: kind != SchedulerKind::Baseline,
-                ..SimConfig::default()
-            };
-            let r = simulate(&tree, kind.make(&tree), &trace, &config);
-            cells.push(format!("{:>7.1}%", 100.0 * r.utilization));
-        }
+    let job_counts = job_counts.into_inner().unwrap();
+    for (i, &scale) in scales.iter().enumerate() {
+        let cells: Vec<String> = runs
+            .iter()
+            .filter(|r| r.point == scale)
+            .map(|r| format!("{:>7.1}%", 100.0 * r.result.utilization))
+            .collect();
         println!(
             "{:>7} {:>7} {:>10} {:>8} {:>8}",
-            scale,
-            trace.len(),
-            cells[0],
-            cells[1],
-            cells[2]
+            scale, job_counts[i], cells[0], cells[1], cells[2]
         );
     }
     println!("\nJigsaw and LC+S converge toward the paper's 95-96% as the horizon");

@@ -4,7 +4,8 @@
 //! cargo run --release -p jigsaw-bench --bin table1_traces [--scale f | --full]
 //! ```
 
-use jigsaw_bench::{paper_traces, HarnessArgs};
+use jigsaw_bench::registry::SPECS;
+use jigsaw_bench::{trace_by_name, HarnessArgs};
 use jigsaw_traces::stats::{format_table1, TraceSummary};
 
 fn main() {
@@ -13,10 +14,20 @@ fn main() {
         "Table 1 — trace characteristics (scale {}; paper job counts at --full)\n",
         args.scale
     );
-    let summaries: Vec<TraceSummary> = paper_traces(args.scale, args.seed)
-        .iter()
-        .map(|(trace, _)| TraceSummary::of(trace))
-        .collect();
+    let names: Vec<&str> = SPECS.iter().map(|s| s.name).collect();
+    let summaries: Vec<TraceSummary> = match args.pool().map(names.clone(), |_, name| {
+        let (trace, _) = trace_by_name(name, args.scale, args.seed);
+        TraceSummary::of(&trace)
+    }) {
+        Ok(s) => s,
+        Err(tp) => {
+            eprintln!(
+                "error: generating trace {} failed: {}",
+                names[tp.index], tp.message
+            );
+            std::process::exit(1);
+        }
+    };
     println!("{}", format_table1(&summaries));
     println!(
         "(System nodes for synthetic traces is '–' as in the paper; they are\n\

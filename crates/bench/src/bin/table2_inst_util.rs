@@ -10,28 +10,24 @@
 //! ```
 
 use jigsaw_bench::report::{table, write_json};
-use jigsaw_bench::runner::{product, run_grid};
+use jigsaw_bench::runner::{product, run_grid_or_exit};
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::metrics::INST_UTIL_LABELS;
 use jigsaw_sim::Scenario;
 
 fn main() {
     let args = HarnessArgs::parse();
     let traces = vec![trace_by_name("Thunder", args.scale, args.seed)];
-    let schemes = [
-        SchedulerKind::Laas,
-        SchedulerKind::Jigsaw,
-        SchedulerKind::Ta,
-    ];
+    let schemes = [Scheme::Laas, Scheme::Jigsaw, Scheme::Ta];
     let cells = product(&["Thunder"], &schemes, &[Scenario::None]);
     eprintln!("simulating Thunder under LaaS/Jigsaw/TA ...");
-    let results = run_grid(&cells, &traces, args.seed, true);
+    let results = run_grid_or_exit(&args.pool(), &cells, &traces, args.seed, true);
 
     let rows: Vec<(String, Vec<String>)> = schemes
         .iter()
-        .map(|k| {
-            let r = jigsaw_bench::report::cell(&results, "Thunder", k.name(), "None");
+        .map(|&k| {
+            let r = jigsaw_bench::report::cell(&results, "Thunder", k, Scenario::None);
             let total: u64 = r.inst_util_buckets.iter().sum();
             let values = r
                 .inst_util_buckets

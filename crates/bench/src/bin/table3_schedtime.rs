@@ -12,9 +12,9 @@
 //! ```
 
 use jigsaw_bench::report::{cell, table, write_json};
-use jigsaw_bench::runner::{product, run_grid};
+use jigsaw_bench::runner::{product, run_grid_or_exit};
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::Scenario;
 
 fn main() {
@@ -26,23 +26,18 @@ fn main() {
         .iter()
         .map(|n| trace_by_name(n, args.scale, args.seed))
         .collect();
-    let schemes = [
-        SchedulerKind::Ta,
-        SchedulerKind::Laas,
-        SchedulerKind::Jigsaw,
-        SchedulerKind::LcS,
-    ];
+    let schemes = [Scheme::Ta, Scheme::Laas, Scheme::Jigsaw, Scheme::LcS];
     let cells = product(&trace_names, &schemes, &[Scenario::None]);
     eprintln!("running {} simulations ...", cells.len());
-    let results = run_grid(&cells, &traces, args.seed, false);
+    let results = run_grid_or_exit(&args.pool(), &cells, &traces, args.seed, false);
 
     let rows: Vec<(String, Vec<String>)> = schemes
         .iter()
-        .map(|k| {
+        .map(|&k| {
             let values = trace_names
                 .iter()
                 .map(|t| {
-                    let r = cell(&results, t, k.name(), "None");
+                    let r = cell(&results, t, k, Scenario::None);
                     format!("{:.5}", r.sched_time_per_job)
                 })
                 .collect();

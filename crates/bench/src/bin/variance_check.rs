@@ -8,18 +8,19 @@
 //! otherwise Figure 6 would be noise.
 //!
 //! ```text
-//! cargo run --release -p jigsaw-bench --bin variance_check [--scale f] [--seed n]
+//! cargo run --release -p jigsaw-bench --bin variance_check [--scale f] [--seed n] [--jobs n]
 //! ```
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
-use jigsaw_core::SchedulerKind;
-use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_core::Scheme;
+use jigsaw_sim::{sweep_seeds, SimConfig};
 
 const SEEDS: u64 = 5;
 
 fn main() {
     let args = HarnessArgs::parse();
-    let schemes = SchedulerKind::ALL;
+    let pool = args.pool();
+    let schemes = Scheme::ALL;
     println!("## Utilization stability over {SEEDS} trace seeds (mean ± stddev)\n");
     println!(
         "{:<10} {}",
@@ -30,17 +31,20 @@ fn main() {
             .collect::<String>()
     );
     for name in ["Synth-16", "Oct-Cab"] {
-        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-        for s in 0..SEEDS {
-            let (trace, tree) = trace_by_name(name, args.scale, args.seed + 1000 * s);
-            for (k, &kind) in schemes.iter().enumerate() {
-                let config = SimConfig {
-                    scheme_benefits: kind != SchedulerKind::Baseline,
-                    ..SimConfig::default()
-                };
-                let r = simulate(&tree, kind.make(&tree), &trace, &config);
-                samples[k].push(r.utilization);
+        let seeds: Vec<u64> = (0..SEEDS).map(|s| args.seed + 1000 * s).collect();
+        let runs = match sweep_seeds(&pool, &seeds, &schemes, &SimConfig::default(), |seed| {
+            trace_by_name(name, args.scale, seed)
+        }) {
+            Ok(runs) => runs,
+            Err(failure) => {
+                eprintln!("error: {failure}");
+                std::process::exit(1);
             }
+        };
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+        for run in &runs {
+            let k = schemes.iter().position(|&x| x == run.scheme).unwrap();
+            samples[k].push(run.result.utilization);
         }
         let cells: String = samples
             .iter()
@@ -53,10 +57,10 @@ fn main() {
             .collect();
         println!("{name:<10} {cells}");
         // Ordering check: Jigsaw > LaaS and Jigsaw > TA on every seed.
-        let idx = |k: SchedulerKind| schemes.iter().position(|&x| x == k).unwrap();
-        let jig_row = &samples[idx(SchedulerKind::Jigsaw)];
-        let laas_row = &samples[idx(SchedulerKind::Laas)];
-        let ta_row = &samples[idx(SchedulerKind::Ta)];
+        let idx = |k: Scheme| schemes.iter().position(|&x| x == k).unwrap();
+        let jig_row = &samples[idx(Scheme::Jigsaw)];
+        let laas_row = &samples[idx(Scheme::Laas)];
+        let ta_row = &samples[idx(Scheme::Ta)];
         for ((&jig, &laas), &ta) in jig_row.iter().zip(laas_row).zip(ta_row) {
             assert!(
                 jig > laas && jig > ta,

@@ -21,8 +21,10 @@
 //! | `run_all`           | everything above, results to `results/*.json` |
 //!
 //! Every binary accepts `--scale <f>` (default 0.02) for the trace job
-//! counts and `--full` for paper scale, plus `--seed <n>`. Experiments fan
-//! out over (trace × scheme × scenario) with rayon.
+//! counts and `--full` for paper scale, plus `--seed <n>` and `--jobs <n>`.
+//! Experiments fan their (trace × scheme × scenario) cells across a
+//! `jigsaw_par::Pool`; results come back in submission order, so reports
+//! are byte-identical for any worker count.
 
 #![warn(missing_docs)]
 
@@ -33,4 +35,4 @@ pub mod runner;
 
 pub use args::HarnessArgs;
 pub use registry::{paper_traces, trace_by_name, TraceSpec};
-pub use runner::{run_grid, GridCell, GridResult};
+pub use runner::{run_grid, run_grid_or_exit, CellFailure, GridCell, GridResult};

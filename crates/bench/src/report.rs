@@ -1,6 +1,8 @@
 //! Console tables, normalization helpers and JSON result output.
 
 use crate::runner::GridResult;
+use jigsaw_core::Scheme;
+use jigsaw_sim::Scenario;
 use std::fs;
 use std::path::Path;
 
@@ -20,8 +22,8 @@ pub fn write_json(out_dir: &str, name: &str, results: &[GridResult]) -> std::io:
 pub fn cell<'a>(
     results: &'a [GridResult],
     trace: &str,
-    scheme: &str,
-    scenario: &str,
+    scheme: Scheme,
+    scenario: Scenario,
 ) -> &'a GridResult {
     results
         .iter()
@@ -72,11 +74,11 @@ pub fn norm(x: f64, baseline: f64) -> String {
 mod tests {
     use super::*;
 
-    fn fake(trace: &str, scheme: &str, scenario: &str) -> GridResult {
+    fn fake(trace: &str, scheme: Scheme, scenario: Scenario) -> GridResult {
         GridResult {
             trace: trace.into(),
-            scheme: scheme.into(),
-            scenario: scenario.into(),
+            scheme,
+            scenario,
             utilization: 0.95,
             turnaround_all: 100.0,
             turnaround_large: 150.0,
@@ -89,15 +91,21 @@ mod tests {
 
     #[test]
     fn cell_lookup() {
-        let results = vec![fake("A", "Jigsaw", "None"), fake("A", "TA", "None")];
-        assert_eq!(cell(&results, "A", "TA", "None").scheme, "TA");
+        let results = vec![
+            fake("A", Scheme::Jigsaw, Scenario::None),
+            fake("A", Scheme::Ta, Scenario::None),
+        ];
+        assert_eq!(
+            cell(&results, "A", Scheme::Ta, Scenario::None).scheme,
+            Scheme::Ta
+        );
     }
 
     #[test]
     #[should_panic(expected = "missing cell")]
     fn missing_cell_panics() {
-        let results = vec![fake("A", "Jigsaw", "None")];
-        let _ = cell(&results, "B", "Jigsaw", "None");
+        let results = vec![fake("A", Scheme::Jigsaw, Scenario::None)];
+        let _ = cell(&results, "B", Scheme::Jigsaw, Scenario::None);
     }
 
     #[test]
@@ -116,7 +124,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let dir = std::env::temp_dir().join("jigsaw_bench_test");
-        let results = vec![fake("A", "Jigsaw", "None")];
+        let results = vec![fake("A", Scheme::Jigsaw, Scenario::None)];
         write_json(dir.to_str().unwrap(), "test", &results).unwrap();
         let text = std::fs::read_to_string(dir.join("test.json")).unwrap();
         let back: Vec<GridResult> = serde_json::from_str(&text).unwrap();

@@ -1,10 +1,16 @@
 //! Parallel experiment execution over (trace × scheme × scenario) grids.
+//!
+//! Cells fan out across a [`Pool`]'s workers and come back in submission
+//! order, so reports built from the results are byte-identical whatever
+//! `--jobs` says. A cell that panics mid-simulation surfaces as a
+//! [`CellFailure`] naming the cell, instead of unwinding through a report
+//! writer with a half-written JSON file on disk.
 
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
+use jigsaw_par::Pool;
 use jigsaw_sim::{simulate, Scenario, SimConfig, SimResult};
 use jigsaw_topology::FatTree;
 use jigsaw_traces::Trace;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One cell of an experiment grid.
@@ -13,7 +19,7 @@ pub struct GridCell {
     /// Trace name (looked up in the registry by the caller).
     pub trace: String,
     /// Scheduling scheme.
-    pub scheme: SchedulerKind,
+    pub scheme: Scheme,
     /// Speed-up scenario.
     pub scenario: Scenario,
 }
@@ -24,10 +30,10 @@ pub struct GridCell {
 pub struct GridResult {
     /// Trace name.
     pub trace: String,
-    /// Scheme name.
-    pub scheme: String,
-    /// Scenario label.
-    pub scenario: String,
+    /// Scheduling scheme (serialized as its paper label).
+    pub scheme: Scheme,
+    /// Speed-up scenario (serialized as its figure label).
+    pub scenario: Scenario,
     /// Steady-state utilization.
     pub utilization: f64,
     /// Average turnaround, all jobs.
@@ -48,8 +54,8 @@ impl GridResult {
     fn from(cell: &GridCell, r: &SimResult) -> Self {
         GridResult {
             trace: cell.trace.clone(),
-            scheme: cell.scheme.name().to_string(),
-            scenario: cell.scenario.label(),
+            scheme: cell.scheme,
+            scenario: cell.scenario,
             utilization: r.utilization,
             turnaround_all: r.avg_turnaround(),
             turnaround_large: r.avg_turnaround_large(100),
@@ -61,41 +67,94 @@ impl GridResult {
     }
 }
 
-/// Run every cell of the grid in parallel. `lookup` resolves a trace name
-/// to its (trace, cluster) pair — generation happens once per trace up
-/// front, not per cell.
+/// A grid cell that died, named so harness binaries can report it and
+/// exit nonzero.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Trace name of the failing cell.
+    pub trace: String,
+    /// Scheme of the failing cell.
+    pub scheme: Scheme,
+    /// Scenario of the failing cell.
+    pub scenario: Scenario,
+    /// The contained panic message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "grid cell ({}, {}, {}) failed: {}",
+            self.trace, self.scheme, self.scenario, self.message
+        )
+    }
+}
+
+impl std::error::Error for CellFailure {}
+
+/// Run every cell of the grid on `pool`. `traces` resolves a trace name to
+/// its (trace, cluster) pair — generation happens once per trace up front,
+/// not per cell. Results are in the cells' submission order; the first
+/// failing cell (in that order) is returned instead.
 pub fn run_grid(
+    pool: &Pool,
+    cells: &[GridCell],
+    traces: &[(Trace, FatTree)],
+    scenario_seed: u64,
+    collect_inst_util: bool,
+) -> Result<Vec<GridResult>, CellFailure> {
+    let outcomes = pool.run(cells.to_vec(), |_, cell| {
+        let (trace, tree) = traces
+            .iter()
+            .find(|(t, _)| t.name == cell.trace)
+            .unwrap_or_else(|| panic!("trace {} not generated", cell.trace));
+        let config = SimConfig {
+            scenario: cell.scenario,
+            scenario_seed,
+            scheme_benefits: cell.scheme.benefits_from_isolation(),
+            collect_inst_util,
+            ..SimConfig::default()
+        };
+        let result = simulate(tree, cell.scheme.make(tree), trace, &config);
+        GridResult::from(&cell, &result)
+    });
+    outcomes
+        .into_iter()
+        .map(|outcome| {
+            outcome.map_err(|tp| {
+                let cell = &cells[tp.index];
+                CellFailure {
+                    trace: cell.trace.clone(),
+                    scheme: cell.scheme,
+                    scenario: cell.scenario,
+                    message: tp.message,
+                }
+            })
+        })
+        .collect()
+}
+
+/// [`run_grid`] with the shared harness-binary failure policy: print the
+/// failing cell to stderr and exit nonzero, never unwind.
+pub fn run_grid_or_exit(
+    pool: &Pool,
     cells: &[GridCell],
     traces: &[(Trace, FatTree)],
     scenario_seed: u64,
     collect_inst_util: bool,
 ) -> Vec<GridResult> {
-    cells
-        .par_iter()
-        .map(|cell| {
-            let (trace, tree) = traces
-                .iter()
-                .find(|(t, _)| t.name == cell.trace)
-                .unwrap_or_else(|| panic!("trace {} not generated", cell.trace));
-            let config = SimConfig {
-                scenario: cell.scenario,
-                scenario_seed,
-                scheme_benefits: cell.scheme != SchedulerKind::Baseline,
-                collect_inst_util,
-                ..SimConfig::default()
-            };
-            let result = simulate(tree, cell.scheme.make(tree), trace, &config);
-            GridResult::from(cell, &result)
-        })
-        .collect()
+    match run_grid(pool, cells, traces, scenario_seed, collect_inst_util) {
+        Ok(results) => results,
+        Err(failure) => {
+            eprintln!("error: {failure}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Convenience: the full scheme × scenario product for a set of traces.
-pub fn product(
-    traces: &[&str],
-    schemes: &[SchedulerKind],
-    scenarios: &[Scenario],
-) -> Vec<GridCell> {
+pub fn product(traces: &[&str], schemes: &[Scheme], scenarios: &[Scenario]) -> Vec<GridCell> {
     let mut cells = Vec::new();
     for &trace in traces {
         for &scheme in schemes {
@@ -121,14 +180,52 @@ mod tests {
         let traces = vec![trace_by_name("Synth-16", 0.005, 3)];
         let cells = product(
             &["Synth-16"],
-            &[SchedulerKind::Baseline, SchedulerKind::Jigsaw],
+            &[Scheme::Baseline, Scheme::Jigsaw],
             &[Scenario::None, Scenario::Fixed(10)],
         );
-        let results = run_grid(&cells, &traces, 7, false);
+        let results = run_grid(&Pool::new(4), &cells, &traces, 7, false).expect("grid runs");
         assert_eq!(results.len(), 4);
         assert!(results.iter().all(|r| r.utilization > 0.0));
         // Scenario does not change Baseline.
-        let base: Vec<&GridResult> = results.iter().filter(|r| r.scheme == "Baseline").collect();
+        let base: Vec<&GridResult> = results
+            .iter()
+            .filter(|r| r.scheme == Scheme::Baseline)
+            .collect();
         assert_eq!(base[0].makespan, base[1].makespan);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let traces = vec![trace_by_name("Synth-16", 0.005, 3)];
+        let cells = product(
+            &["Synth-16"],
+            &[Scheme::Baseline, Scheme::Jigsaw, Scheme::LcS],
+            &[Scenario::None],
+        );
+        let mut seq = run_grid(&Pool::sequential(), &cells, &traces, 7, false).expect("seq");
+        let mut par = run_grid(&Pool::new(3), &cells, &traces, 7, false).expect("par");
+        // Scheduling time is measured wall clock — the one field that
+        // differs even between two sequential runs. Everything else must
+        // serialize byte-identically whatever the worker count.
+        for r in seq.iter_mut().chain(par.iter_mut()) {
+            r.sched_time_per_job = 0.0;
+        }
+        let seq_json = serde_json::to_string(&seq).expect("serialize");
+        let par_json = serde_json::to_string(&par).expect("serialize");
+        assert_eq!(seq_json, par_json);
+    }
+
+    #[test]
+    fn missing_trace_is_a_named_failure() {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let traces = vec![trace_by_name("Synth-16", 0.005, 3)];
+        let cells = product(&["Nope"], &[Scheme::Jigsaw], &[Scenario::None]);
+        let err =
+            run_grid(&Pool::new(2), &cells, &traces, 7, false).expect_err("unknown trace fails");
+        std::panic::set_hook(prev_hook);
+        assert_eq!(err.trace, "Nope");
+        assert_eq!(err.scheme, Scheme::Jigsaw);
+        assert!(err.to_string().contains("not generated"), "{err}");
     }
 }

@@ -1,7 +1,7 @@
 //! Tiny flag parser shared by the subcommands (three flag shapes, no
 //! external CLI dependency).
 
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_sim::Scenario;
 use std::collections::HashMap;
 
@@ -71,37 +71,18 @@ impl Flags {
         }
     }
 
-    pub fn scheme(&self) -> Result<SchedulerKind, String> {
-        match self
-            .get("scheme")
+    pub fn scheme(&self) -> Result<Scheme, String> {
+        self.get("scheme")
             .unwrap_or("jigsaw")
-            .to_ascii_lowercase()
-            .as_str()
-        {
-            "jigsaw" => Ok(SchedulerKind::Jigsaw),
-            "laas" => Ok(SchedulerKind::Laas),
-            "ta" => Ok(SchedulerKind::Ta),
-            "lcs" | "lc+s" => Ok(SchedulerKind::LcS),
-            "baseline" => Ok(SchedulerKind::Baseline),
-            other => Err(format!("unknown scheme `{other}`")),
-        }
+            .parse()
+            .map_err(|e: jigsaw_core::ParseSchemeError| e.to_string())
     }
 
     pub fn scenario(&self) -> Result<Scenario, String> {
-        match self
-            .get("scenario")
+        self.get("scenario")
             .unwrap_or("none")
-            .to_ascii_lowercase()
-            .as_str()
-        {
-            "none" => Ok(Scenario::None),
-            "5%" | "5" => Ok(Scenario::Fixed(5)),
-            "10%" | "10" => Ok(Scenario::Fixed(10)),
-            "20%" | "20" => Ok(Scenario::Fixed(20)),
-            "v2" => Ok(Scenario::V2),
-            "random" => Ok(Scenario::Random),
-            other => Err(format!("unknown scenario `{other}`")),
-        }
+            .parse()
+            .map_err(|e: jigsaw_sim::ParseScenarioError| e.to_string())
     }
 }
 
@@ -156,7 +137,7 @@ mod tests {
         .unwrap();
         assert_eq!(f.get_f64("scale", 1.0).unwrap(), 0.1);
         assert_eq!(f.get_u64("seed", 7).unwrap(), 7);
-        assert_eq!(f.scheme().unwrap(), SchedulerKind::Laas);
+        assert_eq!(f.scheme().unwrap(), Scheme::Laas);
         assert_eq!(f.scenario().unwrap(), Scenario::V2);
         assert!(Flags::parse(&args(&["--scheme", "bogus"]))
             .unwrap()

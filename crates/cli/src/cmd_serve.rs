@@ -320,7 +320,7 @@ fn auto_snapshot(persist: &mut PersistentState) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jigsaw_core::SchedulerKind;
+    use jigsaw_core::Scheme;
     use std::path::PathBuf;
 
     fn tree() -> FatTree {
@@ -334,7 +334,7 @@ mod tests {
         let registry = Registry::new();
         persist.attach_registry(&registry);
         let allocator = Box::new(ObservedAllocator::new(
-            SchedulerKind::Jigsaw.make(&tree),
+            Scheme::Jigsaw.make(&tree),
             &registry,
         ));
         let mut out = Vec::new();

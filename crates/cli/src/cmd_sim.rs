@@ -5,7 +5,7 @@
 
 use crate::args::{fail, Flags};
 use crate::cmd_trace::builtin_trace;
-use jigsaw_core::SchedulerKind;
+use jigsaw_core::Scheme;
 use jigsaw_obs::Registry;
 use jigsaw_sim::{simulate_with_obs, SimConfig};
 use jigsaw_topology::FatTree;
@@ -89,7 +89,7 @@ pub fn run(args: &[String]) -> i32 {
     let config = SimConfig {
         scenario,
         scenario_seed: seed,
-        scheme_benefits: kind != SchedulerKind::Baseline,
+        scheme_benefits: kind != Scheme::Baseline,
         ..SimConfig::default()
     };
     let registry = if flags.has("--metrics") {

@@ -1,10 +1,19 @@
 //! The [`Allocator`] trait every scheduling scheme implements, and the
-//! [`SchedulerKind`] registry the simulator and experiment harness use.
+//! [`Scheme`] registry the simulator, CLI and experiment harness use.
+//!
+//! [`Scheme`] is the single naming authority for the paper's five
+//! scheduling approaches: it carries the figure-label spelling
+//! ([`Scheme::name`] / [`Display`](std::fmt::Display)), the accepted
+//! command-line spellings ([`FromStr`](std::str::FromStr)), the JSON
+//! encoding (serde, via the same label), and the two factories
+//! ([`Scheme::make`] on an existing tree, [`Scheme::build`] straight from
+//! [`FatTreeParams`]). Call sites must never match on scheme-name strings
+//! — parse once at the boundary, pass `Scheme` everywhere after.
 
 use crate::alloc::{release_allocation, Allocation};
 use crate::job::JobRequest;
 use crate::reject::Reject;
-use jigsaw_topology::{FatTree, SystemState};
+use jigsaw_topology::{FatTree, FatTreeParams, SystemState};
 use serde::{Deserialize, Serialize};
 
 /// A node-and-link allocation policy.
@@ -28,13 +37,6 @@ pub trait Allocator: Send {
     #[must_use = "the grant has already claimed nodes and links; dropping it leaks them"]
     fn allocate(&mut self, state: &mut SystemState, req: &JobRequest)
         -> Result<Allocation, Reject>;
-
-    /// [`Allocator::allocate`] with the rejection reason erased — a
-    /// migration shim for callers that only care whether placement
-    /// succeeded.
-    fn allocate_opt(&mut self, state: &mut SystemState, req: &JobRequest) -> Option<Allocation> {
-        self.allocate(state, req).ok()
-    }
 
     /// Release a previously granted allocation.
     fn release(&mut self, state: &mut SystemState, alloc: &Allocation) {
@@ -74,8 +76,12 @@ impl Clone for Box<dyn Allocator> {
 }
 
 /// The five scheduling schemes of the paper's evaluation (§5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SchedulerKind {
+///
+/// Serialized (and parsed back) as the paper's figure label — `"Jigsaw"`,
+/// `"LC+S"`, … — so JSON results stay human-readable and round-trip
+/// through the same [`FromStr`](std::str::FromStr) the CLI uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
     /// Traditional, network-oblivious node allocation.
     Baseline,
     /// The paper's contribution (Algorithm 1).
@@ -88,33 +94,28 @@ pub enum SchedulerKind {
     LcS,
 }
 
-impl SchedulerKind {
+impl Scheme {
     /// All schemes, in the ordering the paper's figures use.
-    pub const ALL: [SchedulerKind; 5] = [
-        SchedulerKind::Baseline,
-        SchedulerKind::LcS,
-        SchedulerKind::Jigsaw,
-        SchedulerKind::Laas,
-        SchedulerKind::Ta,
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Baseline,
+        Scheme::LcS,
+        Scheme::Jigsaw,
+        Scheme::Laas,
+        Scheme::Ta,
     ];
 
     /// The four job-isolating / interference-mitigating schemes (everything
     /// except Baseline) — the set that receives speed-up scenarios.
-    pub const ISOLATING: [SchedulerKind; 4] = [
-        SchedulerKind::LcS,
-        SchedulerKind::Jigsaw,
-        SchedulerKind::Laas,
-        SchedulerKind::Ta,
-    ];
+    pub const ISOLATING: [Scheme; 4] = [Scheme::LcS, Scheme::Jigsaw, Scheme::Laas, Scheme::Ta];
 
     /// Display name matching the paper.
     pub fn name(&self) -> &'static str {
         match self {
-            SchedulerKind::Baseline => "Baseline",
-            SchedulerKind::Jigsaw => "Jigsaw",
-            SchedulerKind::Laas => "LaaS",
-            SchedulerKind::Ta => "TA",
-            SchedulerKind::LcS => "LC+S",
+            Scheme::Baseline => "Baseline",
+            Scheme::Jigsaw => "Jigsaw",
+            Scheme::Laas => "LaaS",
+            Scheme::Ta => "TA",
+            Scheme::LcS => "LC+S",
         }
     }
 
@@ -125,26 +126,91 @@ impl SchedulerKind {
     /// guarantees only exist on full-bandwidth fat-trees.
     pub fn make(&self, tree: &FatTree) -> Box<dyn Allocator> {
         match self {
-            SchedulerKind::Baseline => Box::new(crate::BaselineAllocator::new(tree)),
-            SchedulerKind::Jigsaw => Box::new(crate::JigsawAllocator::new(tree)),
-            SchedulerKind::Laas => Box::new(crate::LaasAllocator::new(tree)),
-            SchedulerKind::Ta => Box::new(crate::TaAllocator::new(tree)),
-            SchedulerKind::LcS => Box::new(crate::LcsAllocator::new(tree)),
+            Scheme::Baseline => Box::new(crate::BaselineAllocator::new(tree)),
+            Scheme::Jigsaw => Box::new(crate::JigsawAllocator::new(tree)),
+            Scheme::Laas => Box::new(crate::LaasAllocator::new(tree)),
+            Scheme::Ta => Box::new(crate::TaAllocator::new(tree)),
+            Scheme::LcS => Box::new(crate::LcsAllocator::new(tree)),
         }
+    }
+
+    /// Construct the allocator for this scheme on the tree described by
+    /// `params` — the one-call factory for callers that start from
+    /// structural parameters rather than a prebuilt [`FatTree`].
+    ///
+    /// # Panics
+    /// As [`Scheme::make`], for isolating schemes on non-full-bandwidth
+    /// parameters.
+    pub fn build(&self, params: &FatTreeParams) -> Box<dyn Allocator> {
+        self.make(&FatTree::new(*params))
     }
 
     /// `true` iff this scheme guarantees complete network isolation.
     pub fn is_isolating(&self) -> bool {
-        matches!(
-            self,
-            SchedulerKind::Jigsaw | SchedulerKind::Laas | SchedulerKind::Ta
+        matches!(self, Scheme::Jigsaw | Scheme::Laas | Scheme::Ta)
+    }
+
+    /// `true` iff jobs scheduled by this scheme benefit from isolation
+    /// speed-up scenarios (§5.4.1) — everything except Baseline.
+    pub fn benefits_from_isolation(&self) -> bool {
+        !matches!(self, Scheme::Baseline)
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a [`Scheme`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scheme `{}` (expected one of: baseline, jigsaw, laas, ta, lc+s)",
+            self.input
         )
     }
 }
 
-impl std::fmt::Display for SchedulerKind {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
+impl std::error::Error for ParseSchemeError {}
+
+impl std::str::FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    /// Case-insensitive; accepts both the paper labels (`LC+S`, `LaaS`)
+    /// and the flag-friendly spellings (`lcs`, `laas`).
+    fn from_str(s: &str) -> Result<Scheme, ParseSchemeError> {
+        match s.to_ascii_lowercase().as_str() {
+            "baseline" => Ok(Scheme::Baseline),
+            "jigsaw" => Ok(Scheme::Jigsaw),
+            "laas" => Ok(Scheme::Laas),
+            "ta" => Ok(Scheme::Ta),
+            "lcs" | "lc+s" | "lc-s" => Ok(Scheme::LcS),
+            _ => Err(ParseSchemeError {
+                input: s.to_string(),
+            }),
+        }
+    }
+}
+
+impl Serialize for Scheme {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for Scheme {
+    fn from_value(v: &serde::Value) -> Result<Scheme, serde::DeError> {
+        let s = String::from_value(v)?;
+        s.parse()
+            .map_err(|e: ParseSchemeError| serde::DeError::custom(e.to_string()))
     }
 }
 
@@ -154,18 +220,50 @@ mod tests {
 
     #[test]
     fn names_match_paper() {
-        assert_eq!(SchedulerKind::Jigsaw.name(), "Jigsaw");
-        assert_eq!(SchedulerKind::LcS.to_string(), "LC+S");
-        assert_eq!(SchedulerKind::ALL.len(), 5);
+        assert_eq!(Scheme::Jigsaw.name(), "Jigsaw");
+        assert_eq!(Scheme::LcS.to_string(), "LC+S");
+        assert_eq!(Scheme::ALL.len(), 5);
     }
 
     #[test]
     fn isolation_flags() {
-        assert!(SchedulerKind::Jigsaw.is_isolating());
-        assert!(SchedulerKind::Ta.is_isolating());
-        assert!(!SchedulerKind::Baseline.is_isolating());
+        assert!(Scheme::Jigsaw.is_isolating());
+        assert!(Scheme::Ta.is_isolating());
+        assert!(!Scheme::Baseline.is_isolating());
         // LC+S allows (negligible but nonzero) sharing, so it does not
         // guarantee isolation.
-        assert!(!SchedulerKind::LcS.is_isolating());
+        assert!(!Scheme::LcS.is_isolating());
+        assert!(Scheme::LcS.benefits_from_isolation());
+        assert!(!Scheme::Baseline.benefits_from_isolation());
+    }
+
+    #[test]
+    fn parse_accepts_paper_and_flag_spellings() {
+        for s in Scheme::ALL {
+            assert_eq!(s.name().parse::<Scheme>().unwrap(), s);
+            assert_eq!(s.name().to_lowercase().parse::<Scheme>().unwrap(), s);
+        }
+        assert_eq!("lcs".parse::<Scheme>().unwrap(), Scheme::LcS);
+        assert_eq!("lc-s".parse::<Scheme>().unwrap(), Scheme::LcS);
+        let err = "fifo".parse::<Scheme>().unwrap_err();
+        assert!(err.to_string().contains("fifo"));
+    }
+
+    #[test]
+    fn serde_round_trips_as_paper_label() {
+        for s in Scheme::ALL {
+            let v = s.to_value();
+            assert_eq!(v, serde::Value::Str(s.name().to_string()));
+            assert_eq!(Scheme::from_value(&v).unwrap(), s);
+        }
+        assert!(Scheme::from_value(&serde::Value::Str("nope".into())).is_err());
+    }
+
+    #[test]
+    fn build_constructs_matching_allocator() {
+        let params = FatTreeParams::maximal(6).unwrap();
+        for s in Scheme::ALL {
+            assert_eq!(s.build(&params).name(), s.name());
+        }
     }
 }

@@ -180,7 +180,7 @@ pub fn audit_system(state: &SystemState, live: &[Allocation]) -> Vec<AuditError>
 mod tests {
     use super::*;
     use crate::allocator::Allocator;
-    use crate::{JigsawAllocator, JobRequest, SchedulerKind};
+    use crate::{JigsawAllocator, JobRequest, Scheme};
     use jigsaw_topology::ids::{JobId, NodeId};
     use jigsaw_topology::FatTree;
 
@@ -189,7 +189,7 @@ mod tests {
         let tree = FatTree::maximal(8).unwrap();
         let mut state = SystemState::new(tree);
         let mut live = Vec::new();
-        for kind in [SchedulerKind::Jigsaw, SchedulerKind::Jigsaw] {
+        for kind in [Scheme::Jigsaw, Scheme::Jigsaw] {
             let mut alloc = kind.make(&tree);
             for (i, size) in [
                 (live.len() as u32 * 10, 13u32),

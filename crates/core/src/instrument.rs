@@ -243,7 +243,7 @@ impl Allocator for ObservedAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::allocator::SchedulerKind;
+    use crate::allocator::Scheme;
     use jigsaw_topology::ids::JobId;
     use jigsaw_topology::{FatTree, SystemState};
 
@@ -252,7 +252,7 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let reg = Registry::new();
-        let mut alloc = ObservedAllocator::new(SchedulerKind::Jigsaw.make(&tree), &reg);
+        let mut alloc = ObservedAllocator::new(Scheme::Jigsaw.make(&tree), &reg);
 
         let a = alloc
             .allocate(&mut state, &JobRequest::new(JobId(1), 5))
@@ -285,7 +285,7 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let reg = Registry::new();
-        let alloc = ObservedAllocator::new(SchedulerKind::Jigsaw.make(&tree), &reg);
+        let alloc = ObservedAllocator::new(Scheme::Jigsaw.make(&tree), &reg);
 
         let mut scratch = alloc.clone_box();
         let _ = scratch.allocate(&mut state, &JobRequest::new(JobId(1), 5));
@@ -299,7 +299,7 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let mut state = SystemState::new(tree);
         let reg = Registry::disabled();
-        let mut alloc = ObservedAllocator::new(SchedulerKind::Ta.make(&tree), &reg);
+        let mut alloc = ObservedAllocator::new(Scheme::Ta.make(&tree), &reg);
         let a = alloc
             .allocate(&mut state, &JobRequest::new(JobId(1), 3))
             .unwrap();

@@ -26,7 +26,7 @@
 //! [`Registry`](jigsaw_obs::Registry).
 //!
 //! ```
-//! use jigsaw_core::{Allocator, JigsawAllocator, JobRequest, Reject, SchedulerKind};
+//! use jigsaw_core::{Allocator, JigsawAllocator, JobRequest, Reject, Scheme};
 //! use jigsaw_topology::{ids::JobId, FatTree, SystemState};
 //!
 //! let tree = FatTree::maximal(16).unwrap(); // 1024 nodes
@@ -43,7 +43,7 @@
 //!
 //! // Every scheme of the paper's evaluation is one constructor away, and
 //! // failures carry a typed reason.
-//! let mut ta = SchedulerKind::Ta.make(&tree);
+//! let mut ta = Scheme::Ta.make(&tree);
 //! assert!(ta.allocate(&mut state, &JobRequest::new(JobId(2), 5)).is_ok());
 //! assert_eq!(
 //!     ta.allocate(&mut state, &JobRequest::new(JobId(3), 0)),
@@ -69,7 +69,7 @@ pub mod search;
 pub mod ta;
 
 pub use alloc::{Allocation, RemTree, Shape, TreeAlloc};
-pub use allocator::{Allocator, SchedulerKind};
+pub use allocator::{Allocator, ParseSchemeError, Scheme};
 pub use audit::{audit_system, AuditError};
 pub use baseline::BaselineAllocator;
 pub use conditions::{check_shape, ConditionViolation};

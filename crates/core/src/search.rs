@@ -211,6 +211,11 @@ pub fn find_two_level<V: LinkView>(
     debug_assert!(n_l >= 1 && n_r < n_l);
     debug_assert!(l_t + u32::from(n_r > 0) <= tree.leaves_per_pod());
 
+    // Index skip: no leaf of the pod can host n_l nodes — nothing to scan.
+    if state.max_free_nodes_on_leaf_in_pod(pod) < n_l {
+        return None;
+    }
+
     // Candidate full leaves: enough free nodes and enough usable uplinks.
     let mut candidates: Vec<(LeafId, u64)> = Vec::with_capacity(tree.leaves_per_pod() as usize);
     for leaf in tree.leaves_of_pod(pod) {
@@ -401,10 +406,18 @@ pub fn find_three_level_full<V: LinkView>(
     // Condition 1: the remainder tree holds fewer nodes than full trees.
     debug_assert!(l_rt < l_t, "remainder tree must be smaller than full trees");
 
-    // Candidate full pods.
+    // Candidate full pods. The index checks are necessary conditions on
+    // the ownership state, a superset of what any view can use: a full
+    // leaf needs all W nodes free, and condition 6 needs ≥ l_t free spine
+    // uplinks on every one of the pod's L2 switches — so pods failing
+    // either index are skipped before any mask or per-leaf scan.
     let pods: Vec<PodId> = tree
         .pods()
-        .filter(|&p| view.full_leaves_in_pod(state, p) >= l_t)
+        .filter(|&p| {
+            state.max_free_nodes_on_leaf_in_pod(p) == tree.nodes_per_leaf()
+                && state.min_free_spine_slots_in_pod(p) >= l_t
+                && view.full_leaves_in_pod(state, p) >= l_t
+        })
         .collect();
     if count_u32(pods.len()) < t_full {
         return None;
@@ -525,9 +538,14 @@ fn complete_three_level_full<V: LinkView>(
         });
     }
 
-    // Search for the remainder pod.
+    // Search for the remainder pod. The remainder's full leaves need every
+    // L2 of the pod to offer at least l_rt free spine uplinks, so the
+    // pod-min index rejects hopeless pods before any budget is spent.
     'rem: for pod in tree.pods() {
         if chosen.contains(&pod) {
+            continue;
+        }
+        if state.min_free_spine_slots_in_pod(pod) < l_rt {
             continue;
         }
         if !budget.spend() {
@@ -669,9 +687,13 @@ pub fn find_three_level_general<V: LinkView>(
     let tree = state.tree();
     debug_assert!(t_full >= 1 && n_l >= 1);
 
-    // Enumerate sub-solutions per pod.
+    // Enumerate sub-solutions per pod, skipping pods whose best leaf
+    // cannot host n_l nodes (the collect would come back empty anyway).
     let mut solutions: Vec<(PodId, Vec<PodSolution>)> = Vec::new();
     for pod in tree.pods() {
+        if state.max_free_nodes_on_leaf_in_pod(pod) < n_l {
+            continue;
+        }
         if budget.exhausted() {
             return None;
         }
@@ -942,9 +964,15 @@ fn complete_three_level_general<V: LinkView>(
         });
     }
 
-    // Remainder pod search (general shapes).
+    // Remainder pod search (general shapes). The remainder needs a leaf
+    // with n_l nodes (or n_rl when it is only a remainder leaf), so the
+    // pod-max index rejects drained pods before any budget is spent.
+    let min_leaf_nodes = if l_rt > 0 { n_l } else { n_rl };
     'rem: for pod in tree.pods() {
         if chosen.iter().any(|&(p, _)| p == pod) {
+            continue;
+        }
+        if state.max_free_nodes_on_leaf_in_pod(pod) < min_leaf_nodes {
             continue;
         }
         if !budget.spend() {

@@ -4,18 +4,13 @@
 //! `nodes_in_use` gauge tracks the state's allocated-node count exactly,
 //! and after everything is released the books balance to zero.
 
-use jigsaw_core::{Allocation, Allocator, JobRequest, ObservedAllocator, SchedulerKind};
+use jigsaw_core::{Allocation, Allocator, JobRequest, ObservedAllocator, Scheme};
 use jigsaw_obs::Registry;
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
 use proptest::prelude::*;
 
-const KINDS: [SchedulerKind; 4] = [
-    SchedulerKind::Jigsaw,
-    SchedulerKind::Baseline,
-    SchedulerKind::Laas,
-    SchedulerKind::Ta,
-];
+const KINDS: [Scheme; 4] = [Scheme::Jigsaw, Scheme::Baseline, Scheme::Laas, Scheme::Ta];
 
 /// Pull the total of a labeled counter family out of the rendered text —
 /// the only view a monitoring system gets.

@@ -2,7 +2,7 @@
 //! rejection API is only useful if each reason can actually be produced
 //! (and therefore tested against) by a consumer.
 
-use jigsaw_core::{JobRequest, LcsAllocator, Reject, SchedulerKind, TaAllocator};
+use jigsaw_core::{JobRequest, LcsAllocator, Reject, Scheme, TaAllocator};
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
 
@@ -17,11 +17,11 @@ fn small() -> FatTree {
 fn zero_size_from_every_scheme() {
     let tree = small();
     for kind in [
-        SchedulerKind::Jigsaw,
-        SchedulerKind::Baseline,
-        SchedulerKind::Laas,
-        SchedulerKind::Ta,
-        SchedulerKind::LcS,
+        Scheme::Jigsaw,
+        Scheme::Baseline,
+        Scheme::Laas,
+        Scheme::Ta,
+        Scheme::LcS,
     ] {
         let mut state = SystemState::new(tree);
         let mut alloc = kind.make(&tree);
@@ -38,7 +38,7 @@ fn zero_size_from_every_scheme() {
 fn no_nodes_reports_free_and_requested() {
     let tree = small();
     let mut state = SystemState::new(tree);
-    let mut alloc = SchedulerKind::Jigsaw.make(&tree);
+    let mut alloc = Scheme::Jigsaw.make(&tree);
     assert_eq!(
         alloc.allocate(&mut state, &JobRequest::new(JobId(1), 17)),
         Err(Reject::NoNodes {
@@ -58,7 +58,7 @@ fn no_shape_under_fragmentation() {
     for leaf in tree.leaves() {
         state.claim_node(tree.node_at(leaf, 0), JobId(99));
     }
-    let mut alloc = SchedulerKind::Jigsaw.make(&tree);
+    let mut alloc = Scheme::Jigsaw.make(&tree);
     assert!(state.free_node_count() >= 4);
     assert_eq!(
         alloc.allocate(&mut state, &JobRequest::new(JobId(1), 4)),

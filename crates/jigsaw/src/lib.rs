@@ -21,6 +21,9 @@
 //! * [`traces`] — workload models, SWF parsing, Table-1 statistics,
 //! * [`persist`] — write-ahead journal, snapshots, and crash recovery for
 //!   the scheduler's allocation state,
+//! * [`par`] — deterministic scoped work pool ([`prelude::Pool`]) used by
+//!   the evaluation harness to fan sweeps across cores with byte-identical
+//!   output regardless of worker count,
 //! * [`obs`] — zero-dependency observability: counters, log2 histograms,
 //!   gauges, and a bounded event ring behind a [`prelude::Registry`] that
 //!   renders Prometheus text and JSON. Wrap any scheduler in
@@ -56,6 +59,7 @@
 
 pub use jigsaw_core as core;
 pub use jigsaw_obs as obs;
+pub use jigsaw_par as par;
 pub use jigsaw_persist as persist;
 pub use jigsaw_routing as routing;
 pub use jigsaw_sim as sim;
@@ -66,9 +70,10 @@ pub use jigsaw_traces as traces;
 pub mod prelude {
     pub use jigsaw_core::{
         Allocation, Allocator, BaselineAllocator, JigsawAllocator, JobRequest, LaasAllocator,
-        LcsAllocator, ObservedAllocator, Reject, SchedulerKind, Shape, TaAllocator,
+        LcsAllocator, ObservedAllocator, Reject, Scheme, Shape, TaAllocator,
     };
     pub use jigsaw_obs::Registry;
+    pub use jigsaw_par::{Pool, TaskPanic};
     pub use jigsaw_persist::{PersistError, PersistentState, RecoveryReport};
     pub use jigsaw_routing::{CongestionMap, PartitionRouter, Route};
     pub use jigsaw_sim::{simulate, Scenario, SimConfig, SimResult};

@@ -1,0 +1,422 @@
+//! # jigsaw-par
+//!
+//! A small, zero-dependency, **deterministic** work pool for the Jigsaw
+//! evaluation harness. Every experiment binary fans its (scheme × radix ×
+//! seed) grid across cores through [`Pool::run`], with three guarantees the
+//! ad-hoc alternatives (rayon, hand-spawned threads) do not give us
+//! together:
+//!
+//! 1. **Determinism** — results come back in *submission order* no matter
+//!    how many workers ran or how tasks interleaved, so report output is
+//!    byte-identical between `--jobs 1` and `--jobs N`. Tasks must be pure
+//!    functions of their item (all harness cells are: a simulation is fully
+//!    determined by its trace, scheme and seed).
+//! 2. **Panic containment** — a panicking task poisons neither the pool nor
+//!    its siblings. Every task's outcome is a `Result`; the failure carries
+//!    the submission index and the panic message so callers can name the
+//!    failing cell instead of unwinding mid-report.
+//! 3. **Bounded width** — worker count comes from `--jobs N` via
+//!    [`Pool::new`] or the `JIGSAW_JOBS` environment variable via
+//!    [`Pool::from_env`], defaulting to the machine's available
+//!    parallelism. `jobs = 1` runs inline on the caller's thread: zero
+//!    spawn overhead, and the reference behavior the parallel path must
+//!    reproduce bit-for-bit.
+//!
+//! Scheduling is a single shared atomic cursor over the item vector
+//! (work-stealing degenerates to work-*taking* when every worker steals
+//! from one queue — cheap and fair for coarse tasks like whole
+//! simulations). Attach an observability registry with
+//! [`Pool::with_registry`] to record per-worker task counts, per-task wall
+//! time, and pool-level queue metrics.
+//!
+//! ```
+//! use jigsaw_par::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let squares = pool
+//!     .map((0u64..32).collect(), |_, x| x * x)
+//!     .expect("no task panics");
+//! assert_eq!(squares[5], 25); // submission order, not completion order
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use jigsaw_obs::Registry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A task that panicked: the submission index plus the panic payload
+/// (stringified), so harness callers can name the failing grid cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the item in the submitted vector.
+    pub index: usize,
+    /// The panic message, or a placeholder for non-string payloads.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task #{} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Lock tolerating poison: a panicking *task* is contained by
+/// `catch_unwind`, so a poisoned slot mutex can only mean a panic in the
+/// bookkeeping around it — the guarded `Option` is still structurally
+/// valid, and dropping the whole run's results on the floor would turn one
+/// contained failure into total loss.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The deterministic work pool. See the crate docs.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    jobs: usize,
+    registry: Registry,
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::from_env()
+    }
+}
+
+impl Pool {
+    /// A pool running at most `jobs` tasks concurrently. `jobs == 0` is
+    /// clamped to 1; `jobs == 1` runs every task inline on the caller's
+    /// thread.
+    pub fn new(jobs: usize) -> Pool {
+        Pool {
+            jobs: jobs.max(1),
+            registry: Registry::disabled(),
+        }
+    }
+
+    /// The sequential reference pool (`jobs = 1`).
+    pub fn sequential() -> Pool {
+        Pool::new(1)
+    }
+
+    /// Worker count from the `JIGSAW_JOBS` environment variable, falling
+    /// back to the machine's available parallelism (and to 1 if even that
+    /// is unknown). Invalid values are ignored, not fatal: an experiment
+    /// run must not abort over a malformed convenience variable.
+    pub fn from_env() -> Pool {
+        let jobs = std::env::var("JIGSAW_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        Pool::new(jobs)
+    }
+
+    /// Record pool metrics into `registry`: `par_tasks_total{worker=i}`,
+    /// `par_task_wall_ns` (per-task histogram), `par_runs_total`, and the
+    /// `par_queue_depth` gauge (items not yet claimed by a worker).
+    #[must_use]
+    pub fn with_registry(mut self, registry: &Registry) -> Pool {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// The configured concurrency bound.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Run `task` over every item, at most [`Pool::jobs`] at a time, and
+    /// return the outcomes in submission order. `task` receives the item's
+    /// submission index alongside the item.
+    ///
+    /// A panicking task yields `Err(TaskPanic)` in its slot and affects no
+    /// other task; the caller decides whether one failure sinks the run.
+    pub fn run<I, T, F>(&self, items: Vec<I>, task: F) -> Vec<Result<T, TaskPanic>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let total = items.len();
+        let runs = self
+            .registry
+            .counter("par_runs_total", "Pool runs executed.");
+        runs.inc();
+        let depth = self.registry.gauge(
+            "par_queue_depth",
+            "Submitted items not yet claimed by a worker.",
+        );
+        let wall = self.registry.histogram(
+            "par_task_wall_ns",
+            "Per-task wall time (ns), across all pool runs.",
+        );
+        depth.set(i64::try_from(total).unwrap_or(i64::MAX));
+
+        let workers = self.jobs.min(total).max(1);
+        let out = if workers == 1 {
+            self.run_inline(items, &task, &wall, &depth)
+        } else {
+            self.run_scoped(items, &task, workers, &wall, &depth)
+        };
+        depth.set(0);
+        out
+    }
+
+    /// Like [`Pool::run`], but collapse the outcome vector to the first
+    /// failure (in submission order — deterministic, since every task runs
+    /// to completion regardless of its siblings).
+    pub fn map<I, T, F>(&self, items: Vec<I>, task: F) -> Result<Vec<T>, TaskPanic>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        self.run(items, task).into_iter().collect()
+    }
+
+    fn run_inline<I, T, F>(
+        &self,
+        items: Vec<I>,
+        task: &F,
+        wall: &jigsaw_obs::Histogram,
+        depth: &jigsaw_obs::Gauge,
+    ) -> Vec<Result<T, TaskPanic>>
+    where
+        F: Fn(usize, I) -> T,
+    {
+        let tasks_done =
+            self.registry
+                .counter_with("par_tasks_total", "Tasks executed.", &[("worker", "0")]);
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(index, item)| {
+                let t0 = wall.start();
+                let outcome = run_one(task, index, item);
+                wall.observe_since(t0);
+                tasks_done.inc();
+                depth.sub(1);
+                outcome
+            })
+            .collect()
+    }
+
+    fn run_scoped<I, T, F>(
+        &self,
+        items: Vec<I>,
+        task: &F,
+        workers: usize,
+        wall: &jigsaw_obs::Histogram,
+        depth: &jigsaw_obs::Gauge,
+    ) -> Vec<Result<T, TaskPanic>>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let total = items.len();
+        // Items move out through per-slot mutexes; results come back the
+        // same way. Indexed slots are what make completion order
+        // irrelevant to the returned order.
+        let slots: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &slots;
+                let results = &results;
+                let cursor = &cursor;
+                let registry = &self.registry;
+                let wall = &*wall;
+                let depth = &*depth;
+                let worker_label = w.to_string();
+                scope.spawn(move || {
+                    let tasks_done = registry.counter_with(
+                        "par_tasks_total",
+                        "Tasks executed.",
+                        &[("worker", worker_label.as_str())],
+                    );
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        if index >= total {
+                            break;
+                        }
+                        depth.sub(1);
+                        let Some(item) = lock(&slots[index]).take() else {
+                            continue;
+                        };
+                        let t0 = wall.start();
+                        let outcome = run_one(task, index, item);
+                        wall.observe_since(t0);
+                        tasks_done.inc();
+                        *lock(&results[index]) = Some(outcome);
+                    }
+                });
+            }
+        });
+
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .unwrap_or(Err(TaskPanic {
+                        index,
+                        message: "worker terminated before writing a result".into(),
+                    }))
+            })
+            .collect()
+    }
+}
+
+/// Run one task with its panic contained and stringified.
+fn run_one<I, T, F>(task: &F, index: usize, item: I) -> Result<T, TaskPanic>
+where
+    F: Fn(usize, I) -> T,
+{
+    catch_unwind(AssertUnwindSafe(|| task(index, item))).map_err(|payload| TaskPanic {
+        index,
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = Pool::new(4);
+        // Make late submissions finish first: earlier items sleep longer.
+        let out = pool
+            .map((0..16u64).collect(), |_, x| {
+                std::thread::sleep(std::time::Duration::from_millis(16 - x));
+                x * 10
+            })
+            .expect("no panics");
+        assert_eq!(out, (0..16).map(|x| x * 10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let items: Vec<u64> = (0..100).collect();
+        let f = |i: usize, x: u64| ((i as u64) * 1_000_003) ^ x.wrapping_mul(2_654_435_761);
+        let seq = Pool::sequential().map(items.clone(), f).expect("seq");
+        let par = Pool::new(8).map(items, f).expect("par");
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn panics_are_contained_and_named() {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let pool = Pool::new(3);
+        let out = pool.run((0..7u32).collect(), |_, x| {
+            assert!(x != 4, "cell {x} exploded");
+            x + 1
+        });
+        std::panic::set_hook(prev_hook);
+        assert_eq!(out.len(), 7);
+        for (i, r) in out.iter().enumerate() {
+            if i == 4 {
+                let err = r.as_ref().expect_err("task 4 panicked");
+                assert_eq!(err.index, 4);
+                assert!(err.message.contains("cell 4 exploded"), "{}", err.message);
+            } else {
+                assert_eq!(*r.as_ref().expect("other tasks unaffected"), (i as u32) + 1);
+            }
+        }
+        // `map` surfaces the first failure in submission order.
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = pool
+            .run((0..7u32).collect(), |_, x| {
+                assert!(x != 2 && x != 5, "boom {x}");
+                x
+            })
+            .into_iter()
+            .collect::<Result<Vec<u32>, TaskPanic>>()
+            .expect_err("two tasks panicked");
+        let _ = std::panic::take_hook();
+        assert_eq!(err.index, 2, "first failure by submission order");
+    }
+
+    #[test]
+    fn zero_jobs_clamps_and_empty_input_is_fine() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.jobs(), 1);
+        let out: Vec<u32> = pool.map(Vec::new(), |_, x: u32| x).expect("empty");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_never_exceed_jobs() {
+        let live = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        let pool = Pool::new(2);
+        let _ = pool
+            .map((0..32u32).collect(), |_, x| {
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                live.fetch_sub(1, Ordering::SeqCst);
+                x
+            })
+            .expect("no panics");
+        assert!(peak.load(Ordering::SeqCst) <= 2);
+    }
+
+    #[test]
+    fn registry_records_tasks_and_wall_time() {
+        let reg = Registry::new();
+        let pool = Pool::new(2).with_registry(&reg);
+        let _ = pool.map((0..10u32).collect(), |_, x| x).expect("ok");
+        let json = reg.render_json();
+        assert!(json.contains("par_tasks_total"), "{json}");
+        assert!(json.contains("par_task_wall_ns"), "{json}");
+        let total: u64 = (0..2)
+            .map(|w| {
+                reg.counter_with(
+                    "par_tasks_total",
+                    "Tasks executed.",
+                    &[("worker", w.to_string().as_str())],
+                )
+                .get()
+            })
+            .sum();
+        assert_eq!(total, 10, "every task counted exactly once");
+    }
+
+    #[test]
+    fn from_env_respects_jigsaw_jobs() {
+        // Serialize env mutation within this test only.
+        std::env::set_var("JIGSAW_JOBS", "3");
+        assert_eq!(Pool::from_env().jobs(), 3);
+        std::env::set_var("JIGSAW_JOBS", "not-a-number");
+        assert!(Pool::from_env().jobs() >= 1);
+        std::env::set_var("JIGSAW_JOBS", "0");
+        assert!(Pool::from_env().jobs() >= 1);
+        std::env::remove_var("JIGSAW_JOBS");
+        assert!(Pool::from_env().jobs() >= 1);
+    }
+}

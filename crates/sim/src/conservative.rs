@@ -120,12 +120,12 @@ pub(crate) fn plan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jigsaw_core::SchedulerKind;
+    use jigsaw_core::Scheme;
     use jigsaw_topology::FatTree;
 
     fn setup() -> (SystemState, Box<dyn Allocator>) {
         let tree = FatTree::maximal(4).unwrap(); // 16 nodes
-        (SystemState::new(tree), SchedulerKind::Baseline.make(&tree))
+        (SystemState::new(tree), Scheme::Baseline.make(&tree))
     }
 
     #[test]

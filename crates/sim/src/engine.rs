@@ -882,7 +882,7 @@ fn integrate(log: &[(f64, u64)], a: f64, b: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jigsaw_core::SchedulerKind;
+    use jigsaw_core::Scheme;
     use jigsaw_traces::{Trace, TraceJob};
 
     fn job(id: u32, arrival: f64, size: u32, runtime: f64) -> TraceJob {
@@ -895,7 +895,7 @@ mod tests {
         }
     }
 
-    fn run(kind: SchedulerKind, trace: &Trace, config: &SimConfig) -> SimResult {
+    fn run(kind: Scheme, trace: &Trace, config: &SimConfig) -> SimResult {
         let tree = FatTree::maximal(4).unwrap();
         simulate(&tree, kind.make(&tree), trace, config)
     }
@@ -903,7 +903,7 @@ mod tests {
     #[test]
     fn single_job_metrics() {
         let trace = Trace::new("t", 16, vec![job(0, 0.0, 4, 100.0)]);
-        let r = run(SchedulerKind::Baseline, &trace, &SimConfig::default());
+        let r = run(Scheme::Baseline, &trace, &SimConfig::default());
         assert_eq!(r.jobs[0].start, 0.0);
         assert_eq!(r.jobs[0].end, 100.0);
         assert_eq!(r.makespan, 100.0);
@@ -927,7 +927,7 @@ mod tests {
             backfill_window: 0,
             ..SimConfig::default()
         };
-        let r = run(SchedulerKind::Baseline, &trace, &config);
+        let r = run(Scheme::Baseline, &trace, &config);
         assert_eq!(r.jobs[0].start, 0.0);
         assert_eq!(r.jobs[1].start, 10.0);
         assert_eq!(r.jobs[2].start, 20.0);
@@ -946,7 +946,7 @@ mod tests {
                 job(2, 2.0, 1, 50.0), // fits, ends at 52 < 100
             ],
         );
-        let r = run(SchedulerKind::Baseline, &trace, &SimConfig::default());
+        let r = run(Scheme::Baseline, &trace, &SimConfig::default());
         assert_eq!(r.jobs[2].start, 2.0, "small job must backfill");
         assert_eq!(r.jobs[1].start, 100.0, "head starts at the shadow time");
     }
@@ -964,7 +964,7 @@ mod tests {
                 job(2, 2.0, 8, 500.0), // would overlap the shadow resources
             ],
         );
-        let r = run(SchedulerKind::Baseline, &trace, &SimConfig::default());
+        let r = run(Scheme::Baseline, &trace, &SimConfig::default());
         assert_eq!(r.jobs[1].start, 100.0, "head keeps its reservation");
         assert!(r.jobs[2].start >= 100.0, "long job must not backfill");
     }
@@ -975,7 +975,7 @@ mod tests {
         // steady window is [0, t_last_start]; the drain after the last
         // start is excluded.
         let trace = Trace::new("t", 16, vec![job(0, 0.0, 16, 10.0), job(1, 0.0, 8, 10.0)]);
-        let r = run(SchedulerKind::Baseline, &trace, &SimConfig::default());
+        let r = run(Scheme::Baseline, &trace, &SimConfig::default());
         // Full machine busy over [0, 10): utilization 1.0 in window [0,10].
         assert!((r.utilization - 1.0).abs() < 1e-9, "{}", r.utilization);
         assert!(r.utilization_full_span < 1.0);
@@ -984,7 +984,7 @@ mod tests {
     #[test]
     fn oversized_job_marked_unschedulable() {
         let trace = Trace::new("t", 16, vec![job(0, 0.0, 17, 10.0), job(1, 0.0, 2, 5.0)]);
-        let r = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
+        let r = run(Scheme::Jigsaw, &trace, &SimConfig::default());
         assert_eq!(r.unschedulable, 1);
         assert!(!r.jobs[0].scheduled());
         assert!(
@@ -1001,13 +1001,13 @@ mod tests {
             scheme_benefits: true,
             ..SimConfig::default()
         };
-        let r_iso = run(SchedulerKind::Jigsaw, &trace, &config);
+        let r_iso = run(Scheme::Jigsaw, &trace, &config);
         assert!((r_iso.jobs[0].end - 100.0).abs() < 1e-9);
         let config_base = SimConfig {
             scheme_benefits: false,
             ..config
         };
-        let r_base = run(SchedulerKind::Baseline, &trace, &config_base);
+        let r_base = run(Scheme::Baseline, &trace, &config_base);
         assert!((r_base.jobs[0].end - 110.0).abs() < 1e-9);
     }
 
@@ -1017,7 +1017,7 @@ mod tests {
             .map(|i| job(i, 0.0, 1 + (i * 7) % 12, 10.0 + (i % 5) as f64))
             .collect();
         let trace = Trace::new("t", 16, jobs);
-        for kind in SchedulerKind::ALL {
+        for kind in Scheme::ALL {
             let r = run(kind, &trace, &SimConfig::default());
             let done = r.jobs.iter().filter(|j| j.scheduled()).count();
             assert_eq!(
@@ -1033,7 +1033,7 @@ mod tests {
     #[test]
     fn laas_grants_more_than_requested() {
         let trace = Trace::new("t", 16, vec![job(0, 0.0, 3, 10.0)]);
-        let r = run(SchedulerKind::Laas, &trace, &SimConfig::default());
+        let r = run(Scheme::Laas, &trace, &SimConfig::default());
         assert_eq!(r.jobs[0].size, 3);
         assert_eq!(
             r.jobs[0].granted, 4,
@@ -1048,7 +1048,7 @@ mod tests {
             collect_inst_util: true,
             ..SimConfig::default()
         };
-        let r = run(SchedulerKind::Baseline, &trace, &config);
+        let r = run(Scheme::Baseline, &trace, &config);
         assert!(r.inst_util.total() > 0);
         assert!(
             r.inst_util.buckets[0] > 0,
@@ -1086,7 +1086,7 @@ mod tests {
             policy: BackfillPolicy::Conservative,
             ..SimConfig::default()
         };
-        let r = run(SchedulerKind::Baseline, &trace, &config);
+        let r = run(Scheme::Baseline, &trace, &config);
         assert_eq!(
             r.jobs[2].start, 2.0,
             "short filler backfills conservatively too"
@@ -1111,7 +1111,7 @@ mod tests {
             policy: BackfillPolicy::Conservative,
             ..SimConfig::default()
         };
-        let r = run(SchedulerKind::Baseline, &trace, &config);
+        let r = run(Scheme::Baseline, &trace, &config);
         assert_eq!(r.jobs[1].start, 100.0);
         assert!(
             r.jobs[2].start >= 100.0,
@@ -1125,7 +1125,7 @@ mod tests {
             .map(|i| job(i, 0.0, 1 + (i * 5) % 12, 10.0 + (i % 4) as f64))
             .collect();
         let trace = Trace::new("t", 16, jobs);
-        for kind in SchedulerKind::ALL {
+        for kind in Scheme::ALL {
             let config = SimConfig {
                 policy: BackfillPolicy::Conservative,
                 ..SimConfig::default()
@@ -1151,11 +1151,7 @@ mod tests {
             },
             ..SimConfig::default()
         };
-        for kind in [
-            SchedulerKind::Baseline,
-            SchedulerKind::Jigsaw,
-            SchedulerKind::Laas,
-        ] {
+        for kind in [Scheme::Baseline, Scheme::Jigsaw, Scheme::Laas] {
             let r = run(kind, &trace, &config);
             assert!(r.failures > 0, "{kind}: the model must inject failures");
             let done = r.jobs.iter().filter(|j| j.scheduled()).count();
@@ -1177,7 +1173,7 @@ mod tests {
     fn failures_lengthen_makespan() {
         let jobs: Vec<TraceJob> = (0..30).map(|i| job(i, 0.0, 2 + (i % 6), 100.0)).collect();
         let trace = Trace::new("t", 16, jobs);
-        let clean = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
+        let clean = run(Scheme::Jigsaw, &trace, &SimConfig::default());
         let faulty_cfg = SimConfig {
             failures: FailureModel::Random {
                 mtbf_node_seconds: 2_000.0,
@@ -1185,7 +1181,7 @@ mod tests {
             },
             ..SimConfig::default()
         };
-        let faulty = run(SchedulerKind::Jigsaw, &trace, &faulty_cfg);
+        let faulty = run(Scheme::Jigsaw, &trace, &faulty_cfg);
         assert!(faulty.failures > 0);
         assert!(
             faulty.makespan >= clean.makespan - 1e-9,
@@ -1201,12 +1197,12 @@ mod tests {
             .map(|i| job(i, 0.0, 1 + (i * 7) % 12, 10.0 + (i % 5) as f64))
             .collect();
         let trace = Trace::new("t", 16, jobs);
-        let exact = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
+        let exact = run(Scheme::Jigsaw, &trace, &SimConfig::default());
         let sloppy = SimConfig {
             estimates: EstimateModel::Over { max_factor: 5.0 },
             ..SimConfig::default()
         };
-        let r = run(SchedulerKind::Jigsaw, &trace, &sloppy);
+        let r = run(Scheme::Jigsaw, &trace, &sloppy);
         // Completions are still driven by actual runtimes.
         let done = r.jobs.iter().filter(|j| j.scheduled()).count();
         assert_eq!(done, 40);
@@ -1234,7 +1230,7 @@ mod tests {
         let reg = Registry::new();
         let r = simulate_with_obs(
             &tree,
-            jigsaw_core::SchedulerKind::Baseline.make(&tree),
+            jigsaw_core::Scheme::Baseline.make(&tree),
             &trace,
             &SimConfig::default(),
             &reg,
@@ -1268,13 +1264,13 @@ mod tests {
         let tree = FatTree::maximal(4).unwrap();
         let plain = simulate(
             &tree,
-            jigsaw_core::SchedulerKind::Jigsaw.make(&tree),
+            jigsaw_core::Scheme::Jigsaw.make(&tree),
             &trace,
             &SimConfig::default(),
         );
         let observed = simulate_with_obs(
             &tree,
-            jigsaw_core::SchedulerKind::Jigsaw.make(&tree),
+            jigsaw_core::Scheme::Jigsaw.make(&tree),
             &trace,
             &SimConfig::default(),
             &Registry::new(),
@@ -1288,8 +1284,8 @@ mod tests {
             .map(|i| job(i, i as f64, 1 + (i % 9), 20.0 + (i % 7) as f64))
             .collect();
         let trace = Trace::new("t", 16, jobs);
-        let a = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
-        let b = run(SchedulerKind::Jigsaw, &trace, &SimConfig::default());
+        let a = run(Scheme::Jigsaw, &trace, &SimConfig::default());
+        let b = run(Scheme::Jigsaw, &trace, &SimConfig::default());
         assert_eq!(a.jobs, b.jobs);
         assert_eq!(a.utilization, b.utilization);
     }

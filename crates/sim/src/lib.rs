@@ -18,7 +18,7 @@
 //!   models, and node-failure injection with kill-and-requeue.
 //!
 //! ```
-//! use jigsaw_core::SchedulerKind;
+//! use jigsaw_core::Scheme;
 //! use jigsaw_sim::{simulate, Scenario, SimConfig};
 //! use jigsaw_topology::FatTree;
 //! use jigsaw_traces::synth::synth;
@@ -26,7 +26,7 @@
 //! let tree = FatTree::maximal(16).unwrap();
 //! let trace = synth(16, 200, 42); // 200 exponential-size jobs
 //! let config = SimConfig { scenario: Scenario::Fixed(10), ..SimConfig::default() };
-//! let result = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &config);
+//! let result = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &config);
 //! assert!(result.utilization > 0.90, "Jigsaw sustains high utilization");
 //! assert_eq!(result.unschedulable, 0);
 //! ```
@@ -39,10 +39,12 @@ pub mod engine;
 pub mod event;
 pub mod metrics;
 pub mod scenario;
+pub mod sweep;
 
 pub use engine::{
     simulate, simulate_with_obs, BackfillPolicy, EstimateModel, FailureModel, SimConfig, SimObs,
     SimResult,
 };
 pub use metrics::{InstUtilHistogram, JobRecord};
-pub use scenario::Scenario;
+pub use scenario::{ParseScenarioError, Scenario};
+pub use sweep::{sweep_points, sweep_seeds, SweepFailure, SweepRun};

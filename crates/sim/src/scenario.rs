@@ -21,7 +21,7 @@ use jigsaw_traces::TraceJob;
 use serde::{Deserialize, Serialize};
 
 /// A job-performance scenario. See the module docs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scenario {
     /// No job speeds up.
     None,
@@ -98,6 +98,61 @@ impl Scenario {
 impl std::fmt::Display for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.label())
+    }
+}
+
+/// Serialized as the figure label (`"None"`, `"10%"`, …) so JSON results
+/// read like the paper's axes rather than enum internals.
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.label())
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(v: &serde::Value) -> Result<Scenario, serde::DeError> {
+        let s = String::from_value(v)?;
+        s.parse()
+            .map_err(|e: ParseScenarioError| serde::DeError::custom(e.to_string()))
+    }
+}
+
+/// Error parsing a [`Scenario`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScenarioError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown scenario `{}` (expected one of: none, 5%, 10%, 20%, v2, random)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseScenarioError {}
+
+impl std::str::FromStr for Scenario {
+    type Err = ParseScenarioError;
+
+    /// Case-insensitive; accepts the figure labels (`5%`, `V2`, …) and the
+    /// flag-friendly spellings without the `%` sign. Only the three fixed
+    /// percentages the paper evaluates are accepted.
+    fn from_str(s: &str) -> Result<Scenario, ParseScenarioError> {
+        match s.to_ascii_lowercase().as_str() {
+            "none" => Ok(Scenario::None),
+            "5%" | "5" => Ok(Scenario::Fixed(5)),
+            "10%" | "10" => Ok(Scenario::Fixed(10)),
+            "20%" | "20" => Ok(Scenario::Fixed(20)),
+            "v2" => Ok(Scenario::V2),
+            "random" => Ok(Scenario::Random),
+            _ => Err(ParseScenarioError {
+                input: s.to_string(),
+            }),
+        }
     }
 }
 
@@ -192,5 +247,27 @@ mod tests {
     fn labels_match_figures() {
         let labels: Vec<String> = Scenario::ALL.iter().map(|s| s.label()).collect();
         assert_eq!(labels, vec!["None", "5%", "10%", "20%", "V2", "Random"]);
+    }
+
+    #[test]
+    fn serde_round_trips_as_figure_label() {
+        for s in Scenario::ALL {
+            let v = s.to_value();
+            assert_eq!(v, serde::Value::Str(s.label()));
+            assert_eq!(Scenario::from_value(&v).unwrap(), s);
+        }
+        let bad = serde::Value::Str("15%".into());
+        assert!(Scenario::from_value(&bad).is_err());
+    }
+
+    #[test]
+    fn labels_parse_back() {
+        for s in Scenario::ALL {
+            assert_eq!(s.label().parse::<Scenario>().unwrap(), s);
+        }
+        assert_eq!("10".parse::<Scenario>().unwrap(), Scenario::Fixed(10));
+        assert!("15%".parse::<Scenario>().is_err());
+        let err = "bogus".parse::<Scenario>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
     }
 }

@@ -1,0 +1,193 @@
+//! Parallel multi-seed sweeps: one full simulation per (point × scheme)
+//! cell, fanned across a [`Pool`]'s workers.
+//!
+//! A *point* is whatever axis the caller sweeps — a trace seed, a scale
+//! factor, a radix. Trace generation runs first (one task per point), then
+//! every (point, scheme) cell simulates independently. Results come back in
+//! point-major submission order, so output built from them is byte-identical
+//! regardless of worker count. A panicking cell surfaces as a
+//! [`SweepFailure`] naming the cell instead of unwinding through the caller.
+
+use crate::engine::{simulate, SimConfig, SimResult};
+use jigsaw_core::Scheme;
+use jigsaw_par::Pool;
+use jigsaw_topology::FatTree;
+use jigsaw_traces::Trace;
+
+/// One completed cell of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRun<P> {
+    /// The sweep point (seed, scale, …) this cell belongs to.
+    pub point: P,
+    /// The scheme simulated.
+    pub scheme: Scheme,
+    /// The full simulation result.
+    pub result: SimResult,
+}
+
+/// A sweep cell that died, naming the (point, scheme) pair so harness
+/// binaries can report it and exit nonzero.
+#[derive(Debug, Clone)]
+pub struct SweepFailure<P> {
+    /// The sweep point of the failing cell.
+    pub point: P,
+    /// The failing scheme, or `None` when trace generation itself failed.
+    pub scheme: Option<Scheme>,
+    /// The contained panic message.
+    pub message: String,
+}
+
+impl<P: std::fmt::Display> std::fmt::Display for SweepFailure<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.scheme {
+            Some(s) => write!(f, "sweep cell {}/{s} failed: {}", self.point, self.message),
+            None => write!(
+                f,
+                "trace generation for point {} failed: {}",
+                self.point, self.message
+            ),
+        }
+    }
+}
+
+impl<P: std::fmt::Display + std::fmt::Debug> std::error::Error for SweepFailure<P> {}
+
+/// Sweep `schemes` over arbitrary `points`, generating each point's
+/// (trace, tree) pair once via `generate` and simulating every
+/// (point, scheme) cell on `pool`.
+///
+/// `base` supplies the shared [`SimConfig`]; `scheme_benefits` is set per
+/// scheme from [`Scheme::benefits_from_isolation`], matching the paper's
+/// rule that every scheme but Baseline enjoys scenario speed-ups.
+///
+/// Results are in point-major order: all of `points[0]`'s schemes, then
+/// `points[1]`'s, … — the same order a nested sequential loop would
+/// produce. The first failure (in that order) is returned instead.
+pub fn sweep_points<P, F>(
+    pool: &Pool,
+    points: &[P],
+    schemes: &[Scheme],
+    base: &SimConfig,
+    generate: F,
+) -> Result<Vec<SweepRun<P>>, SweepFailure<P>>
+where
+    P: Clone + Send + Sync,
+    F: Fn(&P) -> (Trace, FatTree) + Sync,
+{
+    // Stage 1: trace generation, one task per point.
+    let generated: Vec<(Trace, FatTree)> =
+        pool.map(points.to_vec(), |_, p| generate(&p))
+            .map_err(|tp| SweepFailure {
+                point: points[tp.index].clone(),
+                scheme: None,
+                message: tp.message,
+            })?;
+
+    // Stage 2: one simulation per (point, scheme) cell, point-major.
+    let cells: Vec<(usize, Scheme)> = (0..points.len())
+        .flat_map(|pi| schemes.iter().map(move |&s| (pi, s)))
+        .collect();
+    let per_point = schemes.len().max(1);
+    pool.run(cells, |_, (pi, scheme)| {
+        let (trace, tree) = &generated[pi];
+        let config = SimConfig {
+            scheme_benefits: scheme.benefits_from_isolation(),
+            ..base.clone()
+        };
+        (
+            pi,
+            scheme,
+            simulate(tree, scheme.make(tree), trace, &config),
+        )
+    })
+    .into_iter()
+    .map(|outcome| match outcome {
+        Ok((pi, scheme, result)) => Ok(SweepRun {
+            point: points[pi].clone(),
+            scheme,
+            result,
+        }),
+        Err(tp) => Err(SweepFailure {
+            point: points[tp.index / per_point].clone(),
+            scheme: Some(schemes[tp.index % per_point]),
+            message: tp.message,
+        }),
+    })
+    .collect()
+}
+
+/// [`sweep_points`] specialised to the common case: the sweep axis is a
+/// trace seed.
+pub fn sweep_seeds<F>(
+    pool: &Pool,
+    seeds: &[u64],
+    schemes: &[Scheme],
+    base: &SimConfig,
+    generate: F,
+) -> Result<Vec<SweepRun<u64>>, SweepFailure<u64>>
+where
+    F: Fn(u64) -> (Trace, FatTree) + Sync,
+{
+    sweep_points(pool, seeds, schemes, base, |&seed| generate(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_traces::synth::synth;
+
+    fn gen(seed: u64) -> (Trace, FatTree) {
+        // `FatTree::maximal(8)` is valid by construction; tests may unwrap.
+        (synth(8, 40, seed), FatTree::maximal(8).unwrap())
+    }
+
+    #[test]
+    fn point_major_order_and_parallel_determinism() {
+        let seeds = [1u64, 2, 3];
+        let schemes = [Scheme::Baseline, Scheme::Jigsaw];
+        let base = SimConfig::default();
+        let seq = sweep_seeds(&Pool::sequential(), &seeds, &schemes, &base, gen)
+            .expect("sequential sweep");
+        let par = sweep_seeds(&Pool::new(4), &seeds, &schemes, &base, gen).expect("parallel sweep");
+        assert_eq!(seq.len(), 6);
+        let order: Vec<(u64, Scheme)> = seq.iter().map(|r| (r.point, r.scheme)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, Scheme::Baseline),
+                (1, Scheme::Jigsaw),
+                (2, Scheme::Baseline),
+                (2, Scheme::Jigsaw),
+                (3, Scheme::Baseline),
+                (3, Scheme::Jigsaw),
+            ]
+        );
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.scheme, b.scheme);
+            assert_eq!(a.result.utilization, b.result.utilization);
+            assert_eq!(a.result.makespan, b.result.makespan);
+        }
+    }
+
+    #[test]
+    fn failing_cell_is_named() {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = sweep_seeds(
+            &Pool::new(2),
+            &[7, 8],
+            &[Scheme::Baseline, Scheme::Jigsaw],
+            &SimConfig::default(),
+            |seed| {
+                assert!(seed != 8, "seed 8 exploded");
+                gen(seed)
+            },
+        )
+        .expect_err("generation for seed 8 panics");
+        std::panic::set_hook(prev_hook);
+        assert_eq!(err.point, 8);
+        assert_eq!(err.scheme, None);
+        assert!(err.to_string().contains("seed 8 exploded"), "{err}");
+    }
+}

@@ -85,6 +85,16 @@ pub struct SystemState {
     fully_free_leaves_per_pod: Vec<u32>,
     leaf_fully_free: Vec<bool>,
 
+    /// Per pod: `min` over its L2 switches of the free-spine-uplink count
+    /// (`spine_uplink_free[l2].count_ones()`). An allocation asking for
+    /// `l_t` common spine slots per position cannot use a pod whose minimum
+    /// is below `l_t`, so the searches use this to skip pods wholesale.
+    min_free_spine_slots_per_pod: Vec<u32>,
+    /// Per pod: `max` over its leaves of the free-node count. A search
+    /// asking for `n_l` nodes on one leaf cannot use a pod whose maximum is
+    /// below `n_l`.
+    max_free_leaf_nodes_per_pod: Vec<u32>,
+
     allocated_nodes: u32,
 }
 
@@ -112,6 +122,8 @@ impl SystemState {
             spine_uplink_free: vec![spine_mask; tree.num_l2() as usize],
             fully_free_leaves_per_pod: vec![tree.leaves_per_pod(); tree.num_pods() as usize],
             leaf_fully_free: vec![true; tree.num_leaves() as usize],
+            min_free_spine_slots_per_pod: vec![tree.spines_per_group(); tree.num_pods() as usize],
+            max_free_leaf_nodes_per_pod: vec![tree.nodes_per_leaf(); tree.num_pods() as usize],
             allocated_nodes: 0,
         }
     }
@@ -190,6 +202,7 @@ impl SystemState {
         self.free_nodes_per_leaf[leaf.idx()] -= 1;
         self.free_nodes_per_pod[pod.idx()] -= 1;
         self.allocated_nodes += 1;
+        self.note_leaf_nodes_decreased(leaf, pod);
         self.refresh_leaf_fully_free(leaf);
         true
     }
@@ -206,6 +219,7 @@ impl SystemState {
         self.free_nodes_per_leaf[leaf.idx()] += 1;
         self.free_nodes_per_pod[pod.idx()] += 1;
         self.allocated_nodes -= 1;
+        self.note_leaf_nodes_increased(leaf, pod);
         self.refresh_leaf_fully_free(leaf);
         true
     }
@@ -221,6 +235,26 @@ impl SystemState {
     #[inline]
     pub fn fully_free_leaves_in_pod(&self, pod: PodId) -> u32 {
         self.fully_free_leaves_per_pod[pod.idx()]
+    }
+
+    /// Minimum over `pod`'s L2 switches of the free-spine-uplink count.
+    ///
+    /// Counts exclusive ownership only (fractional reservations may make a
+    /// "free" link unusable for a bandwidth-aware view), so this is an
+    /// *upper bound* on what any view can use — if it is below a search's
+    /// per-position spine demand, the pod can be skipped without looking at
+    /// any mask.
+    #[inline]
+    pub fn min_free_spine_slots_in_pod(&self, pod: PodId) -> u32 {
+        self.min_free_spine_slots_per_pod[pod.idx()]
+    }
+
+    /// Maximum over `pod`'s leaves of the free-node count. If it is below a
+    /// search's per-leaf node demand `n_l`, no leaf of the pod qualifies
+    /// and the pod can be skipped without iterating its leaves.
+    #[inline]
+    pub fn max_free_nodes_on_leaf_in_pod(&self, pod: PodId) -> u32 {
+        self.max_free_leaf_nodes_per_pod[pod.idx()]
     }
 
     // --- link queries -------------------------------------------------------
@@ -307,6 +341,7 @@ impl SystemState {
         self.free_nodes_per_leaf[leaf.idx()] -= 1;
         self.free_nodes_per_pod[pod.idx()] -= 1;
         self.allocated_nodes += 1;
+        self.note_leaf_nodes_decreased(leaf, pod);
         self.refresh_leaf_fully_free(leaf);
     }
 
@@ -323,6 +358,7 @@ impl SystemState {
         self.free_nodes_per_leaf[leaf.idx()] += 1;
         self.free_nodes_per_pod[pod.idx()] += 1;
         self.allocated_nodes -= 1;
+        self.note_leaf_nodes_increased(leaf, pod);
         self.refresh_leaf_fully_free(leaf);
     }
 
@@ -380,6 +416,7 @@ impl SystemState {
         let l2 = self.tree.l2_of_spine_link(link);
         let j = self.tree.spine_slot(self.tree.spine_of_link(link));
         self.spine_uplink_free[l2.idx()] &= !(1u64 << j);
+        self.note_spine_slots_decreased(l2);
     }
 
     /// Release an exclusively owned L2↔spine link.
@@ -390,6 +427,7 @@ impl SystemState {
         let l2 = self.tree.l2_of_spine_link(link);
         let j = self.tree.spine_slot(self.tree.spine_of_link(link));
         self.spine_uplink_free[l2.idx()] |= 1u64 << j;
+        self.note_spine_slots_increased(l2);
     }
 
     // --- fractional link mutation (LC+S) ---------------------------------------
@@ -495,6 +533,17 @@ impl SystemState {
                 pod_ff,
                 "pod fully-free count stale"
             );
+            let max_leaf_nodes = t
+                .leaves_of_pod(pod)
+                .map(|l| self.free_nodes_per_leaf[l.idx()])
+                .max()
+                .unwrap_or(0);
+            assert_eq!(
+                self.max_free_leaf_nodes_per_pod[pod.idx()],
+                max_leaf_nodes,
+                "pod max-free-leaf-nodes index stale"
+            );
+            let mut min_spine = t.spines_per_group();
             for pos in 0..t.l2_per_pod() {
                 let l2 = t.l2_at(pod, pos);
                 let mut mask = 0u64;
@@ -509,9 +558,67 @@ impl SystemState {
                     mask,
                     "spine uplink mask stale for {l2}"
                 );
+                min_spine = min_spine.min(mask.count_ones());
             }
+            assert_eq!(
+                self.min_free_spine_slots_per_pod[pod.idx()],
+                min_spine,
+                "pod min-free-spine-slots index stale"
+            );
         }
         assert_eq!(self.allocated_nodes, alloc, "allocated-node count stale");
+    }
+
+    /// Update the pod-max index after `leaf`'s free-node count went *down*.
+    /// O(1) unless the leaf was (one of) the pod's maximum, in which case
+    /// the pod's leaves are rescanned.
+    fn note_leaf_nodes_decreased(&mut self, leaf: LeafId, pod: PodId) {
+        let newc = self.free_nodes_per_leaf[leaf.idx()];
+        if newc + 1 == self.max_free_leaf_nodes_per_pod[pod.idx()] {
+            let t = self.tree;
+            let max = t
+                .leaves_of_pod(pod)
+                .map(|l| self.free_nodes_per_leaf[l.idx()])
+                .max()
+                .unwrap_or(0);
+            self.max_free_leaf_nodes_per_pod[pod.idx()] = max;
+        }
+    }
+
+    /// Update the pod-max index after `leaf`'s free-node count went *up*.
+    /// Always O(1): a raised count can only raise the maximum.
+    fn note_leaf_nodes_increased(&mut self, leaf: LeafId, pod: PodId) {
+        let newc = self.free_nodes_per_leaf[leaf.idx()];
+        if newc > self.max_free_leaf_nodes_per_pod[pod.idx()] {
+            self.max_free_leaf_nodes_per_pod[pod.idx()] = newc;
+        }
+    }
+
+    /// Update the pod-min index after `l2` lost a free spine uplink.
+    /// Always O(1): a lowered count can only lower the minimum.
+    fn note_spine_slots_decreased(&mut self, l2: L2Id) {
+        let pod = self.tree.pod_of_l2(l2);
+        let newc = self.spine_uplink_free[l2.idx()].count_ones();
+        let min = &mut self.min_free_spine_slots_per_pod[pod.idx()];
+        if newc < *min {
+            *min = newc;
+        }
+    }
+
+    /// Update the pod-min index after `l2` regained a free spine uplink.
+    /// O(1) unless the L2 was (one of) the pod's minimum, in which case the
+    /// pod's L2 switches are rescanned.
+    fn note_spine_slots_increased(&mut self, l2: L2Id) {
+        let t = self.tree;
+        let pod = t.pod_of_l2(l2);
+        let newc = self.spine_uplink_free[l2.idx()].count_ones();
+        if newc - 1 == self.min_free_spine_slots_per_pod[pod.idx()] {
+            let min = (0..t.l2_per_pod())
+                .map(|pos| self.spine_uplink_free[t.l2_at(pod, pos).idx()].count_ones())
+                .min()
+                .unwrap_or(0);
+            self.min_free_spine_slots_per_pod[pod.idx()] = min;
+        }
     }
 
     fn refresh_leaf_fully_free(&mut self, leaf: LeafId) {
@@ -748,6 +855,62 @@ mod tests {
         assert!(!s.set_node_online(n));
         assert!(s.is_node_free(n));
         assert_eq!(s.offline_node_count(), 0);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn pod_max_free_leaf_nodes_tracks_claims() {
+        let mut s = fresh(); // 2 nodes/leaf, 2 leaves/pod
+        let pod = PodId(0);
+        assert_eq!(s.max_free_nodes_on_leaf_in_pod(pod), 2);
+        // Claiming one node of leaf 0 leaves leaf 1 at the max.
+        s.claim_node(NodeId(0), JobId(1));
+        assert_eq!(s.max_free_nodes_on_leaf_in_pod(pod), 2);
+        // Draining leaf 1 drops the max to leaf 0's remaining free node.
+        s.claim_node(NodeId(2), JobId(1));
+        s.claim_node(NodeId(3), JobId(1));
+        assert_eq!(s.max_free_nodes_on_leaf_in_pod(pod), 1);
+        s.assert_consistent();
+        // Releases raise it again; other pods were never affected.
+        s.release_node(NodeId(2));
+        assert_eq!(s.max_free_nodes_on_leaf_in_pod(pod), 1);
+        s.release_node(NodeId(0));
+        assert_eq!(s.max_free_nodes_on_leaf_in_pod(pod), 2);
+        assert_eq!(s.max_free_nodes_on_leaf_in_pod(PodId(1)), 2);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn pod_max_free_leaf_nodes_tracks_offline() {
+        let mut s = fresh();
+        let pod = PodId(0);
+        s.set_node_offline(NodeId(0));
+        s.set_node_offline(NodeId(2));
+        s.set_node_offline(NodeId(3));
+        assert_eq!(s.max_free_nodes_on_leaf_in_pod(pod), 1);
+        s.set_node_online(NodeId(0));
+        assert_eq!(s.max_free_nodes_on_leaf_in_pod(pod), 2);
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn pod_min_free_spine_slots_tracks_claims() {
+        let mut s = fresh(); // 2 L2/pod, 2 spine slots each
+        let t = *s.tree();
+        let pod = PodId(1);
+        assert_eq!(s.min_free_spine_slots_in_pod(pod), 2);
+        let l2 = t.l2_at(pod, 0);
+        s.claim_spine_link(t.spine_link(l2, 0), JobId(4));
+        assert_eq!(s.min_free_spine_slots_in_pod(pod), 1);
+        s.claim_spine_link(t.spine_link(l2, 1), JobId(4));
+        assert_eq!(s.min_free_spine_slots_in_pod(pod), 0);
+        // The other L2 still has both slots; min stays at the drained L2.
+        s.release_spine_link(t.spine_link(l2, 0));
+        assert_eq!(s.min_free_spine_slots_in_pod(pod), 1);
+        s.assert_consistent();
+        s.release_spine_link(t.spine_link(l2, 1));
+        assert_eq!(s.min_free_spine_slots_in_pod(pod), 2);
+        assert_eq!(s.min_free_spine_slots_in_pod(PodId(0)), 2);
         s.assert_consistent();
     }
 

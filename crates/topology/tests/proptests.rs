@@ -104,6 +104,74 @@ proptest! {
         prop_assert_eq!(state, pristine);
     }
 
+    /// The per-pod search indices (min free spine slots, max free leaf
+    /// nodes) always equal a from-scratch recount, under arbitrary
+    /// interleavings of node claims/releases, spine-link claims/releases,
+    /// and offline/online transitions.
+    #[test]
+    fn pod_indices_match_recount(ops in prop::collection::vec((0u32..96, 0u8..5), 1..150)) {
+        let tree = FatTree::maximal(6).unwrap(); // 54 nodes, 3 pods
+        let mut state = SystemState::new(tree);
+        let mut owned_nodes: Vec<NodeId> = Vec::new();
+        let mut owned_spines: Vec<jigsaw_topology::ids::SpineLinkId> = Vec::new();
+        let mut offline: Vec<NodeId> = Vec::new();
+        for (k, op) in ops {
+            match op {
+                0 => {
+                    let node = NodeId(k % tree.num_nodes());
+                    if state.is_node_free(node) && !state.is_node_offline(node) {
+                        state.claim_node(node, JobId(1));
+                        owned_nodes.push(node);
+                    }
+                }
+                1 => {
+                    if let Some(node) = owned_nodes.pop() {
+                        state.release_node(node);
+                    }
+                }
+                2 => {
+                    let pod = jigsaw_topology::ids::PodId(k % tree.num_pods());
+                    let pos = k % tree.l2_per_pod();
+                    let slot = k % tree.spines_per_group();
+                    let link = tree.spine_link_at(pod, pos, slot);
+                    if state.spine_link_owner(link).is_none() {
+                        state.claim_spine_link(link, JobId(1));
+                        owned_spines.push(link);
+                    }
+                }
+                3 => {
+                    if let Some(link) = owned_spines.pop() {
+                        state.release_spine_link(link);
+                    }
+                }
+                _ => {
+                    let node = NodeId(k % tree.num_nodes());
+                    if state.is_node_offline(node) {
+                        state.set_node_online(node);
+                        offline.retain(|&n| n != node);
+                    } else if state.is_node_free(node) {
+                        state.set_node_offline(node);
+                        offline.push(node);
+                    }
+                }
+            }
+            for pod in tree.pods() {
+                let min_spine = (0..tree.l2_per_pod())
+                    .map(|pos| state.spine_uplink_free_mask(tree.l2_at(pod, pos)).count_ones())
+                    .min()
+                    .unwrap_or(0);
+                prop_assert_eq!(state.min_free_spine_slots_in_pod(pod), min_spine);
+                let max_leaf = tree
+                    .leaves_of_pod(pod)
+                    .map(|leaf| state.free_nodes_on_leaf(leaf))
+                    .max()
+                    .unwrap_or(0);
+                prop_assert_eq!(state.max_free_nodes_on_leaf_in_pod(pod), max_leaf);
+            }
+        }
+        state.assert_consistent();
+    }
+
     /// Fractional reservations never exceed the cap and always release to
     /// zero.
     #[test]

@@ -27,7 +27,7 @@ fn main() {
         let t0 = Instant::now();
         let result = simulate(
             &tree,
-            SchedulerKind::Jigsaw.make(&tree),
+            Scheme::Jigsaw.make(&tree),
             &trace,
             &SimConfig::default(),
         );

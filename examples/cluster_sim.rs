@@ -44,14 +44,14 @@ fn main() {
         "scheme", "utilization", "avg turnaround", "turnaround>100", "makespan", "sched µs/job"
     );
     let mut baseline_turnaround = 0.0;
-    for kind in SchedulerKind::ALL {
-        let config = if kind == SchedulerKind::Baseline {
+    for kind in Scheme::ALL {
+        let config = if kind == Scheme::Baseline {
             &config_base
         } else {
             &config_iso
         };
         let result = simulate(&tree, kind.make(&tree), &trace, config);
-        if kind == SchedulerKind::Baseline {
+        if kind == Scheme::Baseline {
             baseline_turnaround = result.avg_turnaround();
         }
         println!(

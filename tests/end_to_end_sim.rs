@@ -6,12 +6,12 @@ use jigsaw::traces::llnl::{atlas_model, cab_model, CabMonth};
 use jigsaw::traces::synth::synth;
 use std::collections::HashMap;
 
-fn run_all(tree: &FatTree, trace: &Trace, config: &SimConfig) -> HashMap<SchedulerKind, SimResult> {
-    SchedulerKind::ALL
+fn run_all(tree: &FatTree, trace: &Trace, config: &SimConfig) -> HashMap<Scheme, SimResult> {
+    Scheme::ALL
         .iter()
         .map(|&kind| {
             let cfg = SimConfig {
-                scheme_benefits: kind != SchedulerKind::Baseline,
+                scheme_benefits: kind != Scheme::Baseline,
                 ..config.clone()
             };
             (kind, simulate(tree, kind.make(tree), trace, &cfg))
@@ -26,35 +26,35 @@ fn utilization_ordering_matches_figure6() {
     let tree = FatTree::maximal(16).unwrap();
     let trace = synth(16, 1200, 42);
     let results = run_all(&tree, &trace, &SimConfig::default());
-    let u = |k: SchedulerKind| results[&k].utilization;
+    let u = |k: Scheme| results[&k].utilization;
 
     assert!(
-        u(SchedulerKind::Baseline) > 0.95,
+        u(Scheme::Baseline) > 0.95,
         "Baseline must achieve high utilization under heavy load, got {}",
-        u(SchedulerKind::Baseline)
+        u(Scheme::Baseline)
     );
     assert!(
-        u(SchedulerKind::Jigsaw) > u(SchedulerKind::Laas),
+        u(Scheme::Jigsaw) > u(Scheme::Laas),
         "Jigsaw {} must beat LaaS {}",
-        u(SchedulerKind::Jigsaw),
-        u(SchedulerKind::Laas)
+        u(Scheme::Jigsaw),
+        u(Scheme::Laas)
     );
     assert!(
-        u(SchedulerKind::Jigsaw) > u(SchedulerKind::Ta),
+        u(Scheme::Jigsaw) > u(Scheme::Ta),
         "Jigsaw {} must beat TA {}",
-        u(SchedulerKind::Jigsaw),
-        u(SchedulerKind::Ta)
+        u(Scheme::Jigsaw),
+        u(Scheme::Ta)
     );
     assert!(
-        u(SchedulerKind::Baseline) >= u(SchedulerKind::Jigsaw) - 1e-9,
+        u(Scheme::Baseline) >= u(Scheme::Jigsaw) - 1e-9,
         "Baseline upper-bounds Jigsaw"
     );
     // Jigsaw within a few points of Baseline (the paper's headline).
     assert!(
-        u(SchedulerKind::Baseline) - u(SchedulerKind::Jigsaw) < 0.08,
+        u(Scheme::Baseline) - u(Scheme::Jigsaw) < 0.08,
         "Jigsaw must be close to Baseline: {} vs {}",
-        u(SchedulerKind::Jigsaw),
-        u(SchedulerKind::Baseline)
+        u(Scheme::Jigsaw),
+        u(Scheme::Baseline)
     );
 }
 
@@ -64,7 +64,7 @@ fn laas_internal_fragmentation_visible() {
     let trace = synth(16, 600, 7);
     let r = simulate(
         &tree,
-        SchedulerKind::Laas.make(&tree),
+        Scheme::Laas.make(&tree),
         &trace,
         &SimConfig::default(),
     );
@@ -97,8 +97,8 @@ fn speedup_scenarios_help_isolating_schemes() {
         scenario: Scenario::Fixed(20),
         ..SimConfig::default()
     };
-    let r_none = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &none);
-    let r_20 = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &twenty);
+    let r_none = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &none);
+    let r_20 = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &twenty);
     assert!(
         r_20.makespan < r_none.makespan,
         "20% speed-ups must shorten the makespan: {} vs {}",
@@ -115,8 +115,8 @@ fn speedup_scenarios_help_isolating_schemes() {
         scheme_benefits: false,
         ..twenty
     };
-    let rb_none = simulate(&tree, SchedulerKind::Baseline.make(&tree), &trace, &b_none);
-    let rb_20 = simulate(&tree, SchedulerKind::Baseline.make(&tree), &trace, &b_20);
+    let rb_none = simulate(&tree, Scheme::Baseline.make(&tree), &trace, &b_none);
+    let rb_20 = simulate(&tree, Scheme::Baseline.make(&tree), &trace, &b_20);
     assert_eq!(rb_none.makespan, rb_20.makespan);
 }
 
@@ -127,7 +127,7 @@ fn cab_like_arrivals_flow_through() {
     assert!(trace.has_arrival_times());
     let r = simulate(
         &tree,
-        SchedulerKind::Jigsaw.make(&tree),
+        Scheme::Jigsaw.make(&tree),
         &trace,
         &SimConfig::default(),
     );
@@ -145,9 +145,9 @@ fn atlas_whole_machine_jobs_complete_everywhere() {
     let tree = FatTree::maximal(18).unwrap();
     let trace = atlas_model().generate(0.01, 5);
     assert_eq!(trace.max_size(), 1024);
-    for kind in SchedulerKind::ALL {
+    for kind in Scheme::ALL {
         let cfg = SimConfig {
-            scheme_benefits: kind != SchedulerKind::Baseline,
+            scheme_benefits: kind != Scheme::Baseline,
             ..SimConfig::default()
         };
         let r = simulate(&tree, kind.make(&tree), &trace, &cfg);
@@ -168,8 +168,8 @@ fn backfilling_improves_turnaround() {
         backfill_window: 0,
         ..SimConfig::default()
     };
-    let r_with = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &with);
-    let r_without = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &without);
+    let r_with = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &with);
+    let r_without = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &without);
     assert!(
         r_with.avg_turnaround() < r_without.avg_turnaround(),
         "EASY backfilling must reduce average turnaround ({} vs {})",
@@ -187,8 +187,8 @@ fn table2_histogram_shape() {
         collect_inst_util: true,
         ..SimConfig::default()
     };
-    let jig = simulate(&tree, SchedulerKind::Jigsaw.make(&tree), &trace, &cfg);
-    let ta = simulate(&tree, SchedulerKind::Ta.make(&tree), &trace, &cfg);
+    let jig = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &cfg);
+    let ta = simulate(&tree, Scheme::Ta.make(&tree), &trace, &cfg);
     assert!(jig.inst_util.total() > 0);
     let jig_high = jig.inst_util.fraction(0) + jig.inst_util.fraction(1);
     let ta_high = ta.inst_util.fraction(0) + ta.inst_util.fraction(1);

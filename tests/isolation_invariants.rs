@@ -13,7 +13,7 @@ use rand::{RngExt, SeedableRng};
 /// Drive an allocate/release churn and hand every live allocation set to
 /// `inspect`.
 fn churn<F: FnMut(&FatTree, &SystemState, &[Allocation])>(
-    kind: SchedulerKind,
+    kind: Scheme,
     radix: u32,
     steps: usize,
     seed: u64,
@@ -45,7 +45,7 @@ fn churn<F: FnMut(&FatTree, &SystemState, &[Allocation])>(
 
 #[test]
 fn no_scheme_ever_double_books_nodes() {
-    for kind in SchedulerKind::ALL {
+    for kind in Scheme::ALL {
         churn(kind, 8, 120, 7, |_, _, live| {
             for i in 0..live.len() {
                 for j in i + 1..live.len() {
@@ -60,7 +60,7 @@ fn no_scheme_ever_double_books_nodes() {
 
 #[test]
 fn exclusive_schemes_never_share_links() {
-    for kind in [SchedulerKind::Jigsaw, SchedulerKind::Laas] {
+    for kind in [Scheme::Jigsaw, Scheme::Laas] {
         churn(kind, 8, 120, 11, |_, _, live| {
             for i in 0..live.len() {
                 for j in i + 1..live.len() {
@@ -76,7 +76,7 @@ fn exclusive_schemes_never_share_links() {
 
 #[test]
 fn jigsaw_shapes_always_satisfy_conditions_under_churn() {
-    churn(SchedulerKind::Jigsaw, 8, 150, 13, |tree, _, live| {
+    churn(Scheme::Jigsaw, 8, 150, 13, |tree, _, live| {
         for a in live {
             check_shape(tree, &a.shape).unwrap_or_else(|v| panic!("violation: {v}"));
         }
@@ -85,7 +85,7 @@ fn jigsaw_shapes_always_satisfy_conditions_under_churn() {
 
 #[test]
 fn laas_shapes_always_satisfy_conditions_under_churn() {
-    churn(SchedulerKind::Laas, 8, 150, 17, |tree, _, live| {
+    churn(Scheme::Laas, 8, 150, 17, |tree, _, live| {
         for a in live {
             check_shape(tree, &a.shape).unwrap_or_else(|v| panic!("violation: {v}"));
         }
@@ -96,7 +96,7 @@ fn laas_shapes_always_satisfy_conditions_under_churn() {
 fn jigsaw_partitions_are_rearrangeable_under_churn() {
     let mut rng = StdRng::seed_from_u64(99);
     let mut checked = 0usize;
-    churn(SchedulerKind::Jigsaw, 4, 80, 19, |tree, _, live| {
+    churn(Scheme::Jigsaw, 4, 80, 19, |tree, _, live| {
         // Sampling every step is expensive; check the newest allocation.
         if let Some(a) = live.last() {
             let perm = random_permutation(&a.nodes, &mut rng);
@@ -113,7 +113,7 @@ fn jigsaw_partitions_are_rearrangeable_under_churn() {
 #[test]
 fn jigsaw_partitions_pass_maxflow_probes_under_churn() {
     let mut checked = 0usize;
-    churn(SchedulerKind::Jigsaw, 4, 60, 23, |tree, _, live| {
+    churn(Scheme::Jigsaw, 4, 60, 23, |tree, _, live| {
         if let Some(a) = live.last() {
             check_full_bandwidth(tree, a).unwrap_or_else(|w| panic!("witness: {w:?}"));
             checked += 1;
@@ -124,7 +124,7 @@ fn jigsaw_partitions_pass_maxflow_probes_under_churn() {
 
 #[test]
 fn lcs_respects_bandwidth_cap_under_churn() {
-    churn(SchedulerKind::LcS, 8, 150, 29, |tree, state, _| {
+    churn(Scheme::LcS, 8, 150, 29, |tree, state, _| {
         let cap = state.bandwidth().cap_tenths;
         for leaf in tree.leaves() {
             for pos in 0..tree.l2_per_pod() {
@@ -138,7 +138,7 @@ fn lcs_respects_bandwidth_cap_under_churn() {
 fn ta_leaf_jobs_never_span_leaves() {
     let tree = FatTree::maximal(8).unwrap();
     let mut state = SystemState::new(tree);
-    let mut ta = SchedulerKind::Ta.make(&tree);
+    let mut ta = Scheme::Ta.make(&tree);
     let mut rng = StdRng::seed_from_u64(31);
     for i in 0..200u32 {
         let size = 1 + rng.random_range(0..tree.nodes_per_leaf());

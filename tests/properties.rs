@@ -114,7 +114,7 @@ proptest! {
     #[test]
     fn simulation_metric_sanity(batch in sizes(16), kind_idx in 0usize..5) {
         let tree = FatTree::maximal(4).unwrap();
-        let kind = SchedulerKind::ALL[kind_idx];
+        let kind = Scheme::ALL[kind_idx];
         let jobs: Vec<TraceJob> = batch
             .iter()
             .enumerate()
@@ -135,8 +135,8 @@ proptest! {
         let r = simulate(&tree, kind.make(&tree), &trace, &SimConfig::default());
         prop_assert!(r.utilization >= 0.0 && r.utilization <= 1.0 + 1e-9);
         if longest > 0.0 && r.jobs.iter().any(|j| j.scheduled()) {
-            prop_assert!(r.makespan + 1e-9 >= longest * 0.999 || kind == SchedulerKind::Ta
-                || kind == SchedulerKind::Laas,
+            prop_assert!(r.makespan + 1e-9 >= longest * 0.999 || kind == Scheme::Ta
+                || kind == Scheme::Laas,
                 "makespan {} shorter than longest schedulable job {longest}", r.makespan);
         }
     }
@@ -146,7 +146,7 @@ proptest! {
     #[test]
     fn release_order_independence(batch in sizes(32), order_seed in 0u64..1000) {
         use rand::seq::SliceRandom;
-        for kind in [SchedulerKind::Jigsaw, SchedulerKind::Laas, SchedulerKind::Baseline] {
+        for kind in [Scheme::Jigsaw, Scheme::Laas, Scheme::Baseline] {
             let tree = FatTree::maximal(8).unwrap();
             let mut state = SystemState::new(tree);
             let mut alloc = kind.make(&tree);

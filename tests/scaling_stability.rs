@@ -5,9 +5,9 @@
 use jigsaw::prelude::*;
 use jigsaw::traces::synth::synth;
 
-fn utilization(kind: SchedulerKind, trace: &Trace, tree: &FatTree) -> f64 {
+fn utilization(kind: Scheme, trace: &Trace, tree: &FatTree) -> f64 {
     let cfg = SimConfig {
-        scheme_benefits: kind != SchedulerKind::Baseline,
+        scheme_benefits: kind != Scheme::Baseline,
         ..SimConfig::default()
     };
     simulate(tree, kind.make(tree), trace, &cfg).utilization
@@ -19,10 +19,7 @@ fn utilization_gap_stable_across_scales() {
     let small = synth(16, 400, 42);
     let large = synth(16, 1600, 42);
 
-    for (a, b) in [
-        (SchedulerKind::Jigsaw, SchedulerKind::Laas),
-        (SchedulerKind::Jigsaw, SchedulerKind::Ta),
-    ] {
+    for (a, b) in [(Scheme::Jigsaw, Scheme::Laas), (Scheme::Jigsaw, Scheme::Ta)] {
         let gap_small = utilization(a, &small, &tree) - utilization(b, &small, &tree);
         let gap_large = utilization(a, &large, &tree) - utilization(b, &large, &tree);
         assert!(
@@ -39,11 +36,7 @@ fn utilization_gap_stable_across_scales() {
 #[test]
 fn absolute_utilization_stable_across_scales() {
     let tree = FatTree::maximal(16).unwrap();
-    for kind in [
-        SchedulerKind::Baseline,
-        SchedulerKind::Jigsaw,
-        SchedulerKind::Laas,
-    ] {
+    for kind in [Scheme::Baseline, Scheme::Jigsaw, Scheme::Laas] {
         let u_small = utilization(kind, &synth(16, 400, 7), &tree);
         let u_large = utilization(kind, &synth(16, 1600, 7), &tree);
         assert!(

@@ -17,11 +17,7 @@ fn swf_roundtrip_preserves_simulation() {
         a.bw_tenths = b.bw_tenths;
     }
 
-    for kind in [
-        SchedulerKind::Baseline,
-        SchedulerKind::Jigsaw,
-        SchedulerKind::Laas,
-    ] {
+    for kind in [Scheme::Baseline, Scheme::Jigsaw, Scheme::Laas] {
         let r1 = simulate(&tree, kind.make(&tree), &original, &SimConfig::default());
         let r2 = simulate(&tree, kind.make(&tree), &reparsed, &SimConfig::default());
         assert_eq!(r1.jobs.len(), r2.jobs.len());
@@ -43,12 +39,7 @@ fn swf_comments_and_garbage_tolerated() {
     let t = parse_swf("mini", 16, text, 1);
     assert_eq!(t.len(), 1);
     let tree = FatTree::maximal(4).unwrap();
-    let r = simulate(
-        &tree,
-        SchedulerKind::Jigsaw.make(&tree),
-        &t,
-        &SimConfig::default(),
-    );
+    let r = simulate(&tree, Scheme::Jigsaw.make(&tree), &t, &SimConfig::default());
     assert!(r.jobs[0].scheduled());
     assert_eq!(r.jobs[0].end, 100.0);
 }

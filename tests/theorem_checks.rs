@@ -128,7 +128,7 @@ fn simulated_system_audits_clean_at_every_event() {
     // Run a real scheduling workload step by step (allocate/release churn
     // mirroring a sim) and audit after every operation, for the two
     // fully-structured schemes.
-    for kind in [SchedulerKind::Jigsaw, SchedulerKind::Laas] {
+    for kind in [Scheme::Jigsaw, Scheme::Laas] {
         let tree = FatTree::maximal(8).unwrap();
         let mut state = SystemState::new(tree);
         let mut alloc = kind.make(&tree);
