@@ -13,13 +13,14 @@ pub struct Flags {
 }
 
 /// Flags that take no value.
-const SWITCHES: [&str; 6] = [
+const SWITCHES: [&str; 7] = [
     "--json",
     "--swf",
     "--help",
     "--dot",
     "--analyze",
     "--metrics",
+    "--shutdown",
 ];
 
 impl Flags {

@@ -1,9 +1,10 @@
-//! `jigsaw-sched serve <radix> [--scheme S] [--journal DIR]` — an online
-//! allocation service over stdin/stdout, the integration surface a
-//! resource manager (Slurm/Flux plugin) would drive.
+//! `jigsaw-sched serve <radix> [--scheme S] [--journal DIR] [--listen ADDR]`
+//! — the online allocation service, over stdin/stdout or TCP.
 //!
-//! Line protocol (one request per line; replies follow the unified
-//! grammar of [`crate::protocol`]):
+//! Both transports speak the same line protocol through the same
+//! single-writer dispatcher ([`jigsaw_net::Engine`]), so the stdin
+//! session a resource-manager plugin drives and the multi-client TCP
+//! daemon cannot diverge:
 //!
 //! ```text
 //! ALLOC <id> <size>  -> OK GRANT <id> <n0,n1,...> | ERR denied <reason>
@@ -14,38 +15,34 @@
 //! STATS              -> OK STATS k=v k=v ...
 //! METRICS            -> OK METRICS <n>  (then n raw Prometheus lines)
 //! HELP               -> OK HELP <usage summary>
-//! QUIT               -> OK BYE
+//! QUIT               -> OK BYE       (TCP: closes only this connection)
+//! SHUTDOWN           -> OK SHUTDOWN  (drain, flush, snapshot, exit)
 //! ```
 //!
-//! Every failure is `ERR <code> <message>` with a stable lowercase code
-//! (`denied`, `bad-request`, `exists`, `unknown-job`, `journal`,
-//! `not-durable`, `unknown-verb`, `internal`).
+//! With `--journal DIR` the service is durable through the group-commit
+//! path: requests stage write-ahead records and replies are released only
+//! after the covering fsync. On stdin each request is its own batch
+//! (identical guarantees to the original per-record fsync); under
+//! `--listen` concurrent clients' requests share fsyncs (up to
+//! `--max-batch` per sync), which is where the daemon's journaled
+//! throughput comes from. A restart pointed at the same directory
+//! recovers the exact acknowledged state.
 //!
-//! The session carries a live [`Registry`]: allocation latency, search
-//! effort, and typed rejection counters per scheme (via
-//! [`ObservedAllocator`]), per-verb request counters and latency
-//! histograms, and — with `--journal` — the write-ahead fsync latency
-//! from `jigsaw-persist`. `METRICS` exposes all of it as Prometheus text;
-//! `STATS` gives a one-line summary.
-//!
-//! With `--journal DIR` the session is durable: every grant and release
-//! is written to a checksummed write-ahead log under `DIR` before it is
-//! acknowledged, full snapshots compact the log every `--snapshot-every N`
-//! events (and on the `SNAPSHOT` verb), and a restart pointed at the same
-//! directory recovers the exact pre-crash state — snapshot plus journal
-//! replay, cross-checked by `jigsaw_core::audit`. Without `--journal`
-//! the session is ephemeral and behaves exactly as before.
+//! With `--listen ADDR` the service prints `LISTENING <addr>` (with the
+//! resolved port) on stdout once the socket is bound, then runs until a
+//! client sends `SHUTDOWN`. `--max-conns` bounds concurrent connections
+//! (excess gets `ERR busy`), `--idle-timeout-ms` closes silent
+//! connections, and `--max-batch 1` forces the per-record-fsync baseline.
 
 use crate::args::{fail, Flags};
-use crate::protocol::{ErrCode, Reply, VERBS};
-use jigsaw_core::{Allocation, Allocator, JobRequest, ObservedAllocator};
-use jigsaw_obs::{Counter, Histogram, Registry};
-use jigsaw_persist::{PersistError, PersistentState};
-use jigsaw_routing::RoutingTables;
-use jigsaw_topology::ids::JobId;
-use jigsaw_topology::{FatTree, SystemState};
-use std::io::{BufRead, Write};
+use jigsaw_core::ObservedAllocator;
+use jigsaw_net::{serve_stream, Engine, Server, ServerConfig};
+use jigsaw_obs::Registry;
+use jigsaw_persist::PersistentState;
+use jigsaw_topology::FatTree;
+use std::io::Write;
 use std::path::Path;
+use std::time::Duration;
 
 pub fn run(args: &[String]) -> i32 {
     let flags = match Flags::parse(args) {
@@ -53,7 +50,9 @@ pub fn run(args: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
     let Some(radix_str) = flags.positional.first() else {
-        return fail("usage: jigsaw-sched serve <radix> [--scheme S] [--journal DIR]");
+        return fail(
+            "usage: jigsaw-sched serve <radix> [--scheme S] [--journal DIR] [--listen ADDR]",
+        );
     };
     let Ok(radix) = radix_str.parse::<u32>() else {
         return fail(&format!("`{radix_str}` is not a radix"));
@@ -71,6 +70,27 @@ pub fn run(args: &[String]) -> i32 {
             Ok(v) => v,
             Err(e) => return fail(&e),
         };
+    let max_batch = match flags.get_u64(
+        "max-batch",
+        u64::try_from(jigsaw_net::DEFAULT_MAX_BATCH).unwrap_or(64),
+    ) {
+        Ok(v) if v >= 1 => usize::try_from(v).unwrap_or(usize::MAX),
+        Ok(_) => return fail("--max-batch must be at least 1"),
+        Err(e) => return fail(&e),
+    };
+    let max_conns = match flags.get_u64(
+        "max-conns",
+        u64::try_from(jigsaw_net::DEFAULT_MAX_CONNS).unwrap_or(64),
+    ) {
+        Ok(v) if v >= 1 => usize::try_from(v).unwrap_or(usize::MAX),
+        Ok(_) => return fail("--max-conns must be at least 1"),
+        Err(e) => return fail(&e),
+    };
+    let idle_timeout = match flags.get_u64("idle-timeout-ms", 0) {
+        Ok(0) => None,
+        Ok(ms) => Some(Duration::from_millis(ms)),
+        Err(e) => return fail(&e),
+    };
     let registry = Registry::new();
     let mut persist = match flags.get("journal") {
         Some(dir) => match PersistentState::open(Path::new(dir), tree) {
@@ -94,464 +114,35 @@ pub fn run(args: &[String]) -> i32 {
             ""
         }
     );
-    for v in VERBS {
+    for v in jigsaw_net::VERBS {
         eprintln!("  {:<18} {}", v.usage, v.summary);
     }
     let allocator = Box::new(ObservedAllocator::new(kind.make(&tree), &registry));
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    serve(
-        tree,
-        allocator,
-        persist,
-        &registry,
-        stdin.lock(),
-        stdout.lock(),
-    )
-}
+    let mut engine = Engine::new(tree, allocator, persist, &registry);
 
-/// Per-verb request counters and latency histograms, one pair per entry
-/// of [`VERBS`]. Unknown verbs are not counted (an unbounded label set
-/// would let a misbehaving client grow the registry without limit).
-struct ServeObs {
-    verbs: Vec<(&'static str, Counter, Histogram)>,
-    /// `ERR` replies of any code (including unknown verbs).
-    errors: Counter,
-}
-
-impl ServeObs {
-    fn new(registry: &Registry) -> ServeObs {
-        ServeObs {
-            errors: registry.counter(
-                "jigsaw_serve_errors_total",
-                "Requests answered with an ERR reply.",
-            ),
-            verbs: VERBS
-                .iter()
-                .map(|v| {
-                    (
-                        v.name,
-                        registry.counter_with(
-                            "jigsaw_serve_requests_total",
-                            "Requests handled, by verb.",
-                            &[("verb", v.name)],
-                        ),
-                        registry.histogram_with(
-                            "jigsaw_serve_request_latency_ns",
-                            "Request handling latency including journaling (ns), by verb.",
-                            &[("verb", v.name)],
-                        ),
-                    )
-                })
-                .collect(),
+    match flags.get("listen") {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_stream(&mut engine, stdin.lock(), stdout.lock())
         }
-    }
-
-    fn get(&self, verb: &str) -> Option<&(&'static str, Counter, Histogram)> {
-        self.verbs.iter().find(|(name, _, _)| *name == verb)
-    }
-
-    fn total_requests(&self) -> u64 {
-        self.verbs.iter().map(|(_, c, _)| c.get()).sum()
-    }
-}
-
-/// The protocol loop, generic over the streams for testability.
-pub fn serve<R: BufRead, W: Write>(
-    tree: FatTree,
-    mut allocator: Box<dyn Allocator>,
-    mut persist: PersistentState,
-    registry: &Registry,
-    reader: R,
-    mut out: W,
-) -> i32 {
-    // Recovered allocations were claimed into the state without the
-    // allocator watching; replay them through `adopt` on a scratch state
-    // so schemes with internal bookkeeping (TA's per-leaf counters)
-    // catch up. The scratch state is discarded — the real one already
-    // has every claim applied.
-    if !persist.live().is_empty() {
-        let mut scratch = SystemState::new(tree);
-        for alloc in persist.live_allocations() {
-            allocator.adopt(&mut scratch, &alloc);
+        Some(addr) => {
+            let config = ServerConfig {
+                listen: addr.to_string(),
+                max_conns,
+                max_batch,
+                idle_timeout,
+                ..ServerConfig::default()
+            };
+            let handle = match Server::start(engine, &config) {
+                Ok(h) => h,
+                Err(e) => return fail(&format!("cannot listen on `{addr}`: {e}")),
+            };
+            // The readiness line scripts and tests wait for — it carries
+            // the resolved address (port 0 picks a free port).
+            println!("LISTENING {}", handle.addr());
+            let _ = std::io::stdout().flush();
+            handle.wait()
         }
-    }
-    let obs = ServeObs::new(registry);
-
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        let Some(&verb) = fields.first() else {
-            continue;
-        };
-        let verb_obs = obs.get(verb);
-        let t0 = verb_obs.map(|(_, requests, latency)| {
-            requests.inc();
-            latency.start()
-        });
-        let mut quit = false;
-        let reply = match fields.as_slice() {
-            ["ALLOC", id, size] => match (id.parse::<u32>(), size.parse::<u32>()) {
-                (Ok(id), Ok(size)) if size > 0 => {
-                    if persist.live().contains_key(&id) {
-                        Reply::err(ErrCode::Exists, format!("job {id} already allocated"))
-                    } else {
-                        match allocator
-                            .allocate(persist.state_mut(), &JobRequest::new(JobId(id), size))
-                        {
-                            Ok(alloc) => match persist.commit_grant(&alloc) {
-                                Ok(()) => {
-                                    auto_snapshot(&mut persist);
-                                    Reply::Grant {
-                                        id,
-                                        nodes: alloc.nodes.iter().map(|n| n.0).collect(),
-                                    }
-                                }
-                                Err(e) => {
-                                    // Keep state and journal agreeing: the
-                                    // unjournaled claim is rolled back.
-                                    allocator.release(persist.state_mut(), &alloc);
-                                    Reply::err(ErrCode::Journal, e.to_string())
-                                }
-                            },
-                            Err(reject) => {
-                                Reply::err(ErrCode::Denied, format!("job {id}: {reject}"))
-                            }
-                        }
-                    }
-                }
-                _ => Reply::err(ErrCode::BadRequest, "bad ALLOC arguments"),
-            },
-            ["FREE", id] => match id.parse::<u32>() {
-                Ok(id) => match persist.commit_release(JobId(id)) {
-                    Ok(Some(alloc)) => {
-                        allocator.release(persist.state_mut(), &alloc);
-                        auto_snapshot(&mut persist);
-                        Reply::Freed { id }
-                    }
-                    Ok(None) => {
-                        Reply::err(ErrCode::UnknownJob, format!("job {id} is not allocated"))
-                    }
-                    Err(e) => Reply::err(ErrCode::Journal, e.to_string()),
-                },
-                Err(_) => Reply::err(ErrCode::BadRequest, "bad FREE arguments"),
-            },
-            ["STATUS"] => Reply::Status {
-                used: persist.state().allocated_node_count(),
-                total: tree.num_nodes(),
-                jobs: persist.live().len(),
-            },
-            ["TABLES"] => {
-                let allocs: Vec<Allocation> = persist.live_allocations();
-                match RoutingTables::build(&tree, &allocs) {
-                    Ok(tables) => Reply::Tables {
-                        entries: tables.len(),
-                    },
-                    Err(e) => Reply::err(ErrCode::Internal, e.to_string()),
-                }
-            }
-            ["SNAPSHOT"] => match persist.snapshot() {
-                Ok(seq) => Reply::Snapshot { seq },
-                Err(PersistError::NotDurable) => {
-                    Reply::err(ErrCode::NotDurable, "no journal configured")
-                }
-                Err(e) => Reply::err(ErrCode::Journal, e.to_string()),
-            },
-            ["STATS"] => {
-                let used = persist.state().allocated_node_count();
-                let total = tree.num_nodes();
-                Reply::Stats {
-                    pairs: vec![
-                        ("scheme".into(), allocator.name().into()),
-                        ("nodes".into(), format!("{used}/{total}")),
-                        ("jobs".into(), persist.live().len().to_string()),
-                        ("seq".into(), persist.last_seq().to_string()),
-                        ("durable".into(), persist.is_durable().to_string()),
-                        ("requests".into(), obs.total_requests().to_string()),
-                        ("errors".into(), obs.errors.get().to_string()),
-                        (
-                            "events_dropped".into(),
-                            registry.events_dropped().to_string(),
-                        ),
-                    ],
-                }
-            }
-            ["METRICS"] => Reply::Metrics {
-                text: registry.render_prometheus(),
-            },
-            ["HELP"] => Reply::Help,
-            ["QUIT"] => {
-                quit = true;
-                Reply::Bye
-            }
-            _ => Reply::err(
-                if obs.get(verb).is_some() {
-                    ErrCode::BadRequest
-                } else {
-                    ErrCode::UnknownVerb
-                },
-                format!("`{line}`"),
-            ),
-        };
-        if reply.is_err() {
-            obs.errors.inc();
-        }
-        if let (Some((_, _, latency)), Some(t0)) = (verb_obs, t0) {
-            latency.observe_since(t0);
-        }
-        if writeln!(out, "{reply}").is_err() {
-            break;
-        }
-        if quit {
-            break;
-        }
-    }
-    0
-}
-
-/// Auto-snapshot if due. A failed snapshot is survivable (the journal is
-/// intact; snapshots only bound recovery time), so warn and carry on.
-fn auto_snapshot(persist: &mut PersistentState) {
-    if let Err(e) = persist.maybe_snapshot() {
-        eprintln!("jigsaw-sched: warning: auto-snapshot failed: {e}");
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use jigsaw_core::Scheme;
-    use std::path::PathBuf;
-
-    fn tree() -> FatTree {
-        FatTree::maximal(4).unwrap()
-    }
-
-    /// Drive a session and return the registry plus every reply line
-    /// (multi-line replies contribute multiple entries).
-    fn drive_full(mut persist: PersistentState, script: &str) -> (Registry, Vec<String>) {
-        let tree = tree();
-        let registry = Registry::new();
-        persist.attach_registry(&registry);
-        let allocator = Box::new(ObservedAllocator::new(
-            Scheme::Jigsaw.make(&tree),
-            &registry,
-        ));
-        let mut out = Vec::new();
-        let code = serve(
-            tree,
-            allocator,
-            persist,
-            &registry,
-            script.as_bytes(),
-            &mut out,
-        );
-        assert_eq!(code, 0);
-        let lines = String::from_utf8(out)
-            .unwrap()
-            .lines()
-            .map(String::from)
-            .collect();
-        (registry, lines)
-    }
-
-    fn drive_with(persist: PersistentState, script: &str) -> Vec<String> {
-        drive_full(persist, script).1
-    }
-
-    fn drive(script: &str) -> Vec<String> {
-        drive_with(PersistentState::ephemeral(tree()), script)
-    }
-
-    fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("jigsaw-serve-{tag}-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        dir
-    }
-
-    #[test]
-    fn alloc_free_roundtrip() {
-        let replies = drive("ALLOC 1 4\nSTATUS\nFREE 1\nSTATUS\nQUIT\n");
-        assert!(replies[0].starts_with("OK GRANT 1 "));
-        assert_eq!(replies[1], "OK STATUS nodes=4/16 jobs=1 util=25.0%");
-        assert_eq!(replies[2], "OK FREE 1");
-        assert_eq!(replies[3], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
-        assert_eq!(replies[4], "OK BYE");
-    }
-
-    #[test]
-    fn deny_when_machine_full() {
-        let replies = drive("ALLOC 1 16\nALLOC 2 1\nQUIT\n");
-        assert!(replies[0].starts_with("OK GRANT 1 "));
-        assert!(
-            replies[1].starts_with("ERR denied job 2:"),
-            "typed rejection: {}",
-            replies[1]
-        );
-    }
-
-    #[test]
-    fn errors_reported_inline() {
-        let replies = drive("ALLOC 1 4\nALLOC 1 4\nFREE 9\nBOGUS\nQUIT\n");
-        assert!(replies[0].starts_with("OK GRANT"));
-        assert_eq!(replies[1], "ERR exists job 1 already allocated");
-        assert_eq!(replies[2], "ERR unknown-job job 9 is not allocated");
-        assert!(replies[3].starts_with("ERR unknown-verb"));
-    }
-
-    #[test]
-    fn known_verb_with_bad_arity_is_bad_request_not_unknown() {
-        let replies = drive("ALLOC 1\nFREE\nQUIT\n");
-        assert!(replies[0].starts_with("ERR bad-request"), "{}", replies[0]);
-        assert!(replies[1].starts_with("ERR bad-request"), "{}", replies[1]);
-    }
-
-    #[test]
-    fn zero_size_alloc_is_rejected() {
-        let replies = drive("ALLOC 1 0\nSTATUS\nQUIT\n");
-        assert_eq!(replies[0], "ERR bad-request bad ALLOC arguments");
-        assert_eq!(replies[1], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
-    }
-
-    #[test]
-    fn help_is_a_single_line() {
-        let replies = drive("HELP\nQUIT\n");
-        assert!(replies[0].starts_with("OK HELP"));
-        assert!(replies[0].contains("SNAPSHOT"));
-        assert!(replies[0].contains("METRICS"));
-        assert!(replies[0].contains("STATS"));
-        assert_eq!(replies[1], "OK BYE");
-    }
-
-    #[test]
-    fn snapshot_without_journal_is_an_error() {
-        let replies = drive("SNAPSHOT\nQUIT\n");
-        assert_eq!(replies[0], "ERR not-durable no journal configured");
-    }
-
-    #[test]
-    fn tables_reflect_live_jobs() {
-        let replies = drive("TABLES\nALLOC 1 8\nTABLES\nQUIT\n");
-        assert_eq!(replies[0], "OK TABLES entries=0");
-        assert!(replies[1].starts_with("OK GRANT"));
-        let entries: u32 = replies[2]
-            .strip_prefix("OK TABLES entries=")
-            .unwrap()
-            .parse()
-            .unwrap();
-        assert!(entries > 0);
-    }
-
-    #[test]
-    fn grants_carry_exact_node_lists() {
-        let replies = drive("ALLOC 7 5\nQUIT\n");
-        let nodes: Vec<u32> = replies[0]
-            .strip_prefix("OK GRANT 7 ")
-            .unwrap()
-            .split(',')
-            .map(|s| s.parse().unwrap())
-            .collect();
-        assert_eq!(nodes.len(), 5);
-        let unique: std::collections::HashSet<_> = nodes.iter().collect();
-        assert_eq!(unique.len(), 5);
-    }
-
-    #[test]
-    fn stats_parse_as_key_value_pairs() {
-        let replies = drive("ALLOC 1 4\nSTATS\nQUIT\n");
-        let stats = &replies[1];
-        assert!(stats.starts_with("OK STATS "), "{stats}");
-        let pairs: std::collections::HashMap<&str, &str> = stats
-            .strip_prefix("OK STATS ")
-            .unwrap()
-            .split_whitespace()
-            .map(|kv| kv.split_once('=').expect("every field is k=v"))
-            .collect();
-        assert_eq!(pairs["scheme"], "Jigsaw");
-        assert_eq!(pairs["nodes"], "4/16");
-        assert_eq!(pairs["jobs"], "1");
-        assert_eq!(pairs["durable"], "false");
-        // The STATS request itself is counted.
-        assert_eq!(pairs["requests"], "2");
-        assert_eq!(pairs["events_dropped"], "0");
-    }
-
-    #[test]
-    fn metrics_expose_prometheus_text_with_declared_line_count() {
-        let replies = drive("ALLOC 1 4\nALLOC 2 99\nFREE 1\nMETRICS\nQUIT\n");
-        let header_at = replies
-            .iter()
-            .position(|l| l.starts_with("OK METRICS "))
-            .expect("METRICS header");
-        let n: usize = replies[header_at]
-            .strip_prefix("OK METRICS ")
-            .unwrap()
-            .parse()
-            .unwrap();
-        let body = &replies[header_at + 1..header_at + 1 + n];
-        assert_eq!(body.len(), n);
-        assert_eq!(replies[header_at + 1 + n], "OK BYE");
-        let text = body.join("\n");
-        // Per-scheme allocator metrics (latency, search effort, typed
-        // rejections) and per-verb serve metrics are all present.
-        assert!(text.contains("jigsaw_alloc_grants_total{scheme=\"Jigsaw\"} 1"));
-        assert!(
-            text.contains("jigsaw_alloc_rejects_total{scheme=\"Jigsaw\",reason=\"no_nodes\"} 1")
-        );
-        assert!(text.contains("jigsaw_alloc_latency_ns_bucket{scheme=\"Jigsaw\","));
-        assert!(text.contains("jigsaw_alloc_search_steps_count{scheme=\"Jigsaw\"} 2"));
-        assert!(text.contains("jigsaw_serve_requests_total{verb=\"ALLOC\"} 2"));
-        assert!(text.contains("jigsaw_serve_requests_total{verb=\"FREE\"} 1"));
-        assert!(text.contains("jigsaw_serve_request_latency_ns_count{verb=\"ALLOC\"} 2"));
-    }
-
-    #[test]
-    fn durable_session_exposes_fsync_latency() {
-        let dir = tmpdir("fsync");
-        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
-        let (registry, replies) = drive_full(ps, "ALLOC 1 4\nFREE 1\nQUIT\n");
-        assert!(replies[0].starts_with("OK GRANT"));
-        let text = registry.render_prometheus();
-        assert!(
-            text.contains("jigsaw_journal_fsync_latency_ns_count 2"),
-            "one fsync per committed op: {text}"
-        );
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn durable_session_recovers_across_restarts() {
-        let dir = tmpdir("recover");
-        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
-        let first = drive_with(
-            ps,
-            "ALLOC 1 4\nALLOC 2 6\nFREE 1\nALLOC 3 2\nSTATUS\nQUIT\n",
-        );
-        let status = first[4].clone();
-        assert!(status.contains("jobs=2"));
-
-        // Same directory, fresh process: identical state, same grants live.
-        let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
-        assert_eq!(report.live_jobs, 2);
-        let second = drive_with(ps, "STATUS\nFREE 2\nFREE 3\nSTATUS\nQUIT\n");
-        assert_eq!(second[0], status);
-        assert_eq!(second[1], "OK FREE 2");
-        assert_eq!(second[2], "OK FREE 3");
-        assert_eq!(second[3], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn snapshot_verb_compacts_and_reports_seq() {
-        let dir = tmpdir("snapverb");
-        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
-        let replies = drive_with(ps, "ALLOC 1 4\nALLOC 2 2\nSNAPSHOT\nQUIT\n");
-        assert_eq!(replies[2], "OK SNAPSHOT seq=2");
-        // Restart recovers from the snapshot, not a long replay.
-        let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
-        assert_eq!(report.snapshot_seq, Some(2));
-        let replies = drive_with(ps, "STATUS\nQUIT\n");
-        assert!(replies[0].contains("nodes=6/16 jobs=2"));
-        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

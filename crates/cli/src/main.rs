@@ -8,8 +8,13 @@
 //!                    [--scale F] [--scenario none|5%|10%|20%|v2|random] [--json]
 //! jigsaw-sched trace --name <Synth-16|Thunder|...> [--scale F] [--swf|--json]
 //! jigsaw-sched serve <radix> [--scheme S] [--journal DIR]
-//!                    [--snapshot-every N]       # online allocation service
+//!                    [--snapshot-every N]       # stdin/stdout session
+//!                    [--listen ADDR] [--max-conns N] [--max-batch N]
+//!                    [--idle-timeout-ms MS]     # multi-client TCP daemon
 //! ```
+//!
+//! The companion `jigsaw-loadgen` binary (same crate) drives a running
+//! daemon with concurrent connections for saturation measurements.
 
 mod args;
 mod cmd_alloc;
@@ -17,7 +22,6 @@ mod cmd_serve;
 mod cmd_sim;
 mod cmd_topo;
 mod cmd_trace;
-mod protocol;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -53,10 +57,15 @@ USAGE:
         [--swf | --json]
   jigsaw-sched serve <radix> [--scheme S]        online allocation service
         [--journal DIR] [--snapshot-every N]
+        [--listen ADDR] [--max-conns N] [--max-batch N]
+        [--idle-timeout-ms MS]
         (line protocol: ALLOC id size / FREE id / STATUS / TABLES /
-         SNAPSHOT / STATS / METRICS / HELP / QUIT; replies are
-         `OK <VERB> ...` or `ERR <code> <msg>`; --journal makes the
-         session durable and recovers state from DIR on start)
+         SNAPSHOT / STATS / METRICS / HELP / QUIT / SHUTDOWN; replies
+         are `OK <VERB> ...` or `ERR <code> <msg>`; --journal makes the
+         service durable and recovers state from DIR on start;
+         --listen turns the stdin session into a multi-client TCP
+         daemon with group-commit fsync batching — it prints
+         `LISTENING <addr>` once bound and exits on SHUTDOWN)
 
 Built-in traces: Synth-16 Synth-22 Synth-28 Thunder Atlas
                  Aug-Cab Sep-Cab Oct-Cab Nov-Cab

@@ -1,0 +1,288 @@
+//! End-to-end tests for the TCP daemon (`jigsaw-sched serve --listen`).
+//!
+//! The crash test is the group-commit soundness proof the subsystem is
+//! built around: a daemon under concurrent multi-connection load is
+//! SIGKILLed mid-stream — no drain, no flush, no destructors — and the
+//! journal is recovered. **Every request that was acknowledged `OK`
+//! before the kill must be present in the recovered state.** Batching
+//! fsyncs is only legal because replies are held until the covering
+//! fsync; this test would catch any reordering of those two steps.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use jigsaw_persist::PersistentState;
+use jigsaw_topology::FatTree;
+
+const BIN: &str = env!("CARGO_BIN_EXE_jigsaw-sched");
+const RADIX: u32 = 8; // 128 nodes: enough headroom that grants keep flowing
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn start(journal_dir: &std::path::Path, extra: &[&str]) -> Daemon {
+        let mut child = Command::new(BIN)
+            .args(["serve", "8", "--journal"])
+            .arg(journal_dir)
+            .args(["--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn jigsaw-sched serve --listen");
+        let mut stdout = BufReader::new(child.stdout.take().expect("daemon stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("read readiness line");
+        let addr = line
+            .trim_end()
+            .strip_prefix("LISTENING ")
+            .unwrap_or_else(|| panic!("expected `LISTENING <addr>`, got `{line}`"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn connect(&self) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(&self.addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    /// SIGKILL — the crash under test.
+    fn hard_kill(mut self) {
+        self.child.kill().expect("kill daemon");
+        self.child.wait().expect("reap daemon");
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jigsaw-net-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// What one client connection observed before the daemon died.
+#[derive(Default)]
+struct ClientLog {
+    /// Job ids whose `ALLOC` was acknowledged with `OK GRANT`.
+    acked_allocs: Vec<u32>,
+    /// Job ids for which a `FREE` was *sent* (acknowledged or not).
+    sent_frees: Vec<u32>,
+    /// Job ids whose `FREE` was acknowledged with `OK FREE`.
+    acked_frees: Vec<u32>,
+}
+
+/// Hammer the daemon from one connection until it dies: two ALLOCs, one
+/// FREE of a previously-granted id, repeat. Records exactly which
+/// requests were acknowledged before the crash.
+fn client_load(daemon_addr: &str, conn_idx: u32, acks: &AtomicU64, stop: &AtomicBool) -> ClientLog {
+    let Ok(stream) = TcpStream::connect(daemon_addr) else {
+        return ClientLog::default();
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut log = ClientLog::default();
+    let mut granted: Vec<u32> = Vec::new();
+    let mut next_id = conn_idx * 1_000_000 + 1;
+    let mut step = 0u32;
+    while !stop.load(Ordering::Relaxed) {
+        let line = if step % 3 == 2 && !granted.is_empty() {
+            let id = granted.remove(0);
+            log.sent_frees.push(id);
+            format!("FREE {id}")
+        } else {
+            let id = next_id;
+            next_id += 1;
+            format!("ALLOC {id} 2")
+        };
+        step += 1;
+        if writeln!(writer, "{line}").is_err() {
+            break; // daemon died mid-write
+        }
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => break, // daemon died before replying
+            Ok(_) => {}
+        }
+        let reply = reply.trim_end();
+        if let Some(rest) = reply.strip_prefix("OK GRANT ") {
+            let id: u32 = rest
+                .split_whitespace()
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("grant carries the job id");
+            log.acked_allocs.push(id);
+            granted.push(id);
+            acks.fetch_add(1, Ordering::Relaxed);
+        } else if let Some(id) = reply.strip_prefix("OK FREE ") {
+            log.acked_frees.push(id.parse().expect("freed id"));
+        }
+        // ERR denied / unknown-job are legitimate outcomes under load.
+    }
+    log
+}
+
+#[test]
+fn sigkill_under_concurrent_load_loses_no_acknowledged_request() {
+    let dir = tmpdir("kill");
+    let daemon = Daemon::start(&dir, &["--max-batch", "64"]);
+    let addr = daemon.addr.clone();
+
+    let acks = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            let acks = Arc::clone(&acks);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || client_load(&addr, i, &acks, &stop))
+        })
+        .collect();
+
+    // Let the load ramp up (at least a few dozen acknowledged grants so
+    // the kill lands mid-stream, with batches in flight), then crash.
+    let t0 = std::time::Instant::now();
+    while acks.load(Ordering::Relaxed) < 50 && t0.elapsed() < Duration::from_secs(20) {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(150));
+    daemon.hard_kill();
+    stop.store(true, Ordering::Relaxed);
+
+    let logs: Vec<ClientLog> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let total_acked: usize = logs.iter().map(|l| l.acked_allocs.len()).sum();
+    assert!(
+        total_acked >= 50,
+        "precondition: kill landed under load ({total_acked} acked grants)"
+    );
+
+    // Recover the journal the way a restarted daemon would.
+    let tree = FatTree::maximal(RADIX).unwrap();
+    let (recovered, _report) = PersistentState::open(&dir, tree).expect("recovery succeeds");
+    let live: HashSet<u32> = recovered.live().keys().copied().collect();
+
+    for log in &logs {
+        let sent_frees: HashSet<u32> = log.sent_frees.iter().copied().collect();
+        for &id in &log.acked_allocs {
+            // A granted id whose FREE was never even sent cannot have a
+            // release record: the acknowledged grant MUST have survived.
+            if !sent_frees.contains(&id) {
+                assert!(
+                    live.contains(&id),
+                    "job {id} was acknowledged OK GRANT before the kill but is \
+                     missing from the recovered state — an OK outlived its fsync"
+                );
+            }
+        }
+        for &id in &log.acked_frees {
+            assert!(
+                !live.contains(&id),
+                "job {id} was acknowledged OK FREE before the kill but is \
+                 still live after recovery"
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shutdown_verb_exits_cleanly_and_recovery_needs_no_replay() {
+    let dir = tmpdir("clean");
+    let daemon = Daemon::start(&dir, &[]);
+    let (mut stream, mut reader) = daemon.connect();
+    let request = |s: &mut TcpStream, r: &mut BufReader<TcpStream>, line: &str| {
+        writeln!(s, "{line}").unwrap();
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+    assert!(request(&mut stream, &mut reader, "ALLOC 1 4").starts_with("OK GRANT 1 "));
+    assert!(request(&mut stream, &mut reader, "ALLOC 2 6").starts_with("OK GRANT 2 "));
+    assert_eq!(request(&mut stream, &mut reader, "FREE 1"), "OK FREE 1");
+    assert_eq!(request(&mut stream, &mut reader, "SHUTDOWN"), "OK SHUTDOWN");
+
+    let mut daemon = daemon;
+    let status = daemon.child.wait().expect("reap daemon");
+    assert!(status.success(), "graceful shutdown exits 0: {status:?}");
+
+    // Graceful shutdown sealed the journal with a snapshot covering
+    // everything: the compacted journal holds only the snapshot marker,
+    // so recovery replays no allocation events.
+    let tree = FatTree::maximal(RADIX).unwrap();
+    let (recovered, report) = PersistentState::open(&dir, tree).expect("recovery succeeds");
+    assert_eq!(report.live_jobs, 1);
+    assert_eq!(
+        report.records_replayed, 1,
+        "only the snapshot marker replays"
+    );
+    assert_eq!(
+        report.snapshot_seq,
+        Some(3),
+        "final snapshot covers all three records"
+    );
+    assert!(recovered.live().contains_key(&2));
+    assert!(!recovered.live().contains_key(&1));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn daemon_and_stdin_session_share_one_journal_lineage() {
+    let dir = tmpdir("lineage");
+
+    // Phase 1: TCP daemon writes state, exits cleanly.
+    let daemon = Daemon::start(&dir, &[]);
+    let (mut stream, mut reader) = daemon.connect();
+    writeln!(stream, "ALLOC 10 4\nSHUTDOWN").unwrap();
+    let mut replies = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        replies.push(line.trim_end().to_string());
+    }
+    assert!(replies[0].starts_with("OK GRANT 10 "));
+    assert_eq!(replies[1], "OK SHUTDOWN");
+    let mut daemon = daemon;
+    assert!(daemon.child.wait().unwrap().success());
+
+    // Phase 2: a stdin session against the same directory sees the
+    // daemon's state — one engine, one journal format, two transports.
+    let mut child = Command::new(BIN)
+        .args(["serve", "8", "--journal"])
+        .arg(&dir)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn stdin session");
+    let mut stdin = child.stdin.take().unwrap();
+    writeln!(stdin, "STATUS\nFREE 10\nQUIT").unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let lines: Vec<&str> = std::str::from_utf8(&out.stdout).unwrap().lines().collect();
+    assert_eq!(lines[0], "OK STATUS nodes=4/128 jobs=1 util=3.1%");
+    assert_eq!(lines[1], "OK FREE 10");
+    assert_eq!(lines[2], "OK BYE");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

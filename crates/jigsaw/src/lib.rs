@@ -24,6 +24,10 @@
 //! * [`par`] — deterministic scoped work pool ([`prelude::Pool`]) used by
 //!   the evaluation harness to fan sweeps across cores with byte-identical
 //!   output regardless of worker count,
+//! * [`net`] — the multi-client TCP scheduler daemon: line-protocol
+//!   framing, a single-writer [`prelude::Engine`], group-commit
+//!   durability over [`persist`], and the saturation load generator
+//!   behind `jigsaw-loadgen`,
 //! * [`obs`] — zero-dependency observability: counters, log2 histograms,
 //!   gauges, and a bounded event ring behind a [`prelude::Registry`] that
 //!   renders Prometheus text and JSON. Wrap any scheduler in
@@ -58,6 +62,7 @@
 #![forbid(unsafe_code)]
 
 pub use jigsaw_core as core;
+pub use jigsaw_net as net;
 pub use jigsaw_obs as obs;
 pub use jigsaw_par as par;
 pub use jigsaw_persist as persist;
@@ -72,6 +77,7 @@ pub mod prelude {
         Allocation, Allocator, BaselineAllocator, JigsawAllocator, JobRequest, LaasAllocator,
         LcsAllocator, ObservedAllocator, Reject, Scheme, Shape, TaAllocator,
     };
+    pub use jigsaw_net::{Engine, Server, ServerConfig};
     pub use jigsaw_obs::Registry;
     pub use jigsaw_par::{Pool, TaskPanic};
     pub use jigsaw_persist::{PersistError, PersistentState, RecoveryReport};

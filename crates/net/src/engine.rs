@@ -1,0 +1,635 @@
+//! The single-writer command engine: one dispatcher for every transport.
+//!
+//! [`Engine`] owns the allocator, the (possibly durable) state, and the
+//! per-verb observability, and turns one request line into one
+//! [`Reply`]. Both transports drive it:
+//!
+//! * the stdin/stdout session ([`serve_stream`]) feeds it one line at a
+//!   time and flushes after each request,
+//! * the TCP daemon ([`crate::server`]) feeds it batches of lines from
+//!   many connections and flushes once per batch (group commit).
+//!
+//! The engine is deliberately **not** thread-safe: the allocator's search
+//! is sequential and deterministic, and keeping a single writer is what
+//! makes the daemon's behavior reproducible and the journal a total
+//! order. Concurrency lives entirely in the transport (reader threads);
+//! correctness lives here.
+//!
+//! # Durability contract
+//!
+//! The engine runs its [`PersistentState`] under [`SyncPolicy::Group`]:
+//! `ALLOC`/`FREE` stage journal records in memory and their replies carry
+//! [`Outcome::durable`] `= true`. Such a reply **must not** be released to
+//! the client until a subsequent [`Engine::flush`] returns `Ok` — that
+//! flush is the fsync that makes the acknowledgment true. A flush failure
+//! is fail-stop: the transport reports `ERR journal` for every covered
+//! reply and shuts the session down, so an `OK` can never outlive its
+//! durability.
+
+use crate::protocol::{ErrCode, Reply, VERBS};
+use jigsaw_core::{Allocation, Allocator, JobRequest};
+use jigsaw_obs::{Counter, Histogram, Registry};
+use jigsaw_persist::{PersistError, PersistentState, SyncPolicy};
+use jigsaw_routing::RoutingTables;
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+use std::io::{BufRead, Write};
+
+/// What the transport should do after a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep the session/connection open.
+    Continue,
+    /// Close this client's session (TCP: this connection only).
+    Close,
+    /// Drain and stop the whole daemon.
+    Shutdown,
+}
+
+/// One handled request: the reply, what to do next, and whether the reply
+/// may only be released after a successful [`Engine::flush`].
+#[derive(Debug)]
+pub struct Outcome {
+    /// The reply to send.
+    pub reply: Reply,
+    /// Session control.
+    pub control: Control,
+    /// `true` if this request staged journal records: its reply is
+    /// covered by the *next* flush and must be held until then.
+    pub durable: bool,
+}
+
+/// Per-verb request counters and latency histograms, one pair per entry
+/// of [`VERBS`]. Unknown verbs are not counted (an unbounded label set
+/// would let a misbehaving client grow the registry without limit).
+struct ServeObs {
+    verbs: Vec<(&'static str, Counter, Histogram)>,
+    /// `ERR` replies of any code (including unknown verbs).
+    errors: Counter,
+}
+
+impl ServeObs {
+    fn new(registry: &Registry) -> ServeObs {
+        ServeObs {
+            errors: registry.counter(
+                "jigsaw_serve_errors_total",
+                "Requests answered with an ERR reply.",
+            ),
+            verbs: VERBS
+                .iter()
+                .map(|v| {
+                    (
+                        v.name,
+                        registry.counter_with(
+                            "jigsaw_serve_requests_total",
+                            "Requests handled, by verb.",
+                            &[("verb", v.name)],
+                        ),
+                        registry.histogram_with(
+                            "jigsaw_serve_request_latency_ns",
+                            "Request handling latency including journaling (ns), by verb.",
+                            &[("verb", v.name)],
+                        ),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn get(&self, verb: &str) -> Option<&(&'static str, Counter, Histogram)> {
+        self.verbs.iter().find(|(name, _, _)| *name == verb)
+    }
+
+    fn total_requests(&self) -> u64 {
+        self.verbs.iter().map(|(_, c, _)| c.get()).sum()
+    }
+}
+
+/// The single-writer dispatcher. See the module docs.
+pub struct Engine {
+    tree: FatTree,
+    allocator: Box<dyn Allocator>,
+    persist: PersistentState,
+    registry: Registry,
+    obs: ServeObs,
+}
+
+impl Engine {
+    /// Build an engine over an allocator and a (possibly durable) state.
+    /// Recovered allocations are re-adopted so schemes with internal
+    /// bookkeeping (TA's per-leaf counters) catch up, and the persistent
+    /// state is switched to [`SyncPolicy::Group`] — the transports decide
+    /// when batches flush.
+    pub fn new(
+        tree: FatTree,
+        mut allocator: Box<dyn Allocator>,
+        mut persist: PersistentState,
+        registry: &Registry,
+    ) -> Engine {
+        // Recovered allocations were claimed into the state without the
+        // allocator watching; replay them through `adopt` on a scratch
+        // state so scheme-internal bookkeeping catches up. The scratch
+        // state is discarded — the real one already has every claim.
+        if !persist.live().is_empty() {
+            let mut scratch = SystemState::new(tree);
+            for alloc in persist.live_allocations() {
+                allocator.adopt(&mut scratch, &alloc);
+            }
+        }
+        persist.set_sync_policy(SyncPolicy::Group);
+        Engine {
+            tree,
+            allocator,
+            persist,
+            registry: registry.clone(),
+            obs: ServeObs::new(registry),
+        }
+    }
+
+    /// The scheduling scheme's display name.
+    pub fn scheme_name(&self) -> &'static str {
+        self.allocator.name()
+    }
+
+    /// The topology being served.
+    pub fn tree(&self) -> &FatTree {
+        &self.tree
+    }
+
+    /// The engine's registry (shared with the transports' metrics).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Read-only view of the persistent state (tests, status endpoints).
+    pub fn persist(&self) -> &PersistentState {
+        &self.persist
+    }
+
+    /// Handle one request line. `None` for blank lines (no reply owed).
+    pub fn handle_line(&mut self, line: &str) -> Option<Outcome> {
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let verb = *fields.first()?;
+        // Clone the per-verb handles (cheap Arc clones) so the borrow of
+        // `self.obs` does not outlive the `&mut self` dispatch below.
+        let verb_obs = self
+            .obs
+            .get(verb)
+            .map(|(_, requests, latency)| (requests.clone(), latency.clone()));
+        let t0 = verb_obs.as_ref().and_then(|(requests, latency)| {
+            requests.inc();
+            latency.start()
+        });
+        let staged_before = self.persist.pending_records();
+        let mut control = Control::Continue;
+        let reply = match fields.as_slice() {
+            ["ALLOC", id, size] => match (id.parse::<u32>(), size.parse::<u32>()) {
+                (Ok(id), Ok(size)) if size > 0 => self.alloc(id, size),
+                _ => Reply::err(ErrCode::BadRequest, "bad ALLOC arguments"),
+            },
+            ["FREE", id] => match id.parse::<u32>() {
+                Ok(id) => self.free(id),
+                Err(_) => Reply::err(ErrCode::BadRequest, "bad FREE arguments"),
+            },
+            ["STATUS"] => Reply::Status {
+                used: self.persist.state().allocated_node_count(),
+                total: self.tree.num_nodes(),
+                jobs: self.persist.live().len(),
+            },
+            ["TABLES"] => {
+                let allocs: Vec<Allocation> = self.persist.live_allocations();
+                match RoutingTables::build(&self.tree, &allocs) {
+                    Ok(tables) => Reply::Tables {
+                        entries: tables.len(),
+                    },
+                    Err(e) => Reply::err(ErrCode::Internal, e.to_string()),
+                }
+            }
+            ["SNAPSHOT"] => match self.persist.snapshot() {
+                Ok(seq) => Reply::Snapshot { seq },
+                Err(PersistError::NotDurable) => {
+                    Reply::err(ErrCode::NotDurable, "no journal configured")
+                }
+                Err(e) => Reply::err(ErrCode::Journal, e.to_string()),
+            },
+            ["STATS"] => self.stats(),
+            ["METRICS"] => Reply::Metrics {
+                text: self.registry.render_prometheus(),
+            },
+            ["HELP"] => Reply::Help,
+            ["QUIT"] => {
+                control = Control::Close;
+                Reply::Bye
+            }
+            ["SHUTDOWN"] => {
+                control = Control::Shutdown;
+                Reply::ShuttingDown
+            }
+            _ => Reply::err(
+                if verb_obs.is_some() {
+                    ErrCode::BadRequest
+                } else {
+                    ErrCode::UnknownVerb
+                },
+                format!("`{line}`"),
+            ),
+        };
+        if reply.is_err() {
+            self.obs.errors.inc();
+        }
+        if let Some((_, latency)) = &verb_obs {
+            latency.observe_since(t0);
+        }
+        Some(Outcome {
+            reply,
+            control,
+            durable: self.persist.pending_records() > staged_before,
+        })
+    }
+
+    fn alloc(&mut self, id: u32, size: u32) -> Reply {
+        if self.persist.live().contains_key(&id) {
+            return Reply::err(ErrCode::Exists, format!("job {id} already allocated"));
+        }
+        match self
+            .allocator
+            .allocate(self.persist.state_mut(), &JobRequest::new(JobId(id), size))
+        {
+            Ok(alloc) => match self.persist.commit_grant(&alloc) {
+                Ok(()) => Reply::Grant {
+                    id,
+                    nodes: alloc.nodes.iter().map(|n| n.0).collect(),
+                },
+                Err(e) => {
+                    // Keep state and journal agreeing: the unjournaled
+                    // claim is rolled back. (Unreachable under Group —
+                    // staging does no I/O — kept for policy safety.)
+                    self.allocator.release(self.persist.state_mut(), &alloc);
+                    Reply::err(ErrCode::Journal, e.to_string())
+                }
+            },
+            Err(reject) => Reply::err(ErrCode::Denied, format!("job {id}: {reject}")),
+        }
+    }
+
+    fn free(&mut self, id: u32) -> Reply {
+        match self.persist.commit_release(JobId(id)) {
+            Ok(Some(alloc)) => {
+                self.allocator.release(self.persist.state_mut(), &alloc);
+                Reply::Freed { id }
+            }
+            Ok(None) => Reply::err(ErrCode::UnknownJob, format!("job {id} is not allocated")),
+            Err(e) => Reply::err(ErrCode::Journal, e.to_string()),
+        }
+    }
+
+    fn stats(&self) -> Reply {
+        let used = self.persist.state().allocated_node_count();
+        let total = self.tree.num_nodes();
+        Reply::Stats {
+            pairs: vec![
+                ("scheme".into(), self.allocator.name().into()),
+                ("nodes".into(), format!("{used}/{total}")),
+                ("jobs".into(), self.persist.live().len().to_string()),
+                ("seq".into(), self.persist.last_seq().to_string()),
+                ("durable".into(), self.persist.is_durable().to_string()),
+                ("requests".into(), self.obs.total_requests().to_string()),
+                ("errors".into(), self.obs.errors.get().to_string()),
+                (
+                    "events_dropped".into(),
+                    self.registry.events_dropped().to_string(),
+                ),
+            ],
+        }
+    }
+
+    /// Group-commit barrier: fsync every staged record (one `sync_all`
+    /// for the whole batch), then auto-snapshot if the interval is due.
+    /// Every [`Outcome::durable`] reply handled since the previous flush
+    /// is releasable exactly when this returns `Ok`. A snapshot failure is
+    /// survivable (the journal is intact; snapshots only bound recovery
+    /// time) and is reported on stderr rather than failing the batch.
+    #[must_use = "an ignored flush error releases acknowledgments that are not durable"]
+    pub fn flush(&mut self) -> Result<usize, PersistError> {
+        let n = self.persist.flush()?;
+        if let Err(e) = self.persist.maybe_snapshot() {
+            eprintln!("jigsaw-sched: warning: auto-snapshot failed: {e}");
+        }
+        Ok(n)
+    }
+
+    /// Graceful shutdown: flush the staged batch, then write a final
+    /// snapshot so the next start recovers without replay. Ephemeral
+    /// sessions just flush (a no-op).
+    #[must_use = "an ignored shutdown error may leave acknowledged work unflushed"]
+    pub fn shutdown(&mut self) -> Result<(), PersistError> {
+        self.persist.flush()?;
+        match self.persist.snapshot() {
+            Ok(_) | Err(PersistError::NotDurable) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The stdin/stdout protocol loop, generic over the streams for
+/// testability — and the original `serve` transport, now routed through
+/// the same [`Engine`] (and therefore the same group-commit path) as the
+/// TCP daemon. Each request is flushed before its reply is written: batch
+/// size 1, identical durability guarantee, one dispatcher.
+pub fn serve_stream<R: BufRead, W: Write>(engine: &mut Engine, reader: R, mut out: W) -> i32 {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let Some(outcome) = engine.handle_line(&line) else {
+            continue;
+        };
+        let reply = match engine.flush() {
+            Ok(_) => outcome.reply,
+            Err(e) => {
+                // Fail-stop: the staged record(s) behind this reply never
+                // reached the disk, so the acknowledgment would be a lie.
+                let _ = writeln!(out, "{}", Reply::err(ErrCode::Journal, e.to_string()));
+                eprintln!("jigsaw-sched: fatal: journal flush failed: {e}");
+                return 1;
+            }
+        };
+        if writeln!(out, "{reply}").is_err() {
+            break;
+        }
+        match outcome.control {
+            Control::Continue => {}
+            Control::Close => break,
+            Control::Shutdown => {
+                if let Err(e) = engine.shutdown() {
+                    eprintln!("jigsaw-sched: warning: shutdown snapshot failed: {e}");
+                }
+                break;
+            }
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_core::{ObservedAllocator, Scheme};
+    use std::path::PathBuf;
+
+    fn tree() -> FatTree {
+        FatTree::maximal(4).unwrap()
+    }
+
+    /// Drive a session through [`serve_stream`] and return the registry
+    /// plus every reply line (multi-line replies contribute multiple
+    /// entries).
+    fn drive_full(mut persist: PersistentState, script: &str) -> (Registry, Vec<String>) {
+        let tree = tree();
+        let registry = Registry::new();
+        persist.attach_registry(&registry);
+        let allocator = Box::new(ObservedAllocator::new(
+            Scheme::Jigsaw.make(&tree),
+            &registry,
+        ));
+        let mut engine = Engine::new(tree, allocator, persist, &registry);
+        let mut out = Vec::new();
+        let code = serve_stream(&mut engine, script.as_bytes(), &mut out);
+        assert_eq!(code, 0);
+        let lines = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        (registry, lines)
+    }
+
+    fn drive_with(persist: PersistentState, script: &str) -> Vec<String> {
+        drive_full(persist, script).1
+    }
+
+    fn drive(script: &str) -> Vec<String> {
+        drive_with(PersistentState::ephemeral(tree()), script)
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("jigsaw-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let replies = drive("ALLOC 1 4\nSTATUS\nFREE 1\nSTATUS\nQUIT\n");
+        assert!(replies[0].starts_with("OK GRANT 1 "));
+        assert_eq!(replies[1], "OK STATUS nodes=4/16 jobs=1 util=25.0%");
+        assert_eq!(replies[2], "OK FREE 1");
+        assert_eq!(replies[3], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
+        assert_eq!(replies[4], "OK BYE");
+    }
+
+    #[test]
+    fn deny_when_machine_full() {
+        let replies = drive("ALLOC 1 16\nALLOC 2 1\nQUIT\n");
+        assert!(replies[0].starts_with("OK GRANT 1 "));
+        assert!(
+            replies[1].starts_with("ERR denied job 2:"),
+            "typed rejection: {}",
+            replies[1]
+        );
+    }
+
+    #[test]
+    fn errors_reported_inline() {
+        let replies = drive("ALLOC 1 4\nALLOC 1 4\nFREE 9\nBOGUS\nQUIT\n");
+        assert!(replies[0].starts_with("OK GRANT"));
+        assert_eq!(replies[1], "ERR exists job 1 already allocated");
+        assert_eq!(replies[2], "ERR unknown-job job 9 is not allocated");
+        assert!(replies[3].starts_with("ERR unknown-verb"));
+    }
+
+    #[test]
+    fn known_verb_with_bad_arity_is_bad_request_not_unknown() {
+        let replies = drive("ALLOC 1\nFREE\nQUIT\n");
+        assert!(replies[0].starts_with("ERR bad-request"), "{}", replies[0]);
+        assert!(replies[1].starts_with("ERR bad-request"), "{}", replies[1]);
+    }
+
+    #[test]
+    fn zero_size_alloc_is_rejected() {
+        let replies = drive("ALLOC 1 0\nSTATUS\nQUIT\n");
+        assert_eq!(replies[0], "ERR bad-request bad ALLOC arguments");
+        assert_eq!(replies[1], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
+    }
+
+    #[test]
+    fn help_is_a_single_line() {
+        let replies = drive("HELP\nQUIT\n");
+        assert!(replies[0].starts_with("OK HELP"));
+        assert!(replies[0].contains("SNAPSHOT"));
+        assert!(replies[0].contains("METRICS"));
+        assert!(replies[0].contains("STATS"));
+        assert!(replies[0].contains("SHUTDOWN"));
+        assert_eq!(replies[1], "OK BYE");
+    }
+
+    #[test]
+    fn snapshot_without_journal_is_an_error() {
+        let replies = drive("SNAPSHOT\nQUIT\n");
+        assert_eq!(replies[0], "ERR not-durable no journal configured");
+    }
+
+    #[test]
+    fn shutdown_verb_ends_the_stream_session() {
+        let replies = drive("ALLOC 1 4\nSHUTDOWN\nSTATUS\n");
+        assert!(replies[0].starts_with("OK GRANT 1 "));
+        assert_eq!(replies[1], "OK SHUTDOWN");
+        assert_eq!(replies.len(), 2, "nothing is handled after SHUTDOWN");
+    }
+
+    #[test]
+    fn tables_reflect_live_jobs() {
+        let replies = drive("TABLES\nALLOC 1 8\nTABLES\nQUIT\n");
+        assert_eq!(replies[0], "OK TABLES entries=0");
+        assert!(replies[1].starts_with("OK GRANT"));
+        let entries: u32 = replies[2]
+            .strip_prefix("OK TABLES entries=")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(entries > 0);
+    }
+
+    #[test]
+    fn grants_carry_exact_node_lists() {
+        let replies = drive("ALLOC 7 5\nQUIT\n");
+        let nodes: Vec<u32> = replies[0]
+            .strip_prefix("OK GRANT 7 ")
+            .unwrap()
+            .split(',')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(nodes.len(), 5);
+        let unique: std::collections::HashSet<_> = nodes.iter().collect();
+        assert_eq!(unique.len(), 5);
+    }
+
+    #[test]
+    fn stats_parse_as_key_value_pairs() {
+        let replies = drive("ALLOC 1 4\nSTATS\nQUIT\n");
+        let stats = &replies[1];
+        assert!(stats.starts_with("OK STATS "), "{stats}");
+        let pairs: std::collections::HashMap<&str, &str> = stats
+            .strip_prefix("OK STATS ")
+            .unwrap()
+            .split_whitespace()
+            .map(|kv| kv.split_once('=').expect("every field is k=v"))
+            .collect();
+        assert_eq!(pairs["scheme"], "Jigsaw");
+        assert_eq!(pairs["nodes"], "4/16");
+        assert_eq!(pairs["jobs"], "1");
+        assert_eq!(pairs["durable"], "false");
+        // The STATS request itself is counted.
+        assert_eq!(pairs["requests"], "2");
+        assert_eq!(pairs["events_dropped"], "0");
+    }
+
+    #[test]
+    fn metrics_expose_prometheus_text_with_declared_line_count() {
+        let replies = drive("ALLOC 1 4\nALLOC 2 99\nFREE 1\nMETRICS\nQUIT\n");
+        let header_at = replies
+            .iter()
+            .position(|l| l.starts_with("OK METRICS "))
+            .expect("METRICS header");
+        let n: usize = replies[header_at]
+            .strip_prefix("OK METRICS ")
+            .unwrap()
+            .parse()
+            .unwrap();
+        let body = &replies[header_at + 1..header_at + 1 + n];
+        assert_eq!(body.len(), n);
+        assert_eq!(replies[header_at + 1 + n], "OK BYE");
+        let text = body.join("\n");
+        // Per-scheme allocator metrics (latency, search effort, typed
+        // rejections) and per-verb serve metrics are all present.
+        assert!(text.contains("jigsaw_alloc_grants_total{scheme=\"Jigsaw\"} 1"));
+        assert!(
+            text.contains("jigsaw_alloc_rejects_total{scheme=\"Jigsaw\",reason=\"no_nodes\"} 1")
+        );
+        assert!(text.contains("jigsaw_alloc_latency_ns_bucket{scheme=\"Jigsaw\","));
+        assert!(text.contains("jigsaw_alloc_search_steps_count{scheme=\"Jigsaw\"} 2"));
+        assert!(text.contains("jigsaw_serve_requests_total{verb=\"ALLOC\"} 2"));
+        assert!(text.contains("jigsaw_serve_requests_total{verb=\"FREE\"} 1"));
+        assert!(text.contains("jigsaw_serve_request_latency_ns_count{verb=\"ALLOC\"} 2"));
+    }
+
+    #[test]
+    fn durable_session_exposes_fsync_latency() {
+        let dir = tmpdir("fsync");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let (registry, replies) = drive_full(ps, "ALLOC 1 4\nFREE 1\nQUIT\n");
+        assert!(replies[0].starts_with("OK GRANT"));
+        let text = registry.render_prometheus();
+        // The stream transport flushes per request: batch size 1, one
+        // fsync per committed op — exactly the old per-record behavior.
+        assert!(
+            text.contains("jigsaw_journal_fsync_latency_ns_count 2"),
+            "one fsync per committed op: {text}"
+        );
+        assert!(
+            text.contains("jigsaw_journal_batch_records_count 2"),
+            "group-commit path records batch sizes: {text}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_session_recovers_across_restarts() {
+        let dir = tmpdir("recover");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let first = drive_with(
+            ps,
+            "ALLOC 1 4\nALLOC 2 6\nFREE 1\nALLOC 3 2\nSTATUS\nQUIT\n",
+        );
+        let status = first[4].clone();
+        assert!(status.contains("jobs=2"));
+
+        // Same directory, fresh process: identical state, same grants live.
+        let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.live_jobs, 2);
+        let second = drive_with(ps, "STATUS\nFREE 2\nFREE 3\nSTATUS\nQUIT\n");
+        assert_eq!(second[0], status);
+        assert_eq!(second[1], "OK FREE 2");
+        assert_eq!(second[2], "OK FREE 3");
+        assert_eq!(second[3], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_verb_compacts_and_reports_seq() {
+        let dir = tmpdir("snapverb");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let replies = drive_with(ps, "ALLOC 1 4\nALLOC 2 2\nSNAPSHOT\nQUIT\n");
+        assert_eq!(replies[2], "OK SNAPSHOT seq=2");
+        // Restart recovers from the snapshot, not a long replay.
+        let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.snapshot_seq, Some(2));
+        let replies = drive_with(ps, "STATUS\nQUIT\n");
+        assert!(replies[0].contains("nodes=6/16 jobs=2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shutdown_on_durable_session_writes_a_final_snapshot() {
+        let dir = tmpdir("shutsnap");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let replies = drive_with(ps, "ALLOC 1 4\nSHUTDOWN\n");
+        assert_eq!(replies[1], "OK SHUTDOWN");
+        let (_, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(
+            report.snapshot_seq,
+            Some(1),
+            "graceful shutdown seals the journal with a snapshot"
+        );
+        assert_eq!(report.live_jobs, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

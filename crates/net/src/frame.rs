@@ -1,0 +1,186 @@
+//! Incremental line framing for the TCP transport.
+//!
+//! TCP is a byte stream: a single `read` can return half a request, three
+//! and a half requests, or one byte of a request — framing must be
+//! independent of how the kernel fragments reads. [`LineFramer`] accepts
+//! arbitrary byte chunks and yields exactly the same sequence of lines a
+//! `BufRead::lines` over the concatenated stream would, enforcing a
+//! maximum line length so one malicious or broken client cannot grow the
+//! buffer without bound.
+//!
+//! The fragmentation-independence property is load-bearing for the whole
+//! daemon (replies must pair 1:1 with requests regardless of packet
+//! boundaries) and is pinned by a proptest that splits request streams at
+//! every byte boundary (`tests/framing.rs`).
+
+/// Default maximum request-line length (bytes, excluding the newline).
+/// Generous for the protocol's worst case (`METRICS` requests are short;
+/// the longest legitimate line is `ALLOC <u32> <u32>`), tight enough that
+/// a garbage-spewing client is cut off after one buffer's worth.
+pub const DEFAULT_MAX_LINE_LEN: usize = 64 * 1024;
+
+/// What [`LineFramer::push`] found in the accumulated bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Framed {
+    /// One complete line (newline stripped; a trailing `\r` from CRLF
+    /// clients is stripped too).
+    Line(String),
+    /// The line under accumulation exceeded the length limit. The
+    /// connection should be closed; resynchronizing inside a stream that
+    /// has already violated the framing contract invites request smuggling.
+    Oversize {
+        /// Bytes accumulated when the limit was hit.
+        len: usize,
+    },
+    /// Bytes were not valid UTF-8. Same remedy as [`Framed::Oversize`].
+    NotUtf8,
+}
+
+/// Incremental splitter from byte chunks to protocol lines.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    max_line_len: usize,
+    poisoned: bool,
+}
+
+impl Default for LineFramer {
+    fn default() -> LineFramer {
+        LineFramer::new(DEFAULT_MAX_LINE_LEN)
+    }
+}
+
+impl LineFramer {
+    /// A framer enforcing `max_line_len` bytes per line.
+    pub fn new(max_line_len: usize) -> LineFramer {
+        LineFramer {
+            buf: Vec::new(),
+            max_line_len,
+            poisoned: false,
+        }
+    }
+
+    /// Feed one chunk of bytes (as read from the socket) and collect every
+    /// line it completes. After an [`Framed::Oversize`] or
+    /// [`Framed::NotUtf8`] the framer is poisoned: further pushes return
+    /// nothing, because a stream that broke framing once cannot be
+    /// re-synchronized safely.
+    pub fn push(&mut self, chunk: &[u8]) -> Vec<Framed> {
+        let mut out = Vec::new();
+        if self.poisoned {
+            return out;
+        }
+        for &b in chunk {
+            if b == b'\n' {
+                let mut line = std::mem::take(&mut self.buf);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                match String::from_utf8(line) {
+                    Ok(s) => out.push(Framed::Line(s)),
+                    Err(_) => {
+                        self.poisoned = true;
+                        out.push(Framed::NotUtf8);
+                        return out;
+                    }
+                }
+            } else {
+                if self.buf.len() >= self.max_line_len {
+                    self.poisoned = true;
+                    out.push(Framed::Oversize {
+                        len: self.buf.len() + 1,
+                    });
+                    return out;
+                }
+                self.buf.push(b);
+            }
+        }
+        out
+    }
+
+    /// Bytes of an incomplete trailing line still buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` once the stream has violated framing (oversize / non-UTF-8).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(framed: Vec<Framed>) -> Vec<String> {
+        framed
+            .into_iter()
+            .map(|f| match f {
+                Framed::Line(s) => s,
+                other => panic!("expected line, got {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_chunk_multiple_lines() {
+        let mut f = LineFramer::default();
+        assert_eq!(
+            lines(f.push(b"ALLOC 1 4\nFREE 1\n")),
+            vec!["ALLOC 1 4", "FREE 1"]
+        );
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_yields_the_same_lines() {
+        let stream = b"ALLOC 1 4\nSTATUS\r\nQUIT\n";
+        let mut f = LineFramer::default();
+        let mut got = Vec::new();
+        for b in stream {
+            got.extend(lines(f.push(std::slice::from_ref(b))));
+        }
+        assert_eq!(got, vec!["ALLOC 1 4", "STATUS", "QUIT"]);
+    }
+
+    #[test]
+    fn incomplete_tail_stays_buffered() {
+        let mut f = LineFramer::default();
+        assert!(f.push(b"ALLO").is_empty());
+        assert_eq!(f.buffered(), 4);
+        assert_eq!(lines(f.push(b"C 1 4\n")), vec!["ALLOC 1 4"]);
+    }
+
+    #[test]
+    fn oversize_line_poisons_the_framer() {
+        let mut f = LineFramer::new(8);
+        let out = f.push(b"0123456789\nQUIT\n");
+        assert_eq!(out, vec![Framed::Oversize { len: 9 }]);
+        assert!(f.is_poisoned());
+        assert!(
+            f.push(b"QUIT\n").is_empty(),
+            "poisoned framer yields nothing"
+        );
+    }
+
+    #[test]
+    fn oversize_counts_across_chunks() {
+        let mut f = LineFramer::new(8);
+        assert!(f.push(b"01234").is_empty());
+        assert_eq!(f.push(b"56789"), vec![Framed::Oversize { len: 9 }]);
+    }
+
+    #[test]
+    fn invalid_utf8_poisons_the_framer() {
+        let mut f = LineFramer::default();
+        assert_eq!(f.push(&[0xff, 0xfe, b'\n']), vec![Framed::NotUtf8]);
+        assert!(f.is_poisoned());
+    }
+
+    #[test]
+    fn crlf_is_stripped_only_at_line_end() {
+        let mut f = LineFramer::default();
+        assert_eq!(lines(f.push(b"A\rB\r\n")), vec!["A\rB"]);
+    }
+}

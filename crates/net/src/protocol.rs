@@ -19,6 +19,11 @@
 //!
 //! The `HELP` reply is generated from the [`VERBS`] table, so the
 //! documented surface can never drift from the dispatcher.
+//!
+//! The same grammar is served over two transports — the original
+//! stdin/stdout session and the TCP daemon ([`crate::server`]) — through
+//! one dispatcher ([`crate::engine::Engine`]), so the protocol cannot fork
+//! between them.
 
 use std::fmt;
 
@@ -39,6 +44,8 @@ pub enum ErrCode {
     NotDurable,
     /// The verb itself is not part of the protocol.
     UnknownVerb,
+    /// The server is over capacity (connection limit); retry later.
+    Busy,
     /// An invariant the server maintains was violated (bug surface).
     Internal,
 }
@@ -54,6 +61,7 @@ impl ErrCode {
             ErrCode::Journal => "journal",
             ErrCode::NotDurable => "not-durable",
             ErrCode::UnknownVerb => "unknown-verb",
+            ErrCode::Busy => "busy",
             ErrCode::Internal => "internal",
         }
     }
@@ -76,7 +84,7 @@ pub struct Verb {
 }
 
 /// The complete protocol surface, in dispatch order. `HELP` renders this
-/// table; the dispatcher in `cmd_serve` matches exactly these names.
+/// table; the dispatcher in [`crate::engine`] matches exactly these names.
 pub const VERBS: &[Verb] = &[
     Verb {
         name: "ALLOC",
@@ -121,7 +129,12 @@ pub const VERBS: &[Verb] = &[
     Verb {
         name: "QUIT",
         usage: "QUIT",
-        summary: "end the session",
+        summary: "end this session (TCP: closes only this connection)",
+    },
+    Verb {
+        name: "SHUTDOWN",
+        usage: "SHUTDOWN",
+        summary: "gracefully stop the daemon: drain, flush, snapshot, exit",
     },
 ];
 
@@ -175,6 +188,8 @@ pub enum Reply {
     Help,
     /// `OK BYE`.
     Bye,
+    /// `OK SHUTDOWN` — the daemon is draining and will exit.
+    ShuttingDown,
     /// `ERR <code> <message>`.
     Err {
         /// Machine-readable class.
@@ -248,6 +263,7 @@ impl fmt::Display for Reply {
                 Ok(())
             }
             Reply::Bye => write!(f, "OK BYE"),
+            Reply::ShuttingDown => write!(f, "OK SHUTDOWN"),
             Reply::Err { code, msg } => write!(f, "ERR {code} {msg}"),
         }
     }
@@ -283,6 +299,7 @@ mod tests {
         );
         assert_eq!(Reply::Snapshot { seq: 2 }.to_string(), "OK SNAPSHOT seq=2");
         assert_eq!(Reply::Bye.to_string(), "OK BYE");
+        assert_eq!(Reply::ShuttingDown.to_string(), "OK SHUTDOWN");
     }
 
     #[test]
@@ -322,6 +339,7 @@ mod tests {
             ErrCode::Journal,
             ErrCode::NotDurable,
             ErrCode::UnknownVerb,
+            ErrCode::Busy,
             ErrCode::Internal,
         ] {
             assert!(!code.as_str().contains(char::is_whitespace));
@@ -360,6 +378,7 @@ mod tests {
             },
             Reply::Help,
             Reply::Bye,
+            Reply::ShuttingDown,
             Reply::err(ErrCode::Internal, "x"),
         ];
         for r in replies {

@@ -1,0 +1,665 @@
+//! The TCP daemon: many concurrent clients, one sequential allocator,
+//! group-commit durability.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   acceptor thread ──spawns──► reader thread (per connection)
+//!        │                           │  LineFramer: bytes → lines
+//!        │ Busy reject over          ▼
+//!        │ the connection cap   bounded mpsc channel  ◄── backpressure
+//!        │                           │
+//!        ▼                           ▼
+//!                          command-loop thread (single writer)
+//!                            │  batch up to max_batch events
+//!                            │  Engine::handle_line per request
+//!                            │  Engine::flush — ONE fsync per batch
+//!                            ▼
+//!                          replies released, in arrival order
+//! ```
+//!
+//! Concurrency lives entirely at the edges (acceptor, readers); every
+//! request is dispatched by the **single** command-loop thread that owns
+//! the [`Engine`], so allocation order — and therefore the journal — is a
+//! total order and the allocator's determinism is preserved.
+//!
+//! # Group commit
+//!
+//! The command loop drains the request channel up to
+//! [`ServerConfig::max_batch`] events, handles them all, then calls
+//! [`Engine::flush`] once: every `ALLOC`/`FREE` in the batch becomes
+//! durable with a **single** fsync. No reply is written to any socket
+//! until the flush covering it has succeeded, so an `OK` on the wire
+//! always denotes on-disk state. Under one slow client the batch is 1 and
+//! behavior degenerates to per-record fsync; under many concurrent
+//! clients the requests that arrive during one fsync form the next batch,
+//! which is exactly the amortization the saturation benchmark measures.
+//!
+//! A flush failure is fail-stop: every reply covered by the failed flush
+//! is replaced with `ERR journal`, the daemon closes every connection and
+//! exits non-zero. Staged-but-unsynced work is *not* retried (a retry
+//! could duplicate journal frames); recovery replays only what the disk
+//! holds, which by construction is only acknowledged work.
+//!
+//! # Backpressure and protection
+//!
+//! * The request channel is bounded ([`ServerConfig::queue_depth`]): when
+//!   the command loop falls behind, reader threads block on `send`, TCP
+//!   receive windows fill, and clients are throttled at the transport —
+//!   memory stays bounded no matter how fast clients write.
+//! * Connections over [`ServerConfig::max_conns`] are rejected with
+//!   `ERR busy` without a reader thread ever being spawned.
+//! * A connection idle longer than [`ServerConfig::idle_timeout`] is
+//!   closed.
+//! * A line over [`crate::frame::LineFramer`]'s limit (or invalid UTF-8)
+//!   poisons the connection: one `ERR bad-request`, then close.
+//!
+//! # Shutdown
+//!
+//! The `SHUTDOWN` verb (from any client) drains gracefully: the acceptor
+//! stops, every connection's read side is closed, requests already queued
+//! are handled and flushed, a final snapshot is written, and the process
+//! exits 0. An abrupt kill (SIGKILL mid-load) is the *other* supported
+//! exit: the journal guarantees every acknowledged request survives into
+//! recovery, which `cli/tests/net_daemon.rs` proves by killing a daemon
+//! under concurrent load.
+
+use crate::engine::{Control, Engine};
+use crate::frame::{Framed, LineFramer, DEFAULT_MAX_LINE_LEN};
+use crate::protocol::{ErrCode, Reply};
+use jigsaw_obs::{Counter, Gauge, Histogram};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default connection cap.
+pub const DEFAULT_MAX_CONNS: usize = 64;
+/// Default group-commit batch bound (requests made durable per fsync).
+pub const DEFAULT_MAX_BATCH: usize = 64;
+/// Default bound on queued-but-undispatched requests (backpressure point).
+pub const DEFAULT_QUEUE_DEPTH: usize = 1024;
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7070` (port 0 picks a free port;
+    /// the bound address is [`ServerHandle::addr`]).
+    pub listen: String,
+    /// Maximum simultaneous connections; excess gets `ERR busy`.
+    pub max_conns: usize,
+    /// Maximum requests handled between fsyncs (group-commit bound).
+    /// `1` is exactly the per-record-fsync baseline.
+    pub max_batch: usize,
+    /// Bound on queued requests across all connections.
+    pub queue_depth: usize,
+    /// Close connections idle longer than this. `None` = never.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            max_conns: DEFAULT_MAX_CONNS,
+            max_batch: DEFAULT_MAX_BATCH,
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            idle_timeout: None,
+        }
+    }
+}
+
+/// Daemon-level metrics, alongside the engine's per-verb `serve_*` set.
+struct NetObs {
+    /// `jigsaw_serve_connections_total`.
+    connections: Counter,
+    /// `jigsaw_serve_connections_open`.
+    open: Gauge,
+    /// `jigsaw_serve_busy_rejections_total`.
+    busy: Counter,
+    /// `jigsaw_serve_batch_requests`.
+    batch_requests: Histogram,
+}
+
+impl NetObs {
+    fn new(registry: &jigsaw_obs::Registry) -> NetObs {
+        NetObs {
+            connections: registry.counter(
+                "jigsaw_serve_connections_total",
+                "TCP connections accepted over the daemon's lifetime.",
+            ),
+            open: registry.gauge(
+                "jigsaw_serve_connections_open",
+                "TCP connections currently open.",
+            ),
+            busy: registry.counter(
+                "jigsaw_serve_busy_rejections_total",
+                "Connections rejected with ERR busy (over the connection cap).",
+            ),
+            batch_requests: registry.histogram(
+                "jigsaw_serve_batch_requests",
+                "Requests handled per command-loop batch (group-commit amortization).",
+            ),
+        }
+    }
+}
+
+/// One event from a connection's reader thread. Per connection the order
+/// is always `Open`, zero or more `Line`/`Broken`, then exactly one
+/// `Closed` — the channel preserves per-sender order, so the command loop
+/// sees a coherent connection lifecycle.
+enum ConnEvent {
+    /// Connection established; the command loop takes the write half.
+    Open(u64, TcpStream),
+    /// One complete request line.
+    Line(u64, String),
+    /// The stream violated framing (oversize line, invalid UTF-8): reply
+    /// once with an error, then close.
+    Broken(u64, String),
+    /// The reader is gone (EOF, error, idle timeout, or after `Broken`).
+    Closed(u64),
+}
+
+/// A running daemon: join it with [`ServerHandle::wait`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    command: std::thread::JoinHandle<i32>,
+    acceptor: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The actually-bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the daemon exits (graceful `SHUTDOWN` or fail-stop).
+    /// Returns the process exit code: 0 clean, 1 on journal failure.
+    pub fn wait(self) -> i32 {
+        let code = self.command.join().unwrap_or(1);
+        let _ = self.acceptor.join();
+        code
+    }
+}
+
+/// The TCP transport. See the module docs for the architecture.
+pub struct Server;
+
+impl Server {
+    /// Bind `config.listen` and start the acceptor and command-loop
+    /// threads. Returns once the listener is live; the daemon then runs
+    /// until a client sends `SHUTDOWN` (or a journal flush fails).
+    pub fn start(engine: Engine, config: &ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        // Polled non-blocking accept: lets the acceptor observe the stop
+        // flag without a self-connect trick or platform signal handling.
+        listener.set_nonblocking(true)?;
+
+        let obs = NetObs::new(engine.registry());
+        let accept_obs = (obs.connections.clone(), obs.open.clone(), obs.busy.clone());
+        let (tx, rx) = std::sync::mpsc::sync_channel::<ConnEvent>(config.queue_depth.max(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let open_count = Arc::new(AtomicUsize::new(0));
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let open_count = Arc::clone(&open_count);
+            let max_conns = config.max_conns.max(1);
+            let idle = config.idle_timeout;
+            std::thread::Builder::new()
+                .name("jigsaw-net-acceptor".to_string())
+                .spawn(move || {
+                    accept_loop(
+                        &listener,
+                        &tx,
+                        &stop,
+                        &open_count,
+                        max_conns,
+                        idle,
+                        accept_obs,
+                    );
+                })?
+        };
+
+        let command = {
+            let stop = Arc::clone(&stop);
+            let open_count = Arc::clone(&open_count);
+            let max_batch = config.max_batch.max(1);
+            std::thread::Builder::new()
+                .name("jigsaw-net-command".to_string())
+                .spawn(move || command_loop(engine, &rx, &stop, &open_count, max_batch, &obs))?
+        };
+
+        Ok(ServerHandle {
+            addr,
+            command,
+            acceptor,
+        })
+    }
+}
+
+/// Accept connections until the stop flag is raised; enforce the
+/// connection cap; spawn one reader thread per admitted connection.
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &SyncSender<ConnEvent>,
+    stop: &AtomicBool,
+    open_count: &Arc<AtomicUsize>,
+    max_conns: usize,
+    idle: Option<Duration>,
+    (connections, open, busy): (Counter, Gauge, Counter),
+) {
+    let mut next_id: u64 = 0;
+    while !stop.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => break,
+        };
+        // The listener is non-blocking; the accepted stream must not be.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        // Replies are small and latency-bound: never Nagle them (the
+        // delayed-ACK interaction costs tens of milliseconds per reply).
+        let _ = stream.set_nodelay(true);
+        if open_count.load(Ordering::Acquire) >= max_conns {
+            busy.inc();
+            let mut stream = stream;
+            let _ = writeln!(
+                stream,
+                "{}",
+                Reply::err(ErrCode::Busy, "connection limit reached, retry later")
+            );
+            continue;
+        }
+        if let Some(d) = idle {
+            let _ = stream.set_read_timeout(Some(d));
+        }
+        let id = next_id;
+        next_id += 1;
+        connections.inc();
+        let n = open_count.fetch_add(1, Ordering::AcqRel) + 1;
+        open.set(i64::try_from(n).unwrap_or(i64::MAX));
+        let tx = tx.clone();
+        let spawned = std::thread::Builder::new()
+            .name(format!("jigsaw-net-conn-{id}"))
+            .spawn(move || reader_loop(id, stream, &tx));
+        if spawned.is_err() {
+            // Could not spawn a reader: undo the admission.
+            let n = open_count.fetch_sub(1, Ordering::AcqRel) - 1;
+            open.set(i64::try_from(n).unwrap_or(i64::MAX));
+        }
+    }
+}
+
+/// Pump one connection's bytes through a [`LineFramer`] into the command
+/// channel. Blocking `send` on the bounded channel is the backpressure
+/// point: a flooded command loop stalls readers, which stalls clients.
+fn reader_loop(id: u64, mut stream: TcpStream, tx: &SyncSender<ConnEvent>) {
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    if tx.send(ConnEvent::Open(id, writer)).is_err() {
+        return;
+    }
+    let mut framer = LineFramer::default();
+    let mut buf = [0u8; 4096];
+    'read: loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            // Idle timeout (or interrupted read): close the connection.
+            Err(_) => break,
+        };
+        for framed in framer.push(&buf[..n]) {
+            let event = match framed {
+                Framed::Line(line) => ConnEvent::Line(id, line),
+                Framed::Oversize { len } => ConnEvent::Broken(
+                    id,
+                    format!("request line of {len}+ bytes exceeds the {DEFAULT_MAX_LINE_LEN}-byte limit"),
+                ),
+                Framed::NotUtf8 => ConnEvent::Broken(id, "request is not valid UTF-8".to_string()),
+            };
+            if tx.send(event).is_err() {
+                break 'read;
+            }
+        }
+        if framer.is_poisoned() {
+            break;
+        }
+    }
+    let _ = tx.send(ConnEvent::Closed(id));
+}
+
+/// A reply owed to a connection, held until the covering flush succeeds.
+struct PendingReply {
+    conn: u64,
+    text: String,
+    control: Control,
+    /// `true` for `Broken` replies: close unconditionally after sending.
+    close_after: bool,
+}
+
+/// The single-writer dispatch loop. Owns the [`Engine`] and every
+/// connection's write half; see the module docs for the batch/flush/reply
+/// cycle.
+fn command_loop(
+    mut engine: Engine,
+    rx: &Receiver<ConnEvent>,
+    stop: &AtomicBool,
+    open_count: &Arc<AtomicUsize>,
+    max_batch: usize,
+    obs: &NetObs,
+) -> i32 {
+    let mut conns: HashMap<u64, TcpStream> = HashMap::new();
+    let mut shutting_down = false;
+    loop {
+        // One blocking receive, then drain opportunistically up to the
+        // batch bound: under load the batch fills with whatever arrived
+        // during the previous flush — that is the group commit.
+        let Ok(first) = rx.recv() else {
+            break; // every sender gone: acceptor stopped, readers drained
+        };
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(event) => batch.push(event),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+            }
+        }
+
+        let mut replies: Vec<PendingReply> = Vec::new();
+        // Closed events are applied only *after* this batch's replies go
+        // out: a reader that hit EOF right after relaying a request (or a
+        // framing violation) must not tear the socket down before the
+        // reply owed on it is written.
+        let mut closed: Vec<u64> = Vec::new();
+        let mut requests: u64 = 0;
+        for event in batch {
+            match event {
+                ConnEvent::Open(id, stream) => {
+                    conns.insert(id, stream);
+                    if shutting_down {
+                        // Raced past the stop flag: admit no new work.
+                        replies.push(PendingReply {
+                            conn: id,
+                            text: Reply::ShuttingDown.to_string(),
+                            control: Control::Continue,
+                            close_after: true,
+                        });
+                    }
+                }
+                ConnEvent::Closed(id) => closed.push(id),
+                ConnEvent::Broken(id, why) => {
+                    replies.push(PendingReply {
+                        conn: id,
+                        text: Reply::err(ErrCode::BadRequest, why).to_string(),
+                        control: Control::Continue,
+                        close_after: true,
+                    });
+                }
+                ConnEvent::Line(id, line) => {
+                    if let Some(outcome) = engine.handle_line(&line) {
+                        requests += 1;
+                        replies.push(PendingReply {
+                            conn: id,
+                            text: outcome.reply.to_string(),
+                            control: outcome.control,
+                            close_after: false,
+                        });
+                    }
+                }
+            }
+        }
+        if requests > 0 {
+            obs.batch_requests.observe(requests);
+        }
+
+        // The group-commit barrier: one fsync covers every staged record
+        // of this batch. Only after it succeeds may any reply go out.
+        if let Err(e) = engine.flush() {
+            eprintln!("jigsaw-sched: fatal: journal flush failed: {e}");
+            let err_text = Reply::err(ErrCode::Journal, e.to_string()).to_string();
+            for reply in &replies {
+                if let Some(stream) = conns.get_mut(&reply.conn) {
+                    let _ = writeln!(stream, "{err_text}");
+                }
+            }
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            stop.store(true, Ordering::Release);
+            return 1;
+        }
+
+        let mut begin_shutdown = false;
+        for reply in replies {
+            let Some(stream) = conns.get_mut(&reply.conn) else {
+                continue; // client disconnected while its reply was held
+            };
+            let sent = stream
+                .write_all(reply.text.as_bytes())
+                .and_then(|()| stream.write_all(b"\n"))
+                .is_ok();
+            let close = reply.close_after || reply.control == Control::Close || !sent;
+            if reply.control == Control::Shutdown {
+                begin_shutdown = true;
+            }
+            if close {
+                // The reader notices the closed socket and sends `Closed`,
+                // which is where the open-connection count is released.
+                let _ = stream.shutdown(Shutdown::Both);
+                conns.remove(&reply.conn);
+            }
+        }
+
+        for id in closed {
+            if let Some(stream) = conns.remove(&id) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            let n = open_count.fetch_sub(1, Ordering::AcqRel).saturating_sub(1);
+            obs.open.set(i64::try_from(n).unwrap_or(i64::MAX));
+        }
+
+        if begin_shutdown && !shutting_down {
+            shutting_down = true;
+            stop.store(true, Ordering::Release);
+            // Close every read side: readers see EOF, send `Closed`, and
+            // drop their channel senders. Already-queued requests still
+            // drain through the loop; once the last sender is gone,
+            // `recv` disconnects and the loop exits.
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Read);
+            }
+        }
+    }
+
+    // Graceful exit: the channel is fully drained (every queued request
+    // was handled, flushed, and answered). Seal the journal with a final
+    // snapshot so the next start recovers without replay.
+    let mut code = 0;
+    if let Err(e) = engine.shutdown() {
+        eprintln!("jigsaw-sched: fatal: shutdown flush failed: {e}");
+        code = 1;
+    }
+    for stream in conns.values() {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jigsaw_core::{ObservedAllocator, Scheme};
+    use jigsaw_obs::Registry;
+    use jigsaw_persist::PersistentState;
+    use jigsaw_topology::FatTree;
+    use std::io::{BufRead, BufReader};
+
+    fn start_ephemeral(config: &ServerConfig) -> ServerHandle {
+        let tree = FatTree::maximal(4).unwrap();
+        let registry = Registry::new();
+        let mut persist = PersistentState::ephemeral(tree);
+        persist.attach_registry(&registry);
+        let allocator = Box::new(ObservedAllocator::new(
+            Scheme::Jigsaw.make(&tree),
+            &registry,
+        ));
+        let engine = Engine::new(tree, allocator, persist, &registry);
+        Server::start(engine, config).expect("bind")
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        (stream, reader)
+    }
+
+    fn roundtrip(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        request: &str,
+    ) -> String {
+        writeln!(stream, "{request}").expect("write");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        line.trim_end().to_string()
+    }
+
+    #[test]
+    fn tcp_session_speaks_the_protocol() {
+        let handle = start_ephemeral(&ServerConfig::default());
+        let (mut stream, mut reader) = connect(handle.addr());
+        let grant = roundtrip(&mut stream, &mut reader, "ALLOC 1 4");
+        assert!(grant.starts_with("OK GRANT 1 "), "{grant}");
+        assert_eq!(
+            roundtrip(&mut stream, &mut reader, "STATUS"),
+            "OK STATUS nodes=4/16 jobs=1 util=25.0%"
+        );
+        assert_eq!(roundtrip(&mut stream, &mut reader, "FREE 1"), "OK FREE 1");
+        assert_eq!(roundtrip(&mut stream, &mut reader, "QUIT"), "OK BYE");
+        // QUIT closes only this connection; the daemon still serves.
+        let (mut s2, mut r2) = connect(handle.addr());
+        assert!(roundtrip(&mut s2, &mut r2, "STATUS").starts_with("OK STATUS"));
+        assert_eq!(roundtrip(&mut s2, &mut r2, "SHUTDOWN"), "OK SHUTDOWN");
+        assert_eq!(handle.wait(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_get_in_order_replies() {
+        let handle = start_ephemeral(&ServerConfig::default());
+        let (mut stream, mut reader) = connect(handle.addr());
+        // One write carrying many requests: replies must pair 1:1 in order.
+        stream
+            .write_all(b"ALLOC 1 2\nALLOC 2 2\nSTATUS\nFREE 1\nFREE 2\nSTATUS\n")
+            .unwrap();
+        let mut replies = Vec::new();
+        for _ in 0..6 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            replies.push(line.trim_end().to_string());
+        }
+        assert!(replies[0].starts_with("OK GRANT 1 "));
+        assert!(replies[1].starts_with("OK GRANT 2 "));
+        assert_eq!(replies[2], "OK STATUS nodes=4/16 jobs=2 util=25.0%");
+        assert_eq!(replies[3], "OK FREE 1");
+        assert_eq!(replies[4], "OK FREE 2");
+        assert_eq!(replies[5], "OK STATUS nodes=0/16 jobs=0 util=0.0%");
+        let _ = roundtrip(&mut stream, &mut reader, "SHUTDOWN");
+        assert_eq!(handle.wait(), 0);
+    }
+
+    #[test]
+    fn connections_over_the_cap_get_busy() {
+        let config = ServerConfig {
+            max_conns: 1,
+            ..ServerConfig::default()
+        };
+        let handle = start_ephemeral(&config);
+        let (mut s1, mut r1) = connect(handle.addr());
+        // Ensure the first connection is admitted before the second tries.
+        assert!(roundtrip(&mut s1, &mut r1, "STATUS").starts_with("OK STATUS"));
+        let (_s2, mut r2) = connect(handle.addr());
+        let mut line = String::new();
+        r2.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR busy"), "{line}");
+        let _ = roundtrip(&mut s1, &mut r1, "SHUTDOWN");
+        assert_eq!(handle.wait(), 0);
+    }
+
+    #[test]
+    fn framing_violations_break_only_their_connection() {
+        let handle = start_ephemeral(&ServerConfig::default());
+        let (mut bad, mut bad_reader) = connect(handle.addr());
+        bad.write_all(&[0xff, 0xfe, b'\n']).unwrap();
+        let mut line = String::new();
+        bad_reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ERR bad-request"), "{line}");
+        // The poisoned connection is closed...
+        line.clear();
+        assert_eq!(bad_reader.read_line(&mut line).unwrap(), 0, "EOF expected");
+        // ...while a well-behaved one is unaffected.
+        let (mut good, mut good_reader) = connect(handle.addr());
+        assert!(roundtrip(&mut good, &mut good_reader, "STATUS").starts_with("OK STATUS"));
+        let _ = roundtrip(&mut good, &mut good_reader, "SHUTDOWN");
+        assert_eq!(handle.wait(), 0);
+    }
+
+    #[test]
+    fn idle_connections_are_closed() {
+        let config = ServerConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        };
+        let handle = start_ephemeral(&config);
+        let (_stream, mut reader) = connect(handle.addr());
+        let mut line = String::new();
+        // No request: the daemon closes the connection after the timeout.
+        assert_eq!(reader.read_line(&mut line).unwrap(), 0, "EOF expected");
+        let (mut s, mut r) = connect(handle.addr());
+        let _ = roundtrip(&mut s, &mut r, "SHUTDOWN");
+        assert_eq!(handle.wait(), 0);
+    }
+
+    #[test]
+    fn shutdown_drains_before_exit() {
+        let handle = start_ephemeral(&ServerConfig::default());
+        let addr = handle.addr();
+        let (mut stream, mut reader) = connect(addr);
+        // Pipeline work and SHUTDOWN in one write: everything before the
+        // SHUTDOWN must still be answered.
+        stream.write_all(b"ALLOC 1 4\nSTATUS\nSHUTDOWN\n").unwrap();
+        let mut replies = Vec::new();
+        for _ in 0..3 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            replies.push(line.trim_end().to_string());
+        }
+        assert!(replies[0].starts_with("OK GRANT 1 "));
+        assert!(replies[1].starts_with("OK STATUS"));
+        assert_eq!(replies[2], "OK SHUTDOWN");
+        assert_eq!(handle.wait(), 0);
+        // The daemon is gone: new connections are refused (or reset).
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                let (mut s, mut r) = connect(addr);
+                writeln!(s, "STATUS").ok();
+                let mut line = String::new();
+                matches!(r.read_line(&mut line), Ok(0) | Err(_))
+            }
+        );
+    }
+}

@@ -211,6 +211,30 @@ impl Histogram {
     pub fn sum(&self) -> u64 {
         self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
     }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 ..= 1.0`), e.g. `quantile(0.5)` ≈ p50, `quantile(0.99)` ≈ p99.
+    /// Log2 buckets bound the answer to within 2× of the true quantile —
+    /// the right fidelity for latency reporting, and computable without
+    /// retaining samples. Returns 0 when disabled or empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(h) = &self.0 else { return 0 };
+        let (buckets, count, _) = h.snapshot();
+        if count == 0 {
+            return 0;
+        }
+        // First bucket whose cumulative count reaches q·count — the bucket
+        // holding the sample of rank ceil(q·count).
+        let target = (q * count as f64).max(0.0);
+        let mut seen = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            seen += c;
+            if seen > 0 && seen as f64 >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKET_COUNT - 1)
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +259,30 @@ mod tests {
                 assert!(v > bucket_upper_bound(i - 1));
             }
         }
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histogram(Some(Arc::new(HistogramCore::new())));
+        // 90 fast samples (~100ns bucket), 10 slow (~1ms bucket).
+        for _ in 0..90 {
+            h.observe(100);
+        }
+        for _ in 0..10 {
+            h.observe(1_000_000);
+        }
+        assert_eq!(h.quantile(0.5), bucket_upper_bound(bucket_index(100)));
+        assert_eq!(h.quantile(0.9), bucket_upper_bound(bucket_index(100)));
+        assert_eq!(
+            h.quantile(0.99),
+            bucket_upper_bound(bucket_index(1_000_000))
+        );
+        assert_eq!(h.quantile(1.0), bucket_upper_bound(bucket_index(1_000_000)));
+        // q=0 is the minimum's bucket.
+        assert_eq!(h.quantile(0.0), bucket_upper_bound(bucket_index(100)));
+        assert_eq!(Histogram::disabled().quantile(0.5), 0);
+        let empty = Histogram(Some(Arc::new(HistogramCore::new())));
+        assert_eq!(empty.quantile(0.99), 0);
     }
 
     #[test]

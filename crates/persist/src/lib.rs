@@ -191,6 +191,7 @@ impl fmt::Display for RecoveryReport {
 pub struct PersistObs {
     registry: Registry,
     fsync_ns: Histogram,
+    batch_records: Histogram,
 }
 
 impl PersistObs {
@@ -202,6 +203,10 @@ impl PersistObs {
                 "jigsaw_journal_fsync_latency_ns",
                 "Latency of journaled appends, write + fsync (ns).",
             ),
+            batch_records: registry.histogram(
+                "jigsaw_journal_batch_records",
+                "Records made durable per fsync (group-commit amortization).",
+            ),
         }
     }
 
@@ -210,6 +215,7 @@ impl PersistObs {
         PersistObs {
             registry: Registry::disabled(),
             fsync_ns: Histogram::disabled(),
+            batch_records: Histogram::disabled(),
         }
     }
 
@@ -217,6 +223,29 @@ impl PersistObs {
     pub fn fsync_ns(&self) -> &Histogram {
         &self.fsync_ns
     }
+
+    /// Records per fsync — 1 under [`SyncPolicy::PerRecord`], the batch
+    /// size under [`SyncPolicy::Group`].
+    pub fn batch_records(&self) -> &Histogram {
+        &self.batch_records
+    }
+}
+
+/// When the write-ahead journal reaches stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Every committed record is fsynced before the commit returns — the
+    /// original policy, one fsync per operation. Right for a
+    /// single-client session where each request waits for its own commit.
+    #[default]
+    PerRecord,
+    /// Commits are staged in memory and made durable in batches by an
+    /// explicit [`PersistentState::flush`] — **group commit**. The caller
+    /// (the serve command loop) must not acknowledge an operation until
+    /// the flush covering it has succeeded; a crash before the flush
+    /// loses only *unacknowledged* work. One fsync then covers every
+    /// record staged since the previous flush.
+    Group,
 }
 
 /// The scheduler's allocation state plus its durability machinery.
@@ -249,6 +278,9 @@ pub struct PersistentState {
     last_seq: u64,
     events_since_snapshot: u64,
     snapshot_every: u64,
+    sync_policy: SyncPolicy,
+    /// Records staged but not yet fsynced (only under [`SyncPolicy::Group`]).
+    pending: Vec<Record>,
     obs: PersistObs,
 }
 
@@ -280,6 +312,8 @@ impl PersistentState {
             last_seq,
             events_since_snapshot: report.records_replayed as u64,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            sync_policy: SyncPolicy::PerRecord,
+            pending: Vec::new(),
             obs: PersistObs::disabled(),
         };
         Ok((me, report))
@@ -294,6 +328,8 @@ impl PersistentState {
             last_seq: 0,
             events_since_snapshot: 0,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            sync_policy: SyncPolicy::PerRecord,
+            pending: Vec::new(),
             obs: PersistObs::disabled(),
         }
     }
@@ -345,6 +381,32 @@ impl PersistentState {
         self.snapshot_every = n;
     }
 
+    /// Switch the durability policy (see [`SyncPolicy`]). Switching from
+    /// [`SyncPolicy::Group`] back to [`SyncPolicy::PerRecord`] with staged
+    /// records is a caller bug; flush first.
+    ///
+    /// # Panics
+    /// If records are staged and the new policy is [`SyncPolicy::PerRecord`].
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        assert!(
+            self.pending.is_empty() || policy == SyncPolicy::Group,
+            "cannot leave group-commit mode with {} staged record(s)",
+            self.pending.len()
+        );
+        self.sync_policy = policy;
+    }
+
+    /// The active durability policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
+    }
+
+    /// Records staged but not yet made durable (always 0 under
+    /// [`SyncPolicy::PerRecord`] and in ephemeral sessions).
+    pub fn pending_records(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Make a grant durable and track it as live. The allocation must
     /// already be claimed into [`state_mut`]. On journal failure nothing
     /// is tracked and the caller must roll the claim back (through the
@@ -362,24 +424,71 @@ impl PersistentState {
             "job {} granted twice",
             alloc.job.0
         );
+        self.record(Event::Grant(alloc.clone()), Some(alloc.job.0))?;
+        self.live.insert(alloc.job.0, alloc.clone());
+        Ok(())
+    }
+
+    /// Journal (or stage, under [`SyncPolicy::Group`]) one event and bump
+    /// the sequence counters. The shared tail of both commit paths.
+    fn record(&mut self, event: Event, job: Option<u32>) -> Result<(), PersistError> {
         if let Some(backend) = &mut self.backend {
             let record = Record {
                 seq: self.last_seq + 1,
-                event: Event::Grant(alloc.clone()),
+                event,
             };
-            let t0 = self.obs.fsync_ns.start();
-            backend.journal.append(&record)?;
-            self.obs.fsync_ns.observe_since(t0);
-            self.obs
-                .registry
-                .event(EventKind::JournalFsync, Some(alloc.job.0), || {
-                    format!("grant seq={}", record.seq)
-                });
+            match self.sync_policy {
+                SyncPolicy::PerRecord => {
+                    let t0 = self.obs.fsync_ns.start();
+                    backend.journal.append(&record)?;
+                    self.obs.fsync_ns.observe_since(t0);
+                    self.obs.batch_records.observe(1);
+                    self.obs.registry.event(EventKind::JournalFsync, job, || {
+                        format!("seq={}", record.seq)
+                    });
+                }
+                SyncPolicy::Group => self.pending.push(record),
+            }
         }
         self.last_seq += 1;
         self.events_since_snapshot += 1;
-        self.live.insert(alloc.job.0, alloc.clone());
         Ok(())
+    }
+
+    /// Make every staged record durable with **one** write and one fsync
+    /// (group commit), returning how many records the flush covered
+    /// (0 when nothing is staged — including every [`SyncPolicy::PerRecord`]
+    /// and ephemeral session, where this is free to call unconditionally).
+    ///
+    /// On error the staged records stay staged and the on-disk suffix is
+    /// indeterminate (whatever the kernel wrote before failing; recovery
+    /// discards torn frames). The caller must treat a flush failure as
+    /// fail-stop for the session: none of the covered operations may be
+    /// acknowledged, and retrying the flush would risk duplicate frames —
+    /// which recovery would then reject as a sequence conflict rather than
+    /// silently double-apply.
+    #[must_use = "an ignored flush error means none of the staged records are durable"]
+    pub fn flush(&mut self) -> Result<usize, PersistError> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let Some(backend) = &mut self.backend else {
+            // Unreachable in practice: records are only staged when a
+            // backend exists. Treat defensively rather than panic.
+            self.pending.clear();
+            return Ok(0);
+        };
+        let n = self.pending.len();
+        let t0 = self.obs.fsync_ns.start();
+        backend.journal.append_batch(&self.pending)?;
+        self.obs.fsync_ns.observe_since(t0);
+        self.obs.batch_records.observe(n as u64);
+        let last = self.last_seq;
+        self.obs.registry.event(EventKind::JournalFsync, None, || {
+            format!("group commit n={n} through seq={last}")
+        });
+        self.pending.clear();
+        Ok(n)
     }
 
     /// Journal a release and stop tracking `job`, returning its
@@ -391,22 +500,7 @@ impl PersistentState {
         if !self.live.contains_key(&job.0) {
             return Ok(None);
         }
-        if let Some(backend) = &mut self.backend {
-            let record = Record {
-                seq: self.last_seq + 1,
-                event: Event::Release(job),
-            };
-            let t0 = self.obs.fsync_ns.start();
-            backend.journal.append(&record)?;
-            self.obs.fsync_ns.observe_since(t0);
-            self.obs
-                .registry
-                .event(EventKind::JournalFsync, Some(job.0), || {
-                    format!("release seq={}", record.seq)
-                });
-        }
-        self.last_seq += 1;
-        self.events_since_snapshot += 1;
+        self.record(Event::Release(job), Some(job.0))?;
         Ok(self.live.remove(&job.0))
     }
 
@@ -416,6 +510,10 @@ impl PersistentState {
     /// on an ephemeral session.
     #[must_use = "an ignored snapshot error leaves recovery bounded by the full journal"]
     pub fn snapshot(&mut self) -> Result<u64, PersistError> {
+        // Group-commit mode: staged records must land before the snapshot
+        // covering their sequence numbers claims to; a snapshot must never
+        // cover operations a crash could still lose.
+        self.flush()?;
         let covered = self.last_seq;
         let snap = Snapshot {
             last_seq: covered,
@@ -851,6 +949,111 @@ mod tests {
         drop(ps);
         let (_, report) = PersistentState::open(&dir, tree()).unwrap();
         assert_eq!(report.snapshot_seq, Some(4));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_defers_durability_until_flush() {
+        let dir = tmpdir("group");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        ps.set_sync_policy(SyncPolicy::Group);
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        grant(&mut ps, &mut a, 2, 2);
+        release(&mut ps, 1);
+        assert_eq!(ps.pending_records(), 3);
+        // Nothing on disk yet: a crash here loses only unacknowledged work.
+        assert_eq!(std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(), 0);
+        assert_eq!(
+            Journal::scan(&dir.join(JOURNAL_FILE))
+                .unwrap()
+                .records
+                .len(),
+            0
+        );
+
+        assert_eq!(ps.flush().unwrap(), 3);
+        assert_eq!(ps.pending_records(), 0);
+        assert_eq!(ps.flush().unwrap(), 0, "second flush is a no-op");
+        let want_state = ps.state().clone();
+        let want_live = ps.live().clone();
+        drop(ps);
+
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(ps2.state(), &want_state);
+        assert_eq!(ps2.live(), &want_live);
+        assert_eq!(report.records_replayed, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_flushes_one_fsync_per_batch() {
+        let dir = tmpdir("groupobs");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let reg = jigsaw_obs::Registry::new();
+        ps.attach_registry(&reg);
+        ps.set_sync_policy(SyncPolicy::Group);
+        let mut a = JigsawAllocator::new(&tree());
+        for job in 1..=4 {
+            grant(&mut ps, &mut a, job, 1);
+        }
+        assert_eq!(ps.flush().unwrap(), 4);
+        // One fsync covering four records, visible in both histograms.
+        assert_eq!(ps.obs.fsync_ns().count(), 1);
+        assert_eq!(ps.obs.batch_records().count(), 1);
+        assert_eq!(ps.obs.batch_records().sum(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_flushes_staged_records_first() {
+        let dir = tmpdir("groupsnap");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        ps.set_sync_policy(SyncPolicy::Group);
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        grant(&mut ps, &mut a, 2, 2);
+        let covered = ps.snapshot().unwrap();
+        assert_eq!(covered, 2);
+        assert_eq!(ps.pending_records(), 0);
+        let want = ps.state().clone();
+        drop(ps);
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(ps2.state(), &want);
+        assert_eq!(report.snapshot_seq, Some(2));
+        assert_eq!(report.live_jobs, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unflushed_staged_records_are_lost_on_crash_as_designed() {
+        let dir = tmpdir("groupcrash");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        ps.set_sync_policy(SyncPolicy::Group);
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        assert_eq!(ps.flush().unwrap(), 1);
+        grant(&mut ps, &mut a, 2, 2); // staged, never flushed
+        drop(ps); // crash
+
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        // Job 1 was covered by a flush (acknowledgeable); job 2 was not
+        // (its reply would still be held back by the serve loop).
+        assert_eq!(report.live_jobs, 1);
+        assert!(ps2.live().contains_key(&1));
+        assert!(!ps2.live().contains_key(&2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot leave group-commit mode")]
+    fn leaving_group_mode_with_staged_records_is_a_bug() {
+        let dir = tmpdir("groupleave");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        ps.set_sync_policy(SyncPolicy::Group);
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        ps.set_sync_policy(SyncPolicy::PerRecord);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
