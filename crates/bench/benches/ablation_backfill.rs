@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jigsaw_core::Scheme;
-use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_sim::{SimConfig, Simulation};
 use jigsaw_topology::FatTree;
 use jigsaw_traces::synth::synth;
 use std::hint::black_box;
@@ -20,7 +20,14 @@ fn bench_backfill(c: &mut Criterion) {
                 backfill_window: w,
                 ..SimConfig::default()
             };
-            b.iter(|| black_box(simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &config)));
+            b.iter(|| {
+                black_box(
+                    Simulation::new(&tree, &trace)
+                        .scheme(Scheme::Jigsaw)
+                        .config(config.clone())
+                        .run(),
+                )
+            });
         });
     }
     group.finish();

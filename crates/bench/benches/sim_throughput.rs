@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jigsaw_core::Scheme;
-use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_sim::{SimConfig, Simulation};
 use jigsaw_topology::FatTree;
 use jigsaw_traces::synth::synth;
 use std::hint::black_box;
@@ -22,7 +22,14 @@ fn bench_sim(c: &mut Criterion) {
                     scheme_benefits: s != Scheme::Baseline,
                     ..SimConfig::default()
                 };
-                b.iter(|| black_box(simulate(&tree, s.make(&tree), &trace, &config)));
+                b.iter(|| {
+                    black_box(
+                        Simulation::new(&tree, &trace)
+                            .scheme(s)
+                            .config(config.clone())
+                            .run(),
+                    )
+                });
             },
         );
     }

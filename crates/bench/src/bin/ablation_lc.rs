@@ -16,7 +16,7 @@
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
 use jigsaw_core::Scheme;
-use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_sim::{SimConfig, Simulation};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -38,7 +38,10 @@ fn main() {
         ("LC+S (LC + link sharing)", Scheme::LcS, &trace),
     ];
     let results = match args.pool().map(variants.to_vec(), |_, (_, scheme, t)| {
-        simulate(&tree, scheme.make(&tree), t, &config)
+        Simulation::new(&tree, t)
+            .scheme(scheme)
+            .config(config.clone())
+            .run()
     }) {
         Ok(r) => r,
         Err(tp) => {

@@ -11,7 +11,7 @@
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
 use jigsaw_core::JigsawAllocator;
-use jigsaw_sim::{simulate, SimConfig};
+use jigsaw_sim::{SimConfig, Simulation};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -32,7 +32,10 @@ fn main() {
         } else {
             JigsawAllocator::new(&tree)
         };
-        simulate(&tree, Box::new(alloc), &trace, &config)
+        Simulation::new(&tree, &trace)
+            .allocator(Box::new(alloc))
+            .config(config.clone())
+            .run()
     }) {
         Ok(r) => r,
         Err(tp) => {

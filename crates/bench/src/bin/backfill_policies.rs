@@ -14,7 +14,7 @@
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
 use jigsaw_core::Scheme;
-use jigsaw_sim::{simulate, BackfillPolicy, SimConfig};
+use jigsaw_sim::{BackfillPolicy, SimConfig, Simulation};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -34,7 +34,10 @@ fn main() {
             policy,
             ..SimConfig::default()
         };
-        simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &config)
+        Simulation::new(&tree, &trace)
+            .scheme(Scheme::Jigsaw)
+            .config(config)
+            .run()
     }) {
         Ok(r) => r,
         Err(tp) => {

@@ -15,7 +15,7 @@
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
 use jigsaw_core::Scheme;
-use jigsaw_sim::{simulate, EstimateModel, SimConfig};
+use jigsaw_sim::{EstimateModel, SimConfig, Simulation};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -50,7 +50,10 @@ fn main() {
             estimates: models[m].1,
             ..SimConfig::default()
         };
-        simulate(tree, Scheme::Jigsaw.make(tree), trace, &config)
+        Simulation::new(tree, trace)
+            .scheme(Scheme::Jigsaw)
+            .config(config)
+            .run()
     }) {
         Ok(r) => r,
         Err(tp) => {

@@ -14,7 +14,7 @@
 
 use jigsaw_bench::{trace_by_name, HarnessArgs};
 use jigsaw_core::Scheme;
-use jigsaw_sim::{simulate, FailureModel, SimConfig};
+use jigsaw_sim::{FailureModel, SimConfig, Simulation};
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -62,7 +62,10 @@ fn main() {
             scheme_benefits: kind.benefits_from_isolation(),
             ..SimConfig::default()
         };
-        simulate(&tree, kind.make(&tree), &trace, &config)
+        Simulation::new(&tree, &trace)
+            .scheme(kind)
+            .config(config)
+            .run()
     }) {
         Ok(r) => r,
         Err(tp) => {

@@ -34,5 +34,5 @@ pub mod report;
 pub mod runner;
 
 pub use args::HarnessArgs;
-pub use registry::{paper_traces, trace_by_name, TraceSpec};
+pub use registry::{paper_traces, trace_by_name, TraceSpec, WORKLOAD_V2};
 pub use runner::{run_grid, run_grid_or_exit, CellFailure, GridCell, GridResult};

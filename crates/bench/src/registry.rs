@@ -4,6 +4,7 @@
 use jigsaw_topology::FatTree;
 use jigsaw_traces::llnl::{atlas_model, cab_model, thunder_model, CabMonth};
 use jigsaw_traces::synth::{synth, PAPER_JOBS};
+use jigsaw_traces::workload::{dag_fanout, dag_pipeline, reserved_mix};
 use jigsaw_traces::Trace;
 
 /// One (trace, cluster) pairing of the evaluation.
@@ -67,17 +68,35 @@ pub const SPECS: [TraceSpec; 9] = [
     },
 ];
 
+/// The workload-model-v2 scenarios (DESIGN §13): DAG-structured and
+/// reservation-bearing traces on the Synth-16 cluster. These are *not*
+/// part of [`SPECS`] — the paper never evaluated them — but
+/// [`trace_by_name`] resolves them so every harness can run them.
+pub const WORKLOAD_V2: [&str; 3] = ["dag_pipeline", "dag_fanout", "reserved_mix"];
+
 /// Generate the named trace at `scale` and pair it with its cluster.
+/// Resolves the nine paper traces of [`SPECS`] plus the [`WORKLOAD_V2`]
+/// scenarios.
 ///
 /// # Panics
 /// On an unknown trace name.
 pub fn trace_by_name(name: &str, scale: f64, seed: u64) -> (Trace, FatTree) {
+    let n_synth = ((PAPER_JOBS as f64) * scale).round().max(1.0) as usize;
+    if WORKLOAD_V2.contains(&name) {
+        let tree = FatTree::maximal(16).expect("radix 16 is valid");
+        let trace = match name {
+            "dag_pipeline" => dag_pipeline(16, n_synth, seed + 9),
+            "dag_fanout" => dag_fanout(16, n_synth, seed + 10),
+            "reserved_mix" => reserved_mix(16, n_synth, seed + 11),
+            _ => unreachable!(),
+        };
+        return (trace, tree);
+    }
     let spec = SPECS
         .iter()
         .find(|s| s.name == name)
         .unwrap_or_else(|| panic!("unknown trace {name}"));
     let tree = FatTree::maximal(spec.radix).expect("registry radixes are valid");
-    let n_synth = ((PAPER_JOBS as f64) * scale).round().max(1.0) as usize;
     let trace = match name {
         "Synth-16" => synth(16, n_synth, seed),
         "Synth-22" => synth(22, n_synth, seed + 1),

@@ -8,7 +8,7 @@
 
 use jigsaw_core::Scheme;
 use jigsaw_par::Pool;
-use jigsaw_sim::{simulate, Scenario, SimConfig, SimResult};
+use jigsaw_sim::{Scenario, SimConfig, SimResult, Simulation};
 use jigsaw_topology::FatTree;
 use jigsaw_traces::Trace;
 use serde::{Deserialize, Serialize};
@@ -116,7 +116,10 @@ pub fn run_grid(
             collect_inst_util,
             ..SimConfig::default()
         };
-        let result = simulate(tree, cell.scheme.make(tree), trace, &config);
+        let result = Simulation::new(tree, trace)
+            .scheme(cell.scheme)
+            .config(config)
+            .run();
         GridResult::from(&cell, &result)
     });
     outcomes
@@ -209,6 +212,32 @@ mod tests {
         // serialize byte-identically whatever the worker count.
         for r in seq.iter_mut().chain(par.iter_mut()) {
             r.sched_time_per_job = 0.0;
+        }
+        let seq_json = serde_json::to_string(&seq).expect("serialize");
+        let par_json = serde_json::to_string(&par).expect("serialize");
+        assert_eq!(seq_json, par_json);
+    }
+
+    #[test]
+    fn v2_workloads_are_deterministic_across_worker_counts() {
+        // The workload-model-v2 scenarios (DAG gating, advance
+        // reservations) exercise scheduler paths the rigid traces never
+        // touch; their reports must still be byte-identical whatever
+        // `--jobs` says.
+        let traces: Vec<_> = crate::registry::WORKLOAD_V2
+            .iter()
+            .map(|name| trace_by_name(name, 0.005, 3))
+            .collect();
+        let names: Vec<&str> = traces.iter().map(|(t, _)| t.name.as_str()).collect();
+        let cells = product(
+            &names,
+            &[Scheme::Baseline, Scheme::Jigsaw],
+            &[Scenario::None],
+        );
+        let mut seq = run_grid(&Pool::sequential(), &cells, &traces, 7, false).expect("seq");
+        let mut par = run_grid(&Pool::new(3), &cells, &traces, 7, false).expect("par");
+        for r in seq.iter_mut().chain(par.iter_mut()) {
+            r.sched_time_per_job = 0.0; // wall clock, never deterministic
         }
         let seq_json = serde_json::to_string(&seq).expect("serialize");
         let par_json = serde_json::to_string(&par).expect("serialize");

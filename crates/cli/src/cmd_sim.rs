@@ -7,7 +7,7 @@ use crate::args::{fail, Flags};
 use crate::cmd_trace::builtin_trace;
 use jigsaw_core::Scheme;
 use jigsaw_obs::Registry;
-use jigsaw_sim::{simulate_with_obs, SimConfig};
+use jigsaw_sim::{SimConfig, Simulation};
 use jigsaw_topology::FatTree;
 use jigsaw_traces::swf::parse_swf_report;
 use jigsaw_traces::Trace;
@@ -97,7 +97,11 @@ pub fn run(args: &[String]) -> i32 {
     } else {
         Registry::disabled()
     };
-    let result = simulate_with_obs(&tree, kind.make(&tree), &trace, &config, &registry);
+    let result = Simulation::new(&tree, &trace)
+        .scheme(kind)
+        .config(config)
+        .with_registry(&registry)
+        .run();
 
     if flags.has("--json") {
         let mut out = serde_json::json!({

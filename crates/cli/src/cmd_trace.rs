@@ -7,6 +7,7 @@ use jigsaw_traces::llnl::{atlas_model, cab_model, thunder_model, CabMonth};
 use jigsaw_traces::stats::TraceSummary;
 use jigsaw_traces::swf::to_swf;
 use jigsaw_traces::synth::{synth, PAPER_JOBS};
+use jigsaw_traces::workload::{dag_fanout, dag_pipeline, reserved_mix};
 use jigsaw_traces::Trace;
 
 /// Resolve a built-in trace name to (trace, evaluation cluster). Mirrors
@@ -24,6 +25,11 @@ pub fn builtin_trace(name: &str, scale: f64, seed: u64) -> Option<(Trace, FatTre
         "Sep-Cab" => (cab_model(CabMonth::Sep).generate(scale, seed + 6), 18),
         "Oct-Cab" => (cab_model(CabMonth::Oct).generate(scale, seed + 7), 18),
         "Nov-Cab" => (cab_model(CabMonth::Nov).generate(scale, seed + 8), 18),
+        // Workload model v2 (DESIGN §13): DAG and reservation scenarios on
+        // the Synth-16 cluster.
+        "dag_pipeline" => (dag_pipeline(16, n_synth, seed + 9), 16),
+        "dag_fanout" => (dag_fanout(16, n_synth, seed + 10), 16),
+        "reserved_mix" => (reserved_mix(16, n_synth, seed + 11), 16),
         _ => return None,
     };
     Some((trace, FatTree::maximal(radix).expect("valid radix")))

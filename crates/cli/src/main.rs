@@ -59,7 +59,8 @@ USAGE:
         [--journal DIR] [--snapshot-every N]
         [--listen ADDR] [--max-conns N] [--max-batch N]
         [--idle-timeout-ms MS]
-        (line protocol: ALLOC id size / FREE id / STATUS / TABLES /
+        (line protocol: ALLOC id size / FREE id / SUBMIT-DAG id size
+         [parents] / RESERVE id size start / STATUS / TABLES /
          SNAPSHOT / STATS / METRICS / HELP / QUIT / SHUTDOWN; replies
          are `OK <VERB> ...` or `ERR <code> <msg>`; --journal makes the
          service durable and recovers state from DIR on start;
@@ -69,4 +70,5 @@ USAGE:
 
 Built-in traces: Synth-16 Synth-22 Synth-28 Thunder Atlas
                  Aug-Cab Sep-Cab Oct-Cab Nov-Cab
+                 dag_pipeline dag_fanout reserved_mix   (workload model v2)
 ";

@@ -205,6 +205,83 @@ fn sigkill_under_concurrent_load_loses_no_acknowledged_request() {
 }
 
 #[test]
+fn sigkill_mid_dag_loses_no_acknowledged_submission_or_reservation() {
+    // Build a DAG over TCP — a live root, children gated on it, an
+    // advance reservation — then SIGKILL the daemon with the DAG only
+    // partially drained. Every OK-acknowledged SUBMIT-DAG/RESERVE must
+    // survive recovery in exactly the state it was acknowledged in.
+    let dir = tmpdir("dag");
+    let daemon = Daemon::start(&dir, &["--max-batch", "64"]);
+    let (mut stream, mut reader) = daemon.connect();
+    let request = |s: &mut TcpStream, r: &mut BufReader<TcpStream>, line: &str| {
+        writeln!(s, "{line}").unwrap();
+        let mut reply = String::new();
+        r.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    };
+
+    assert!(request(&mut stream, &mut reader, "ALLOC 1 8").starts_with("OK GRANT 1 "));
+    // 2 and 3 gate on 1; 4 gates on 2 and 3; 5 is an unblocked submission
+    // that starts immediately; 9 reserves nodes for t=5000.
+    assert_eq!(
+        request(&mut stream, &mut reader, "SUBMIT-DAG 2 4 1"),
+        "OK SUBMIT-DAG 2 queued deps=1"
+    );
+    assert_eq!(
+        request(&mut stream, &mut reader, "SUBMIT-DAG 3 4 1"),
+        "OK SUBMIT-DAG 3 queued deps=1"
+    );
+    assert_eq!(
+        request(&mut stream, &mut reader, "SUBMIT-DAG 4 4 2,3"),
+        "OK SUBMIT-DAG 4 queued deps=2"
+    );
+    assert!(
+        request(&mut stream, &mut reader, "SUBMIT-DAG 5 4").starts_with("OK SUBMIT-DAG 5 granted=")
+    );
+    assert!(request(&mut stream, &mut reader, "RESERVE 9 16 5000")
+        .starts_with("OK RESERVE 9 start=5000 "));
+    // Drain one level: freeing the root starts 2 and 3, but not 4.
+    assert_eq!(
+        request(&mut stream, &mut reader, "FREE 1"),
+        "OK FREE 1 started=2,3"
+    );
+
+    // Crash mid-DAG: 2, 3, 5 live; 4 still queued behind 2 and 3; 9 held.
+    daemon.hard_kill();
+
+    let tree = FatTree::maximal(RADIX).unwrap();
+    let (recovered, report) = PersistentState::open(&dir, tree).expect("recovery succeeds");
+    assert_eq!(report.live_jobs, 3, "{report}");
+    assert_eq!(report.queued_jobs, 1, "{report}");
+    assert_eq!(report.reserved_jobs, 1, "{report}");
+    let live: HashSet<u32> = recovered.live().keys().copied().collect();
+    assert_eq!(live, HashSet::from([2, 3, 5]));
+    assert!(recovered.queued().contains_key(&4));
+    assert!(recovered.reserved().contains_key(&9));
+
+    // A fresh daemon on the same journal finishes the DAG: the gate on 4
+    // (parents 2 and 3) and the reservation's node claim both survived
+    // the kill.
+    let daemon = Daemon::start(&dir, &[]);
+    let (mut stream, mut reader) = daemon.connect();
+    assert_eq!(request(&mut stream, &mut reader, "FREE 2"), "OK FREE 2");
+    assert_eq!(
+        request(&mut stream, &mut reader, "FREE 3"),
+        "OK FREE 3 started=4"
+    );
+    let stats = request(&mut stream, &mut reader, "STATS");
+    assert!(
+        stats.contains("queued=0") && stats.contains("reserved=1"),
+        "{stats}"
+    );
+    assert_eq!(request(&mut stream, &mut reader, "SHUTDOWN"), "OK SHUTDOWN");
+    let mut daemon = daemon;
+    assert!(daemon.child.wait().unwrap().success());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn shutdown_verb_exits_cleanly_and_recovery_needs_no_replay() {
     let dir = tmpdir("clean");
     let daemon = Daemon::start(&dir, &[]);

@@ -82,8 +82,8 @@ pub mod prelude {
     pub use jigsaw_par::{Pool, TaskPanic};
     pub use jigsaw_persist::{PersistError, PersistentState, RecoveryReport};
     pub use jigsaw_routing::{CongestionMap, PartitionRouter, Route};
-    pub use jigsaw_sim::{simulate, Scenario, SimConfig, SimResult};
+    pub use jigsaw_sim::{Scenario, SimConfig, SimResult, Simulation};
     pub use jigsaw_topology::ids::{JobId, LeafId, NodeId, PodId};
     pub use jigsaw_topology::{FatTree, FatTreeParams, SystemState};
-    pub use jigsaw_traces::{Trace, TraceJob};
+    pub use jigsaw_traces::{JobClass, JobSpec, Trace, TraceJob};
 }

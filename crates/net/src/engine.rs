@@ -126,13 +126,14 @@ impl Engine {
         mut persist: PersistentState,
         registry: &Registry,
     ) -> Engine {
-        // Recovered allocations were claimed into the state without the
-        // allocator watching; replay them through `adopt` on a scratch
-        // state so scheme-internal bookkeeping catches up. The scratch
-        // state is discarded — the real one already has every claim.
-        if !persist.live().is_empty() {
+        // Recovered allocations — live jobs *and* advance reservations —
+        // were claimed into the state without the allocator watching;
+        // replay them through `adopt` on a scratch state so
+        // scheme-internal bookkeeping catches up. The scratch state is
+        // discarded — the real one already has every claim.
+        if !persist.live().is_empty() || !persist.reserved().is_empty() {
             let mut scratch = SystemState::new(tree);
-            for alloc in persist.live_allocations() {
+            for alloc in persist.claimed_allocations() {
                 allocator.adopt(&mut scratch, &alloc);
             }
         }
@@ -191,6 +192,32 @@ impl Engine {
                 Ok(id) => self.free(id),
                 Err(_) => Reply::err(ErrCode::BadRequest, "bad FREE arguments"),
             },
+            ["SUBMIT-DAG", id, size] => match (id.parse::<u32>(), size.parse::<u32>()) {
+                (Ok(id), Ok(size)) if size > 0 => self.submit_dag(id, size, Vec::new()),
+                _ => Reply::err(ErrCode::BadRequest, "bad SUBMIT-DAG arguments"),
+            },
+            ["SUBMIT-DAG", id, size, parents] => {
+                match (
+                    id.parse::<u32>(),
+                    size.parse::<u32>(),
+                    parse_id_csv(parents),
+                ) {
+                    (Ok(id), Ok(size), Some(parents)) if size > 0 => {
+                        self.submit_dag(id, size, parents)
+                    }
+                    _ => Reply::err(ErrCode::BadRequest, "bad SUBMIT-DAG arguments"),
+                }
+            }
+            ["RESERVE", id, size, start] => {
+                match (id.parse::<u32>(), size.parse::<u32>(), start.parse::<f64>()) {
+                    (Ok(id), Ok(size), Ok(start))
+                        if size > 0 && start.is_finite() && start >= 0.0 =>
+                    {
+                        self.reserve(id, size, start)
+                    }
+                    _ => Reply::err(ErrCode::BadRequest, "bad RESERVE arguments"),
+                }
+            }
             ["STATUS"] => Reply::Status {
                 used: self.persist.state().allocated_node_count(),
                 total: self.tree.num_nodes(),
@@ -247,9 +274,18 @@ impl Engine {
         })
     }
 
+    /// `true` while `id` occupies any tracking map: live, queued, or
+    /// reserved. A DAG parent counts as unfinished exactly while this
+    /// holds.
+    fn is_tracked(&self, id: u32) -> bool {
+        self.persist.live().contains_key(&id)
+            || self.persist.queued().contains_key(&id)
+            || self.persist.reserved().contains_key(&id)
+    }
+
     fn alloc(&mut self, id: u32, size: u32) -> Reply {
-        if self.persist.live().contains_key(&id) {
-            return Reply::err(ErrCode::Exists, format!("job {id} already allocated"));
+        if self.is_tracked(id) {
+            return Reply::err(ErrCode::Exists, format!("job {id} already tracked"));
         }
         match self
             .allocator
@@ -273,14 +309,116 @@ impl Engine {
     }
 
     fn free(&mut self, id: u32) -> Reply {
+        if !self.is_tracked(id) {
+            return Reply::err(ErrCode::UnknownJob, format!("job {id} is not allocated"));
+        }
         match self.persist.commit_release(JobId(id)) {
             Ok(Some(alloc)) => {
                 self.allocator.release(self.persist.state_mut(), &alloc);
-                Reply::Freed { id }
             }
-            Ok(None) => Reply::err(ErrCode::UnknownJob, format!("job {id} is not allocated")),
-            Err(e) => Reply::err(ErrCode::Journal, e.to_string()),
+            Ok(None) => {} // a queued submission was withdrawn: nothing held
+            Err(e) => return Reply::err(ErrCode::Journal, e.to_string()),
         }
+        // The released job may have been some queued job's last unfinished
+        // parent, and its nodes may fit a queued job that was waiting only
+        // for resources.
+        let started = self.drain_queued();
+        Reply::Freed { id, started }
+    }
+
+    fn submit_dag(&mut self, id: u32, size: u32, parents: Vec<u32>) -> Reply {
+        if self.is_tracked(id) {
+            return Reply::err(ErrCode::Exists, format!("job {id} already tracked"));
+        }
+        // A parent blocks while it is live, queued, or reserved; ids never
+        // seen are treated as already finished, so replaying a prefix of a
+        // workload is well-defined.
+        let deps = parents.iter().filter(|&&p| self.is_tracked(p)).count();
+        if let Err(e) = self.persist.commit_submit(JobId(id), size, 10, parents) {
+            return Reply::err(ErrCode::Journal, e.to_string());
+        }
+        if deps > 0 {
+            return Reply::Submitted {
+                id,
+                nodes: None,
+                deps,
+            };
+        }
+        // Unblocked: start now if it fits, else wait in the queue for a
+        // FREE to drain it.
+        match self.try_start_queued(id) {
+            Some(nodes) => Reply::Submitted {
+                id,
+                nodes: Some(nodes),
+                deps: 0,
+            },
+            None => Reply::Submitted {
+                id,
+                nodes: None,
+                deps: 0,
+            },
+        }
+    }
+
+    fn reserve(&mut self, id: u32, size: u32, start: f64) -> Reply {
+        if self.is_tracked(id) {
+            return Reply::err(ErrCode::Exists, format!("job {id} already tracked"));
+        }
+        match self
+            .allocator
+            .allocate(self.persist.state_mut(), &JobRequest::new(JobId(id), size))
+        {
+            Ok(alloc) => match self.persist.commit_reserve(&alloc, start) {
+                Ok(()) => Reply::Reserved {
+                    id,
+                    start,
+                    nodes: alloc.nodes.iter().map(|n| n.0).collect(),
+                },
+                Err(e) => {
+                    self.allocator.release(self.persist.state_mut(), &alloc);
+                    Reply::err(ErrCode::Journal, e.to_string())
+                }
+            },
+            Err(reject) => Reply::err(ErrCode::Denied, format!("job {id}: {reject}")),
+        }
+    }
+
+    /// Grant queued job `id` if its allocation fits right now. The queue
+    /// entry is consumed by [`PersistentState::commit_grant`]. `None` when
+    /// the machine cannot host it yet (it stays queued) or on journal
+    /// failure (the claim is rolled back).
+    fn try_start_queued(&mut self, id: u32) -> Option<Vec<u32>> {
+        let q = self.persist.queued().get(&id)?;
+        let req = JobRequest::with_bandwidth(q.job, q.size, q.bw_tenths);
+        match self.allocator.allocate(self.persist.state_mut(), &req) {
+            Ok(alloc) => match self.persist.commit_grant(&alloc) {
+                Ok(()) => Some(alloc.nodes.iter().map(|n| n.0).collect()),
+                Err(_) => {
+                    self.allocator.release(self.persist.state_mut(), &alloc);
+                    None
+                }
+            },
+            Err(_) => None,
+        }
+    }
+
+    /// Start every queued job whose parents have all finished and whose
+    /// allocation fits, in ascending job-id order. One pass suffices: a
+    /// start only consumes capacity and turns the started job live (more
+    /// blocking for its own children, never less for anyone else).
+    fn drain_queued(&mut self) -> Vec<u32> {
+        let candidates: Vec<u32> = self.persist.queued().keys().copied().collect();
+        let mut started = Vec::new();
+        for id in candidates {
+            let blocked = match self.persist.queued().get(&id) {
+                Some(q) => q.parents.iter().any(|&p| self.is_tracked(p)),
+                None => continue,
+            };
+            if !blocked && self.try_start_queued(id).is_some() {
+                started.push(id);
+            }
+        }
+        started
     }
 
     fn stats(&self) -> Reply {
@@ -291,6 +429,8 @@ impl Engine {
                 ("scheme".into(), self.allocator.name().into()),
                 ("nodes".into(), format!("{used}/{total}")),
                 ("jobs".into(), self.persist.live().len().to_string()),
+                ("queued".into(), self.persist.queued().len().to_string()),
+                ("reserved".into(), self.persist.reserved().len().to_string()),
                 ("seq".into(), self.persist.last_seq().to_string()),
                 ("durable".into(), self.persist.is_durable().to_string()),
                 ("requests".into(), self.obs.total_requests().to_string()),
@@ -329,6 +469,15 @@ impl Engine {
             Err(e) => Err(e),
         }
     }
+}
+
+/// Parse a comma-separated list of job ids (`"3,5,9"`). `None` on any
+/// malformed element; an empty string parses as no parents.
+fn parse_id_csv(text: &str) -> Option<Vec<u32>> {
+    if text.is_empty() {
+        return Some(Vec::new());
+    }
+    text.split(',').map(|t| t.parse::<u32>().ok()).collect()
 }
 
 /// The stdin/stdout protocol loop, generic over the streams for
@@ -441,7 +590,7 @@ mod tests {
     fn errors_reported_inline() {
         let replies = drive("ALLOC 1 4\nALLOC 1 4\nFREE 9\nBOGUS\nQUIT\n");
         assert!(replies[0].starts_with("OK GRANT"));
-        assert_eq!(replies[1], "ERR exists job 1 already allocated");
+        assert_eq!(replies[1], "ERR exists job 1 already tracked");
         assert_eq!(replies[2], "ERR unknown-job job 9 is not allocated");
         assert!(replies[3].starts_with("ERR unknown-verb"));
     }
@@ -614,6 +763,147 @@ mod tests {
         assert_eq!(report.snapshot_seq, Some(2));
         let replies = drive_with(ps, "STATUS\nQUIT\n");
         assert!(replies[0].contains("nodes=6/16 jobs=2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn submit_dag_without_parents_starts_immediately() {
+        let replies = drive("SUBMIT-DAG 1 4\nSTATUS\nQUIT\n");
+        assert!(
+            replies[0].starts_with("OK SUBMIT-DAG 1 granted="),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[1].contains("nodes=4/16 jobs=1"), "{}", replies[1]);
+    }
+
+    #[test]
+    fn submit_dag_waits_for_tracked_parents_then_starts_on_free() {
+        let replies = drive("ALLOC 1 4\nSUBMIT-DAG 2 4 1\nSTATS\nFREE 1\nSTATUS\nQUIT\n");
+        assert_eq!(replies[1], "OK SUBMIT-DAG 2 queued deps=1");
+        assert!(replies[2].contains("queued=1"), "{}", replies[2]);
+        // FREE 1 completes the only parent: job 2 starts in the same reply.
+        assert_eq!(replies[3], "OK FREE 1 started=2");
+        assert!(replies[4].contains("jobs=1"), "{}", replies[4]);
+    }
+
+    #[test]
+    fn unknown_parents_count_as_already_finished() {
+        let replies = drive("SUBMIT-DAG 5 2 900,901\nQUIT\n");
+        assert!(
+            replies[0].starts_with("OK SUBMIT-DAG 5 granted="),
+            "{}",
+            replies[0]
+        );
+    }
+
+    #[test]
+    fn dag_chain_drains_transitively_as_parents_free() {
+        // 1 -> 2 -> 3: freeing 1 starts 2 only (3 still waits on 2);
+        // freeing 2 then starts 3.
+        let replies =
+            drive("ALLOC 1 4\nSUBMIT-DAG 2 4 1\nSUBMIT-DAG 3 4 2\nFREE 1\nFREE 2\nSTATUS\nQUIT\n");
+        assert_eq!(replies[3], "OK FREE 1 started=2");
+        assert_eq!(replies[4], "OK FREE 2 started=3");
+        assert!(replies[5].contains("jobs=1"), "{}", replies[5]);
+    }
+
+    #[test]
+    fn queued_job_blocked_by_capacity_starts_when_nodes_free() {
+        // Machine full: a parentless SUBMIT-DAG queues on capacity alone.
+        let replies = drive("ALLOC 1 16\nSUBMIT-DAG 2 8\nFREE 1\nQUIT\n");
+        assert_eq!(replies[1], "OK SUBMIT-DAG 2 queued deps=0");
+        assert_eq!(replies[2], "OK FREE 1 started=2");
+    }
+
+    #[test]
+    fn free_withdraws_a_queued_submission() {
+        let replies = drive("ALLOC 1 4\nSUBMIT-DAG 2 4 1\nFREE 2\nSTATS\nQUIT\n");
+        assert_eq!(replies[2], "OK FREE 2");
+        assert!(replies[3].contains("queued=0"), "{}", replies[3]);
+    }
+
+    #[test]
+    fn withdrawing_a_parent_unblocks_its_children() {
+        // Job 3 waits on queued parent 2; withdrawing 2 releases 3.
+        let replies = drive("ALLOC 1 16\nSUBMIT-DAG 2 4\nSUBMIT-DAG 3 4 2\nFREE 2\nFREE 1\nQUIT\n");
+        assert_eq!(replies[2], "OK SUBMIT-DAG 3 queued deps=1");
+        assert_eq!(replies[3], "OK FREE 2"); // unblocked, but no capacity yet
+        assert_eq!(replies[4], "OK FREE 1 started=3");
+    }
+
+    #[test]
+    fn reserve_claims_nodes_immediately() {
+        let replies = drive("RESERVE 7 4 120.5\nSTATS\nFREE 7\nSTATUS\nQUIT\n");
+        assert!(
+            replies[0].starts_with("OK RESERVE 7 start=120.5 "),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[1].contains("reserved=1"), "{}", replies[1]);
+        // STATUS counts only live jobs, but the nodes are held.
+        assert_eq!(replies[2], "OK FREE 7");
+        assert!(replies[3].contains("nodes=0/16"), "{}", replies[3]);
+    }
+
+    #[test]
+    fn reservation_holds_nodes_against_alloc_traffic() {
+        // 12 reserved + 16 requested > 16 nodes: the reservation wins.
+        let replies = drive("RESERVE 7 12 50\nALLOC 1 16\nALLOC 2 4\nQUIT\n");
+        assert!(replies[0].starts_with("OK RESERVE 7"), "{}", replies[0]);
+        assert!(
+            replies[1].starts_with("ERR denied job 1:"),
+            "{}",
+            replies[1]
+        );
+        assert!(replies[2].starts_with("OK GRANT 2 "), "{}", replies[2]);
+    }
+
+    #[test]
+    fn reserve_rejects_bad_start_times() {
+        let replies = drive("RESERVE 1 4 -5\nRESERVE 2 4 NaN\nRESERVE 3 0 10\nQUIT\n");
+        for r in &replies[..3] {
+            assert!(r.starts_with("ERR bad-request"), "{r}");
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_rejected_across_all_tracking_maps() {
+        let replies = drive(
+            "ALLOC 1 16\nSUBMIT-DAG 2 4 1\nRESERVE 3 0 10\nSUBMIT-DAG 1 2\nSUBMIT-DAG 2 2\nALLOC 2 2\nRESERVE 2 2 5\nQUIT\n",
+        );
+        // live id, queued id (twice: SUBMIT-DAG/ALLOC/RESERVE) all collide.
+        assert!(replies[3].starts_with("ERR exists"), "{}", replies[3]);
+        assert!(replies[4].starts_with("ERR exists"), "{}", replies[4]);
+        assert!(replies[5].starts_with("ERR exists"), "{}", replies[5]);
+        assert!(replies[6].starts_with("ERR exists"), "{}", replies[6]);
+    }
+
+    #[test]
+    fn queued_and_reserved_survive_restart() {
+        let dir = tmpdir("dagrecover");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let first = drive_with(
+            ps,
+            "ALLOC 1 4\nSUBMIT-DAG 2 4 1\nRESERVE 7 6 300\nSTATS\nQUIT\n",
+        );
+        assert!(first[1].contains("queued deps=1"), "{}", first[1]);
+        assert!(first[2].starts_with("OK RESERVE 7"), "{}", first[2]);
+
+        // Fresh process over the same journal: the queue entry, the
+        // reservation's node claim, and the DAG gate all survive.
+        let (ps, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.live_jobs, 1);
+        assert_eq!(report.queued_jobs, 1);
+        assert_eq!(report.reserved_jobs, 1);
+        let second = drive_with(ps, "STATS\nFREE 1\nSTATUS\nQUIT\n");
+        assert!(
+            second[0].contains("queued=1") && second[0].contains("reserved=1"),
+            "{}",
+            second[0]
+        );
+        assert_eq!(second[1], "OK FREE 1 started=2");
+        assert!(second[2].contains("nodes=10/16 jobs=1"), "{}", second[2]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

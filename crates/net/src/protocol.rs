@@ -94,7 +94,17 @@ pub const VERBS: &[Verb] = &[
     Verb {
         name: "FREE",
         usage: "FREE <id>",
-        summary: "release job <id>'s allocation",
+        summary: "release job <id>'s allocation (or reservation/submission)",
+    },
+    Verb {
+        name: "SUBMIT-DAG",
+        usage: "SUBMIT-DAG <id> <size> [parents-csv]",
+        summary: "submit a DAG job gated on its parents; starts when they finish",
+    },
+    Verb {
+        name: "RESERVE",
+        usage: "RESERVE <id> <size> <start>",
+        summary: "claim <size> nodes now as an advance reservation for time <start>",
     },
     Verb {
         name: "STATUS",
@@ -149,10 +159,34 @@ pub enum Reply {
         /// Granted node ids.
         nodes: Vec<u32>,
     },
-    /// `OK FREE <id>`.
+    /// `OK FREE <id>` — with ` started=<id0,id1,...>` appended when the
+    /// release unblocked queued DAG jobs that started in its wake.
     Freed {
         /// Job id.
         id: u32,
+        /// Queued DAG jobs granted by the post-release drain, ascending.
+        started: Vec<u32>,
+    },
+    /// `OK SUBMIT-DAG <id> granted=<n0,n1,...>` when the job started
+    /// immediately, else `OK SUBMIT-DAG <id> queued deps=<n>`.
+    Submitted {
+        /// Job id.
+        id: u32,
+        /// Granted node ids, if the job started immediately.
+        nodes: Option<Vec<u32>>,
+        /// Unfinished parents blocking the job (0 when it waits only for
+        /// resources).
+        deps: usize,
+    },
+    /// `OK RESERVE <id> start=<t> <n0,n1,...>` — the reserved node ids,
+    /// claimed from now until the job is freed.
+    Reserved {
+        /// Job id.
+        id: u32,
+        /// The promised start time.
+        start: f64,
+        /// Reserved node ids.
+        nodes: Vec<u32>,
     },
     /// `OK STATUS nodes=<used>/<total> jobs=<n> util=<pct>%`.
     Status {
@@ -227,7 +261,42 @@ impl fmt::Display for Reply {
                 }
                 Ok(())
             }
-            Reply::Freed { id } => write!(f, "OK FREE {id}"),
+            Reply::Freed { id, started } => {
+                write!(f, "OK FREE {id}")?;
+                if !started.is_empty() {
+                    write!(f, " started=")?;
+                    for (i, j) in started.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{j}")?;
+                    }
+                }
+                Ok(())
+            }
+            Reply::Submitted { id, nodes, deps } => match nodes {
+                Some(nodes) => {
+                    write!(f, "OK SUBMIT-DAG {id} granted=")?;
+                    for (i, n) in nodes.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, "{n}")?;
+                    }
+                    Ok(())
+                }
+                None => write!(f, "OK SUBMIT-DAG {id} queued deps={deps}"),
+            },
+            Reply::Reserved { id, start, nodes } => {
+                write!(f, "OK RESERVE {id} start={start} ")?;
+                for (i, n) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
             Reply::Status { used, total, jobs } => write!(
                 f,
                 "OK STATUS nodes={used}/{total} jobs={jobs} util={:.1}%",
@@ -283,7 +352,49 @@ mod tests {
             .to_string(),
             "OK GRANT 7 0,1,5"
         );
-        assert_eq!(Reply::Freed { id: 3 }.to_string(), "OK FREE 3");
+        assert_eq!(
+            Reply::Freed {
+                id: 3,
+                started: vec![]
+            }
+            .to_string(),
+            "OK FREE 3"
+        );
+        assert_eq!(
+            Reply::Freed {
+                id: 3,
+                started: vec![4, 9]
+            }
+            .to_string(),
+            "OK FREE 3 started=4,9"
+        );
+        assert_eq!(
+            Reply::Submitted {
+                id: 5,
+                nodes: Some(vec![0, 2]),
+                deps: 0
+            }
+            .to_string(),
+            "OK SUBMIT-DAG 5 granted=0,2"
+        );
+        assert_eq!(
+            Reply::Submitted {
+                id: 5,
+                nodes: None,
+                deps: 2
+            }
+            .to_string(),
+            "OK SUBMIT-DAG 5 queued deps=2"
+        );
+        assert_eq!(
+            Reply::Reserved {
+                id: 8,
+                start: 120.5,
+                nodes: vec![1, 3]
+            }
+            .to_string(),
+            "OK RESERVE 8 start=120.5 1,3"
+        );
         assert_eq!(
             Reply::Status {
                 used: 4,
@@ -364,7 +475,20 @@ mod tests {
                 id: 1,
                 nodes: vec![0],
             },
-            Reply::Freed { id: 1 },
+            Reply::Freed {
+                id: 1,
+                started: vec![],
+            },
+            Reply::Submitted {
+                id: 1,
+                nodes: None,
+                deps: 1,
+            },
+            Reply::Reserved {
+                id: 1,
+                start: 0.0,
+                nodes: vec![0],
+            },
             Reply::Status {
                 used: 0,
                 total: 16,

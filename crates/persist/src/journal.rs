@@ -37,8 +37,31 @@ pub const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
 pub enum Event {
     /// An allocation was granted and claimed into the system state.
     Grant(Allocation),
-    /// The job's allocation was released.
+    /// The job's allocation was released — or, for a job that never held
+    /// resources (still queued), its submission was withdrawn.
     Release(JobId),
+    /// A DAG job was durably accepted into the submission queue: it may
+    /// not be granted until every job in `parents` has been released
+    /// (workload model v2, DESIGN §13).
+    Submit {
+        /// The submitted job.
+        job: JobId,
+        /// Nodes the job will request when it becomes eligible.
+        size: u32,
+        /// Bandwidth class it will request (tenths of a link).
+        bw_tenths: u16,
+        /// Job ids that must be released before this job can start.
+        parents: Vec<u32>,
+    },
+    /// An advance reservation: `alloc` is claimed into the state now and
+    /// held for the job until its reserved `start` time (and beyond,
+    /// until released), so no later grant can delay it.
+    Reserve {
+        /// The reserved resources, claimed immediately.
+        alloc: Allocation,
+        /// The promised start time (caller-defined clock).
+        start: f64,
+    },
     /// A snapshot covering everything up to `last_seq` was durably written.
     /// Purely informational on replay (snapshot discovery goes through the
     /// snapshot directory, not the journal), but makes the journal

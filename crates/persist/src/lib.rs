@@ -45,6 +45,7 @@ use jigsaw_core::Allocation;
 use jigsaw_obs::{EventKind, Histogram, Registry};
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
+use serde::{Deserialize, Serialize};
 
 pub use journal::{crc32, Event, Journal, Record, Scan};
 pub use snapshot::{Snapshot, SnapshotStore};
@@ -130,6 +131,31 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// A durably submitted DAG job that has not started: it holds no
+/// resources and waits until every parent in `parents` has been released.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueuedJob {
+    /// The submitted job.
+    pub job: JobId,
+    /// Nodes it will request once eligible.
+    pub size: u32,
+    /// Bandwidth class it will request (tenths of a link).
+    pub bw_tenths: u16,
+    /// Job ids that must be released before this job can be granted.
+    pub parents: Vec<u32>,
+}
+
+/// A durable advance reservation: `alloc` is claimed in the system state
+/// and set aside for the job until `start` (and beyond, until released),
+/// so no later grant can delay it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReservedJob {
+    /// The reserved resources (already claimed).
+    pub alloc: Allocation,
+    /// The promised start time (caller-defined clock).
+    pub start: f64,
+}
+
 /// What recovery found and did. One of these is returned by every
 /// [`PersistentState::open`] so the embedding daemon can log it.
 #[derive(Debug, Default, PartialEq, Eq)]
@@ -146,8 +172,12 @@ pub struct RecoveryReport {
     pub torn_bytes_discarded: u64,
     /// Live jobs after recovery.
     pub live_jobs: usize,
-    /// Allocated nodes after recovery.
+    /// Allocated nodes after recovery (live plus reserved).
     pub allocated_nodes: u32,
+    /// Submitted-but-unstarted DAG jobs after recovery.
+    pub queued_jobs: usize,
+    /// Advance reservations holding resources after recovery.
+    pub reserved_jobs: usize,
 }
 
 impl fmt::Display for RecoveryReport {
@@ -170,6 +200,13 @@ impl fmt::Display for RecoveryReport {
                 f,
                 "; discarded {} byte(s) of torn tail",
                 self.torn_bytes_discarded
+            )?;
+        }
+        if self.queued_jobs > 0 || self.reserved_jobs > 0 {
+            write!(
+                f,
+                "; {} queued, {} reserved",
+                self.queued_jobs, self.reserved_jobs
             )?;
         }
         if self.corrupt_snapshots_skipped > 0 {
@@ -274,6 +311,8 @@ pub struct PersistentState {
     backend: Option<Durable>,
     state: SystemState,
     live: BTreeMap<u32, Allocation>,
+    queued: BTreeMap<u32, QueuedJob>,
+    reserved: BTreeMap<u32, ReservedJob>,
     /// Sequence number of the last event recorded (0 = none yet).
     last_seq: u64,
     events_since_snapshot: u64,
@@ -303,13 +342,15 @@ impl PersistentState {
         let store = SnapshotStore::new(dir);
         let (snapshot, outcome) = store.load_latest()?;
         let (journal, scan) = Journal::open(&dir.join(JOURNAL_FILE))?;
-        let (state, live, last_seq, report) =
-            rebuild(tree, snapshot, &scan, outcome.corrupt_skipped)?;
+        let rebuilt = rebuild(tree, snapshot, &scan, outcome.corrupt_skipped)?;
+        let report = rebuilt.report;
         let me = PersistentState {
             backend: Some(Durable { journal, store }),
-            state,
-            live,
-            last_seq,
+            state: rebuilt.state,
+            live: rebuilt.live,
+            queued: rebuilt.queued,
+            reserved: rebuilt.reserved,
+            last_seq: rebuilt.last_seq,
             events_since_snapshot: report.records_replayed as u64,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
             sync_policy: SyncPolicy::PerRecord,
@@ -325,6 +366,8 @@ impl PersistentState {
             backend: None,
             state: SystemState::new(tree),
             live: BTreeMap::new(),
+            queued: BTreeMap::new(),
+            reserved: BTreeMap::new(),
             last_seq: 0,
             events_since_snapshot: 0,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
@@ -368,6 +411,30 @@ impl PersistentState {
     /// shape `jigsaw_core::audit::audit_system` consumes.
     pub fn live_allocations(&self) -> Vec<Allocation> {
         self.live.values().cloned().collect()
+    }
+
+    /// Submitted-but-unstarted DAG jobs, keyed by job id.
+    pub fn queued(&self) -> &BTreeMap<u32, QueuedJob> {
+        &self.queued
+    }
+
+    /// Advance reservations holding claimed resources, keyed by job id.
+    pub fn reserved(&self) -> &BTreeMap<u32, ReservedJob> {
+        &self.reserved
+    }
+
+    /// Every allocation claimed into the state — live jobs plus advance
+    /// reservations — in ascending job-id order. This is the set
+    /// `jigsaw_core::audit::audit_system` must balance against.
+    pub fn claimed_allocations(&self) -> Vec<Allocation> {
+        let mut out: Vec<(u32, Allocation)> = self
+            .live
+            .iter()
+            .map(|(&id, a)| (id, a.clone()))
+            .chain(self.reserved.iter().map(|(&id, r)| (id, r.alloc.clone())))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out.into_iter().map(|(_, a)| a).collect()
     }
 
     /// Sequence number of the last recorded event.
@@ -424,8 +491,96 @@ impl PersistentState {
             "job {} granted twice",
             alloc.job.0
         );
+        assert!(
+            !self.reserved.contains_key(&alloc.job.0),
+            "job {} granted while reserved",
+            alloc.job.0
+        );
         self.record(Event::Grant(alloc.clone()), Some(alloc.job.0))?;
+        // A grant consumes the job's queue entry, if it was submitted.
+        self.queued.remove(&alloc.job.0);
         self.live.insert(alloc.job.0, alloc.clone());
+        Ok(())
+    }
+
+    /// Make a DAG submission durable and track it as queued: the job holds
+    /// no resources yet and may only be granted (via [`commit_grant`])
+    /// once its parents have been released. The parent list is stored
+    /// verbatim — eligibility policy lives with the caller.
+    ///
+    /// # Panics
+    /// If `job` is already live, queued, or reserved (caller bug — the
+    /// daemon checks before committing).
+    ///
+    /// [`commit_grant`]: PersistentState::commit_grant
+    #[must_use = "an ignored commit error means the submission is not durable"]
+    pub fn commit_submit(
+        &mut self,
+        job: JobId,
+        size: u32,
+        bw_tenths: u16,
+        parents: Vec<u32>,
+    ) -> Result<(), PersistError> {
+        assert!(
+            !self.live.contains_key(&job.0)
+                && !self.queued.contains_key(&job.0)
+                && !self.reserved.contains_key(&job.0),
+            "job {} submitted while already tracked",
+            job.0
+        );
+        self.record(
+            Event::Submit {
+                job,
+                size,
+                bw_tenths,
+                parents: parents.clone(),
+            },
+            Some(job.0),
+        )?;
+        self.queued.insert(
+            job.0,
+            QueuedJob {
+                job,
+                size,
+                bw_tenths,
+                parents,
+            },
+        );
+        Ok(())
+    }
+
+    /// Make an advance reservation durable. The allocation must already be
+    /// claimed into [`state_mut`] (the resources are held from now on, so
+    /// nothing granted later can delay the reserved start). On journal
+    /// failure nothing is tracked and the caller must roll the claim back.
+    ///
+    /// # Panics
+    /// If `alloc.job` is already live, queued, or reserved.
+    ///
+    /// [`state_mut`]: PersistentState::state_mut
+    #[must_use = "an ignored commit error means the reservation is not durable"]
+    pub fn commit_reserve(&mut self, alloc: &Allocation, start: f64) -> Result<(), PersistError> {
+        assert!(
+            !self.live.contains_key(&alloc.job.0)
+                && !self.queued.contains_key(&alloc.job.0)
+                && !self.reserved.contains_key(&alloc.job.0),
+            "job {} reserved while already tracked",
+            alloc.job.0
+        );
+        self.record(
+            Event::Reserve {
+                alloc: alloc.clone(),
+                start,
+            },
+            Some(alloc.job.0),
+        )?;
+        self.reserved.insert(
+            alloc.job.0,
+            ReservedJob {
+                alloc: alloc.clone(),
+                start,
+            },
+        );
         Ok(())
     }
 
@@ -494,14 +649,27 @@ impl PersistentState {
     /// Journal a release and stop tracking `job`, returning its
     /// allocation for the caller to release through the allocator
     /// (write-ahead: the journal entry lands *before* the state changes).
-    /// `None` if the job is not live — nothing is journaled then.
+    /// Live and reserved jobs return their claimed allocation; a queued
+    /// job is withdrawn (journaled, but there is nothing to release, so
+    /// `None`). A job in none of the three maps is a no-op: nothing is
+    /// journaled and `None` is returned — callers that must distinguish
+    /// "withdrawn" from "unknown" check [`queued`](PersistentState::queued)
+    /// first.
     #[must_use = "an ignored commit error means the release is not durable"]
     pub fn commit_release(&mut self, job: JobId) -> Result<Option<Allocation>, PersistError> {
-        if !self.live.contains_key(&job.0) {
-            return Ok(None);
+        if self.live.contains_key(&job.0) {
+            self.record(Event::Release(job), Some(job.0))?;
+            return Ok(self.live.remove(&job.0));
         }
-        self.record(Event::Release(job), Some(job.0))?;
-        Ok(self.live.remove(&job.0))
+        if self.reserved.contains_key(&job.0) {
+            self.record(Event::Release(job), Some(job.0))?;
+            return Ok(self.reserved.remove(&job.0).map(|r| r.alloc));
+        }
+        if self.queued.contains_key(&job.0) {
+            self.record(Event::Release(job), Some(job.0))?;
+            self.queued.remove(&job.0);
+        }
+        Ok(None)
     }
 
     /// Write a full snapshot now, prune old ones, truncate the journal,
@@ -519,6 +687,8 @@ impl PersistentState {
             last_seq: covered,
             state: self.state.clone(),
             live: self.live_allocations(),
+            queued: self.queued.values().cloned().collect(),
+            reserved: self.reserved.values().cloned().collect(),
         };
         let Some(backend) = &mut self.backend else {
             return Err(PersistError::NotDurable);
@@ -558,10 +728,12 @@ impl PersistentState {
 }
 
 /// Deterministic read-only recovery: load the newest snapshot under `dir`,
-/// replay the journal suffix, audit, and return the state plus live
-/// allocations. Unlike [`PersistentState::open`] this never writes (the
-/// torn tail, if any, is ignored rather than truncated), so it is safe to
-/// point at a directory another process is still appending to.
+/// replay the journal suffix, audit, and return the state plus every
+/// *claimed* allocation — live jobs and advance reservations, the set that
+/// balances against the state under `jigsaw_core::audit`. Unlike
+/// [`PersistentState::open`] this never writes (the torn tail, if any, is
+/// ignored rather than truncated), so it is safe to point at a directory
+/// another process is still appending to.
 #[must_use = "an unchecked recovery discards the rebuilt state and its report"]
 pub fn recover(
     dir: &Path,
@@ -570,8 +742,28 @@ pub fn recover(
     let store = SnapshotStore::new(dir);
     let (snapshot, outcome) = store.load_latest()?;
     let scan = Journal::scan(&dir.join(JOURNAL_FILE))?;
-    let (state, live, _, report) = rebuild(tree, snapshot, &scan, outcome.corrupt_skipped)?;
-    Ok((state, live.into_values().collect(), report))
+    let rebuilt = rebuild(tree, snapshot, &scan, outcome.corrupt_skipped)?;
+    let mut allocs: Vec<(u32, Allocation)> = rebuilt
+        .live
+        .into_iter()
+        .chain(rebuilt.reserved.into_iter().map(|(id, r)| (id, r.alloc)))
+        .collect();
+    allocs.sort_by_key(|(id, _)| *id);
+    Ok((
+        rebuilt.state,
+        allocs.into_iter().map(|(_, a)| a).collect(),
+        rebuilt.report,
+    ))
+}
+
+/// Everything [`rebuild`] reconstructs from disk.
+struct Rebuilt {
+    state: SystemState,
+    live: BTreeMap<u32, Allocation>,
+    queued: BTreeMap<u32, QueuedJob>,
+    reserved: BTreeMap<u32, ReservedJob>,
+    last_seq: u64,
+    report: RecoveryReport,
 }
 
 /// Shared recovery core: snapshot base + journal replay + audit.
@@ -580,9 +772,9 @@ fn rebuild(
     snapshot: Option<Snapshot>,
     scan: &Scan,
     corrupt_snapshots_skipped: usize,
-) -> Result<(SystemState, BTreeMap<u32, Allocation>, u64, RecoveryReport), PersistError> {
+) -> Result<Rebuilt, PersistError> {
     let snapshot_seq = snapshot.as_ref().map(|s| s.last_seq);
-    let (mut state, mut live, base_seq) = match snapshot {
+    let (mut state, mut live, mut queued, mut reserved, base_seq) = match snapshot {
         Some(snap) => {
             if snap.state.tree() != &tree {
                 return Err(PersistError::TopologyMismatch {
@@ -592,9 +784,22 @@ fn rebuild(
             }
             let live: BTreeMap<u32, Allocation> =
                 snap.live.into_iter().map(|a| (a.job.0, a)).collect();
-            (snap.state, live, snap.last_seq)
+            let queued: BTreeMap<u32, QueuedJob> =
+                snap.queued.into_iter().map(|q| (q.job.0, q)).collect();
+            let reserved: BTreeMap<u32, ReservedJob> = snap
+                .reserved
+                .into_iter()
+                .map(|r| (r.alloc.job.0, r))
+                .collect();
+            (snap.state, live, queued, reserved, snap.last_seq)
         }
-        None => (SystemState::new(tree), BTreeMap::new(), 0),
+        None => (
+            SystemState::new(tree),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            BTreeMap::new(),
+            0,
+        ),
     };
 
     let mut last_seq = base_seq;
@@ -614,10 +819,13 @@ fn rebuild(
         last_seq = record.seq;
         match &record.event {
             Event::Grant(alloc) => {
-                if live.contains_key(&alloc.job.0) {
+                if live.contains_key(&alloc.job.0) || reserved.contains_key(&alloc.job.0) {
                     return Err(PersistError::ReplayConflict {
                         seq: record.seq,
-                        detail: format!("job {} granted while already live", alloc.job.0),
+                        detail: format!(
+                            "job {} granted while already holding resources",
+                            alloc.job.0
+                        ),
                     });
                 }
                 if let Some(detail) = grant_conflict(&state, alloc) {
@@ -627,23 +835,84 @@ fn rebuild(
                     });
                 }
                 claim_allocation(&mut state, alloc);
+                queued.remove(&alloc.job.0);
                 live.insert(alloc.job.0, alloc.clone());
             }
-            Event::Release(job) => {
-                let Some(alloc) = live.remove(&job.0) else {
+            Event::Submit {
+                job,
+                size,
+                bw_tenths,
+                parents,
+            } => {
+                if live.contains_key(&job.0)
+                    || queued.contains_key(&job.0)
+                    || reserved.contains_key(&job.0)
+                {
                     return Err(PersistError::ReplayConflict {
                         seq: record.seq,
-                        detail: format!("release of job {} which is not live", job.0),
+                        detail: format!("job {} submitted while already tracked", job.0),
                     });
-                };
-                release_allocation(&mut state, &alloc);
+                }
+                queued.insert(
+                    job.0,
+                    QueuedJob {
+                        job: *job,
+                        size: *size,
+                        bw_tenths: *bw_tenths,
+                        parents: parents.clone(),
+                    },
+                );
+            }
+            Event::Reserve { alloc, start } => {
+                if live.contains_key(&alloc.job.0)
+                    || queued.contains_key(&alloc.job.0)
+                    || reserved.contains_key(&alloc.job.0)
+                {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail: format!("job {} reserved while already tracked", alloc.job.0),
+                    });
+                }
+                if let Some(detail) = grant_conflict(&state, alloc) {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail,
+                    });
+                }
+                claim_allocation(&mut state, alloc);
+                reserved.insert(
+                    alloc.job.0,
+                    ReservedJob {
+                        alloc: alloc.clone(),
+                        start: *start,
+                    },
+                );
+            }
+            Event::Release(job) => {
+                if let Some(alloc) = live.remove(&job.0) {
+                    release_allocation(&mut state, &alloc);
+                } else if let Some(r) = reserved.remove(&job.0) {
+                    release_allocation(&mut state, &r.alloc);
+                } else if queued.remove(&job.0).is_none() {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail: format!("release of job {} which is not tracked", job.0),
+                    });
+                }
             }
             Event::Snapshot { .. } => {}
         }
         replayed += 1;
     }
 
-    let errors = audit_system(&state, &live.values().cloned().collect::<Vec<_>>());
+    let claimed: Vec<Allocation> = live
+        .iter()
+        .map(|(&id, a)| (id, a.clone()))
+        .chain(reserved.iter().map(|(&id, r)| (id, r.alloc.clone())))
+        .collect::<std::collections::BTreeMap<u32, Allocation>>()
+        .into_values()
+        .collect();
+    let errors = audit_system(&state, &claimed);
     if !errors.is_empty() {
         return Err(PersistError::AuditFailed { errors });
     }
@@ -656,8 +925,17 @@ fn rebuild(
         torn_bytes_discarded: scan.file_len - scan.valid_len,
         live_jobs: live.len(),
         allocated_nodes: state.allocated_node_count(),
+        queued_jobs: queued.len(),
+        reserved_jobs: reserved.len(),
     };
-    Ok((state, live, last_seq, report))
+    Ok(Rebuilt {
+        state,
+        live,
+        queued,
+        reserved,
+        last_seq,
+        report,
+    })
 }
 
 /// Why `alloc` cannot be claimed into `state`, or `None` if it can. This
@@ -829,6 +1107,8 @@ mod tests {
                 last_seq: ps.last_seq(),
                 state: ps.state().clone(),
                 live: ps.live_allocations(),
+                queued: Vec::new(),
+                reserved: Vec::new(),
             })
             .unwrap();
         let want = ps.state().clone();
@@ -907,6 +1187,8 @@ mod tests {
                 last_seq: 1,
                 state,
                 live: Vec::new(),
+                queued: Vec::new(),
+                reserved: Vec::new(),
             })
             .unwrap();
         match PersistentState::open(&dir, tree()) {
@@ -1114,6 +1396,126 @@ mod tests {
         assert!(ps.commit_release(JobId(42)).unwrap().is_none());
         assert_eq!(ps.last_seq(), 0);
         assert_eq!(std::fs::metadata(dir.join(JOURNAL_FILE)).unwrap().len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn submit_survives_crash_and_grant_consumes_the_queue_entry() {
+        let dir = tmpdir("submit");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 4);
+        ps.commit_submit(JobId(2), 3, 10, vec![1]).unwrap();
+        drop(ps); // crash
+
+        let (mut ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.queued_jobs, 1);
+        assert_eq!(ps2.queued()[&2].parents, vec![1]);
+        assert_eq!(ps2.queued()[&2].size, 3);
+        // Parent released, child granted: the queue entry is consumed.
+        release(&mut ps2, 1);
+        let mut a2 = JigsawAllocator::new(&tree());
+        grant(&mut ps2, &mut a2, 2, 3);
+        assert!(ps2.queued().is_empty());
+        drop(ps2); // crash again
+
+        let (ps3, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.queued_jobs, 0);
+        assert_eq!(report.live_jobs, 1);
+        assert!(ps3.live().contains_key(&2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reservation_survives_crash_with_resources_claimed() {
+        let dir = tmpdir("reserve");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        let alloc = a
+            .allocate(ps.state_mut(), &JobRequest::new(JobId(5), 6))
+            .unwrap();
+        ps.commit_reserve(&alloc, 250.0).unwrap();
+        let want = ps.state().clone();
+        drop(ps); // crash
+
+        let (mut ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.reserved_jobs, 1);
+        assert_eq!(report.allocated_nodes, 6);
+        assert_eq!(ps2.state(), &want);
+        assert_eq!(ps2.reserved()[&5].start, 250.0);
+        assert_eq!(ps2.claimed_allocations().len(), 1);
+        assert!(audit_system(ps2.state(), &ps2.claimed_allocations()).is_empty());
+        // Releasing the reservation hands back its allocation.
+        let freed = ps2.commit_release(JobId(5)).unwrap().expect("reserved");
+        release_allocation(ps2.state_mut(), &freed);
+        assert_eq!(ps2.state().allocated_node_count(), 0);
+        drop(ps2);
+
+        let (_, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.reserved_jobs, 0);
+        assert_eq!(report.allocated_nodes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_covers_queued_and_reserved() {
+        let dir = tmpdir("snapv2");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        ps.commit_submit(JobId(9), 2, 10, vec![1, 3]).unwrap();
+        let alloc = a
+            .allocate(ps.state_mut(), &JobRequest::new(JobId(4), 4))
+            .unwrap();
+        ps.commit_reserve(&alloc, 100.0).unwrap();
+        ps.snapshot().unwrap();
+        drop(ps);
+
+        // The journal was truncated: everything must come from the snapshot.
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.records_replayed, 1, "only the snapshot marker");
+        assert_eq!(report.queued_jobs, 1);
+        assert_eq!(report.reserved_jobs, 1);
+        assert_eq!(ps2.queued()[&9].parents, vec![1, 3]);
+        assert_eq!(ps2.reserved()[&4].alloc.nodes.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn withdrawing_a_queued_job_is_journaled() {
+        let dir = tmpdir("withdraw");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        ps.commit_submit(JobId(2), 3, 10, vec![1]).unwrap();
+        assert!(ps.commit_release(JobId(2)).unwrap().is_none());
+        assert!(ps.queued().is_empty());
+        assert_eq!(ps.last_seq(), 2, "the withdrawal is a journaled event");
+        drop(ps);
+        let (_, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.queued_jobs, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicate_submit_on_replay_is_a_typed_conflict() {
+        let dir = tmpdir("dupsubmit");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        ps.commit_submit(JobId(2), 3, 10, vec![]).unwrap();
+        drop(ps);
+        let (mut j, _) = Journal::open(&dir.join(JOURNAL_FILE)).unwrap();
+        j.append(&Record {
+            seq: 2,
+            event: Event::Submit {
+                job: JobId(2),
+                size: 3,
+                bw_tenths: 10,
+                parents: vec![],
+            },
+        })
+        .unwrap();
+        drop(j);
+        match PersistentState::open(&dir, tree()) {
+            Err(PersistError::ReplayConflict { seq: 2, .. }) => {}
+            other => panic!("expected ReplayConflict at seq 2, got {other:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -18,6 +18,7 @@ use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use crate::{QueuedJob, ReservedJob};
 use jigsaw_core::Allocation;
 use jigsaw_topology::SystemState;
 use serde::{Deserialize, Serialize};
@@ -31,6 +32,12 @@ pub struct Snapshot {
     pub state: SystemState,
     /// Every live allocation, in ascending job-id order.
     pub live: Vec<Allocation>,
+    /// Durably submitted jobs still waiting on parents or resources, in
+    /// ascending job-id order (workload model v2; empty when unused).
+    pub queued: Vec<QueuedJob>,
+    /// Advance reservations whose resources are claimed in `state`, in
+    /// ascending job-id order (workload model v2; empty when unused).
+    pub reserved: Vec<ReservedJob>,
 }
 
 /// Directory of `snap-<seq>.json` files.
@@ -166,6 +173,8 @@ mod tests {
             last_seq,
             state: SystemState::new(FatTree::maximal(4).unwrap()),
             live: Vec::new(),
+            queued: Vec::new(),
+            reserved: Vec::new(),
         }
     }
 

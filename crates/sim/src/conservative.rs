@@ -35,7 +35,18 @@ pub(crate) struct ConservativePlan {
     pub start_now: Vec<usize>,
 }
 
-/// A fixed reservation: the job holds `alloc` during `[start, end)`.
+/// An immovable reservation the planner must schedule around: the job
+/// holds `alloc` during `[start, end)`. The engine seeds the plan with one
+/// per pending *advance* reservation (workload model v2, DESIGN §13), so
+/// conservative backfilling never hands reserved resources to queue
+/// traffic.
+pub(crate) struct FixedReservation {
+    pub(crate) start: f64,
+    pub(crate) end: f64,
+    pub(crate) alloc: Allocation,
+}
+
+/// A reservation the planner placed itself (same shape, internal).
 struct Reservation {
     start: f64,
     end: f64,
@@ -44,11 +55,13 @@ struct Reservation {
 
 /// Plan reservations for the first `depth` queued jobs. `queue` carries
 /// `(trace index, size, bw, effective runtime)` per waiting job in FIFO
-/// order.
+/// order; `fixed` carries advance reservations that pre-empt any slot the
+/// planner might otherwise hand out.
 pub(crate) fn plan(
     state: &SystemState,
     allocator: &dyn Allocator,
     running: &HashMap<u32, Running>,
+    fixed: &[FixedReservation],
     queue: &[(u32, u32, u16, f64)],
     now: f64,
     depth: usize,
@@ -60,7 +73,16 @@ pub(crate) fn plan(
         .collect();
     completions.sort_by(|a, b| a.0.total_cmp(&b.0));
 
-    let mut reservations: Vec<Reservation> = Vec::new();
+    // Advance reservations are planned first, before any queued job, so
+    // every slot handed out below respects them.
+    let mut reservations: Vec<Reservation> = fixed
+        .iter()
+        .map(|f| Reservation {
+            start: f.start,
+            end: f.end,
+            alloc: f.alloc.clone(),
+        })
+        .collect();
     let mut start_now = Vec::new();
 
     for (qi, &(idx, size, bw, runtime)) in queue.iter().enumerate().take(depth) {
@@ -85,7 +107,14 @@ pub(crate) fn plan(
                 }
             }
             for r in &reservations {
-                if r.start <= tau + 1e-12 && tau < r.end - 1e-12 {
+                // Adoption is guarded: a node still claimed at tau means a
+                // running job (per the estimates) outlives the
+                // reservation's start — only possible under estimate
+                // divergence; skipping keeps the scratch consistent.
+                if r.start <= tau + 1e-12
+                    && tau < r.end - 1e-12
+                    && r.alloc.nodes.iter().all(|&n| scratch.is_node_free(n))
+                {
                     salloc.adopt(&mut scratch, &r.alloc);
                 }
             }
@@ -136,7 +165,15 @@ mod tests {
             (1, 8, 10, 10.0),
             (2, 8, 10, 10.0),
         ];
-        let plan = plan(&state, alloc.as_ref(), &HashMap::new(), &queue, 0.0, 50);
+        let plan = plan(
+            &state,
+            alloc.as_ref(),
+            &HashMap::new(),
+            &[],
+            &queue,
+            0.0,
+            50,
+        );
         // First two fill the machine; the third reserves later.
         assert_eq!(plan.start_now, vec![0, 1]);
     }
@@ -165,7 +202,7 @@ mod tests {
             (1, 4, 10, 200.0),
             (2, 4, 10, 50.0),
         ];
-        let plan = plan(&state, alloc.as_ref(), &running, &queue, 0.0, 50);
+        let plan = plan(&state, alloc.as_ref(), &running, &[], &queue, 0.0, 50);
         assert!(
             !plan.start_now.contains(&1),
             "long filler would delay the head"
@@ -201,7 +238,7 @@ mod tests {
             (1, 16, 10, 10.0),
             (2, 4, 10, 1000.0),
         ];
-        let plan = plan(&state, alloc.as_ref(), &running, &queue, 0.0, 50);
+        let plan = plan(&state, alloc.as_ref(), &running, &[], &queue, 0.0, 50);
         assert!(plan.start_now.is_empty(), "{:?}", plan.start_now);
     }
 
@@ -209,7 +246,42 @@ mod tests {
     fn depth_limits_planning() {
         let (state, alloc) = setup();
         let queue = vec![(0u32, 16u32, 10u16, 10.0), (1, 1, 10, 1.0)];
-        let plan = plan(&state, alloc.as_ref(), &HashMap::new(), &queue, 0.0, 1);
+        let plan = plan(&state, alloc.as_ref(), &HashMap::new(), &[], &queue, 0.0, 1);
         assert_eq!(plan.start_now, vec![0]);
+    }
+
+    #[test]
+    fn fixed_reservations_preempt_queue_slots() {
+        // A whole-machine advance reservation over [100, 150): a queued job
+        // whose run would cross t=100 must not start now, even on an empty
+        // machine; one that finishes by 100 may.
+        let (mut state, mut alloc) = setup();
+        let reserved_alloc = alloc
+            .allocate(&mut state, &JobRequest::new(JobId(7), 16))
+            .unwrap();
+        alloc.release(&mut state, &reserved_alloc);
+        let fixed = vec![FixedReservation {
+            start: 100.0,
+            end: 150.0,
+            alloc: reserved_alloc,
+        }];
+        let queue = vec![(0u32, 4u32, 10u16, 500.0), (1, 4, 10, 50.0)];
+        let plan = plan(
+            &state,
+            alloc.as_ref(),
+            &HashMap::new(),
+            &fixed,
+            &queue,
+            0.0,
+            50,
+        );
+        assert!(
+            !plan.start_now.contains(&0),
+            "long job would overlap the advance reservation"
+        );
+        assert!(
+            plan.start_now.contains(&1),
+            "short job completes before the reserved window"
+        );
     }
 }

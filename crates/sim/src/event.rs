@@ -6,18 +6,42 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// What happens at an event time.
+/// What happens at an event time. All variants use named fields so call
+/// sites never depend on argument order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A job (by trace index) arrives in the queue.
-    Arrival(u32),
-    /// A running job (by trace index) completes. The epoch invalidates
-    /// stale completions of jobs that were killed and restarted.
-    Completion(u32, u32),
+    Arrival {
+        /// Trace index of the arriving job.
+        job: u32,
+    },
+    /// A running job completes. The epoch invalidates stale completions of
+    /// jobs that were killed and restarted.
+    Completion {
+        /// Trace index of the completing job.
+        job: u32,
+        /// Run epoch this completion belongs to.
+        epoch: u32,
+    },
+    /// A DAG child's last outstanding parent completed: the job becomes
+    /// schedulable (workload model v2, DESIGN §13).
+    Eligible {
+        /// Trace index of the newly eligible job.
+        job: u32,
+    },
+    /// An advance reservation's start time is reached: the job claims the
+    /// resources set aside for it.
+    ReservationStart {
+        /// Trace index of the reserved job.
+        job: u32,
+    },
     /// A random node fails (failure-injection model).
     Failure,
     /// A failed node (by id) comes back online.
-    Repair(u32),
+    Repair {
+        /// Node id returning to service.
+        node: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -104,32 +128,35 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(5.0, EventKind::Arrival(1));
-        q.push(1.0, EventKind::Completion(0, 0));
-        q.push(3.0, EventKind::Arrival(2));
+        q.push(5.0, EventKind::Arrival { job: 1 });
+        q.push(1.0, EventKind::Completion { job: 0, epoch: 0 });
+        q.push(3.0, EventKind::Arrival { job: 2 });
         assert_eq!(q.peek_time(), Some(1.0));
-        assert_eq!(q.pop().unwrap().1, EventKind::Completion(0, 0));
-        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(2));
-        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(1));
+        assert_eq!(
+            q.pop().unwrap().1,
+            EventKind::Completion { job: 0, epoch: 0 }
+        );
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival { job: 2 });
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival { job: 1 });
         assert!(q.pop().is_none());
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(2.0, EventKind::Arrival(10));
-        q.push(2.0, EventKind::Arrival(11));
-        q.push(2.0, EventKind::Completion(12, 0));
-        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(10));
-        assert_eq!(q.pop().unwrap().1, EventKind::Arrival(11));
-        assert_eq!(q.pop().unwrap().1, EventKind::Completion(12, 0));
+        q.push(2.0, EventKind::Arrival { job: 10 });
+        q.push(2.0, EventKind::Eligible { job: 11 });
+        q.push(2.0, EventKind::ReservationStart { job: 12 });
+        assert_eq!(q.pop().unwrap().1, EventKind::Arrival { job: 10 });
+        assert_eq!(q.pop().unwrap().1, EventKind::Eligible { job: 11 });
+        assert_eq!(q.pop().unwrap().1, EventKind::ReservationStart { job: 12 });
     }
 
     #[test]
     fn len_and_empty() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.push(1.0, EventKind::Arrival(0));
+        q.push(1.0, EventKind::Arrival { job: 0 });
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());

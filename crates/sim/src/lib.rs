@@ -16,17 +16,24 @@
 //!   (Fig. 7), makespan (Fig. 8), and scheduling time (Table 3).
 //! * **Extensions**: conservative backfilling, runtime-estimate error
 //!   models, and node-failure injection with kill-and-requeue.
+//! * **Workload model v2** (DESIGN §13): DAG jobs gated on parent
+//!   completions and advance reservations no backfill policy may delay,
+//!   expressed through [`jigsaw_traces::JobClass`].
+//!
+//! Runs are described with the [`Simulation`] builder:
 //!
 //! ```
 //! use jigsaw_core::Scheme;
-//! use jigsaw_sim::{simulate, Scenario, SimConfig};
+//! use jigsaw_sim::{Scenario, SimConfig, Simulation};
 //! use jigsaw_topology::FatTree;
 //! use jigsaw_traces::synth::synth;
 //!
 //! let tree = FatTree::maximal(16).unwrap();
 //! let trace = synth(16, 200, 42); // 200 exponential-size jobs
-//! let config = SimConfig { scenario: Scenario::Fixed(10), ..SimConfig::default() };
-//! let result = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &config);
+//! let result = Simulation::new(&tree, &trace)
+//!     .scheme(Scheme::Jigsaw)
+//!     .config(SimConfig { scenario: Scenario::Fixed(10), ..SimConfig::default() })
+//!     .run();
 //! assert!(result.utilization > 0.90, "Jigsaw sustains high utilization");
 //! assert_eq!(result.unschedulable, 0);
 //! ```
@@ -42,8 +49,7 @@ pub mod scenario;
 pub mod sweep;
 
 pub use engine::{
-    simulate, simulate_with_obs, BackfillPolicy, EstimateModel, FailureModel, SimConfig, SimObs,
-    SimResult,
+    BackfillPolicy, EstimateModel, FailureModel, SimConfig, SimObs, SimResult, Simulation,
 };
 pub use metrics::{InstUtilHistogram, JobRecord};
 pub use scenario::{ParseScenarioError, Scenario};

@@ -17,7 +17,7 @@
 //! scheduling scheme sees the *same* per-job speed-up — only whether it
 //! applies differs (Baseline never benefits).
 
-use jigsaw_traces::TraceJob;
+use jigsaw_traces::JobSpec;
 use serde::{Deserialize, Serialize};
 
 /// A job-performance scenario. See the module docs.
@@ -55,7 +55,7 @@ impl Scenario {
     }
 
     /// The speed-up percentage for `job` (deterministic given `seed`).
-    pub fn speedup_percent(&self, job: &TraceJob, seed: u64) -> f64 {
+    pub fn speedup_percent(&self, job: &JobSpec, seed: u64) -> f64 {
         match self {
             Scenario::None => 0.0,
             Scenario::Fixed(x) => {
@@ -86,7 +86,7 @@ impl Scenario {
     /// The runtime of `job` under this scenario. `benefits` is whether the
     /// scheduling scheme grants (near-)isolation — everything except
     /// Baseline.
-    pub fn runtime(&self, job: &TraceJob, seed: u64, benefits: bool) -> f64 {
+    pub fn runtime(&self, job: &JobSpec, seed: u64, benefits: bool) -> f64 {
         if !benefits {
             return job.runtime;
         }
@@ -173,26 +173,20 @@ fn splitmix64(mut x: u64) -> u64 {
 mod tests {
     use super::*;
 
-    fn job(id: u32, size: u32, runtime: f64) -> TraceJob {
-        TraceJob {
-            id,
-            arrival: 0.0,
-            size,
-            runtime,
-            bw_tenths: 10,
-        }
+    fn job(id: u32, arrival: f64, size: u32, runtime: f64) -> JobSpec {
+        JobSpec::rigid(id, arrival, size, runtime, 10)
     }
 
     #[test]
     fn none_never_speeds_up() {
-        let j = job(1, 500, 100.0);
+        let j = job(1, 3.0, 500, 100.0);
         assert_eq!(Scenario::None.runtime(&j, 1, true), 100.0);
     }
 
     #[test]
     fn fixed_respects_four_node_floor() {
-        let small = job(1, 4, 100.0);
-        let big = job(2, 5, 100.0);
+        let small = job(1, 1.5, 4, 100.0);
+        let big = job(2, 2.5, 5, 100.0);
         assert_eq!(Scenario::Fixed(10).speedup_percent(&small, 1), 0.0);
         assert_eq!(Scenario::Fixed(10).speedup_percent(&big, 1), 10.0);
         let rt = Scenario::Fixed(10).runtime(&big, 1, true);
@@ -201,22 +195,22 @@ mod tests {
 
     #[test]
     fn baseline_never_benefits() {
-        let j = job(1, 500, 100.0);
+        let j = job(1, 3.0, 500, 100.0);
         assert_eq!(Scenario::Fixed(20).runtime(&j, 1, false), 100.0);
     }
 
     #[test]
     fn random_only_above_64_nodes() {
         for id in 0..100 {
-            let small = job(id, 64, 100.0);
+            let small = job(id, 0.0, 64, 100.0);
             assert_eq!(Scenario::Random.speedup_percent(&small, 7), 0.0);
-            let big = job(id, 65, 100.0);
+            let big = job(id, 0.0, 65, 100.0);
             let pct = Scenario::Random.speedup_percent(&big, 7);
             assert!([0.0, 5.0, 15.0, 30.0].contains(&pct));
         }
         // All four outcomes occur across ids.
         let outcomes: std::collections::HashSet<u64> = (0..200)
-            .map(|id| Scenario::Random.speedup_percent(&job(id, 100, 1.0), 7) as u64)
+            .map(|id| Scenario::Random.speedup_percent(&job(id, 0.0, 100, 1.0), 7) as u64)
             .collect();
         assert_eq!(outcomes.len(), 4);
     }
@@ -224,12 +218,12 @@ mod tests {
     #[test]
     fn v2_scales_with_size_and_caps_at_30() {
         for id in 0..200 {
-            let j = job(id, 512, 100.0);
+            let j = job(id, 0.0, 512, 100.0);
             let pct = Scenario::V2.speedup_percent(&j, 3);
             assert!((0.0..=30.0).contains(&pct));
             // Linear scaling: a smaller job in the same bucket has
             // proportionally smaller speed-up.
-            let j_half = job(id, 128, 100.0);
+            let j_half = job(id, 0.0, 128, 100.0);
             let pct_half = Scenario::V2.speedup_percent(&j_half, 3);
             assert!((pct_half - pct * 0.5).abs() < 1e-9 || pct == 0.0);
         }
@@ -237,7 +231,7 @@ mod tests {
 
     #[test]
     fn deterministic_across_schemes() {
-        let j = job(42, 100, 100.0);
+        let j = job(42, 7.0, 100, 100.0);
         let a = Scenario::Random.speedup_percent(&j, 9);
         let b = Scenario::Random.speedup_percent(&j, 9);
         assert_eq!(a, b);

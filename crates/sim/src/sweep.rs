@@ -8,7 +8,7 @@
 //! regardless of worker count. A panicking cell surfaces as a
 //! [`SweepFailure`] naming the cell instead of unwinding through the caller.
 
-use crate::engine::{simulate, SimConfig, SimResult};
+use crate::engine::{SimConfig, SimResult, Simulation};
 use jigsaw_core::Scheme;
 use jigsaw_par::Pool;
 use jigsaw_topology::FatTree;
@@ -97,7 +97,10 @@ where
         (
             pi,
             scheme,
-            simulate(tree, scheme.make(tree), trace, &config),
+            Simulation::new(tree, trace)
+                .scheme(scheme)
+                .config(config)
+                .run(),
         )
     })
     .into_iter()

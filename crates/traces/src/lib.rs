@@ -15,6 +15,8 @@
 //!   drop in unchanged; [`swf::parse_swf_report`] reports skipped lines
 //!   instead of dropping them silently.
 //! * [`stats`] — per-trace summaries reproducing Table 1.
+//! * [`workload`] — workload-model-v2 generators: DAG pipelines, fork/join
+//!   fan-outs, and advance-reservation mixes (DESIGN §13).
 //!
 //! All generators are deterministic given a seed, and support scaling the
 //! job count (`scale < 1.0`) so the full experiment suite runs in minutes;
@@ -31,7 +33,8 @@ pub mod stats;
 pub mod swf;
 pub mod synth;
 pub mod trace;
+pub mod workload;
 
 pub use stats::{TraceAnalysis, TraceSummary};
 pub use swf::{parse_swf, parse_swf_report, SwfSkipReason, SwfSkipped};
-pub use trace::{Trace, TraceJob};
+pub use trace::{JobClass, JobSpec, Trace, TraceJob};

@@ -198,7 +198,7 @@ impl LlnlModel {
                 jobs[src].arrival = arrivals[slot];
             }
         }
-        Trace::new(self.name, self.system_nodes, jobs)
+        Trace::rigid(self.name, self.system_nodes, jobs)
     }
 }
 

@@ -146,7 +146,7 @@ pub fn parse_swf_report(
             bw_tenths: BW_CLASSES[(id as usize * 2654435761) % BW_CLASSES.len()],
         });
     }
-    (Trace::new(name, system_nodes, jobs), skipped)
+    (Trace::rigid(name, system_nodes, jobs), skipped)
 }
 
 /// Serialize a trace to SWF text (fields this pipeline does not track are
@@ -221,7 +221,7 @@ bogus line
     fn hand_written_fixture_roundtrips_exactly() {
         // A fixture written by hand (not derived from parse output): every
         // job must survive trace -> SWF text -> trace unchanged.
-        let original = Trace::new(
+        let original = Trace::rigid(
             "fixture",
             64,
             vec![

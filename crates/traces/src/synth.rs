@@ -44,7 +44,7 @@ pub fn synth(mean_size: u32, n_jobs: usize, seed: u64) -> Trace {
             }
         })
         .collect();
-    Trace::new(format!("Synth-{mean_size}"), 0, jobs)
+    Trace::rigid(format!("Synth-{mean_size}"), 0, jobs)
 }
 
 /// The paper's three synthetic traces at a scale factor (`1.0` = the full

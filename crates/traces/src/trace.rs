@@ -1,8 +1,17 @@
 //! The trace data model.
+//!
+//! Workload model v2 (DESIGN §13): a trace is a sequence of [`JobSpec`]s,
+//! each a rigid job plus a [`JobClass`] saying *when it may be scheduled* —
+//! immediately on arrival (`Rigid`), once all DAG parents complete
+//! (`DagChild`), or at a reserved start time (`Reserved`). [`TraceJob`] is
+//! the plain rigid record kept for SWF parsing and generators; it converts
+//! losslessly into a `JobSpec`.
 
 use serde::{Deserialize, Serialize};
 
-/// One job of a trace.
+/// One rigid job of a trace (the workload-model-v1 record). Still produced
+/// by the SWF parser and the synthetic generators; [`JobSpec`] generalizes
+/// it with a [`JobClass`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceJob {
     /// Sequential id within the trace.
@@ -18,6 +27,149 @@ pub struct TraceJob {
     pub bw_tenths: u16,
 }
 
+/// When a job becomes schedulable (workload model v2).
+///
+/// Serialized label-based, like [`Scenario`](https://docs.rs) and `Scheme`:
+/// `"rigid"` for the default, `{"dag": [parents...]}` for a DAG child and
+/// `{"reserved": start}` for an advance reservation — JSON traces read
+/// like workload descriptions, not enum internals. A missing/`null` class
+/// field reads as `Rigid`, so v1 trace files parse unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobClass {
+    /// Schedulable as soon as it arrives (the v1 behavior).
+    Rigid,
+    /// Becomes eligible only when all parent jobs complete. Parents are
+    /// trace indices (= post-sort job ids), each strictly smaller than the
+    /// child's own id — [`Trace::new`] drops any other reference, so DAGs
+    /// are acyclic by construction.
+    DagChild {
+        /// Trace indices of the parents.
+        parents: Vec<u32>,
+    },
+    /// Holds a reservation: the scheduler must start it at `start` (never
+    /// later), setting resources aside in advance.
+    Reserved {
+        /// Reserved start time, seconds (clamped up to the arrival).
+        start: f64,
+    },
+}
+
+impl Serialize for JobClass {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            JobClass::Rigid => serde::Value::Str("rigid".into()),
+            JobClass::DagChild { parents } => {
+                serde::Value::Object(vec![("dag".into(), parents.to_value())])
+            }
+            JobClass::Reserved { start } => {
+                serde::Value::Object(vec![("reserved".into(), start.to_value())])
+            }
+        }
+    }
+}
+
+impl Deserialize for JobClass {
+    fn from_value(v: &serde::Value) -> Result<JobClass, serde::DeError> {
+        match v {
+            // Missing `class` fields read as Null: v1 traces stay parseable.
+            serde::Value::Null => Ok(JobClass::Rigid),
+            serde::Value::Str(s) if s == "rigid" => Ok(JobClass::Rigid),
+            serde::Value::Object(_) => {
+                if let Some(p) = v.get("dag") {
+                    Ok(JobClass::DagChild {
+                        parents: Vec::<u32>::from_value(p)?,
+                    })
+                } else if let Some(s) = v.get("reserved") {
+                    Ok(JobClass::Reserved {
+                        start: f64::from_value(s)?,
+                    })
+                } else {
+                    Err(serde::DeError::expected(
+                        "job class object with a `dag` or `reserved` key",
+                    ))
+                }
+            }
+            _ => Err(serde::DeError::expected(
+                "\"rigid\", {\"dag\": [...]} or {\"reserved\": t}",
+            )),
+        }
+    }
+}
+
+/// One job of a trace: a rigid resource request plus the [`JobClass`]
+/// release rule. Generalizes [`TraceJob`] (workload model v2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Sequential id within the trace.
+    pub id: u32,
+    /// Arrival (submit) time in seconds.
+    pub arrival: f64,
+    /// Requested node count.
+    pub size: u32,
+    /// Runtime in seconds under Baseline scheduling.
+    pub runtime: f64,
+    /// LC+S bandwidth class, tenths of GB/s.
+    pub bw_tenths: u16,
+    /// When the job becomes schedulable.
+    pub class: JobClass,
+}
+
+impl JobSpec {
+    /// A rigid job (the v1 shape).
+    pub fn rigid(id: u32, arrival: f64, size: u32, runtime: f64, bw_tenths: u16) -> JobSpec {
+        JobSpec {
+            id,
+            arrival,
+            size,
+            runtime,
+            bw_tenths,
+            class: JobClass::Rigid,
+        }
+    }
+
+    /// Make this job a DAG child of `parents` (input-vector positions;
+    /// remapped to sorted trace indices by [`Trace::new`]).
+    #[must_use]
+    pub fn with_parents(mut self, parents: Vec<u32>) -> JobSpec {
+        self.class = JobClass::DagChild { parents };
+        self
+    }
+
+    /// Make this job an advance reservation starting at `start`.
+    #[must_use]
+    pub fn reserved_at(mut self, start: f64) -> JobSpec {
+        self.class = JobClass::Reserved { start };
+        self
+    }
+
+    /// `true` for DAG children.
+    pub fn is_dag_child(&self) -> bool {
+        matches!(self.class, JobClass::DagChild { .. })
+    }
+
+    /// The reserved start time, if this is a reservation.
+    pub fn reserved_start(&self) -> Option<f64> {
+        match self.class {
+            JobClass::Reserved { start } => Some(start.max(self.arrival)),
+            _ => None,
+        }
+    }
+
+    /// The DAG parents (empty for non-DAG jobs).
+    pub fn parents(&self) -> &[u32] {
+        match &self.class {
+            JobClass::DagChild { parents } => parents,
+            _ => &[],
+        }
+    }
+}
+
+impl From<TraceJob> for JobSpec {
+    fn from(j: TraceJob) -> JobSpec {
+        JobSpec::rigid(j.id, j.arrival, j.size, j.runtime, j.bw_tenths)
+    }
+}
+
 /// A job-queue trace plus the system it was recorded on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
@@ -26,21 +178,56 @@ pub struct Trace {
     /// Node count of the originating system (Table 1, "System nodes").
     pub system_nodes: u32,
     /// The jobs, sorted by arrival time.
-    pub jobs: Vec<TraceJob>,
+    pub jobs: Vec<JobSpec>,
 }
 
 impl Trace {
     /// Construct, sorting jobs by arrival and reassigning sequential ids.
-    pub fn new(name: impl Into<String>, system_nodes: u32, mut jobs: Vec<TraceJob>) -> Self {
-        jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+    ///
+    /// DAG parent references name positions in the *input* vector; they are
+    /// remapped through the sort to the final trace indices. References
+    /// that are out of range, self-referential, or would point at a job
+    /// sorted *after* the child are dropped, so every surviving DAG edge
+    /// goes from a smaller index to a larger one — acyclic by construction
+    /// and safe for the simulator's eligibility counting.
+    pub fn new(name: impl Into<String>, system_nodes: u32, jobs: Vec<JobSpec>) -> Self {
+        let mut decorated: Vec<(usize, JobSpec)> = jobs.into_iter().enumerate().collect();
+        decorated.sort_by(|a, b| a.1.arrival.total_cmp(&b.1.arrival));
+        // old input position -> new sorted index.
+        let mut new_index = vec![0u32; decorated.len()];
+        for (new_i, (old_i, _)) in decorated.iter().enumerate() {
+            new_index[*old_i] = crate::cast::count_u32(new_i);
+        }
+        let mut jobs: Vec<JobSpec> = decorated.into_iter().map(|(_, j)| j).collect();
         for (i, job) in jobs.iter_mut().enumerate() {
-            job.id = crate::cast::count_u32(i);
+            let id = crate::cast::count_u32(i);
+            job.id = id;
+            if let JobClass::DagChild { parents } = &mut job.class {
+                let mut remapped: Vec<u32> = parents
+                    .iter()
+                    .filter_map(|&p| new_index.get(p as usize).copied())
+                    .filter(|&p| p < id)
+                    .collect();
+                remapped.sort_unstable();
+                remapped.dedup();
+                *parents = remapped;
+            }
         }
         Trace {
             name: name.into(),
             system_nodes,
             jobs,
         }
+    }
+
+    /// Construct from rigid v1 jobs (generators, SWF): every job gets
+    /// [`JobClass::Rigid`].
+    pub fn rigid(name: impl Into<String>, system_nodes: u32, jobs: Vec<TraceJob>) -> Self {
+        Trace::new(
+            name,
+            system_nodes,
+            jobs.into_iter().map(JobSpec::from).collect(),
+        )
     }
 
     /// Number of jobs.
@@ -78,26 +265,36 @@ impl Trace {
         self.jobs.iter().any(|j| j.arrival > 0.0)
     }
 
+    /// `true` iff any job is a DAG child or an advance reservation.
+    pub fn has_workload_v2(&self) -> bool {
+        self.jobs.iter().any(|j| j.class != JobClass::Rigid)
+    }
+
     /// Total demanded node-seconds (`Σ size · runtime`).
     pub fn total_node_seconds(&self) -> f64 {
         self.jobs.iter().map(|j| j.size as f64 * j.runtime).sum()
     }
 
     /// Keep only the first `n` jobs (by arrival order). Used to scale
-    /// experiments down; documented wherever applied.
+    /// experiments down; documented wherever applied. DAG parents always
+    /// precede their children, so truncation never leaves a dangling edge.
     pub fn truncated(&self, n: usize) -> Trace {
         Trace {
             name: self.name.clone(),
             system_nodes: self.system_nodes,
-            jobs: self.jobs.iter().take(n).copied().collect(),
+            jobs: self.jobs.iter().take(n).cloned().collect(),
         }
     }
 
     /// Multiply all arrival times by `factor` (the paper scales Aug-Cab and
-    /// Nov-Cab arrivals by 0.5 to raise load).
+    /// Nov-Cab arrivals by 0.5 to raise load). Reserved start times scale
+    /// with their arrivals so the lead time stays proportional.
     pub fn scale_arrivals(&mut self, factor: f64) {
         for j in &mut self.jobs {
             j.arrival *= factor;
+            if let JobClass::Reserved { start } = &mut j.class {
+                *start *= factor;
+            }
         }
     }
 }
@@ -106,14 +303,8 @@ impl Trace {
 mod tests {
     use super::*;
 
-    fn job(arrival: f64, size: u32, runtime: f64) -> TraceJob {
-        TraceJob {
-            id: 0,
-            arrival,
-            size,
-            runtime,
-            bw_tenths: 10,
-        }
+    fn job(arrival: f64, size: u32, runtime: f64) -> JobSpec {
+        JobSpec::rigid(0, arrival, size, runtime, 10)
     }
 
     #[test]
@@ -131,6 +322,7 @@ mod tests {
         assert_eq!(t.max_size(), 9);
         assert_eq!(t.runtime_range(), (10.0, 20.0));
         assert!(!t.has_arrival_times());
+        assert!(!t.has_workload_v2());
         assert_eq!(t.total_node_seconds(), 2.0 * 10.0 + 9.0 * 20.0);
     }
 
@@ -149,5 +341,102 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.max_size(), 0);
         assert_eq!(t.runtime_range(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn rigid_constructor_matches_v1() {
+        let v1 = vec![TraceJob {
+            id: 7,
+            arrival: 3.0,
+            size: 4,
+            runtime: 10.0,
+            bw_tenths: 15,
+        }];
+        let t = Trace::rigid("t", 64, v1);
+        assert_eq!(t.jobs[0].id, 0, "ids are reassigned");
+        assert_eq!(t.jobs[0].class, JobClass::Rigid);
+        assert_eq!(t.jobs[0].bw_tenths, 15);
+    }
+
+    #[test]
+    fn parent_indices_are_remapped_through_the_sort() {
+        // Input: child at position 0 (arrives late, parent = position 1),
+        // parent at position 1 (arrives first). After sorting the parent is
+        // index 0 and the child index 1 with parents [0].
+        let t = Trace::new(
+            "t",
+            64,
+            vec![job(5.0, 2, 10.0).with_parents(vec![1]), job(1.0, 4, 20.0)],
+        );
+        assert_eq!(t.jobs[1].parents(), &[0]);
+        assert!(t.has_workload_v2());
+    }
+
+    #[test]
+    fn bogus_parent_references_are_dropped() {
+        // Self reference, out-of-range reference, and a forward reference
+        // (parent arrives later) are all dropped; duplicates collapse.
+        let t = Trace::new(
+            "t",
+            64,
+            vec![
+                job(0.0, 2, 10.0).with_parents(vec![0, 99, 1, 2, 2]),
+                job(0.0, 2, 10.0),
+                job(9.0, 2, 10.0),
+            ],
+        );
+        assert_eq!(t.jobs[0].parents(), &[] as &[u32], "0 sorts first");
+        // A valid edge in arrival order survives.
+        let t2 = Trace::new(
+            "t2",
+            64,
+            vec![job(0.0, 2, 10.0), job(1.0, 2, 10.0).with_parents(vec![0])],
+        );
+        assert_eq!(t2.jobs[1].parents(), &[0]);
+    }
+
+    #[test]
+    fn reserved_start_clamps_to_arrival() {
+        let j = job(10.0, 2, 5.0).reserved_at(4.0);
+        assert_eq!(j.reserved_start(), Some(10.0));
+        let j2 = job(10.0, 2, 5.0).reserved_at(40.0);
+        assert_eq!(j2.reserved_start(), Some(40.0));
+        assert_eq!(job(0.0, 1, 1.0).reserved_start(), None);
+    }
+
+    #[test]
+    fn job_class_serde_is_label_based() {
+        use serde::{Deserialize, Serialize, Value};
+        assert_eq!(JobClass::Rigid.to_value(), Value::Str("rigid".into()));
+        let dag = JobClass::DagChild {
+            parents: vec![1, 2],
+        };
+        let v = dag.to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![(
+                "dag".into(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+            )])
+        );
+        assert_eq!(JobClass::from_value(&v).unwrap(), dag);
+        let res = JobClass::Reserved { start: 30.5 };
+        assert_eq!(JobClass::from_value(&res.to_value()).unwrap(), res);
+        // v1 back-compat: a missing class field reads as Rigid.
+        assert_eq!(JobClass::from_value(&Value::Null).unwrap(), JobClass::Rigid);
+        assert!(JobClass::from_value(&Value::Str("dag".into())).is_err());
+    }
+
+    #[test]
+    fn job_spec_serde_round_trips() {
+        use serde::{Deserialize, Serialize};
+        let jobs = vec![
+            job(0.0, 4, 10.0),
+            job(1.0, 2, 5.0).with_parents(vec![0]),
+            job(2.0, 8, 20.0).reserved_at(50.0),
+        ];
+        let t = Trace::new("rt", 64, jobs);
+        let v = t.to_value();
+        assert_eq!(Trace::from_value(&v).unwrap(), t);
     }
 }

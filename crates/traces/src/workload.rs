@@ -1,0 +1,187 @@
+//! Workload-model-v2 trace generators: DAG-structured jobs and advance
+//! reservations (DESIGN §13).
+//!
+//! Three scenario families the paper never evaluated:
+//!
+//! * [`dag_pipeline`] — chains of dependent stages (`a → b → c → d`), the
+//!   shape of checkpoint/restart and multi-stage simulation campaigns;
+//! * [`dag_fanout`] — fork/join groups (one root, a fan of children, one
+//!   join), the shape of parameter sweeps with a reduction step;
+//! * [`reserved_mix`] — a rigid background load with a fraction of
+//!   advance reservations holding fixed start times.
+//!
+//! Sizes and runtimes follow the synthetic-trace conventions of §5.1
+//! (exponential sizes clamped at `mean × 8.625`, uniform runtimes in
+//! [20, 3000) s), but arrivals are *staggered* — an exponential arrival
+//! process rather than arrive-at-once — because dependency and reservation
+//! structure is only meaningful on a timeline. All generators are
+//! deterministic given a seed.
+
+use crate::cast::sat_round_u32;
+use crate::distr::{exponential, uniform};
+use crate::synth::random_bw_class;
+use crate::trace::{JobSpec, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mean inter-arrival gap between independent work units, seconds. Keeps
+/// the machine backlogged at the default scales while spreading arrivals
+/// over a real timeline.
+const MEAN_ARRIVAL_GAP: f64 = 40.0;
+
+/// Stages per pipeline chain.
+const PIPELINE_DEPTH: usize = 4;
+
+/// Children per fan-out group (root + children + join = 6 jobs).
+const FANOUT_WIDTH: usize = 4;
+
+/// One advance reservation per this many jobs in [`reserved_mix`].
+const RESERVED_EVERY: usize = 5;
+
+fn sized_job(rng: &mut StdRng, mean_size: u32, arrival: f64) -> JobSpec {
+    let max_size = sat_round_u32(f64::from(mean_size) * 8.625);
+    let size = sat_round_u32(exponential(rng, f64::from(mean_size))).clamp(1, max_size);
+    let runtime = uniform(rng, 20.0, 3000.0);
+    JobSpec::rigid(0, arrival, size, runtime, random_bw_class(rng))
+}
+
+/// `n_jobs` jobs arranged in pipelines of `PIPELINE_DEPTH` (4) dependent
+/// stages: stage `k+1` lists stage `k` as its DAG parent. Chain starts
+/// follow an exponential arrival process; stages arrive one second apart
+/// (eligibility is gated by parent completion, not arrival).
+pub fn dag_pipeline(mean_size: u32, n_jobs: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA61);
+    let mut jobs: Vec<JobSpec> = Vec::with_capacity(n_jobs);
+    let mut chain_start = 0.0f64;
+    while jobs.len() < n_jobs {
+        chain_start += exponential(&mut rng, MEAN_ARRIVAL_GAP);
+        let mut prev: Option<u32> = None;
+        for stage in 0..PIPELINE_DEPTH {
+            if jobs.len() >= n_jobs {
+                break;
+            }
+            let arrival = chain_start + stage as f64;
+            let mut job = sized_job(&mut rng, mean_size, arrival);
+            if let Some(p) = prev {
+                job = job.with_parents(vec![p]);
+            }
+            prev = Some(crate::cast::count_u32(jobs.len()));
+            jobs.push(job);
+        }
+    }
+    Trace::new(format!("dag_pipeline-{mean_size}"), 0, jobs)
+}
+
+/// `n_jobs` jobs arranged in fork/join groups: one root, `FANOUT_WIDTH` (4)
+/// children depending on the root, and a join job depending on every
+/// child. Group starts follow an exponential arrival process.
+pub fn dag_fanout(mean_size: u32, n_jobs: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA62);
+    let mut jobs: Vec<JobSpec> = Vec::with_capacity(n_jobs);
+    let mut group_start = 0.0f64;
+    while jobs.len() < n_jobs {
+        group_start += exponential(&mut rng, MEAN_ARRIVAL_GAP);
+        let root_pos = crate::cast::count_u32(jobs.len());
+        jobs.push(sized_job(&mut rng, mean_size, group_start));
+        let mut child_positions = Vec::with_capacity(FANOUT_WIDTH);
+        for c in 0..FANOUT_WIDTH {
+            if jobs.len() >= n_jobs {
+                break;
+            }
+            child_positions.push(crate::cast::count_u32(jobs.len()));
+            jobs.push(
+                sized_job(&mut rng, mean_size, group_start + 1.0 + c as f64)
+                    .with_parents(vec![root_pos]),
+            );
+        }
+        if !child_positions.is_empty() && jobs.len() < n_jobs {
+            jobs.push(
+                sized_job(&mut rng, mean_size, group_start + 2.0 + FANOUT_WIDTH as f64)
+                    .with_parents(child_positions),
+            );
+        }
+    }
+    Trace::new(format!("dag_fanout-{mean_size}"), 0, jobs)
+}
+
+/// `n_jobs` independent jobs on an exponential arrival process, with every
+/// `RESERVED_EVERY`-th (5th) job holding an advance reservation: a fixed start
+/// time 300–3000 s after its submission that backfilling must not delay.
+pub fn reserved_mix(mean_size: u32, n_jobs: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E5E);
+    let mut jobs: Vec<JobSpec> = Vec::with_capacity(n_jobs);
+    let mut arrival = 0.0f64;
+    for i in 0..n_jobs {
+        arrival += exponential(&mut rng, MEAN_ARRIVAL_GAP);
+        let mut job = sized_job(&mut rng, mean_size, arrival);
+        if i % RESERVED_EVERY == RESERVED_EVERY - 1 {
+            let lead = uniform(&mut rng, 300.0, 3000.0);
+            job = job.reserved_at(arrival + lead);
+        }
+        jobs.push(job);
+    }
+    Trace::new(format!("reserved_mix-{mean_size}"), 0, jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::JobClass;
+
+    #[test]
+    fn pipeline_edges_point_backwards_and_survive_sorting() {
+        let t = dag_pipeline(16, 200, 7);
+        assert_eq!(t.len(), 200);
+        assert!(t.has_workload_v2());
+        assert!(t.has_arrival_times(), "arrivals must not collapse to zero");
+        let mut edges = 0;
+        for j in &t.jobs {
+            for &p in j.parents() {
+                assert!(p < j.id, "DAG edges go earlier → later");
+                edges += 1;
+            }
+        }
+        assert!(edges >= 100, "most stages carry a parent edge ({edges})");
+    }
+
+    #[test]
+    fn fanout_groups_fork_and_join() {
+        let t = dag_fanout(16, 120, 3);
+        assert_eq!(t.len(), 120);
+        // Some join jobs depend on a full fan of children.
+        let wide_joins = t
+            .jobs
+            .iter()
+            .filter(|j| j.parents().len() == FANOUT_WIDTH)
+            .count();
+        assert!(wide_joins > 0, "join jobs must survive the sort");
+        for j in &t.jobs {
+            for &p in j.parents() {
+                assert!(p < j.id);
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_mix_has_future_start_times() {
+        let t = reserved_mix(16, 100, 11);
+        let reserved: Vec<_> = t
+            .jobs
+            .iter()
+            .filter_map(|j| j.reserved_start().map(|s| (j.arrival, s)))
+            .collect();
+        assert_eq!(reserved.len(), 100 / RESERVED_EVERY);
+        for (arrival, start) in reserved {
+            assert!(start >= arrival + 300.0 - 1e-9, "lead time holds");
+        }
+        assert!(t.jobs.iter().any(|j| j.class == JobClass::Rigid));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(dag_pipeline(16, 50, 9), dag_pipeline(16, 50, 9));
+        assert_ne!(dag_pipeline(16, 50, 9), dag_pipeline(16, 50, 10));
+        assert_eq!(dag_fanout(16, 50, 9), dag_fanout(16, 50, 9));
+        assert_eq!(reserved_mix(16, 50, 9), reserved_mix(16, 50, 9));
+    }
+}

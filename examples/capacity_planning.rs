@@ -25,12 +25,7 @@ fn main() {
         let trace = synth(mean, 600, radix as u64);
 
         let t0 = Instant::now();
-        let result = simulate(
-            &tree,
-            Scheme::Jigsaw.make(&tree),
-            &trace,
-            &SimConfig::default(),
-        );
+        let result = Simulation::new(&tree, &trace).scheme(Scheme::Jigsaw).run();
         let _elapsed = t0.elapsed();
 
         println!(

@@ -50,7 +50,10 @@ fn main() {
         } else {
             &config_iso
         };
-        let result = simulate(&tree, kind.make(&tree), &trace, config);
+        let result = Simulation::new(&tree, &trace)
+            .scheme(kind)
+            .config(config.clone())
+            .run();
         if kind == Scheme::Baseline {
             baseline_turnaround = result.avg_turnaround();
         }

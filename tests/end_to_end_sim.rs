@@ -14,7 +14,10 @@ fn run_all(tree: &FatTree, trace: &Trace, config: &SimConfig) -> HashMap<Scheme,
                 scheme_benefits: kind != Scheme::Baseline,
                 ..config.clone()
             };
-            (kind, simulate(tree, kind.make(tree), trace, &cfg))
+            (
+                kind,
+                Simulation::new(tree, trace).scheme(kind).config(cfg).run(),
+            )
         })
         .collect()
 }
@@ -62,12 +65,7 @@ fn utilization_ordering_matches_figure6() {
 fn laas_internal_fragmentation_visible() {
     let tree = FatTree::maximal(16).unwrap();
     let trace = synth(16, 600, 7);
-    let r = simulate(
-        &tree,
-        Scheme::Laas.make(&tree),
-        &trace,
-        &SimConfig::default(),
-    );
+    let r = Simulation::new(&tree, &trace).scheme(Scheme::Laas).run();
     let wasted: u64 = r
         .jobs
         .iter()
@@ -97,8 +95,14 @@ fn speedup_scenarios_help_isolating_schemes() {
         scenario: Scenario::Fixed(20),
         ..SimConfig::default()
     };
-    let r_none = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &none);
-    let r_20 = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &twenty);
+    let r_none = Simulation::new(&tree, &trace)
+        .scheme(Scheme::Jigsaw)
+        .config(none.clone())
+        .run();
+    let r_20 = Simulation::new(&tree, &trace)
+        .scheme(Scheme::Jigsaw)
+        .config(twenty.clone())
+        .run();
     assert!(
         r_20.makespan < r_none.makespan,
         "20% speed-ups must shorten the makespan: {} vs {}",
@@ -115,8 +119,14 @@ fn speedup_scenarios_help_isolating_schemes() {
         scheme_benefits: false,
         ..twenty
     };
-    let rb_none = simulate(&tree, Scheme::Baseline.make(&tree), &trace, &b_none);
-    let rb_20 = simulate(&tree, Scheme::Baseline.make(&tree), &trace, &b_20);
+    let rb_none = Simulation::new(&tree, &trace)
+        .scheme(Scheme::Baseline)
+        .config(b_none)
+        .run();
+    let rb_20 = Simulation::new(&tree, &trace)
+        .scheme(Scheme::Baseline)
+        .config(b_20)
+        .run();
     assert_eq!(rb_none.makespan, rb_20.makespan);
 }
 
@@ -125,12 +135,7 @@ fn cab_like_arrivals_flow_through() {
     let tree = FatTree::maximal(18).unwrap(); // the paper's 1458-node cluster
     let trace = cab_model(CabMonth::Aug).generate(0.01, 3);
     assert!(trace.has_arrival_times());
-    let r = simulate(
-        &tree,
-        Scheme::Jigsaw.make(&tree),
-        &trace,
-        &SimConfig::default(),
-    );
+    let r = Simulation::new(&tree, &trace).scheme(Scheme::Jigsaw).run();
     let scheduled = r.jobs.iter().filter(|j| j.scheduled()).count();
     assert_eq!(scheduled as u32 + r.unschedulable, trace.len() as u32);
     assert_eq!(r.unschedulable, 0, "all Cab jobs fit a 1458-node machine");
@@ -150,7 +155,10 @@ fn atlas_whole_machine_jobs_complete_everywhere() {
             scheme_benefits: kind != Scheme::Baseline,
             ..SimConfig::default()
         };
-        let r = simulate(&tree, kind.make(&tree), &trace, &cfg);
+        let r = Simulation::new(&tree, &trace)
+            .scheme(kind)
+            .config(cfg)
+            .run();
         let whole = r.jobs.iter().find(|j| j.size == 1024).unwrap();
         assert!(
             whole.scheduled(),
@@ -168,8 +176,14 @@ fn backfilling_improves_turnaround() {
         backfill_window: 0,
         ..SimConfig::default()
     };
-    let r_with = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &with);
-    let r_without = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &without);
+    let r_with = Simulation::new(&tree, &trace)
+        .scheme(Scheme::Jigsaw)
+        .config(with)
+        .run();
+    let r_without = Simulation::new(&tree, &trace)
+        .scheme(Scheme::Jigsaw)
+        .config(without)
+        .run();
     assert!(
         r_with.avg_turnaround() < r_without.avg_turnaround(),
         "EASY backfilling must reduce average turnaround ({} vs {})",
@@ -187,8 +201,14 @@ fn table2_histogram_shape() {
         collect_inst_util: true,
         ..SimConfig::default()
     };
-    let jig = simulate(&tree, Scheme::Jigsaw.make(&tree), &trace, &cfg);
-    let ta = simulate(&tree, Scheme::Ta.make(&tree), &trace, &cfg);
+    let jig = Simulation::new(&tree, &trace)
+        .scheme(Scheme::Jigsaw)
+        .config(cfg.clone())
+        .run();
+    let ta = Simulation::new(&tree, &trace)
+        .scheme(Scheme::Ta)
+        .config(cfg)
+        .run();
     assert!(jig.inst_util.total() > 0);
     let jig_high = jig.inst_util.fraction(0) + jig.inst_util.fraction(1);
     let ta_high = ta.inst_util.fraction(0) + ta.inst_util.fraction(1);

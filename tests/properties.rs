@@ -131,13 +131,107 @@ proptest! {
             .filter(|j| j.size <= 16)
             .map(|j| j.runtime)
             .fold(0.0f64, f64::max);
-        let trace = Trace::new("prop", 16, jobs);
-        let r = simulate(&tree, kind.make(&tree), &trace, &SimConfig::default());
+        let trace = Trace::rigid("prop", 16, jobs);
+        let r = Simulation::new(&tree, &trace).scheme(kind).run();
         prop_assert!(r.utilization >= 0.0 && r.utilization <= 1.0 + 1e-9);
         if longest > 0.0 && r.jobs.iter().any(|j| j.scheduled()) {
             prop_assert!(r.makespan + 1e-9 >= longest * 0.999 || kind == Scheme::Ta
                 || kind == Scheme::Laas,
                 "makespan {} shorter than longest schedulable job {longest}", r.makespan);
+        }
+    }
+
+    /// Workload model v2: no DAG child ever starts before all of its
+    /// parents complete, for random DAGs, seeds, and every scheme.
+    #[test]
+    fn dag_children_never_start_before_their_parents(
+        batch in prop::collection::vec((1u32..=8, 1u64..=40, prop::collection::vec(0usize..64, 0..3)), 2..20),
+        kind_idx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let tree = FatTree::maximal(4).unwrap(); // 16 nodes
+        let kind = Scheme::ALL[kind_idx];
+        let jobs: Vec<JobSpec> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, (size, runtime, parent_picks))| {
+                // Arrivals stagger with the seed; parents are sampled from
+                // strictly earlier indices, so the DAG is acyclic.
+                let arrival = (i as f64) * ((seed % 7) as f64);
+                let spec = JobSpec::rigid(i as u32, arrival, *size, *runtime as f64, 10);
+                if i == 0 || parent_picks.is_empty() {
+                    spec
+                } else {
+                    let parents: Vec<u32> =
+                        parent_picks.iter().map(|p| (p % i) as u32).collect();
+                    spec.with_parents(parents)
+                }
+            })
+            .collect();
+        let trace = Trace::new("prop-dag", 16, jobs);
+        let r = Simulation::new(&tree, &trace).scheme(kind).run();
+        for (i, spec) in trace.jobs.iter().enumerate() {
+            let child = &r.jobs[i];
+            if !child.start.is_finite() {
+                continue; // never placed
+            }
+            for &p in spec.parents() {
+                let parent = &r.jobs[p as usize];
+                prop_assert!(
+                    parent.end.is_finite() && child.start >= parent.end - 1e-9,
+                    "{kind}: job {i} started at {} before parent {p} finished at {}",
+                    child.start,
+                    parent.end
+                );
+            }
+        }
+    }
+
+    /// Workload model v2: when every reservation is honored
+    /// (`reservations_missed == 0`), no reserved job starts after its
+    /// reserved start time — under either backfill policy.
+    #[test]
+    fn reserved_jobs_are_never_late(
+        batch in prop::collection::vec((1u32..=8, 1u64..=40), 2..16),
+        kind_idx in 0usize..5,
+        easy in any::<bool>(),
+    ) {
+        let tree = FatTree::maximal(4).unwrap();
+        let kind = Scheme::ALL[kind_idx];
+        let jobs: Vec<JobSpec> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, (size, runtime))| {
+                let spec = JobSpec::rigid(i as u32, i as f64, *size, *runtime as f64, 10);
+                // Every third job reserves a start well past the queue.
+                if i % 3 == 2 {
+                    spec.reserved_at(200.0 + (i as f64) * 50.0)
+                } else {
+                    spec
+                }
+            })
+            .collect();
+        let trace = Trace::new("prop-reserved", 16, jobs);
+        let policy = if easy {
+            jigsaw::sim::BackfillPolicy::Easy
+        } else {
+            jigsaw::sim::BackfillPolicy::Conservative
+        };
+        let config = SimConfig { policy, ..SimConfig::default() };
+        let r = Simulation::new(&tree, &trace).scheme(kind).config(config).run();
+        if r.reservations_missed != 0 {
+            return; // only honored runs carry the guarantee
+        }
+        for (i, spec) in trace.jobs.iter().enumerate() {
+            let Some(start) = spec.reserved_start() else { continue };
+            let rec = &r.jobs[i];
+            if rec.start.is_finite() {
+                prop_assert!(
+                    rec.start <= start + 1e-9,
+                    "{kind}: reserved job {i} started at {} after its reserved start {start}",
+                    rec.start
+                );
+            }
         }
     }
 

@@ -10,7 +10,11 @@ fn utilization(kind: Scheme, trace: &Trace, tree: &FatTree) -> f64 {
         scheme_benefits: kind != Scheme::Baseline,
         ..SimConfig::default()
     };
-    simulate(tree, kind.make(tree), trace, &cfg).utilization
+    Simulation::new(tree, trace)
+        .scheme(kind)
+        .config(cfg)
+        .run()
+        .utilization
 }
 
 #[test]

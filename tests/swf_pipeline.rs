@@ -18,8 +18,8 @@ fn swf_roundtrip_preserves_simulation() {
     }
 
     for kind in [Scheme::Baseline, Scheme::Jigsaw, Scheme::Laas] {
-        let r1 = simulate(&tree, kind.make(&tree), &original, &SimConfig::default());
-        let r2 = simulate(&tree, kind.make(&tree), &reparsed, &SimConfig::default());
+        let r1 = Simulation::new(&tree, &original).scheme(kind).run();
+        let r2 = Simulation::new(&tree, &reparsed).scheme(kind).run();
         assert_eq!(r1.jobs.len(), r2.jobs.len());
         assert!(
             (r1.utilization - r2.utilization).abs() < 1e-9,
@@ -39,7 +39,7 @@ fn swf_comments_and_garbage_tolerated() {
     let t = parse_swf("mini", 16, text, 1);
     assert_eq!(t.len(), 1);
     let tree = FatTree::maximal(4).unwrap();
-    let r = simulate(&tree, Scheme::Jigsaw.make(&tree), &t, &SimConfig::default());
+    let r = Simulation::new(&tree, &t).scheme(Scheme::Jigsaw).run();
     assert!(r.jobs[0].scheduled());
     assert_eq!(r.jobs[0].end, 100.0);
 }
