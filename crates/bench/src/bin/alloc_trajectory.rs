@@ -1,0 +1,242 @@
+//! The allocation-latency perf trajectory: per-radix, per-scenario p50/p99
+//! of a single Jigsaw `allocate` call, committed as `BENCH_alloc.json` so
+//! every PR's speedup or regression is visible in the bench record.
+//!
+//! Radixes 10 (250 nodes) and 22 (2662 nodes) bracket the original
+//! acceptance criterion; radix 28 (5488 nodes) is the target the word-
+//! parallel masks and the zero-alloc scratch arena aim at: fragmented90
+//! single-allocation p50 in single-digit microseconds. Scenarios come from
+//! [`jigsaw_bench::scenarios`] (shared with the `alloc_hot_path` Criterion
+//! bench). Alongside wall-clock quantiles every cell records the scheme's
+//! mean backtracking steps — the machine-independent effort metric of
+//! Table 3 — so deterministic search regressions show up even under CI
+//! timing noise.
+//!
+//! ```text
+//! cargo run --release -p jigsaw-bench --bin alloc_trajectory
+//!     [--smoke] [--iters N] [--out PATH]
+//!     [--floor PATH] [--max-regression F]
+//! ```
+//!
+//! With `--floor` the run re-reads a committed `BENCH_alloc.json` and exits
+//! non-zero if any cell's fresh p50 exceeds the committed p50 by more than
+//! `--max-regression` (default 4.0 — conservative for shared CI runners),
+//! mirroring the `serve_saturation --min-speedup` gate.
+
+use jigsaw_bench::scenarios::{scenario, SCENARIOS};
+use jigsaw_core::Scheme;
+use jigsaw_topology::FatTree;
+use serde::Deserialize;
+use std::time::Instant;
+
+const RADIXES: [u32; 3] = [10, 22, 28];
+
+struct Args {
+    iters: usize,
+    out: String,
+    floor: Option<String>,
+    max_regression: f64,
+}
+
+struct Cell {
+    radix: u32,
+    scenario: &'static str,
+    grants: usize,
+    p50_ns: u64,
+    p99_ns: u64,
+    mean_steps: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        iters: 4000,
+        out: "BENCH_alloc.json".to_string(),
+        floor: None,
+        max_regression: 4.0,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => args.iters = 300,
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--floor" => args.floor = Some(value("--floor")?),
+            "--max-regression" => {
+                args.max_regression = value("--max-regression")?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag `{other}` (see source header for usage)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Measure one (radix, scenario) cell: `iters` timed allocate calls, each
+/// followed by an untimed release + recycle so the machine state and the
+/// scratch pools are identical on every iteration.
+fn measure(radix: u32, scenario_name: &'static str, iters: usize) -> Cell {
+    let tree = FatTree::maximal(radix).expect("even radix");
+    let (mut state, mut alloc, size) = scenario(scenario_name, &tree, Scheme::Jigsaw);
+    let req = jigsaw_core::JobRequest::new(jigsaw_topology::ids::JobId(1_000_000), size);
+    // Warm-up: fill the scratch pools and fault in the state.
+    for _ in 0..(iters / 10).max(32) {
+        if let Ok(a) = alloc.allocate(&mut state, &req) {
+            alloc.release(&mut state, &a);
+            alloc.recycle(a);
+        }
+    }
+    let mut lat = Vec::with_capacity(iters);
+    let mut grants = 0usize;
+    let mut steps = 0u64;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = alloc.allocate(&mut state, &req);
+        lat.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        steps += alloc.last_search_steps();
+        if let Ok(a) = r {
+            grants += 1;
+            alloc.release(&mut state, &a);
+            alloc.recycle(a);
+        }
+    }
+    lat.sort_unstable();
+    Cell {
+        radix,
+        scenario: scenario_name,
+        grants,
+        p50_ns: lat[iters / 2],
+        p99_ns: lat[(iters * 99 / 100).min(iters - 1)],
+        mean_steps: steps as f64 / iters as f64,
+    }
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        "    {{\n      \"radix\": {},\n      \"scenario\": \"{}\",\n      \
+         \"scheme\": \"Jigsaw\",\n      \"grants\": {},\n      \"p50_ns\": {},\n      \
+         \"p99_ns\": {},\n      \"mean_steps\": {:.1}\n    }}",
+        c.radix, c.scenario, c.grants, c.p50_ns, c.p99_ns, c.mean_steps
+    )
+}
+
+/// Committed p50 for (radix, scenario) from a previous `BENCH_alloc.json`.
+fn floor_p50(floor: &serde::Value, radix: u32, scenario: &str) -> Option<u64> {
+    let cells = serde::field(floor.as_object()?, "cells").as_array()?;
+    for cell in cells {
+        let obj = cell.as_object()?;
+        if u32::from_value(serde::field(obj, "radix")).ok()? == radix
+            && String::from_value(serde::field(obj, "scenario")).ok()? == scenario
+        {
+            return u64::from_value(serde::field(obj, "p50_ns")).ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("alloc_trajectory: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut cells = Vec::new();
+    for radix in RADIXES {
+        for scenario_name in SCENARIOS {
+            eprintln!(
+                "measuring radix {radix} / {scenario_name} ({} iters)",
+                args.iters
+            );
+            cells.push(measure(radix, scenario_name, args.iters));
+        }
+    }
+
+    println!(
+        "## allocation latency trajectory — Jigsaw, {} iters/cell\n",
+        args.iters
+    );
+    println!(
+        "{:<8} {:<14} {:>8} {:>12} {:>12} {:>12}",
+        "radix", "scenario", "grants", "p50 (us)", "p99 (us)", "steps"
+    );
+    for c in &cells {
+        println!(
+            "{:<8} {:<14} {:>8} {:>12.2} {:>12.2} {:>12.1}",
+            c.radix,
+            c.scenario,
+            c.grants,
+            c.p50_ns as f64 / 1000.0,
+            c.p99_ns as f64 / 1000.0,
+            c.mean_steps
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"alloc_trajectory\",\n  \"iters\": {},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        args.iters,
+        cells.iter().map(cell_json).collect::<Vec<_>>().join(",\n")
+    );
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("alloc_trajectory: write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", args.out);
+
+    let Some(floor_path) = args.floor else { return };
+    let text = match std::fs::read_to_string(&floor_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("alloc_trajectory: read floor {floor_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let floor = match serde_json::from_str::<serde::Value>(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("alloc_trajectory: parse floor {floor_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = false;
+    for c in &cells {
+        let Some(committed) = floor_p50(&floor, c.radix, c.scenario) else {
+            eprintln!(
+                "alloc_trajectory: floor has no cell for radix {} / {} — skipping",
+                c.radix, c.scenario
+            );
+            continue;
+        };
+        let limit = (committed as f64 * args.max_regression).ceil() as u64;
+        if c.p50_ns > limit {
+            eprintln!(
+                "alloc_trajectory: radix {} / {} p50 {}ns exceeds committed {}ns x {:.1} = {}ns",
+                c.radix, c.scenario, c.p50_ns, committed, args.max_regression, limit
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "all cells within {:.1}x of the committed floor ({floor_path})",
+        args.max_regression
+    );
+}

@@ -32,6 +32,7 @@ pub mod args;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 
 pub use args::HarnessArgs;
 pub use registry::{paper_traces, trace_by_name, TraceSpec, WORKLOAD_V2};

@@ -1,0 +1,72 @@
+//! Shared machine-occupancy scenarios for the allocation benchmarks.
+//!
+//! Both the Criterion micro-benchmark (`benches/alloc_hot_path.rs`) and the
+//! committed perf-trajectory binary (`alloc_trajectory`) measure the same
+//! three regimes, so the setup lives here once:
+//!
+//! * `empty` — fresh machine: the fast path must stay fast on small trees,
+//! * `fragmented90` — churned to ~90% occupancy with a deterministic mixed
+//!   job stream: candidate enumeration is skip-dominated,
+//! * `drained_pods` — every pod but the last fully allocated: the search
+//!   rejects P−1 pods per attempt.
+
+use jigsaw_core::{Allocator, JobRequest, Scheme};
+use jigsaw_topology::ids::JobId;
+use jigsaw_topology::{FatTree, SystemState};
+
+/// Churn the machine to roughly `target` occupancy with a deterministic
+/// mixed job stream (same stream as the `alloc_latency` bench).
+pub fn churned(tree: &FatTree, scheme: Scheme, target: f64) -> (SystemState, Box<dyn Allocator>) {
+    let mut state = SystemState::new(*tree);
+    let mut alloc = scheme.make(tree);
+    let mut i = 0u32;
+    while (state.allocated_node_count() as f64) < target * f64::from(tree.num_nodes()) {
+        let size = 1 + (i * 13 + 7) % (tree.nodes_per_pod() / 2);
+        let _ = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size));
+        i += 1;
+        if i > 4 * tree.num_nodes() {
+            break;
+        }
+    }
+    (state, alloc)
+}
+
+/// Allocate every pod except the last one wholesale, so candidate
+/// enumeration faces a machine of exhausted pods.
+pub fn drained(tree: &FatTree, scheme: Scheme) -> (SystemState, Box<dyn Allocator>) {
+    let mut state = SystemState::new(*tree);
+    let mut alloc = scheme.make(tree);
+    let pods = tree.num_pods();
+    for i in 0..pods - 1 {
+        let _ = alloc.allocate(&mut state, &JobRequest::new(JobId(i), tree.nodes_per_pod()));
+    }
+    (state, alloc)
+}
+
+/// The three benchmark regimes, with their prepared state and probe size.
+pub fn scenario(
+    name: &str,
+    tree: &FatTree,
+    scheme: Scheme,
+) -> (SystemState, Box<dyn Allocator>, u32) {
+    match name {
+        "empty" => {
+            let state = SystemState::new(*tree);
+            (state, scheme.make(tree), tree.nodes_per_pod() / 2)
+        }
+        "fragmented90" => {
+            let (state, alloc) = churned(tree, scheme, 0.9);
+            (state, alloc, tree.nodes_per_leaf() + 1)
+        }
+        "drained_pods" => {
+            let (state, alloc) = drained(tree, scheme);
+            // One pod's worth still fits; the search must skip the P−1
+            // drained pods to find it.
+            (state, alloc, tree.nodes_per_pod() / 2)
+        }
+        other => panic!("unknown scenario `{other}`"),
+    }
+}
+
+/// Scenario names in reporting order.
+pub const SCENARIOS: [&str; 3] = ["empty", "fragmented90", "drained_pods"];

@@ -112,22 +112,25 @@ impl Shape {
         }
     }
 
-    /// Every `(leaf, node-count)` pair of the shape, in a deterministic
-    /// order (full trees first, remainder last).
-    pub fn leaf_occupancy(&self) -> Vec<(LeafId, u32)> {
+    /// Visit every `(leaf, node-count)` pair of the shape, in a
+    /// deterministic order (full trees first, remainder last). The
+    /// closure-based form lets hot paths walk the shape without building a
+    /// list; [`Shape::leaf_occupancy`] is the collecting wrapper.
+    pub fn for_each_occupied_leaf(&self, mut f: impl FnMut(LeafId, u32)) {
         match self {
-            Shape::SingleLeaf { leaf, n } => vec![(*leaf, *n)],
+            Shape::SingleLeaf { leaf, n } => f(*leaf, *n),
             Shape::TwoLevel {
                 n_l,
                 leaves,
                 rem_leaf,
                 ..
             } => {
-                let mut v: Vec<_> = leaves.iter().map(|&l| (l, *n_l)).collect();
-                if let Some((l, n, _)) = rem_leaf {
-                    v.push((*l, *n));
+                for &l in leaves {
+                    f(l, *n_l);
                 }
-                v
+                if let Some((l, n, _)) = rem_leaf {
+                    f(*l, *n);
+                }
             }
             Shape::ThreeLevel {
                 n_l,
@@ -135,25 +138,41 @@ impl Shape {
                 rem_tree,
                 ..
             } => {
-                let mut v = Vec::new();
                 for t in trees {
-                    v.extend(t.leaves.iter().map(|&l| (l, *n_l)));
-                }
-                if let Some(r) = rem_tree {
-                    v.extend(r.leaves.iter().map(|&l| (l, *n_l)));
-                    if let Some((l, n, _)) = r.rem_leaf {
-                        v.push((l, n));
+                    for &l in &t.leaves {
+                        f(l, *n_l);
                     }
                 }
-                v
+                if let Some(r) = rem_tree {
+                    for &l in &r.leaves {
+                        f(l, *n_l);
+                    }
+                    if let Some((l, n, _)) = r.rem_leaf {
+                        f(l, n);
+                    }
+                }
             }
-            Shape::Unstructured => Vec::new(),
+            Shape::Unstructured => {}
         }
+    }
+
+    /// Every `(leaf, node-count)` pair of the shape, in a deterministic
+    /// order (full trees first, remainder last).
+    pub fn leaf_occupancy(&self) -> Vec<(LeafId, u32)> {
+        let mut v = Vec::new();
+        self.for_each_occupied_leaf(|leaf, n| v.push((leaf, n)));
+        v
     }
 
     /// The leaf↔L2 links the shape implies.
     pub fn leaf_links(&self, tree: &FatTree) -> Vec<LeafLinkId> {
         let mut links = Vec::new();
+        self.leaf_links_into(tree, &mut links);
+        links
+    }
+
+    /// Append the shape's leaf↔L2 links to `links` without allocating.
+    pub fn leaf_links_into(&self, tree: &FatTree, links: &mut Vec<LeafLinkId>) {
         match self {
             Shape::SingleLeaf { .. } | Shape::Unstructured => {}
             Shape::TwoLevel {
@@ -200,12 +219,17 @@ impl Shape {
                 }
             }
         }
-        links
     }
 
     /// The L2↔spine links the shape implies (three-level shapes only).
     pub fn spine_links(&self, tree: &FatTree) -> Vec<SpineLinkId> {
         let mut links = Vec::new();
+        self.spine_links_into(tree, &mut links);
+        links
+    }
+
+    /// Append the shape's L2↔spine links to `links` without allocating.
+    pub fn spine_links_into(&self, tree: &FatTree, links: &mut Vec<SpineLinkId>) {
         if let Shape::ThreeLevel {
             trees,
             spine_sets,
@@ -228,7 +252,6 @@ impl Shape {
                 }
             }
         }
-        links
     }
 }
 
@@ -265,13 +288,37 @@ impl Allocation {
         bw_tenths: u16,
         shape: Shape,
     ) -> Allocation {
+        Allocation::from_shape_with(
+            &mut crate::scratch::SearchScratch::default(),
+            state,
+            job,
+            requested,
+            bw_tenths,
+            shape,
+        )
+    }
+
+    /// [`Allocation::from_shape`] drawing the node and link vectors from a
+    /// [`SearchScratch`](crate::scratch::SearchScratch) — alloc-free once
+    /// the pools are warm. [`SearchScratch::recycle`](crate::scratch::SearchScratch::recycle)
+    /// returns the vectors when the allocation is spent.
+    pub fn from_shape_with(
+        scratch: &mut crate::scratch::SearchScratch,
+        state: &SystemState,
+        job: JobId,
+        requested: u32,
+        bw_tenths: u16,
+        shape: Shape,
+    ) -> Allocation {
         let tree = state.tree();
-        let mut nodes = Vec::with_capacity(shape.node_count() as usize);
-        for (leaf, count) in shape.leaf_occupancy() {
-            nodes.extend(free_nodes_on(state, leaf, count));
-        }
-        let leaf_links = shape.leaf_links(tree);
-        let spine_links = shape.spine_links(tree);
+        let mut nodes = scratch.nodes.take();
+        shape.for_each_occupied_leaf(|leaf, count| {
+            free_nodes_on_into(state, leaf, count, &mut nodes);
+        });
+        let mut leaf_links = scratch.leaf_links.take();
+        shape.leaf_links_into(tree, &mut leaf_links);
+        let mut spine_links = scratch.spine_links.take();
+        shape.spine_links_into(tree, &mut spine_links);
         Allocation {
             job,
             requested,
@@ -321,19 +368,22 @@ impl Allocation {
 /// If the leaf has fewer free nodes (allocator search bug).
 pub fn free_nodes_on(state: &SystemState, leaf: LeafId, count: u32) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(count as usize);
-    for node in state.tree().nodes_of_leaf(leaf) {
-        if out.len() == count as usize {
-            break;
-        }
-        if state.is_node_free(node) {
-            out.push(node);
-        }
-    }
+    free_nodes_on_into(state, leaf, count, &mut out);
+    out
+}
+
+/// Append the lowest-indexed `count` free nodes under `leaf` to `out`
+/// without allocating: one `u64` mask walk, no per-slot ownership probes.
+///
+/// # Panics
+/// If the leaf has fewer free nodes (allocator search bug).
+pub fn free_nodes_on_into(state: &SystemState, leaf: LeafId, count: u32, out: &mut Vec<NodeId>) {
+    let before = out.len();
+    out.extend(state.free_nodes_on_leaf_iter(leaf).take(count as usize));
     assert!(
-        out.len() == count as usize,
+        out.len() - before == count as usize,
         "leaf {leaf} has fewer than {count} free nodes"
     );
-    out
 }
 
 /// Claim every resource of `alloc` in `state`.

@@ -50,6 +50,15 @@ pub trait Allocator: Send {
         crate::alloc::claim_allocation(state, alloc);
     }
 
+    /// Dispose of a spent allocation (after [`Allocator::release`]),
+    /// handing its vectors back to the scheme's internal buffer pools when
+    /// it keeps any. Optional: the default drops the allocation to the
+    /// global heap — correctness never depends on recycling, only the
+    /// steady-state zero-allocation guarantee of the pooled schemes does.
+    fn recycle(&mut self, alloc: Allocation) {
+        drop(alloc);
+    }
+
     /// Search effort (backtracking steps) spent by the most recent
     /// [`Allocator::allocate`] call; used by the scheduling-time analysis
     /// (Table 3) as a machine-independent effort metric.

@@ -181,7 +181,7 @@ mod tests {
     use super::*;
     use crate::allocator::Allocator;
     use crate::{JigsawAllocator, JobRequest, Scheme};
-    use jigsaw_topology::ids::{JobId, NodeId};
+    use jigsaw_topology::ids::JobId;
     use jigsaw_topology::FatTree;
 
     #[test]
@@ -268,10 +268,7 @@ mod tests {
             .unwrap();
         // Claim one more node behind the audit's back — both a mismatch and
         // an ownership error.
-        let extra = (0..tree.num_nodes())
-            .map(NodeId)
-            .find(|n| state.is_node_free(*n))
-            .unwrap();
+        let extra = state.first_free_node().unwrap();
         state.claim_node(extra, JobId(1));
         a.nodes.push(extra);
         let errors = audit_system(&state, &[a]);

@@ -10,6 +10,7 @@ use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
 use crate::reject::Reject;
+use crate::scratch::SearchScratch;
 use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::{FatTree, SystemState};
 
@@ -17,12 +18,13 @@ use jigsaw_topology::{FatTree, SystemState};
 #[derive(Debug, Clone, Default)]
 pub struct BaselineAllocator {
     steps: u64,
+    scratch: SearchScratch,
 }
 
 impl BaselineAllocator {
     /// Build a Baseline allocator (works on any tree, tapered included).
     pub fn new(_tree: &FatTree) -> Self {
-        BaselineAllocator { steps: 0 }
+        BaselineAllocator::default()
     }
 }
 
@@ -47,18 +49,16 @@ impl Allocator for BaselineAllocator {
             });
         }
         let tree = *state.tree();
-        let mut nodes = Vec::with_capacity(req.size as usize);
+        let mut nodes = self.scratch.nodes.take();
         'leaves: for leaf in tree.leaves() {
             self.steps += 1;
             if state.free_nodes_on_leaf(leaf) == 0 {
                 continue;
             }
-            for node in tree.nodes_of_leaf(leaf) {
-                if state.is_node_free(node) {
-                    nodes.push(node);
-                    if count_u32(nodes.len()) == req.size {
-                        break 'leaves;
-                    }
+            for node in state.free_nodes_on_leaf_iter(leaf) {
+                nodes.push(node);
+                if count_u32(nodes.len()) == req.size {
+                    break 'leaves;
                 }
             }
         }
@@ -74,6 +74,10 @@ impl Allocator for BaselineAllocator {
         };
         claim_allocation(state, &alloc);
         Ok(alloc)
+    }
+
+    fn recycle(&mut self, alloc: Allocation) {
+        self.scratch.recycle(alloc);
     }
 
     fn last_search_steps(&self) -> u64 {

@@ -220,6 +220,10 @@ impl Allocator for ObservedAllocator {
         self.obs.nodes_in_use.add(alloc.nodes.len() as i64);
     }
 
+    fn recycle(&mut self, alloc: Allocation) {
+        self.inner.recycle(alloc);
+    }
+
     fn last_search_steps(&self) -> u64 {
         self.inner.last_search_steps()
     }

@@ -16,6 +16,7 @@ use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
 use crate::reject::Reject;
+use crate::scratch::SearchScratch;
 use crate::search::{find_three_level_full, find_two_level, Budget, Exclusive};
 use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::{FatTree, SystemState};
@@ -25,6 +26,7 @@ use jigsaw_topology::{FatTree, SystemState};
 pub struct JigsawAllocator {
     steps: u64,
     widest_first: bool,
+    scratch: SearchScratch,
 }
 
 impl JigsawAllocator {
@@ -41,6 +43,7 @@ impl JigsawAllocator {
         JigsawAllocator {
             steps: 0,
             widest_first: false,
+            scratch: SearchScratch::default(),
         }
     }
 
@@ -57,7 +60,13 @@ impl JigsawAllocator {
     /// tests and the experiment harness can inspect placements.
     pub fn find_shape(&mut self, state: &SystemState, size: u32) -> Option<Shape> {
         let mut budget = Budget::unlimited();
-        let shape = find_jigsaw_shape_ordered(state, size, &mut budget, self.widest_first);
+        let shape = find_jigsaw_shape_ordered(
+            state,
+            &mut self.scratch,
+            size,
+            &mut budget,
+            self.widest_first,
+        );
         self.steps = budget.spent();
         shape
     }
@@ -83,7 +92,8 @@ impl Allocator for JigsawAllocator {
             });
         }
         let shape = self.find_shape(state, req.size).ok_or(Reject::NoShape)?;
-        let alloc = Allocation::from_shape(state, req.id, req.size, 0, shape);
+        let alloc =
+            Allocation::from_shape_with(&mut self.scratch, state, req.id, req.size, 0, shape);
         debug_assert_eq!(
             count_u32(alloc.nodes.len()),
             req.size,
@@ -97,18 +107,40 @@ impl Allocator for JigsawAllocator {
         self.steps
     }
 
+    fn recycle(&mut self, alloc: Allocation) {
+        self.scratch.recycle(alloc);
+    }
+
     fn clone_box(&self) -> Box<dyn Allocator> {
         Box::new(self.clone())
     }
 }
 
 /// The shape search of Algorithm 1 in its default (densest-first) order.
-pub fn find_jigsaw_shape(state: &SystemState, size: u32, budget: &mut Budget) -> Option<Shape> {
-    find_jigsaw_shape_ordered(state, size, budget, false)
+pub fn find_jigsaw_shape(
+    state: &SystemState,
+    scratch: &mut SearchScratch,
+    size: u32,
+    budget: &mut Budget,
+) -> Option<Shape> {
+    find_jigsaw_shape_ordered(state, scratch, size, budget, false)
+}
+
+/// `1..=hi` ascending or descending without collecting — the shape
+/// enumeration loops must not allocate.
+fn ordered(hi: u32, ascending: bool) -> impl Iterator<Item = u32> {
+    let fwd = if ascending { Some(1..=hi) } else { None };
+    let rev = if ascending {
+        None
+    } else {
+        Some((1..=hi).rev())
+    };
+    fwd.into_iter().flatten().chain(rev.into_iter().flatten())
 }
 
 fn find_jigsaw_shape_ordered(
     state: &SystemState,
+    scratch: &mut SearchScratch,
     size: u32,
     budget: &mut Budget,
     widest_first: bool,
@@ -133,12 +165,7 @@ fn find_jigsaw_shape_ordered(
     }
 
     // Two-level (single-subtree) shapes, densest-first by default.
-    let two_level_orders: Vec<u32> = if widest_first {
-        (1..=w.min(size)).collect()
-    } else {
-        (1..=w.min(size)).rev().collect()
-    };
-    for n_l in two_level_orders {
+    for n_l in ordered(w.min(size), widest_first) {
         let l_t = size / n_l;
         let n_r = size % n_l;
         if l_t == 1 && n_r == 0 {
@@ -151,7 +178,9 @@ fn find_jigsaw_shape_ordered(
             if state.free_nodes_in_pod(pod) < size {
                 continue;
             }
-            if let Some(pick) = find_two_level(state, &Exclusive, pod, l_t, n_l, n_r, budget) {
+            if let Some(pick) =
+                find_two_level(state, &Exclusive, scratch, pod, l_t, n_l, n_r, budget)
+            {
                 return Some(Shape::TwoLevel {
                     pod,
                     n_l,
@@ -167,12 +196,7 @@ fn find_jigsaw_shape_ordered(
     }
 
     // Three-level shapes with full leaves (the §4 restriction): n_L = W.
-    let three_level_orders: Vec<u32> = if widest_first {
-        (1..=l).collect()
-    } else {
-        (1..=l).rev().collect()
-    };
-    for l_t in three_level_orders {
+    for l_t in ordered(l, widest_first) {
         let n_t = l_t * w;
         let t_full = size / n_t;
         if t_full == 0 {
@@ -187,7 +211,7 @@ fn find_jigsaw_shape_ordered(
             continue;
         }
         if let Some(pick) =
-            find_three_level_full(state, &Exclusive, l_t, t_full, l_rt, n_rl, budget)
+            find_three_level_full(state, &Exclusive, scratch, l_t, t_full, l_rt, n_rl, budget)
         {
             return Some(pick.into_shape());
         }

@@ -27,6 +27,7 @@ use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
 use crate::reject::Reject;
+use crate::scratch::SearchScratch;
 use crate::search::{find_three_level_full, Budget, Exclusive, LinkView};
 use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::state::mask_of;
@@ -37,6 +38,7 @@ use jigsaw_topology::{FatTree, SystemState};
 pub struct LaasAllocator {
     steps: u64,
     pack_subleaf: bool,
+    scratch: SearchScratch,
 }
 
 impl LaasAllocator {
@@ -52,6 +54,7 @@ impl LaasAllocator {
         LaasAllocator {
             steps: 0,
             pack_subleaf: true,
+            scratch: SearchScratch::default(),
         }
     }
 
@@ -92,16 +95,16 @@ impl LaasAllocator {
                 for pod in tree.pods() {
                     budget.spend();
                     if view.full_leaves_in_pod(state, pod) >= leaves_needed {
-                        let leaves: Vec<_> = tree
-                            .leaves_of_pod(pod)
-                            .filter(|&leaf| view.is_full_leaf(state, leaf))
-                            .take(leaves_needed as usize)
-                            .collect();
+                        let mut leaves = self.scratch.leaves.take();
+                        leaves.extend(
+                            tree.leaves_of_pod(pod)
+                                .filter(|&leaf| view.is_full_leaf(state, leaf))
+                                .take(leaves_needed as usize),
+                        );
                         if leaves_needed == 1 {
-                            break 'search Some(Shape::SingleLeaf {
-                                leaf: leaves[0],
-                                n: w,
-                            });
+                            let leaf = leaves[0];
+                            self.scratch.leaves.put(leaves);
+                            break 'search Some(Shape::SingleLeaf { leaf, n: w });
                         }
                         break 'search Some(Shape::TwoLevel {
                             pod,
@@ -125,9 +128,16 @@ impl LaasAllocator {
                 if t_full + u32::from(l_rt > 0) > p {
                     continue;
                 }
-                if let Some(pick) =
-                    find_three_level_full(state, &view, l_t, t_full, l_rt, 0, &mut budget)
-                {
+                if let Some(pick) = find_three_level_full(
+                    state,
+                    &view,
+                    &mut self.scratch,
+                    l_t,
+                    t_full,
+                    l_rt,
+                    0,
+                    &mut budget,
+                ) {
                     break 'search Some(pick.into_shape());
                 }
             }
@@ -160,7 +170,8 @@ impl Allocator for LaasAllocator {
         let shape = self.find_shape(state, req.size).ok_or(Reject::NoShape)?;
         // `requested` records the true need; the shape's node count is the
         // rounded-up grant (internal fragmentation) for multi-leaf jobs.
-        let alloc = Allocation::from_shape(state, req.id, req.size, 0, shape);
+        let alloc =
+            Allocation::from_shape_with(&mut self.scratch, state, req.id, req.size, 0, shape);
         debug_assert!(count_u32(alloc.nodes.len()) >= req.size);
         let w = state.tree().nodes_per_leaf();
         debug_assert!(
@@ -169,6 +180,10 @@ impl Allocator for LaasAllocator {
         );
         claim_allocation(state, &alloc);
         Ok(alloc)
+    }
+
+    fn recycle(&mut self, alloc: Allocation) {
+        self.scratch.recycle(alloc);
     }
 
     fn last_search_steps(&self) -> u64 {

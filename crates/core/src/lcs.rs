@@ -18,6 +18,7 @@ use crate::alloc::{claim_allocation, Allocation, Shape};
 use crate::allocator::Allocator;
 use crate::job::JobRequest;
 use crate::reject::Reject;
+use crate::scratch::SearchScratch;
 use crate::search::{
     find_three_level_full, find_three_level_general, find_two_level, Budget, Shared,
 };
@@ -38,6 +39,7 @@ pub struct LcsAllocator {
     per_pod_cap: usize,
     steps: u64,
     exhausted_last: bool,
+    scratch: SearchScratch,
 }
 
 impl LcsAllocator {
@@ -57,6 +59,7 @@ impl LcsAllocator {
             per_pod_cap,
             steps: 0,
             exhausted_last: false,
+            scratch: SearchScratch::default(),
         }
     }
 
@@ -99,9 +102,16 @@ impl LcsAllocator {
                     if state.free_nodes_in_pod(pod) < size {
                         continue;
                     }
-                    if let Some(pick) =
-                        find_two_level(state, &view, pod, l_t, n_l, n_r, &mut budget)
-                    {
+                    if let Some(pick) = find_two_level(
+                        state,
+                        &view,
+                        &mut self.scratch,
+                        pod,
+                        l_t,
+                        n_l,
+                        n_r,
+                        &mut budget,
+                    ) {
                         break 'search Some(Shape::TwoLevel {
                             pod,
                             n_l,
@@ -133,9 +143,16 @@ impl LcsAllocator {
                 if (t_full == 1 && n_rt == 0) || t_full + u32::from(n_rt > 0) > p {
                     continue;
                 }
-                if let Some(pick) =
-                    find_three_level_full(state, &view, l_t, t_full, l_rt, n_rl, &mut budget)
-                {
+                if let Some(pick) = find_three_level_full(
+                    state,
+                    &view,
+                    &mut self.scratch,
+                    l_t,
+                    t_full,
+                    l_rt,
+                    n_rl,
+                    &mut budget,
+                ) {
                     break 'search Some(pick.into_shape());
                 }
                 if budget.exhausted() {
@@ -164,6 +181,7 @@ impl LcsAllocator {
                     if let Some(pick) = find_three_level_general(
                         state,
                         &view,
+                        &mut self.scratch,
                         n_l,
                         l_t,
                         t_full,
@@ -226,10 +244,15 @@ impl Allocator for LcsAllocator {
                 Reject::NoShape
             });
         };
-        let alloc = Allocation::from_shape(state, req.id, req.size, bw, shape);
+        let alloc =
+            Allocation::from_shape_with(&mut self.scratch, state, req.id, req.size, bw, shape);
         debug_assert_eq!(count_u32(alloc.nodes.len()), req.size);
         claim_allocation(state, &alloc);
         Ok(alloc)
+    }
+
+    fn recycle(&mut self, alloc: Allocation) {
+        self.scratch.recycle(alloc);
     }
 
     fn last_search_steps(&self) -> u64 {

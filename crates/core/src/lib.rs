@@ -65,6 +65,7 @@ pub mod job;
 pub mod laas;
 pub mod lcs;
 pub mod reject;
+pub mod scratch;
 pub mod search;
 pub mod ta;
 
@@ -79,4 +80,5 @@ pub use job::JobRequest;
 pub use laas::LaasAllocator;
 pub use lcs::LcsAllocator;
 pub use reject::Reject;
+pub use scratch::SearchScratch;
 pub use ta::TaAllocator;

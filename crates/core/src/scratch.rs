@@ -1,0 +1,220 @@
+//! Reusable buffers for the allocation hot path.
+//!
+//! Every search in [`crate::search`] and every grant built by
+//! [`crate::alloc::Allocation::from_shape_with`] draws its working vectors
+//! from a [`SearchScratch`] instead of the global allocator. Buffers flow in
+//! a cycle:
+//!
+//! 1. a search **takes** candidate/intersection buffers, and **puts** them
+//!    back before returning (even on failure paths),
+//! 2. the winning pick's vectors (shape leaves, trees, spine sets, node and
+//!    link lists) travel *out* inside the returned [`Allocation`],
+//! 3. when the job ends, [`SearchScratch::recycle`] dismantles the
+//!    allocation and returns those vectors to the pools.
+//!
+//! After a warm-up period the pools hold buffers with steady-state
+//! capacities and the allocate path performs **zero heap allocations** —
+//! verified by a counting-`GlobalAlloc` test (`tests/zero_alloc.rs`).
+//!
+//! The pools are pure caches: they never affect results, only where the
+//! backing memory comes from. `Clone` therefore produces *empty* pools —
+//! cloning an allocator for a scratch replay must not copy (or steal) the
+//! original's warm buffers.
+
+use crate::alloc::{Allocation, Shape};
+use crate::search::PodSolution;
+use jigsaw_topology::ids::{LeafId, LeafLinkId, NodeId, PodId, SpineLinkId};
+
+/// A pool of reusable `Vec<T>` buffers. `take` hands out an empty vector
+/// (reusing a previously returned buffer's capacity when one is available);
+/// `put` clears a buffer and shelves it for the next `take`.
+#[derive(Debug)]
+pub(crate) struct Pool<T> {
+    free: Vec<Vec<T>>,
+}
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Pool { free: Vec::new() }
+    }
+}
+
+impl<T> Pool<T> {
+    /// An empty vector, backed by pooled capacity when available.
+    #[inline]
+    pub(crate) fn take(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Return a buffer to the pool. Contents are discarded; capacity is
+    /// kept. Buffers that never allocated are not worth shelving.
+    #[inline]
+    pub(crate) fn put(&mut self, mut buf: Vec<T>) {
+        if buf.capacity() > 0 {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+}
+
+/// The per-allocator buffer arena threaded through every search and grant.
+/// See the module docs for the buffer life cycle.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    /// Leaf lists: search `chosen` stacks, shape/tree leaf sets.
+    pub(crate) leaves: Pool<LeafId>,
+    /// Candidate pod lists for the three-level searches.
+    pub(crate) pods: Pool<PodId>,
+    /// Node lists for [`Allocation::nodes`].
+    pub(crate) nodes: Pool<NodeId>,
+    /// `u64` mask vectors: per-position spine intersections and spine sets.
+    pub(crate) words: Pool<u64>,
+    /// `(leaf, uplink mask)` candidate lists of the two-level searches.
+    pub(crate) cands: Pool<(LeafId, u64)>,
+    /// L2 position lists of the general three-level search.
+    pub(crate) positions: Pool<u32>,
+    /// `(pod, sub-solution index)` stacks of the general search.
+    pub(crate) picks: Pool<(PodId, usize)>,
+    /// Full-tree lists for [`Shape::ThreeLevel`].
+    pub(crate) trees: Pool<crate::alloc::TreeAlloc>,
+    /// Leaf↔L2 link lists for [`Allocation::leaf_links`].
+    pub(crate) leaf_links: Pool<LeafLinkId>,
+    /// L2↔spine link lists for [`Allocation::spine_links`].
+    pub(crate) spine_links: Pool<SpineLinkId>,
+    /// Per-pod sub-solution lists of the general search.
+    pub(crate) sols: Pool<PodSolution>,
+    /// The outer `(pod, sub-solutions)` table of the general search.
+    pub(crate) sol_lists: Pool<(PodId, Vec<PodSolution>)>,
+}
+
+/// Pools are caches, not state: a cloned allocator starts with cold pools
+/// rather than copying the original's warm buffers.
+impl Clone for SearchScratch {
+    fn clone(&self) -> Self {
+        SearchScratch::default()
+    }
+}
+
+impl SearchScratch {
+    /// Dismantle a spent allocation and return every vector it carried to
+    /// the pools, closing the buffer cycle. Call after the allocation has
+    /// been released from the [`jigsaw_topology::SystemState`]; the next
+    /// allocate reuses the capacity instead of asking the heap.
+    pub fn recycle(&mut self, alloc: Allocation) {
+        let Allocation {
+            nodes,
+            leaf_links,
+            spine_links,
+            shape,
+            ..
+        } = alloc;
+        self.nodes.put(nodes);
+        self.leaf_links.put(leaf_links);
+        self.spine_links.put(spine_links);
+        self.recycle_shape(shape);
+    }
+
+    /// Return a shape's vectors to the pools.
+    pub(crate) fn recycle_shape(&mut self, shape: Shape) {
+        match shape {
+            Shape::SingleLeaf { .. } | Shape::Unstructured => {}
+            Shape::TwoLevel { leaves, .. } => self.leaves.put(leaves),
+            Shape::ThreeLevel {
+                mut trees,
+                spine_sets,
+                rem_tree,
+                ..
+            } => {
+                for t in trees.drain(..) {
+                    self.leaves.put(t.leaves);
+                }
+                self.trees.put(trees);
+                self.words.put(spine_sets);
+                if let Some(r) = rem_tree {
+                    self.leaves.put(r.leaves);
+                    self.words.put(r.spine_sets);
+                }
+            }
+        }
+    }
+
+    /// Return the general search's per-pod sub-solution table to the pools.
+    pub(crate) fn put_solutions(&mut self, mut solutions: Vec<(PodId, Vec<PodSolution>)>) {
+        for (_, mut sltns) in solutions.drain(..) {
+            for s in sltns.drain(..) {
+                self.leaves.put(s.leaves);
+            }
+            self.sols.put(sltns);
+        }
+        self.sol_lists.put(solutions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::TreeAlloc;
+    use jigsaw_topology::ids::JobId;
+
+    #[test]
+    fn pool_reuses_capacity() {
+        let mut pool: Pool<u64> = Pool::default();
+        let mut v = pool.take();
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        let cap = v.capacity();
+        pool.put(v);
+        let v2 = pool.take();
+        assert!(v2.is_empty());
+        assert_eq!(v2.capacity(), cap, "capacity survives the pool");
+        pool.put(v2);
+        // Zero-capacity buffers are not shelved.
+        pool.put(Vec::new());
+        let v3 = pool.take();
+        assert_eq!(v3.capacity(), cap);
+    }
+
+    #[test]
+    fn recycle_returns_every_shape_vector() {
+        let mut scratch = SearchScratch::default();
+        let alloc = Allocation {
+            job: JobId(1),
+            requested: 4,
+            nodes: vec![NodeId(0), NodeId(1)],
+            leaf_links: vec![LeafLinkId(0)],
+            spine_links: vec![SpineLinkId(0)],
+            bw_tenths: 0,
+            shape: Shape::ThreeLevel {
+                n_l: 2,
+                l_t: 1,
+                l2_set: 0b1,
+                trees: vec![TreeAlloc {
+                    pod: PodId(0),
+                    leaves: vec![LeafId(0)],
+                }],
+                spine_sets: vec![0b1],
+                rem_tree: None,
+            },
+        };
+        scratch.recycle(alloc);
+        assert_eq!(scratch.nodes.take().capacity(), 2);
+        assert_eq!(scratch.leaves.take().capacity(), 1);
+        assert_eq!(scratch.words.take().capacity(), 1);
+        assert_eq!(scratch.trees.take().capacity(), 1);
+        assert_eq!(scratch.leaf_links.take().capacity(), 1);
+        assert_eq!(scratch.spine_links.take().capacity(), 1);
+    }
+
+    #[test]
+    fn clone_starts_cold() {
+        let mut scratch = SearchScratch::default();
+        let mut v = scratch.words.take();
+        v.push(7);
+        scratch.words.put(v);
+        let mut cold = scratch.clone();
+        assert_eq!(cold.words.take().capacity(), 0);
+        assert!(
+            scratch.words.take().capacity() > 0,
+            "original keeps its buffers"
+        );
+    }
+}

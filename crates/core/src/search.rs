@@ -24,6 +24,7 @@
 //!   then backtrack over (pod, sub-solution) pairs.
 
 use crate::alloc::{RemTree, Shape, TreeAlloc};
+use crate::scratch::SearchScratch;
 use jigsaw_topology::bitset::{iter_mask, lowest_n_bits};
 use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::ids::{L2Id, LeafId, PodId};
@@ -198,9 +199,11 @@ pub struct TwoLevelPick {
 /// each sharing `n_l` usable uplink positions, plus (if `n_r > 0`) a
 /// remainder leaf with `n_r` nodes whose usable uplinks cover `n_r`
 /// positions of the common set.
+#[allow(clippy::too_many_arguments)]
 pub fn find_two_level<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     pod: PodId,
     l_t: u32,
     n_l: u32,
@@ -217,7 +220,7 @@ pub fn find_two_level<V: LinkView>(
     }
 
     // Candidate full leaves: enough free nodes and enough usable uplinks.
-    let mut candidates: Vec<(LeafId, u64)> = Vec::with_capacity(tree.leaves_per_pod() as usize);
+    let mut candidates = scratch.cands.take();
     for leaf in tree.leaves_of_pod(pod) {
         if state.free_nodes_on_leaf(leaf) >= n_l {
             let mask = view.leaf_avail_mask(state, leaf);
@@ -226,30 +229,36 @@ pub fn find_two_level<V: LinkView>(
             }
         }
     }
-    if count_u32(candidates.len()) < l_t {
-        return None;
-    }
-
-    let mut chosen: Vec<LeafId> = Vec::with_capacity(l_t as usize);
-    search_leaves(
-        state,
-        view,
-        pod,
-        &candidates,
-        0,
-        mask_of(tree.l2_per_pod()),
-        l_t,
-        n_l,
-        n_r,
-        &mut chosen,
-        budget,
-    )
+    let pick = if count_u32(candidates.len()) < l_t {
+        None
+    } else {
+        let mut chosen = scratch.leaves.take();
+        let pick = search_leaves(
+            state,
+            view,
+            scratch,
+            pod,
+            &candidates,
+            0,
+            mask_of(tree.l2_per_pod()),
+            l_t,
+            n_l,
+            n_r,
+            &mut chosen,
+            budget,
+        );
+        scratch.leaves.put(chosen);
+        pick
+    };
+    scratch.cands.put(candidates);
+    pick
 }
 
 #[allow(clippy::too_many_arguments)]
 fn search_leaves<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     pod: PodId,
     candidates: &[(LeafId, u64)],
     idx: usize,
@@ -261,7 +270,7 @@ fn search_leaves<V: LinkView>(
     budget: &mut Budget,
 ) -> Option<TwoLevelPick> {
     if count_u32(chosen.len()) == l_t {
-        return complete_two_level(state, view, pod, inter, n_l, n_r, chosen, budget);
+        return complete_two_level(state, view, scratch, pod, inter, n_l, n_r, chosen, budget);
     }
     if budget.exhausted() {
         return None;
@@ -284,6 +293,7 @@ fn search_leaves<V: LinkView>(
         if let Some(pick) = search_leaves(
             state,
             view,
+            scratch,
             pod,
             candidates,
             i + 1,
@@ -307,6 +317,7 @@ fn search_leaves<V: LinkView>(
 fn complete_two_level<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     pod: PodId,
     inter: u64,
     n_l: u32,
@@ -316,8 +327,10 @@ fn complete_two_level<V: LinkView>(
 ) -> Option<TwoLevelPick> {
     debug_assert!(inter.count_ones() >= n_l);
     if n_r == 0 {
+        let mut leaves = scratch.leaves.take();
+        leaves.extend_from_slice(chosen);
         return Some(TwoLevelPick {
-            leaves: chosen.to_vec(),
+            leaves,
             l2_set: lowest_n_bits(inter, n_l),
             rem_leaf: None,
         });
@@ -340,8 +353,10 @@ fn complete_two_level<V: LinkView>(
         let mut l2_set = s_r;
         let fill = inter & !s_r;
         l2_set |= lowest_n_bits(fill, n_l - n_r);
+        let mut leaves = scratch.leaves.take();
+        leaves.extend_from_slice(chosen);
         return Some(TwoLevelPick {
-            leaves: chosen.to_vec(),
+            leaves,
             l2_set,
             rem_leaf: Some((leaf, s_r)),
         });
@@ -389,9 +404,11 @@ impl ThreeLevelPick {
 ///
 /// Requires a full-bandwidth tree (`W == M`): a full leaf then uses all `M`
 /// uplink positions, so `S` is the full set.
+#[allow(clippy::too_many_arguments)]
 pub fn find_three_level_full<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     l_t: u32,
     t_full: u32,
     l_rt: u32,
@@ -411,42 +428,48 @@ pub fn find_three_level_full<V: LinkView>(
     // leaf needs all W nodes free, and condition 6 needs ≥ l_t free spine
     // uplinks on every one of the pod's L2 switches — so pods failing
     // either index are skipped before any mask or per-leaf scan.
-    let pods: Vec<PodId> = tree
-        .pods()
-        .filter(|&p| {
-            state.max_free_nodes_on_leaf_in_pod(p) == tree.nodes_per_leaf()
-                && state.min_free_spine_slots_in_pod(p) >= l_t
-                && view.full_leaves_in_pod(state, p) >= l_t
-        })
-        .collect();
-    if count_u32(pods.len()) < t_full {
-        return None;
-    }
-
-    let inter = vec![mask_of(tree.spines_per_group()); m as usize];
-    let mut chosen: Vec<PodId> = Vec::with_capacity(t_full as usize);
-    search_pods_full(
-        state,
-        view,
-        &pods,
-        0,
-        inter,
-        l_t,
-        t_full,
-        l_rt,
-        n_rl,
-        &mut chosen,
-        budget,
-    )
+    let mut pods = scratch.pods.take();
+    pods.extend(tree.pods().filter(|&p| {
+        state.max_free_nodes_on_leaf_in_pod(p) == tree.nodes_per_leaf()
+            && state.min_free_spine_slots_in_pod(p) >= l_t
+            && view.full_leaves_in_pod(state, p) >= l_t
+    }));
+    let pick = if count_u32(pods.len()) < t_full {
+        None
+    } else {
+        let mut inter = scratch.words.take();
+        inter.resize(m as usize, mask_of(tree.spines_per_group()));
+        let mut chosen = scratch.pods.take();
+        let pick = search_pods_full(
+            state,
+            view,
+            scratch,
+            &pods,
+            0,
+            &inter,
+            l_t,
+            t_full,
+            l_rt,
+            n_rl,
+            &mut chosen,
+            budget,
+        );
+        scratch.pods.put(chosen);
+        scratch.words.put(inter);
+        pick
+    };
+    scratch.pods.put(pods);
+    pick
 }
 
 #[allow(clippy::too_many_arguments)]
 fn search_pods_full<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     pods: &[PodId],
     idx: usize,
-    inter: Vec<u64>,
+    inter: &[u64],
     l_t: u32,
     t_full: u32,
     l_rt: u32,
@@ -456,7 +479,9 @@ fn search_pods_full<V: LinkView>(
 ) -> Option<ThreeLevelPick> {
     let tree = state.tree();
     if count_u32(chosen.len()) == t_full {
-        return complete_three_level_full(state, view, chosen, &inter, l_t, l_rt, n_rl, budget);
+        return complete_three_level_full(
+            state, view, scratch, chosen, inter, l_t, l_rt, n_rl, budget,
+        );
     }
     if budget.exhausted() {
         return None;
@@ -465,33 +490,43 @@ fn search_pods_full<V: LinkView>(
     if pods.len() - idx < needed {
         return None;
     }
-    'pods: for i in idx..=pods.len() - needed {
+    for i in idx..=pods.len() - needed {
         if !budget.spend() {
             return None;
         }
         let pod = pods[i];
-        let mut next = inter.clone();
+        let mut next = scratch.words.take();
+        next.extend_from_slice(inter);
+        let mut viable = true;
         for (pos, slot_mask) in next.iter_mut().enumerate() {
             *slot_mask &= view.spine_avail_mask(state, tree.l2_at(pod, count_u32(pos)));
             if slot_mask.count_ones() < l_t {
-                continue 'pods;
+                viable = false;
+                break;
             }
         }
+        if !viable {
+            scratch.words.put(next);
+            continue;
+        }
         chosen.push(pod);
-        if let Some(pick) = search_pods_full(
+        let pick = search_pods_full(
             state,
             view,
+            scratch,
             pods,
             i + 1,
-            next,
+            &next,
             l_t,
             t_full,
             l_rt,
             n_rl,
             chosen,
             budget,
-        ) {
-            return Some(pick);
+        );
+        scratch.words.put(next);
+        if pick.is_some() {
+            return pick;
         }
         chosen.pop();
     }
@@ -505,6 +540,7 @@ fn search_pods_full<V: LinkView>(
 fn complete_three_level_full<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     chosen: &[PodId],
     inter: &[u64],
     l_t: u32,
@@ -517,22 +553,14 @@ fn complete_three_level_full<V: LinkView>(
     let n_l = tree.nodes_per_leaf();
     let l2_set = mask_of(m);
 
-    let make_trees = |pods: &[PodId]| -> Vec<TreeAlloc> {
-        pods.iter()
-            .map(|&pod| TreeAlloc {
-                pod,
-                leaves: full_leaves(state, view, pod, l_t, None),
-            })
-            .collect()
-    };
-
     if l_rt == 0 && n_rl == 0 {
-        let spine_sets: Vec<u64> = inter.iter().map(|&mask| lowest_n_bits(mask, l_t)).collect();
+        let mut spine_sets = scratch.words.take();
+        spine_sets.extend(inter.iter().map(|&mask| lowest_n_bits(mask, l_t)));
         return Some(ThreeLevelPick {
             n_l,
             l_t,
             l2_set,
-            trees: make_trees(chosen),
+            trees: make_full_trees(state, view, scratch, chosen, l_t),
             spine_sets,
             rem_tree: None,
         });
@@ -541,6 +569,10 @@ fn complete_three_level_full<V: LinkView>(
     // Search for the remainder pod. The remainder's full leaves need every
     // L2 of the pod to offer at least l_rt free spine uplinks, so the
     // pod-min index rejects hopeless pods before any budget is spent.
+    // The two probe buffers are reused across candidate pods and recycled
+    // on every exit path.
+    let mut rem_full = scratch.leaves.take();
+    let mut rem_spine = scratch.words.take();
     'rem: for pod in tree.pods() {
         if chosen.contains(&pod) {
             continue;
@@ -549,18 +581,22 @@ fn complete_three_level_full<V: LinkView>(
             continue;
         }
         if !budget.spend() {
-            return None;
+            break 'rem;
         }
         if view.full_leaves_in_pod(state, pod) < l_rt {
             continue;
         }
-        let rem_full = full_leaves(state, view, pod, l_rt, None);
+        rem_full.clear();
+        full_leaves_into(state, view, pod, l_rt, None, &mut rem_full);
 
         // Per-position usable spine slots of the remainder pod within the
         // intersection chosen so far.
-        let rem_spine: Vec<u64> = (0..m)
-            .map(|pos| view.spine_avail_mask(state, tree.l2_at(pod, pos)) & inter[pos as usize])
-            .collect();
+        rem_spine.clear();
+        rem_spine.extend(
+            (0..m).map(|pos| {
+                view.spine_avail_mask(state, tree.l2_at(pod, pos)) & inter[pos as usize]
+            }),
+        );
 
         // Pick the remainder leaf and its S^r positions.
         let mut rem_leaf = None;
@@ -607,8 +643,10 @@ fn complete_three_level_full<V: LinkView>(
 
         // Construct spine sets: the remainder part first (so S*^r_i ⊆ S*_i
         // by construction), then fill to l_t from the intersection.
-        let mut spine_sets = vec![0u64; m as usize];
-        let mut rem_sets = vec![0u64; m as usize];
+        let mut spine_sets = scratch.words.take();
+        spine_sets.resize(m as usize, 0);
+        let mut rem_sets = scratch.words.take();
+        rem_sets.resize(m as usize, 0);
         for pos in 0..m as usize {
             let need = l_rt + u32::from(s_r & (1 << pos) != 0);
             let rem_part = lowest_n_bits(rem_spine[pos], need);
@@ -617,11 +655,12 @@ fn complete_three_level_full<V: LinkView>(
             spine_sets[pos] = rem_part | lowest_n_bits(fill, l_t - need);
         }
 
+        scratch.words.put(rem_spine);
         return Some(ThreeLevelPick {
             n_l,
             l_t,
             l2_set,
-            trees: make_trees(chosen),
+            trees: make_full_trees(state, view, scratch, chosen, l_t),
             spine_sets,
             rem_tree: Some(RemTree {
                 pod,
@@ -631,18 +670,39 @@ fn complete_three_level_full<V: LinkView>(
             }),
         });
     }
+    scratch.leaves.put(rem_full);
+    scratch.words.put(rem_spine);
     None
 }
 
-/// The first `count` full leaves of `pod`, optionally skipping one leaf.
-fn full_leaves<V: LinkView>(
+/// One full tree per chosen pod, leaves drawn from the scratch pools.
+fn make_full_trees<V: LinkView>(
+    state: &SystemState,
+    view: &V,
+    scratch: &mut SearchScratch,
+    pods: &[PodId],
+    l_t: u32,
+) -> Vec<TreeAlloc> {
+    let mut trees = scratch.trees.take();
+    for &pod in pods {
+        let mut leaves = scratch.leaves.take();
+        full_leaves_into(state, view, pod, l_t, None, &mut leaves);
+        trees.push(TreeAlloc { pod, leaves });
+    }
+    trees
+}
+
+/// The first `count` full leaves of `pod`, optionally skipping one leaf,
+/// appended to `out` (cleared by the caller).
+fn full_leaves_into<V: LinkView>(
     state: &SystemState,
     view: &V,
     pod: PodId,
     count: u32,
     skip: Option<LeafId>,
-) -> Vec<LeafId> {
-    let mut out = Vec::with_capacity(count as usize);
+    out: &mut Vec<LeafId>,
+) {
+    debug_assert!(out.is_empty());
     for leaf in state.tree().leaves_of_pod(pod) {
         if count_u32(out.len()) == count {
             break;
@@ -656,15 +716,14 @@ fn full_leaves<V: LinkView>(
         count,
         "caller verified full-leaf availability"
     );
-    out
 }
 
 /// One per-pod sub-solution of the general three-level search.
 #[derive(Debug, Clone)]
-struct PodSolution {
-    leaves: Vec<LeafId>,
+pub(crate) struct PodSolution {
+    pub(crate) leaves: Vec<LeafId>,
     /// Common usable uplink positions of the chosen leaves.
-    inter: u64,
+    pub(crate) inter: u64,
 }
 
 /// The least-constrained three-level search (LC+S): like
@@ -676,6 +735,7 @@ struct PodSolution {
 pub fn find_three_level_general<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     n_l: u32,
     l_t: u32,
     t_full: u32,
@@ -689,42 +749,63 @@ pub fn find_three_level_general<V: LinkView>(
 
     // Enumerate sub-solutions per pod, skipping pods whose best leaf
     // cannot host n_l nodes (the collect would come back empty anyway).
-    let mut solutions: Vec<(PodId, Vec<PodSolution>)> = Vec::new();
+    let mut solutions = scratch.sol_lists.take();
+    let mut aborted = false;
     for pod in tree.pods() {
         if state.max_free_nodes_on_leaf_in_pod(pod) < n_l {
             continue;
         }
         if budget.exhausted() {
-            return None;
+            aborted = true;
+            break;
         }
-        let mut sltns = Vec::new();
-        collect_pod_solutions(state, view, pod, l_t, n_l, per_pod_cap, &mut sltns, budget);
-        if !sltns.is_empty() {
+        let mut sltns = scratch.sols.take();
+        collect_pod_solutions(
+            state,
+            view,
+            scratch,
+            pod,
+            l_t,
+            n_l,
+            per_pod_cap,
+            &mut sltns,
+            budget,
+        );
+        if sltns.is_empty() {
+            scratch.sols.put(sltns);
+        } else {
             solutions.push((pod, sltns));
         }
     }
-    if count_u32(solutions.len()) < t_full {
-        return None;
-    }
-
-    let m = tree.l2_per_pod();
-    let spine_full = mask_of(tree.spines_per_group());
-    let mut chosen: Vec<(PodId, usize)> = Vec::with_capacity(t_full as usize);
-    search_pods_general(
-        state,
-        view,
-        &solutions,
-        0,
-        mask_of(m),
-        vec![spine_full; m as usize],
-        n_l,
-        l_t,
-        t_full,
-        l_rt,
-        n_rl,
-        &mut chosen,
-        budget,
-    )
+    let pick = if aborted || count_u32(solutions.len()) < t_full {
+        None
+    } else {
+        let m = tree.l2_per_pod();
+        let mut spine_inter = scratch.words.take();
+        spine_inter.resize(m as usize, mask_of(tree.spines_per_group()));
+        let mut chosen = scratch.picks.take();
+        let pick = search_pods_general(
+            state,
+            view,
+            scratch,
+            &solutions,
+            0,
+            mask_of(m),
+            &spine_inter,
+            n_l,
+            l_t,
+            t_full,
+            l_rt,
+            n_rl,
+            &mut chosen,
+            budget,
+        );
+        scratch.picks.put(chosen);
+        scratch.words.put(spine_inter);
+        pick
+    };
+    scratch.put_solutions(solutions);
+    pick
 }
 
 /// Enumerate up to `cap` two-level sub-solutions (`l_t` leaves × `n_l`
@@ -733,6 +814,7 @@ pub fn find_three_level_general<V: LinkView>(
 fn collect_pod_solutions<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     pod: PodId,
     l_t: u32,
     n_l: u32,
@@ -741,7 +823,7 @@ fn collect_pod_solutions<V: LinkView>(
     budget: &mut Budget,
 ) {
     let tree = state.tree();
-    let mut candidates: Vec<(LeafId, u64)> = Vec::new();
+    let mut candidates = scratch.cands.take();
     for leaf in tree.leaves_of_pod(pod) {
         if state.free_nodes_on_leaf(leaf) >= n_l {
             let mask = view.leaf_avail_mask(state, leaf);
@@ -750,25 +832,28 @@ fn collect_pod_solutions<V: LinkView>(
             }
         }
     }
-    if count_u32(candidates.len()) < l_t {
-        return;
+    if count_u32(candidates.len()) >= l_t {
+        let mut chosen = scratch.leaves.take();
+        collect_rec(
+            scratch,
+            &candidates,
+            0,
+            mask_of(tree.l2_per_pod()),
+            l_t,
+            n_l,
+            cap,
+            &mut chosen,
+            out,
+            budget,
+        );
+        scratch.leaves.put(chosen);
     }
-    let mut chosen = Vec::with_capacity(l_t as usize);
-    collect_rec(
-        &candidates,
-        0,
-        mask_of(tree.l2_per_pod()),
-        l_t,
-        n_l,
-        cap,
-        &mut chosen,
-        out,
-        budget,
-    );
+    scratch.cands.put(candidates);
 }
 
 #[allow(clippy::too_many_arguments)]
 fn collect_rec(
+    scratch: &mut SearchScratch,
     candidates: &[(LeafId, u64)],
     idx: usize,
     inter: u64,
@@ -786,10 +871,9 @@ fn collect_rec(
         // Keep solutions with distinct intersections only — duplicates add
         // no matching power at the L3 stage.
         if !out.iter().any(|s| s.inter == inter) {
-            out.push(PodSolution {
-                leaves: chosen.clone(),
-                inter,
-            });
+            let mut leaves = scratch.leaves.take();
+            leaves.extend_from_slice(chosen);
+            out.push(PodSolution { leaves, inter });
         }
         return;
     }
@@ -807,7 +891,18 @@ fn collect_rec(
             continue;
         }
         chosen.push(leaf);
-        collect_rec(candidates, i + 1, next, l_t, n_l, cap, chosen, out, budget);
+        collect_rec(
+            scratch,
+            candidates,
+            i + 1,
+            next,
+            l_t,
+            n_l,
+            cap,
+            chosen,
+            out,
+            budget,
+        );
         chosen.pop();
         if out.len() >= cap {
             return;
@@ -819,10 +914,11 @@ fn collect_rec(
 fn search_pods_general<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     solutions: &[(PodId, Vec<PodSolution>)],
     idx: usize,
     pos_cand: u64,
-    spine_inter: Vec<u64>,
+    spine_inter: &[u64],
     n_l: u32,
     l_t: u32,
     t_full: u32,
@@ -836,10 +932,11 @@ fn search_pods_general<V: LinkView>(
         return complete_three_level_general(
             state,
             view,
+            scratch,
             solutions,
             chosen,
             pos_cand,
-            &spine_inter,
+            spine_inter,
             n_l,
             l_t,
             l_rt,
@@ -854,23 +951,27 @@ fn search_pods_general<V: LinkView>(
     if solutions.len() - idx < needed {
         return None;
     }
+    let mut pod_spines = scratch.words.take();
     for i in idx..=solutions.len() - needed {
         let (pod, sltns) = &solutions[i];
         // Spine availability of this pod per position (independent of which
         // sub-solution is used — spine links hang off the pod's L2
         // switches, not its leaves).
-        let pod_spines: Vec<u64> = (0..tree.l2_per_pod())
-            .map(|pos| view.spine_avail_mask(state, tree.l2_at(*pod, pos)))
-            .collect();
+        pod_spines.clear();
+        pod_spines.extend(
+            (0..tree.l2_per_pod()).map(|pos| view.spine_avail_mask(state, tree.l2_at(*pod, pos))),
+        );
         for (si, sltn) in sltns.iter().enumerate() {
             if !budget.spend() {
+                scratch.words.put(pod_spines);
                 return None;
             }
             let next_pos = pos_cand & sltn.inter;
             if next_pos.count_ones() < n_l {
                 continue;
             }
-            let mut next_spine = spine_inter.clone();
+            let mut next_spine = scratch.words.take();
+            next_spine.extend_from_slice(spine_inter);
             let mut good_positions = 0;
             for pos in iter_mask(next_pos) {
                 next_spine[pos as usize] &= pod_spines[pos as usize];
@@ -879,16 +980,18 @@ fn search_pods_general<V: LinkView>(
                 }
             }
             if good_positions < n_l {
+                scratch.words.put(next_spine);
                 continue;
             }
             chosen.push((*pod, si));
-            if let Some(pick) = search_pods_general(
+            let pick = search_pods_general(
                 state,
                 view,
+                scratch,
                 solutions,
                 i + 1,
                 next_pos,
-                next_spine,
+                &next_spine,
                 n_l,
                 l_t,
                 t_full,
@@ -896,12 +999,16 @@ fn search_pods_general<V: LinkView>(
                 n_rl,
                 chosen,
                 budget,
-            ) {
-                return Some(pick);
+            );
+            scratch.words.put(next_spine);
+            if pick.is_some() {
+                scratch.words.put(pod_spines);
+                return pick;
             }
             chosen.pop();
         }
     }
+    scratch.words.put(pod_spines);
     None
 }
 
@@ -909,6 +1016,7 @@ fn search_pods_general<V: LinkView>(
 fn complete_three_level_general<V: LinkView>(
     state: &SystemState,
     view: &V,
+    scratch: &mut SearchScratch,
     solutions: &[(PodId, Vec<PodSolution>)],
     chosen: &[(PodId, usize)],
     pos_cand: u64,
@@ -922,38 +1030,25 @@ fn complete_three_level_general<V: LinkView>(
     let tree = state.tree();
     let m = tree.l2_per_pod() as usize;
 
-    // `chosen` only ever holds pods drawn from `solutions`, so the lookup
-    // cannot miss; propagating the `Option` keeps this fn panic-free anyway.
-    let lookup = |pod: PodId, si: usize| -> Option<&PodSolution> {
-        let (_, sltns) = solutions.iter().find(|(p, _)| *p == pod)?;
-        sltns.get(si)
-    };
-
     // Positions usable for S: in every chosen sub-solution's intersection
     // and with ≥ l_t common spines.
-    let usable: Vec<u32> = iter_mask(pos_cand)
-        .filter(|&pos| spine_inter[pos as usize].count_ones() >= l_t)
-        .collect();
+    let mut usable = scratch.positions.take();
+    usable.extend(iter_mask(pos_cand).filter(|&pos| spine_inter[pos as usize].count_ones() >= l_t));
     if count_u32(usable.len()) < n_l {
+        scratch.positions.put(usable);
         return None;
     }
 
     let no_remainder = l_rt == 0 && n_rl == 0;
     if no_remainder {
         let l2_set: u64 = usable.iter().take(n_l as usize).map(|&p| 1u64 << p).sum();
-        let mut spine_sets = vec![0u64; m];
+        scratch.positions.put(usable);
+        let trees = picked_trees(scratch, solutions, chosen)?;
+        let mut spine_sets = scratch.words.take();
+        spine_sets.resize(m, 0);
         for pos in iter_mask(l2_set) {
             spine_sets[pos as usize] = lowest_n_bits(spine_inter[pos as usize], l_t);
         }
-        let trees = chosen
-            .iter()
-            .map(|&(pod, si)| {
-                Some(TreeAlloc {
-                    pod,
-                    leaves: lookup(pod, si)?.leaves.clone(),
-                })
-            })
-            .collect::<Option<_>>()?;
         return Some(ThreeLevelPick {
             n_l,
             l_t,
@@ -967,7 +1062,12 @@ fn complete_three_level_general<V: LinkView>(
     // Remainder pod search (general shapes). The remainder needs a leaf
     // with n_l nodes (or n_rl when it is only a remainder leaf), so the
     // pod-max index rejects drained pods before any budget is spent.
+    // The probe buffers are reused across candidate pods and recycled on
+    // every exit path.
     let min_leaf_nodes = if l_rt > 0 { n_l } else { n_rl };
+    let mut pod_spines = scratch.words.take();
+    let mut ranked = scratch.positions.take();
+    let mut rem_leaves = scratch.leaves.take();
     'rem: for pod in tree.pods() {
         if chosen.iter().any(|&(p, _)| p == pod) {
             continue;
@@ -976,30 +1076,38 @@ fn complete_three_level_general<V: LinkView>(
             continue;
         }
         if !budget.spend() {
-            return None;
+            break 'rem;
         }
-        let pod_spines: Vec<u64> = (0..tree.l2_per_pod())
-            .map(|pos| {
-                view.spine_avail_mask(state, tree.l2_at(pod, pos)) & spine_inter[pos as usize]
-            })
-            .collect();
+        pod_spines.clear();
+        pod_spines.extend((0..tree.l2_per_pod()).map(|pos| {
+            view.spine_avail_mask(state, tree.l2_at(pod, pos)) & spine_inter[pos as usize]
+        }));
 
         // Rank usable positions by remainder-pod spine slack and keep those
-        // able to carry at least l_rt uplinks.
-        let mut ranked: Vec<u32> = usable
-            .iter()
-            .copied()
-            .filter(|&pos| pod_spines[pos as usize].count_ones() >= l_rt)
-            .collect();
+        // able to carry at least l_rt uplinks. The tie-break on position
+        // keeps the pick deterministic (and alloc-free — stable sorts buy
+        // a merge buffer from the heap).
+        ranked.clear();
+        ranked.extend(
+            usable
+                .iter()
+                .copied()
+                .filter(|&pos| pod_spines[pos as usize].count_ones() >= l_rt),
+        );
         if count_u32(ranked.len()) < n_l {
             continue 'rem;
         }
-        ranked.sort_by_key(|&pos| std::cmp::Reverse(pod_spines[pos as usize].count_ones()));
+        ranked.sort_unstable_by_key(|&pos| {
+            (
+                std::cmp::Reverse(pod_spines[pos as usize].count_ones()),
+                pos,
+            )
+        });
         ranked.truncate(n_l as usize);
         let l2_set: u64 = ranked.iter().map(|&p| 1u64 << p).sum();
 
         // Find l_rt full leaves (n_l nodes, uplinks covering S).
-        let mut rem_leaves = Vec::with_capacity(l_rt as usize);
+        rem_leaves.clear();
         let mut rem_leaf = None;
         let mut s_r = 0u64;
         for leaf in tree.leaves_of_pod(pod) {
@@ -1044,28 +1152,40 @@ fn complete_three_level_general<V: LinkView>(
         }
 
         // Construct spine sets.
-        let mut spine_sets = vec![0u64; m];
-        let mut rem_sets = vec![0u64; m];
+        let mut spine_sets = scratch.words.take();
+        spine_sets.resize(m, 0);
+        let mut rem_sets = scratch.words.take();
+        rem_sets.resize(m, 0);
+        let mut feasible = true;
         for pos in iter_mask(l2_set) {
             let need = l_rt + u32::from(s_r & (1 << pos) != 0);
             let rem_part = lowest_n_bits(pod_spines[pos as usize], need);
             rem_sets[pos as usize] = rem_part;
             let fill = spine_inter[pos as usize] & !rem_part;
             if fill.count_ones() < l_t - need {
-                continue 'rem;
+                feasible = false;
+                break;
             }
             spine_sets[pos as usize] = rem_part | lowest_n_bits(fill, l_t - need);
         }
+        if !feasible {
+            scratch.words.put(spine_sets);
+            scratch.words.put(rem_sets);
+            continue 'rem;
+        }
 
-        let trees = chosen
-            .iter()
-            .map(|&(p, si)| {
-                Some(TreeAlloc {
-                    pod: p,
-                    leaves: lookup(p, si)?.leaves.clone(),
-                })
-            })
-            .collect::<Option<_>>()?;
+        scratch.words.put(pod_spines);
+        scratch.positions.put(ranked);
+        scratch.positions.put(usable);
+        let trees = match picked_trees(scratch, solutions, chosen) {
+            Some(trees) => trees,
+            None => {
+                scratch.leaves.put(rem_leaves);
+                scratch.words.put(spine_sets);
+                scratch.words.put(rem_sets);
+                return None;
+            }
+        };
         return Some(ThreeLevelPick {
             n_l,
             l_t,
@@ -1080,7 +1200,39 @@ fn complete_three_level_general<V: LinkView>(
             }),
         });
     }
+    scratch.words.put(pod_spines);
+    scratch.positions.put(ranked);
+    scratch.positions.put(usable);
+    scratch.leaves.put(rem_leaves);
     None
+}
+
+/// Copy the chosen sub-solutions' leaf sets into pooled [`TreeAlloc`]s.
+/// `chosen` only ever holds pods drawn from `solutions`, so the lookup
+/// cannot miss; propagating the `Option` keeps this panic-free anyway.
+fn picked_trees(
+    scratch: &mut SearchScratch,
+    solutions: &[(PodId, Vec<PodSolution>)],
+    chosen: &[(PodId, usize)],
+) -> Option<Vec<TreeAlloc>> {
+    let mut trees = scratch.trees.take();
+    for &(pod, si) in chosen {
+        let sltn = solutions
+            .iter()
+            .find(|(p, _)| *p == pod)
+            .and_then(|(_, sltns)| sltns.get(si));
+        let Some(sltn) = sltn else {
+            for t in trees.drain(..) {
+                scratch.leaves.put(t.leaves);
+            }
+            scratch.trees.put(trees);
+            return None;
+        };
+        let mut leaves = scratch.leaves.take();
+        leaves.extend_from_slice(&sltn.leaves);
+        trees.push(TreeAlloc { pod, leaves });
+    }
+    Some(trees)
 }
 
 #[cfg(test)]
@@ -1099,6 +1251,7 @@ mod tests {
         let pick = find_two_level(
             &state,
             &Exclusive,
+            &mut SearchScratch::default(),
             PodId(0),
             2,
             3,
@@ -1123,6 +1276,7 @@ mod tests {
         assert!(find_two_level(
             &state,
             &Exclusive,
+            &mut SearchScratch::default(),
             PodId(0),
             2,
             2,
@@ -1134,6 +1288,7 @@ mod tests {
         assert!(find_two_level(
             &state,
             &Exclusive,
+            &mut SearchScratch::default(),
             PodId(0),
             1,
             2,
@@ -1155,6 +1310,7 @@ mod tests {
         assert!(find_two_level(
             &state,
             &Exclusive,
+            &mut SearchScratch::default(),
             PodId(0),
             2,
             1,
@@ -1167,6 +1323,7 @@ mod tests {
         assert!(find_two_level(
             &state,
             &Exclusive,
+            &mut SearchScratch::default(),
             PodId(0),
             1,
             2,
@@ -1177,6 +1334,7 @@ mod tests {
         assert!(find_two_level(
             &state,
             &Exclusive,
+            &mut SearchScratch::default(),
             PodId(0),
             1,
             1,
@@ -1190,8 +1348,17 @@ mod tests {
     fn three_level_full_on_empty_tree() {
         let state = fresh(4); // pods of 2 leaves × 2 nodes
                               // T=2 full trees × (l_t=2 × W=2) + remainder tree (1 full leaf + 1-node leaf).
-        let pick = find_three_level_full(&state, &Exclusive, 2, 2, 1, 1, &mut Budget::unlimited())
-            .expect("allocation exists");
+        let pick = find_three_level_full(
+            &state,
+            &Exclusive,
+            &mut SearchScratch::default(),
+            2,
+            2,
+            1,
+            1,
+            &mut Budget::unlimited(),
+        )
+        .expect("allocation exists");
         assert_eq!(pick.trees.len(), 2);
         assert_eq!(pick.l2_set, 0b11);
         let rem = pick.rem_tree.as_ref().unwrap();
@@ -1216,15 +1383,31 @@ mod tests {
         }
         // A 2-tree allocation needing l_t = 2 spine uplinks per position can
         // only use pods 2 and 3 now.
-        let pick = find_three_level_full(&state, &Exclusive, 2, 2, 0, 0, &mut Budget::unlimited())
-            .expect("pods 2,3 remain");
+        let pick = find_three_level_full(
+            &state,
+            &Exclusive,
+            &mut SearchScratch::default(),
+            2,
+            2,
+            0,
+            0,
+            &mut Budget::unlimited(),
+        )
+        .expect("pods 2,3 remain");
         let pods: Vec<_> = pick.trees.iter().map(|t| t.pod).collect();
         assert_eq!(pods, vec![PodId(2), PodId(3)]);
         // Asking for three trees must fail.
-        assert!(
-            find_three_level_full(&state, &Exclusive, 2, 3, 0, 0, &mut Budget::unlimited())
-                .is_none()
-        );
+        assert!(find_three_level_full(
+            &state,
+            &Exclusive,
+            &mut SearchScratch::default(),
+            2,
+            3,
+            0,
+            0,
+            &mut Budget::unlimited()
+        )
+        .is_none());
     }
 
     #[test]
@@ -1234,6 +1417,7 @@ mod tests {
         let pick = find_three_level_general(
             &state,
             &Exclusive,
+            &mut SearchScratch::default(),
             2,
             3,
             2,
@@ -1255,7 +1439,18 @@ mod tests {
     fn budget_exhaustion_aborts() {
         let state = fresh(8);
         let mut budget = Budget::new(1);
-        let _ = find_three_level_general(&state, &Exclusive, 2, 3, 2, 1, 1, &mut budget, 8);
+        let _ = find_three_level_general(
+            &state,
+            &Exclusive,
+            &mut SearchScratch::default(),
+            2,
+            3,
+            2,
+            1,
+            1,
+            &mut budget,
+            8,
+        );
         assert!(budget.exhausted() || budget.spent() <= 2);
     }
 

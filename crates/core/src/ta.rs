@@ -96,7 +96,6 @@ impl TaAllocator {
         leaves: impl Iterator<Item = LeafId>,
         size: u32,
     ) -> (Vec<NodeId>, Vec<LeafId>) {
-        let tree = state.tree();
         let mut nodes = Vec::with_capacity(size as usize);
         let mut touched = Vec::new();
         for leaf in leaves {
@@ -107,13 +106,11 @@ impl TaAllocator {
                 continue;
             }
             let before = nodes.len();
-            for node in tree.nodes_of_leaf(leaf) {
+            for node in state.free_nodes_on_leaf_iter(leaf) {
                 if count_u32(nodes.len()) == size {
                     break;
                 }
-                if state.is_node_free(node) {
-                    nodes.push(node);
-                }
+                nodes.push(node);
             }
             if nodes.len() > before {
                 touched.push(leaf);
@@ -172,8 +169,8 @@ impl Allocator for TaAllocator {
                 };
                 self.leaf_small[leaf.idx()] += 1;
                 (
-                    tree.nodes_of_leaf(leaf)
-                        .filter(|&n| state.is_node_free(n))
+                    state
+                        .free_nodes_on_leaf_iter(leaf)
                         .take(req.size as usize)
                         .collect::<Vec<_>>(),
                     Vec::new(),

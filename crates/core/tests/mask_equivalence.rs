@@ -1,0 +1,94 @@
+//! Property test: the word-parallel free-node masks select exactly the
+//! nodes the old per-slot `is_node_free` scan selected.
+//!
+//! Every scheme's node selection used to walk leaf slots in ascending order
+//! and pick free nodes first-fit. The mask rewrite (`count_ones` capacity
+//! checks, `trailing_zeros` iteration) must be observationally identical:
+//! on every leaf an allocation touches, the granted nodes are exactly the
+//! first k free-by-scan nodes of that leaf in ascending slot order, for any
+//! prior claim/release/offline history.
+
+use std::collections::BTreeMap;
+
+use jigsaw_core::{JobRequest, Scheme};
+use jigsaw_topology::ids::{JobId, LeafId, NodeId};
+use jigsaw_topology::{FatTree, SystemState};
+use proptest::prelude::*;
+
+/// The reference selection: ascending-slot first-fit over `is_node_free`,
+/// exactly what the pre-mask code did.
+fn scan_free_nodes(state: &SystemState, leaf: LeafId) -> Vec<NodeId> {
+    let tree = state.tree();
+    (0..tree.nodes_per_leaf())
+        .map(|slot| tree.node_at(leaf, slot))
+        .filter(|&n| state.is_node_free(n))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schemes_select_the_scan_first_fit_nodes(
+        ops in prop::collection::vec((0u32..128, 0u8..3), 0..80),
+        sizes in prop::collection::vec(1u32..40, 1..5),
+    ) {
+        let tree = FatTree::maximal(8).unwrap(); // 128 nodes, 4-node leaves
+        for scheme in Scheme::ALL {
+            let mut state = SystemState::new(tree);
+            // Random history: foreign claims, releases, offline toggles.
+            let mut owned: Vec<NodeId> = Vec::new();
+            for &(k, op) in &ops {
+                let node = NodeId(k % tree.num_nodes());
+                match op {
+                    0 => {
+                        if state.is_node_free(node) {
+                            state.claim_node(node, JobId(999));
+                            owned.push(node);
+                        }
+                    }
+                    1 => {
+                        if let Some(n) = owned.pop() {
+                            state.release_node(n);
+                        }
+                    }
+                    _ => {
+                        if state.is_node_offline(node) {
+                            state.set_node_online(node);
+                        } else if state.is_node_free(node) {
+                            state.set_node_offline(node);
+                        }
+                    }
+                }
+            }
+            let mut alloc = scheme.make(&tree);
+            for (i, &size) in sizes.iter().enumerate() {
+                let before = state.clone();
+                let Ok(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i as u32), size))
+                else {
+                    continue;
+                };
+                // Granted nodes, grouped per leaf in grant order.
+                let mut per_leaf: BTreeMap<LeafId, Vec<NodeId>> = BTreeMap::new();
+                for &n in &a.nodes {
+                    per_leaf.entry(tree.leaf_of_node(n)).or_default().push(n);
+                }
+                for (leaf, picked) in per_leaf {
+                    let scan = scan_free_nodes(&before, leaf);
+                    prop_assert!(
+                        scan.len() >= picked.len(),
+                        "{scheme}: granted more nodes on leaf {leaf:?} than were free"
+                    );
+                    prop_assert_eq!(
+                        &picked[..],
+                        &scan[..picked.len()],
+                        "{} picked different nodes than the per-slot scan on {:?}",
+                        scheme,
+                        leaf
+                    );
+                }
+                state.assert_consistent();
+            }
+        }
+    }
+}

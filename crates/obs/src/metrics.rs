@@ -212,25 +212,51 @@ impl Histogram {
         self.0.as_ref().map_or(0, |h| h.sum.load(Ordering::Relaxed))
     }
 
-    /// Upper bound of the bucket containing the `q`-quantile sample
-    /// (`0.0 ..= 1.0`), e.g. `quantile(0.5)` ≈ p50, `quantile(0.99)` ≈ p99.
-    /// Log2 buckets bound the answer to within 2× of the true quantile —
-    /// the right fidelity for latency reporting, and computable without
-    /// retaining samples. Returns 0 when disabled or empty.
+    /// Estimate of the `q`-quantile sample (`0.0 ..= 1.0`), e.g.
+    /// `quantile(0.5)` ≈ p50, `quantile(0.99)` ≈ p99. Finds the log2 bucket
+    /// holding the sample of rank `q·count` and interpolates linearly
+    /// within the bucket's value range by the rank's position among the
+    /// bucket's samples — so reported quantiles are not snapped to the
+    /// power-of-two bucket bounds (a raw upper bound over-reports by up to
+    /// 2×; see BENCH_serve.json history). Still within one bucket (2×) of
+    /// the true quantile, computable without retaining samples. Returns 0
+    /// when disabled or empty.
     pub fn quantile(&self, q: f64) -> u64 {
         let Some(h) = &self.0 else { return 0 };
         let (buckets, count, _) = h.snapshot();
         if count == 0 {
             return 0;
         }
-        // First bucket whose cumulative count reaches q·count — the bucket
-        // holding the sample of rank ceil(q·count).
-        let target = (q * count as f64).max(0.0);
+        // 1-based rank of the q-quantile sample, clamped into range.
+        let target = (q * count as f64).clamp(1.0, count as f64);
         let mut seen = 0u64;
         for (i, &c) in buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen;
             seen += c;
-            if seen > 0 && seen as f64 >= target {
-                return bucket_upper_bound(i);
+            if seen as f64 >= target {
+                if i == 0 {
+                    return 0; // bucket 0 holds only the value 0
+                }
+                let lo = bucket_upper_bound(i - 1) + 1;
+                // The last bucket is unbounded; pretend it spans one
+                // doubling like every other bucket.
+                let hi = if i >= BUCKET_COUNT - 1 {
+                    lo.saturating_mul(2).saturating_sub(1)
+                } else {
+                    bucket_upper_bound(i)
+                };
+                let frac = ((target - before as f64) / c as f64).clamp(0.0, 1.0);
+                // Truncation cannot occur: `frac` ∈ [0, 1], so the rounded
+                // offset stays within the bucket span `hi - lo`.
+                #[allow(
+                    clippy::cast_precision_loss,
+                    clippy::cast_sign_loss,
+                    clippy::cast_possible_truncation
+                )]
+                return lo + (((hi - lo) as f64 * frac).round() as u64);
             }
         }
         bucket_upper_bound(BUCKET_COUNT - 1)
@@ -264,22 +290,30 @@ mod tests {
     #[test]
     fn quantiles_walk_the_buckets() {
         let h = Histogram(Some(Arc::new(HistogramCore::new())));
-        // 90 fast samples (~100ns bucket), 10 slow (~1ms bucket).
+        // 90 fast samples (~100ns bucket [64, 127]), 10 slow (~1ms bucket
+        // [524288, 1048575]).
         for _ in 0..90 {
             h.observe(100);
         }
         for _ in 0..10 {
             h.observe(1_000_000);
         }
-        assert_eq!(h.quantile(0.5), bucket_upper_bound(bucket_index(100)));
-        assert_eq!(h.quantile(0.9), bucket_upper_bound(bucket_index(100)));
-        assert_eq!(
-            h.quantile(0.99),
-            bucket_upper_bound(bucket_index(1_000_000))
-        );
-        assert_eq!(h.quantile(1.0), bucket_upper_bound(bucket_index(1_000_000)));
-        // q=0 is the minimum's bucket.
-        assert_eq!(h.quantile(0.0), bucket_upper_bound(bucket_index(100)));
+        // Interpolated within the fast bucket: rank 50 of 90 → 64 + 63·(50/90).
+        assert_eq!(h.quantile(0.5), 99);
+        // Rank 90 of 90 tops out the fast bucket.
+        assert_eq!(h.quantile(0.9), 127);
+        // Rank 99 falls 9/10 into the slow bucket.
+        assert_eq!(h.quantile(0.99), 996_146);
+        assert_eq!(h.quantile(1.0), 1_048_575);
+        // q=0 clamps to the first sample, at the bottom of its bucket range.
+        assert_eq!(h.quantile(0.0), 64 + 1);
+        // The estimate stays within the true sample's bucket (the 2× bound).
+        for (q, sample) in [(0.3, 100u64), (0.95, 1_000_000)] {
+            let i = bucket_index(sample);
+            let est = h.quantile(q);
+            assert!(est > bucket_upper_bound(i - 1) && est <= bucket_upper_bound(i));
+            assert!(!est.is_power_of_two(), "quantile snapped to a bucket bound");
+        }
         assert_eq!(Histogram::disabled().quantile(0.5), 0);
         let empty = Histogram(Some(Arc::new(HistogramCore::new())));
         assert_eq!(empty.quantile(0.99), 0);

@@ -113,7 +113,7 @@ pub(crate) fn plan(
                 // divergence; skipping keeps the scratch consistent.
                 if r.start <= tau + 1e-12
                     && tau < r.end - 1e-12
-                    && r.alloc.nodes.iter().all(|&n| scratch.is_node_free(n))
+                    && scratch.all_nodes_free(&r.alloc.nodes)
                 {
                     salloc.adopt(&mut scratch, &r.alloc);
                 }

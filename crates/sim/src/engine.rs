@@ -762,7 +762,7 @@ impl<'a> Sim<'a> {
         for r in self.reservations.values() {
             if r.start < start + est - EPS
                 && start < r.est_end - EPS
-                && r.alloc.nodes.iter().all(|&n| scratch.is_node_free(n))
+                && scratch.all_nodes_free(&r.alloc.nodes)
             {
                 salloc.adopt(&mut scratch, &r.alloc);
             }
@@ -808,7 +808,7 @@ impl<'a> Sim<'a> {
             let Some(r) = self.reservations.remove(&idx) else {
                 continue; // already claimed (same-instant registration)
             };
-            if r.alloc.nodes.iter().all(|&n| self.state.is_node_free(n)) {
+            if self.state.all_nodes_free(&r.alloc.nodes) {
                 self.allocator.adopt(&mut self.state, &r.alloc);
                 self.start_job(idx, r.alloc, t);
                 continue;
@@ -967,7 +967,7 @@ impl<'a> Sim<'a> {
             .collect();
         for (&i, r) in &self.reservations {
             // Guarded adoption (see `register_reservation`).
-            if r.alloc.nodes.iter().all(|&n| scratch_state.is_node_free(n)) {
+            if scratch_state.all_nodes_free(&r.alloc.nodes) {
                 scratch_alloc.adopt(&mut scratch_state, &r.alloc);
                 timeline.push((r.est_end, i, &r.alloc));
             }

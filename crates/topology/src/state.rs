@@ -63,7 +63,13 @@ impl Default for LinkBandwidth {
 pub type JobTag = JobId;
 
 /// Full allocation state of one fat-tree system. See the module docs.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialization (manual impls below) carries only the *primary* vectors —
+/// owners and reserved bandwidth; every derived index is rebuilt on
+/// deserialize. That keeps snapshots forward-compatible: adding a derived
+/// index (as the free-node mask was) never invalidates existing snapshots,
+/// and a loaded state is consistent by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SystemState {
     tree: FatTree,
     bandwidth: LinkBandwidth,
@@ -78,6 +84,10 @@ pub struct SystemState {
 
     free_nodes_per_leaf: Vec<u32>,
     free_nodes_per_pod: Vec<u32>,
+    /// Bit `s` set ⇔ the node at slot `s` of this leaf is free (neither
+    /// owned nor offline). The word-parallel twin of `free_nodes_per_leaf`:
+    /// `count_ones` is the capacity, `trailing_zeros` the first-fit slot.
+    leaf_node_free: Vec<u64>,
     /// Bit `i` set ⇔ this leaf's uplink to L2 position `i` is free.
     leaf_uplink_free: Vec<u64>,
     /// Bit `j` set ⇔ this L2 switch's uplink to spine slot `j` is free.
@@ -118,6 +128,7 @@ impl SystemState {
             spine_link_bw: vec![0; tree.num_spine_links() as usize],
             free_nodes_per_leaf: vec![tree.nodes_per_leaf(); tree.num_leaves() as usize],
             free_nodes_per_pod: vec![tree.nodes_per_pod(); tree.num_pods() as usize],
+            leaf_node_free: vec![mask_of(tree.nodes_per_leaf()); tree.num_leaves() as usize],
             leaf_uplink_free: vec![leaf_mask; tree.num_leaves() as usize],
             spine_uplink_free: vec![spine_mask; tree.num_l2() as usize],
             fully_free_leaves_per_pod: vec![tree.leaves_per_pod(); tree.num_pods() as usize],
@@ -166,6 +177,65 @@ impl SystemState {
         self.free_nodes_per_pod[pod.idx()]
     }
 
+    /// Bitmask of `leaf`'s free nodes (bit `s` ⇔ the node at slot `s` is
+    /// free). `count_ones()` equals [`SystemState::free_nodes_on_leaf`];
+    /// `trailing_zeros()` is the first-fit slot.
+    #[inline]
+    pub fn leaf_free_node_mask(&self, leaf: LeafId) -> u64 {
+        self.leaf_node_free[leaf.idx()]
+    }
+
+    /// The free nodes under `leaf`, in slot order, straight off the free
+    /// mask — no per-slot ownership probes.
+    #[inline]
+    pub fn free_nodes_on_leaf_iter(&self, leaf: LeafId) -> impl Iterator<Item = NodeId> + '_ {
+        let tree = self.tree;
+        crate::bitset::iter_mask(self.leaf_node_free[leaf.idx()])
+            .map(move |s| tree.node_at(leaf, s))
+    }
+
+    /// First-fit: the lowest-slot free node under `leaf`, if any.
+    #[inline]
+    pub fn first_free_node_on_leaf(&self, leaf: LeafId) -> Option<NodeId> {
+        let mask = self.leaf_node_free[leaf.idx()];
+        if mask == 0 {
+            None
+        } else {
+            Some(self.tree.node_at(leaf, mask.trailing_zeros()))
+        }
+    }
+
+    /// The lowest-id free node in the whole system, if any. Scans one `u64`
+    /// per leaf instead of one owner word per node.
+    pub fn first_free_node(&self) -> Option<NodeId> {
+        self.leaf_node_free.iter().enumerate().find_map(|(l, &m)| {
+            if m == 0 {
+                None
+            } else {
+                Some(self.tree.node_at(LeafId(count_u32(l)), m.trailing_zeros()))
+            }
+        })
+    }
+
+    /// `true` iff every node in `nodes` is free. Word-parallel: consecutive
+    /// nodes on the same leaf (the layout `Allocation::nodes` uses) are
+    /// checked with one mask test per leaf run, not one probe per node.
+    pub fn all_nodes_free(&self, nodes: &[NodeId]) -> bool {
+        let mut i = 0;
+        while i < nodes.len() {
+            let leaf = self.tree.leaf_of_node(nodes[i]);
+            let mut want = 0u64;
+            while i < nodes.len() && self.tree.leaf_of_node(nodes[i]) == leaf {
+                want |= 1u64 << self.tree.node_slot(nodes[i]);
+                i += 1;
+            }
+            if self.leaf_node_free[leaf.idx()] & want != want {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Total allocated nodes (for instantaneous-utilization sampling).
     #[inline]
     pub fn allocated_node_count(&self) -> u32 {
@@ -199,6 +269,7 @@ impl SystemState {
         self.node_owner[node.idx()] = OFFLINE;
         let leaf = self.tree.leaf_of_node(node);
         let pod = self.tree.pod_of_leaf(leaf);
+        self.leaf_node_free[leaf.idx()] &= !(1u64 << self.tree.node_slot(node));
         self.free_nodes_per_leaf[leaf.idx()] -= 1;
         self.free_nodes_per_pod[pod.idx()] -= 1;
         self.allocated_nodes += 1;
@@ -216,6 +287,7 @@ impl SystemState {
         self.node_owner[node.idx()] = FREE;
         let leaf = self.tree.leaf_of_node(node);
         let pod = self.tree.pod_of_leaf(leaf);
+        self.leaf_node_free[leaf.idx()] |= 1u64 << self.tree.node_slot(node);
         self.free_nodes_per_leaf[leaf.idx()] += 1;
         self.free_nodes_per_pod[pod.idx()] += 1;
         self.allocated_nodes -= 1;
@@ -338,6 +410,7 @@ impl SystemState {
         *slot = job.0;
         let leaf = self.tree.leaf_of_node(node);
         let pod = self.tree.pod_of_leaf(leaf);
+        self.leaf_node_free[leaf.idx()] &= !(1u64 << self.tree.node_slot(node));
         self.free_nodes_per_leaf[leaf.idx()] -= 1;
         self.free_nodes_per_pod[pod.idx()] -= 1;
         self.allocated_nodes += 1;
@@ -355,6 +428,7 @@ impl SystemState {
         *slot = FREE;
         let leaf = self.tree.leaf_of_node(node);
         let pod = self.tree.pod_of_leaf(leaf);
+        self.leaf_node_free[leaf.idx()] |= 1u64 << self.tree.node_slot(node);
         self.free_nodes_per_leaf[leaf.idx()] += 1;
         self.free_nodes_per_pod[pod.idx()] += 1;
         self.allocated_nodes -= 1;
@@ -499,6 +573,17 @@ impl SystemState {
                     free,
                     "free-node count stale for {leaf}"
                 );
+                let mut node_mask = 0u64;
+                for slot in 0..t.nodes_per_leaf() {
+                    if self.node_owner[t.node_at(leaf, slot).idx()] == FREE {
+                        node_mask |= 1 << slot;
+                    }
+                }
+                assert_eq!(
+                    self.leaf_node_free[leaf.idx()],
+                    node_mask,
+                    "free-node mask stale for {leaf}"
+                );
                 let mut mask = 0u64;
                 let mut unshared = true;
                 for pos in 0..t.l2_per_pod() {
@@ -621,6 +706,66 @@ impl SystemState {
         }
     }
 
+    /// Recompute every derived index from the primary ownership/bandwidth
+    /// vectors. `O(system size)`; used when a state is rebuilt from a
+    /// snapshot, where only the primaries are stored.
+    fn rebuild_derived(&mut self) {
+        let t = self.tree;
+        let all_links = mask_of(t.l2_per_pod());
+        let mut alloc = 0u32;
+        for pod in t.pods() {
+            let mut pod_free = 0u32;
+            let mut pod_ff = 0u32;
+            let mut max_leaf_nodes = 0u32;
+            for leaf in t.leaves_of_pod(pod) {
+                let mut node_mask = 0u64;
+                for slot in 0..t.nodes_per_leaf() {
+                    if self.node_owner[t.node_at(leaf, slot).idx()] == FREE {
+                        node_mask |= 1 << slot;
+                    }
+                }
+                let free = node_mask.count_ones();
+                alloc += t.nodes_per_leaf() - free;
+                pod_free += free;
+                max_leaf_nodes = max_leaf_nodes.max(free);
+                self.leaf_node_free[leaf.idx()] = node_mask;
+                self.free_nodes_per_leaf[leaf.idx()] = free;
+                let mut link_mask = 0u64;
+                let mut unshared = true;
+                for pos in 0..t.l2_per_pod() {
+                    let link = t.leaf_link(leaf, pos);
+                    if self.leaf_link_owner[link.idx()] == FREE {
+                        link_mask |= 1 << pos;
+                    }
+                    if self.leaf_link_bw[link.idx()] != 0 {
+                        unshared = false;
+                    }
+                }
+                self.leaf_uplink_free[leaf.idx()] = link_mask;
+                let ff = free == t.nodes_per_leaf() && link_mask == all_links && unshared;
+                self.leaf_fully_free[leaf.idx()] = ff;
+                pod_ff += u32::from(ff);
+            }
+            self.free_nodes_per_pod[pod.idx()] = pod_free;
+            self.fully_free_leaves_per_pod[pod.idx()] = pod_ff;
+            self.max_free_leaf_nodes_per_pod[pod.idx()] = max_leaf_nodes;
+            let mut min_spine = t.spines_per_group();
+            for pos in 0..t.l2_per_pod() {
+                let l2 = t.l2_at(pod, pos);
+                let mut mask = 0u64;
+                for slot in 0..t.spines_per_group() {
+                    if self.spine_link_owner[t.spine_link(l2, slot).idx()] == FREE {
+                        mask |= 1 << slot;
+                    }
+                }
+                self.spine_uplink_free[l2.idx()] = mask;
+                min_spine = min_spine.min(mask.count_ones());
+            }
+            self.min_free_spine_slots_per_pod[pod.idx()] = min_spine;
+        }
+        self.allocated_nodes = alloc;
+    }
+
     fn refresh_leaf_fully_free(&mut self, leaf: LeafId) {
         let t = &self.tree;
         let pod = t.pod_of_leaf(leaf);
@@ -646,6 +791,76 @@ impl SystemState {
                 self.fully_free_leaves_per_pod[pod.idx()] -= 1;
             }
         }
+    }
+}
+
+/// Snapshots carry the primaries only (see the struct docs): owners,
+/// reserved bandwidth, and the embedded tree/bandwidth config. Derived
+/// indices are rebuilt on load, so adding one never breaks old snapshots.
+impl Serialize for SystemState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("tree".to_string(), self.tree.to_value()),
+            ("bandwidth".to_string(), self.bandwidth.to_value()),
+            ("node_owner".to_string(), self.node_owner.to_value()),
+            (
+                "leaf_link_owner".to_string(),
+                self.leaf_link_owner.to_value(),
+            ),
+            (
+                "spine_link_owner".to_string(),
+                self.spine_link_owner.to_value(),
+            ),
+            ("leaf_link_bw".to_string(), self.leaf_link_bw.to_value()),
+            ("spine_link_bw".to_string(), self.spine_link_bw.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SystemState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::expected("SystemState object"))?;
+        let tree = FatTree::from_value(serde::field(obj, "tree"))?;
+        let bandwidth = LinkBandwidth::from_value(serde::field(obj, "bandwidth"))?;
+        let mut state = SystemState::with_bandwidth(tree, bandwidth);
+        state.node_owner = Deserialize::from_value(serde::field(obj, "node_owner"))?;
+        state.leaf_link_owner = Deserialize::from_value(serde::field(obj, "leaf_link_owner"))?;
+        state.spine_link_owner = Deserialize::from_value(serde::field(obj, "spine_link_owner"))?;
+        state.leaf_link_bw = Deserialize::from_value(serde::field(obj, "leaf_link_bw"))?;
+        state.spine_link_bw = Deserialize::from_value(serde::field(obj, "spine_link_bw"))?;
+        for (name, len, want) in [
+            ("node_owner", state.node_owner.len(), tree.num_nodes()),
+            (
+                "leaf_link_owner",
+                state.leaf_link_owner.len(),
+                tree.num_leaf_links(),
+            ),
+            (
+                "spine_link_owner",
+                state.spine_link_owner.len(),
+                tree.num_spine_links(),
+            ),
+            (
+                "leaf_link_bw",
+                state.leaf_link_bw.len(),
+                tree.num_leaf_links(),
+            ),
+            (
+                "spine_link_bw",
+                state.spine_link_bw.len(),
+                tree.num_spine_links(),
+            ),
+        ] {
+            if len != want as usize {
+                return Err(serde::DeError::custom(format!(
+                    "SystemState.{name}: {len} entries, tree wants {want}"
+                )));
+            }
+        }
+        state.rebuild_derived();
+        Ok(state)
     }
 }
 
@@ -912,6 +1127,95 @@ mod tests {
         assert_eq!(s.min_free_spine_slots_in_pod(pod), 2);
         assert_eq!(s.min_free_spine_slots_in_pod(PodId(0)), 2);
         s.assert_consistent();
+    }
+
+    #[test]
+    fn free_node_mask_tracks_claims_and_offline() {
+        let mut s = fresh(); // 2 nodes/leaf
+        let leaf = s.tree().leaf_of_node(NodeId(0));
+        assert_eq!(s.leaf_free_node_mask(leaf), 0b11);
+        assert_eq!(s.first_free_node_on_leaf(leaf), Some(NodeId(0)));
+        s.claim_node(NodeId(0), JobId(1));
+        assert_eq!(s.leaf_free_node_mask(leaf), 0b10);
+        assert_eq!(s.first_free_node_on_leaf(leaf), Some(NodeId(1)));
+        assert_eq!(
+            s.free_nodes_on_leaf_iter(leaf).collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
+        s.set_node_offline(NodeId(1));
+        assert_eq!(s.leaf_free_node_mask(leaf), 0);
+        assert_eq!(s.first_free_node_on_leaf(leaf), None);
+        assert_eq!(s.first_free_node(), Some(NodeId(2)));
+        s.assert_consistent();
+        s.release_node(NodeId(0));
+        s.set_node_online(NodeId(1));
+        assert_eq!(s.leaf_free_node_mask(leaf), 0b11);
+        assert_eq!(s.first_free_node(), Some(NodeId(0)));
+        s.assert_consistent();
+    }
+
+    #[test]
+    fn all_nodes_free_is_word_parallel_per_leaf() {
+        let mut s = fresh();
+        let nodes = [NodeId(0), NodeId(1), NodeId(2), NodeId(5)];
+        assert!(s.all_nodes_free(&nodes));
+        assert!(s.all_nodes_free(&[]));
+        s.claim_node(NodeId(5), JobId(9));
+        assert!(!s.all_nodes_free(&nodes));
+        assert!(s.all_nodes_free(&[NodeId(0), NodeId(1), NodeId(2)]));
+        s.set_node_offline(NodeId(2));
+        assert!(!s.all_nodes_free(&[NodeId(2)]));
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_derived_indices() {
+        let mut s = fresh();
+        s.claim_node(NodeId(3), JobId(2));
+        s.set_node_offline(NodeId(6));
+        s.claim_leaf_link(s.tree().leaf_link(LeafId(1), 0), JobId(2));
+        s.claim_spine_link(s.tree().spine_link(L2Id(2), 1), JobId(2));
+        assert!(s.try_reserve_leaf_link_bw(s.tree().leaf_link(LeafId(2), 1), 15));
+        let back = SystemState::from_value(&s.to_value()).expect("round trip");
+        assert_eq!(back, s);
+        back.assert_consistent();
+    }
+
+    #[test]
+    fn deserialize_tolerates_old_snapshots_with_derived_fields() {
+        // Snapshots written before the primaries-only format carried every
+        // derived vector; unknown keys must be ignored, derived state
+        // rebuilt from the primaries alone.
+        let s = fresh();
+        let serde::Value::Object(mut pairs) = s.to_value() else {
+            panic!("state serializes as an object");
+        };
+        pairs.push((
+            "free_nodes_per_leaf".to_string(),
+            vec![0u32; 8].to_value(), // stale garbage: must be ignored
+        ));
+        let back = SystemState::from_value(&serde::Value::Object(pairs)).expect("compat");
+        assert_eq!(back, s);
+        back.assert_consistent();
+    }
+
+    #[test]
+    fn deserialize_rejects_wrong_length_vectors() {
+        let s = fresh();
+        let serde::Value::Object(pairs) = s.to_value() else {
+            panic!("state serializes as an object");
+        };
+        let truncated: Vec<(String, serde::Value)> = pairs
+            .into_iter()
+            .map(|(k, v)| {
+                if k == "node_owner" {
+                    (k, vec![u32::MAX; 3].to_value())
+                } else {
+                    (k, v)
+                }
+            })
+            .collect();
+        let err = SystemState::from_value(&serde::Value::Object(truncated));
+        assert!(err.is_err(), "length mismatch must be a typed error");
     }
 
     #[test]

@@ -172,6 +172,55 @@ proptest! {
         state.assert_consistent();
     }
 
+    /// The word-parallel free-node mask iterator visits exactly the nodes a
+    /// per-slot `is_node_free` scan finds, in the same (ascending-slot)
+    /// order, after arbitrary claim/release/offline histories.
+    #[test]
+    fn mask_iterator_matches_per_slot_scan(ops in prop::collection::vec((0u32..96, 0u8..3), 0..150)) {
+        let tree = FatTree::maximal(8).unwrap(); // 128 nodes
+        let mut state = SystemState::new(tree);
+        let mut owned: Vec<NodeId> = Vec::new();
+        for (k, op) in ops {
+            let node = NodeId(k % tree.num_nodes());
+            match op {
+                0 => {
+                    if state.is_node_free(node) {
+                        state.claim_node(node, JobId(1));
+                        owned.push(node);
+                    }
+                }
+                1 => {
+                    if let Some(n) = owned.pop() {
+                        state.release_node(n);
+                    }
+                }
+                _ => {
+                    if state.is_node_offline(node) {
+                        state.set_node_online(node);
+                    } else if state.is_node_free(node) {
+                        state.set_node_offline(node);
+                    }
+                }
+            }
+            let mut global_scan_first = None;
+            for leaf in tree.leaves() {
+                let scan: Vec<NodeId> = (0..tree.nodes_per_leaf())
+                    .map(|slot| tree.node_at(leaf, slot))
+                    .filter(|&n| state.is_node_free(n))
+                    .collect();
+                let mask: Vec<NodeId> = state.free_nodes_on_leaf_iter(leaf).collect();
+                prop_assert_eq!(&mask, &scan);
+                prop_assert_eq!(state.first_free_node_on_leaf(leaf), scan.first().copied());
+                prop_assert_eq!(state.free_nodes_on_leaf(leaf) as usize, scan.len());
+                if global_scan_first.is_none() {
+                    global_scan_first = scan.first().copied();
+                }
+            }
+            prop_assert_eq!(state.first_free_node(), global_scan_first);
+        }
+        state.assert_consistent();
+    }
+
     /// Fractional reservations never exceed the cap and always release to
     /// zero.
     #[test]
