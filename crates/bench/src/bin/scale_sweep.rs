@@ -27,7 +27,9 @@ fn main() {
         |&scale| {
             let (trace, tree) = trace_by_name("Thunder", scale, args.seed);
             let i = scales.iter().position(|&s| s == scale).unwrap();
-            job_counts.lock().unwrap()[i] = trace.len();
+            job_counts
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = trace.len();
             (trace, tree)
         },
     ) {

@@ -1,0 +1,254 @@
+//! Content-hash incremental cache for whole-workspace runs.
+//!
+//! The analyzer's rules are cross-file, so there is no sound per-file
+//! incrementality: one edited line in `protocol.rs` can create findings in
+//! `README.md`. Instead the cache keys the *entire input* — every scanned
+//! source, both doc files, and [`RULES_VERSION`] — with FNV-1a 64, and
+//! stores the finished [`Report`]. A rerun over an unchanged tree is a
+//! hash of the sources plus one small file read; any edit anywhere misses
+//! and falls through to a full (parallel) analysis.
+//!
+//! The on-disk format is a versioned line-oriented text file (the crate
+//! has no serde): tab-separated records with `\\`/`\t`/`\n`/`\r`
+//! escaping. Any parse irregularity invalidates the whole cache — a
+//! stale or corrupt cache must never masquerade as a clean run.
+
+use crate::rules::{Violation, Waiver};
+use crate::{Docs, Report};
+use std::io;
+use std::path::Path;
+
+/// Bump when rule semantics change so stale caches self-invalidate.
+pub const RULES_VERSION: u32 = 2;
+
+const HEADER: &str = "jigsaw-analyze-cache";
+
+/// All rule codes, for rehydrating `&'static str` rule tags on load.
+const RULE_TAGS: [&str; 10] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10"];
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Key the whole analysis input: rules version, every (path, content)
+/// pair in order, and both doc files.
+pub fn workspace_key(files: &[(String, String)], docs: &Docs) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv1a(&RULES_VERSION.to_le_bytes(), h);
+    for (rel, src) in files {
+        h = fnv1a(rel.as_bytes(), h);
+        h = fnv1a(&[0], h);
+        h = fnv1a(src.as_bytes(), h);
+        h = fnv1a(&[0], h);
+    }
+    h = fnv1a(docs.design.as_bytes(), h);
+    h = fnv1a(&[0], h);
+    h = fnv1a(docs.readme.as_bytes(), h);
+    h
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            't' => out.push('\t'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn static_rule(s: &str) -> Option<&'static str> {
+    RULE_TAGS.iter().copied().find(|r| *r == s)
+}
+
+/// Serialize a report under `key`.
+pub fn render(key: u64, report: &Report) -> String {
+    let mut out = format!(
+        "{HEADER} v{RULES_VERSION}\nkey {key:016x}\nfiles {}\n",
+        report.files_scanned
+    );
+    for v in &report.violations {
+        out.push_str(&format!(
+            "V\t{}\t{}\t{}\t{}\t{}\n",
+            escape(&v.file),
+            v.line,
+            v.col,
+            v.rule,
+            escape(&v.message)
+        ));
+    }
+    for w in &report.waived {
+        out.push_str(&format!(
+            "W\t{}\t{}\t{}\t{}\n",
+            escape(&w.file),
+            w.line,
+            w.rule,
+            escape(&w.reason)
+        ));
+    }
+    for (file, line) in &report.unused_suppressions {
+        out.push_str(&format!("U\t{}\t{}\n", escape(file), line));
+    }
+    out
+}
+
+/// Parse a serialized report, returning `None` unless the header, version
+/// and key all match and every record is well-formed.
+pub fn parse(text: &str, key: u64) -> Option<Report> {
+    let mut lines = text.lines();
+    let head = lines.next()?;
+    if head != format!("{HEADER} v{RULES_VERSION}") {
+        return None;
+    }
+    let key_line = lines.next()?;
+    if key_line != format!("key {key:016x}") {
+        return None;
+    }
+    let files_line = lines.next()?;
+    let files_scanned: usize = files_line.strip_prefix("files ")?.parse().ok()?;
+
+    let mut report = Report {
+        files_scanned,
+        ..Report::default()
+    };
+    for line in lines {
+        let mut parts = line.split('\t');
+        match parts.next()? {
+            "V" => {
+                let file = unescape(parts.next()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let col: u32 = parts.next()?.parse().ok()?;
+                let rule = static_rule(parts.next()?)?;
+                let message = unescape(parts.next()?)?;
+                report.violations.push(Violation {
+                    file,
+                    line: line_no,
+                    col,
+                    rule,
+                    message,
+                });
+            }
+            "W" => {
+                let file = unescape(parts.next()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let rule = static_rule(parts.next()?)?;
+                let reason = unescape(parts.next()?)?;
+                report.waived.push(Waiver {
+                    file,
+                    line: line_no,
+                    rule,
+                    reason,
+                });
+            }
+            "U" => {
+                let file = unescape(parts.next()?)?;
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                report.unused_suppressions.push((file, line_no));
+            }
+            _ => return None,
+        }
+    }
+    Some(report)
+}
+
+/// Load a cached report for `key` from `path`, or `None` on any mismatch.
+pub fn load(path: &Path, key: u64) -> Option<Report> {
+    let text = std::fs::read_to_string(path).ok()?;
+    parse(&text, key)
+}
+
+/// Store `report` under `key` at `path` (creating parent directories).
+pub fn store(path: &Path, key: u64, report: &Report) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render(key, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            violations: vec![Violation {
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                col: 7,
+                rule: "R6",
+                message: "tab\there\nand newline".into(),
+            }],
+            waived: vec![Waiver {
+                file: "crates/x/src/b.rs".into(),
+                line: 9,
+                rule: "R10",
+                reason: "scratch probe \\ path".into(),
+            }],
+            unused_suppressions: vec![("crates/x/src/c.rs".into(), 4)],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let rep = sample_report();
+        let text = render(42, &rep);
+        let back = parse(&text, 42).expect("parse");
+        assert_eq!(render(42, &back), text);
+        assert_eq!(back.files_scanned, 3);
+        assert_eq!(back.violations[0].message, "tab\there\nand newline");
+        assert_eq!(back.waived[0].reason, "scratch probe \\ path");
+    }
+
+    #[test]
+    fn wrong_key_or_version_misses() {
+        let text = render(42, &sample_report());
+        assert!(parse(&text, 43).is_none());
+        assert!(parse(&text.replace("-cache v", "-cache vv"), 42).is_none());
+    }
+
+    #[test]
+    fn key_changes_with_any_input() {
+        let files = vec![("a.rs".to_string(), "fn a() {}".to_string())];
+        let docs = Docs {
+            design: "d".into(),
+            readme: "r".into(),
+        };
+        let base = workspace_key(&files, &docs);
+        let mut edited = files.clone();
+        edited[0].1.push(' ');
+        assert_ne!(base, workspace_key(&edited, &docs));
+        let docs2 = Docs {
+            design: "d2".into(),
+            readme: "r".into(),
+        };
+        assert_ne!(base, workspace_key(&files, &docs2));
+    }
+}

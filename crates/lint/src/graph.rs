@@ -1,0 +1,220 @@
+//! Conservative call-graph and lock-order-graph construction for the
+//! cross-file rules.
+//!
+//! **Call graph.** Edges are *name-based*: an identifier followed by `(`
+//! inside a fn body is a call of every fn with that name. No type or path
+//! resolution happens — `a.flush()` and `b.flush()` are the same callee.
+//! That over-approximates reachability, which is the safe direction for
+//! R6: a path that *might* journal is required to mark its outcome
+//! durable. [`Reach`] answers "can fn F reach a call to any name in this
+//! set" by BFS over same-file edges plus direct external-name checks.
+//!
+//! **Lock-order graph.** Nodes are named `Mutex` struct fields (from the
+//! parser); an edge `a → b` is recorded whenever some fn acquires `a`
+//! before `b` with both locks plausibly held together (token order within
+//! one body — no flow analysis). A cycle in that graph is a potential
+//! deadlock between the daemon's acceptor/reader/command-loop threads, and
+//! R7 reports one representative edge per cycle.
+
+use crate::lexer::Tok;
+use crate::parser::ParsedFile;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Callee names appearing in each fn's body, in token order.
+/// `calls[i]` belongs to `parsed.fns[i]`.
+pub fn calls_per_fn(toks: &[Tok], parsed: &ParsedFile) -> Vec<Vec<String>> {
+    parsed
+        .fns
+        .iter()
+        .map(|f| {
+            let Some((open, close)) = f.body else {
+                return Vec::new();
+            };
+            let mut out = Vec::new();
+            for i in open + 1..close {
+                let Some(name) = toks[i].ident() else {
+                    continue;
+                };
+                // `name(`: a call or tuple-struct construction. Skip fn
+                // *definitions* (`fn name(`) and macros (`name!(`).
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && toks.get(i.wrapping_sub(1)).map(|t| t.ident()) != Some(Some("fn"))
+                {
+                    out.push(name.to_string());
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Reachability over one file's name-based call graph.
+pub struct Reach<'a> {
+    calls: &'a [Vec<String>],
+    /// fn-name → indices of fns with that name.
+    by_name: BTreeMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> Reach<'a> {
+    pub fn new(parsed: &'a ParsedFile, calls: &'a [Vec<String>]) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in parsed.fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+        Reach { calls, by_name }
+    }
+
+    /// Can `start` (a fn index) reach a call to any name for which
+    /// `target` returns true? Direct calls to external names count; calls
+    /// to same-file fns recurse through their bodies.
+    pub fn reaches(&self, start: usize, target: &dyn Fn(&str) -> bool) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        seen.insert(start);
+        while let Some(i) = queue.pop_front() {
+            for callee in &self.calls[i] {
+                if target(callee) {
+                    return true;
+                }
+                if let Some(next) = self.by_name.get(callee.as_str()) {
+                    for &n in next {
+                        if n != i && seen.insert(n) {
+                            queue.push_back(n);
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// One lock acquisition: which `Mutex` field, where.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    pub field: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// The workspace lock-order graph.
+#[derive(Debug, Default)]
+pub struct LockOrder {
+    /// Edge `(earlier, later)` → a representative acquisition site of the
+    /// *later* lock (where the second lock is taken while the first is
+    /// plausibly held).
+    pub edges: BTreeMap<(String, String), (String, u32)>,
+}
+
+impl LockOrder {
+    /// Record the ordered acquisitions of one fn body.
+    pub fn add_fn(&mut self, acquisitions: &[Acquisition]) {
+        for (i, a) in acquisitions.iter().enumerate() {
+            for b in &acquisitions[i + 1..] {
+                if a.field != b.field {
+                    self.edges
+                        .entry((a.field.clone(), b.field.clone()))
+                        .or_insert((b.file.clone(), b.line));
+                }
+            }
+        }
+    }
+
+    /// Find a cycle, if any, returning the node sequence
+    /// `[a, b, …, a]` plus the representative site of the closing edge.
+    pub fn find_cycle(&self) -> Option<(Vec<String>, (String, u32))> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in self.edges.keys() {
+            adj.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        // Iterative DFS with colors from every node.
+        let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 white, 1 grey, 2 black
+        for start in adj.keys().copied().collect::<Vec<_>>() {
+            if color.get(start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // Stack of (node, next-child-index); path mirrors the stack.
+            let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+            color.insert(start, 1);
+            while let Some(&(node, child)) = stack.last() {
+                let children = adj.get(node).map(Vec::as_slice).unwrap_or(&[]);
+                if child < children.len() {
+                    if let Some(last) = stack.last_mut() {
+                        last.1 += 1;
+                    }
+                    let next = children[child];
+                    match color.get(next).copied().unwrap_or(0) {
+                        0 => {
+                            color.insert(next, 1);
+                            stack.push((next, 0));
+                        }
+                        1 => {
+                            // Found a back edge: path from `next` … `node` → `next`.
+                            let pos = stack.iter().position(|(n, _)| *n == next).unwrap_or(0);
+                            let mut cycle: Vec<String> =
+                                stack[pos..].iter().map(|(n, _)| (*n).to_string()).collect();
+                            cycle.push(next.to_string());
+                            let site = self
+                                .edges
+                                .get(&(node.to_string(), next.to_string()))
+                                .cloned()
+                                .unwrap_or_else(|| (String::new(), 0));
+                            return Some((cycle, site));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color.insert(node, 2);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    #[test]
+    fn reachability_follows_same_file_calls() {
+        let src = "
+            fn a() { b(); }
+            fn b() { c(); }
+            fn c() { commit_grant(&x); }
+            fn lone() { harmless(); }
+        ";
+        let (toks, _) = lex(src);
+        let p = parse(&toks);
+        let calls = calls_per_fn(&toks, &p);
+        let reach = Reach::new(&p, &calls);
+        let target = |n: &str| n == "commit_grant";
+        let idx = |name: &str| p.fns.iter().position(|f| f.name == name).expect("fn");
+        assert!(reach.reaches(idx("a"), &target));
+        assert!(reach.reaches(idx("c"), &target));
+        assert!(!reach.reaches(idx("lone"), &target));
+    }
+
+    #[test]
+    fn lock_order_cycle_is_detected() {
+        let mut g = LockOrder::default();
+        g.add_fn(&[acq("a", 1), acq("b", 2)]);
+        assert!(g.find_cycle().is_none());
+        g.add_fn(&[acq("b", 10), acq("a", 11)]);
+        let (cycle, _) = g.find_cycle().expect("cycle");
+        assert!(cycle.len() >= 3);
+        assert_eq!(cycle.first(), cycle.last());
+    }
+
+    fn acq(field: &str, line: u32) -> Acquisition {
+        Acquisition {
+            field: field.into(),
+            file: "f.rs".into(),
+            line,
+        }
+    }
+}

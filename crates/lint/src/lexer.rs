@@ -28,7 +28,13 @@ pub enum Kind {
     /// One punctuation character (multi-char operators arrive as a
     /// sequence: `->` is `-` then `>`).
     Punct(char),
-    /// A string/char/numeric literal. Contents deliberately discarded.
+    /// A string literal (plain, raw, or byte). The *inner* text is kept —
+    /// escape sequences unprocessed — because the cross-file rules
+    /// (R8/R9) compare registered metric names and protocol verb tables,
+    /// which live in string literals. Rule patterns must still never
+    /// match *inside* them: the contents are data, not tokens.
+    Str(String),
+    /// A numeric/char/lifetime literal. Contents deliberately discarded.
     Lit,
 }
 
@@ -57,6 +63,14 @@ impl Tok {
     /// `true` iff this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == Kind::Punct(c)
+    }
+
+    /// The inner text, if this token is a string literal.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            Kind::Str(s) => Some(s),
+            _ => None,
+        }
     }
 }
 
@@ -172,6 +186,8 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Suppression>) {
             }
             if chars.get(i) == Some(&'"') {
                 bump!(1);
+                let content_start = i;
+                let mut content_end = chars.len();
                 // Scan for `"` followed by `hashes` hashes.
                 'scan: while i < chars.len() {
                     if chars[i] == '"' {
@@ -183,6 +199,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Suppression>) {
                             }
                         }
                         if ok {
+                            content_end = i;
                             bump!(1 + hashes);
                             break 'scan;
                         }
@@ -190,7 +207,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Suppression>) {
                     bump!(1);
                 }
                 toks.push(Tok {
-                    kind: Kind::Lit,
+                    kind: Kind::Str(chars[content_start..content_end].iter().collect()),
                     line: tline,
                     col: tcol,
                     in_test: false,
@@ -230,10 +247,13 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Suppression>) {
         if c == '"' {
             let (tline, tcol) = (line, col);
             bump!(1);
+            let content_start = i;
+            let mut content_end = chars.len();
             while i < chars.len() {
                 if chars[i] == '\\' {
                     bump!(2);
                 } else if chars[i] == '"' {
+                    content_end = i;
                     bump!(1);
                     break;
                 } else {
@@ -241,7 +261,11 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Suppression>) {
                 }
             }
             toks.push(Tok {
-                kind: Kind::Lit,
+                kind: Kind::Str(
+                    chars[content_start..content_end.min(chars.len())]
+                        .iter()
+                        .collect(),
+                ),
                 line: tline,
                 col: tcol,
                 in_test: false,
@@ -560,6 +584,22 @@ mod tests {
         assert!(ids.iter().any(|s| s == "n"));
         assert!(ids.iter().any(|s| s == "max"));
         assert!(ids.iter().any(|s| s == "in"));
+    }
+
+    #[test]
+    fn string_literal_contents_are_kept_but_not_tokens() {
+        let src = r##"reg.counter("jigsaw_x_total", r#"help "quoted""#);"##;
+        let (toks, _) = lex(src);
+        let strs: Vec<&str> = toks.iter().filter_map(|t| t.str_lit()).collect();
+        assert_eq!(strs, vec!["jigsaw_x_total", r#"help "quoted""#]);
+        assert!(toks.iter().all(|t| t.ident() != Some("jigsaw_x_total")));
+    }
+
+    #[test]
+    fn byte_string_prefix_keeps_contents() {
+        let (toks, _) = lex(r#"let x = b"bytes here";"#);
+        let strs: Vec<&str> = toks.iter().filter_map(|t| t.str_lit()).collect();
+        assert_eq!(strs, vec!["bytes here"]);
     }
 
     #[test]

@@ -1,21 +1,43 @@
-//! jigsaw-lint: the workspace's static invariant checker.
+//! jigsaw-analyze: the workspace's static analyzer (né jigsaw-lint).
 //!
 //! The Jigsaw scheduler's central guarantee — every node and link
 //! exclusively assigned to at most one job — is defended at runtime by
 //! `jigsaw_core::audit` and at the source level by this tool. It walks the
 //! workspace's Rust sources with a hand-rolled lexer (no `syn`, no
-//! dependencies at all) and enforces the project rule catalog R1–R5; see
-//! [`rules`] for the catalog and DESIGN.md §10 for the rationale.
+//! third-party dependencies) and enforces the project rule catalog:
+//!
+//! * **R1–R5** are per-file token patterns ([`rules`]; DESIGN §10).
+//! * **R6–R10** are cross-file semantic rules ([`rules6_10`]; DESIGN §15)
+//!   built on an item-level parser ([`parser`]) and conservative call /
+//!   lock-order graphs ([`graph`]): durability ordering in the net engine,
+//!   lock discipline, metric-catalog drift against DESIGN §9,
+//!   protocol-table drift against HELP and the README, and recycle leaks
+//!   in the experiment drivers.
+//!
+//! The analysis pipeline has three phases: a parallel per-file phase
+//! (lex + parse + R1–R5) fanned out over [`jigsaw_par::Pool`] in
+//! submission order so reports are byte-identical at any worker count; a
+//! sequential cross-file phase (R6–R10 over the assembled workspace
+//! model); and a merge phase that applies waivers once per file. Whole-run
+//! results are memoized by the content-hash [`cache`].
 //!
 //! The crate is a library plus a thin `main.rs` so the integration tests
 //! can drive the engine directly against golden fixtures.
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod rules6_10;
 
+use jigsaw_par::Pool;
+use lexer::Suppression;
+use parser::ParsedFile;
 use rules::{FileClass, FileReport, Violation, Waiver};
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -41,43 +63,126 @@ impl Report {
     }
 }
 
+/// The non-Rust inputs the cross-file rules audit against: the DESIGN §9
+/// metric catalog (R8) and the README serve-grammar section (R9). Empty
+/// strings disable the corresponding checks.
+#[derive(Debug, Clone, Default)]
+pub struct Docs {
+    pub design: String,
+    pub readme: String,
+}
+
+/// One scanned file: the per-file phase's complete output, consumed by
+/// the cross-file rules and the merge phase.
+pub(crate) struct Scan {
+    pub(crate) class: FileClass,
+    pub(crate) toks: Vec<lexer::Tok>,
+    pub(crate) sups: Vec<Suppression>,
+    pub(crate) raw: Vec<Violation>,
+    pub(crate) parsed: ParsedFile,
+}
+
 /// Directories never descended into: build output, vendored third-party
 /// code, and the lint's own deliberately-violating fixtures.
 fn skip_dir(rel: &str) -> bool {
     matches!(rel, "target" | "vendor" | ".git" | ".github") || rel == "crates/lint/tests/fixtures"
 }
 
-/// Lint one in-memory source file. `rel_path` is workspace-relative with
-/// `/` separators; it decides which rules apply.
+/// Lint one in-memory source file with the per-file rules (R1–R5).
+/// `rel_path` is workspace-relative with `/` separators; it decides which
+/// rules apply. Cross-file rules need a workspace: see [`analyze_sources`].
 pub fn lint_source(rel_path: &str, src: &str) -> FileReport {
     rules::check_file(src, &FileClass::of(rel_path))
 }
 
-/// Walk `root` (a workspace checkout) and lint every `.rs` file outside
-/// the skip list. I/O errors abort: a lint that silently skips unreadable
-/// files would report "clean" on a broken tree.
-pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
+fn scan_file(rel: &str, src: &str) -> Scan {
+    let class = FileClass::of(rel);
+    let (toks, sups) = lexer::lex(src);
+    let parsed = parser::parse(&toks);
+    let raw = rules::check_tokens_raw(&toks, &class);
+    Scan {
+        class,
+        toks,
+        sups,
+        raw,
+        parsed,
+    }
+}
+
+/// Run the full R1–R10 pipeline over in-memory sources.
+///
+/// `files` are `(workspace-relative path, source)` pairs; order is
+/// preserved into the report (callers wanting the canonical order sort
+/// paths first, as [`collect_workspace`] does). The per-file phase fans
+/// out over `pool` with submission-order results, so the report is
+/// byte-identical at any worker count.
+pub fn analyze_sources(files: Vec<(String, String)>, docs: &Docs, pool: &Pool) -> Report {
+    let scans: Vec<Scan> = pool
+        .map(files, |_, (rel, src)| scan_file(&rel, &src))
+        .expect("per-file scan panicked: lexer/parser bug");
+
+    let cross = rules6_10::check_workspace(&scans, docs);
+    let mut cross_by_file: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for v in cross {
+        cross_by_file.entry(v.file.clone()).or_default().push(v);
+    }
 
     let mut report = Report::default();
-    for rel in files {
-        let src = std::fs::read_to_string(root.join(&rel))?;
-        let file_report = lint_source(&rel, &src);
+    for scan in scans {
+        let mut raw = scan.raw;
+        if let Some(extra) = cross_by_file.remove(&scan.class.rel_path) {
+            raw.extend(extra);
+        }
+        raw.sort_by_key(|v| (v.line, v.col));
+        let fr = rules::apply_suppressions(raw, &scan.sups, &scan.class);
         report.unused_suppressions.extend(
-            file_report
-                .unused_suppressions
+            fr.unused_suppressions
                 .iter()
-                .map(|&l| (rel.clone(), l)),
+                .map(|&l| (scan.class.rel_path.clone(), l)),
         );
-        report.absorb(file_report);
+        report.absorb(fr);
         report.files_scanned += 1;
+    }
+    // Findings anchored in non-Rust files (DESIGN.md / README.md drift)
+    // have no waiver channel: doc drift is fixed, not waived.
+    for (_, vs) in cross_by_file {
+        report.violations.extend(vs);
     }
     report
         .violations
         .sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
-    Ok(report)
+    report
+}
+
+/// Collect every lintable `.rs` file (sorted) plus the doc inputs from a
+/// workspace checkout. I/O errors abort: a lint that silently skips
+/// unreadable files would report "clean" on a broken tree.
+pub fn collect_workspace(root: &Path) -> io::Result<(Vec<(String, String)>, Docs)> {
+    let mut rels = Vec::new();
+    collect_rs_files(root, root, &mut rels)?;
+    rels.sort();
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in rels {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        files.push((rel, src));
+    }
+    let docs = Docs {
+        design: std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default(),
+        readme: std::fs::read_to_string(root.join("README.md")).unwrap_or_default(),
+    };
+    Ok((files, docs))
+}
+
+/// Walk `root` (a workspace checkout) and run the full R1–R10 pipeline
+/// sequentially. See [`lint_workspace_with`] for a parallel scan.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    lint_workspace_with(root, &Pool::sequential())
+}
+
+/// [`lint_workspace`], with the per-file phase fanned out over `pool`.
+pub fn lint_workspace_with(root: &Path, pool: &Pool) -> io::Result<Report> {
+    let (files, docs) = collect_workspace(root)?;
+    Ok(analyze_sources(files, &docs, pool))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
@@ -123,6 +228,58 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
+// --- fixing -----------------------------------------------------------------
+
+/// Delete the stale waivers listed in `report.unused_suppressions` from
+/// the tree at `root`: a line that is only a suppression comment is
+/// removed whole; a trailing comment is truncated. Returns how many
+/// waivers were deleted. Running it again after a clean pass deletes
+/// nothing — the operation is idempotent.
+pub fn fix_stale_waivers(root: &Path, report: &Report) -> io::Result<usize> {
+    let mut by_file: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for (file, line) in &report.unused_suppressions {
+        by_file.entry(file.as_str()).or_default().push(*line);
+    }
+    let mut fixed = 0usize;
+    for (file, lines) in by_file {
+        let path = root.join(file);
+        let src = std::fs::read_to_string(&path)?;
+        let had_final_newline = src.ends_with('\n');
+        let mut out_lines: Vec<Option<String>> = src.lines().map(|l| Some(l.to_string())).collect();
+        for &ln in &lines {
+            let Some(idx) = usize::try_from(ln).ok().and_then(|n| n.checked_sub(1)) else {
+                continue;
+            };
+            let Some(slot) = out_lines.get_mut(idx) else {
+                continue;
+            };
+            let Some(text) = slot.clone() else { continue };
+            let Some(marker_pos) = text.find(lexer::SUPPRESS_MARKER) else {
+                continue;
+            };
+            let Some(comment_pos) = text[..marker_pos].rfind("//") else {
+                continue;
+            };
+            if text[..comment_pos].trim().is_empty() {
+                *slot = None; // the line was only the waiver
+            } else {
+                *slot = Some(text[..comment_pos].trim_end().to_string());
+            }
+            fixed += 1;
+        }
+        let mut rebuilt = out_lines
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>()
+            .join("\n");
+        if had_final_newline && !rebuilt.is_empty() {
+            rebuilt.push('\n');
+        }
+        std::fs::write(&path, rebuilt)?;
+    }
+    Ok(fixed)
+}
+
 // --- rendering --------------------------------------------------------------
 
 /// Human-readable report: one `file:line:col RULE message` line per
@@ -157,6 +314,44 @@ pub fn render_text(report: &Report) -> String {
         report.unused_suppressions.len()
     ));
     out
+}
+
+/// GitHub Actions workflow-annotation output: one
+/// `::error file=…,line=…,col=…,title=…::message` per violation and per
+/// stale waiver, so CI findings render inline on the PR diff.
+pub fn render_github(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "::error file={},line={},col={},title=jigsaw-lint {}::{}\n",
+            v.file,
+            v.line,
+            v.col,
+            v.rule,
+            gh_escape(&v.message)
+        ));
+    }
+    for (file, line) in &report.unused_suppressions {
+        out.push_str(&format!(
+            "::error file={file},line={line},title=jigsaw-lint stale-waiver::unused \
+             suppression: no finding on this or the next line (run --fix to delete)\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{} file(s) scanned, {} violation(s), {} waived, {} unused suppression(s)\n",
+        report.files_scanned,
+        report.violations.len(),
+        report.waived.len(),
+        report.unused_suppressions.len()
+    ));
+    out
+}
+
+/// GitHub annotation messages use `%xx` escapes for their own delimiters.
+fn gh_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 /// Machine-readable report. Hand-rolled emitter (the crate has no
@@ -263,5 +458,10 @@ mod tests {
         full.files_scanned = 1;
         let text = render_text(&full);
         assert!(text.contains("crates/core/src/x.rs:1:12 R1"));
+    }
+
+    #[test]
+    fn gh_escape_encodes_newlines_and_percent() {
+        assert_eq!(gh_escape("a%b\nc"), "a%25b%0Ac");
     }
 }

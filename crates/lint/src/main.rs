@@ -1,45 +1,92 @@
-//! CLI entry point for jigsaw-lint.
+//! CLI entry point for jigsaw-analyze (binary name: jigsaw-lint).
 //!
 //! ```text
-//! cargo run -p jigsaw-lint --          # report, exit 0
-//! cargo run -p jigsaw-lint -- --deny   # exit 1 on any violation (CI mode)
-//! cargo run -p jigsaw-lint -- --json   # machine-readable report
+//! cargo run -p jigsaw-lint --                  # report, exit 0
+//! cargo run -p jigsaw-lint -- --deny           # exit 1 on any violation (CI mode)
+//! cargo run -p jigsaw-lint -- --emit github    # workflow annotations
+//! cargo run -p jigsaw-lint -- --fix            # delete stale waivers
+//! cargo run -p jigsaw-lint -- --jobs 8         # parallel per-file phase
 //! ```
+//!
+//! Whole-run results are cached under `target/jigsaw-analyze.cache`, keyed
+//! by a content hash of every input; `--no-cache` forces a fresh run.
 
 #![forbid(unsafe_code)]
 
+use jigsaw_par::Pool;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Emit {
+    Text,
+    Json,
+    Github,
+}
+
 struct Flags {
     deny: bool,
-    json: bool,
+    emit: Emit,
+    fix: bool,
+    jobs: Option<usize>,
+    no_cache: bool,
     root: Option<PathBuf>,
 }
 
 fn parse_flags() -> Result<Flags, String> {
     let mut flags = Flags {
         deny: false,
-        json: false,
+        emit: Emit::Text,
+        fix: false,
+        jobs: None,
+        no_cache: false,
         root: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny" => flags.deny = true,
-            "--json" => flags.json = true,
+            "--json" => flags.emit = Emit::Json,
+            "--fix" => flags.fix = true,
+            "--no-cache" => flags.no_cache = true,
+            "--emit" => {
+                let v = args
+                    .next()
+                    .ok_or("--emit needs a mode (text|json|github)")?;
+                flags.emit = match v.as_str() {
+                    "text" => Emit::Text,
+                    "json" => Emit::Json,
+                    "github" => Emit::Github,
+                    other => return Err(format!("unknown --emit mode `{other}`")),
+                };
+            }
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs needs a worker count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs needs a number, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                flags.jobs = Some(n);
+            }
             "--root" => {
                 let v = args.next().ok_or("--root needs a path")?;
                 flags.root = Some(PathBuf::from(v));
             }
             "--help" | "-h" => {
                 println!(
-                    "jigsaw-lint: enforce the workspace safety contracts (R1-R5)\n\n\
-                     USAGE: jigsaw-lint [--deny] [--json] [--root <dir>]\n\n\
+                    "jigsaw-analyze: enforce the workspace safety contracts (R1-R10)\n\n\
+                     USAGE: jigsaw-lint [--deny] [--emit text|json|github] [--fix]\n\
+                            [--jobs N] [--no-cache] [--root <dir>]\n\n\
                      --deny        exit nonzero on any violation or stale suppression\n\
-                     --json        emit a machine-readable report\n\
+                     --emit MODE   output mode: text (default), json, or github\n\
+                     --json        shorthand for --emit json\n\
+                     --fix         delete stale (unused) waiver comments, then re-run\n\
+                     --jobs N      per-file scan workers (default: JIGSAW_JOBS or all cores)\n\
+                     --no-cache    ignore and do not write the content-hash cache\n\
                      --root <dir>  lint this tree instead of the enclosing workspace\n\n\
-                     Rules are documented in DESIGN.md section 10. Waive a finding with\n\
+                     Rules R1-R5 are documented in DESIGN.md section 10, R6-R10 in\n\
+                     section 15. Waive a finding with\n\
                      `// jigsaw-lint: allow(R1) -- <reason>` on the same or previous line."
                 );
                 std::process::exit(0);
@@ -48,6 +95,32 @@ fn parse_flags() -> Result<Flags, String> {
         }
     }
     Ok(flags)
+}
+
+fn run(
+    root: &std::path::Path,
+    pool: &Pool,
+    use_cache: bool,
+) -> std::io::Result<jigsaw_lint::Report> {
+    let (files, docs) = jigsaw_lint::collect_workspace(root)?;
+    let key = jigsaw_lint::cache::workspace_key(&files, &docs);
+    let cache_path = root.join("target").join("jigsaw-analyze.cache");
+    if use_cache {
+        if let Some(report) = jigsaw_lint::cache::load(&cache_path, key) {
+            eprintln!(
+                "jigsaw-analyze: cache hit ({} files unchanged)",
+                report.files_scanned
+            );
+            return Ok(report);
+        }
+    }
+    let report = jigsaw_lint::analyze_sources(files, &docs, pool);
+    if use_cache {
+        if let Err(e) = jigsaw_lint::cache::store(&cache_path, key, &report) {
+            eprintln!("jigsaw-analyze: could not write cache: {e}");
+        }
+    }
+    Ok(report)
 }
 
 fn main() -> ExitCode {
@@ -76,7 +149,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match jigsaw_lint::lint_workspace(&root) {
+    let pool = flags.jobs.map_or_else(Pool::from_env, Pool::new);
+
+    // `--fix` mutates sources, so it always re-analyzes from scratch.
+    let use_cache = !flags.no_cache && !flags.fix;
+    let mut report = match run(&root, &pool, use_cache) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("jigsaw-lint: failed to scan {}: {e}", root.display());
@@ -84,10 +161,30 @@ fn main() -> ExitCode {
         }
     };
 
-    if flags.json {
-        print!("{}", jigsaw_lint::render_json(&report));
-    } else {
-        print!("{}", jigsaw_lint::render_text(&report));
+    if flags.fix {
+        match jigsaw_lint::fix_stale_waivers(&root, &report) {
+            Ok(0) => {}
+            Ok(n) => {
+                eprintln!("jigsaw-analyze: deleted {n} stale waiver(s); re-running");
+                report = match run(&root, &pool, false) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("jigsaw-lint: failed to re-scan {}: {e}", root.display());
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            Err(e) => {
+                eprintln!("jigsaw-lint: --fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match flags.emit {
+        Emit::Text => print!("{}", jigsaw_lint::render_text(&report)),
+        Emit::Json => print!("{}", jigsaw_lint::render_json(&report)),
+        Emit::Github => print!("{}", jigsaw_lint::render_github(&report)),
     }
 
     if flags.deny && !report.is_clean() {

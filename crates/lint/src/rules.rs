@@ -1,9 +1,13 @@
-//! The rule catalog (R1–R5) and the per-file checking engine.
+//! The rule catalog (R1–R10) and the per-file checking engine.
 //!
-//! Every rule is a token-pattern over the [`lexer`](crate::lexer) stream,
-//! scoped by [`FileClass`] — which crate the file belongs to and whether it
-//! is test code. The catalog is deliberately project-specific: these are
-//! the Jigsaw workspace's safety contracts, not general style opinions.
+//! R1–R5 are token-patterns over the [`lexer`](crate::lexer) stream, scoped
+//! by [`FileClass`] — which crate the file belongs to and whether it is
+//! test code. R6–R10 (in [`rules6_10`](crate::rules6_10)) are *cross-file*:
+//! they run over the whole workspace at once, on top of the item parser
+//! ([`parser`](crate::parser)) and the conservative call/lock graphs
+//! ([`graph`](crate::graph)). The catalog is deliberately project-specific:
+//! these are the Jigsaw workspace's safety contracts, not general style
+//! opinions.
 //!
 //! | Rule | Contract |
 //! |------|----------|
@@ -12,10 +16,16 @@
 //! | R3 | `SystemState` ownership mutators called only from audited files. |
 //! | R4 | `pub fn`s returning allocation/persist `Result`s carry `#[must_use]`. |
 //! | R5 | No `unsafe` anywhere in the workspace. |
+//! | R6 | Durability ordering: engine paths that journal construct `Outcome` with a live `durable` flag, and no `flush()`/`append_batch()` result is discarded via `let _ =`. |
+//! | R7 | Lock discipline: every `.lock()` is poison-tolerant, and the `Mutex`-field acquisition-order graph is cycle-free. |
+//! | R8 | Metric-catalog drift: registration sites ↔ DESIGN §9 catalog, both directions. |
+//! | R9 | Protocol-table drift: `Verb`/`ErrCode` tables ↔ HELP usage strings ↔ README grammar, both directions. |
+//! | R10 | Recycle leak: locally bound `allocate(...)` results in `bench`/`sim`/`cli` must be recycled, returned, or stored. |
 //!
 //! Suppressions: `// jigsaw-lint: allow(R1) -- reason` on the finding's
 //! line or the line above waives it. A waiver without a reason is itself a
-//! finding; unused waivers are reported so stale ones get cleaned up.
+//! finding; unused waivers are reported so stale ones get cleaned up (and
+//! deleted by `--fix`).
 
 use crate::lexer::{lex, Suppression, Tok};
 
@@ -128,20 +138,26 @@ pub struct FileReport {
     pub unused_suppressions: Vec<u32>,
 }
 
-/// Lint one file's source text.
+/// Lint one file's source text with the per-file rules (R1–R5) only.
 pub fn check_file(src: &str, class: &FileClass) -> FileReport {
     let (toks, sups) = lex(src);
-    let mut raw: Vec<Violation> = Vec::new();
-
-    rule_r5_unsafe(&toks, class, &mut raw);
-    if class.lib_source {
-        rule_r1_panics(&toks, class, &mut raw);
-        rule_r2_casts(&toks, class, &mut raw);
-        rule_r4_must_use(&toks, class, &mut raw);
-    }
-    rule_r3_mutators(&toks, class, &mut raw);
-
+    let raw = check_tokens_raw(&toks, class);
     apply_suppressions(raw, &sups, class)
+}
+
+/// The per-file rules (R1–R5) over an already-lexed stream, *without*
+/// suppression handling — the workspace pipeline merges these raw findings
+/// with the cross-file rules' before applying waivers once per file.
+pub(crate) fn check_tokens_raw(toks: &[Tok], class: &FileClass) -> Vec<Violation> {
+    let mut raw: Vec<Violation> = Vec::new();
+    rule_r5_unsafe(toks, class, &mut raw);
+    if class.lib_source {
+        rule_r1_panics(toks, class, &mut raw);
+        rule_r2_casts(toks, class, &mut raw);
+        rule_r4_must_use(toks, class, &mut raw);
+    }
+    rule_r3_mutators(toks, class, &mut raw);
+    raw
 }
 
 // --- R1 ---------------------------------------------------------------------
@@ -346,7 +362,7 @@ fn return_type_text(toks: &[Tok], name_idx: usize) -> Option<String> {
                 parts.push(c.to_string());
             }
             crate::lexer::Kind::Ident(s) => parts.push(s.clone()),
-            crate::lexer::Kind::Lit => parts.push("_".into()),
+            crate::lexer::Kind::Str(_) | crate::lexer::Kind::Lit => parts.push("_".into()),
         }
         k += 1;
     }
@@ -448,7 +464,11 @@ fn next_is(toks: &[Tok], i: usize, c: char) -> bool {
 
 /// Split raw findings into surviving violations and waived ones, and
 /// collect unused / reason-less suppressions.
-fn apply_suppressions(raw: Vec<Violation>, sups: &[Suppression], class: &FileClass) -> FileReport {
+pub(crate) fn apply_suppressions(
+    raw: Vec<Violation>,
+    sups: &[Suppression],
+    class: &FileClass,
+) -> FileReport {
     let mut report = FileReport::default();
     let mut used = vec![false; sups.len()];
 

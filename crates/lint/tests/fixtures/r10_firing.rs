@@ -1,0 +1,23 @@
+// Seeded R10 violation. The test lints this file as
+// `crates/bench/src/fixture.rs` — one of the experiment-driver crates
+// whose locally bound `allocate(...)` results must re-enter the
+// scratch-pool cycle.
+
+// Fires: the grant is bound, peeked at, and dropped — never recycled,
+// returned, or stored.
+fn leaks(alloc: &mut dyn Allocator, state: &mut SystemState) {
+    let got = alloc.allocate(state, &req(1));
+    observe(got.is_ok());
+}
+
+// Clean: the binding is recycled back into the pool.
+fn recycled(alloc: &mut dyn Allocator, state: &mut SystemState, pool: &mut ScratchPool) {
+    let got = alloc.allocate(state, &req(2));
+    pool.recycle(got);
+}
+
+// Clean: the binding escapes (returned to the caller).
+fn escapes(alloc: &mut dyn Allocator, state: &mut SystemState) -> Grant {
+    let grant = alloc.allocate(state, &req(3));
+    grant
+}

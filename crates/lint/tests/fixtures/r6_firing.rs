@@ -1,0 +1,36 @@
+// Seeded R6 violations. The test lints this file as
+// `crates/net/src/engine.rs`, the one file whose `Outcome` constructions
+// the durability-ordering rule audits.
+
+struct Engine;
+
+impl Engine {
+    // Fires: journals (commit_grant) but pins `durable: false`.
+    fn grant_dead(&mut self) -> Outcome {
+        self.persist.commit_grant(record());
+        Outcome { reply: ok(), durable: false }
+    }
+
+    // Fires: journals transitively (via journal_one -> append) but the
+    // literal has no `durable` field at all.
+    fn grant_missing(&mut self) -> Outcome {
+        self.journal_one();
+        Outcome { reply: ok() }
+    }
+
+    // Clean: the flag is computed from persist state.
+    fn grant_live(&mut self) -> Outcome {
+        let staged = self.persist.pending_records();
+        self.persist.commit_grant(record());
+        Outcome { reply: ok(), durable: self.persist.pending_records() > staged }
+    }
+
+    fn journal_one(&mut self) {
+        self.persist.append(record());
+    }
+
+    // Fires: a discarded flush result hides a failed fsync.
+    fn shutdown(&mut self) {
+        let _ = self.persist.flush();
+    }
+}

@@ -1,0 +1,31 @@
+// Seeded R7 violations. The test lints this file as
+// `crates/cli/src/locks.rs` (a non-lib path, so R1's unwrap rule stays
+// out of the way and only the lock-discipline findings remain).
+
+struct Shared {
+    entries: Mutex<Vec<u32>>,
+    ring: Mutex<Ring>,
+}
+
+impl Shared {
+    fn forward(&self) {
+        let a = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let b = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop((a, b));
+    }
+
+    // Fires (lock-order): acquires the same two Mutex fields in the
+    // opposite order to `forward`, closing a cycle.
+    fn backward(&self) {
+        let b = self.ring.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let a = self.entries.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        drop((a, b));
+    }
+
+    // Fires (poison tolerance): a bare unwrap wedges the daemon if any
+    // thread ever panicked while holding the lock.
+    fn intolerant(&self) {
+        let a = self.entries.lock().unwrap();
+        drop(a);
+    }
+}

@@ -1,0 +1,12 @@
+// Seeded R8 violation. The test lints this file as
+// `crates/obs/src/fixture.rs` against a synthetic DESIGN §9 catalog that
+// lists `jigsaw_fixture_depth` (matched) and `jigsaw_fixture_stale_total`
+// (never registered): the un-cataloged counter below fires here, the
+// stale row fires on the DESIGN.md side.
+
+fn register(reg: &Registry) {
+    let hits = reg.counter("jigsaw_fixture_hits_total");
+    let depth = reg.gauge_with("jigsaw_fixture_depth", &["pod"]);
+    let pool = reg.counter("par_runs_total");
+    keep(hits, depth, pool);
+}

@@ -1,0 +1,30 @@
+// Seeded R9 fixture. The test lints this file as
+// `crates/net/src/protocol.rs` against a synthetic README whose grammar
+// fence omits FREE and documents a phantom PING, and whose error-code
+// paragraph omits `busy`. The QUIT usage below also fails the structural
+// HELP check (it does not begin with its verb).
+
+pub struct Verb {
+    pub name: &'static str,
+    pub usage: &'static str,
+}
+
+pub const VERBS: &[Verb] = &[
+    Verb { name: "ALLOC", usage: "ALLOC <id> <size>" },
+    Verb { name: "FREE", usage: "FREE <id>" },
+    Verb { name: "QUIT", usage: "BYE" },
+];
+
+pub enum ErrCode {
+    Denied,
+    Busy,
+}
+
+impl ErrCode {
+    fn as_str(&self) -> &'static str {
+        match self {
+            ErrCode::Denied => "denied",
+            ErrCode::Busy => "busy",
+        }
+    }
+}
