@@ -18,7 +18,7 @@ fn fragmented(tree: &FatTree) -> SystemState {
     let mut jig = JigsawAllocator::new(tree);
     for i in 0..tree.num_leaves() {
         let size = 1 + i % (tree.nodes_per_leaf() - 1);
-        let _ = jig.allocate(&mut state, &JobRequest::new(JobId(i), size));
+        let _ = jig.try_admit(&mut state, &JobRequest::new(JobId(i), size));
     }
     state
 }

@@ -18,7 +18,7 @@ fn churned(tree: &FatTree, scheme: Scheme, target: f64) -> (SystemState, Box<dyn
     let mut i = 0u32;
     while (state.allocated_node_count() as f64) < target * tree.num_nodes() as f64 {
         let size = 1 + (i * 13 + 7) % (tree.nodes_per_pod() / 2);
-        let _ = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size));
+        let _ = alloc.try_admit(&mut state, &JobRequest::new(JobId(i), size));
         i += 1;
         if i > 4 * tree.num_nodes() {
             break; // scheme cannot reach the target; bench what we have
@@ -42,7 +42,7 @@ fn bench_alloc(c: &mut Criterion) {
                     let mut alloc = scheme.make(&tree);
                     b.iter(|| {
                         let a = alloc
-                            .allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
+                            .try_admit(&mut state, &JobRequest::new(JobId(1), black_box(size)))
                             .expect("fits empty machine");
                         alloc.release(&mut state, &a);
                     });
@@ -57,7 +57,7 @@ fn bench_alloc(c: &mut Criterion) {
                     let size = tree.nodes_per_leaf() + 1;
                     b.iter(|| {
                         if let Ok(a) =
-                            alloc.allocate(&mut state, &JobRequest::new(JobId(1), black_box(size)))
+                            alloc.try_admit(&mut state, &JobRequest::new(JobId(1), black_box(size)))
                         {
                             alloc.release(&mut state, &a);
                         }

@@ -21,7 +21,7 @@ use std::hint::black_box;
 
 fn cycle(alloc: &mut dyn Allocator, state: &mut SystemState, size: u32) {
     let a = alloc
-        .allocate(state, &JobRequest::new(JobId(1), black_box(size)))
+        .try_admit(state, &JobRequest::new(JobId(1), black_box(size)))
         .expect("fits empty machine");
     alloc.release(state, &a);
 }

@@ -30,7 +30,7 @@ fn bench_routing(c: &mut Criterion) {
     let mut state = SystemState::new(tree);
     let mut jig = JigsawAllocator::new(&tree);
     let alloc = jig
-        .allocate(&mut state, &JobRequest::new(JobId(1), 200))
+        .try_admit(&mut state, &JobRequest::new(JobId(1), 200))
         .expect("200 nodes fit 1024");
 
     c.bench_function("routing/partition_router_build", |b| {

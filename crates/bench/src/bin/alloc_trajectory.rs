@@ -91,11 +91,11 @@ fn parse_args() -> Result<Args, String> {
 /// scratch pools are identical on every iteration.
 fn measure(radix: u32, scenario_name: &'static str, iters: usize) -> Cell {
     let tree = FatTree::maximal(radix).expect("even radix");
-    let (mut state, mut alloc, size) = scenario(scenario_name, &tree, Scheme::Jigsaw);
+    let (mut state, mut alloc, _live, size) = scenario(scenario_name, &tree, Scheme::Jigsaw);
     let req = jigsaw_core::JobRequest::new(jigsaw_topology::ids::JobId(1_000_000), size);
     // Warm-up: fill the scratch pools and fault in the state.
     for _ in 0..(iters / 10).max(32) {
-        if let Ok(a) = alloc.allocate(&mut state, &req) {
+        if let Ok(a) = alloc.try_admit(&mut state, &req) {
             alloc.release(&mut state, &a);
             alloc.recycle(a);
         }
@@ -105,7 +105,7 @@ fn measure(radix: u32, scenario_name: &'static str, iters: usize) -> Cell {
     let mut steps = 0u64;
     for _ in 0..iters {
         let t0 = Instant::now();
-        let r = alloc.allocate(&mut state, &req);
+        let r = alloc.try_admit(&mut state, &req);
         lat.push(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         steps += alloc.last_search_steps();
         if let Ok(a) = r {

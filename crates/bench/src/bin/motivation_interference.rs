@@ -45,7 +45,7 @@ fn main() {
     let churn = |state: &mut SystemState, alloc: &mut Box<dyn Allocator>, rng: &mut StdRng| {
         let mut held = Vec::new();
         for i in 0..400u32 {
-            if let Ok(a) = alloc.allocate(
+            if let Ok(a) = alloc.try_admit(
                 state,
                 &JobRequest::new(JobId(1000 + i), 1 + rng.random_range(0u32..24)),
             ) {
@@ -68,7 +68,7 @@ fn main() {
             .enumerate()
             .filter_map(|(i, &s)| {
                 alloc
-                    .allocate(&mut state, &JobRequest::new(JobId(i as u32), s))
+                    .try_admit(&mut state, &JobRequest::new(JobId(i as u32), s))
                     .ok()
             })
             .collect();

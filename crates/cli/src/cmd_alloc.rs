@@ -38,7 +38,7 @@ pub fn run(args: &[String]) -> i32 {
     let mut rejected: Vec<(usize, u32, jigsaw_core::Reject)> = Vec::new();
     for (i, &size) in sizes.iter().enumerate() {
         let req = jigsaw_core::JobRequest::new(JobId(i as u32), size);
-        match alloc.allocate(&mut state, &req) {
+        match alloc.try_admit(&mut state, &req) {
             Ok(a) => granted.push(a),
             Err(why) => rejected.push((i, size, why)),
         }

@@ -165,6 +165,11 @@ impl Shape {
     }
 
     /// The leaf↔L2 links the shape implies.
+    ///
+    /// Convenience wrapper over [`Shape::leaf_links_into`], the primary
+    /// allocation-free form; hot paths should call `_into` with a reused
+    /// buffer.
+    #[must_use]
     pub fn leaf_links(&self, tree: &FatTree) -> Vec<LeafLinkId> {
         let mut links = Vec::new();
         self.leaf_links_into(tree, &mut links);
@@ -222,6 +227,11 @@ impl Shape {
     }
 
     /// The L2↔spine links the shape implies (three-level shapes only).
+    ///
+    /// Convenience wrapper over [`Shape::spine_links_into`], the primary
+    /// allocation-free form; hot paths should call `_into` with a reused
+    /// buffer.
+    #[must_use]
     pub fn spine_links(&self, tree: &FatTree) -> Vec<SpineLinkId> {
         let mut links = Vec::new();
         self.spine_links_into(tree, &mut links);
@@ -364,8 +374,12 @@ impl Allocation {
 
 /// The lowest-indexed `count` free nodes under `leaf`.
 ///
+/// Convenience wrapper over [`free_nodes_on_into`], the primary
+/// allocation-free form; hot paths should call `_into` with a reused buffer.
+///
 /// # Panics
 /// If the leaf has fewer free nodes (allocator search bug).
+#[must_use]
 pub fn free_nodes_on(state: &SystemState, leaf: LeafId, count: u32) -> Vec<NodeId> {
     let mut out = Vec::with_capacity(count as usize);
     free_nodes_on_into(state, leaf, count, &mut out);

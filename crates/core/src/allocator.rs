@@ -11,10 +11,65 @@
 //! — parse once at the boundary, pass `Scheme` everywhere after.
 
 use crate::alloc::{release_allocation, Allocation};
+use crate::audit::audit_system;
+use crate::defrag::{MigrationPlan, PlanApplyError};
 use crate::job::JobRequest;
 use crate::reject::Reject;
 use jigsaw_topology::{FatTree, FatTreeParams, SystemState};
 use serde::{Deserialize, Serialize};
+
+/// The three-way outcome of a scheduling decision.
+///
+/// The paper's Algorithm 1 only admits or rejects; the `Reconfigure` arm
+/// is the repo's extension (ROADMAP item 3): when a request is rejected
+/// *because of fragmentation* — not because the machine lacks raw capacity
+/// — a bounded [`MigrationPlan`] can describe how to compact resident jobs
+/// so the request fits. The plan is a proposal: nothing has been claimed
+/// in the state yet, and the caller chooses whether to pay the migration
+/// cost ([`Allocator::apply_plan`]) or treat the outcome as a rejection
+/// ([`Decision::into_result`]).
+#[must_use = "an Admit has already claimed resources and a Reconfigure awaits apply_plan; dropping the decision leaks or discards them"]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// The request was placed; resources are already claimed in the state.
+    Admit(Allocation),
+    /// No legal placement exists right now (typed reason plus the
+    /// would-it-fit-empty fragmentation hint).
+    Reject(Reject),
+    /// No placement exists *as occupied*, but the attached plan migrates
+    /// resident jobs so one does. Nothing is claimed until the plan is
+    /// applied.
+    Reconfigure(MigrationPlan),
+}
+
+impl Decision {
+    /// Collapse to the two-outcome view: `Reconfigure` degrades to the
+    /// rejection that triggered the plan (the plan is dropped — it claimed
+    /// nothing). This is what callers that cannot migrate use.
+    #[must_use = "an admitted grant has already claimed nodes and links; dropping it leaks them"]
+    pub fn into_result(self) -> Result<Allocation, Reject> {
+        match self {
+            Decision::Admit(alloc) => Ok(alloc),
+            Decision::Reject(reject) => Err(reject),
+            Decision::Reconfigure(plan) => Err(plan.blocking),
+        }
+    }
+
+    /// `true` for [`Decision::Admit`].
+    pub fn is_admit(&self) -> bool {
+        matches!(self, Decision::Admit(_))
+    }
+
+    /// Stable snake_case outcome label (`"admit"` / `"reject"` /
+    /// `"reconfigure"`), for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Decision::Admit(_) => "admit",
+            Decision::Reject(_) => "reject",
+            Decision::Reconfigure(_) => "reconfigure",
+        }
+    }
+}
 
 /// A node-and-link allocation policy.
 ///
@@ -28,15 +83,72 @@ pub trait Allocator: Send {
     /// Scheme name as used in the paper's figures.
     fn name(&self) -> &'static str;
 
-    /// Search for an allocation for `req` and, on success, claim it in
-    /// `state`. Returns a typed [`Reject`] naming the binding constraint
-    /// when no legal placement currently exists.
+    /// Decide the fate of `req`: search for a placement and, on
+    /// [`Decision::Admit`], claim it in `state`. A failed search returns
+    /// [`Decision::Reject`] with the typed reason and the
+    /// would-it-fit-empty hint; allocators that plan migrations (the
+    /// [`crate::Defragmenter`] wrapper) may instead return
+    /// [`Decision::Reconfigure`] with a bounded, audited plan.
     ///
-    /// On `Ok` the resources are already claimed in `state` — dropping the
-    /// returned [`Allocation`] leaks them, hence `#[must_use]`.
+    /// On `Admit` the resources are already claimed in `state` — dropping
+    /// the returned [`Allocation`] leaks them, hence `#[must_use]`.
+    #[must_use = "an admitted grant has already claimed nodes and links; dropping the decision leaks them"]
+    fn decide(&mut self, state: &mut SystemState, req: &JobRequest) -> Decision;
+
+    /// Two-outcome convenience over [`Allocator::decide`]: admit or
+    /// reject, with `Reconfigure` degraded to its blocking rejection.
+    /// Call sites that cannot (or must not) migrate resident jobs use
+    /// this; everything else matches on [`Decision`] directly.
     #[must_use = "the grant has already claimed nodes and links; dropping it leaks them"]
-    fn allocate(&mut self, state: &mut SystemState, req: &JobRequest)
-        -> Result<Allocation, Reject>;
+    fn try_admit(
+        &mut self,
+        state: &mut SystemState,
+        req: &JobRequest,
+    ) -> Result<Allocation, Reject> {
+        self.decide(state, req).into_result()
+    }
+
+    /// Apply a [`MigrationPlan`] to `state`, one move at a time, keeping
+    /// `live` (the caller's list of resident allocations, which must
+    /// contain every move's `from` placement) in step, and **re-auditing
+    /// the full system after every move**. On success the plan's admitted
+    /// placement has been adopted too (and pushed onto `live`) and is
+    /// returned — the caller must *not* re-decide the triggering request.
+    ///
+    /// The default implementation routes every mutation through
+    /// [`Allocator::release`] / [`Allocator::adopt`], so wrappers with
+    /// internal bookkeeping (TA's classes, the defragmenter's live list)
+    /// stay consistent without overriding this.
+    #[must_use = "an unapplied or failed plan leaves the admitted placement unclaimed"]
+    fn apply_plan(
+        &mut self,
+        state: &mut SystemState,
+        live: &mut Vec<Allocation>,
+        plan: &MigrationPlan,
+    ) -> Result<Allocation, PlanApplyError> {
+        for m in &plan.moves {
+            let Some(idx) = live.iter().position(|a| *a == m.from) else {
+                return Err(PlanApplyError::StaleMove { job: m.job });
+            };
+            self.release(state, &m.from);
+            self.adopt(state, &m.to);
+            live[idx] = m.to.clone();
+            let errors = audit_system(state, live);
+            if !errors.is_empty() {
+                return Err(PlanApplyError::AuditFailed { job: m.job, errors });
+            }
+        }
+        self.adopt(state, &plan.admits);
+        live.push(plan.admits.clone());
+        let errors = audit_system(state, live);
+        if !errors.is_empty() {
+            return Err(PlanApplyError::AuditFailed {
+                job: plan.admits.job,
+                errors,
+            });
+        }
+        Ok(plan.admits.clone())
+    }
 
     /// Release a previously granted allocation.
     fn release(&mut self, state: &mut SystemState, alloc: &Allocation) {
@@ -60,7 +172,7 @@ pub trait Allocator: Send {
     }
 
     /// Search effort (backtracking steps) spent by the most recent
-    /// [`Allocator::allocate`] call; used by the scheduling-time analysis
+    /// [`Allocator::decide`] call; used by the scheduling-time analysis
     /// (Table 3) as a machine-independent effort metric.
     fn last_search_steps(&self) -> u64 {
         0

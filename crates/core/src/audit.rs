@@ -195,7 +195,7 @@ mod tests {
                 (live.len() as u32 * 10, 13u32),
                 (live.len() as u32 * 10 + 1, 7),
             ] {
-                if let Ok(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
+                if let Ok(a) = alloc.try_admit(&mut state, &JobRequest::new(JobId(i), size)) {
                     live.push(a);
                 }
             }
@@ -210,7 +210,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 4))
             .unwrap();
         // Forget the allocation: state says owned, live set says nothing.
         let errors = audit_system(&state, &[]);
@@ -231,7 +231,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 4))
             .unwrap();
         let mut b = a.clone();
         b.job = JobId(2);
@@ -247,7 +247,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let mut a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 11))
             .unwrap();
         if let Shape::TwoLevel { l2_set, .. } = &mut a.shape {
             *l2_set = 0b1; // unbalanced uplinks
@@ -264,7 +264,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let mut a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 2))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 2))
             .unwrap();
         // Claim one more node behind the audit's back — both a mismatch and
         // an ownership error.

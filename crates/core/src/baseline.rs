@@ -7,9 +7,9 @@
 //! network interference, modeled by the simulator's speed-up scenarios.
 
 use crate::alloc::{claim_allocation, Allocation, Shape};
-use crate::allocator::Allocator;
+use crate::allocator::{Allocator, Decision};
 use crate::job::JobRequest;
-use crate::reject::Reject;
+use crate::reject::{FitHintCache, Reject, RejectReason};
 use crate::scratch::SearchScratch;
 use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::{FatTree, SystemState};
@@ -19,6 +19,7 @@ use jigsaw_topology::{FatTree, SystemState};
 pub struct BaselineAllocator {
     steps: u64,
     scratch: SearchScratch,
+    fit_hint: FitHintCache,
 }
 
 impl BaselineAllocator {
@@ -26,24 +27,20 @@ impl BaselineAllocator {
     pub fn new(_tree: &FatTree) -> Self {
         BaselineAllocator::default()
     }
-}
 
-impl Allocator for BaselineAllocator {
-    fn name(&self) -> &'static str {
-        "Baseline"
-    }
-
-    fn allocate(
+    /// First-fit search, claiming on success (the body behind
+    /// [`Allocator::decide`] and the empty-machine fit probe).
+    fn search_claim(
         &mut self,
         state: &mut SystemState,
         req: &JobRequest,
-    ) -> Result<Allocation, Reject> {
+    ) -> Result<Allocation, RejectReason> {
         self.steps = 1;
         if req.size == 0 {
-            return Err(Reject::ZeroSize);
+            return Err(RejectReason::ZeroSize);
         }
         if state.free_node_count() < req.size {
-            return Err(Reject::NoNodes {
+            return Err(RejectReason::NoNodes {
                 free: state.free_node_count(),
                 requested: req.size,
             });
@@ -74,6 +71,26 @@ impl Allocator for BaselineAllocator {
         };
         claim_allocation(state, &alloc);
         Ok(alloc)
+    }
+}
+
+impl Allocator for BaselineAllocator {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn decide(&mut self, state: &mut SystemState, req: &JobRequest) -> Decision {
+        match self.search_claim(state, req) {
+            Ok(alloc) => Decision::Admit(alloc),
+            Err(reason) => {
+                let tree = *state.tree();
+                let hint = self.fit_hint.hint(req.size, req.bw_tenths, || {
+                    let mut probe = BaselineAllocator::default();
+                    probe.search_claim(&mut SystemState::new(tree), req).is_ok()
+                });
+                Decision::Reject(Reject::with_hint(reason, hint))
+            }
+        }
     }
 
     fn recycle(&mut self, alloc: Allocation) {
@@ -106,7 +123,7 @@ mod tests {
     fn allocates_any_free_nodes() {
         let (mut state, mut base) = setup();
         let a = base
-            .allocate(&mut state, &JobRequest::new(JobId(1), 5))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 5))
             .unwrap();
         assert_eq!(a.nodes.len(), 5);
         assert!(a.leaf_links.is_empty());
@@ -124,7 +141,7 @@ mod tests {
         }
         // 8 scattered nodes remain; Baseline takes them all.
         let a = base
-            .allocate(&mut state, &JobRequest::new(JobId(1), 8))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 8))
             .unwrap();
         assert_eq!(a.nodes.len(), 8);
         assert_eq!(state.free_node_count(), 0);
@@ -134,29 +151,36 @@ mod tests {
     fn fails_only_on_node_shortage() {
         let (mut state, mut base) = setup();
         assert_eq!(
-            base.allocate(&mut state, &JobRequest::new(JobId(1), 17)),
-            Err(crate::Reject::NoNodes {
+            base.try_admit(&mut state, &JobRequest::new(JobId(1), 17))
+                .map_err(|r| r.reason),
+            Err(RejectReason::NoNodes {
                 free: 16,
                 requested: 17
             })
         );
         let _ = base
-            .allocate(&mut state, &JobRequest::new(JobId(1), 16))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 16))
             .unwrap();
+        let full = base
+            .try_admit(&mut state, &JobRequest::new(JobId(2), 1))
+            .unwrap_err();
         assert_eq!(
-            base.allocate(&mut state, &JobRequest::new(JobId(2), 1)),
-            Err(crate::Reject::NoNodes {
+            full.reason,
+            RejectReason::NoNodes {
                 free: 0,
                 requested: 1
-            })
+            }
         );
+        // A 1-node job obviously fits an empty machine: the rejection is
+        // purely occupancy.
+        assert!(full.would_fit_empty);
     }
 
     #[test]
     fn release_returns_nodes() {
         let (mut state, mut base) = setup();
         let a = base
-            .allocate(&mut state, &JobRequest::new(JobId(1), 16))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 16))
             .unwrap();
         base.release(&mut state, &a);
         assert_eq!(state.free_node_count(), 16);

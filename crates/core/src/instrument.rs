@@ -7,8 +7,11 @@
 //!   `jigsaw_alloc_releases_total` — allocation outcome counters;
 //! * `jigsaw_alloc_rejects_total{reason=…}` — one counter per typed
 //!   [`Reject`] kind;
+//! * `jigsaw_alloc_reconfigures_total` — decisions that produced a
+//!   [`MigrationPlan`](crate::defrag::MigrationPlan) instead of a grant
+//!   or a reject;
 //! * `jigsaw_alloc_latency_ns` / `jigsaw_release_latency_ns` — log2
-//!   latency histograms over the allocate/release calls;
+//!   latency histograms over the decide/release calls;
 //! * `jigsaw_alloc_search_steps` — the scheme's machine-independent
 //!   backtracking effort (Table 3's second metric);
 //! * `jigsaw_alloc_nodes_in_use` — gauge of currently granted nodes.
@@ -20,9 +23,9 @@
 //! unbalance the grant/release counters.
 
 use crate::alloc::Allocation;
-use crate::allocator::Allocator;
+use crate::allocator::{Allocator, Decision};
 use crate::job::JobRequest;
-use crate::reject::Reject;
+use crate::reject::RejectReason;
 use jigsaw_obs::{Counter, EventKind, Gauge, Histogram, Registry};
 use jigsaw_topology::SystemState;
 
@@ -36,6 +39,7 @@ pub struct AllocatorObs {
     grants: Counter,
     releases: Counter,
     rejects: Vec<Counter>,
+    reconfigures: Counter,
     alloc_ns: Histogram,
     release_ns: Histogram,
     search_steps: Histogram,
@@ -48,7 +52,7 @@ impl AllocatorObs {
     /// exposition shows zeroes rather than omitting untripped reasons.
     pub fn new(registry: &Registry, scheme: &'static str) -> AllocatorObs {
         let labels = [("scheme", scheme)];
-        let rejects = Reject::ALL_KINDS
+        let rejects = RejectReason::ALL_KINDS
             .iter()
             .map(|reason| {
                 registry.counter_with(
@@ -76,9 +80,14 @@ impl AllocatorObs {
                 &labels,
             ),
             rejects,
+            reconfigures: registry.counter_with(
+                "jigsaw_alloc_reconfigures_total",
+                "Decisions that produced a migration plan (Reconfigure).",
+                &labels,
+            ),
             alloc_ns: registry.histogram_with(
                 "jigsaw_alloc_latency_ns",
-                "Latency of Allocator::allocate calls (ns).",
+                "Latency of Allocator::decide calls (ns).",
                 &labels,
             ),
             release_ns: registry.histogram_with(
@@ -107,6 +116,7 @@ impl AllocatorObs {
             grants: Counter::disabled(),
             releases: Counter::disabled(),
             rejects: Vec::new(),
+            reconfigures: Counter::disabled(),
             alloc_ns: Histogram::disabled(),
             release_ns: Histogram::disabled(),
             search_steps: Histogram::disabled(),
@@ -114,11 +124,11 @@ impl AllocatorObs {
         }
     }
 
-    /// Record one allocation outcome (latency is recorded separately via
+    /// Record one allocation decision (latency is recorded separately via
     /// the histogram handles).
-    pub fn record_outcome(&self, req: &JobRequest, outcome: &Result<Allocation, Reject>) {
-        match outcome {
-            Ok(alloc) => {
+    pub fn record_decision(&self, req: &JobRequest, decision: &Decision) {
+        match decision {
+            Decision::Admit(alloc) => {
                 self.grants.inc();
                 self.nodes_in_use.add(alloc.nodes.len() as i64);
                 self.registry
@@ -126,13 +136,25 @@ impl AllocatorObs {
                         format!("size={} granted={}", req.size, alloc.nodes.len())
                     });
             }
-            Err(reject) => {
+            Decision::Reject(reject) => {
                 if let Some(c) = self.rejects.get(reject.kind_index()) {
                     c.inc();
                 }
                 self.registry
                     .event(EventKind::Rejection, Some(req.id.0), || {
                         format!("size={} reason={reject}", req.size)
+                    });
+            }
+            Decision::Reconfigure(plan) => {
+                self.reconfigures.inc();
+                self.registry
+                    .event(EventKind::Reconfigure, Some(req.id.0), || {
+                        format!(
+                            "size={} moves={} nodes_moved={}",
+                            req.size,
+                            plan.moves.len(),
+                            plan.nodes_moved()
+                        )
                     });
             }
         }
@@ -151,6 +173,11 @@ impl AllocatorObs {
     /// Gauge of nodes currently granted.
     pub fn nodes_in_use(&self) -> &Gauge {
         &self.nodes_in_use
+    }
+
+    /// Counter of `Reconfigure` decisions.
+    pub fn reconfigures(&self) -> &Counter {
+        &self.reconfigures
     }
 }
 
@@ -182,22 +209,18 @@ impl Allocator for ObservedAllocator {
         self.inner.name()
     }
 
-    fn allocate(
-        &mut self,
-        state: &mut SystemState,
-        req: &JobRequest,
-    ) -> Result<Allocation, Reject> {
+    fn decide(&mut self, state: &mut SystemState, req: &JobRequest) -> Decision {
         self.obs.attempts.inc();
         let t0 = self.obs.alloc_ns.start();
-        let outcome = self.inner.allocate(state, req);
+        let decision = self.inner.decide(state, req);
         self.obs.alloc_ns.observe_since(t0);
         if self.obs.search_steps.is_enabled() {
             self.obs
                 .search_steps
                 .observe(self.inner.last_search_steps());
         }
-        self.obs.record_outcome(req, &outcome);
-        outcome
+        self.obs.record_decision(req, &decision);
+        decision
     }
 
     fn release(&mut self, state: &mut SystemState, alloc: &Allocation) {
@@ -259,10 +282,10 @@ mod tests {
         let mut alloc = ObservedAllocator::new(Scheme::Jigsaw.make(&tree), &reg);
 
         let a = alloc
-            .allocate(&mut state, &JobRequest::new(JobId(1), 5))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 5))
             .unwrap();
         assert!(alloc
-            .allocate(&mut state, &JobRequest::new(JobId(2), 99))
+            .try_admit(&mut state, &JobRequest::new(JobId(2), 99))
             .is_err());
         assert_eq!(alloc.obs().grants().get(), 1);
         assert_eq!(alloc.obs().nodes_in_use().get(), 5);
@@ -292,7 +315,7 @@ mod tests {
         let alloc = ObservedAllocator::new(Scheme::Jigsaw.make(&tree), &reg);
 
         let mut scratch = alloc.clone_box();
-        let _ = scratch.allocate(&mut state, &JobRequest::new(JobId(1), 5));
+        let _ = scratch.try_admit(&mut state, &JobRequest::new(JobId(1), 5));
         let text = reg.render_prometheus();
         assert!(text.contains("jigsaw_alloc_attempts_total{scheme=\"Jigsaw\"} 0"));
         assert!(text.contains("jigsaw_alloc_grants_total{scheme=\"Jigsaw\"} 0"));
@@ -305,7 +328,7 @@ mod tests {
         let reg = Registry::disabled();
         let mut alloc = ObservedAllocator::new(Scheme::Ta.make(&tree), &reg);
         let a = alloc
-            .allocate(&mut state, &JobRequest::new(JobId(1), 3))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 3))
             .unwrap();
         assert_eq!(a.nodes.len(), 3);
         assert_eq!(alloc.obs().grants().get(), 0);

@@ -13,9 +13,9 @@
 //! currency of three-level allocations — intact for future jobs.
 
 use crate::alloc::{claim_allocation, Allocation, Shape};
-use crate::allocator::Allocator;
+use crate::allocator::{Allocator, Decision};
 use crate::job::JobRequest;
-use crate::reject::Reject;
+use crate::reject::{FitHintCache, Reject, RejectReason};
 use crate::scratch::SearchScratch;
 use crate::search::{find_three_level_full, find_two_level, Budget, Exclusive};
 use jigsaw_topology::cast::count_u32;
@@ -27,6 +27,7 @@ pub struct JigsawAllocator {
     steps: u64,
     widest_first: bool,
     scratch: SearchScratch,
+    fit_hint: FitHintCache,
 }
 
 impl JigsawAllocator {
@@ -44,6 +45,7 @@ impl JigsawAllocator {
             steps: 0,
             widest_first: false,
             scratch: SearchScratch::default(),
+            fit_hint: FitHintCache::new(),
         }
     }
 
@@ -70,28 +72,28 @@ impl JigsawAllocator {
         self.steps = budget.spent();
         shape
     }
-}
 
-impl Allocator for JigsawAllocator {
-    fn name(&self) -> &'static str {
-        "Jigsaw"
-    }
-
-    fn allocate(
+    /// The search of Algorithm 1, claiming the placement on success. The
+    /// body behind [`Allocator::decide`], without the fragmentation-hint
+    /// wrapping — which is also what the hint's own empty-machine probe
+    /// runs (it must not recurse into another probe).
+    fn search_claim(
         &mut self,
         state: &mut SystemState,
         req: &JobRequest,
-    ) -> Result<Allocation, Reject> {
+    ) -> Result<Allocation, RejectReason> {
         if req.size == 0 {
-            return Err(Reject::ZeroSize);
+            return Err(RejectReason::ZeroSize);
         }
         if req.size > state.free_node_count() {
-            return Err(Reject::NoNodes {
+            return Err(RejectReason::NoNodes {
                 free: state.free_node_count(),
                 requested: req.size,
             });
         }
-        let shape = self.find_shape(state, req.size).ok_or(Reject::NoShape)?;
+        let shape = self
+            .find_shape(state, req.size)
+            .ok_or(RejectReason::NoShape)?;
         let alloc =
             Allocation::from_shape_with(&mut self.scratch, state, req.id, req.size, 0, shape);
         debug_assert_eq!(
@@ -101,6 +103,32 @@ impl Allocator for JigsawAllocator {
         );
         claim_allocation(state, &alloc);
         Ok(alloc)
+    }
+}
+
+impl Allocator for JigsawAllocator {
+    fn name(&self) -> &'static str {
+        "Jigsaw"
+    }
+
+    fn decide(&mut self, state: &mut SystemState, req: &JobRequest) -> Decision {
+        match self.search_claim(state, req) {
+            Ok(alloc) => Decision::Admit(alloc),
+            Err(reason) => {
+                let widest_first = self.widest_first;
+                let tree = *state.tree();
+                let hint = self.fit_hint.hint(req.size, req.bw_tenths, || {
+                    let mut probe = JigsawAllocator {
+                        steps: 0,
+                        widest_first,
+                        scratch: SearchScratch::default(),
+                        fit_hint: FitHintCache::new(),
+                    };
+                    probe.search_claim(&mut SystemState::new(tree), req).is_ok()
+                });
+                Decision::Reject(Reject::with_hint(reason, hint))
+            }
+        }
     }
 
     fn last_search_steps(&self) -> u64 {
@@ -246,7 +274,7 @@ mod tests {
     fn small_job_lands_on_single_leaf_without_links() {
         let (mut state, mut jig) = setup(8);
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 3))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 3))
             .unwrap();
         assert!(matches!(a.shape, Shape::SingleLeaf { n: 3, .. }));
         assert!(a.leaf_links.is_empty() && a.spine_links.is_empty());
@@ -261,7 +289,7 @@ mod tests {
         for size in [1u32, 5, 13, 40, 100, 128] {
             let (mut state, mut jig) = setup(8);
             let a = jig
-                .allocate(&mut state, &JobRequest::new(JobId(size), size))
+                .try_admit(&mut state, &JobRequest::new(JobId(size), size))
                 .unwrap_or_else(|e| panic!("size {size} must fit on an empty 128-node tree: {e}"));
             assert_eq!(a.nodes.len() as u32, size, "N = N_r for size {size}");
             state.assert_consistent();
@@ -270,7 +298,7 @@ mod tests {
         let (mut state, mut jig) = setup(8);
         for (i, size) in [1u32, 5, 13, 40, 64].iter().enumerate() {
             let a = jig
-                .allocate(&mut state, &JobRequest::new(JobId(i as u32), *size))
+                .try_admit(&mut state, &JobRequest::new(JobId(i as u32), *size))
                 .unwrap_or_else(|e| panic!("size {size} must fit cumulatively: {e}"));
             assert_eq!(a.nodes.len() as u32, *size);
             state.assert_consistent();
@@ -283,7 +311,7 @@ mod tests {
         let tree = *state.tree();
         for size in 1..=80u32 {
             let mut s = state.clone();
-            if let Ok(a) = jig.allocate(&mut s, &JobRequest::new(JobId(size), size)) {
+            if let Ok(a) = jig.try_admit(&mut s, &JobRequest::new(JobId(size), size)) {
                 check_shape(&tree, &a.shape)
                     .unwrap_or_else(|v| panic!("size {size}: condition violated: {v}"));
             }
@@ -292,7 +320,7 @@ mod tests {
         let mut id = 1000;
         loop {
             id += 1;
-            match jig.allocate(&mut state, &JobRequest::new(JobId(id), 7)) {
+            match jig.try_admit(&mut state, &JobRequest::new(JobId(id), 7)) {
                 Ok(a) => {
                     check_shape(&tree, &a.shape)
                         .unwrap_or_else(|v| panic!("packed 7-node job violated: {v}"));
@@ -322,7 +350,7 @@ mod tests {
             }
         }
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 2))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 2))
             .expect("2 nodes spread over two leaves of pod 0");
         match &a.shape {
             Shape::TwoLevel {
@@ -343,7 +371,7 @@ mod tests {
     fn three_level_used_when_no_pod_fits() {
         let (mut state, mut jig) = setup(4); // pods of 4 nodes
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 11))
             .unwrap();
         match &a.shape {
             Shape::ThreeLevel {
@@ -363,7 +391,7 @@ mod tests {
         let (mut state, mut jig) = setup(8);
         let before = state.clone();
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 37))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 37))
             .unwrap();
         assert_ne!(state, before);
         release_allocation(&mut state, &a);
@@ -374,7 +402,7 @@ mod tests {
     fn full_machine_job_fits_empty_machine() {
         let (mut state, mut jig) = setup(4);
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 16))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 16))
             .unwrap();
         assert_eq!(a.nodes.len(), 16);
         assert_eq!(state.free_node_count(), 0);
@@ -384,16 +412,23 @@ mod tests {
     #[test]
     fn refuses_oversized_and_zero_jobs() {
         let (mut state, mut jig) = setup(4);
+        let oversized = jig
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 17))
+            .unwrap_err();
         assert_eq!(
-            jig.allocate(&mut state, &JobRequest::new(JobId(1), 17)),
-            Err(Reject::NoNodes {
+            oversized.reason,
+            RejectReason::NoNodes {
                 free: 16,
                 requested: 17
-            })
+            }
         );
+        // 17 nodes never fit this 16-node machine, not even empty.
+        assert!(!oversized.would_fit_empty);
         assert_eq!(
-            jig.allocate(&mut state, &JobRequest::new(JobId(1), 0)),
-            Err(Reject::ZeroSize)
+            jig.try_admit(&mut state, &JobRequest::new(JobId(1), 0))
+                .unwrap_err()
+                .reason,
+            RejectReason::ZeroSize
         );
     }
 
@@ -401,10 +436,10 @@ mod tests {
     fn isolation_between_concurrent_jobs() {
         let (mut state, mut jig) = setup(8);
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 60))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 60))
             .unwrap();
         let b = jig
-            .allocate(&mut state, &JobRequest::new(JobId(2), 60))
+            .try_admit(&mut state, &JobRequest::new(JobId(2), 60))
             .unwrap();
         assert!(a.is_disjoint_from(&b), "Jigsaw partitions must be disjoint");
         state.assert_consistent();
@@ -413,7 +448,7 @@ mod tests {
     #[test]
     fn search_steps_reported() {
         let (mut state, mut jig) = setup(8);
-        let _ = jig.allocate(&mut state, &JobRequest::new(JobId(1), 100));
+        let _ = jig.try_admit(&mut state, &JobRequest::new(JobId(1), 100));
         assert!(jig.last_search_steps() > 0);
     }
 }

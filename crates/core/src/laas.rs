@@ -24,9 +24,9 @@
 //! EXPERIMENTS.md.
 
 use crate::alloc::{claim_allocation, Allocation, Shape};
-use crate::allocator::Allocator;
+use crate::allocator::{Allocator, Decision};
 use crate::job::JobRequest;
-use crate::reject::Reject;
+use crate::reject::{FitHintCache, Reject, RejectReason};
 use crate::scratch::SearchScratch;
 use crate::search::{find_three_level_full, Budget, Exclusive, LinkView};
 use jigsaw_topology::cast::count_u32;
@@ -39,6 +39,7 @@ pub struct LaasAllocator {
     steps: u64,
     pack_subleaf: bool,
     scratch: SearchScratch,
+    fit_hint: FitHintCache,
 }
 
 impl LaasAllocator {
@@ -55,6 +56,7 @@ impl LaasAllocator {
             steps: 0,
             pack_subleaf: true,
             scratch: SearchScratch::default(),
+            fit_hint: FitHintCache::new(),
         }
     }
 
@@ -146,28 +148,26 @@ impl LaasAllocator {
         self.steps = budget.spent();
         shape
     }
-}
 
-impl Allocator for LaasAllocator {
-    fn name(&self) -> &'static str {
-        "LaaS"
-    }
-
-    fn allocate(
+    /// The whole-leaf search, claiming on success (the body behind
+    /// [`Allocator::decide`] and the empty-machine fit probe).
+    fn search_claim(
         &mut self,
         state: &mut SystemState,
         req: &JobRequest,
-    ) -> Result<Allocation, Reject> {
+    ) -> Result<Allocation, RejectReason> {
         if req.size == 0 {
-            return Err(Reject::ZeroSize);
+            return Err(RejectReason::ZeroSize);
         }
         if req.size > state.tree().num_nodes() || req.size > state.free_node_count() {
-            return Err(Reject::NoNodes {
+            return Err(RejectReason::NoNodes {
                 free: state.free_node_count(),
                 requested: req.size,
             });
         }
-        let shape = self.find_shape(state, req.size).ok_or(Reject::NoShape)?;
+        let shape = self
+            .find_shape(state, req.size)
+            .ok_or(RejectReason::NoShape)?;
         // `requested` records the true need; the shape's node count is the
         // rounded-up grant (internal fragmentation) for multi-leaf jobs.
         let alloc =
@@ -180,6 +180,32 @@ impl Allocator for LaasAllocator {
         );
         claim_allocation(state, &alloc);
         Ok(alloc)
+    }
+}
+
+impl Allocator for LaasAllocator {
+    fn name(&self) -> &'static str {
+        "LaaS"
+    }
+
+    fn decide(&mut self, state: &mut SystemState, req: &JobRequest) -> Decision {
+        match self.search_claim(state, req) {
+            Ok(alloc) => Decision::Admit(alloc),
+            Err(reason) => {
+                let pack_subleaf = self.pack_subleaf;
+                let tree = *state.tree();
+                let hint = self.fit_hint.hint(req.size, req.bw_tenths, || {
+                    let mut probe = LaasAllocator {
+                        steps: 0,
+                        pack_subleaf,
+                        scratch: SearchScratch::default(),
+                        fit_hint: FitHintCache::new(),
+                    };
+                    probe.search_claim(&mut SystemState::new(tree), req).is_ok()
+                });
+                Decision::Reject(Reject::with_hint(reason, hint))
+            }
+        }
     }
 
     fn recycle(&mut self, alloc: Allocation) {
@@ -211,7 +237,7 @@ mod tests {
     fn rounds_up_to_whole_leaves() {
         let (mut state, mut laas) = setup(8); // leaves of 4 nodes
         let a = laas
-            .allocate(&mut state, &JobRequest::new(JobId(1), 5))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 5))
             .unwrap();
         assert_eq!(a.requested, 5);
         assert_eq!(a.nodes.len(), 8, "5 nodes round up to 2 whole leaves");
@@ -224,13 +250,13 @@ mod tests {
     fn subleaf_job_packs_by_default_and_rounds_in_strict_mode() {
         let (mut state, mut laas) = setup(8);
         let a = laas
-            .allocate(&mut state, &JobRequest::new(JobId(1), 1))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 1))
             .unwrap();
         assert!(matches!(a.shape, Shape::SingleLeaf { n: 1, .. }));
         assert_eq!(a.nodes.len(), 1);
         // A second 1-node job shares the leaf.
         let b = laas
-            .allocate(&mut state, &JobRequest::new(JobId(2), 1))
+            .try_admit(&mut state, &JobRequest::new(JobId(2), 1))
             .unwrap();
         assert_eq!(
             state.tree().leaf_of_node(a.nodes[0]),
@@ -241,7 +267,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut strict = LaasAllocator::strict_whole_leaf(&tree);
         let c = strict
-            .allocate(&mut state, &JobRequest::new(JobId(1), 1))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 1))
             .unwrap();
         assert!(matches!(c.shape, Shape::SingleLeaf { n: 4, .. }));
         assert_eq!(
@@ -257,7 +283,7 @@ mod tests {
         let tree = *state.tree();
         for (i, size) in [9u32, 17, 40].iter().enumerate() {
             let a = laas
-                .allocate(&mut state, &JobRequest::new(JobId(i as u32), *size))
+                .try_admit(&mut state, &JobRequest::new(JobId(i as u32), *size))
                 .unwrap();
             // Every touched leaf is wholly owned.
             let mut per_leaf = std::collections::HashMap::new();
@@ -273,7 +299,7 @@ mod tests {
     fn multi_pod_shapes_satisfy_conditions() {
         let (mut state, mut laas) = setup(4); // pods of 4 nodes, leaves of 2
         let a = laas
-            .allocate(&mut state, &JobRequest::new(JobId(1), 9))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 9))
             .unwrap();
         // 9 rounds to 10 nodes = 5 whole leaves over 3 pods (2+2+1 leaves).
         assert_eq!(a.nodes.len(), 10);
@@ -291,10 +317,14 @@ mod tests {
             state.claim_node(tree.node_at(leaf, 0), JobId(99));
         }
         // Half the machine is free, but LaaS cannot place even a 1-node job.
-        assert_eq!(
-            laas.allocate(&mut state, &JobRequest::new(JobId(1), 1)),
-            Err(Reject::NoShape)
-        );
+        let reject = laas
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 1))
+            .unwrap_err();
+        assert_eq!(reject.reason, RejectReason::NoShape);
+        // The job fits an empty machine: this is fragmentation, and the
+        // hint says so.
+        assert!(reject.would_fit_empty);
+        assert!(reject.is_fragmentation());
     }
 
     #[test]
@@ -305,7 +335,7 @@ mod tests {
         let w = state.tree().nodes_per_leaf();
         let mut wasted = 0;
         for (i, size) in (5..=20u32).enumerate() {
-            if let Ok(a) = laas.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = laas.try_admit(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 wasted += a.nodes.len() as u32 - a.requested;
                 assert_eq!(a.nodes.len() as u32, size.div_ceil(w) * w);
             }

@@ -15,9 +15,9 @@
 //! sub-solution enumeration (`FIND_ALL_L2`) is likewise capped.
 
 use crate::alloc::{claim_allocation, Allocation, Shape};
-use crate::allocator::Allocator;
+use crate::allocator::{Allocator, Decision};
 use crate::job::JobRequest;
-use crate::reject::Reject;
+use crate::reject::{FitHintCache, Reject, RejectReason};
 use crate::scratch::SearchScratch;
 use crate::search::{
     find_three_level_full, find_three_level_general, find_two_level, Budget, Shared,
@@ -40,6 +40,7 @@ pub struct LcsAllocator {
     steps: u64,
     exhausted_last: bool,
     scratch: SearchScratch,
+    fit_hint: FitHintCache,
 }
 
 impl LcsAllocator {
@@ -60,6 +61,7 @@ impl LcsAllocator {
             steps: 0,
             exhausted_last: false,
             scratch: SearchScratch::default(),
+            fit_hint: FitHintCache::new(),
         }
     }
 
@@ -203,23 +205,19 @@ impl LcsAllocator {
         self.exhausted_last = shape.is_none() && budget.exhausted();
         shape
     }
-}
 
-impl Allocator for LcsAllocator {
-    fn name(&self) -> &'static str {
-        "LC+S"
-    }
-
-    fn allocate(
+    /// The budgeted least-constrained search, claiming on success (the body
+    /// behind [`Allocator::decide`] and the empty-machine fit probe).
+    fn search_claim(
         &mut self,
         state: &mut SystemState,
         req: &JobRequest,
-    ) -> Result<Allocation, Reject> {
+    ) -> Result<Allocation, RejectReason> {
         if req.size == 0 {
-            return Err(Reject::ZeroSize);
+            return Err(RejectReason::ZeroSize);
         }
         if req.size > state.free_node_count() {
-            return Err(Reject::NoNodes {
+            return Err(RejectReason::NoNodes {
                 free: state.free_node_count(),
                 requested: req.size,
             });
@@ -228,7 +226,7 @@ impl Allocator for LcsAllocator {
         let bw = req.bw_tenths.max(1);
         let Some(shape) = self.find_shape(state, req.size, bw) else {
             if self.exhausted_last {
-                return Err(Reject::BudgetExhausted { spent: self.steps });
+                return Err(RejectReason::BudgetExhausted { spent: self.steps });
             }
             // Distinguish "no node placement at all" from "placement exists
             // but the bandwidth cap blocks it": retry ignoring bandwidth
@@ -239,9 +237,9 @@ impl Allocator for LcsAllocator {
             let placement_exists = self.find_shape(state, req.size, 0).is_some();
             self.steps = steps;
             return Err(if placement_exists {
-                Reject::NoLinks
+                RejectReason::NoLinks
             } else {
-                Reject::NoShape
+                RejectReason::NoShape
             });
         };
         let alloc =
@@ -249,6 +247,30 @@ impl Allocator for LcsAllocator {
         debug_assert_eq!(count_u32(alloc.nodes.len()), req.size);
         claim_allocation(state, &alloc);
         Ok(alloc)
+    }
+}
+
+impl Allocator for LcsAllocator {
+    fn name(&self) -> &'static str {
+        "LC+S"
+    }
+
+    fn decide(&mut self, state: &mut SystemState, req: &JobRequest) -> Decision {
+        match self.search_claim(state, req) {
+            Ok(alloc) => Decision::Admit(alloc),
+            Err(reason) => {
+                let (step_budget, per_pod_cap) = (self.step_budget, self.per_pod_cap);
+                let tree = *state.tree();
+                let hint = self.fit_hint.hint(req.size, req.bw_tenths, || {
+                    let mut probe = LcsAllocator::with_budget(&tree, step_budget, per_pod_cap);
+                    probe.search_claim(&mut SystemState::new(tree), req).is_ok()
+                });
+                // The probe must not disturb the primary search's effort
+                // accounting (the probe allocator is separate, so it does
+                // not), and `steps` still reflects the real attempt.
+                Decision::Reject(Reject::with_hint(reason, hint))
+            }
+        }
     }
 
     fn recycle(&mut self, alloc: Allocation) {
@@ -281,7 +303,7 @@ mod tests {
         let (state, mut lcs) = setup(8);
         for size in [1u32, 5, 9, 17, 33, 100] {
             let mut s = state.clone();
-            if let Ok(a) = lcs.allocate(&mut s, &JobRequest::with_bandwidth(JobId(size), size, 10))
+            if let Ok(a) = lcs.try_admit(&mut s, &JobRequest::with_bandwidth(JobId(size), size, 10))
             {
                 check_shape(state.tree(), &a.shape).unwrap_or_else(|v| panic!("size {size}: {v}"));
                 assert_eq!(a.nodes.len() as u32, size);
@@ -298,10 +320,10 @@ mod tests {
         // Two jobs of 2.0 GB/s class exactly fill the 4.0 GB/s cap; they may
         // share links.
         let a = lcs
-            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 8, 20))
+            .try_admit(&mut state, &JobRequest::with_bandwidth(JobId(1), 8, 20))
             .unwrap();
         let b = lcs
-            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(2), 8, 20))
+            .try_admit(&mut state, &JobRequest::with_bandwidth(JobId(2), 8, 20))
             .unwrap();
         assert!(
             !a.nodes.iter().any(|n| b.nodes.contains(n)),
@@ -313,7 +335,7 @@ mod tests {
         // with a light job.
         lcs.release(&mut state, &b);
         let c = lcs
-            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(3), 8, 5))
+            .try_admit(&mut state, &JobRequest::with_bandwidth(JobId(3), 8, 5))
             .unwrap();
         assert_eq!(c.nodes.len(), 8);
         state.assert_consistent();
@@ -332,13 +354,19 @@ mod tests {
         // Multi-leaf jobs need links → must fail.
         // (2 nodes still fit on one leaf without links.)
         assert!(lcs
-            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 2, 5))
+            .try_admit(&mut state, &JobRequest::with_bandwidth(JobId(1), 2, 5))
             .is_ok());
+        let reject = lcs
+            .try_admit(&mut state, &JobRequest::with_bandwidth(JobId(2), 6, 5))
+            .unwrap_err();
         assert_eq!(
-            lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(2), 6, 5)),
-            Err(Reject::NoLinks),
+            reject.reason,
+            RejectReason::NoLinks,
             "a placement exists but every link sits at the bandwidth cap"
         );
+        // The job fits an empty machine; the saturated links make this a
+        // fragmentation (reconfigurable) reject.
+        assert!(reject.is_fragmentation());
     }
 
     #[test]
@@ -353,7 +381,7 @@ mod tests {
             state.claim_node(tree.node_at(leaf, 0), JobId(99));
         }
         let a = lcs
-            .allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 6, 5))
+            .try_admit(&mut state, &JobRequest::with_bandwidth(JobId(1), 6, 5))
             .unwrap();
         assert_eq!(a.nodes.len(), 6);
         check_shape(&tree, &a.shape).unwrap();
@@ -371,7 +399,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         // A large awkward job with a 3-step budget: either found trivially
         // (empty tree fast path) or cleanly rejected; must not panic.
-        let _ = lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 97, 20));
+        let _ = lcs.try_admit(&mut state, &JobRequest::with_bandwidth(JobId(1), 97, 20));
         state.assert_consistent();
     }
 }

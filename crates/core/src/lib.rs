@@ -18,15 +18,19 @@
 //! * [`BaselineAllocator`] — a traditional, network-oblivious scheduler.
 //!
 //! All allocators implement the [`Allocator`] trait over a shared
-//! [`SystemState`](jigsaw_topology::SystemState), return structured
-//! [`Allocation`]s or a typed [`Reject`] reason, and can be validated
-//! against the paper's formal conditions via [`conditions::check_shape`].
-//! Wrapping any scheme in [`ObservedAllocator`] records per-scheme
-//! latency/effort/rejection metrics into a
-//! [`Registry`](jigsaw_obs::Registry).
+//! [`SystemState`](jigsaw_topology::SystemState): [`Allocator::decide`]
+//! returns a three-way [`Decision`] — `Admit` with a structured
+//! [`Allocation`], `Reject` with a typed [`Reject`] reason (plus the
+//! would-it-fit-empty fragmentation hint), or `Reconfigure` with a bounded
+//! [`MigrationPlan`] computed by the [`defrag`] module. Placements can be
+//! validated against the paper's formal conditions via
+//! [`conditions::check_shape`]. Wrapping any scheme in
+//! [`ObservedAllocator`] records per-scheme latency/effort/rejection
+//! metrics into a [`Registry`](jigsaw_obs::Registry); wrapping it in
+//! [`Defragmenter`] upgrades fragmentation rejects into migration plans.
 //!
 //! ```
-//! use jigsaw_core::{Allocator, JigsawAllocator, JobRequest, Reject, Scheme};
+//! use jigsaw_core::{Allocator, Decision, JigsawAllocator, JobRequest, RejectReason, Scheme};
 //! use jigsaw_topology::{ids::JobId, FatTree, SystemState};
 //!
 //! let tree = FatTree::maximal(16).unwrap(); // 1024 nodes
@@ -36,7 +40,7 @@
 //! // Jigsaw grants exactly the requested node count on an isolated,
 //! // full-bandwidth partition.
 //! let alloc = jigsaw
-//!     .allocate(&mut state, &JobRequest::new(JobId(1), 77))
+//!     .try_admit(&mut state, &JobRequest::new(JobId(1), 77))
 //!     .expect("fits an empty machine");
 //! assert_eq!(alloc.nodes.len(), 77);
 //! jigsaw_core::conditions::check_shape(&tree, &alloc.shape).unwrap();
@@ -44,11 +48,11 @@
 //! // Every scheme of the paper's evaluation is one constructor away, and
 //! // failures carry a typed reason.
 //! let mut ta = Scheme::Ta.make(&tree);
-//! assert!(ta.allocate(&mut state, &JobRequest::new(JobId(2), 5)).is_ok());
-//! assert_eq!(
-//!     ta.allocate(&mut state, &JobRequest::new(JobId(3), 0)),
-//!     Err(Reject::ZeroSize)
-//! );
+//! assert!(ta.try_admit(&mut state, &JobRequest::new(JobId(2), 5)).is_ok());
+//! match ta.decide(&mut state, &JobRequest::new(JobId(3), 0)) {
+//!     Decision::Reject(r) => assert_eq!(r.reason, RejectReason::ZeroSize),
+//!     other => panic!("expected a reject, got {other:?}"),
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -59,6 +63,7 @@ pub mod allocator;
 pub mod audit;
 pub mod baseline;
 pub mod conditions;
+pub mod defrag;
 pub mod instrument;
 pub mod jigsaw;
 pub mod job;
@@ -70,15 +75,19 @@ pub mod search;
 pub mod ta;
 
 pub use alloc::{Allocation, RemTree, Shape, TreeAlloc};
-pub use allocator::{Allocator, ParseSchemeError, Scheme};
+pub use allocator::{Allocator, Decision, ParseSchemeError, Scheme};
 pub use audit::{audit_system, AuditError};
 pub use baseline::BaselineAllocator;
 pub use conditions::{check_shape, ConditionViolation};
+pub use defrag::{
+    plan_migrations, DefragConfig, Defragmenter, Migration, MigrationPlan, PlanApplyError,
+    PlanScheme,
+};
 pub use instrument::{AllocatorObs, ObservedAllocator};
 pub use jigsaw::JigsawAllocator;
 pub use job::JobRequest;
 pub use laas::LaasAllocator;
 pub use lcs::LcsAllocator;
-pub use reject::Reject;
+pub use reject::{FitHintCache, Reject, RejectReason};
 pub use scratch::SearchScratch;
 pub use ta::TaAllocator;

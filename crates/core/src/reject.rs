@@ -1,24 +1,34 @@
-//! Typed allocation-rejection reasons.
+//! Typed allocation-rejection reasons, plus the fragmentation hint.
 //!
-//! `Allocator::allocate` returns `Result<Allocation, Reject>` so every
-//! consumer — the simulator's backfilling diagnostics, the serve protocol's
-//! `ERR denied` replies, and the obs rejection counters — can see *why* a
-//! placement failed, not just that it did. Each scheme maps its failure
-//! paths onto the variant that names the binding constraint:
+//! `Allocator::decide` returns a [`crate::Decision`]; its `Reject` arm
+//! carries a [`Reject`] so every consumer — the simulator's backfilling
+//! diagnostics, the serve protocol's `ERR denied` replies, and the obs
+//! rejection counters — can see *why* a placement failed, not just that it
+//! did. Each scheme maps its failure paths onto the [`RejectReason`]
+//! variant that names the binding constraint:
 //!
-//! * Baseline fails only on node shortage ([`Reject::NoNodes`]).
+//! * Baseline fails only on node shortage ([`RejectReason::NoNodes`]).
 //! * Jigsaw/LaaS fail on shortage or because no legal *shape* exists under
-//!   their placement restrictions ([`Reject::NoShape`]).
+//!   their placement restrictions ([`RejectReason::NoShape`]).
 //! * TA additionally rejects placements its class-exclusivity rules forbid
-//!   even though raw nodes are free ([`Reject::SharingConflict`]).
-//! * LC+S can run out of search budget ([`Reject::BudgetExhausted`]) or
-//!   fail purely on link-bandwidth caps ([`Reject::NoLinks`]).
+//!   even though raw nodes are free ([`RejectReason::SharingConflict`]).
+//! * LC+S can run out of search budget ([`RejectReason::BudgetExhausted`])
+//!   or fail purely on link-bandwidth caps ([`RejectReason::NoLinks`]).
+//!
+//! On top of the reason, [`Reject::would_fit_empty`] records whether the
+//! same request would have been admitted on an *empty* machine — the bit
+//! that separates "rejected because the machine is fragmented" (a
+//! defragmentation candidate) from "rejected because the request is
+//! impossible under this scheme". Schemes compute it once per distinct
+//! `(size, bandwidth)` through a [`FitHintCache`] so the reject path stays
+//! allocation-free in steady state.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
-/// Why an allocation attempt was rejected.
+/// Why an allocation attempt was rejected: the binding constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Reject {
+pub enum RejectReason {
     /// The request asked for zero nodes.
     ZeroSize,
     /// Not enough free nodes on the machine, full stop.
@@ -45,9 +55,10 @@ pub enum Reject {
     SharingConflict,
 }
 
-impl Reject {
-    /// Stable snake_case names of every variant, in [`Reject::kind_index`]
-    /// order — used to pre-register per-reason metric labels.
+impl RejectReason {
+    /// Stable snake_case names of every variant, in
+    /// [`RejectReason::kind_index`] order — used to pre-register per-reason
+    /// metric labels.
     pub const ALL_KINDS: [&'static str; 6] = [
         "zero_size",
         "no_nodes",
@@ -62,40 +73,154 @@ impl Reject {
         Self::ALL_KINDS[self.kind_index()]
     }
 
-    /// Index of this variant into [`Reject::ALL_KINDS`].
+    /// Index of this variant into [`RejectReason::ALL_KINDS`].
     pub fn kind_index(&self) -> usize {
         match self {
-            Reject::ZeroSize => 0,
-            Reject::NoNodes { .. } => 1,
-            Reject::NoShape => 2,
-            Reject::NoLinks => 3,
-            Reject::BudgetExhausted { .. } => 4,
-            Reject::SharingConflict => 5,
+            RejectReason::ZeroSize => 0,
+            RejectReason::NoNodes { .. } => 1,
+            RejectReason::NoShape => 2,
+            RejectReason::NoLinks => 3,
+            RejectReason::BudgetExhausted { .. } => 4,
+            RejectReason::SharingConflict => 5,
         }
     }
 }
 
-impl std::fmt::Display for Reject {
+impl std::fmt::Display for RejectReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Reject::ZeroSize => write!(f, "zero-size request"),
-            Reject::NoNodes { free, requested } => {
+            RejectReason::ZeroSize => write!(f, "zero-size request"),
+            RejectReason::NoNodes { free, requested } => {
                 write!(
                     f,
                     "not enough free nodes ({free} free, {requested} requested)"
                 )
             }
-            Reject::NoShape => write!(f, "no legal placement shape"),
-            Reject::NoLinks => write!(f, "insufficient link bandwidth"),
-            Reject::BudgetExhausted { spent } => {
+            RejectReason::NoShape => write!(f, "no legal placement shape"),
+            RejectReason::NoLinks => write!(f, "insufficient link bandwidth"),
+            RejectReason::BudgetExhausted { spent } => {
                 write!(f, "search budget exhausted after {spent} steps")
             }
-            Reject::SharingConflict => write!(f, "class-sharing rules forbid placement"),
+            RejectReason::SharingConflict => write!(f, "class-sharing rules forbid placement"),
         }
     }
 }
 
+impl std::error::Error for RejectReason {}
+
+/// A rejection: the typed [`RejectReason`] plus the fragmentation hint.
+///
+/// `would_fit_empty` is `true` when the same request would have been
+/// admitted on an empty machine — the rejection is an artifact of the
+/// *current occupancy*, not of the request itself, so a bounded set of
+/// migrations may be able to recover the capacity (see [`crate::defrag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Reject {
+    /// The binding constraint that caused the rejection.
+    pub reason: RejectReason,
+    /// `true` when the same request fits an empty machine under this
+    /// scheme: the rejection is fragmentation, not impossibility.
+    pub would_fit_empty: bool,
+}
+
+impl Reject {
+    /// A rejection with the hint unset (the request is impossible or the
+    /// caller did not probe).
+    pub fn new(reason: RejectReason) -> Reject {
+        Reject {
+            reason,
+            would_fit_empty: false,
+        }
+    }
+
+    /// A rejection with an explicit fragmentation hint.
+    pub fn with_hint(reason: RejectReason, would_fit_empty: bool) -> Reject {
+        Reject {
+            reason,
+            would_fit_empty,
+        }
+    }
+
+    /// Stable snake_case name of the reason (a metric label value).
+    pub fn kind(&self) -> &'static str {
+        self.reason.kind()
+    }
+
+    /// Index of the reason into [`RejectReason::ALL_KINDS`].
+    pub fn kind_index(&self) -> usize {
+        self.reason.kind_index()
+    }
+
+    /// `true` when this rejection is worth handing to the defragmenter:
+    /// the request fits an empty machine, and the reason is one occupancy
+    /// can cause. `ZeroSize` never qualifies, and `NoNodes` means the raw
+    /// capacity is missing — no rearrangement recovers nodes.
+    pub fn is_fragmentation(&self) -> bool {
+        self.would_fit_empty
+            && matches!(
+                self.reason,
+                RejectReason::NoShape
+                    | RejectReason::NoLinks
+                    | RejectReason::SharingConflict
+                    | RejectReason::BudgetExhausted { .. }
+            )
+    }
+}
+
+impl From<RejectReason> for Reject {
+    fn from(reason: RejectReason) -> Reject {
+        Reject::new(reason)
+    }
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.reason.fmt(f)?;
+        if self.would_fit_empty {
+            write!(f, " (fragmentation: would fit an empty machine)")?;
+        }
+        Ok(())
+    }
+}
+
 impl std::error::Error for Reject {}
+
+/// Memoized answers to "would `(size, bw)` fit an empty machine?".
+///
+/// The probe that answers the question builds a fresh [`SystemState`] and
+/// runs a pristine search — heap work that must never happen on the
+/// steady-state reject path (see `core/tests/zero_alloc.rs`). Each scheme
+/// owns one of these caches; the first rejection of a given
+/// `(size, bw_tenths)` pays for the probe, every later one is a hash
+/// lookup.
+///
+/// [`SystemState`]: jigsaw_topology::SystemState
+#[derive(Debug, Clone, Default)]
+pub struct FitHintCache {
+    hints: HashMap<(u32, u16), bool>,
+}
+
+impl FitHintCache {
+    /// An empty cache.
+    pub fn new() -> FitHintCache {
+        FitHintCache::default()
+    }
+
+    /// The cached hint for `(size, bw_tenths)`, running `probe` on a miss.
+    pub fn hint(&mut self, size: u32, bw_tenths: u16, probe: impl FnOnce() -> bool) -> bool {
+        *self.hints.entry((size, bw_tenths)).or_insert_with(probe)
+    }
+
+    /// Number of distinct `(size, bw)` classes probed so far.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// `true` when no probe has run yet.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -104,43 +229,94 @@ mod tests {
     #[test]
     fn kinds_are_exhaustive_and_consistent() {
         let variants = [
-            Reject::ZeroSize,
-            Reject::NoNodes {
+            RejectReason::ZeroSize,
+            RejectReason::NoNodes {
                 free: 1,
                 requested: 2,
             },
-            Reject::NoShape,
-            Reject::NoLinks,
-            Reject::BudgetExhausted { spent: 3 },
-            Reject::SharingConflict,
+            RejectReason::NoShape,
+            RejectReason::NoLinks,
+            RejectReason::BudgetExhausted { spent: 3 },
+            RejectReason::SharingConflict,
         ];
-        assert_eq!(variants.len(), Reject::ALL_KINDS.len());
+        assert_eq!(variants.len(), RejectReason::ALL_KINDS.len());
         for (i, v) in variants.iter().enumerate() {
             assert_eq!(v.kind_index(), i);
-            assert_eq!(v.kind(), Reject::ALL_KINDS[i]);
+            assert_eq!(v.kind(), RejectReason::ALL_KINDS[i]);
+            // The wrapper delegates.
+            assert_eq!(Reject::new(*v).kind(), v.kind());
+            assert_eq!(Reject::new(*v).kind_index(), i);
         }
     }
 
     #[test]
     fn display_mentions_the_numbers() {
-        let r = Reject::NoNodes {
+        let r = RejectReason::NoNodes {
             free: 3,
             requested: 8,
         };
         assert!(r.to_string().contains("3 free"));
         assert!(r.to_string().contains("8 requested"));
-        assert!(Reject::BudgetExhausted { spent: 42 }
+        assert!(RejectReason::BudgetExhausted { spent: 42 }
             .to_string()
             .contains("42 steps"));
     }
 
     #[test]
+    fn display_surfaces_the_fragmentation_hint() {
+        let frag = Reject::with_hint(RejectReason::NoShape, true);
+        assert!(frag.to_string().contains("fragmentation"));
+        let hard = Reject::new(RejectReason::NoShape);
+        assert!(!hard.to_string().contains("fragmentation"));
+    }
+
+    #[test]
+    fn fragmentation_predicate_requires_hint_and_occupancy_reason() {
+        assert!(Reject::with_hint(RejectReason::NoShape, true).is_fragmentation());
+        assert!(Reject::with_hint(RejectReason::NoLinks, true).is_fragmentation());
+        assert!(Reject::with_hint(RejectReason::SharingConflict, true).is_fragmentation());
+        // No hint: could be an impossible request.
+        assert!(!Reject::new(RejectReason::NoShape).is_fragmentation());
+        // NoNodes: capacity is genuinely missing, migrations free nothing.
+        assert!(!Reject::with_hint(
+            RejectReason::NoNodes {
+                free: 1,
+                requested: 2
+            },
+            true
+        )
+        .is_fragmentation());
+        assert!(!Reject::with_hint(RejectReason::ZeroSize, true).is_fragmentation());
+    }
+
+    #[test]
     fn serde_roundtrip() {
-        let r = Reject::NoNodes {
+        let r = RejectReason::NoNodes {
             free: 3,
             requested: 8,
         };
         let json = serde_json::to_string(&r).unwrap();
-        assert_eq!(serde_json::from_str::<Reject>(&json).unwrap(), r);
+        assert_eq!(serde_json::from_str::<RejectReason>(&json).unwrap(), r);
+
+        let wrapped = Reject::with_hint(r, true);
+        let json = serde_json::to_string(&wrapped).unwrap();
+        assert!(json.contains("would_fit_empty"), "label-based: {json}");
+        assert_eq!(serde_json::from_str::<Reject>(&json).unwrap(), wrapped);
+    }
+
+    #[test]
+    fn fit_hint_cache_probes_once_per_class() {
+        let mut cache = FitHintCache::new();
+        let mut probes = 0;
+        for _ in 0..3 {
+            let hit = cache.hint(8, 10, || {
+                probes += 1;
+                true
+            });
+            assert!(hit);
+        }
+        assert_eq!(probes, 1, "one probe per (size, bw) class");
+        assert!(!cache.hint(9, 10, || false));
+        assert_eq!(cache.len(), 2);
     }
 }

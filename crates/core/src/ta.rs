@@ -21,9 +21,9 @@
 //! rejected even when 3 nodes are free, if no single leaf holds 3.
 
 use crate::alloc::{claim_allocation, release_allocation, Allocation, Shape};
-use crate::allocator::Allocator;
+use crate::allocator::{Allocator, Decision};
 use crate::job::JobRequest;
-use crate::reject::Reject;
+use crate::reject::{FitHintCache, Reject, RejectReason};
 use jigsaw_topology::cast::count_u32;
 use jigsaw_topology::ids::{LeafId, NodeId, PodId};
 use jigsaw_topology::{FatTree, SystemState};
@@ -54,6 +54,7 @@ pub struct TaAllocator {
     nodes_per_leaf: u32,
     nodes_per_pod: u32,
     steps: u64,
+    fit_hint: FitHintCache,
 }
 
 impl TaAllocator {
@@ -70,6 +71,7 @@ impl TaAllocator {
             nodes_per_leaf: tree.nodes_per_leaf(),
             nodes_per_pod: tree.nodes_per_pod(),
             steps: 0,
+            fit_hint: FitHintCache::new(),
         }
     }
 
@@ -118,24 +120,20 @@ impl TaAllocator {
         }
         (nodes, touched)
     }
-}
 
-impl Allocator for TaAllocator {
-    fn name(&self) -> &'static str {
-        "TA"
-    }
-
-    fn allocate(
+    /// The class-rule placement search, claiming on success (the body behind
+    /// [`Allocator::decide`] and the empty-machine fit probe).
+    fn search_claim(
         &mut self,
         state: &mut SystemState,
         req: &JobRequest,
-    ) -> Result<Allocation, Reject> {
+    ) -> Result<Allocation, RejectReason> {
         self.steps = 0;
         if req.size == 0 {
-            return Err(Reject::ZeroSize);
+            return Err(RejectReason::ZeroSize);
         }
         if state.free_node_count() < req.size {
-            return Err(Reject::NoNodes {
+            return Err(RejectReason::NoNodes {
                 free: state.free_node_count(),
                 requested: req.size,
             });
@@ -162,9 +160,9 @@ impl Allocator for TaAllocator {
                         self.leaf_excl[l.idx()] != NONE && state.free_nodes_on_leaf(l) >= req.size
                     });
                     return Err(if blocked {
-                        Reject::SharingConflict
+                        RejectReason::SharingConflict
                     } else {
-                        Reject::NoShape
+                        RejectReason::NoShape
                     });
                 };
                 self.leaf_small[leaf.idx()] += 1;
@@ -203,9 +201,9 @@ impl Allocator for TaAllocator {
                             >= req.size
                     });
                     return Err(if fits_raw {
-                        Reject::SharingConflict
+                        RejectReason::SharingConflict
                     } else {
-                        Reject::NoShape
+                        RejectReason::NoShape
                     });
                 };
                 placed
@@ -228,7 +226,7 @@ impl Allocator for TaAllocator {
                     // Raw free nodes suffice (checked on entry); what is
                     // missing is *eligible* capacity — pods held by other
                     // machine jobs or class-held leaves.
-                    return Err(Reject::SharingConflict);
+                    return Err(RejectReason::SharingConflict);
                 }
                 let eligible = eligible_pods
                     .iter()
@@ -261,6 +259,26 @@ impl Allocator for TaAllocator {
         };
         claim_allocation(state, &alloc);
         Ok(alloc)
+    }
+}
+
+impl Allocator for TaAllocator {
+    fn name(&self) -> &'static str {
+        "TA"
+    }
+
+    fn decide(&mut self, state: &mut SystemState, req: &JobRequest) -> Decision {
+        match self.search_claim(state, req) {
+            Ok(alloc) => Decision::Admit(alloc),
+            Err(reason) => {
+                let tree = *state.tree();
+                let hint = self.fit_hint.hint(req.size, req.bw_tenths, || {
+                    let mut probe = TaAllocator::new(&tree);
+                    probe.search_claim(&mut SystemState::new(tree), req).is_ok()
+                });
+                Decision::Reject(Reject::with_hint(reason, hint))
+            }
+        }
     }
 
     fn adopt(&mut self, state: &mut SystemState, alloc: &Allocation) {
@@ -324,6 +342,7 @@ impl Allocator for TaAllocator {
             nodes_per_leaf: self.nodes_per_leaf,
             nodes_per_pod: self.nodes_per_pod,
             steps: 0,
+            fit_hint: FitHintCache::new(),
         })
     }
 }
@@ -362,11 +381,17 @@ mod tests {
             }
         }
         assert_eq!(state.free_node_count(), 3);
+        let reject = ta
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 3))
+            .unwrap_err();
         assert_eq!(
-            ta.allocate(&mut state, &JobRequest::new(JobId(1), 3)),
-            Err(Reject::NoShape),
+            reject.reason,
+            RejectReason::NoShape,
             "TA must reject the spread placement Jigsaw would accept"
         );
+        // A 3-node job fits a single leaf of an empty machine: pure
+        // fragmentation, and the hint says so.
+        assert!(reject.is_fragmentation());
     }
 
     #[test]
@@ -374,7 +399,7 @@ mod tests {
         let (mut state, mut ta) = setup(4); // pods of 4 nodes
         let tree = *state.tree();
         let a = ta
-            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 4))
             .unwrap();
         let pods: std::collections::HashSet<_> =
             a.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
@@ -386,13 +411,13 @@ mod tests {
         let (mut state, mut ta) = setup(8); // leaves of 4, pods of 16
                                             // Job A: 6 nodes → pod class, touches 2 leaves of pod 0.
         let a = ta
-            .allocate(&mut state, &JobRequest::new(JobId(1), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 6))
             .unwrap();
         // Job B: 12 nodes → pod class. Pod 0 has 10 free nodes but 2 nodes
         // sit on a leaf A touches; eligible free = 8 < 12 → B must go to
         // pod 1.
         let b = ta
-            .allocate(&mut state, &JobRequest::new(JobId(2), 12))
+            .try_admit(&mut state, &JobRequest::new(JobId(2), 12))
             .unwrap();
         let tree = *state.tree();
         let pods_b: std::collections::HashSet<_> =
@@ -419,11 +444,11 @@ mod tests {
         // 7-node pod job: touches leaves 0 and 1, leaving 1 free node on
         // leaf 1 — stranded.
         let _a = ta
-            .allocate(&mut state, &JobRequest::new(JobId(1), 7))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 7))
             .unwrap();
         assert_eq!(state.free_nodes_on_leaf(LeafId(1)), 1);
         let b = ta
-            .allocate(&mut state, &JobRequest::new(JobId(2), 1))
+            .try_admit(&mut state, &JobRequest::new(JobId(2), 1))
             .unwrap();
         assert_ne!(
             tree.leaf_of_node(b.nodes[0]),
@@ -434,7 +459,7 @@ mod tests {
         // job on every remaining leaf (first-fit spreads them), leaving one
         // stranded node per leaf.
         for i in 0..30u32 {
-            let _ = ta.allocate(&mut state, &JobRequest::new(JobId(10 + i), 3));
+            let _ = ta.try_admit(&mut state, &JobRequest::new(JobId(10 + i), 3));
         }
         // Plenty of free nodes remain, but no class-clean leaves.
         assert!(
@@ -446,8 +471,9 @@ mod tests {
         // per leaf, so no single pod can field 16 even ignoring classes:
         // the attempt reports the shape restriction as binding.
         assert_eq!(
-            ta.allocate(&mut state, &JobRequest::new(JobId(99), 16)),
-            Err(Reject::NoShape)
+            ta.try_admit(&mut state, &JobRequest::new(JobId(99), 16))
+                .map_err(|r| r.reason),
+            Err(RejectReason::NoShape)
         );
     }
 
@@ -457,20 +483,20 @@ mod tests {
         let tree = *state.tree();
         // Machine job A: 6 nodes over pods 0-1.
         let a = ta
-            .allocate(&mut state, &JobRequest::new(JobId(1), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 6))
             .unwrap();
         let pods_a: std::collections::HashSet<_> =
             a.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
         // Machine job B: 6 nodes; must avoid every pod A touches.
         let b = ta
-            .allocate(&mut state, &JobRequest::new(JobId(2), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(2), 6))
             .unwrap();
         let pods_b: std::collections::HashSet<_> =
             b.nodes.iter().map(|&n| tree.pod_of_node(n)).collect();
         assert!(pods_a.is_disjoint(&pods_b));
         // A third machine job cannot fit: no two machine-free pods remain.
         assert!(ta
-            .allocate(&mut state, &JobRequest::new(JobId(3), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(3), 6))
             .is_err());
     }
 
@@ -478,19 +504,19 @@ mod tests {
     fn release_restores_eligibility() {
         let (mut state, mut ta) = setup(4);
         let a = ta
-            .allocate(&mut state, &JobRequest::new(JobId(1), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 6))
             .unwrap();
         let b = ta
-            .allocate(&mut state, &JobRequest::new(JobId(2), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(2), 6))
             .unwrap();
         assert!(ta
-            .allocate(&mut state, &JobRequest::new(JobId(3), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(3), 6))
             .is_err());
         ta.release(&mut state, &a);
         ta.release(&mut state, &b);
         // Eligibility fully restored.
         let c = ta
-            .allocate(&mut state, &JobRequest::new(JobId(3), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(3), 6))
             .unwrap();
         assert_eq!(c.nodes.len(), 6);
         state.assert_consistent();

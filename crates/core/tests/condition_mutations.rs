@@ -201,7 +201,7 @@ fn two_level_mutations_rejected() {
     let mut state = SystemState::new(tree);
     let mut jig = JigsawAllocator::new(&tree);
     let alloc = jig
-        .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+        .try_admit(&mut state, &JobRequest::new(JobId(1), 11))
         .unwrap();
     let base = alloc.shape.clone();
     assert!(matches!(base, Shape::TwoLevel { .. }));
@@ -254,7 +254,7 @@ fn checker_accepts_all_jigsaw_output_under_heavy_packing() {
     let mut granted = 0;
     for i in 0.. {
         let size = 1 + (i * 11) % 23;
-        match jig.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
+        match jig.try_admit(&mut state, &JobRequest::new(JobId(i), size)) {
             Ok(a) => {
                 check_shape(&tree, &a.shape).unwrap();
                 granted += 1;

@@ -64,7 +64,7 @@ proptest! {
             let mut alloc = scheme.make(&tree);
             for (i, &size) in sizes.iter().enumerate() {
                 let before = state.clone();
-                let Ok(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i as u32), size))
+                let Ok(a) = alloc.try_admit(&mut state, &JobRequest::new(JobId(i as u32), size))
                 else {
                     continue;
                 };

@@ -42,7 +42,7 @@ proptest! {
         for &(sel, size, idx) in &ops {
             if sel < 3 {
                 next_id += 1;
-                if let Ok(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(next_id), size)) {
+                if let Ok(a) = alloc.try_admit(&mut state, &JobRequest::new(JobId(next_id), size)) {
                     live.push(a);
                 }
             } else if !live.is_empty() {

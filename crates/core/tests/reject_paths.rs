@@ -1,8 +1,11 @@
-//! Every [`Reject`] variant is reachable on a small machine — the typed
-//! rejection API is only useful if each reason can actually be produced
-//! (and therefore tested against) by a consumer.
+//! Every [`RejectReason`] variant is reachable on a small machine — the
+//! typed rejection API is only useful if each reason can actually be
+//! produced (and therefore tested against) by a consumer. Alongside the
+//! reason, each case checks the `would_fit_empty` fragmentation hint: the
+//! hint separates "this machine is too fragmented right now" (a defrag
+//! candidate) from "this request can never fit".
 
-use jigsaw_core::{JobRequest, LcsAllocator, Reject, Scheme, TaAllocator};
+use jigsaw_core::{JobRequest, LcsAllocator, RejectReason, Scheme, TaAllocator};
 use jigsaw_topology::ids::JobId;
 use jigsaw_topology::{FatTree, SystemState};
 
@@ -25,12 +28,19 @@ fn zero_size_from_every_scheme() {
     ] {
         let mut state = SystemState::new(tree);
         let mut alloc = kind.make(&tree);
+        let reject = alloc
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 0))
+            .unwrap_err();
         assert_eq!(
-            alloc.allocate(&mut state, &JobRequest::new(JobId(1), 0)),
-            Err(Reject::ZeroSize),
+            reject.reason,
+            RejectReason::ZeroSize,
             "{} must reject a zero-size request",
             kind.name()
         );
+        // A zero-size request fails on an empty machine too: never a
+        // fragmentation reject.
+        assert!(!reject.would_fit_empty, "{}", kind.name());
+        assert!(!reject.is_fragmentation(), "{}", kind.name());
     }
 }
 
@@ -39,13 +49,18 @@ fn no_nodes_reports_free_and_requested() {
     let tree = small();
     let mut state = SystemState::new(tree);
     let mut alloc = Scheme::Jigsaw.make(&tree);
+    let reject = alloc
+        .try_admit(&mut state, &JobRequest::new(JobId(1), 17))
+        .unwrap_err();
     assert_eq!(
-        alloc.allocate(&mut state, &JobRequest::new(JobId(1), 17)),
-        Err(Reject::NoNodes {
+        reject.reason,
+        RejectReason::NoNodes {
             free: 16,
             requested: 17
-        })
+        }
     );
+    // Oversized for the machine itself: no migration can help.
+    assert!(!reject.would_fit_empty);
 }
 
 #[test]
@@ -60,10 +75,13 @@ fn no_shape_under_fragmentation() {
     }
     let mut alloc = Scheme::Jigsaw.make(&tree);
     assert!(state.free_node_count() >= 4);
-    assert_eq!(
-        alloc.allocate(&mut state, &JobRequest::new(JobId(1), 4)),
-        Err(Reject::NoShape)
-    );
+    let reject = alloc
+        .try_admit(&mut state, &JobRequest::new(JobId(1), 4))
+        .unwrap_err();
+    assert_eq!(reject.reason, RejectReason::NoShape);
+    // The 4-node job fits an empty machine: the textbook defrag candidate.
+    assert!(reject.would_fit_empty);
+    assert!(reject.is_fragmentation());
 }
 
 #[test]
@@ -79,10 +97,11 @@ fn no_links_when_bandwidth_saturated() {
         }
     }
     let mut lcs = LcsAllocator::new(&tree);
-    assert_eq!(
-        lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 6, 5)),
-        Err(Reject::NoLinks)
-    );
+    let reject = lcs
+        .try_admit(&mut state, &JobRequest::with_bandwidth(JobId(1), 6, 5))
+        .unwrap_err();
+    assert_eq!(reject.reason, RejectReason::NoLinks);
+    assert!(reject.is_fragmentation());
 }
 
 #[test]
@@ -95,8 +114,16 @@ fn budget_exhausted_reports_steps_spent() {
         state.claim_node(tree.node_at(leaf, 0), JobId(99));
     }
     let mut lcs = LcsAllocator::with_budget(&tree, 1, 1);
-    match lcs.allocate(&mut state, &JobRequest::with_bandwidth(JobId(1), 60, 10)) {
-        Err(Reject::BudgetExhausted { spent }) => assert!(spent >= 1),
+    match lcs.try_admit(&mut state, &JobRequest::with_bandwidth(JobId(1), 60, 10)) {
+        Err(reject) => {
+            match reject.reason {
+                RejectReason::BudgetExhausted { spent } => assert!(spent >= 1),
+                other => panic!("expected BudgetExhausted, got {other:?}"),
+            }
+            // An empty machine satisfies the job within the unbudgeted
+            // fast paths, so the hint marks this as reconfigurable.
+            assert!(reject.would_fit_empty);
+        }
         other => panic!("expected BudgetExhausted, got {other:?}"),
     }
 }
@@ -111,12 +138,13 @@ fn sharing_conflict_from_ta_class_rules() {
     let mut state = SystemState::new(tree);
     let mut ta = TaAllocator::new(&tree);
     for (i, _) in tree.pods().enumerate() {
-        ta.allocate(&mut state, &JobRequest::new(JobId(i as u32), 3))
+        ta.try_admit(&mut state, &JobRequest::new(JobId(i as u32), 3))
             .expect("an empty pod fits a 3-node pod-class job");
     }
     assert_eq!(state.free_node_count(), 4);
-    assert_eq!(
-        ta.allocate(&mut state, &JobRequest::new(JobId(10), 1)),
-        Err(Reject::SharingConflict)
-    );
+    let reject = ta
+        .try_admit(&mut state, &JobRequest::new(JobId(10), 1))
+        .unwrap_err();
+    assert_eq!(reject.reason, RejectReason::SharingConflict);
+    assert!(reject.is_fragmentation());
 }

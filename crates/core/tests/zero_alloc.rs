@@ -69,7 +69,7 @@ fn cycle(
     granted: &mut Vec<Allocation>,
 ) {
     for (i, &size) in sizes.iter().enumerate() {
-        if let Ok(g) = alloc.allocate(state, &JobRequest::new(JobId(i as u32), size)) {
+        if let Ok(g) = alloc.try_admit(state, &JobRequest::new(JobId(i as u32), size)) {
             granted.push(g);
         }
     }

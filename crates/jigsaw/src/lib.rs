@@ -46,7 +46,7 @@
 //!
 //! // Ask for 100 nodes.
 //! let alloc = scheduler
-//!     .allocate(&mut state, &JobRequest::new(JobId(1), 100))
+//!     .try_admit(&mut state, &JobRequest::new(JobId(1), 100))
 //!     .expect("an empty machine fits 100 nodes");
 //! assert_eq!(alloc.nodes.len(), 100); // exactly what was asked (N = N_r)
 //!
@@ -73,9 +73,13 @@ pub use jigsaw_traces as traces;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use jigsaw_core::defrag::{
+        plan_migrations, DefragConfig, Defragmenter, Migration, MigrationPlan, PlanApplyError,
+        PlanScheme,
+    };
     pub use jigsaw_core::{
-        Allocation, Allocator, BaselineAllocator, JigsawAllocator, JobRequest, LaasAllocator,
-        LcsAllocator, ObservedAllocator, Reject, Scheme, Shape, TaAllocator,
+        Allocation, Allocator, BaselineAllocator, Decision, JigsawAllocator, JobRequest,
+        LaasAllocator, LcsAllocator, ObservedAllocator, Reject, Scheme, Shape, TaAllocator,
     };
     pub use jigsaw_net::{Engine, Server, ServerConfig};
     pub use jigsaw_obs::Registry;

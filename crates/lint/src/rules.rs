@@ -20,7 +20,7 @@
 //! | R7 | Lock discipline: every `.lock()` is poison-tolerant, and the `Mutex`-field acquisition-order graph is cycle-free. |
 //! | R8 | Metric-catalog drift: registration sites ↔ DESIGN §9 catalog, both directions. |
 //! | R9 | Protocol-table drift: `Verb`/`ErrCode` tables ↔ HELP usage strings ↔ README grammar, both directions. |
-//! | R10 | Recycle leak: locally bound `allocate(...)` results in `bench`/`sim`/`cli` must be recycled, returned, or stored. |
+//! | R10 | Recycle leak: locally bound `decide(...)`/`try_admit(...)` results in `bench`/`sim`/`cli` must be recycled, returned, or stored. |
 //!
 //! Suppressions: `// jigsaw-lint: allow(R1) -- reason` on the finding's
 //! line or the line above waives it. A waiver without a reason is itself a

@@ -18,7 +18,8 @@
 //! * **R9 protocol-table drift** — the `Verb`/`ErrCode` tables in
 //!   `net/src/protocol.rs` ↔ the generated HELP usage strings ↔ the
 //!   README serve-grammar section, both directions.
-//! * **R10 recycle-leak** — an `allocate(...)` result in `bench`/`sim`/
+//! * **R10 recycle-leak** — a `decide(...)`/`try_admit(...)` result in
+//!   `bench`/`sim`/
 //!   `cli` that is locally bound and then neither recycled, returned, nor
 //!   stored escapes the PR-8 scratch-pool cycle and is flagged.
 //!
@@ -39,11 +40,12 @@ pub const ENGINE_FILE: &str = "crates/net/src/engine.rs";
 pub const PROTOCOL_FILE: &str = "crates/net/src/protocol.rs";
 
 /// Journal-writing APIs: reaching any of these marks a path as durable.
-const DURABILITY_APIS: [&str; 6] = [
+const DURABILITY_APIS: [&str; 7] = [
     "commit_grant",
     "commit_submit",
     "commit_reserve",
     "commit_release",
+    "commit_migrate",
     "append",
     "append_batch",
 ];
@@ -746,9 +748,11 @@ fn r9_protocol_tables(scans: &[Scan], docs: &Docs, out: &mut Vec<Violation>) {
 
 // --- R10: recycle leak ------------------------------------------------------
 
-/// A locally bound `allocate(...)` result in the experiment-driver crates
-/// must be recycled, returned, or stored — anything else silently defeats
-/// the PR-8 zero-alloc pool cycle.
+/// A locally bound `decide(...)`/`try_admit(...)` result in the
+/// experiment-driver crates must be recycled, returned, or stored —
+/// anything else silently defeats the PR-8 zero-alloc pool cycle. (The
+/// legacy `allocate` ident is still matched so stale call sites cannot
+/// dodge the audit.)
 fn r10_recycle_leak(scan: &Scan, out: &mut Vec<Violation>) {
     if !R10_CRATES.contains(&scan.class.crate_name.as_str()) || scan.class.test_code {
         return;
@@ -825,7 +829,7 @@ fn r10_recycle_leak(scan: &Scan, out: &mut Vec<Violation>) {
                 } else if (t.is_punct(';') || (in_cond && t.is_punct('{'))) && depth <= 0 {
                     break;
                 }
-                if t.ident() == Some("allocate")
+                if matches!(t.ident(), Some("allocate" | "try_admit" | "decide"))
                     && toks[j - 1].is_punct('.')
                     && toks.get(j + 1).is_some_and(|n| n.is_punct('('))
                 {
@@ -859,7 +863,7 @@ fn r10_recycle_leak(scan: &Scan, out: &mut Vec<Violation>) {
                     toks[let_idx].col,
                     "R10",
                     format!(
-                        "`{bound}` binds an `allocate(...)` result but is neither \
+                        "`{bound}` binds an allocation-decision result but is neither \
                          recycled, returned, nor stored — the grant leaks out of the \
                          scratch-pool cycle (DESIGN §14); call `recycle` or let the \
                          allocation escape"

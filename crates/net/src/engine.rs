@@ -27,7 +27,8 @@
 //! durability.
 
 use crate::protocol::{ErrCode, Reply, VERBS};
-use jigsaw_core::{Allocation, Allocator, JobRequest};
+use jigsaw_core::defrag::{plan_migrations, DefragConfig, MigrationPlan};
+use jigsaw_core::{audit_system, Allocation, Allocator, Decision, JobRequest};
 use jigsaw_obs::{Counter, Histogram, Registry};
 use jigsaw_persist::{PersistError, PersistentState, SyncPolicy};
 use jigsaw_routing::RoutingTables;
@@ -112,6 +113,14 @@ pub struct Engine {
     persist: PersistentState,
     registry: Registry,
     obs: ServeObs,
+    /// Planning bounds for the `DEFRAG` verb.
+    defrag_cfg: DefragConfig,
+    /// Cost charged per migrated node (checkpoint + restore + requeue).
+    migration_cost_per_node: f64,
+    /// Live jobs migrated by `DEFRAG` over the daemon's lifetime.
+    migrations: u64,
+    /// Accumulated migration cost over the daemon's lifetime.
+    migration_cost: f64,
 }
 
 impl Engine {
@@ -144,7 +153,22 @@ impl Engine {
             persist,
             registry: registry.clone(),
             obs: ServeObs::new(registry),
+            defrag_cfg: DefragConfig::default(),
+            migration_cost_per_node: 1.0,
+            migrations: 0,
+            migration_cost: 0.0,
         }
+    }
+
+    /// Override the `DEFRAG` planning bounds (default:
+    /// [`DefragConfig::default`]).
+    pub fn set_defrag_config(&mut self, cfg: DefragConfig) {
+        self.defrag_cfg = cfg;
+    }
+
+    /// Override the per-node migration cost (default 1.0).
+    pub fn set_migration_cost_per_node(&mut self, cost: f64) {
+        self.migration_cost_per_node = cost;
     }
 
     /// The scheduling scheme's display name.
@@ -218,6 +242,10 @@ impl Engine {
                     _ => Reply::err(ErrCode::BadRequest, "bad RESERVE arguments"),
                 }
             }
+            ["DEFRAG", id, size] => match (id.parse::<u32>(), size.parse::<u32>()) {
+                (Ok(id), Ok(size)) if size > 0 => self.defrag(id, size),
+                _ => Reply::err(ErrCode::BadRequest, "bad DEFRAG arguments"),
+            },
             ["STATUS"] => Reply::Status {
                 used: self.persist.state().allocated_node_count(),
                 total: self.tree.num_nodes(),
@@ -289,7 +317,7 @@ impl Engine {
         }
         match self
             .allocator
-            .allocate(self.persist.state_mut(), &JobRequest::new(JobId(id), size))
+            .try_admit(self.persist.state_mut(), &JobRequest::new(JobId(id), size))
         {
             Ok(alloc) => match self.persist.commit_grant(&alloc) {
                 Ok(()) => Reply::Grant {
@@ -305,6 +333,107 @@ impl Engine {
                 }
             },
             Err(reject) => Reply::err(ErrCode::Denied, format!("job {id}: {reject}")),
+        }
+    }
+
+    /// `DEFRAG <id> <size>`: like `ALLOC`, but when Algorithm 1 rejects on
+    /// fragmentation, compute a bounded [`MigrationPlan`] over the live set
+    /// and apply it move by move — each move journaled write-ahead through
+    /// [`PersistentState::commit_migrate`] before the state changes, and
+    /// the whole schedule re-audited after every move. Only live jobs
+    /// migrate; advance reservations hold their exact placements.
+    fn defrag(&mut self, id: u32, size: u32) -> Reply {
+        if self.is_tracked(id) {
+            return Reply::err(ErrCode::Exists, format!("job {id} already tracked"));
+        }
+        let req = JobRequest::new(JobId(id), size);
+        match self.allocator.decide(self.persist.state_mut(), &req) {
+            Decision::Admit(alloc) => match self.persist.commit_grant(&alloc) {
+                Ok(()) => Reply::Defragged {
+                    id,
+                    moved: 0,
+                    cost: 0.0,
+                    nodes: alloc.nodes.iter().map(|n| n.0).collect(),
+                },
+                Err(e) => {
+                    self.allocator.release(self.persist.state_mut(), &alloc);
+                    Reply::err(ErrCode::Journal, e.to_string())
+                }
+            },
+            Decision::Reconfigure(plan) => self.apply_migration_plan(id, &plan),
+            Decision::Reject(reject) if reject.is_fragmentation() => {
+                // Plan over every claimed allocation so the scratch audit
+                // balances; whether each move is *applicable* (live, not
+                // reserved) is checked during application.
+                let claimed = self.persist.claimed_allocations();
+                match plan_migrations(
+                    &*self.allocator,
+                    self.persist.state(),
+                    &claimed,
+                    &req,
+                    reject,
+                    &self.defrag_cfg,
+                ) {
+                    Some(plan) => self.apply_migration_plan(id, &plan),
+                    None => Reply::err(
+                        ErrCode::Denied,
+                        format!("job {id}: {reject} (no bounded migration plan)"),
+                    ),
+                }
+            }
+            Decision::Reject(reject) => Reply::err(ErrCode::Denied, format!("job {id}: {reject}")),
+        }
+    }
+
+    /// Execute a migration plan against the durable state: journal each
+    /// move first, swap the state, re-audit, then grant the triggering job
+    /// on its proven placement.
+    fn apply_migration_plan(&mut self, id: u32, plan: &MigrationPlan) -> Reply {
+        for m in &plan.moves {
+            if !self.persist.live().contains_key(&m.job.0) {
+                return Reply::err(
+                    ErrCode::Denied,
+                    format!(
+                        "job {id}: plan would move job {} which is not live",
+                        m.job.0
+                    ),
+                );
+            }
+            if let Err(e) = self.persist.commit_migrate(&m.from, &m.to) {
+                return Reply::err(ErrCode::Journal, e.to_string());
+            }
+            self.allocator.release(self.persist.state_mut(), &m.from);
+            self.allocator.adopt(self.persist.state_mut(), &m.to);
+            let errors = audit_system(self.persist.state(), &self.persist.claimed_allocations());
+            if !errors.is_empty() {
+                return Reply::err(
+                    ErrCode::Internal,
+                    format!(
+                        "audit failed after migrating job {} ({} finding(s))",
+                        m.job.0,
+                        errors.len()
+                    ),
+                );
+            }
+        }
+        self.allocator.adopt(self.persist.state_mut(), &plan.admits);
+        match self.persist.commit_grant(&plan.admits) {
+            Ok(()) => {
+                self.migrations += plan.moves.len() as u64;
+                let cost = plan.cost(self.migration_cost_per_node);
+                self.migration_cost += cost;
+                Reply::Defragged {
+                    id,
+                    moved: plan.moves.len(),
+                    cost,
+                    nodes: plan.admits.nodes.iter().map(|n| n.0).collect(),
+                }
+            }
+            Err(e) => {
+                self.allocator
+                    .release(self.persist.state_mut(), &plan.admits);
+                Reply::err(ErrCode::Journal, e.to_string())
+            }
         }
     }
 
@@ -366,7 +495,7 @@ impl Engine {
         }
         match self
             .allocator
-            .allocate(self.persist.state_mut(), &JobRequest::new(JobId(id), size))
+            .try_admit(self.persist.state_mut(), &JobRequest::new(JobId(id), size))
         {
             Ok(alloc) => match self.persist.commit_reserve(&alloc, start) {
                 Ok(()) => Reply::Reserved {
@@ -390,7 +519,7 @@ impl Engine {
     fn try_start_queued(&mut self, id: u32) -> Option<Vec<u32>> {
         let q = self.persist.queued().get(&id)?;
         let req = JobRequest::with_bandwidth(q.job, q.size, q.bw_tenths);
-        match self.allocator.allocate(self.persist.state_mut(), &req) {
+        match self.allocator.try_admit(self.persist.state_mut(), &req) {
             Ok(alloc) => match self.persist.commit_grant(&alloc) {
                 Ok(()) => Some(alloc.nodes.iter().map(|n| n.0).collect()),
                 Err(_) => {
@@ -431,6 +560,8 @@ impl Engine {
                 ("jobs".into(), self.persist.live().len().to_string()),
                 ("queued".into(), self.persist.queued().len().to_string()),
                 ("reserved".into(), self.persist.reserved().len().to_string()),
+                ("migrations".into(), self.migrations.to_string()),
+                ("migration_cost".into(), self.migration_cost.to_string()),
                 ("seq".into(), self.persist.last_seq().to_string()),
                 ("durable".into(), self.persist.is_durable().to_string()),
                 ("requests".into(), self.obs.total_requests().to_string()),
@@ -904,6 +1035,104 @@ mod tests {
         );
         assert_eq!(second[1], "OK FREE 1 started=2");
         assert!(second[2].contains("nodes=10/16 jobs=1"), "{}", second[2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Fragment the radix-4 machine over the wire: fill all 16 nodes with
+    /// 1-node jobs, then free one per leaf — every leaf keeps one pinned
+    /// node, so no whole leaf (or pod) is free despite 8 free nodes.
+    fn fragment_script() -> String {
+        let mut s = String::new();
+        for id in 0..16 {
+            s.push_str(&format!("ALLOC {id} 1\n"));
+        }
+        for id in (0..16).step_by(2) {
+            s.push_str(&format!("FREE {id}\n"));
+        }
+        s
+    }
+
+    #[test]
+    fn defrag_grants_without_moves_when_the_request_fits() {
+        let replies = drive("DEFRAG 1 4\nSTATS\nQUIT\n");
+        assert!(
+            replies[0].starts_with("OK DEFRAG 1 moved=0 cost=0 "),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[1].contains("migrations=0"), "{}", replies[1]);
+        assert!(replies[1].contains("migration_cost=0"), "{}", replies[1]);
+    }
+
+    #[test]
+    fn defrag_migrates_live_jobs_to_admit_a_blocked_request() {
+        // 6 nodes needs a free pod plus a free leaf; the fragmented state
+        // has at most 2 free nodes per pod, so ALLOC rejects...
+        let script = format!(
+            "{}ALLOC 90 6\nDEFRAG 100 6\nSTATS\nQUIT\n",
+            fragment_script()
+        );
+        let replies = drive(&script);
+        assert!(
+            replies[24].starts_with("ERR denied job 90:"),
+            "{}",
+            replies[24]
+        );
+        // ...but DEFRAG moves pinned 1-node jobs and admits it.
+        let defrag = &replies[25];
+        assert!(defrag.starts_with("OK DEFRAG 100 moved="), "{defrag}");
+        let moved: usize = defrag
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("moved="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(moved >= 1, "{defrag}");
+        let nodes: Vec<u32> = defrag
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .split(',')
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(nodes.len(), 6);
+        let stats = &replies[26];
+        assert!(stats.contains(&format!("migrations={moved}")), "{stats}");
+        assert!(stats.contains("jobs=9"), "{stats}"); // 8 pins + job 100
+    }
+
+    #[test]
+    fn defrag_reports_exists_and_denied_like_alloc() {
+        let replies = drive("ALLOC 1 4\nDEFRAG 1 2\nDEFRAG 2 17\nDEFRAG 3 0\nQUIT\n");
+        assert!(replies[1].starts_with("ERR exists"), "{}", replies[1]);
+        assert!(
+            replies[2].starts_with("ERR denied job 2:"),
+            "{}",
+            replies[2]
+        );
+        assert_eq!(replies[3], "ERR bad-request bad DEFRAG arguments");
+    }
+
+    #[test]
+    fn defrag_migrations_are_journaled_and_replay_on_recovery() {
+        let dir = tmpdir("defrag");
+        let (ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let script = format!("{}DEFRAG 100 6\nSTATUS\nQUIT\n", fragment_script());
+        let replies = drive_with(ps, &script);
+        assert!(
+            replies[24].starts_with("OK DEFRAG 100 moved="),
+            "{}",
+            replies[24]
+        );
+        let status = replies[25].clone();
+
+        // Fresh process over the same journal: every migration replays and
+        // the recovered schedule matches what the daemon acknowledged.
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert!(report.migrations_replayed >= 1, "{report:?}");
+        assert_eq!(report.live_jobs, 9);
+        let second = drive_with(ps2, "STATUS\nQUIT\n");
+        assert_eq!(second[0], status);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -107,6 +107,11 @@ pub const VERBS: &[Verb] = &[
         summary: "claim <size> nodes now as an advance reservation for time <start>",
     },
     Verb {
+        name: "DEFRAG",
+        usage: "DEFRAG <id> <size>",
+        summary: "allocate like ALLOC, but migrate live jobs if fragmentation blocks it",
+    },
+    Verb {
         name: "STATUS",
         usage: "STATUS",
         summary: "node occupancy, live jobs, utilization",
@@ -186,6 +191,19 @@ pub enum Reply {
         /// The promised start time.
         start: f64,
         /// Reserved node ids.
+        nodes: Vec<u32>,
+    },
+    /// `OK DEFRAG <id> moved=<m> cost=<c> <n0,n1,...>` — the job's
+    /// allocated node ids, after `m` live jobs were migrated (0 when the
+    /// request fit without moving anyone) at total migration cost `c`.
+    Defragged {
+        /// Job id.
+        id: u32,
+        /// Live jobs migrated to make the request fit.
+        moved: usize,
+        /// Total migration cost (nodes moved × per-node cost).
+        cost: f64,
+        /// Granted node ids.
         nodes: Vec<u32>,
     },
     /// `OK STATUS nodes=<used>/<total> jobs=<n> util=<pct>%`.
@@ -289,6 +307,21 @@ impl fmt::Display for Reply {
             },
             Reply::Reserved { id, start, nodes } => {
                 write!(f, "OK RESERVE {id} start={start} ")?;
+                for (i, n) in nodes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            Reply::Defragged {
+                id,
+                moved,
+                cost,
+                nodes,
+            } => {
+                write!(f, "OK DEFRAG {id} moved={moved} cost={cost} ")?;
                 for (i, n) in nodes.iter().enumerate() {
                     if i > 0 {
                         write!(f, ",")?;
@@ -409,6 +442,26 @@ mod tests {
             "OK TABLES entries=9"
         );
         assert_eq!(Reply::Snapshot { seq: 2 }.to_string(), "OK SNAPSHOT seq=2");
+        assert_eq!(
+            Reply::Defragged {
+                id: 9,
+                moved: 3,
+                cost: 4.5,
+                nodes: vec![0, 1, 2, 3]
+            }
+            .to_string(),
+            "OK DEFRAG 9 moved=3 cost=4.5 0,1,2,3"
+        );
+        assert_eq!(
+            Reply::Defragged {
+                id: 9,
+                moved: 0,
+                cost: 0.0,
+                nodes: vec![7]
+            }
+            .to_string(),
+            "OK DEFRAG 9 moved=0 cost=0 7"
+        );
         assert_eq!(Reply::Bye.to_string(), "OK BYE");
         assert_eq!(Reply::ShuttingDown.to_string(), "OK SHUTDOWN");
     }
@@ -496,6 +549,12 @@ mod tests {
             },
             Reply::Tables { entries: 0 },
             Reply::Snapshot { seq: 0 },
+            Reply::Defragged {
+                id: 1,
+                moved: 0,
+                cost: 0.0,
+                nodes: vec![0],
+            },
             Reply::Stats { pairs: vec![] },
             Reply::Metrics {
                 text: String::new(),

@@ -24,6 +24,12 @@ pub enum EventKind {
     Backfill,
     /// An allocation attempt was rejected (detail carries the typed reason).
     Rejection,
+    /// An allocation attempt produced a migration plan instead of a grant
+    /// or a reject (the `Reconfigure` decision; detail carries the plan
+    /// size and cost).
+    Reconfigure,
+    /// A journaled migration was applied (one plan move).
+    Migration,
     /// The write-ahead journal fsynced an append.
     JournalFsync,
     /// A snapshot was durably written.
@@ -39,6 +45,8 @@ impl EventKind {
             EventKind::JobComplete => "job_complete",
             EventKind::Backfill => "backfill",
             EventKind::Rejection => "rejection",
+            EventKind::Reconfigure => "reconfigure",
+            EventKind::Migration => "migration",
             EventKind::JournalFsync => "journal_fsync",
             EventKind::Snapshot => "snapshot",
         }

@@ -62,6 +62,17 @@ pub enum Event {
         /// The promised start time (caller-defined clock).
         start: f64,
     },
+    /// A live job was migrated by the defragmenter: its old placement
+    /// `from` was released and the new placement `to` (same job, same
+    /// size, same bandwidth class) claimed in one logical step. Journaled
+    /// write-ahead, *before* the state changes, so a crash mid-plan
+    /// replays the move rather than losing it.
+    Migrate {
+        /// The placement being vacated (must match the live allocation).
+        from: Allocation,
+        /// The placement the job moves to.
+        to: Allocation,
+    },
     /// A snapshot covering everything up to `last_seq` was durably written.
     /// Purely informational on replay (snapshot discovery goes through the
     /// snapshot directory, not the journal), but makes the journal

@@ -178,6 +178,9 @@ pub struct RecoveryReport {
     pub queued_jobs: usize,
     /// Advance reservations holding resources after recovery.
     pub reserved_jobs: usize,
+    /// Defragmentation moves replayed from the journal (a subset of
+    /// `records_replayed`).
+    pub migrations_replayed: usize,
 }
 
 impl fmt::Display for RecoveryReport {
@@ -208,6 +211,9 @@ impl fmt::Display for RecoveryReport {
                 "; {} queued, {} reserved",
                 self.queued_jobs, self.reserved_jobs
             )?;
+        }
+        if self.migrations_replayed > 0 {
+            write!(f, "; {} migration(s) replayed", self.migrations_replayed)?;
         }
         if self.corrupt_snapshots_skipped > 0 {
             write!(
@@ -584,6 +590,50 @@ impl PersistentState {
         Ok(())
     }
 
+    /// Make a defragmentation move durable and retarget the live entry:
+    /// journal `Event::Migrate { from, to }` write-ahead, then swap the
+    /// tracked allocation from `from` to `to`. **State mutation stays with
+    /// the caller** (release `from`, claim `to` through the allocator),
+    /// exactly as for grants and releases — a crash between the journal
+    /// append and the state change replays the move on recovery.
+    ///
+    /// # Panics
+    /// If `from` and `to` name different jobs, sizes, or bandwidth
+    /// classes, or if the live entry for the job is not `from` (stale
+    /// plan — the daemon re-plans instead of committing).
+    #[must_use = "an ignored commit error means the migration is not durable and must not be applied"]
+    pub fn commit_migrate(
+        &mut self,
+        from: &Allocation,
+        to: &Allocation,
+    ) -> Result<(), PersistError> {
+        assert_eq!(from.job, to.job, "migration must keep the job id");
+        assert_eq!(
+            from.nodes.len(),
+            to.nodes.len(),
+            "migration must keep the job size"
+        );
+        assert_eq!(
+            from.bw_tenths, to.bw_tenths,
+            "migration must keep the bandwidth class"
+        );
+        assert_eq!(
+            self.live.get(&from.job.0),
+            Some(from),
+            "job {} migrated from a placement that is not live (stale plan)",
+            from.job.0
+        );
+        self.record(
+            Event::Migrate {
+                from: from.clone(),
+                to: to.clone(),
+            },
+            Some(from.job.0),
+        )?;
+        self.live.insert(to.job.0, to.clone());
+        Ok(())
+    }
+
     /// Journal (or stage, under [`SyncPolicy::Group`]) one event and bump
     /// the sequence counters. The shared tail of both commit paths.
     fn record(&mut self, event: Event, job: Option<u32>) -> Result<(), PersistError> {
@@ -805,6 +855,7 @@ fn rebuild(
     let mut last_seq = base_seq;
     let mut replayed = 0usize;
     let mut skipped = 0usize;
+    let mut migrations = 0usize;
     for record in &scan.records {
         if record.seq <= base_seq {
             skipped += 1;
@@ -900,6 +951,39 @@ fn rebuild(
                     });
                 }
             }
+            Event::Migrate { from, to } => {
+                if live.get(&from.job.0) != Some(from) {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail: format!(
+                            "migration of job {} from a placement that is not live",
+                            from.job.0
+                        ),
+                    });
+                }
+                if from.job != to.job
+                    || from.nodes.len() != to.nodes.len()
+                    || from.bw_tenths != to.bw_tenths
+                {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail: format!(
+                            "migration of job {} changes its identity, size, or bandwidth",
+                            from.job.0
+                        ),
+                    });
+                }
+                release_allocation(&mut state, from);
+                if let Some(detail) = grant_conflict(&state, to) {
+                    return Err(PersistError::ReplayConflict {
+                        seq: record.seq,
+                        detail,
+                    });
+                }
+                claim_allocation(&mut state, to);
+                live.insert(to.job.0, to.clone());
+                migrations += 1;
+            }
             Event::Snapshot { .. } => {}
         }
         replayed += 1;
@@ -927,6 +1011,7 @@ fn rebuild(
         allocated_nodes: state.allocated_node_count(),
         queued_jobs: queued.len(),
         reserved_jobs: reserved.len(),
+        migrations_replayed: migrations,
     };
     Ok(Rebuilt {
         state,
@@ -1019,7 +1104,7 @@ mod tests {
     /// commit the grant.
     fn grant(ps: &mut PersistentState, alloc8r: &mut JigsawAllocator, job: u32, size: u32) {
         let a = alloc8r
-            .allocate(ps.state_mut(), &JobRequest::new(JobId(job), size))
+            .try_admit(ps.state_mut(), &JobRequest::new(JobId(job), size))
             .expect("allocation must fit");
         ps.commit_grant(&a).unwrap();
     }
@@ -1432,7 +1517,7 @@ mod tests {
         let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
         let mut a = JigsawAllocator::new(&tree());
         let alloc = a
-            .allocate(ps.state_mut(), &JobRequest::new(JobId(5), 6))
+            .try_admit(ps.state_mut(), &JobRequest::new(JobId(5), 6))
             .unwrap();
         ps.commit_reserve(&alloc, 250.0).unwrap();
         let want = ps.state().clone();
@@ -1464,7 +1549,7 @@ mod tests {
         let mut a = JigsawAllocator::new(&tree());
         ps.commit_submit(JobId(9), 2, 10, vec![1, 3]).unwrap();
         let alloc = a
-            .allocate(ps.state_mut(), &JobRequest::new(JobId(4), 4))
+            .try_admit(ps.state_mut(), &JobRequest::new(JobId(4), 4))
             .unwrap();
         ps.commit_reserve(&alloc, 100.0).unwrap();
         ps.snapshot().unwrap();
@@ -1517,6 +1602,109 @@ mod tests {
             other => panic!("expected ReplayConflict at seq 2, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn migration_survives_crash() {
+        let dir = tmpdir("migrate");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 2);
+        let from = ps.live()[&1].clone();
+        // New placement found while the old one is still claimed, so the
+        // two are disjoint; then journal the move and swap the state.
+        let to = {
+            let mut probe = JigsawAllocator::new(&tree());
+            probe
+                .try_admit(ps.state_mut(), &JobRequest::new(JobId(1), 2))
+                .unwrap()
+        };
+        assert_ne!(from.nodes, to.nodes);
+        ps.commit_migrate(&from, &to).unwrap();
+        release_allocation(ps.state_mut(), &from);
+        let want = ps.state().clone();
+        drop(ps); // crash
+
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.migrations_replayed, 1);
+        assert_eq!(ps2.state(), &want);
+        assert_eq!(ps2.live()[&1].nodes, to.nodes);
+        assert!(audit_system(ps2.state(), &ps2.live_allocations()).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_migrate_journal_and_state_change_replays_the_move() {
+        // Write-ahead order: the Migrate record lands before the state
+        // mutates. A crash in that window must replay the move, not lose
+        // it — the recovered state reflects `to`, not `from`.
+        let dir = tmpdir("migrate-wal");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 2);
+        let from = ps.live()[&1].clone();
+        let to = {
+            let mut probe = JigsawAllocator::new(&tree());
+            probe
+                .try_admit(ps.state_mut(), &JobRequest::new(JobId(1), 2))
+                .unwrap()
+        };
+        ps.commit_migrate(&from, &to).unwrap();
+        // Crash HERE: `from` never released, `to` claimed but the daemon
+        // died before finishing the swap.
+        drop(ps);
+
+        let (ps2, report) = PersistentState::open(&dir, tree()).unwrap();
+        assert_eq!(report.migrations_replayed, 1);
+        assert_eq!(ps2.live()[&1].nodes, to.nodes);
+        assert!(
+            ps2.state().is_node_free(from.nodes[0]),
+            "the vacated placement must be free after replay"
+        );
+        assert!(audit_system(ps2.state(), &ps2.live_allocations()).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_migration_on_replay_is_a_typed_conflict() {
+        let dir = tmpdir("migrate-stale");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 2);
+        let live = ps.live()[&1].clone();
+        drop(ps);
+        // Hand-append a Migrate whose `from` is not the live placement.
+        let mut bogus_from = live.clone();
+        bogus_from.nodes.reverse();
+        bogus_from.nodes[0] = jigsaw_topology::ids::NodeId(15);
+        let (mut j, _) = Journal::open(&dir.join(JOURNAL_FILE)).unwrap();
+        j.append(&Record {
+            seq: 2,
+            event: Event::Migrate {
+                from: bogus_from,
+                to: live,
+            },
+        })
+        .unwrap();
+        drop(j);
+        match PersistentState::open(&dir, tree()) {
+            Err(PersistError::ReplayConflict { seq: 2, .. }) => {}
+            other => panic!("expected ReplayConflict at seq 2, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "stale plan")]
+    fn commit_migrate_refuses_a_stale_from() {
+        let dir = tmpdir("migrate-refuse");
+        let (mut ps, _) = PersistentState::open(&dir, tree()).unwrap();
+        let mut a = JigsawAllocator::new(&tree());
+        grant(&mut ps, &mut a, 1, 2);
+        let mut stale = ps.live()[&1].clone();
+        stale.nodes.reverse();
+        let to = stale.clone();
+        let _ = ps.commit_migrate(&stale, &to);
     }
 
     #[test]

@@ -281,7 +281,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
 
         let a = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 30))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 30))
             .unwrap();
         let router_a = PartitionRouter::new(&tree, &a).unwrap();
         let perm_a = random_permutation(&a.nodes, &mut rng);
@@ -301,7 +301,7 @@ mod tests {
         let mut neighbor_flows = Vec::new();
         for (id, size) in [(2u32, 40), (3u32, 25)] {
             let n = jig
-                .allocate(&mut state, &JobRequest::new(JobId(id), size))
+                .try_admit(&mut state, &JobRequest::new(JobId(id), size))
                 .unwrap();
             let router = PartitionRouter::new(&tree, &n).unwrap();
             let perm = random_permutation(&n.nodes, &mut rng);

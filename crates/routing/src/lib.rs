@@ -37,7 +37,7 @@
 //! let tree = FatTree::maximal(8).unwrap();
 //! let mut state = SystemState::new(tree);
 //! let alloc = JigsawAllocator::new(&tree)
-//!     .allocate(&mut state, &JobRequest::new(JobId(1), 30))
+//!     .try_admit(&mut state, &JobRequest::new(JobId(1), 30))
 //!     .unwrap();
 //!
 //! // Static wraparound routing reaches every pair over allocated links...
@@ -72,3 +72,4 @@ pub use partition::PartitionRouter;
 pub use path::{Direction, LinkUse, Route};
 pub use rearrange::{route_permutation, RearrangeError, RearrangedRouting};
 pub use tables::RoutingTables;
+pub use verify::{check_full_bandwidth, prove_interference_free, Witness};

@@ -180,7 +180,7 @@ mod tests {
             .iter()
             .enumerate()
             .filter_map(|(i, &s)| {
-                jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s))
+                jig.try_admit(&mut state, &JobRequest::new(JobId(i as u32), s))
                     .ok()
             })
             .collect();
@@ -287,7 +287,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut base = jigsaw_core::BaselineAllocator::new(&tree);
         let alloc = base
-            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 4))
             .unwrap();
         assert!(PartitionRouter::new(&tree, &alloc).is_none());
     }
@@ -300,7 +300,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let alloc = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 11))
             .unwrap();
         let Shape::ThreeLevel {
             rem_tree: Some(rem),

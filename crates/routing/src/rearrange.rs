@@ -472,7 +472,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let alloc = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), tree.num_nodes()))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), tree.num_nodes()))
             .expect("whole machine fits");
         (tree, alloc)
     }
@@ -518,7 +518,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let alloc = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 11))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 11))
             .unwrap();
         assert!(matches!(alloc.shape, Shape::ThreeLevel { .. }));
         let mut rng = StdRng::seed_from_u64(7);
@@ -542,7 +542,7 @@ mod tests {
         let sizes = [7u32, 18, 3, 25, 12, 30, 5];
         let mut allocs = Vec::new();
         for (i, &size) in sizes.iter().enumerate() {
-            if let Ok(a) = jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = jig.try_admit(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 allocs.push(a);
             }
         }
@@ -562,7 +562,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let alloc = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), 2))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 2))
             .unwrap();
         let perm = reversal_permutation(&alloc.nodes);
         let routing = route_permutation(&tree, &alloc, &perm).unwrap();
@@ -594,7 +594,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut base = jigsaw_core::BaselineAllocator::new(&tree);
         let alloc = base
-            .allocate(&mut state, &JobRequest::new(JobId(1), 4))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 4))
             .unwrap();
         let perm = reversal_permutation(&alloc.nodes);
         assert_eq!(

@@ -200,7 +200,7 @@ mod tests {
             .iter()
             .enumerate()
             .filter_map(|(i, &s)| {
-                jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s))
+                jig.try_admit(&mut state, &JobRequest::new(JobId(i as u32), s))
                     .ok()
             })
             .collect();
@@ -289,7 +289,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut base = jigsaw_core::BaselineAllocator::new(&tree);
         let alloc = base
-            .allocate(&mut state, &JobRequest::new(JobId(1), 6))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), 6))
             .unwrap();
         let tables = RoutingTables::build(&tree, &[alloc]).unwrap();
         assert!(tables.is_empty());

@@ -164,6 +164,35 @@ pub fn check_full_bandwidth(tree: &FatTree, alloc: &Allocation) -> Result<(), Wi
     Ok(())
 }
 
+/// Constructive interference-freedom proof for a single placement: route
+/// the reversal permutation plus a handful of seeded random permutations of
+/// the allocation's nodes and require every one to fit with at most one
+/// flow per directed link, confined to the allocation's own links.
+///
+/// Used by the defragmenter's audit trail: a migration target that cannot
+/// carry these permutations would interfere with neighbours under some
+/// traffic pattern, so the plan must not move a job there.
+pub fn prove_interference_free(tree: &FatTree, alloc: &Allocation) -> bool {
+    use crate::permutation::{random_permutation, reversal_permutation};
+    use crate::rearrange::route_permutation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    if alloc.nodes.len() <= 1 {
+        return true;
+    }
+    let mut perms = vec![reversal_permutation(&alloc.nodes)];
+    let mut rng = StdRng::seed_from_u64(0x4a49_4753_4157); // "JIGSAW"
+    for _ in 0..3 {
+        perms.push(random_permutation(&alloc.nodes, &mut rng));
+    }
+    perms.iter().all(|perm| {
+        route_permutation(tree, alloc, perm).is_ok_and(|routing| {
+            routing.max_link_load(tree) <= 1 && routing.confined_to(tree, alloc)
+        })
+    })
+}
+
 /// A small Edmonds–Karp max-flow implementation over an adjacency list.
 struct FlowGraph {
     /// Per edge: (to, capacity); reverse edge at `i ^ 1`.
@@ -253,7 +282,7 @@ mod tests {
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
         let alloc = jig
-            .allocate(&mut state, &JobRequest::new(JobId(1), size))
+            .try_admit(&mut state, &JobRequest::new(JobId(1), size))
             .unwrap();
         (tree, alloc)
     }
@@ -276,7 +305,7 @@ mod tests {
             let mut state = SystemState::new(tree);
             let mut laas = LaasAllocator::new(&tree);
             let alloc = laas
-                .allocate(&mut state, &JobRequest::new(JobId(size), size))
+                .try_admit(&mut state, &JobRequest::new(JobId(size), size))
                 .unwrap();
             check_full_bandwidth(&tree, &alloc)
                 .unwrap_or_else(|w| panic!("LaaS size {size}: witness {w:?}"));
@@ -311,6 +340,30 @@ mod tests {
         let n = alloc.spine_links.len();
         alloc.spine_links.truncate(n / 2);
         assert!(check_full_bandwidth(&tree, &alloc).is_err());
+    }
+
+    #[test]
+    fn prove_interference_free_accepts_legal_shapes() {
+        for size in [1u32, 2, 4, 7, 11, 16] {
+            let (tree, alloc) = jigsaw_alloc(4, size);
+            assert!(
+                prove_interference_free(&tree, &alloc),
+                "size {size} must prove clean"
+            );
+        }
+    }
+
+    #[test]
+    fn prove_interference_free_rejects_tapered_links() {
+        let (tree, mut alloc) = jigsaw_alloc(4, 8);
+        let victim_leaf = tree.leaf_of_node(alloc.nodes[0]);
+        let pos = alloc
+            .leaf_links
+            .iter()
+            .position(|&l| tree.leaf_of_link(l) == victim_leaf)
+            .unwrap();
+        alloc.leaf_links.remove(pos);
+        assert!(!prove_interference_free(&tree, &alloc));
     }
 
     #[test]

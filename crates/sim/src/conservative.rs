@@ -121,7 +121,7 @@ pub(crate) fn plan(
             if scratch.free_node_count() < size {
                 continue;
             }
-            let Ok(alloc) = salloc.allocate(&mut scratch, &req) else {
+            let Ok(alloc) = salloc.try_admit(&mut scratch, &req) else {
                 continue;
             };
             // The slot must not collide with reservations that begin while
@@ -183,7 +183,7 @@ mod tests {
         let (mut state, mut alloc) = setup();
         // A 12-node job runs until t=100.
         let running_alloc = alloc
-            .allocate(&mut state, &JobRequest::new(JobId(99), 12))
+            .try_admit(&mut state, &JobRequest::new(JobId(99), 12))
             .unwrap();
         let mut running = HashMap::new();
         running.insert(
@@ -222,7 +222,7 @@ mod tests {
         // collides with either reservation window... with 4 free nodes and
         // the machine-wide reservations at 100 and 110, it cannot start.
         let running_alloc = alloc
-            .allocate(&mut state, &JobRequest::new(JobId(99), 12))
+            .try_admit(&mut state, &JobRequest::new(JobId(99), 12))
             .unwrap();
         let mut running = HashMap::new();
         running.insert(
@@ -257,7 +257,7 @@ mod tests {
         // machine; one that finishes by 100 may.
         let (mut state, mut alloc) = setup();
         let reserved_alloc = alloc
-            .allocate(&mut state, &JobRequest::new(JobId(7), 16))
+            .try_admit(&mut state, &JobRequest::new(JobId(7), 16))
             .unwrap();
         alloc.release(&mut state, &reserved_alloc);
         let fixed = vec![FixedReservation {

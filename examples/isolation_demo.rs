@@ -36,7 +36,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, &s)| {
-            base.allocate(&mut state, &JobRequest::new(JobId(i as u32), s))
+            base.try_admit(&mut state, &JobRequest::new(JobId(i as u32), s))
                 .unwrap()
         })
         .collect();
@@ -61,7 +61,7 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, &s)| {
-            jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), s))
+            jig.try_admit(&mut state, &JobRequest::new(JobId(i as u32), s))
                 .unwrap()
         })
         .collect();

@@ -37,7 +37,7 @@ fn main() {
     );
     for (i, &size) in sizes.iter().enumerate() {
         let req = JobRequest::new(JobId(i as u32), size);
-        match scheduler.allocate(&mut state, &req) {
+        match scheduler.try_admit(&mut state, &req) {
             Ok(alloc) => {
                 // Jigsaw grants exactly what was asked (high-utilization
                 // condition N = N_r) and the shape provably satisfies the

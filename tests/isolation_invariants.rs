@@ -31,7 +31,7 @@ fn churn<F: FnMut(&FatTree, &SystemState, &[Allocation])>(
             alloc.release(&mut state, &a);
         } else {
             let size = 1 + rng.random_range(0..tree.num_nodes() / 3);
-            if let Ok(a) = alloc.allocate(
+            if let Ok(a) = alloc.try_admit(
                 &mut state,
                 &JobRequest::with_bandwidth(JobId(i as u32), size, 10),
             ) {
@@ -142,7 +142,7 @@ fn ta_leaf_jobs_never_span_leaves() {
     let mut rng = StdRng::seed_from_u64(31);
     for i in 0..200u32 {
         let size = 1 + rng.random_range(0..tree.nodes_per_leaf());
-        if let Ok(a) = ta.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
+        if let Ok(a) = ta.try_admit(&mut state, &JobRequest::new(JobId(i), size)) {
             let leaves: std::collections::HashSet<_> =
                 a.nodes.iter().map(|&n| tree.leaf_of_node(n)).collect();
             assert_eq!(leaves.len(), 1, "TA leaf-class jobs live on one leaf");

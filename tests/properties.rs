@@ -27,7 +27,7 @@ proptest! {
         let mut live = Vec::new();
         let _ = seed;
         for (i, &size) in batch.iter().enumerate() {
-            if let Ok(a) = jig.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = jig.try_admit(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 prop_assert_eq!(a.nodes.len() as u32, size);
                 prop_assert!(check_shape(&tree, &a.shape).is_ok());
                 live.push(a);
@@ -50,7 +50,7 @@ proptest! {
         let mut state = SystemState::new(tree);
         let mut laas = LaasAllocator::new(&tree);
         for (i, &size) in batch.iter().enumerate() {
-            if let Ok(a) = laas.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = laas.try_admit(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 if size <= w {
                     prop_assert_eq!(a.nodes.len() as u32, size);
                 } else {
@@ -64,7 +64,7 @@ proptest! {
         let mut state = SystemState::new(tree);
         let mut strict = LaasAllocator::strict_whole_leaf(&tree);
         for (i, &size) in batch.iter().enumerate() {
-            if let Ok(a) = strict.allocate(&mut state, &JobRequest::new(JobId(i as u32), size)) {
+            if let Ok(a) = strict.try_admit(&mut state, &JobRequest::new(JobId(i as u32), size)) {
                 prop_assert_eq!(a.nodes.len() as u32, size.div_ceil(w) * w);
             }
         }
@@ -80,9 +80,9 @@ proptest! {
         let mut jig = JigsawAllocator::new(&tree);
         // Random pre-occupancy.
         for (i, &s) in presizes.iter().enumerate() {
-            let _ = jig.allocate(&mut state, &JobRequest::new(JobId(100 + i as u32), s.min(6)));
+            let _ = jig.try_admit(&mut state, &JobRequest::new(JobId(100 + i as u32), s.min(6)));
         }
-        if let Ok(a) = jig.allocate(&mut state, &JobRequest::new(JobId(1), size)) {
+        if let Ok(a) = jig.try_admit(&mut state, &JobRequest::new(JobId(1), size)) {
             let mut rng = StdRng::seed_from_u64(seed);
             let perm = random_permutation(&a.nodes, &mut rng);
             let routing = jigsaw::routing::route_permutation(&tree, &a, &perm);
@@ -100,7 +100,7 @@ proptest! {
         let tree = FatTree::maximal(8).unwrap();
         let mut state = SystemState::new(tree);
         let mut jig = JigsawAllocator::new(&tree);
-        let a = jig.allocate(&mut state, &JobRequest::new(JobId(1), size)).unwrap();
+        let a = jig.try_admit(&mut state, &JobRequest::new(JobId(1), size)).unwrap();
         let router = PartitionRouter::new(&tree, &a).unwrap();
         for &s in a.nodes.iter().take(8) {
             for &d in a.nodes.iter().rev().take(8) {
@@ -248,7 +248,7 @@ proptest! {
             let mut live = Vec::new();
             for (i, &size) in batch.iter().enumerate() {
                 if let Ok(a) =
-                    alloc.allocate(&mut state, &JobRequest::new(JobId(i as u32), size))
+                    alloc.try_admit(&mut state, &JobRequest::new(JobId(i as u32), size))
                 {
                     live.push(a);
                 }

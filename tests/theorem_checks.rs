@@ -141,7 +141,7 @@ fn simulated_system_audits_clean_at_every_event() {
                 alloc.release(&mut state, &a);
             } else {
                 let size = 1 + rng.random_range(0u32..40);
-                if let Ok(a) = alloc.allocate(&mut state, &JobRequest::new(JobId(i), size)) {
+                if let Ok(a) = alloc.try_admit(&mut state, &JobRequest::new(JobId(i), size)) {
                     live.push(a);
                 }
             }
